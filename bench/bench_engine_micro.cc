@@ -1,0 +1,162 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the systolic engine itself, plus
+ * ablations of the design decisions called out in DESIGN.md: phase
+ * overlap, chunking (NPE), banding, and traceback on/off.
+ *
+ * These measure *simulator* wall-clock (host cell-updates/s) and report
+ * modeled device cycles as counters, so regressions in either the
+ * simulator or the cycle model are visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "kernels/all.hh"
+#include "seq/read_simulator.hh"
+#include "seq/squiggle.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+namespace {
+
+seq::DnaSequence
+dnaOf(int len, uint64_t seed)
+{
+    seq::Rng rng(seed);
+    return seq::randomDna(len, rng);
+}
+
+} // namespace
+
+/** Fill throughput of the engine across NPE (chunking ablation). */
+static void
+BM_GlobalLinearNpe(benchmark::State &state)
+{
+    const int npe = static_cast<int>(state.range(0));
+    const auto q = dnaOf(256, 1);
+    const auto r = dnaOf(256, 2);
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::GlobalLinear> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] =
+        static_cast<double>(cycles);
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        256.0 * 256.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GlobalLinearNpe)->Arg(1)->Arg(8)->Arg(32)->Arg(64);
+
+/** Banding ablation: band width vs device cycles and host time. */
+static void
+BM_BandedGlobalLinearBand(benchmark::State &state)
+{
+    const int band = static_cast<int>(state.range(0));
+    const auto q = dnaOf(256, 3);
+    const auto r = dnaOf(256, 4);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.bandWidth = band;
+    sim::SystolicAligner<kernels::BandedGlobalLinear> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_BandedGlobalLinearBand)->Arg(8)->Arg(32)->Arg(128);
+
+/** Phase-overlap ablation (the Fig. 4 mechanism). */
+static void
+BM_OverlapAblation(benchmark::State &state)
+{
+    const bool overlap = state.range(0) != 0;
+    const auto q = dnaOf(256, 5);
+    const auto r = dnaOf(256, 6);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.cycles.overlapLoadInit = overlap;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_OverlapAblation)->Arg(0)->Arg(1);
+
+/** Traceback on/off ablation. */
+static void
+BM_TracebackAblation(benchmark::State &state)
+{
+    const bool skip = state.range(0) != 0;
+    const auto q = dnaOf(256, 7);
+    const auto r = dnaOf(256, 8);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.skipTraceback = skip;
+    sim::SystolicAligner<kernels::LocalAffine> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_TracebackAblation)->Arg(0)->Arg(1);
+
+/** Multi-layer kernels: per-cell cost of 1 vs 3 vs 5 layers. */
+static void
+BM_LayerCount(benchmark::State &state)
+{
+    const auto q = dnaOf(192, 9);
+    const auto r = dnaOf(192, 10);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    const int layers = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        switch (layers) {
+          case 1: {
+            sim::SystolicAligner<kernels::GlobalLinear> e(cfg);
+            benchmark::DoNotOptimize(e.align(q, r));
+            break;
+          }
+          case 3: {
+            sim::SystolicAligner<kernels::GlobalAffine> e(cfg);
+            benchmark::DoNotOptimize(e.align(q, r));
+            break;
+          }
+          default: {
+            sim::SystolicAligner<kernels::GlobalTwoPiece> e(cfg);
+            benchmark::DoNotOptimize(e.align(q, r));
+            break;
+          }
+        }
+    }
+}
+BENCHMARK(BM_LayerCount)->Arg(1)->Arg(3)->Arg(5);
+
+/** sDTW streaming workload. */
+static void
+BM_Sdtw(benchmark::State &state)
+{
+    const auto pairs = seq::sampleSquigglePairs(1, 320, 96, 11);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    sim::SystolicAligner<kernels::Sdtw> engine(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            engine.align(pairs[0].query, pairs[0].reference));
+    }
+}
+BENCHMARK(BM_Sdtw);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates **Section 7.5**: DP-HLS kernel #3 (Smith-Waterman) against
+ * the AMD Vitis Genomics Library HLS baseline.
+ *
+ * Expected shape: DP-HLS achieves ~32.6% higher throughput; the paper
+ * attributes the gap to the baseline streaming data through host channels
+ * (modeled as a per-character stall) and weaker pragma hints (visible as
+ * slightly lower baseline resource usage).
+ */
+
+#include <cstdio>
+
+#include "baselines/vitis_sw.hh"
+#include "kernels/local_linear.hh"
+#include "model/resource_model.hh"
+#include "seq/read_simulator.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+int
+main()
+{
+    printf("Section 7.5: DP-HLS #3 vs Vitis Genomics Library SW kernel\n");
+    printf("(NPE=32, NB=32 equivalent per-block comparison)\n\n");
+
+    const auto pairs = seq::simulateReadPairs(96, {}, 256, 4001);
+    sim::EngineConfig ec;
+    ec.numPe = 32;
+    sim::SystolicAligner<kernels::LocalLinear> dphls(ec);
+    baseline::VitisSwSimulator vitis({.npe = 32});
+
+    uint64_t cd = 0, cv = 0;
+    int agree = 0;
+    for (const auto &p : pairs) {
+        const auto a = dphls.align(p.query, p.target);
+        cd += dphls.lastTotalCycles();
+        const auto b = vitis.align(p.query, p.target);
+        cv += vitis.lastCycles();
+        agree += a.score == b.score;
+    }
+    const double n = static_cast<double>(pairs.size());
+    const double td = 250e6 / (double(cd) / n);
+    const double tv = 250e6 / (double(cv) / n);
+
+    printf("functional agreement: %d/%d\n", agree, (int)pairs.size());
+    printf("throughput per block: DP-HLS %.0f aligns/s, Vitis baseline "
+           "%.0f aligns/s\n",
+           td, tv);
+    printf("DP-HLS higher by %.1f%%  (paper: 32.6%%)\n\n",
+           100 * (td - tv) / tv);
+
+    const auto device = model::FpgaDevice::xcvu9p();
+    const auto dp = device.utilization(model::estimateBlock(
+        model::kernelHwDesc<kernels::LocalLinear>(256, 256, 1), 32));
+    const auto vb = device.utilization(
+        baseline::VitisSwSimulator::blockResources(32));
+    printf("resources (%% of device): DP-HLS LUT %.3f FF %.3f | baseline "
+           "LUT %.3f FF %.3f\n",
+           dp.lutPct, dp.ffPct, vb.lutPct, vb.ffPct);
+    printf("(slightly higher DP-HLS utilization for better throughput, "
+           "as in the paper)\n");
+    return 0;
+}

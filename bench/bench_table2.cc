@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates **Table 2**: performance summary of the 15 DP-HLS kernels.
+ *
+ * For every kernel: modeled resource utilization of one 32-PE block
+ * (LUT/FF/BRAM/DSP as % of the XCVU9P), the paper's optimal (NPE, NB, NK)
+ * configuration, the modeled achieved frequency, and the simulated device
+ * throughput (alignments/second) on the standard workload of Section 6.1.
+ * The paper's published values are printed alongside for comparison.
+ */
+
+#include <cstdio>
+
+#include "kernels/registry.hh"
+#include "model/resource_model.hh"
+
+using namespace dphls;
+
+int
+main()
+{
+    const auto device = model::FpgaDevice::xcvu9p();
+
+    printf("Table 2: Performance summary of 15 DP-HLS kernels\n");
+    printf("(utilization: one 32-PE block; throughput: paper-optimal "
+           "(NPE,NB,NK); 'p:' columns are the paper's values)\n\n");
+    printf("%-3s %-33s | %-21s | %-21s | %-12s | %-11s | %-19s\n",
+           "#", "Kernel", "LUT%/FF% (ours|paper)",
+           "BRAM%/DSP% (ours|p)", "(NPE,NB,NK)", "fmax (MHz)",
+           "aligns/s (ours|p)");
+    printf("%.*s\n", 140,
+           "--------------------------------------------------------------"
+           "--------------------------------------------------------------"
+           "--------------------");
+
+    for (const auto &k : kernels::registry()) {
+        const auto util = device.utilization(model::estimateBlock(k.hw, 32));
+
+        kernels::RunConfig rc;
+        rc.npe = k.paper.npe;
+        rc.nb = k.paper.nb;
+        rc.nk = k.paper.nk;
+        rc.count = std::min(192, std::max(32, 2 * rc.nb * rc.nk));
+        const auto res = k.run(rc);
+
+        printf("%-3d %-33s | %5.2f/%4.2f  %5.2f/%4.2f | %5.2f/%6.3f "
+               "%5.2f/%6.3f | (%3d,%2d,%d)   | %5.1f/%5.1f | %9.3g/%9.3g\n",
+               k.id, k.name.c_str(), util.lutPct, util.ffPct,
+               k.paper.lutPct, k.paper.ffPct, util.bramPct, util.dspPct,
+               k.paper.bramPct, k.paper.dspPct, k.paper.npe, k.paper.nb,
+               k.paper.nk, res.fmaxMhz, k.paper.fmaxMhz, res.alignsPerSec,
+               k.paper.alignsPerSec);
+    }
+
+    printf("\nPredicted max parallel fit on the device (resource model):\n");
+    for (const auto &k : kernels::registry()) {
+        const auto fit = model::maxParallelFit(k.hw, k.paper.npe, device);
+        printf("  #%-2d NPE=%-3d -> NB=%-2d NK=%d (%d alignments in "
+               "flight)\n",
+               k.id, k.paper.npe, fit.nb, fit.nk, fit.nb * fit.nk);
+    }
+    return 0;
+}

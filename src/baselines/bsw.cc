@@ -1,0 +1,53 @@
+#include "baselines/bsw.hh"
+
+#include "model/resource_model.hh"
+
+namespace dphls::baseline {
+
+namespace {
+
+sim::EngineConfig
+engineConfig(const BswSimulator::Config &cfg)
+{
+    sim::EngineConfig ecfg;
+    ecfg.numPe = cfg.npe;
+    ecfg.bandWidth = cfg.bandWidth;
+    ecfg.maxQueryLength = cfg.maxLength;
+    ecfg.maxReferenceLength = cfg.maxLength;
+    ecfg.cycles.overlapLoadInit = true;
+    return ecfg;
+}
+
+} // namespace
+
+BswSimulator::BswSimulator(Config cfg, Kernel::Params params)
+    : _engine(engineConfig(cfg), params)
+{}
+
+BswSimulator::Result
+BswSimulator::align(const seq::DnaSequence &query,
+                    const seq::DnaSequence &reference)
+{
+    return _engine.align(query, reference);
+}
+
+uint64_t
+BswSimulator::lastCycles() const
+{
+    return _engine.lastTotalCycles();
+}
+
+model::DeviceResources
+BswSimulator::blockResources(int npe)
+{
+    // Fig. 4E: DP-HLS has slightly *better* LUT and FF utilization than
+    // the BSW RTL here; BSW spends extra logic on its adaptive control.
+    const auto desc = model::kernelHwDesc<Kernel>(256, 256, 0);
+    model::DeviceResources r = model::estimateBlock(desc, npe);
+    r.lut *= 1.18;
+    r.ff *= 1.12;
+    r.dsp = 0;
+    return r;
+}
+
+} // namespace dphls::baseline

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * BSW (Banded Smith-Waterman, Darwin-WGA [12]) RTL-accelerator simulator.
+ *
+ * Compared against DP-HLS kernel #12 (banded local affine, score-only) in
+ * Fig. 4B/E. Like GACT, the hand-coded RTL overlaps load/init with
+ * compute; because kernel #12 has no traceback phase to amortize the
+ * sequential front-end, DP-HLS shows its largest gap (16.8%) here.
+ */
+
+#ifndef DPHLS_BASELINES_BSW_HH
+#define DPHLS_BASELINES_BSW_HH
+
+#include "kernels/banded_local_affine.hh"
+#include "model/device.hh"
+#include "systolic/engine.hh"
+
+namespace dphls::baseline {
+
+/** Configuration of the BSW accelerator core. */
+struct BswConfig
+{
+    int npe = 16;
+    int bandWidth = 32;
+    int maxLength = 1024;
+};
+
+/** Simulator of the BSW accelerator core. */
+class BswSimulator
+{
+  public:
+    using Kernel = kernels::BandedLocalAffine;
+    using Result = core::AlignResult<Kernel::ScoreT>;
+    using Config = BswConfig;
+
+    explicit BswSimulator(Config cfg = {},
+                          Kernel::Params params = Kernel::defaultParams());
+
+    Result align(const seq::DnaSequence &query,
+                 const seq::DnaSequence &reference);
+
+    uint64_t lastCycles() const;
+
+    static double fmaxMhz() { return 200.0; }
+
+    /** Resource footprint of one BSW array (hand-coded RTL). */
+    static model::DeviceResources blockResources(int npe);
+
+  private:
+    sim::SystolicAligner<Kernel> _engine;
+};
+
+} // namespace dphls::baseline
+
+#endif // DPHLS_BASELINES_BSW_HH

@@ -1,0 +1,76 @@
+#include "baselines/cpu_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "host/scheduler.hh"
+#include "reference/classic.hh"
+#include "seq/read_simulator.hh"
+
+namespace dphls::baseline {
+
+CpuRunResult
+measureCpu(int n, int threads, const std::function<void(int)> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    host::parallelFor(n, threads, fn);
+    const auto t1 = std::chrono::steady_clock::now();
+    CpuRunResult r;
+    r.alignments = n;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.alignsPerSec = r.seconds > 0 ? n / r.seconds : 0;
+    return r;
+}
+
+CpuRunResult
+runDnaCpuBaseline(int kernel_id, int pairs, int length, int threads,
+                  uint64_t seed)
+{
+    seq::ReadSimConfig cfg;
+    cfg.readLength = length;
+    const auto jobs = seq::simulateReadPairs(pairs, cfg, length, seed);
+
+    // sink prevents the optimizer from dropping the scoring loops.
+    std::atomic<int64_t> sink{0};
+    auto body = [&](int i) {
+        const auto &p = jobs[static_cast<size_t>(i)];
+        int64_t s = 0;
+        switch (kernel_id) {
+          case 1: s = ref::classic::nwScore(p.query, p.target, 1, -1, -1);
+            break;
+          case 2:
+            s = ref::classic::gotohScore(p.query, p.target, 2, -3, 4, 1);
+            break;
+          case 3: s = ref::classic::swScore(p.query, p.target, 2, -1, -1);
+            break;
+          case 4:
+            s = ref::classic::swgScore(p.query, p.target, 2, -3, 4, 1);
+            break;
+          case 5:
+            s = ref::classic::twoPieceScore(p.query, p.target, 2, -4, 4, 2,
+                                            13, 1);
+            break;
+          case 6:
+            s = ref::classic::overlapScore(p.query, p.target, 1, -2, -2);
+            break;
+          case 7:
+            s = ref::classic::semiGlobalScore(p.query, p.target, 1, -2, -2);
+            break;
+          case 11:
+            s = ref::classic::bandedNwScore(p.query, p.target, 1, -1, -1,
+                                            64);
+            break;
+          case 12:
+            s = ref::classic::swgScore(p.query, p.target, 2, -3, 4, 1);
+            break;
+          default:
+            throw std::invalid_argument(
+                "no DNA CPU baseline for this kernel id");
+        }
+        sink += s;
+    };
+    return measureCpu(pairs, threads, body);
+}
+
+} // namespace dphls::baseline

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Runnable multithreaded CPU baseline (the "SeqAn3 substitute").
+ *
+ * Complements the iso-cost model in cpu_model.hh with a real measurement
+ * on the local machine: the classic reference implementations executed
+ * across host threads, timed wall-clock, exactly how the paper measures
+ * its CPU baselines (32 threads, wall time of total execution).
+ */
+
+#ifndef DPHLS_BASELINES_CPU_RUNNER_HH
+#define DPHLS_BASELINES_CPU_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace dphls::baseline {
+
+/** Outcome of a timed CPU run. */
+struct CpuRunResult
+{
+    int alignments = 0;
+    double seconds = 0;
+    double alignsPerSec = 0;
+};
+
+/**
+ * Time fn(i) for i in [0, n) across the given number of threads and
+ * report wall-clock throughput.
+ */
+CpuRunResult measureCpu(int n, int threads,
+                        const std::function<void(int)> &fn);
+
+/** Run a DNA kernel's classic CPU implementation over read pairs. */
+CpuRunResult runDnaCpuBaseline(int kernel_id, int pairs, int length,
+                               int threads, uint64_t seed);
+
+} // namespace dphls::baseline
+
+#endif // DPHLS_BASELINES_CPU_RUNNER_HH

@@ -1,0 +1,62 @@
+#include "baselines/gact.hh"
+
+#include "model/resource_model.hh"
+
+namespace dphls::baseline {
+
+namespace {
+
+sim::EngineConfig
+engineConfig(const GactSimulator::Config &cfg)
+{
+    sim::EngineConfig ecfg;
+    ecfg.numPe = cfg.npe;
+    ecfg.maxQueryLength = cfg.maxLength;
+    ecfg.maxReferenceLength = cfg.maxLength;
+    // The defining difference vs. DP-HLS: RTL overlaps sequence load and
+    // init with the previous alignment's compute (paper Section 7.3).
+    ecfg.cycles.overlapLoadInit = true;
+    return ecfg;
+}
+
+} // namespace
+
+GactSimulator::GactSimulator(Config cfg, Kernel::Params params)
+    : _engine(engineConfig(cfg), params), _cfg(cfg)
+{}
+
+GactSimulator::Result
+GactSimulator::align(const seq::DnaSequence &query,
+                     const seq::DnaSequence &reference)
+{
+    return _engine.align(query, reference);
+}
+
+host::TiledAlignment
+GactSimulator::alignLong(const seq::DnaSequence &query,
+                         const seq::DnaSequence &reference)
+{
+    return host::tiledAlign(_engine, query, reference, _cfg.tiling);
+}
+
+uint64_t
+GactSimulator::lastCycles() const
+{
+    return _engine.lastTotalCycles();
+}
+
+model::DeviceResources
+GactSimulator::blockResources(int npe)
+{
+    // Hand-written RTL: slightly leaner datapath than the HLS-generated
+    // array (no generic layer muxing, no traceback-address DSPs), same
+    // traceback storage needs. Factors calibrated to Fig. 4D / Fig. 5B-C.
+    const auto desc = model::kernelHwDesc<Kernel>(256, 256, 0);
+    model::DeviceResources r = model::estimateBlock(desc, npe);
+    r.lut *= 0.90;
+    r.ff *= 0.82;
+    r.dsp = 0;
+    return r;
+}
+
+} // namespace dphls::baseline

@@ -1,0 +1,38 @@
+#include "baselines/gpu_model.hh"
+
+namespace dphls::baseline {
+
+bool
+hasGpuBaseline(int kernel_id)
+{
+    return kernel_id == 2 || kernel_id == 4 || kernel_id == 12 ||
+           kernel_id == 15;
+}
+
+GpuBaseline
+gpuBaselineFor(int kernel_id)
+{
+    switch (kernel_id) {
+      case 2:
+        return {"GASAL2 (GLOBAL)", 32.0};
+      case 4:
+        return {"GASAL2 (LOCAL)", 23.0};
+      case 12:
+        return {"GASAL2 (BSW)", 18.0};
+      case 15:
+        return {"CUDASW++ 4.0", 56.0};
+      default:
+        return {"(none)", 0.0};
+    }
+}
+
+double
+gpuBaselineAlignsPerSec(int kernel_id, double cells_per_alignment)
+{
+    const GpuBaseline b = gpuBaselineFor(kernel_id);
+    if (cells_per_alignment <= 0 || b.gcups <= 0)
+        return 0;
+    return b.gcups * 1e9 / cells_per_alignment;
+}
+
+} // namespace dphls::baseline

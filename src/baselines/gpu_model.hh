@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Iso-cost GPU baseline throughput model (Fig. 6B).
+ *
+ * The paper measures GASAL2 (kernels #2, #4, #12) and CUDASW++ 4.0 (#15,
+ * traceback disabled) on an AWS p3.2xlarge with a Tesla V100 ($3.06/h)
+ * and normalizes throughput by instance cost against the f1.2xlarge
+ * ($1.65/h). Without a GPU, the baselines are modeled as iso-cost GCUPS
+ * derived from the published ratios:
+ *   GASAL2 GLOBAL: 2.85e6/5.8  = 0.49e6 aligns/s at 256x256 -> 32 GCUPS
+ *   GASAL2 LOCAL : 2.71e6/7.6  = 0.36e6                     -> 23 GCUPS
+ *   GASAL2 BSW   : 4.77e6/17.7 = 0.27e6                     -> 18 GCUPS
+ *   CUDASW++ 4.0 : ~0.85e6 (vs. DP-HLS #15 without traceback, 1.41x)
+ *                                                           -> 56 GCUPS
+ */
+
+#ifndef DPHLS_BASELINES_GPU_MODEL_HH
+#define DPHLS_BASELINES_GPU_MODEL_HH
+
+#include <string>
+
+namespace dphls::baseline {
+
+/** A modeled GPU baseline: tool name and iso-cost cell-update rate. */
+struct GpuBaseline
+{
+    std::string tool;
+    double gcups = 0; //!< iso-cost-normalized GCUPS (V100 x 1.65/3.06)
+};
+
+/** The GPU tool the paper benchmarks against the given kernel. */
+GpuBaseline gpuBaselineFor(int kernel_id);
+
+/** Modeled baseline throughput for a workload of the given cell count. */
+double gpuBaselineAlignsPerSec(int kernel_id, double cells_per_alignment);
+
+/** True if the paper has a GPU baseline for this kernel. */
+bool hasGpuBaseline(int kernel_id);
+
+} // namespace dphls::baseline
+
+#endif // DPHLS_BASELINES_GPU_MODEL_HH

@@ -1,0 +1,52 @@
+#include "baselines/squigglefilter.hh"
+
+#include "model/resource_model.hh"
+
+namespace dphls::baseline {
+
+namespace {
+
+sim::EngineConfig
+engineConfig(const SquiggleFilterSimulator::Config &cfg)
+{
+    sim::EngineConfig ecfg;
+    ecfg.numPe = cfg.npe;
+    ecfg.maxQueryLength = cfg.maxQuery;
+    ecfg.maxReferenceLength = cfg.maxReference;
+    ecfg.cycles.overlapLoadInit = true;
+    return ecfg;
+}
+
+} // namespace
+
+SquiggleFilterSimulator::SquiggleFilterSimulator(Config cfg,
+                                                 Kernel::Params params)
+    : _engine(engineConfig(cfg), params)
+{}
+
+SquiggleFilterSimulator::Result
+SquiggleFilterSimulator::align(const seq::SignalSequence &query,
+                               const seq::SignalSequence &reference)
+{
+    return _engine.align(query, reference);
+}
+
+uint64_t
+SquiggleFilterSimulator::lastCycles() const
+{
+    return _engine.lastTotalCycles();
+}
+
+model::DeviceResources
+SquiggleFilterSimulator::blockResources(int npe)
+{
+    // Fig. 4F: comparable utilization, RTL slightly leaner in FF.
+    const auto desc = model::kernelHwDesc<Kernel>(256, 1024, 0);
+    model::DeviceResources r = model::estimateBlock(desc, npe);
+    r.lut *= 0.95;
+    r.ff *= 0.88;
+    r.dsp = 0;
+    return r;
+}
+
+} // namespace dphls::baseline

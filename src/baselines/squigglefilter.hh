@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SquiggleFilter RTL-accelerator simulator (Dunn et al. [57]).
+ *
+ * Compared against DP-HLS kernel #14 (sDTW) in Fig. 4C/F. The paper
+ * removed SquiggleFilter's match-bonus feature to match kernel #14's
+ * plain |q - r| distance; this simulator does the same. Like the other
+ * RTL baselines it overlaps load/init with compute.
+ */
+
+#ifndef DPHLS_BASELINES_SQUIGGLEFILTER_HH
+#define DPHLS_BASELINES_SQUIGGLEFILTER_HH
+
+#include "kernels/sdtw.hh"
+#include "model/device.hh"
+#include "systolic/engine.hh"
+
+namespace dphls::baseline {
+
+/** Configuration of the SquiggleFilter accelerator core. */
+struct SquiggleFilterConfig
+{
+    int npe = 32;
+    int maxQuery = 1024;
+    int maxReference = 4096;
+};
+
+/** Simulator of the SquiggleFilter accelerator core. */
+class SquiggleFilterSimulator
+{
+  public:
+    using Kernel = kernels::Sdtw;
+    using Result = core::AlignResult<Kernel::ScoreT>;
+    using Config = SquiggleFilterConfig;
+
+    explicit SquiggleFilterSimulator(
+        Config cfg = {}, Kernel::Params params = Kernel::defaultParams());
+
+    Result align(const seq::SignalSequence &query,
+                 const seq::SignalSequence &reference);
+
+    uint64_t lastCycles() const;
+
+    static double fmaxMhz() { return 250.0; }
+
+    /** Resource footprint of one SquiggleFilter array. */
+    static model::DeviceResources blockResources(int npe);
+
+  private:
+    sim::SystolicAligner<Kernel> _engine;
+};
+
+} // namespace dphls::baseline
+
+#endif // DPHLS_BASELINES_SQUIGGLEFILTER_HH

@@ -1,0 +1,51 @@
+#include "baselines/vitis_sw.hh"
+
+#include "model/resource_model.hh"
+
+namespace dphls::baseline {
+
+namespace {
+
+sim::EngineConfig
+engineConfig(const VitisSwSimulator::Config &cfg)
+{
+    sim::EngineConfig ecfg;
+    ecfg.numPe = cfg.npe;
+    ecfg.maxQueryLength = cfg.maxLength;
+    ecfg.maxReferenceLength = cfg.maxLength;
+    ecfg.cycles.hostStreamCyclesPerChar = cfg.streamStallPerChar;
+    return ecfg;
+}
+
+} // namespace
+
+VitisSwSimulator::VitisSwSimulator(Config cfg, Kernel::Params params)
+    : _engine(engineConfig(cfg), params)
+{}
+
+VitisSwSimulator::Result
+VitisSwSimulator::align(const seq::DnaSequence &query,
+                        const seq::DnaSequence &reference)
+{
+    return _engine.align(query, reference);
+}
+
+uint64_t
+VitisSwSimulator::lastCycles() const
+{
+    return _engine.lastTotalCycles();
+}
+
+model::DeviceResources
+VitisSwSimulator::blockResources(int npe)
+{
+    // "Slightly higher resource utilization than the baseline but better
+    // throughput" (Section 7.5) — from the baseline's side: ~8% leaner.
+    const auto desc = model::kernelHwDesc<Kernel>(256, 256, 0);
+    model::DeviceResources r = model::estimateBlock(desc, npe);
+    r.lut *= 0.92;
+    r.ff *= 0.93;
+    return r;
+}
+
+} // namespace dphls::baseline

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Vitis Genomics Library Smith-Waterman HLS baseline (Section 7.5).
+ *
+ * AMD's optimized HLS library kernel matches DP-HLS kernel #3. The paper
+ * attributes DP-HLS's 32.6% throughput advantage to (i) the baseline
+ * streaming some data host<->device instead of using device memory and
+ * (ii) weaker compiler optimization hints. This simulator models (i) as a
+ * per-character streaming stall and (ii) shows up as the baseline's
+ * slightly lower resource usage.
+ */
+
+#ifndef DPHLS_BASELINES_VITIS_SW_HH
+#define DPHLS_BASELINES_VITIS_SW_HH
+
+#include "kernels/local_linear.hh"
+#include "model/device.hh"
+#include "systolic/engine.hh"
+
+namespace dphls::baseline {
+
+/** Configuration of the Vitis Genomics Library SW baseline. */
+struct VitisSwConfig
+{
+    int npe = 32;
+    int maxLength = 1024;
+    /** Host-streaming stall per streamed character (Section 7.5). */
+    int streamStallPerChar = 2;
+};
+
+/** Simulator of the Vitis Genomics Library SW kernel. */
+class VitisSwSimulator
+{
+  public:
+    using Kernel = kernels::LocalLinear;
+    using Result = core::AlignResult<Kernel::ScoreT>;
+    using Config = VitisSwConfig;
+
+    explicit VitisSwSimulator(Config cfg = {},
+                              Kernel::Params params = Kernel::defaultParams());
+
+    Result align(const seq::DnaSequence &query,
+                 const seq::DnaSequence &reference);
+
+    uint64_t lastCycles() const;
+
+    /** Library targets 333 MHz but is throughput-bound by streaming. */
+    static double fmaxMhz() { return 250.0; }
+
+    static model::DeviceResources blockResources(int npe);
+
+  private:
+    sim::SystolicAligner<Kernel> _engine;
+};
+
+} // namespace dphls::baseline
+
+#endif // DPHLS_BASELINES_VITIS_SW_HH

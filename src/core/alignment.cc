@@ -1,0 +1,48 @@
+#include "core/alignment.hh"
+
+namespace dphls::core {
+
+char
+alnOpChar(AlnOp op)
+{
+    switch (op) {
+      case AlnOp::Match: return 'M';
+      case AlnOp::Ins: return 'I';
+      case AlnOp::Del: return 'D';
+    }
+    return '?';
+}
+
+int
+pathQuerySpan(const std::vector<AlnOp> &ops)
+{
+    int n = 0;
+    for (auto op : ops) {
+        if (op == AlnOp::Match || op == AlnOp::Ins)
+            n++;
+    }
+    return n;
+}
+
+int
+pathRefSpan(const std::vector<AlnOp> &ops)
+{
+    int n = 0;
+    for (auto op : ops) {
+        if (op == AlnOp::Match || op == AlnOp::Del)
+            n++;
+    }
+    return n;
+}
+
+std::string
+pathString(const std::vector<AlnOp> &ops)
+{
+    std::string s;
+    s.reserve(ops.size());
+    for (auto op : ops)
+        s.push_back(alnOpChar(op));
+    return s;
+}
+
+} // namespace dphls::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Alignment results: operations, coordinates, paths and scores.
+ *
+ * An alignment path is the ordered list of matrix moves recovered by the
+ * traceback walker, expressed as operations over the query/reference pair.
+ */
+
+#ifndef DPHLS_CORE_ALIGNMENT_HH
+#define DPHLS_CORE_ALIGNMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace dphls::core {
+
+/** One alignment operation (CIGAR-style). */
+enum class AlnOp : uint8_t
+{
+    Match,  //!< diagonal move: query char aligned to reference char
+    Ins,    //!< up move: query char aligned to a gap
+    Del,    //!< left move: reference char aligned to a gap
+};
+
+/** One-letter code for an operation ('M', 'I', 'D'). */
+char alnOpChar(AlnOp op);
+
+/** A cell coordinate in the DP matrix (1-based; 0 = init row/column). */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+
+    constexpr bool operator==(const Coord &) const = default;
+};
+
+/**
+ * The outcome of one alignment: optimal score, the cell it was achieved
+ * at, the cell the traceback stopped at, and the path between them in
+ * start-to-end order (empty when the kernel has no traceback).
+ */
+template <typename ScoreT>
+struct AlignResult
+{
+    ScoreT score{};
+    Coord end;                //!< cell of the optimal score
+    Coord start;              //!< cell where the traceback stopped
+    std::vector<AlnOp> ops;   //!< path from start to end
+
+    double
+    scoreAsDouble() const
+    {
+        return ScoreTraits<ScoreT>::toDouble(score);
+    }
+};
+
+/** Count query characters consumed by a path. */
+int pathQuerySpan(const std::vector<AlnOp> &ops);
+
+/** Count reference characters consumed by a path. */
+int pathRefSpan(const std::vector<AlnOp> &ops);
+
+/** Render a path as an ASCII op string ("MMIDM..."). */
+std::string pathString(const std::vector<AlnOp> &ops);
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_ALIGNMENT_HH

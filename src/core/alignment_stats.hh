@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Summary statistics over alignment paths: identity, gap counts,
+ * gap-compressed identity and edit distance — what downstream pipelines
+ * (mappers, polishers, QC reports) compute from the device's traceback
+ * output.
+ */
+
+#ifndef DPHLS_CORE_ALIGNMENT_STATS_HH
+#define DPHLS_CORE_ALIGNMENT_STATS_HH
+
+#include "core/alignment.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::core {
+
+/** Path-level alignment statistics. */
+struct AlignmentStats
+{
+    int matches = 0;      //!< diagonal steps with equal characters
+    int mismatches = 0;   //!< diagonal steps with differing characters
+    int insertions = 0;   //!< query-consuming gap characters
+    int deletions = 0;    //!< reference-consuming gap characters
+    int gapOpens = 0;     //!< maximal gap runs
+    int columns = 0;      //!< total alignment columns
+
+    /** BLAST-style identity: matches / columns. */
+    double
+    identity() const
+    {
+        return columns > 0 ? static_cast<double>(matches) / columns : 0.0;
+    }
+
+    /** Gap-compressed identity: gap runs count once. */
+    double
+    gapCompressedIdentity() const
+    {
+        const int denom = matches + mismatches + gapOpens;
+        return denom > 0 ? static_cast<double>(matches) / denom : 0.0;
+    }
+
+    /** Unit-cost edit distance implied by the path. */
+    int
+    editDistance() const
+    {
+        return mismatches + insertions + deletions;
+    }
+};
+
+/**
+ * Compute statistics for a path over its sequences, starting at the
+ * traceback start cell (1-based coordinates as in AlignResult).
+ */
+template <typename CharT>
+AlignmentStats
+computeStats(const seq::Sequence<CharT> &query,
+             const seq::Sequence<CharT> &reference,
+             const std::vector<AlnOp> &ops, Coord start)
+{
+    AlignmentStats s;
+    int qi = start.row;
+    int rj = start.col;
+    AlnOp prev = AlnOp::Match;
+    for (const auto op : ops) {
+        s.columns++;
+        switch (op) {
+          case AlnOp::Match:
+            if (query[qi] == reference[rj])
+                s.matches++;
+            else
+                s.mismatches++;
+            qi++;
+            rj++;
+            break;
+          case AlnOp::Ins:
+            s.insertions++;
+            if (prev != AlnOp::Ins)
+                s.gapOpens++;
+            qi++;
+            break;
+          case AlnOp::Del:
+            s.deletions++;
+            if (prev != AlnOp::Del)
+                s.gapOpens++;
+            rj++;
+            break;
+        }
+        prev = op;
+    }
+    return s;
+}
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_ALIGNMENT_STATS_HH

@@ -1,0 +1,55 @@
+#include "core/cigar.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dphls::core {
+
+std::string
+toCigar(const std::vector<AlnOp> &ops)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < ops.size()) {
+        size_t j = i;
+        while (j < ops.size() && ops[j] == ops[i])
+            j++;
+        out += std::to_string(j - i);
+        out.push_back(alnOpChar(ops[i]));
+        i = j;
+    }
+    return out;
+}
+
+std::vector<AlnOp>
+fromCigar(const std::string &cigar)
+{
+    std::vector<AlnOp> ops;
+    size_t i = 0;
+    while (i < cigar.size()) {
+        size_t len = 0;
+        if (!std::isdigit(static_cast<unsigned char>(cigar[i])))
+            throw std::invalid_argument("CIGAR: expected digit");
+        while (i < cigar.size() &&
+               std::isdigit(static_cast<unsigned char>(cigar[i]))) {
+            len = len * 10 + static_cast<size_t>(cigar[i] - '0');
+            i++;
+        }
+        if (i >= cigar.size())
+            throw std::invalid_argument("CIGAR: trailing count");
+        AlnOp op;
+        switch (cigar[i]) {
+          case 'M': op = AlnOp::Match; break;
+          case 'I': op = AlnOp::Ins; break;
+          case 'D': op = AlnOp::Del; break;
+          default:
+            throw std::invalid_argument("CIGAR: unknown op");
+        }
+        for (size_t k = 0; k < len; k++)
+            ops.push_back(op);
+        i++;
+    }
+    return ops;
+}
+
+} // namespace dphls::core

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CIGAR string encoding of alignment paths, as produced by standard
+ * aligners (SAM convention: run-length encoded M/I/D operations).
+ */
+
+#ifndef DPHLS_CORE_CIGAR_HH
+#define DPHLS_CORE_CIGAR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/alignment.hh"
+
+namespace dphls::core {
+
+/** Run-length encode a path as a CIGAR string (e.g. "12M1I4M2D"). */
+std::string toCigar(const std::vector<AlnOp> &ops);
+
+/** Parse a CIGAR string back into an op list. Throws on bad input. */
+std::vector<AlnOp> fromCigar(const std::string &cigar);
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_CIGAR_HH

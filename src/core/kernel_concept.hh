@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The DP-HLS kernel specification interface (the framework "front-end").
+ *
+ * A kernel is a plain struct describing everything a user customizes in
+ * the paper's six front-end steps:
+ *
+ *  1. data types & parameters: `CharT`, `ScoreT`, `nLayers`, `Params`,
+ *     `tbPtrBits`, `banded`, max lengths are runtime engine limits;
+ *  2. initialization: `originScore`, `initRowScore`, `initColScore`;
+ *  3. PE function: `peFunc` computing one cell from its three neighbors;
+ *  4. traceback strategy: `alignKind`, `hasTraceback`, `tbStartState`,
+ *     `tbStep` (the FSM transition);
+ *  5. parallelism: NPE/NB/NK live in the engine/device configuration, not
+ *     in the kernel;
+ *  6. host program: see `host/`.
+ *
+ * The back-end (the systolic engine in `systolic/`) consumes any type
+ * satisfying this concept and never needs kernel-specific changes, which
+ * is the paper's central productivity claim.
+ */
+
+#ifndef DPHLS_CORE_KERNEL_CONCEPT_HH
+#define DPHLS_CORE_KERNEL_CONCEPT_HH
+
+#include <array>
+#include <concepts>
+#include <type_traits>
+
+#include "core/types.hh"
+
+namespace dphls::core {
+
+/** Per-cell inputs handed to a kernel's PE function by the back-end. */
+template <typename ScoreT, typename CharT, int NLayers>
+struct PeIn
+{
+    /** Scores of the cell above (i-1, j), one per layer. */
+    std::array<ScoreT, NLayers> up;
+    /** Scores of the cell to the left (i, j-1), one per layer. */
+    std::array<ScoreT, NLayers> left;
+    /** Scores of the diagonal cell (i-1, j-1), one per layer. */
+    std::array<ScoreT, NLayers> diag;
+    /** The i-th query character (paper: lc_qry_val). */
+    CharT qryVal;
+    /** The j-th reference character (paper: lc_ref_val). */
+    CharT refVal;
+    /** 1-based cell coordinates (banded kernels need them). */
+    int row = 0;
+    int col = 0;
+};
+
+/** Per-cell outputs produced by a kernel's PE function. */
+template <typename ScoreT, int NLayers>
+struct PeOut
+{
+    /** Scores written for this cell (paper: wt_scr), one per layer. */
+    std::array<ScoreT, NLayers> score;
+    /** Traceback pointer for this cell (paper: wt_tbp). */
+    TbPtr tbPtr;
+};
+
+/**
+ * Concept satisfied by every DP-HLS kernel specification. See the 15
+ * kernels under `kernels/` for concrete examples.
+ */
+template <typename K>
+concept KernelSpec = requires (
+    const typename K::Params &params,
+    const PeIn<typename K::ScoreT, typename K::CharT, K::nLayers> &in,
+    TbPtr ptr)
+{
+    typename K::CharT;
+    typename K::ScoreT;
+    typename K::Params;
+    { K::kernelId } -> std::convertible_to<int>;
+    { K::name } -> std::convertible_to<const char *>;
+    { K::nLayers } -> std::convertible_to<int>;
+    { K::hasTraceback } -> std::convertible_to<bool>;
+    { K::banded } -> std::convertible_to<bool>;
+    { K::alignKind } -> std::convertible_to<AlignmentKind>;
+    { K::objective } -> std::convertible_to<Objective>;
+    { K::tbPtrBits } -> std::convertible_to<int>;
+    { K::ii } -> std::convertible_to<int>;
+    { K::defaultParams() } -> std::same_as<typename K::Params>;
+    {
+        K::originScore(0, params)
+    } -> std::same_as<typename K::ScoreT>;
+    {
+        K::initRowScore(1, 0, params)
+    } -> std::same_as<typename K::ScoreT>;
+    {
+        K::initColScore(1, 0, params)
+    } -> std::same_as<typename K::ScoreT>;
+    {
+        K::peFunc(in, params)
+    } -> std::same_as<PeOut<typename K::ScoreT, K::nLayers>>;
+    { K::tbStartState } -> std::convertible_to<uint8_t>;
+    { K::tbStep(uint8_t{0}, ptr) } -> std::same_as<TbStep>;
+    { K::peProfile() } -> std::same_as<PeProfile>;
+};
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_KERNEL_CONCEPT_HH

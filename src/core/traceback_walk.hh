@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The traceback finite-state-machine walker (paper Section 5.2).
+ *
+ * The walk logic is shared verbatim between the full-matrix reference
+ * aligner and the systolic engine: only the pointer fetcher differs (full
+ * matrix vs. banked, address-coalesced traceback memory). Start and stop
+ * conditions follow the kernel's AlignmentKind:
+ *
+ *  - Global:     start at (qlen, rlen), stop at (0, 0);
+ *  - Local:      start at the max cell, stop on the FSM's stop pointer;
+ *  - SemiGlobal: start at the best cell of the bottom row, stop at row 0;
+ *  - Overlap:    start at the best cell of the bottom row or right column,
+ *                stop at row 0 or column 0.
+ */
+
+#ifndef DPHLS_CORE_TRACEBACK_WALK_HH
+#define DPHLS_CORE_TRACEBACK_WALK_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "core/alignment.hh"
+#include "core/types.hh"
+
+namespace dphls::core {
+
+/** Result of a traceback walk: path (start-to-end order) and start cell. */
+struct TbWalkResult
+{
+    std::vector<AlnOp> ops;
+    Coord start;
+    int steps = 0; //!< FSM transitions taken (cycle-model input)
+};
+
+/**
+ * Walk the traceback from @p from using kernel @p K's FSM, fetching
+ * per-cell pointers via @p fetch (callable: TbPtr fetch(int row, int col)).
+ */
+template <typename K, typename PtrFetch>
+TbWalkResult
+walkTraceback(Coord from, PtrFetch &&fetch)
+{
+    TbWalkResult out;
+    int i = from.row;
+    int j = from.col;
+    uint8_t state = K::tbStartState;
+
+    // Hard bound: every FSM transition either consumes a matrix cell or
+    // switches layers (at most nLayers-1 consecutive layer switches).
+    const int max_steps = (i + j + 2) * (K::nLayers + 1) + 8;
+
+    while (out.steps < max_steps) {
+        const auto kind = K::alignKind;
+        if (kind == AlignmentKind::Global) {
+            if (i == 0 && j == 0)
+                break;
+            if (i == 0) {
+                out.ops.push_back(AlnOp::Del);
+                out.steps++;
+                j--;
+                continue;
+            }
+            if (j == 0) {
+                out.ops.push_back(AlnOp::Ins);
+                out.steps++;
+                i--;
+                continue;
+            }
+        } else if (kind == AlignmentKind::SemiGlobal) {
+            if (i == 0)
+                break;
+            if (j == 0) {
+                out.ops.push_back(AlnOp::Ins);
+                out.steps++;
+                i--;
+                continue;
+            }
+        } else if (kind == AlignmentKind::Overlap) {
+            if (i == 0 || j == 0)
+                break;
+        } else { // Local
+            if (i == 0 || j == 0)
+                break;
+        }
+
+        const TbPtr ptr = fetch(i, j);
+        const TbStep step = K::tbStep(state, ptr);
+        out.steps++;
+        if (step.stop)
+            break;
+        switch (step.move) {
+          case TbMove::Diag:
+            out.ops.push_back(AlnOp::Match);
+            i--;
+            j--;
+            break;
+          case TbMove::Up:
+            out.ops.push_back(AlnOp::Ins);
+            i--;
+            break;
+          case TbMove::Left:
+            out.ops.push_back(AlnOp::Del);
+            j--;
+            break;
+          case TbMove::None:
+            break;
+        }
+        state = step.nextState;
+    }
+
+    out.start = Coord{i, j};
+    std::reverse(out.ops.begin(), out.ops.end());
+    return out;
+}
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_TRACEBACK_WALK_HH

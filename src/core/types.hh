@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Core vocabulary of the DP-HLS front-end.
+ *
+ * These types are what a kernel author uses to describe a 2-D DP kernel
+ * (paper Section 4): the alignment kind (traceback strategy), the
+ * objective (max for alignment scores, min for DTW distances), traceback
+ * pointers and FSM steps, and the per-PE resource profile consumed by the
+ * analytical hardware model.
+ */
+
+#ifndef DPHLS_CORE_TYPES_HH
+#define DPHLS_CORE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "hls/ap_fixed.hh"
+#include "hls/ap_int.hh"
+
+namespace dphls::core {
+
+/**
+ * Traceback strategy (paper Section 2.2.3). Determines where the
+ * traceback path starts and stops, and which cells the PEs track maxima
+ * over.
+ */
+enum class AlignmentKind : uint8_t
+{
+    Global,     //!< bottom-right cell to top-left cell
+    Local,      //!< max-scoring cell to the first 0-score cell
+    SemiGlobal, //!< max of bottom row to the top row
+    Overlap,    //!< max of bottom row or right column to top row/left column
+};
+
+/** Objective of the recurrence: alignment scores maximize, DTW minimizes. */
+enum class Objective : uint8_t { Maximize, Minimize };
+
+/**
+ * A packed per-cell traceback pointer. The kernel defines the bit layout
+ * (e.g. 2 bits for linear-gap kernels, 4 for affine, 7 for two-piece
+ * affine) and interprets it in its traceback FSM.
+ */
+struct TbPtr
+{
+    uint8_t bits = 0;
+
+    constexpr bool operator==(const TbPtr &) const = default;
+};
+
+/** Canonical pointer values for single-layer (linear-gap) kernels. */
+namespace tb {
+constexpr uint8_t Diag = 0;
+constexpr uint8_t Up = 1;
+constexpr uint8_t Left = 2;
+constexpr uint8_t End = 3;
+} // namespace tb
+
+/** Matrix move emitted by one traceback FSM step. */
+enum class TbMove : uint8_t
+{
+    Diag, //!< to (i-1, j-1): consumes one query and one reference char
+    Up,   //!< to (i-1, j): consumes one query char (insertion)
+    Left, //!< to (i, j-1): consumes one reference char (deletion)
+    None, //!< stay on the same cell (switch scoring layer only)
+};
+
+/**
+ * Result of one traceback FSM transition: the move to apply, the next FSM
+ * state, and whether the walk terminates at this cell (local alignment's
+ * 0-score cell).
+ */
+struct TbStep
+{
+    TbMove move = TbMove::Diag;
+    uint8_t nextState = 0;
+    bool stop = false;
+};
+
+/**
+ * Structural description of one processing element, hand-derived from the
+ * kernel's recurrence equations. The resource and frequency models map
+ * these op counts and widths to LUT/FF/DSP estimates and an fmax tier,
+ * mirroring how the synthesized datapath consumes FPGA resources.
+ */
+struct PeProfile
+{
+    int addSub = 0;          //!< adders/subtractors per cell
+    int maxMin2 = 0;         //!< 2-input max/min (compare + select) per cell
+    int mult = 0;            //!< multipliers per cell
+    int multWidth = 0;       //!< operand width of the multipliers
+    int scoreWidth = 16;     //!< bits per score value
+    int tableLookups = 0;    //!< substitution-table lookups per cell
+    int tableEntries = 0;    //!< entries in the substitution table
+    int critPathLevels = 4;  //!< dependent logic levels through the PE
+    int lutExtra = 0;        //!< kernel-specific datapath overhead (LUTs)
+};
+
+/** Traits abstracting over native and arbitrary-precision score types. */
+template <typename T>
+struct ScoreTraits
+{
+    static constexpr int width = sizeof(T) * 8;
+
+    static constexpr T zero() { return T{0}; }
+    static constexpr T lowest() { return std::numeric_limits<T>::lowest(); }
+    static constexpr T highest() { return std::numeric_limits<T>::max(); }
+    static constexpr T halfLowest()
+    {
+        return static_cast<T>(std::numeric_limits<T>::lowest() / 2);
+    }
+    static constexpr T halfHighest()
+    {
+        return static_cast<T>(std::numeric_limits<T>::max() / 2);
+    }
+    static constexpr double toDouble(T v) { return static_cast<double>(v); }
+};
+
+template <int W, int I>
+struct ScoreTraits<hls::ApFixed<W, I>>
+{
+    using T = hls::ApFixed<W, I>;
+    static constexpr int width = W;
+
+    static constexpr T zero() { return T::fromRaw(0); }
+    static constexpr T lowest() { return T::lowest(); }
+    static constexpr T highest() { return T::highest(); }
+    static constexpr T halfLowest()
+    {
+        return T::fromRaw(T::lowest().raw() / 2);
+    }
+    static constexpr T halfHighest()
+    {
+        return T::fromRaw(T::highest().raw() / 2);
+    }
+    static constexpr double toDouble(T v) { return v.toDouble(); }
+};
+
+template <int W>
+struct ScoreTraits<hls::ApInt<W>>
+{
+    using T = hls::ApInt<W>;
+    static constexpr int width = W;
+
+    static constexpr T zero() { return T(0); }
+    static constexpr T lowest() { return T::lowest(); }
+    static constexpr T highest() { return T::highest(); }
+    static constexpr T halfLowest() { return T(T::lowest().raw() / 2); }
+    static constexpr T halfHighest() { return T(T::highest().raw() / 2); }
+    static constexpr double toDouble(T v)
+    {
+        return static_cast<double>(v.raw());
+    }
+};
+
+/**
+ * A "minus infinity"-like sentinel that still leaves headroom for one
+ * round of additions without wrapping: half of the representable range.
+ */
+template <typename T>
+constexpr T
+scoreSentinelWorst(Objective obj)
+{
+    using Tr = ScoreTraits<T>;
+    return obj == Objective::Maximize ? Tr::halfLowest() : Tr::halfHighest();
+}
+
+/** True if @p a is better than @p b under the objective. */
+template <typename T>
+constexpr bool
+isBetter(Objective obj, T a, T b)
+{
+    return obj == Objective::Maximize ? (a > b) : (a < b);
+}
+
+} // namespace dphls::core
+
+#endif // DPHLS_CORE_TYPES_HH

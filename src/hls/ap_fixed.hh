@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fixed-point type mirroring AMD Vitis HLS `ap_fixed<W, I>` semantics.
+ *
+ * W is the total bit width and I the number of integer bits (including the
+ * sign bit), so there are F = W - I fractional bits. Vitis defaults are
+ * reproduced: quantization AP_TRN (truncate toward minus infinity) and
+ * overflow AP_WRAP (two's-complement wrap-around).
+ *
+ * The DTW kernel (#9) represents complex signal samples as a struct of two
+ * `ApFixed<32, 26>` values, exactly as Listing 1 (right) of the paper.
+ */
+
+#ifndef DPHLS_HLS_AP_FIXED_HH
+#define DPHLS_HLS_AP_FIXED_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "hls/ap_int.hh"
+
+namespace dphls::hls {
+
+/**
+ * Signed fixed-point number with W total bits and I integer bits.
+ *
+ * Internally stores the scaled two's-complement raw value (value * 2^F) in
+ * a 64-bit integer, renormalized to W bits after every operation.
+ */
+template <int W, int I>
+class ApFixed
+{
+    static_assert(W >= 1 && W <= 32,
+                  "ApFixed width limited to 32 so products fit in int64");
+    static_assert(I >= 1 && I <= W, "integer bits must be in [1, W]");
+
+  public:
+    static constexpr int width = W;
+    static constexpr int intBits = I;
+    static constexpr int fracBits = W - I;
+
+    constexpr ApFixed() = default;
+
+    /** Construct from a double, truncating toward minus infinity. */
+    ApFixed(double v)
+        : _raw(normalize(static_cast<int64_t>(
+              std::floor(v * double(uint64_t{1} << fracBits)))))
+    {}
+
+    /** Construct from a native integer value (exact if representable). */
+    constexpr
+    ApFixed(int v)
+        : _raw(normalize(int64_t{v} << fracBits))
+    {}
+
+    /** Build directly from a raw scaled value. */
+    static constexpr ApFixed
+    fromRaw(int64_t raw)
+    {
+        ApFixed f;
+        f._raw = normalize(raw);
+        return f;
+    }
+
+    /** The raw scaled (value * 2^F) representation. */
+    constexpr int64_t raw() const { return _raw; }
+
+    /** Convert back to double (exact: raw / 2^F). */
+    constexpr double
+    toDouble() const
+    {
+        return static_cast<double>(_raw) /
+               static_cast<double>(uint64_t{1} << fracBits);
+    }
+    constexpr explicit operator double() const { return toDouble(); }
+
+    static constexpr ApFixed
+    lowest()
+    {
+        return fromRaw(int64_t{-1} << (W - 1));
+    }
+    static constexpr ApFixed
+    highest()
+    {
+        return fromRaw(static_cast<int64_t>(bitMask(W - 1)));
+    }
+
+    /** Smallest positive increment (1 ulp). */
+    static constexpr ApFixed epsilon() { return fromRaw(1); }
+
+    friend constexpr ApFixed
+    operator+(ApFixed a, ApFixed b)
+    {
+        return fromRaw(a._raw + b._raw);
+    }
+    friend constexpr ApFixed
+    operator-(ApFixed a, ApFixed b)
+    {
+        return fromRaw(a._raw - b._raw);
+    }
+    friend constexpr ApFixed operator-(ApFixed a) { return fromRaw(-a._raw); }
+
+    /**
+     * Fixed-point multiply: the 2F-fractional-bit product is truncated
+     * back to F fractional bits (AP_TRN) and wrapped to W bits (AP_WRAP).
+     */
+    friend constexpr ApFixed
+    operator*(ApFixed a, ApFixed b)
+    {
+        const int64_t prod = a._raw * b._raw;
+        return fromRaw(prod >> fracBits);
+    }
+
+    ApFixed &operator+=(ApFixed o) { return *this = *this + o; }
+    ApFixed &operator-=(ApFixed o) { return *this = *this - o; }
+    ApFixed &operator*=(ApFixed o) { return *this = *this * o; }
+
+    friend constexpr bool
+    operator==(ApFixed a, ApFixed b)
+    {
+        return a._raw == b._raw;
+    }
+    friend constexpr bool
+    operator!=(ApFixed a, ApFixed b)
+    {
+        return a._raw != b._raw;
+    }
+    friend constexpr bool
+    operator<(ApFixed a, ApFixed b)
+    {
+        return a._raw < b._raw;
+    }
+    friend constexpr bool
+    operator<=(ApFixed a, ApFixed b)
+    {
+        return a._raw <= b._raw;
+    }
+    friend constexpr bool
+    operator>(ApFixed a, ApFixed b)
+    {
+        return a._raw > b._raw;
+    }
+    friend constexpr bool
+    operator>=(ApFixed a, ApFixed b)
+    {
+        return a._raw >= b._raw;
+    }
+
+  private:
+    /** Wrap a raw value into W bits (two's complement). */
+    static constexpr int64_t
+    normalize(int64_t raw)
+    {
+        return signExtend(static_cast<uint64_t>(raw), W);
+    }
+
+    int64_t _raw = 0;
+};
+
+/** Absolute value (wraps at lowest(), like hardware). */
+template <int W, int I>
+constexpr ApFixed<W, I>
+abs(ApFixed<W, I> v)
+{
+    return v < ApFixed<W, I>(0) ? -v : v;
+}
+
+} // namespace dphls::hls
+
+#endif // DPHLS_HLS_AP_FIXED_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Arbitrary-precision integer types mirroring AMD Vitis HLS `ap_int` /
+ * `ap_uint` semantics.
+ *
+ * DP-HLS kernels are written against the Vitis arbitrary-precision type
+ * vocabulary; this header provides a portable, self-contained equivalent so
+ * that the same kernel specifications compile off-FPGA. Semantics follow
+ * Vitis defaults: two's-complement storage, wrap-around on overflow
+ * (AP_WRAP), and value-preserving conversion from native integers with
+ * truncation to the declared width.
+ *
+ * Widths up to 64 bits are supported, which covers every kernel in the
+ * paper (the widest type used is the 32-bit fixed-point DTW sample).
+ */
+
+#ifndef DPHLS_HLS_AP_INT_HH
+#define DPHLS_HLS_AP_INT_HH
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace dphls::hls {
+
+/** Bit mask with the low @p w bits set (w in [1, 64]). */
+constexpr uint64_t
+bitMask(int w)
+{
+    return w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+}
+
+/** Sign-extend the low @p w bits of @p v to a full int64_t. */
+constexpr int64_t
+signExtend(uint64_t v, int w)
+{
+    if (w >= 64)
+        return static_cast<int64_t>(v);
+    const uint64_t m = uint64_t{1} << (w - 1);
+    v &= bitMask(w);
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+/**
+ * Signed arbitrary-precision integer of width W (two's complement,
+ * wrap-around overflow). Drop-in stand-in for Vitis `ap_int<W>`.
+ */
+template <int W>
+class ApInt
+{
+    static_assert(W >= 1 && W <= 64, "ApInt width must be in [1, 64]");
+
+  public:
+    static constexpr int width = W;
+
+    constexpr ApInt() = default;
+
+    /** Construct from any native integer, truncating to W bits. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    constexpr
+    ApInt(T v)
+        : _val(signExtend(static_cast<uint64_t>(v), W))
+    {}
+
+    /** Construct from another width, re-truncating. */
+    template <int W2>
+    constexpr explicit
+    ApInt(ApInt<W2> o)
+        : _val(signExtend(static_cast<uint64_t>(o.raw()), W))
+    {}
+
+    /** The numeric value as a native 64-bit integer. */
+    constexpr int64_t raw() const { return _val; }
+
+    constexpr explicit operator int64_t() const { return _val; }
+    constexpr explicit operator int() const { return static_cast<int>(_val); }
+    constexpr explicit operator double() const
+    {
+        return static_cast<double>(_val);
+    }
+
+    /** Smallest representable value. */
+    static constexpr ApInt
+    lowest()
+    {
+        return ApInt(int64_t{-1} << (W - 1));
+    }
+
+    /** Largest representable value. */
+    static constexpr ApInt
+    highest()
+    {
+        return ApInt(static_cast<int64_t>(bitMask(W - 1)));
+    }
+
+    friend constexpr ApInt
+    operator+(ApInt a, ApInt b)
+    {
+        return ApInt(a._val + b._val);
+    }
+    friend constexpr ApInt
+    operator-(ApInt a, ApInt b)
+    {
+        return ApInt(a._val - b._val);
+    }
+    friend constexpr ApInt
+    operator*(ApInt a, ApInt b)
+    {
+        return ApInt(a._val * b._val);
+    }
+    friend constexpr ApInt
+    operator/(ApInt a, ApInt b)
+    {
+        return ApInt(a._val / b._val);
+    }
+    friend constexpr ApInt
+    operator%(ApInt a, ApInt b)
+    {
+        return ApInt(a._val % b._val);
+    }
+    friend constexpr ApInt operator-(ApInt a) { return ApInt(-a._val); }
+
+    friend constexpr ApInt
+    operator&(ApInt a, ApInt b)
+    {
+        return ApInt(a._val & b._val);
+    }
+    friend constexpr ApInt
+    operator|(ApInt a, ApInt b)
+    {
+        return ApInt(a._val | b._val);
+    }
+    friend constexpr ApInt
+    operator^(ApInt a, ApInt b)
+    {
+        return ApInt(a._val ^ b._val);
+    }
+    friend constexpr ApInt
+    operator<<(ApInt a, int s)
+    {
+        return ApInt(a._val << s);
+    }
+    friend constexpr ApInt
+    operator>>(ApInt a, int s)
+    {
+        return ApInt(a._val >> s);
+    }
+
+    ApInt &operator+=(ApInt o) { return *this = *this + o; }
+    ApInt &operator-=(ApInt o) { return *this = *this - o; }
+    ApInt &operator*=(ApInt o) { return *this = *this * o; }
+
+    friend constexpr bool
+    operator==(ApInt a, ApInt b)
+    {
+        return a._val == b._val;
+    }
+    friend constexpr bool
+    operator!=(ApInt a, ApInt b)
+    {
+        return a._val != b._val;
+    }
+    friend constexpr bool
+    operator<(ApInt a, ApInt b)
+    {
+        return a._val < b._val;
+    }
+    friend constexpr bool
+    operator<=(ApInt a, ApInt b)
+    {
+        return a._val <= b._val;
+    }
+    friend constexpr bool
+    operator>(ApInt a, ApInt b)
+    {
+        return a._val > b._val;
+    }
+    friend constexpr bool
+    operator>=(ApInt a, ApInt b)
+    {
+        return a._val >= b._val;
+    }
+
+  private:
+    int64_t _val = 0;
+};
+
+/**
+ * Unsigned arbitrary-precision integer of width W (wrap-around overflow).
+ * Drop-in stand-in for Vitis `ap_uint<W>`.
+ */
+template <int W>
+class ApUInt
+{
+    static_assert(W >= 1 && W <= 64, "ApUInt width must be in [1, 64]");
+
+  public:
+    static constexpr int width = W;
+
+    constexpr ApUInt() = default;
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    constexpr
+    ApUInt(T v)
+        : _val(static_cast<uint64_t>(v) & bitMask(W))
+    {}
+
+    template <int W2>
+    constexpr explicit
+    ApUInt(ApUInt<W2> o)
+        : _val(o.raw() & bitMask(W))
+    {}
+
+    constexpr uint64_t raw() const { return _val; }
+    constexpr explicit operator uint64_t() const { return _val; }
+    constexpr explicit operator int() const { return static_cast<int>(_val); }
+
+    static constexpr ApUInt lowest() { return ApUInt(uint64_t{0}); }
+    static constexpr ApUInt highest() { return ApUInt(bitMask(W)); }
+
+    friend constexpr ApUInt
+    operator+(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val + b._val);
+    }
+    friend constexpr ApUInt
+    operator-(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val - b._val);
+    }
+    friend constexpr ApUInt
+    operator*(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val * b._val);
+    }
+    friend constexpr ApUInt
+    operator/(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val / b._val);
+    }
+    friend constexpr ApUInt
+    operator%(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val % b._val);
+    }
+
+    friend constexpr ApUInt
+    operator&(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val & b._val);
+    }
+    friend constexpr ApUInt
+    operator|(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val | b._val);
+    }
+    friend constexpr ApUInt
+    operator^(ApUInt a, ApUInt b)
+    {
+        return ApUInt(a._val ^ b._val);
+    }
+    friend constexpr ApUInt
+    operator<<(ApUInt a, int s)
+    {
+        return ApUInt(a._val << s);
+    }
+    friend constexpr ApUInt
+    operator>>(ApUInt a, int s)
+    {
+        return ApUInt(a._val >> s);
+    }
+
+    ApUInt &operator+=(ApUInt o) { return *this = *this + o; }
+    ApUInt &operator-=(ApUInt o) { return *this = *this - o; }
+
+    friend constexpr bool
+    operator==(ApUInt a, ApUInt b)
+    {
+        return a._val == b._val;
+    }
+    friend constexpr bool
+    operator!=(ApUInt a, ApUInt b)
+    {
+        return a._val != b._val;
+    }
+    friend constexpr bool
+    operator<(ApUInt a, ApUInt b)
+    {
+        return a._val < b._val;
+    }
+    friend constexpr bool
+    operator<=(ApUInt a, ApUInt b)
+    {
+        return a._val <= b._val;
+    }
+    friend constexpr bool
+    operator>(ApUInt a, ApUInt b)
+    {
+        return a._val > b._val;
+    }
+    friend constexpr bool
+    operator>=(ApUInt a, ApUInt b)
+    {
+        return a._val >= b._val;
+    }
+
+  private:
+    uint64_t _val = 0;
+};
+
+} // namespace dphls::hls
+
+#endif // DPHLS_HLS_AP_INT_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The device-level throughput model: NK channels x NB blocks.
+ *
+ * Paper front-end step 5 exposes three parallelism knobs: NPE (wavefront
+ * parallelism inside one block), NB (blocks sharing one arbiter within a
+ * kernel) and NK (independent kernels, each with its own host channel).
+ * The device processes NB x NK alignments concurrently; the host keeps
+ * the channels fed with batches from NK threads (step 6).
+ *
+ * This model simulates that arrangement: alignments are distributed
+ * round-robin over channels; within a channel a greedy arbiter hands the
+ * next alignment to the earliest-free block. Functional results come from
+ * the cycle-level systolic engine; the makespan in cycles plus the
+ * achieved frequency yields alignments/second, matching the paper's
+ * throughput methodology (Section 6.2).
+ */
+
+#ifndef DPHLS_HOST_DEVICE_MODEL_HH
+#define DPHLS_HOST_DEVICE_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "host/scheduler.hh"
+#include "systolic/engine.hh"
+
+namespace dphls::host {
+
+/** One alignment job: a query/reference pair. */
+template <typename CharT>
+struct AlignmentJob
+{
+    seq::Sequence<CharT> query;
+    seq::Sequence<CharT> reference;
+};
+
+/** Device configuration: parallelism, frequency and engine options. */
+struct DeviceConfig
+{
+    int npe = 32;
+    int nb = 16;
+    int nk = 4;
+    double fmaxMhz = 250.0;
+    int bandWidth = 64;
+    int maxQueryLength = 1024;
+    int maxReferenceLength = 1024;
+    bool skipTraceback = false;
+    sim::CycleModelOptions cycles{};
+    /**
+     * Host/DMA overhead cycles charged per alignment (OpenCL invocation,
+     * batching and PCIe transfers amortized over a batch).
+     */
+    uint64_t hostOverheadCycles = 2000;
+};
+
+/** Aggregate outcome of one batched device run. */
+struct DeviceRunStats
+{
+    uint64_t makespanCycles = 0;   //!< slowest block's busy cycles
+    uint64_t totalCycles = 0;      //!< sum over all alignments
+    double seconds = 0;            //!< makespan / fmax
+    double alignsPerSec = 0;
+    double cyclesPerAlign = 0;     //!< mean per-alignment device cycles
+    int alignments = 0;
+};
+
+/** A simulated DP-HLS device running kernel @p K. */
+template <core::KernelSpec K>
+class DeviceModel
+{
+  public:
+    using CharT = typename K::CharT;
+    using Result = core::AlignResult<typename K::ScoreT>;
+    using Job = AlignmentJob<CharT>;
+
+    explicit DeviceModel(DeviceConfig cfg = {},
+                         typename K::Params params = K::defaultParams())
+        : _cfg(cfg), _params(params)
+    {}
+
+    const DeviceConfig &config() const { return _cfg; }
+
+    /**
+     * Run a batch of jobs; optionally collect per-job results (indexed
+     * like @p jobs).
+     */
+    DeviceRunStats
+    run(const std::vector<Job> &jobs, std::vector<Result> *results = nullptr)
+    {
+        const int n = static_cast<int>(jobs.size());
+        if (results)
+            results->resize(static_cast<size_t>(n));
+
+        std::vector<uint64_t> job_cycles(static_cast<size_t>(n), 0);
+
+        // NK channels run concurrently, each fed by one host thread; the
+        // jobs are distributed round-robin over channels (step 6).
+        std::vector<std::vector<int>> channel_jobs(
+            static_cast<size_t>(_cfg.nk));
+        for (int i = 0; i < n; i++)
+            channel_jobs[static_cast<size_t>(i % _cfg.nk)].push_back(i);
+
+        std::vector<uint64_t> channel_makespan(
+            static_cast<size_t>(_cfg.nk), 0);
+
+        parallelFor(_cfg.nk, _cfg.nk, [&](int ch) {
+            sim::EngineConfig ecfg;
+            ecfg.numPe = _cfg.npe;
+            ecfg.bandWidth = _cfg.bandWidth;
+            ecfg.maxQueryLength = _cfg.maxQueryLength;
+            ecfg.maxReferenceLength = _cfg.maxReferenceLength;
+            ecfg.skipTraceback = _cfg.skipTraceback;
+            ecfg.cycles = _cfg.cycles;
+            sim::SystolicAligner<K> engine(ecfg, _params);
+
+            // Greedy arbiter: next job goes to the earliest-free block.
+            std::vector<uint64_t> block_free(
+                static_cast<size_t>(_cfg.nb), 0);
+            for (int idx : channel_jobs[static_cast<size_t>(ch)]) {
+                const auto &job = jobs[static_cast<size_t>(idx)];
+                Result res = engine.align(job.query, job.reference);
+                const uint64_t cycles =
+                    engine.lastTotalCycles() + _cfg.hostOverheadCycles;
+                job_cycles[static_cast<size_t>(idx)] = cycles;
+                auto it = std::min_element(block_free.begin(),
+                                           block_free.end());
+                *it += cycles;
+                if (results)
+                    (*results)[static_cast<size_t>(idx)] = std::move(res);
+            }
+            channel_makespan[static_cast<size_t>(ch)] = *std::max_element(
+                block_free.begin(), block_free.end());
+        });
+
+        DeviceRunStats stats;
+        stats.alignments = n;
+        for (auto c : job_cycles)
+            stats.totalCycles += c;
+        stats.makespanCycles = *std::max_element(channel_makespan.begin(),
+                                                 channel_makespan.end());
+        stats.seconds =
+            static_cast<double>(stats.makespanCycles) / (_cfg.fmaxMhz * 1e6);
+        stats.alignsPerSec =
+            stats.seconds > 0 ? n / stats.seconds : 0.0;
+        stats.cyclesPerAlign =
+            n > 0 ? static_cast<double>(stats.totalCycles) / n : 0.0;
+        return stats;
+    }
+
+  private:
+    DeviceConfig _cfg;
+    typename K::Params _params;
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_DEVICE_MODEL_HH

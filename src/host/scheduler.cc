@@ -1,0 +1,96 @@
+#include "host/scheduler.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dphls::host {
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    _workers.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock lock(_mutex);
+        _tasks.push(std::move(task));
+    }
+    _cv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(_mutex);
+    _idleCv.wait(lock, [this] { return _tasks.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(_mutex);
+            _cv.wait(lock, [this] { return _stop || !_tasks.empty(); });
+            if (_stop && _tasks.empty())
+                return;
+            task = std::move(_tasks.front());
+            _tasks.pop();
+            _active++;
+        }
+        task();
+        {
+            std::unique_lock lock(_mutex);
+            _active--;
+            if (_tasks.empty() && _active == 0)
+                _idleCv.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(int n, int threads, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+    const int t = std::max(1, std::min(threads, n));
+    if (t == 1) {
+        for (int i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    std::atomic<int> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(t));
+    for (int w = 0; w < t; w++) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const int i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace dphls::host

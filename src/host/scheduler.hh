@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host-side thread pool.
+ *
+ * The paper's host programs use multi-threading to keep the device's NK
+ * independent channels busy (front-end step 6). The device model and the
+ * CPU baseline runner both use this pool to parallelize work across host
+ * threads.
+ */
+
+#ifndef DPHLS_HOST_SCHEDULER_HH
+#define DPHLS_HOST_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dphls::host {
+
+/** A fixed-size thread pool executing enqueued tasks. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+    int threadCount() const { return static_cast<int>(_workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::queue<std::function<void()>> _tasks;
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::condition_variable _idleCv;
+    size_t _active = 0;
+    bool _stop = false;
+};
+
+/**
+ * Run fn(i) for i in [0, n) across the given number of threads; blocks
+ * until all iterations complete.
+ */
+void parallelFor(int n, int threads, const std::function<void(int)> &fn);
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_SCHEDULER_HH

@@ -1,0 +1,30 @@
+#include "host/tiling.hh"
+
+#include <algorithm>
+
+namespace dphls::host {
+
+int
+committedOps(const std::vector<core::AlnOp> &ops, int tile_q, int tile_r,
+             int overlap, bool last_tile)
+{
+    const int n = static_cast<int>(ops.size());
+    if (last_tile || n == 0)
+        return n;
+
+    const int keep_q = std::max(1, tile_q - overlap);
+    const int keep_r = std::max(1, tile_r - overlap);
+    int dq = 0, dr = 0;
+    for (int k = 0; k < n; k++) {
+        const auto op = ops[static_cast<size_t>(k)];
+        if (op != core::AlnOp::Del)
+            dq++;
+        if (op != core::AlnOp::Ins)
+            dr++;
+        if (dq >= keep_q || dr >= keep_r)
+            return k + 1;
+    }
+    return n;
+}
+
+} // namespace dphls::host

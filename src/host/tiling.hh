@@ -1,0 +1,139 @@
+/**
+ * @file
+ * GACT-style tiling for long-read alignment (paper Section 6.2 and
+ * contribution 5).
+ *
+ * The device kernels operate on fixed MAX_QUERY/MAX_REFERENCE windows;
+ * long alignments are handled host-side with the tiling heuristic of
+ * Darwin's GACT [11]: align a TxT tile globally, commit the traceback
+ * path except for the last `overlap` cells, advance the tile origin to
+ * the end of the committed path, repeat. The committed path is provably
+ * independent of sequence length for a fixed tile size, which is what
+ * makes the approach hardware-friendly.
+ */
+
+#ifndef DPHLS_HOST_TILING_HH
+#define DPHLS_HOST_TILING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alignment.hh"
+#include "seq/alphabet.hh"
+#include "systolic/engine.hh"
+
+namespace dphls::host {
+
+/** Tiling parameters (GACT defaults). */
+struct TilingConfig
+{
+    int tileSize = 512;
+    int tileOverlap = 128;
+};
+
+/** Outcome of a tiled long alignment. */
+struct TiledAlignment
+{
+    std::vector<core::AlnOp> ops; //!< full stitched path
+    int tiles = 0;                //!< tiles executed
+    uint64_t totalCycles = 0;     //!< device cycles across all tiles
+};
+
+/**
+ * Truncate a tile's committed path: keep ops until the query or the
+ * reference has consumed (tile - overlap) characters; returns the number
+ * of ops kept (at least one, to guarantee progress).
+ */
+int committedOps(const std::vector<core::AlnOp> &ops, int tile_q,
+                 int tile_r, int overlap, bool last_tile);
+
+/**
+ * Tiled global alignment of a long pair using the given aligner (any
+ * global-strategy kernel engine).
+ */
+template <core::KernelSpec K>
+TiledAlignment
+tiledAlign(sim::SystolicAligner<K> &engine,
+           const seq::Sequence<typename K::CharT> &query,
+           const seq::Sequence<typename K::CharT> &reference,
+           const TilingConfig &cfg)
+{
+    static_assert(K::alignKind == core::AlignmentKind::Global,
+                  "tiling drives a global-strategy kernel per tile");
+    TiledAlignment out;
+    const int qlen = query.length();
+    const int rlen = reference.length();
+    int qi = 0;
+    int rj = 0;
+
+    while (qi < qlen || rj < rlen) {
+        const int tq = std::min(cfg.tileSize, qlen - qi);
+        const int tr = std::min(cfg.tileSize, rlen - rj);
+        seq::Sequence<typename K::CharT> qs, rs;
+        qs.chars.assign(query.chars.begin() + qi,
+                        query.chars.begin() + qi + tq);
+        rs.chars.assign(reference.chars.begin() + rj,
+                        reference.chars.begin() + rj + tr);
+
+        const auto res = engine.align(qs, rs);
+        out.totalCycles += engine.lastTotalCycles();
+        out.tiles++;
+
+        const bool last = tq == qlen - qi && tr == rlen - rj;
+        const int keep =
+            committedOps(res.ops, tq, tr, cfg.tileOverlap, last);
+        int dq = 0, dr = 0;
+        for (int k = 0; k < keep; k++) {
+            const auto op = res.ops[static_cast<size_t>(k)];
+            out.ops.push_back(op);
+            if (op != core::AlnOp::Del)
+                dq++;
+            if (op != core::AlnOp::Ins)
+                dr++;
+        }
+        qi += dq;
+        rj += dr;
+        if (last)
+            break;
+    }
+    return out;
+}
+
+/**
+ * Re-score a stitched global path under affine gap scoring; used to
+ * compare tiled scores against the optimal untiled alignment. Params must
+ * expose match/mismatch/gapOpen/gapExtend.
+ */
+template <typename CharT, typename ParamsT>
+int64_t
+rescoreAffinePath(const seq::Sequence<CharT> &query,
+                  const seq::Sequence<CharT> &reference,
+                  const std::vector<core::AlnOp> &ops, const ParamsT &p)
+{
+    int64_t score = 0;
+    int qi = 0, rj = 0;
+    core::AlnOp prev = core::AlnOp::Match;
+    for (const auto op : ops) {
+        switch (op) {
+          case core::AlnOp::Match:
+            score += query[qi] == reference[rj] ? p.match : p.mismatch;
+            qi++;
+            rj++;
+            break;
+          case core::AlnOp::Ins:
+            score -= (prev == core::AlnOp::Ins) ? p.gapExtend : p.gapOpen;
+            qi++;
+            break;
+          case core::AlnOp::Del:
+            score -= (prev == core::AlnOp::Del) ? p.gapExtend : p.gapOpen;
+            rj++;
+            break;
+        }
+        prev = op;
+    }
+    return score;
+}
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_TILING_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Convenience header pulling in all 15 DP-HLS kernel specifications
+ * (Table 1 of the paper).
+ */
+
+#ifndef DPHLS_KERNELS_ALL_HH
+#define DPHLS_KERNELS_ALL_HH
+
+#include "kernels/banded_global_linear.hh"
+#include "kernels/banded_global_two_piece.hh"
+#include "kernels/banded_local_affine.hh"
+#include "kernels/dtw.hh"
+#include "kernels/global_affine.hh"
+#include "kernels/global_linear.hh"
+#include "kernels/global_two_piece.hh"
+#include "kernels/local_affine.hh"
+#include "kernels/local_linear.hh"
+#include "kernels/overlap.hh"
+#include "kernels/profile_alignment.hh"
+#include "kernels/protein_local.hh"
+#include "kernels/sdtw.hh"
+#include "kernels/semi_global.hh"
+#include "kernels/viterbi.hh"
+
+#endif // DPHLS_KERNELS_ALL_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Kernel #11: Banded Global Linear Alignment.
+ *
+ * Kernel #1 restricted to a fixed band around the main diagonal (paper
+ * Section 2.2.4 and front-end step 1.6): the back-end narrows the
+ * wavefront loop bounds and feeds sentinel scores for out-of-band
+ * neighbors. The extra band-boundary address computation lowers the
+ * achievable clock frequency (Table 2: 166.7 MHz).
+ */
+
+#ifndef DPHLS_KERNELS_BANDED_GLOBAL_LINEAR_HH
+#define DPHLS_KERNELS_BANDED_GLOBAL_LINEAR_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct BandedGlobalLinear
+{
+    static constexpr int kernelId = 11;
+    static constexpr const char *name = "Banded Global Linear";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = true;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 1;
+        ScoreT mismatch = -1;
+        ScoreT linearGap = -1;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+
+    static ScoreT
+    initRowScore(int j, int, const Params &p)
+    {
+        return p.linearGap * j;
+    }
+
+    static ScoreT
+    initColScore(int i, int, const Params &p)
+    {
+        return p.linearGap * i;
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, false);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 4;          // scoring adds + band boundary compare
+        p.maxMin2 = 2;
+        p.scoreWidth = 16;
+        p.critPathLevels = 7;  // band-edge index arithmetic in the path
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_BANDED_GLOBAL_LINEAR_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Kernel #13: Banded Global Two-piece Affine Alignment.
+ *
+ * The minimap2 long-read kernel with both heuristics combined: five
+ * scoring layers, 7-bit traceback pointers and a fixed band. The deep
+ * five-way reduction plus band handling gives the lowest clock tier in
+ * Table 2 (125 MHz).
+ */
+
+#ifndef DPHLS_KERNELS_BANDED_GLOBAL_TWO_PIECE_HH
+#define DPHLS_KERNELS_BANDED_GLOBAL_TWO_PIECE_HH
+
+#include <algorithm>
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct BandedGlobalTwoPiece
+{
+    static constexpr int kernelId = 13;
+    static constexpr const char *name = "Banded Global Two-piece Affine";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 5;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = true;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 7;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 2;
+        ScoreT mismatch = -4;
+        ScoreT gapOpen1 = 4;
+        ScoreT gapExtend1 = 2;
+        ScoreT gapOpen2 = 13;
+        ScoreT gapExtend2 = 1;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT
+    originScore(int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT{0}
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initRowScore(int j, int layer, const Params &p)
+    {
+        const ScoreT g1 = -(p.gapOpen1 + p.gapExtend1 * (j - 1));
+        const ScoreT g2 = -(p.gapOpen2 + p.gapExtend2 * (j - 1));
+        switch (layer) {
+          case 0: return std::max(g1, g2);
+          case 2: return g1;
+          case 4: return g2;
+          default:
+            return core::scoreSentinelWorst<ScoreT>(objective);
+        }
+    }
+
+    static ScoreT
+    initColScore(int i, int layer, const Params &p)
+    {
+        const ScoreT g1 = -(p.gapOpen1 + p.gapExtend1 * (i - 1));
+        const ScoreT g2 = -(p.gapOpen2 + p.gapExtend2 * (i - 1));
+        switch (layer) {
+          case 0: return std::max(g1, g2);
+          case 1: return g1;
+          case 3: return g2;
+          default:
+            return core::scoreSentinelWorst<ScoreT>(objective);
+        }
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::twoPieceCell(
+            in.up, in.left, in.diag, subst, p.gapOpen1, p.gapExtend1,
+            p.gapOpen2, p.gapExtend2, false);
+        return {cell.score, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = detail::TpMM;
+
+    static core::TbStep
+    tbStep(uint8_t state, core::TbPtr ptr)
+    {
+        return detail::twoPieceTbStep(state, ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 10;
+        p.maxMin2 = 8;
+        p.scoreWidth = 16;
+        p.critPathLevels = 11; // deepest reduction + band handling
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_BANDED_GLOBAL_TWO_PIECE_HH

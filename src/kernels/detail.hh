@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Shared recurrence/traceback building blocks for the kernel families.
+ *
+ * The 15 kernels in Table 1 fall into four scoring families (linear gap,
+ * affine gap, two-piece affine gap, DTW-style distance) crossed with the
+ * four traceback strategies. The per-cell arithmetic and the traceback
+ * FSMs of each family are implemented once here; each kernel header then
+ * only configures initialization, alphabet, banding and strategy, exactly
+ * mirroring the "Modifications in DP-HLS" column of Table 1.
+ */
+
+#ifndef DPHLS_KERNELS_DETAIL_HH
+#define DPHLS_KERNELS_DETAIL_HH
+
+#include <array>
+
+#include "core/types.hh"
+
+namespace dphls::kernels::detail {
+
+/**
+ * Traceback pointer layout for the affine family (4 bits, matching the
+ * paper's ap_uint<4> for kernel #2):
+ *   bits[1:0] : source of H  (0 diag, 1 Ix, 2 Iy, 3 end)
+ *   bit[2]    : Ix extends an existing gap (1) or opens from H (0)
+ *   bit[3]    : Iy extends an existing gap (1) or opens from H (0)
+ */
+namespace affine_ptr {
+constexpr uint8_t HDiag = 0;
+constexpr uint8_t HIx = 1;
+constexpr uint8_t HIy = 2;
+constexpr uint8_t HEnd = 3;
+constexpr uint8_t IxExtBit = 1 << 2;
+constexpr uint8_t IyExtBit = 1 << 3;
+} // namespace affine_ptr
+
+/** Affine-family traceback FSM states (paper Listing 3, left). */
+enum AffineState : uint8_t { MM = 0, INS = 1, DEL = 2 };
+
+/**
+ * Traceback pointer layout for the two-piece affine family (7 bits,
+ * matching the paper's ">= 7 bits per pointer" for kernels #5/#13):
+ *   bits[2:0] : source of H (0 diag, 1 Ix, 2 Iy, 3 I'x, 4 I'y, 5 end)
+ *   bit[3..6] : extend flags for Ix, Iy, I'x, I'y respectively
+ */
+namespace two_piece_ptr {
+constexpr uint8_t HDiag = 0;
+constexpr uint8_t HIx = 1;
+constexpr uint8_t HIy = 2;
+constexpr uint8_t HIx2 = 3;
+constexpr uint8_t HIy2 = 4;
+constexpr uint8_t HEnd = 5;
+constexpr uint8_t SrcMask = 0x7;
+constexpr uint8_t IxExtBit = 1 << 3;
+constexpr uint8_t IyExtBit = 1 << 4;
+constexpr uint8_t Ix2ExtBit = 1 << 5;
+constexpr uint8_t Iy2ExtBit = 1 << 6;
+} // namespace two_piece_ptr
+
+/** Two-piece traceback FSM states (paper Listing 3, right). */
+enum TwoPieceState : uint8_t
+{
+    TpMM = 0,
+    TpIns = 1,
+    TpDel = 2,
+    TpLongIns = 3,
+    TpLongDel = 4,
+};
+
+/**
+ * Linear-gap cell update: returns the best of diag+subst / up+gap /
+ * left+gap (optionally clamped at zero for local alignment, writing the
+ * End pointer). Tie-break priority is Diag > Up > Left, the same order
+ * the reference implementations use.
+ */
+template <typename ScoreT>
+struct LinearCell
+{
+    ScoreT score;
+    core::TbPtr ptr;
+};
+
+template <typename ScoreT>
+inline LinearCell<ScoreT>
+linearCell(ScoreT diag, ScoreT up, ScoreT left, ScoreT subst, ScoreT gap,
+           bool clamp_zero)
+{
+    const ScoreT mat = diag + subst;
+    const ScoreT ins = up + gap;
+    const ScoreT del = left + gap;
+    ScoreT best = mat;
+    uint8_t ptr = core::tb::Diag;
+    if (ins > best) {
+        best = ins;
+        ptr = core::tb::Up;
+    }
+    if (del > best) {
+        best = del;
+        ptr = core::tb::Left;
+    }
+    if (clamp_zero && best < ScoreT{0}) {
+        best = ScoreT{0};
+        ptr = core::tb::End;
+    }
+    return {best, core::TbPtr{ptr}};
+}
+
+/** Linear-family traceback FSM: single state, pointer is the move. */
+inline core::TbStep
+linearTbStep(core::TbPtr ptr)
+{
+    core::TbStep s;
+    switch (ptr.bits) {
+      case core::tb::Diag: s.move = core::TbMove::Diag; break;
+      case core::tb::Up: s.move = core::TbMove::Up; break;
+      case core::tb::Left: s.move = core::TbMove::Left; break;
+      default: s.stop = true; break;
+    }
+    return s;
+}
+
+/** Affine-gap cell update (Gotoh): layers [H, Ix, Iy]. */
+template <typename ScoreT>
+struct AffineCell
+{
+    std::array<ScoreT, 3> score;
+    core::TbPtr ptr;
+};
+
+template <typename ScoreT>
+inline AffineCell<ScoreT>
+affineCell(const std::array<ScoreT, 3> &up,
+           const std::array<ScoreT, 3> &left,
+           const std::array<ScoreT, 3> &diag, ScoreT subst, ScoreT open,
+           ScoreT extend, bool clamp_zero)
+{
+    using namespace affine_ptr;
+    uint8_t ptr = 0;
+
+    // Ix: vertical gap (consumes query), from H(i-1,j) or Ix(i-1,j).
+    ScoreT ix = up[0] - open;
+    if (up[1] - extend > ix) {
+        ix = up[1] - extend;
+        ptr |= IxExtBit;
+    }
+    // Iy: horizontal gap (consumes reference).
+    ScoreT iy = left[0] - open;
+    if (left[2] - extend > iy) {
+        iy = left[2] - extend;
+        ptr |= IyExtBit;
+    }
+    // H: best of diagonal continuation and the two gap layers.
+    ScoreT h = diag[0] + subst;
+    uint8_t src = HDiag;
+    if (ix > h) {
+        h = ix;
+        src = HIx;
+    }
+    if (iy > h) {
+        h = iy;
+        src = HIy;
+    }
+    if (clamp_zero && h < ScoreT{0}) {
+        h = ScoreT{0};
+        src = HEnd;
+    }
+    ptr |= src;
+    return {{h, ix, iy}, core::TbPtr{ptr}};
+}
+
+/** Affine-family traceback FSM (states MM / INS / DEL). */
+inline core::TbStep
+affineTbStep(uint8_t state, core::TbPtr ptr)
+{
+    using namespace affine_ptr;
+    core::TbStep s;
+    if (state == MM) {
+        switch (ptr.bits & 0x3) {
+          case HDiag:
+            s.move = core::TbMove::Diag;
+            s.nextState = MM;
+            break;
+          case HIx:
+            s.move = core::TbMove::None;
+            s.nextState = INS;
+            break;
+          case HIy:
+            s.move = core::TbMove::None;
+            s.nextState = DEL;
+            break;
+          default:
+            s.stop = true;
+            break;
+        }
+    } else if (state == INS) {
+        s.move = core::TbMove::Up;
+        s.nextState = (ptr.bits & IxExtBit) ? INS : MM;
+    } else { // DEL
+        s.move = core::TbMove::Left;
+        s.nextState = (ptr.bits & IyExtBit) ? DEL : MM;
+    }
+    return s;
+}
+
+/** Two-piece affine cell update: layers [H, Ix, Iy, I'x, I'y]. */
+template <typename ScoreT>
+struct TwoPieceCell
+{
+    std::array<ScoreT, 5> score;
+    core::TbPtr ptr;
+};
+
+template <typename ScoreT>
+inline TwoPieceCell<ScoreT>
+twoPieceCell(const std::array<ScoreT, 5> &up,
+             const std::array<ScoreT, 5> &left,
+             const std::array<ScoreT, 5> &diag, ScoreT subst, ScoreT open1,
+             ScoreT extend1, ScoreT open2, ScoreT extend2, bool clamp_zero)
+{
+    using namespace two_piece_ptr;
+    uint8_t ptr = 0;
+
+    ScoreT ix = up[0] - open1;
+    if (up[1] - extend1 > ix) {
+        ix = up[1] - extend1;
+        ptr |= IxExtBit;
+    }
+    ScoreT iy = left[0] - open1;
+    if (left[2] - extend1 > iy) {
+        iy = left[2] - extend1;
+        ptr |= IyExtBit;
+    }
+    ScoreT ix2 = up[0] - open2;
+    if (up[3] - extend2 > ix2) {
+        ix2 = up[3] - extend2;
+        ptr |= Ix2ExtBit;
+    }
+    ScoreT iy2 = left[0] - open2;
+    if (left[4] - extend2 > iy2) {
+        iy2 = left[4] - extend2;
+        ptr |= Iy2ExtBit;
+    }
+
+    ScoreT h = diag[0] + subst;
+    uint8_t src = HDiag;
+    if (ix > h) {
+        h = ix;
+        src = HIx;
+    }
+    if (iy > h) {
+        h = iy;
+        src = HIy;
+    }
+    if (ix2 > h) {
+        h = ix2;
+        src = HIx2;
+    }
+    if (iy2 > h) {
+        h = iy2;
+        src = HIy2;
+    }
+    if (clamp_zero && h < ScoreT{0}) {
+        h = ScoreT{0};
+        src = HEnd;
+    }
+    ptr |= src;
+    return {{h, ix, iy, ix2, iy2}, core::TbPtr{ptr}};
+}
+
+/** Two-piece traceback FSM (paper Listing 3, right). */
+inline core::TbStep
+twoPieceTbStep(uint8_t state, core::TbPtr ptr)
+{
+    using namespace two_piece_ptr;
+    core::TbStep s;
+    switch (state) {
+      case TpMM:
+        switch (ptr.bits & SrcMask) {
+          case HDiag:
+            s.move = core::TbMove::Diag;
+            s.nextState = TpMM;
+            break;
+          case HIx:
+            s.move = core::TbMove::None;
+            s.nextState = TpIns;
+            break;
+          case HIy:
+            s.move = core::TbMove::None;
+            s.nextState = TpDel;
+            break;
+          case HIx2:
+            s.move = core::TbMove::None;
+            s.nextState = TpLongIns;
+            break;
+          case HIy2:
+            s.move = core::TbMove::None;
+            s.nextState = TpLongDel;
+            break;
+          default:
+            s.stop = true;
+            break;
+        }
+        break;
+      case TpIns:
+        s.move = core::TbMove::Up;
+        s.nextState = (ptr.bits & IxExtBit) ? TpIns : TpMM;
+        break;
+      case TpDel:
+        s.move = core::TbMove::Left;
+        s.nextState = (ptr.bits & IyExtBit) ? TpDel : TpMM;
+        break;
+      case TpLongIns:
+        s.move = core::TbMove::Up;
+        s.nextState = (ptr.bits & Ix2ExtBit) ? TpLongIns : TpMM;
+        break;
+      default: // TpLongDel
+        s.move = core::TbMove::Left;
+        s.nextState = (ptr.bits & Iy2ExtBit) ? TpLongDel : TpMM;
+        break;
+    }
+    return s;
+}
+
+} // namespace dphls::kernels::detail
+
+#endif // DPHLS_KERNELS_DETAIL_HH

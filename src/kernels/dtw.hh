@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Kernel #9: Dynamic Time Warping over complex-number signals.
+ *
+ * The alphabet is a struct of two 32-bit fixed-point values (paper
+ * Listing 1, right); the recurrence minimizes accumulated squared
+ * Euclidean distance: S(i,j) = dist(Q_i, R_j) + min(S(i-1,j), S(i-1,j-1),
+ * S(i,j-1)). The per-cell multiplications make this kernel DSP-bound
+ * (Fig. 3E: DSP usage scales with NPE).
+ */
+
+#ifndef DPHLS_KERNELS_DTW_HH
+#define DPHLS_KERNELS_DTW_HH
+
+#include "core/kernel_concept.hh"
+#include "hls/ap_fixed.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct Dtw
+{
+    static constexpr int kernelId = 9;
+    static constexpr const char *name = "Dynamic Time Warping";
+
+    using CharT = seq::ComplexSample;
+    using ScoreT = hls::ApFixed<32, 26>;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Minimize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        // DTW has no scoring parameters: the distance is computed from
+        // the samples themselves (paper Section 2.2.2a).
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return ScoreT(0); }
+
+    /** -inf-style init (Fig. 1): only the origin is a valid start. */
+    static ScoreT
+    initRowScore(int, int, const Params &)
+    {
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initColScore(int, int, const Params &)
+    {
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    /** Squared Euclidean distance between two complex samples. */
+    static ScoreT
+    distance(const CharT &a, const CharT &b)
+    {
+        const ScoreT dr = a.real - b.real;
+        const ScoreT di = a.imag - b.imag;
+        return dr * dr + di * di;
+    }
+
+    static Out
+    peFunc(const In &in, const Params &)
+    {
+        const ScoreT d = distance(in.qryVal, in.refVal);
+        // Tie-break priority Diag > Up > Left, mirroring the max kernels.
+        ScoreT best = in.diag[0];
+        uint8_t ptr = core::tb::Diag;
+        if (in.up[0] < best) {
+            best = in.up[0];
+            ptr = core::tb::Up;
+        }
+        if (in.left[0] < best) {
+            best = in.left[0];
+            ptr = core::tb::Left;
+        }
+        return {{best + d}, core::TbPtr{ptr}};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 4;          // two diffs, dist sum, accumulate
+        p.maxMin2 = 2;         // 3-way min
+        p.mult = 2;            // two squarings
+        p.multWidth = 32;
+        p.scoreWidth = 32;
+        p.critPathLevels = 6;  // diff -> square -> add -> min -> min -> add
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_DTW_HH

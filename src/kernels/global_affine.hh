@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Kernel #2: Global Affine Alignment (Gotoh).
+ *
+ * Three scoring layers (H, Ix, Iy) with affine gap penalties; 4-bit
+ * traceback pointers (paper front-end step 1.5) and the MM/INS/DEL FSM of
+ * Listing 3 (left). Compared against the GACT RTL accelerator in Fig. 4/5.
+ */
+
+#ifndef DPHLS_KERNELS_GLOBAL_AFFINE_HH
+#define DPHLS_KERNELS_GLOBAL_AFFINE_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct GlobalAffine
+{
+    static constexpr int kernelId = 2;
+    static constexpr const char *name = "Global Affine (Gotoh)";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 3; //!< H, Ix, Iy
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 4;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 2;
+        ScoreT mismatch = -3;
+        ScoreT gapOpen = 4;   //!< cost of the first gap character
+        ScoreT gapExtend = 1; //!< cost of each further gap character
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT
+    originScore(int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT{0}
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initRowScore(int j, int layer, const Params &p)
+    {
+        const ScoreT gap = -(p.gapOpen + p.gapExtend * (j - 1));
+        if (layer == 0 || layer == 2) // H and Iy carry the horizontal gap
+            return gap;
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initColScore(int i, int layer, const Params &p)
+    {
+        const ScoreT gap = -(p.gapOpen + p.gapExtend * (i - 1));
+        if (layer == 0 || layer == 1) // H and Ix carry the vertical gap
+            return gap;
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::affineCell(
+            in.up, in.left, in.diag, subst, p.gapOpen, p.gapExtend, false);
+        return {cell.score, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = detail::MM;
+
+    static core::TbStep
+    tbStep(uint8_t state, core::TbPtr ptr)
+    {
+        return detail::affineTbStep(state, ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 5;          // 2 (Ix) + 2 (Iy) + 1 (diag+subst)
+        p.maxMin2 = 4;         // Ix max, Iy max, 3-way H max
+        p.scoreWidth = 16;
+        p.critPathLevels = 4;  // sub -> max -> max -> max
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_GLOBAL_AFFINE_HH

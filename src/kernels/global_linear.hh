@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Kernel #1: Global Linear Alignment (Needleman-Wunsch).
+ *
+ * The baseline kernel of Table 1: DNA alphabet, single scoring layer,
+ * linear gap penalty, global traceback. All other kernels are described
+ * in the paper as modifications of this one.
+ */
+
+#ifndef DPHLS_KERNELS_GLOBAL_LINEAR_HH
+#define DPHLS_KERNELS_GLOBAL_LINEAR_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct GlobalLinear
+{
+    static constexpr int kernelId = 1;
+    static constexpr const char *name = "Global Linear (Needleman-Wunsch)";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    /** Paper Listing 2 (left): match/mismatch/linear gap. */
+    struct Params
+    {
+        ScoreT match = 1;
+        ScoreT mismatch = -1;
+        ScoreT linearGap = -1;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+
+    /** Paper Listing 4: multiples of the gap penalty. */
+    static ScoreT
+    initRowScore(int j, int, const Params &p)
+    {
+        return p.linearGap * j;
+    }
+
+    static ScoreT
+    initColScore(int i, int, const Params &p)
+    {
+        return p.linearGap * i;
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, false);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;          // three candidate additions
+        p.maxMin2 = 2;         // 3-way max
+        p.scoreWidth = 16;
+        p.critPathLevels = 3;  // add -> max -> max
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_GLOBAL_LINEAR_HH

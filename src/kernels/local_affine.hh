@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Kernel #4: Local Affine Alignment (Smith-Waterman-Gotoh).
+ *
+ * Affine gap penalties with local traceback; used for whole-genome
+ * alignment (LASTZ-style). Compared against GASAL2's LOCAL mode on GPU.
+ */
+
+#ifndef DPHLS_KERNELS_LOCAL_AFFINE_HH
+#define DPHLS_KERNELS_LOCAL_AFFINE_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct LocalAffine
+{
+    static constexpr int kernelId = 4;
+    static constexpr const char *name =
+        "Local Affine (Smith-Waterman-Gotoh)";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 3;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Local;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 4;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 2;
+        ScoreT mismatch = -3;
+        ScoreT gapOpen = 4;
+        ScoreT gapExtend = 1;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT
+    originScore(int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT{0}
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initRowScore(int, int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT{0}
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    static ScoreT
+    initColScore(int, int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT{0}
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::affineCell(
+            in.up, in.left, in.diag, subst, p.gapOpen, p.gapExtend, true);
+        return {cell.score, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = detail::MM;
+
+    static core::TbStep
+    tbStep(uint8_t state, core::TbPtr ptr)
+    {
+        return detail::affineTbStep(state, ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 5;
+        p.maxMin2 = 5;         // affine maxima plus the zero clamp
+        p.scoreWidth = 16;
+        p.critPathLevels = 4;
+        p.lutExtra = 90;       // max-cell coordinate tracking per PE
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_LOCAL_AFFINE_HH

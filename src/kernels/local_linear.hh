@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Kernel #3: Local Linear Alignment (Smith-Waterman).
+ *
+ * Modifications relative to kernel #1 (Table 1): zero initialization,
+ * score clamped at zero with an End traceback pointer (paper Listing 6),
+ * traceback from the maximum-scoring cell to the first zero-score cell.
+ * Compared against the Vitis Genomics Library HLS baseline in Section 7.5.
+ */
+
+#ifndef DPHLS_KERNELS_LOCAL_LINEAR_HH
+#define DPHLS_KERNELS_LOCAL_LINEAR_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct LocalLinear
+{
+    static constexpr int kernelId = 3;
+    static constexpr const char *name = "Local Linear (Smith-Waterman)";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Local;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 2;
+        ScoreT mismatch = -1;
+        ScoreT linearGap = -1;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+    static ScoreT initRowScore(int, int, const Params &) { return 0; }
+    static ScoreT initColScore(int, int, const Params &) { return 0; }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, true);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;
+        p.maxMin2 = 3;         // 3-way max plus the zero clamp
+        p.scoreWidth = 16;
+        p.critPathLevels = 4;  // add -> max -> max -> clamp
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_LOCAL_LINEAR_HH

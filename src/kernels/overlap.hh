@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Kernel #6: Overlap Alignment.
+ *
+ * Used in genome assembly (CANU/Flye) to match sequence ends: free gaps
+ * before and after either sequence. Zero initialization; traceback starts
+ * at the best cell of the bottom row or rightmost column and ends at the
+ * top row or leftmost column (paper Section 2.2.3).
+ */
+
+#ifndef DPHLS_KERNELS_OVERLAP_HH
+#define DPHLS_KERNELS_OVERLAP_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct Overlap
+{
+    static constexpr int kernelId = 6;
+    static constexpr const char *name = "Overlap Alignment";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Overlap;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 1;
+        ScoreT mismatch = -2;
+        ScoreT linearGap = -2;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+    static ScoreT initRowScore(int, int, const Params &) { return 0; }
+    static ScoreT initColScore(int, int, const Params &) { return 0; }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, false);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;
+        p.maxMin2 = 2;
+        p.scoreWidth = 16;
+        p.critPathLevels = 3;
+        p.lutExtra = 80;       // bottom-row/right-column max tracking
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_OVERLAP_HH

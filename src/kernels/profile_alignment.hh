@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Kernel #8: Profile Alignment (sum-of-pairs scoring).
+ *
+ * Aligns two sequence profiles where each character is a tuple of five
+ * frequencies (A, C, G, T, gap). The substitution score is computed
+ * dynamically per cell as a sum-of-pairs double matrix-vector product
+ * (paper Sections 2.2.1/2.2.2), which is why this kernel dominates DSP
+ * usage in Table 2 and needs an initiation interval of 4.
+ */
+
+#ifndef DPHLS_KERNELS_PROFILE_ALIGNMENT_HH
+#define DPHLS_KERNELS_PROFILE_ALIGNMENT_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct ProfileAlignment
+{
+    static constexpr int kernelId = 8;
+    static constexpr const char *name = "Profile Alignment";
+
+    using CharT = seq::ProfileColumn;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 4; //!< matrix-vector products need 4 cycles
+
+    struct Params
+    {
+        /** Pair scores over {A, C, G, T, gap}. */
+        int8_t pairScore[5][5] = {
+            { 2, -1, -1, -1, -2},
+            {-1,  2, -1, -1, -2},
+            {-1, -1,  2, -1, -2},
+            {-1, -1, -1,  2, -2},
+            {-2, -2, -2, -2,  0},
+        };
+        /** Pairs formed against a gap column (the other family's size). */
+        ScoreT gapScale = 8;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+
+    /** Multiples of the profile-vs-gap penalty, like a linear gap. */
+    static ScoreT
+    initRowScore(int j, int, const Params &p)
+    {
+        return -2 * p.gapScale * p.gapScale * j;
+    }
+
+    static ScoreT
+    initColScore(int i, int, const Params &p)
+    {
+        return -2 * p.gapScale * p.gapScale * i;
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    /** Sum-of-pairs substitution: fq^T * M * fr (two mat-vec products). */
+    static ScoreT
+    sumOfPairs(const CharT &q, const CharT &r, const Params &p)
+    {
+        ScoreT total = 0;
+        for (int a = 0; a < 5; a++) {
+            ScoreT row = 0;
+            for (int b = 0; b < 5; b++) {
+                row += static_cast<ScoreT>(p.pairScore[a][b]) *
+                       static_cast<ScoreT>(r.freq[static_cast<size_t>(b)]);
+            }
+            total += row *
+                     static_cast<ScoreT>(q.freq[static_cast<size_t>(a)]);
+        }
+        return total;
+    }
+
+    /** Score of a profile column paired against an all-gap column. */
+    static ScoreT
+    gapColumnScore(const CharT &col, const Params &p)
+    {
+        ScoreT total = 0;
+        for (int a = 0; a < 5; a++) {
+            total += static_cast<ScoreT>(p.pairScore[a][4]) *
+                     static_cast<ScoreT>(col.freq[static_cast<size_t>(a)]);
+        }
+        return total * p.gapScale;
+    }
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst = sumOfPairs(in.qryVal, in.refVal, p);
+        const ScoreT mat = in.diag[0] + subst;
+        const ScoreT ins = in.up[0] + gapColumnScore(in.qryVal, p);
+        const ScoreT del = in.left[0] + gapColumnScore(in.refVal, p);
+        ScoreT best = mat;
+        uint8_t ptr = core::tb::Diag;
+        if (ins > best) {
+            best = ins;
+            ptr = core::tb::Up;
+        }
+        if (del > best) {
+            best = del;
+            ptr = core::tb::Left;
+        }
+        return {{best}, core::TbPtr{ptr}};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 22;         // post-DSP adds (cascades absorb the rest)
+        p.maxMin2 = 2;
+        p.mult = 30;           // 25 + 5 sum-of-pairs products (gap columns
+                               // fold into the same DSP cascades)
+        p.multWidth = 24;      // frequency x score grows past 18 bits
+        p.scoreWidth = 24;
+        p.tableLookups = 1;
+        p.tableEntries = 25;
+        p.critPathLevels = 8;  // multiply + adder tree (pipelined, II=4)
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_PROFILE_ALIGNMENT_HH

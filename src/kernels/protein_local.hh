@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Kernel #15: Local Linear Alignment with protein sequences.
+ *
+ * Smith-Waterman over the 20-letter amino-acid alphabet with a full
+ * BLOSUM62 substitution matrix (EMBOSS Water / BLASTp style). The 20x20
+ * matrix is what drives this kernel's elevated BRAM usage in Table 2.
+ * Compared against CUDASW++ 4.0 on GPU (traceback disabled for parity).
+ */
+
+#ifndef DPHLS_KERNELS_PROTEIN_LOCAL_HH
+#define DPHLS_KERNELS_PROTEIN_LOCAL_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+#include "seq/substitution_matrix.hh"
+
+namespace dphls::kernels {
+
+struct ProteinLocal
+{
+    static constexpr int kernelId = 15;
+    static constexpr const char *name = "Protein Local Linear (BLOSUM62)";
+
+    using CharT = seq::AminoChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Local;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        seq::ProteinMatrix subst = seq::blosum62();
+        ScoreT linearGap = -4;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+    static ScoreT initRowScore(int, int, const Params &) { return 0; }
+    static ScoreT initColScore(int, int, const Params &) { return 0; }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst = p.subst(in.qryVal.code, in.refVal.code);
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, true);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;
+        p.maxMin2 = 3;
+        p.scoreWidth = 16;
+        p.tableLookups = 1;
+        p.tableEntries = 400;  // 20x20 BLOSUM62
+        p.critPathLevels = 6;  // wide table mux ahead of the adder tree
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_PROTEIN_LOCAL_HH

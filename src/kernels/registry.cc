@@ -1,0 +1,371 @@
+#include "kernels/registry.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "host/device_model.hh"
+#include "kernels/all.hh"
+#include "model/frequency_model.hh"
+#include "seq/profile_builder.hh"
+#include "seq/protein_sampler.hh"
+#include "seq/read_simulator.hh"
+#include "seq/squiggle.hh"
+
+namespace dphls::kernels {
+
+namespace {
+
+/**
+ * Standard workload sizes (Section 6.1): 256-base DNA reads at 30% error,
+ * 256-column profiles, 256-sample complex signals, SquiggleFilter-style
+ * query/reference signals, 256-residue protein pairs.
+ */
+constexpr int dnaLen = 256;
+constexpr int profileCols = 256;
+constexpr int complexLen = 512;
+constexpr int sdtwQueryEvents = 96;
+constexpr int sdtwRefEvents = 320;
+constexpr int proteinMaxLen = 512;
+
+template <typename CharT>
+using Jobs = std::vector<host::AlignmentJob<CharT>>;
+
+/** DNA pairs: simulated reads against their true reference windows. */
+enum class DnaShape { Equal, AsIs, Overlapping, Contained };
+
+Jobs<seq::DnaChar>
+dnaJobs(int count, uint64_t seed, DnaShape shape)
+{
+    Jobs<seq::DnaChar> jobs;
+    jobs.reserve(static_cast<size_t>(count));
+    seq::Rng rng(seed);
+    seq::ReadSimConfig cfg;
+    cfg.readLength = dnaLen;
+
+    if (shape == DnaShape::Overlapping || shape == DnaShape::Contained) {
+        const seq::DnaSequence genome =
+            seq::makeReferenceGenome(dnaLen * 8, rng);
+        for (int i = 0; i < count; i++) {
+            host::AlignmentJob<seq::DnaChar> job;
+            if (shape == DnaShape::Overlapping) {
+                // Query suffix overlaps reference prefix (assembly case).
+                const int start = static_cast<int>(
+                    rng.below(static_cast<uint64_t>(genome.length() -
+                                                    dnaLen * 3 / 2)));
+                std::vector<seq::DnaChar> w1(
+                    genome.chars.begin() + start,
+                    genome.chars.begin() + start + dnaLen);
+                std::vector<seq::DnaChar> w2(
+                    genome.chars.begin() + start + dnaLen / 2,
+                    genome.chars.begin() + start + dnaLen * 3 / 2);
+                job.query = seq::DnaSequence(std::move(w1));
+                job.reference = seq::mutateDna(
+                    seq::DnaSequence(std::move(w2)), 0.05, 0.02, rng);
+                if (job.reference.length() > dnaLen)
+                    job.reference.chars.resize(dnaLen);
+            } else {
+                // Short query contained in a longer reference window.
+                const int start = static_cast<int>(rng.below(
+                    static_cast<uint64_t>(genome.length() - dnaLen)));
+                std::vector<seq::DnaChar> w(
+                    genome.chars.begin() + start,
+                    genome.chars.begin() + start + dnaLen);
+                job.reference = seq::DnaSequence(std::move(w));
+                const int qlen = dnaLen * 3 / 4;
+                const int qstart = static_cast<int>(
+                    rng.below(static_cast<uint64_t>(dnaLen - qlen)));
+                std::vector<seq::DnaChar> qw(
+                    job.reference.chars.begin() + qstart,
+                    job.reference.chars.begin() + qstart + qlen);
+                job.query = seq::mutateDna(
+                    seq::DnaSequence(std::move(qw)), 0.1, 0.05, rng);
+                if (job.query.length() > dnaLen)
+                    job.query.chars.resize(dnaLen);
+            }
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    }
+
+    auto pairs = seq::simulateReadPairs(count, cfg, dnaLen, seed);
+    for (auto &p : pairs) {
+        host::AlignmentJob<seq::DnaChar> job;
+        job.query = std::move(p.query);
+        job.reference = std::move(p.target);
+        if (shape == DnaShape::Equal) {
+            // Global kernels (and banded ones in particular) work on
+            // equal-length pairs so the end cell stays inside the band.
+            const int len =
+                std::min(job.query.length(), job.reference.length());
+            job.query.chars.resize(static_cast<size_t>(len));
+            job.reference.chars.resize(static_cast<size_t>(len));
+        }
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+Jobs<seq::ProfileColumn>
+profileJobs(int count, uint64_t seed)
+{
+    Jobs<seq::ProfileColumn> jobs;
+    auto pairs = seq::sampleProfilePairs(count, profileCols, seed);
+    for (auto &p : pairs)
+        jobs.push_back({std::move(p.first), std::move(p.second)});
+    return jobs;
+}
+
+Jobs<seq::ComplexSample>
+complexJobs(int count, uint64_t seed)
+{
+    Jobs<seq::ComplexSample> jobs;
+    seq::Rng rng(seed);
+    for (int i = 0; i < count; i++) {
+        auto a = seq::randomComplexSignal(complexLen, rng);
+        auto b = seq::warpComplexSignal(a, 0.15, 0.4, rng);
+        if (b.length() > complexLen)
+            b.chars.resize(static_cast<size_t>(complexLen));
+        jobs.push_back({std::move(b), std::move(a)});
+    }
+    return jobs;
+}
+
+Jobs<seq::SignalSample>
+signalJobs(int count, uint64_t seed)
+{
+    Jobs<seq::SignalSample> jobs;
+    auto pairs =
+        seq::sampleSquigglePairs(count, sdtwRefEvents, sdtwQueryEvents, seed);
+    for (auto &p : pairs) {
+        if (p.query.length() > sdtwQueryEvents * 2) {
+            p.query.chars.resize(
+                static_cast<size_t>(sdtwQueryEvents * 2));
+        }
+        jobs.push_back({std::move(p.query), std::move(p.reference)});
+    }
+    return jobs;
+}
+
+Jobs<seq::AminoChar>
+proteinJobs(int count, uint64_t seed)
+{
+    // Lengths sampled from the Swiss-Prot-like log-normal (clamped to
+    // the device maximum): the baseline tools pay for E[len^2], which is
+    // much larger than (E[len])^2 for log-normal lengths.
+    Jobs<seq::AminoChar> jobs;
+    seq::Rng rng(seed);
+    for (int i = 0; i < count; i++) {
+        const int len = seq::sampleProteinLength(rng, 64, proteinMaxLen);
+        host::AlignmentJob<seq::AminoChar> job;
+        job.reference = seq::sampleProtein(len, rng);
+        job.query = seq::mutateProtein(job.reference, 0.15, 0.04, rng);
+        if (job.query.length() > proteinMaxLen)
+            job.query.chars.resize(proteinMaxLen);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+/** Build the type-erased runner for kernel K over a job generator. */
+template <typename K, typename MakeJobs>
+std::function<RunResult(const RunConfig &)>
+makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
+{
+    const double fmax = model::kernelFrequencyMhz<K>();
+    return [=](const RunConfig &rc) {
+        auto jobs = make_jobs(rc.count, rc.seed);
+        double cells = 0;
+        for (const auto &j : jobs) {
+            cells += static_cast<double>(j.query.length()) *
+                     j.reference.length();
+        }
+        cells /= jobs.empty() ? 1 : static_cast<double>(jobs.size());
+
+        host::DeviceConfig dc;
+        dc.npe = rc.npe;
+        dc.nb = rc.nb;
+        dc.nk = rc.nk;
+        dc.fmaxMhz = fmax;
+        dc.bandWidth = band_width;
+        dc.maxQueryLength = max_q;
+        dc.maxReferenceLength = max_r;
+        dc.skipTraceback = rc.skipTraceback;
+        dc.hostOverheadCycles = rc.hostOverheadCycles;
+        host::DeviceModel<K> device(dc);
+        const auto stats = device.run(jobs);
+
+        RunResult out;
+        out.alignsPerSec = stats.alignsPerSec;
+        out.cyclesPerAlign = stats.cyclesPerAlign;
+        out.fmaxMhz = fmax;
+        out.cellsPerAlign = cells;
+        return out;
+    };
+}
+
+template <typename K>
+KernelEntry
+makeEntry(const char *alphabet, PaperRow paper, int char_bits, int dsp_fixed,
+          int band_width, int max_q, int max_r,
+          std::function<RunResult(const RunConfig &)> run)
+{
+    KernelEntry e;
+    e.id = K::kernelId;
+    e.name = K::name;
+    e.alphabet = alphabet;
+    e.nLayers = K::nLayers;
+    e.tbPtrBits = K::tbPtrBits;
+    e.banded = K::banded;
+    e.hasTraceback = K::hasTraceback;
+    e.bandWidth = band_width;
+    e.paper = paper;
+    e.fmaxMhz = model::kernelFrequencyMhz<K>();
+    e.hw = model::kernelHwDesc<K>(max_q, max_r, dsp_fixed);
+    e.hw.charBits = char_bits;
+    e.run = std::move(run);
+    return e;
+}
+
+std::vector<KernelEntry>
+buildRegistry()
+{
+    std::vector<KernelEntry> v;
+
+    // Paper Table 2 rows: LUT%, FF%, BRAM%, DSP%, (NPE, NB, NK), fmax,
+    // alignments/sec.
+    v.push_back(makeEntry<GlobalLinear>(
+        "DNA", {0.72, 0.42, 1.78, 0.029, 64, 16, 4, 250.0, 3.51e6}, 2, 2, 0,
+        dnaLen, dnaLen,
+        makeRunner<GlobalLinear>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<GlobalAffine>(
+        "DNA", {1.30, 0.517, 1.78, 0.029, 32, 16, 4, 250.0, 2.85e6}, 2, 2, 0,
+        dnaLen, dnaLen,
+        makeRunner<GlobalAffine>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<LocalLinear>(
+        "DNA", {0.95, 0.63, 1.67, 0.014, 32, 16, 5, 250.0, 3.43e6}, 2, 1, 0,
+        dnaLen, dnaLen,
+        makeRunner<LocalLinear>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::AsIs); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<LocalAffine>(
+        "DNA", {1.60, 0.75, 1.67, 0.014, 32, 16, 4, 250.0, 2.71e6}, 2, 1, 0,
+        dnaLen, dnaLen,
+        makeRunner<LocalAffine>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::AsIs); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<GlobalTwoPiece>(
+        "DNA", {2.03, 0.65, 2.67, 0.029, 32, 8, 5, 150.0, 1.06e6}, 2, 2, 0,
+        dnaLen, dnaLen,
+        makeRunner<GlobalTwoPiece>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<Overlap>(
+        "DNA", {0.98, 0.66, 1.67, 0.014, 32, 16, 4, 250.0, 2.73e6}, 2, 1, 0,
+        dnaLen, dnaLen,
+        makeRunner<Overlap>(
+            [](int n, uint64_t s) {
+                return dnaJobs(n, s, DnaShape::Overlapping);
+            },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<SemiGlobal>(
+        "DNA", {1.17, 0.67, 0.83, 0.014, 32, 16, 4, 250.0, 3.34e6}, 2, 1, 0,
+        dnaLen, dnaLen,
+        makeRunner<SemiGlobal>(
+            [](int n, uint64_t s) {
+                return dnaJobs(n, s, DnaShape::Contained);
+            },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<ProfileAlignment>(
+        "Seq. Profiles", {3.66, 2.56, 2.56, 28.11, 16, 1, 5, 166.7, 3.70e4},
+        80, 2, 0, profileCols, profileCols,
+        makeRunner<ProfileAlignment>(
+            [](int n, uint64_t s) { return profileJobs(n, s); }, 0,
+            profileCols, profileCols)));
+
+    v.push_back(makeEntry<Dtw>(
+        "Complex Nos.", {1.62, 1.55, 1.88, 2.84, 64, 4, 3, 200.0, 2.31e5},
+        64, 2, 0, complexLen, complexLen,
+        makeRunner<Dtw>(
+            [](int n, uint64_t s) { return complexJobs(n, s); }, 0,
+            complexLen, complexLen)));
+
+    v.push_back(makeEntry<Viterbi>(
+        "DNA", {3.78, 1.69, 1.67, 0.014, 16, 4, 7, 125.0, 4.90e5}, 2, 1, 0,
+        dnaLen, dnaLen,
+        makeRunner<Viterbi>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            0, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<BandedGlobalLinear>(
+        "DNA", {1.02, 0.40, 0.94, 0.029, 64, 8, 7, 166.7, 2.25e6}, 2, 2, 64,
+        dnaLen, dnaLen,
+        makeRunner<BandedGlobalLinear>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            64, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<BandedLocalAffine>(
+        "DNA", {1.44, 0.70, 0.57, 0.014, 16, 16, 7, 200.0, 4.77e6}, 2, 1, 32,
+        dnaLen, dnaLen,
+        makeRunner<BandedLocalAffine>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::AsIs); },
+            32, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<BandedGlobalTwoPiece>(
+        "DNA", {2.25, 0.69, 1.83, 0.029, 16, 8, 7, 125.0, 1.24e6}, 2, 2, 64,
+        dnaLen, dnaLen,
+        makeRunner<BandedGlobalTwoPiece>(
+            [](int n, uint64_t s) { return dnaJobs(n, s, DnaShape::Equal); },
+            64, dnaLen, dnaLen)));
+
+    v.push_back(makeEntry<Sdtw>(
+        "Integers", {1.22, 0.76, 0.57, 0.014, 32, 16, 5, 250.0, 5.16e6}, 16,
+        1, 0, sdtwQueryEvents * 2, sdtwRefEvents,
+        makeRunner<Sdtw>(
+            [](int n, uint64_t s) { return signalJobs(n, s); }, 0,
+            sdtwQueryEvents * 2, sdtwRefEvents)));
+
+    v.push_back(makeEntry<ProteinLocal>(
+        "Amino acids", {1.47, 0.95, 2.56, 0.014, 32, 8, 5, 200.0, 9.33e5},
+        5, 1, 0, proteinMaxLen, proteinMaxLen,
+        makeRunner<ProteinLocal>(
+            [](int n, uint64_t s) { return proteinJobs(n, s); }, 0,
+            proteinMaxLen, proteinMaxLen)));
+
+    std::sort(v.begin(), v.end(),
+              [](const KernelEntry &a, const KernelEntry &b) {
+                  return a.id < b.id;
+              });
+    return v;
+}
+
+} // namespace
+
+const std::vector<KernelEntry> &
+registry()
+{
+    static const std::vector<KernelEntry> r = buildRegistry();
+    return r;
+}
+
+const KernelEntry &
+kernelById(int id)
+{
+    for (const auto &e : registry()) {
+        if (e.id == id)
+            return e;
+    }
+    throw std::out_of_range("unknown kernel id");
+}
+
+} // namespace dphls::kernels

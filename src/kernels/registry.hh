@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Runtime registry of the 15 DP-HLS kernels.
+ *
+ * Couples each kernel specification with (i) the paper's published
+ * Table 2 row (resource %, optimal NPE/NB/NK, achieved frequency,
+ * throughput) for side-by-side reporting, (ii) its hardware-model
+ * descriptor and frequency tier, and (iii) a type-erased runner that
+ * generates the kernel's standard workload (Section 6.1) and executes it
+ * on the simulated device. The benches regenerate every table and figure
+ * through this registry.
+ */
+
+#ifndef DPHLS_KERNELS_REGISTRY_HH
+#define DPHLS_KERNELS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/resource_model.hh"
+
+namespace dphls::kernels {
+
+/** One row of the paper's Table 2 (utilization for a 32-PE block). */
+struct PaperRow
+{
+    double lutPct = 0;
+    double ffPct = 0;
+    double bramPct = 0;
+    double dspPct = 0;
+    int npe = 32;
+    int nb = 1;
+    int nk = 1;
+    double fmaxMhz = 250.0;
+    double alignsPerSec = 0;
+};
+
+/** Runner configuration (parallelism and workload size). */
+struct RunConfig
+{
+    int npe = 32;
+    int nb = 16;
+    int nk = 4;
+    int count = 64;                 //!< alignments to simulate
+    uint64_t seed = 42;
+    bool skipTraceback = false;
+    uint64_t hostOverheadCycles = 2000;
+};
+
+/** Outcome of one simulated device run on the standard workload. */
+struct RunResult
+{
+    double alignsPerSec = 0;
+    double cyclesPerAlign = 0;
+    double fmaxMhz = 0;
+    double cellsPerAlign = 0; //!< mean full-matrix cells (for GCUPS)
+};
+
+/** Registry entry for one kernel. */
+struct KernelEntry
+{
+    int id = 0;
+    std::string name;
+    std::string alphabet;
+    int nLayers = 1;
+    int tbPtrBits = 2;
+    bool banded = false;
+    bool hasTraceback = true;
+    int bandWidth = 0;              //!< standard band for banded kernels
+    PaperRow paper;
+    double fmaxMhz = 250.0;         //!< from the frequency model
+    model::KernelHwDesc hw;         //!< at the standard workload maxima
+    std::function<RunResult(const RunConfig &)> run;
+};
+
+/** All 15 kernels, ordered by id. */
+const std::vector<KernelEntry> &registry();
+
+/** Lookup by kernel id (throws if unknown). */
+const KernelEntry &kernelById(int id);
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_REGISTRY_HH

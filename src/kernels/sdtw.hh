@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Kernel #14: Semi-global Dynamic Time Warping (sDTW) over integer
+ * signals, SquiggleFilter-style.
+ *
+ * The query (a raw nanopore read signal) must be consumed end-to-end but
+ * may start anywhere along the reference signal: the top row is
+ * initialized to zero and the result is the minimum of the bottom row.
+ * Score-only (no traceback), absolute-difference distance. Compared
+ * against the SquiggleFilter RTL accelerator in Fig. 4C/F (with its
+ * match-bonus feature removed, as in the paper).
+ */
+
+#ifndef DPHLS_KERNELS_SDTW_HH
+#define DPHLS_KERNELS_SDTW_HH
+
+#include <cstdlib>
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct Sdtw
+{
+    static constexpr int kernelId = 14;
+    static constexpr const char *name = "Semi-global DTW (sDTW)";
+
+    using CharT = seq::SignalSample;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = false;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::SemiGlobal;
+    static constexpr core::Objective objective = core::Objective::Minimize;
+    static constexpr int tbPtrBits = 0;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        // Distance is |q - r|; no tunable parameters (match-bonus removed
+        // to mirror the paper's SquiggleFilter comparison).
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+
+    /** Free start anywhere along the reference: zero top row. */
+    static ScoreT initRowScore(int, int, const Params &) { return 0; }
+
+    /** The query cannot be skipped: sentinel left column. */
+    static ScoreT
+    initColScore(int, int, const Params &)
+    {
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &)
+    {
+        const ScoreT d = std::abs(
+            static_cast<ScoreT>(in.qryVal.value) -
+            static_cast<ScoreT>(in.refVal.value));
+        ScoreT best = in.diag[0];
+        uint8_t ptr = core::tb::Diag;
+        if (in.up[0] < best) {
+            best = in.up[0];
+            ptr = core::tb::Up;
+        }
+        if (in.left[0] < best) {
+            best = in.left[0];
+            ptr = core::tb::Left;
+        }
+        return {{best + d}, core::TbPtr{ptr}};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;          // diff, abs, accumulate
+        p.maxMin2 = 2;         // 3-way min
+        p.scoreWidth = 24;
+        p.critPathLevels = 4;
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_SDTW_HH

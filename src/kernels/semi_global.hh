@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Kernel #7: Semi-global Alignment.
+ *
+ * Matches the query end-to-end against a subsequence of the reference
+ * (BWA-MEM-style short-read alignment): the reference prefix is free
+ * (zero-initialized top row), query gaps are penalized, traceback runs
+ * from the best cell of the bottom row to the top row.
+ */
+
+#ifndef DPHLS_KERNELS_SEMI_GLOBAL_HH
+#define DPHLS_KERNELS_SEMI_GLOBAL_HH
+
+#include "core/kernel_concept.hh"
+#include "kernels/detail.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct SemiGlobal
+{
+    static constexpr int kernelId = 7;
+    static constexpr const char *name = "Semi-global Alignment";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = int32_t;
+
+    static constexpr int nLayers = 1;
+    static constexpr bool hasTraceback = true;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::SemiGlobal;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 2;
+    static constexpr int ii = 1;
+
+    struct Params
+    {
+        ScoreT match = 1;
+        ScoreT mismatch = -2;
+        ScoreT linearGap = -2;
+    };
+
+    static Params defaultParams() { return {}; }
+
+    static ScoreT originScore(int, const Params &) { return 0; }
+
+    /** The reference prefix is free: zero top row. */
+    static ScoreT initRowScore(int, int, const Params &) { return 0; }
+
+    /** Query gaps at the start are penalized. */
+    static ScoreT
+    initColScore(int i, int, const Params &p)
+    {
+        return p.linearGap * i;
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const ScoreT subst =
+            in.qryVal == in.refVal ? p.match : p.mismatch;
+        const auto cell = detail::linearCell(
+            in.diag[0], in.up[0], in.left[0], subst, p.linearGap, false);
+        return {{cell.score}, cell.ptr};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr ptr)
+    {
+        return detail::linearTbStep(ptr);
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 3;
+        p.maxMin2 = 2;
+        p.scoreWidth = 16;
+        p.critPathLevels = 3;
+        p.lutExtra = 130;      // bottom-row max tracking and start logic
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_SEMI_GLOBAL_HH

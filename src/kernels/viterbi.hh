@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Kernel #10: Viterbi Algorithm (Pair-HMM) in log space.
+ *
+ * Three layers track the most likely path probability ending in the
+ * Match, Insert and Delete hidden states (paper Fig. 1, Viterbi panel).
+ * Probabilities are kept as fixed-point log values so the per-cell
+ * products become additions, matching the paper's log_mu/log_lambda
+ * parameters (Listing 2, right) plus a 5x5 emission matrix. No traceback
+ * (Table 1). The reported score is the Match-state log probability of the
+ * bottom-right cell.
+ */
+
+#ifndef DPHLS_KERNELS_VITERBI_HH
+#define DPHLS_KERNELS_VITERBI_HH
+
+#include <cmath>
+
+#include "core/kernel_concept.hh"
+#include "hls/ap_fixed.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::kernels {
+
+struct Viterbi
+{
+    static constexpr int kernelId = 10;
+    static constexpr const char *name = "Viterbi (Pair-HMM)";
+
+    using CharT = seq::DnaChar;
+    using ScoreT = hls::ApFixed<32, 14>;
+
+    static constexpr int nLayers = 3; //!< VM, VI, VJ
+    static constexpr bool hasTraceback = false;
+    static constexpr bool banded = false;
+    static constexpr core::AlignmentKind alignKind =
+        core::AlignmentKind::Global;
+    static constexpr core::Objective objective = core::Objective::Maximize;
+    static constexpr int tbPtrBits = 0;
+    static constexpr int ii = 1;
+
+    /** Log-space HMM parameters (27 values, paper front-end step 1.3). */
+    struct Params
+    {
+        ScoreT logDelta{0};      //!< log d: gap-open transition
+        ScoreT logEpsilon{0};    //!< log e: gap-extend transition
+        ScoreT log1M2Delta{0};   //!< log (1 - 2d)
+        ScoreT log1MEpsilon{0};  //!< log (1 - e)
+        ScoreT logEmission[5][5]{}; //!< M-state emissions over {A,C,G,T,-}
+        ScoreT logQ[5]{};        //!< I/J-state emissions
+    };
+
+    static Params
+    defaultParams()
+    {
+        Params p;
+        const double delta = 0.1;
+        const double epsilon = 0.3;
+        p.logDelta = ScoreT(std::log(delta));
+        p.logEpsilon = ScoreT(std::log(epsilon));
+        p.log1M2Delta = ScoreT(std::log(1.0 - 2.0 * delta));
+        p.log1MEpsilon = ScoreT(std::log(1.0 - epsilon));
+        const double p_match = 0.22;
+        const double p_mismatch = 0.01;
+        for (int a = 0; a < 5; a++) {
+            for (int b = 0; b < 5; b++) {
+                p.logEmission[a][b] =
+                    ScoreT(std::log(a == b ? p_match : p_mismatch));
+            }
+            p.logQ[a] = ScoreT(std::log(0.25));
+        }
+        return p;
+    }
+
+    static ScoreT
+    originScore(int layer, const Params &)
+    {
+        return layer == 0
+            ? ScoreT(0)
+            : core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    /** Top row: only the J (reference-gap) state is reachable. */
+    static ScoreT
+    initRowScore(int j, int layer, const Params &p)
+    {
+        if (layer == 2) {
+            return p.logDelta +
+                   ScoreT::fromRaw(p.logEpsilon.raw() * (j - 1)) +
+                   ScoreT::fromRaw(p.logQ[0].raw() * j);
+        }
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    /** Left column: only the I (query-gap) state is reachable. */
+    static ScoreT
+    initColScore(int i, int layer, const Params &p)
+    {
+        if (layer == 1) {
+            return p.logDelta +
+                   ScoreT::fromRaw(p.logEpsilon.raw() * (i - 1)) +
+                   ScoreT::fromRaw(p.logQ[0].raw() * i);
+        }
+        return core::scoreSentinelWorst<ScoreT>(objective);
+    }
+
+    using In = core::PeIn<ScoreT, CharT, nLayers>;
+    using Out = core::PeOut<ScoreT, nLayers>;
+
+    static Out
+    peFunc(const In &in, const Params &p)
+    {
+        const int x = in.qryVal.code;
+        const int y = in.refVal.code;
+
+        // VM(i,j) = e(x,y) + max((1-2d)VM, (1-e)VI, (1-e)VJ) at (i-1,j-1).
+        ScoreT vm = p.log1M2Delta + in.diag[0];
+        const ScoreT vi_d = p.log1MEpsilon + in.diag[1];
+        const ScoreT vj_d = p.log1MEpsilon + in.diag[2];
+        if (vi_d > vm)
+            vm = vi_d;
+        if (vj_d > vm)
+            vm = vj_d;
+        vm += p.logEmission[x][y];
+
+        // VI(i,j) = q(x) + max(d VM, e VI) at (i-1,j).
+        ScoreT vi = p.logDelta + in.up[0];
+        const ScoreT vi_e = p.logEpsilon + in.up[1];
+        if (vi_e > vi)
+            vi = vi_e;
+        vi += p.logQ[x];
+
+        // VJ(i,j) = q(y) + max(d VM, e VJ) at (i,j-1).
+        ScoreT vj = p.logDelta + in.left[0];
+        const ScoreT vj_e = p.logEpsilon + in.left[2];
+        if (vj_e > vj)
+            vj = vj_e;
+        vj += p.logQ[y];
+
+        return {{vm, vi, vj}, core::TbPtr{}};
+    }
+
+    static constexpr uint8_t tbStartState = 0;
+
+    static core::TbStep
+    tbStep(uint8_t, core::TbPtr)
+    {
+        return core::TbStep{core::TbMove::Diag, 0, true};
+    }
+
+    static core::PeProfile
+    peProfile()
+    {
+        core::PeProfile p;
+        p.addSub = 8;           // transition adds + emission adds
+        p.maxMin2 = 4;          // VM 3-way + VI/VJ 2-way maxima
+        p.scoreWidth = 32;
+        p.tableLookups = 2;     // emission + Q lookups
+        p.tableEntries = 30;
+        p.critPathLevels = 11;  // wide fixed-point adds back to back
+        p.lutExtra = 420;       // wide log-space selection network
+        return p;
+    }
+};
+
+} // namespace dphls::kernels
+
+#endif // DPHLS_KERNELS_VITERBI_HH

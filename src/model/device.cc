@@ -1,0 +1,35 @@
+#include "model/device.hh"
+
+namespace dphls::model {
+
+FpgaDevice
+FpgaDevice::xcvu9p()
+{
+    FpgaDevice d;
+    d.name = "XCVU9P-FLGB2104-2-I (AWS EC2 F1)";
+    d.total.lut = 1182240;
+    d.total.ff = 2364480;
+    d.total.bram36 = 2160;
+    d.total.dsp = 6840;
+    return d;
+}
+
+Utilization
+FpgaDevice::utilization(const DeviceResources &used) const
+{
+    Utilization u;
+    u.lutPct = 100.0 * used.lut / total.lut;
+    u.ffPct = 100.0 * used.ff / total.ff;
+    u.bramPct = 100.0 * used.bram36 / total.bram36;
+    u.dspPct = 100.0 * used.dsp / total.dsp;
+    return u;
+}
+
+bool
+FpgaDevice::fits(const DeviceResources &used) const
+{
+    return used.lut <= total.lut && used.ff <= total.ff &&
+           used.bram36 <= total.bram36 && used.dsp <= total.dsp;
+}
+
+} // namespace dphls::model

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FPGA device resource tables.
+ *
+ * The paper reports utilization as a percentage of the AWS EC2 F1 FPGA
+ * (XCVU9P-FLGB2104-2-I); the same totals are used here to convert modeled
+ * absolute resource counts into the percentages of Table 2 and Figs. 3-5.
+ */
+
+#ifndef DPHLS_MODEL_DEVICE_HH
+#define DPHLS_MODEL_DEVICE_HH
+
+#include <string>
+
+namespace dphls::model {
+
+/** Absolute resource counts (LUTs, flip-flops, BRAM36 tiles, DSP slices). */
+struct DeviceResources
+{
+    double lut = 0;
+    double ff = 0;
+    double bram36 = 0;
+    double dsp = 0;
+
+    DeviceResources &
+    operator+=(const DeviceResources &o)
+    {
+        lut += o.lut;
+        ff += o.ff;
+        bram36 += o.bram36;
+        dsp += o.dsp;
+        return *this;
+    }
+
+    friend DeviceResources
+    operator+(DeviceResources a, const DeviceResources &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend DeviceResources
+    operator*(DeviceResources a, double k)
+    {
+        a.lut *= k;
+        a.ff *= k;
+        a.bram36 *= k;
+        a.dsp *= k;
+        return a;
+    }
+};
+
+/** Utilization as a percentage of a device's totals. */
+struct Utilization
+{
+    double lutPct = 0;
+    double ffPct = 0;
+    double bramPct = 0;
+    double dspPct = 0;
+};
+
+/** An FPGA device with its total resources. */
+struct FpgaDevice
+{
+    std::string name;
+    DeviceResources total;
+
+    /** The AWS EC2 F1 device used throughout the paper. */
+    static FpgaDevice xcvu9p();
+
+    Utilization utilization(const DeviceResources &used) const;
+
+    /** True if the given design fits on the device. */
+    bool fits(const DeviceResources &used) const;
+};
+
+} // namespace dphls::model
+
+#endif // DPHLS_MODEL_DEVICE_HH

@@ -1,0 +1,23 @@
+#include "model/frequency_model.hh"
+
+namespace dphls::model {
+
+double
+frequencyMhz(const core::PeProfile &pe)
+{
+    // Discrete tiers matching the achieved frequencies of Table 2. The
+    // drivers are dependent logic levels through one PE (the wavefront
+    // loop's recurrence limits retiming across cells).
+    const int levels = pe.critPathLevels;
+    if (levels <= 4)
+        return 250.0;
+    if (levels <= 6)
+        return 200.0;
+    if (levels <= 8)
+        return 166.7;
+    if (levels <= 10)
+        return 150.0;
+    return 125.0;
+}
+
+} // namespace dphls::model

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Achieved-clock-frequency model.
+ *
+ * The paper sets a 250 MHz synthesis target; kernels with deeper per-PE
+ * combinational paths close timing at lower frequencies (Table 2 spans
+ * 125-250 MHz and Section 7.1 attributes the drops to scoring-equation
+ * complexity). The model maps the kernel's critical-path depth to the
+ * discrete frequency tiers observed in the paper.
+ */
+
+#ifndef DPHLS_MODEL_FREQUENCY_MODEL_HH
+#define DPHLS_MODEL_FREQUENCY_MODEL_HH
+
+#include "core/types.hh"
+
+namespace dphls::model {
+
+/** Synthesis target frequency (MHz), as in Section 6.2. */
+constexpr double targetFrequencyMhz = 250.0;
+
+/** Achieved frequency (MHz) for a PE with the given critical path. */
+double frequencyMhz(const core::PeProfile &pe);
+
+/** Achieved frequency for a kernel specification type. */
+template <typename K>
+double
+kernelFrequencyMhz()
+{
+    return frequencyMhz(K::peProfile());
+}
+
+} // namespace dphls::model
+
+#endif // DPHLS_MODEL_FREQUENCY_MODEL_HH

@@ -1,0 +1,168 @@
+#include "model/resource_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dphls::model {
+
+namespace {
+
+// Calibration constants (fit against Table 2, 32-PE blocks).
+constexpr double lutPerAdderBit = 2.0;   // carry-chain adder/subtractor
+constexpr double lutPerCmpMuxBit = 3.0;  // comparator + 2:1 select
+constexpr double lutPeBase = 58.0;       // control, char regs, band checks
+constexpr double lutPerTbBit = 8.0;      // pointer formation and routing
+constexpr double ffLutFraction = 0.5;    // pipeline regs track datapath LUTs
+constexpr double ffPerLayerBit = 2.0;    // wavefront buffers per layer
+constexpr double ffPeBase = 120.0;
+constexpr double bram18Bits = 18432.0;
+constexpr double tbBankSafety = 1.05;    // HLS pads banks beyond minimum
+constexpr int lutramDepthLimit = 1536;   // banks shallower than this go to
+                                         // LUTRAM at high NPE (Fig. 3 note)
+constexpr double lutPerLutramBit = 0.04; // 64-bit deep LUTRAM cells
+constexpr double arbiterLut = 900.0;     // per-kernel arbiter + AXI plumbing
+constexpr double arbiterFf = 1400.0;
+constexpr double shellLutPct = 0.0;      // shell reported separately by AWS
+
+/** DSP slices needed for one multiplier of the given operand width. */
+double
+dspPerMult(int width)
+{
+    if (width <= 18)
+        return 1.0;
+    if (width <= 27)
+        return 2.0;
+    return 3.0;
+}
+
+/** Per-PE traceback bank depth: chunks x wavefronts per chunk. */
+double
+tbBankDepth(const KernelHwDesc &desc, int npe)
+{
+    const double chunks =
+        std::ceil(static_cast<double>(desc.maxQueryLength) / npe);
+    double wavefronts = desc.maxReferenceLength + npe;
+    if (desc.banded) {
+        // Banded kernels size banks by the band window, not the full row.
+        wavefronts = std::min<double>(wavefronts, 2.0 * 64 + 2.0 * npe);
+    }
+    return chunks * wavefronts * tbBankSafety;
+}
+
+/** Round pointer bits up to a power of two (memory port packing). */
+int
+pow2Bits(int bits)
+{
+    int b = 1;
+    while (b < bits)
+        b *= 2;
+    return b;
+}
+
+} // namespace
+
+DeviceResources
+estimateBlock(const KernelHwDesc &desc, int npe)
+{
+    const core::PeProfile &pe = desc.pe;
+    DeviceResources r;
+
+    // --- per-PE datapath -------------------------------------------------
+    double lut_pe = lutPerAdderBit * pe.addSub * pe.scoreWidth +
+                    lutPerCmpMuxBit * pe.maxMin2 * pe.scoreWidth +
+                    lutPerTbBit * desc.tbPtrBits + pe.lutExtra + lutPeBase;
+    double ff_pe = ffLutFraction * lut_pe +
+                   ffPerLayerBit * desc.nLayers * pe.scoreWidth +
+                   2.0 * desc.charBits + ffPeBase;
+    double dsp_pe = pe.mult * dspPerMult(pe.multWidth);
+
+    // --- traceback memory banks (Section 5.2) ----------------------------
+    double bram = 0;
+    double lutram_lut = 0;
+    if (desc.hasTraceback) {
+        const double depth = tbBankDepth(desc, npe);
+        const double bits = depth * pow2Bits(desc.tbPtrBits);
+        if (depth <= lutramDepthLimit) {
+            // The HLS compiler converts shallow banks to LUTRAM to cut
+            // memory latency (observed at NPE=64 in Fig. 3).
+            lutram_lut = bits * lutPerLutramBit;
+        } else if (bits <= bram18Bits / 4) {
+            // Shallow banks pack pairwise into single BRAM18s.
+            bram = 0.5;
+        } else {
+            // Each bank needs its own read+write porting: BRAM36 units.
+            bram = std::ceil(bits / bram18Bits);
+        }
+    }
+
+    // --- per-block shared buffers ----------------------------------------
+    // Init row/column, preserved row and score buffers per layer, plus the
+    // local query/reference buffers sized by MAX lengths.
+    const double score_buf_bits =
+        3.0 * desc.nLayers * desc.maxReferenceLength * pe.scoreWidth;
+    const double seq_buf_bits =
+        desc.charBits *
+        (desc.maxQueryLength + 2.0 * desc.maxReferenceLength);
+    const double table_bits = pe.tableEntries * 8.0;
+    double block_bram =
+        std::ceil(score_buf_bits / bram18Bits) * 0.5 +
+        std::ceil(seq_buf_bits / bram18Bits) * 0.5;
+    if (pe.tableEntries >= 64) {
+        // Substitution tables are replicated per PE pair for single-cycle
+        // lookups (what drives kernel #15's BRAM in Table 2).
+        block_bram += std::ceil(table_bits / bram18Bits) * 0.5 *
+                      std::ceil(npe / 2.0);
+    }
+
+    r.lut = npe * (lut_pe + lutram_lut) + 500.0; // block control overhead
+    r.ff = npe * ff_pe + 800.0;
+    r.dsp = npe * dsp_pe + desc.dspFixed;
+    r.bram36 = npe * bram + block_bram + 8.0; // host I/O buffering
+    return r;
+}
+
+DeviceResources
+estimateKernel(const KernelHwDesc &desc, int npe, int nb)
+{
+    DeviceResources block = estimateBlock(desc, npe);
+    DeviceResources r = block * static_cast<double>(nb);
+    r.lut += arbiterLut;
+    r.ff += arbiterFf;
+    return r;
+}
+
+DeviceResources
+estimateDesign(const KernelHwDesc &desc, int npe, int nb, int nk)
+{
+    DeviceResources kernel = estimateKernel(desc, npe, nb);
+    DeviceResources r = kernel * static_cast<double>(nk);
+    (void)shellLutPct;
+    // AWS F1 shell: DMA engines, PCIe and clocking on the static region.
+    r.lut += 140000.0;
+    r.ff += 180000.0;
+    r.bram36 += 200.0;
+    r.dsp += 12.0;
+    return r;
+}
+
+ParallelFit
+maxParallelFit(const KernelHwDesc &desc, int npe, const FpgaDevice &device,
+               int max_nk)
+{
+    ParallelFit best;
+    long best_blocks = 0;
+    for (int nk = 1; nk <= max_nk; nk++) {
+        for (int nb = 1; nb <= 64; nb++) {
+            if (!device.fits(estimateDesign(desc, npe, nb, nk)))
+                break;
+            const long blocks = static_cast<long>(nb) * nk;
+            if (blocks > best_blocks) {
+                best_blocks = blocks;
+                best = ParallelFit{nb, nk};
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace dphls::model

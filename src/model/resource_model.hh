@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Analytical FPGA resource model for DP-HLS kernel configurations.
+ *
+ * Substitutes for Vitis HLS synthesis + Vivado place-and-route reports.
+ * The model maps the structural drivers of the generated systolic array
+ * to resource counts:
+ *
+ *  - LUT/FF scale with the per-PE datapath (adders, comparators and muxes
+ *    times operand width) and therefore linearly with NPE (Fig. 3B/E);
+ *  - DSPs come from per-PE multipliers (DTW squaring, profile mat-vec
+ *    products) plus a small fixed count for traceback-address
+ *    pre-computation outside the PEs (Fig. 3B: flat for kernel #1,
+ *    scaling for #9);
+ *  - BRAM is dominated by the per-PE traceback banks (depth = chunks x
+ *    wavefronts, width = pointer bits), plus score/init/preserved-row
+ *    buffers and substitution tables; at high NPE the per-bank depth
+ *    falls under the LUTRAM threshold and the HLS compiler moves banks
+ *    out of BRAM (the Fig. 3 NPE=64 BRAM drop);
+ *  - every parallel block replicates the whole structure, so utilization
+ *    is linear in NB (Fig. 3C/F).
+ *
+ * Constants are calibrated against Table 2 (32-PE single blocks on the
+ * XCVU9P); EXPERIMENTS.md records modeled vs. paper values per kernel.
+ */
+
+#ifndef DPHLS_MODEL_RESOURCE_MODEL_HH
+#define DPHLS_MODEL_RESOURCE_MODEL_HH
+
+#include "core/types.hh"
+#include "model/device.hh"
+
+namespace dphls::model {
+
+/** Everything the hardware model needs to know about one kernel. */
+struct KernelHwDesc
+{
+    core::PeProfile pe;
+    int nLayers = 1;
+    int tbPtrBits = 2;
+    int charBits = 2;
+    bool hasTraceback = true;
+    bool banded = false;
+    int maxQueryLength = 256;
+    int maxReferenceLength = 256;
+    int dspFixed = 1; //!< traceback-address precompute DSPs per block
+};
+
+/** Build the descriptor for a kernel specification type. */
+template <typename K>
+KernelHwDesc
+kernelHwDesc(int max_query = 256, int max_ref = 256, int dsp_fixed = 1)
+{
+    KernelHwDesc d;
+    d.pe = K::peProfile();
+    d.nLayers = K::nLayers;
+    d.tbPtrBits = K::tbPtrBits;
+    d.charBits = 2; // overridden by callers for non-DNA alphabets
+    d.hasTraceback = K::hasTraceback;
+    d.banded = K::banded;
+    d.maxQueryLength = max_query;
+    d.maxReferenceLength = max_ref;
+    d.dspFixed = dsp_fixed;
+    return d;
+}
+
+/** Resources of a single NPE-wide systolic block. */
+DeviceResources estimateBlock(const KernelHwDesc &desc, int npe);
+
+/** Resources of one kernel: NB identical blocks plus the shared arbiter. */
+DeviceResources estimateKernel(const KernelHwDesc &desc, int npe, int nb);
+
+/**
+ * Resources of a full design: NK linked kernels plus the static AWS F1
+ * shell (DMA, PCIe, clocking).
+ */
+DeviceResources estimateDesign(const KernelHwDesc &desc, int npe, int nb,
+                               int nk);
+
+/**
+ * Search the (NB, NK) space for the largest parallel configuration that
+ * fits the device at a given NPE; returns alignments-in-flight NB*NK.
+ */
+struct ParallelFit
+{
+    int nb = 1;
+    int nk = 1;
+};
+ParallelFit maxParallelFit(const KernelHwDesc &desc, int npe,
+                           const FpgaDevice &device, int max_nk = 8);
+
+} // namespace dphls::model
+
+#endif // DPHLS_MODEL_RESOURCE_MODEL_HH

@@ -1,0 +1,441 @@
+#include "reference/classic.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dphls::ref::classic {
+
+namespace {
+
+constexpr int64_t negInf = std::numeric_limits<int64_t>::min() / 4;
+
+/** Two rolling rows of int64 scores. */
+using Row = std::vector<int64_t>;
+
+} // namespace
+
+int64_t
+nwScore(const seq::DnaSequence &q, const seq::DnaSequence &r, int match,
+        int mismatch, int gap)
+{
+    const int n = q.length(), m = r.length();
+    Row prev(static_cast<size_t>(m + 1)), cur(static_cast<size_t>(m + 1));
+    for (int j = 0; j <= m; j++)
+        prev[static_cast<size_t>(j)] = static_cast<int64_t>(gap) * j;
+    for (int i = 1; i <= n; i++) {
+        cur[0] = static_cast<int64_t>(gap) * i;
+        for (int j = 1; j <= m; j++) {
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            cur[static_cast<size_t>(j)] = std::max({
+                prev[static_cast<size_t>(j - 1)] + s,
+                prev[static_cast<size_t>(j)] + gap,
+                cur[static_cast<size_t>(j - 1)] + gap});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[static_cast<size_t>(m)];
+}
+
+int64_t
+gotohScore(const seq::DnaSequence &q, const seq::DnaSequence &r, int match,
+           int mismatch, int open, int extend)
+{
+    const int n = q.length(), m = r.length();
+    Row h_prev(static_cast<size_t>(m + 1)), h_cur(static_cast<size_t>(m + 1));
+    Row ix_prev(static_cast<size_t>(m + 1)), ix_cur(static_cast<size_t>(m + 1));
+    Row iy_prev(static_cast<size_t>(m + 1)), iy_cur(static_cast<size_t>(m + 1));
+
+    h_prev[0] = 0;
+    ix_prev[0] = iy_prev[0] = negInf;
+    for (int j = 1; j <= m; j++) {
+        const int64_t g = -(open + static_cast<int64_t>(extend) * (j - 1));
+        h_prev[static_cast<size_t>(j)] = g;
+        iy_prev[static_cast<size_t>(j)] = g;
+        ix_prev[static_cast<size_t>(j)] = negInf;
+    }
+    for (int i = 1; i <= n; i++) {
+        const int64_t g = -(open + static_cast<int64_t>(extend) * (i - 1));
+        h_cur[0] = g;
+        ix_cur[0] = g;
+        iy_cur[0] = negInf;
+        for (int j = 1; j <= m; j++) {
+            const size_t js = static_cast<size_t>(j);
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            ix_cur[js] = std::max(h_prev[js] - open, ix_prev[js] - extend);
+            iy_cur[js] =
+                std::max(h_cur[js - 1] - open, iy_cur[js - 1] - extend);
+            h_cur[js] = std::max(
+                {h_prev[js - 1] + s, ix_cur[js], iy_cur[js]});
+        }
+        std::swap(h_prev, h_cur);
+        std::swap(ix_prev, ix_cur);
+        std::swap(iy_prev, iy_cur);
+    }
+    return h_prev[static_cast<size_t>(m)];
+}
+
+int64_t
+swScore(const seq::DnaSequence &q, const seq::DnaSequence &r, int match,
+        int mismatch, int gap)
+{
+    const int n = q.length(), m = r.length();
+    Row prev(static_cast<size_t>(m + 1), 0), cur(static_cast<size_t>(m + 1), 0);
+    int64_t best = 0;
+    for (int i = 1; i <= n; i++) {
+        cur[0] = 0;
+        for (int j = 1; j <= m; j++) {
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            int64_t v = std::max({
+                prev[static_cast<size_t>(j - 1)] + s,
+                prev[static_cast<size_t>(j)] + gap,
+                cur[static_cast<size_t>(j - 1)] + gap,
+                int64_t{0}});
+            cur[static_cast<size_t>(j)] = v;
+            best = std::max(best, v);
+        }
+        std::swap(prev, cur);
+    }
+    return best;
+}
+
+int64_t
+swgScore(const seq::DnaSequence &q, const seq::DnaSequence &r, int match,
+         int mismatch, int open, int extend)
+{
+    const int n = q.length(), m = r.length();
+    Row h_prev(static_cast<size_t>(m + 1), 0), h_cur(static_cast<size_t>(m + 1), 0);
+    Row ix_prev(static_cast<size_t>(m + 1), negInf),
+        ix_cur(static_cast<size_t>(m + 1), negInf);
+    Row iy_prev(static_cast<size_t>(m + 1), negInf),
+        iy_cur(static_cast<size_t>(m + 1), negInf);
+    int64_t best = 0;
+    for (int i = 1; i <= n; i++) {
+        h_cur[0] = 0;
+        ix_cur[0] = iy_cur[0] = negInf;
+        for (int j = 1; j <= m; j++) {
+            const size_t js = static_cast<size_t>(j);
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            ix_cur[js] = std::max(h_prev[js] - open, ix_prev[js] - extend);
+            iy_cur[js] =
+                std::max(h_cur[js - 1] - open, iy_cur[js - 1] - extend);
+            int64_t v = std::max(
+                {h_prev[js - 1] + s, ix_cur[js], iy_cur[js], int64_t{0}});
+            h_cur[js] = v;
+            best = std::max(best, v);
+        }
+        std::swap(h_prev, h_cur);
+        std::swap(ix_prev, ix_cur);
+        std::swap(iy_prev, iy_cur);
+    }
+    return best;
+}
+
+int64_t
+twoPieceScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+              int match, int mismatch, int open1, int extend1, int open2,
+              int extend2)
+{
+    const int n = q.length(), m = r.length();
+    const size_t w = static_cast<size_t>(m + 1);
+    Row h_prev(w), h_cur(w), a_prev(w), a_cur(w), b_prev(w), b_cur(w),
+        c_prev(w), c_cur(w), d_prev(w), d_cur(w);
+
+    auto gap1 = [&](int k) {
+        return -(open1 + static_cast<int64_t>(extend1) * (k - 1));
+    };
+    auto gap2 = [&](int k) {
+        return -(open2 + static_cast<int64_t>(extend2) * (k - 1));
+    };
+
+    h_prev[0] = 0;
+    a_prev[0] = b_prev[0] = c_prev[0] = d_prev[0] = negInf;
+    for (int j = 1; j <= m; j++) {
+        h_prev[static_cast<size_t>(j)] = std::max(gap1(j), gap2(j));
+        b_prev[static_cast<size_t>(j)] = gap1(j); // Iy
+        d_prev[static_cast<size_t>(j)] = gap2(j); // I'y
+        a_prev[static_cast<size_t>(j)] = c_prev[static_cast<size_t>(j)] =
+            negInf;
+    }
+    for (int i = 1; i <= n; i++) {
+        h_cur[0] = std::max(gap1(i), gap2(i));
+        a_cur[0] = gap1(i); // Ix
+        c_cur[0] = gap2(i); // I'x
+        b_cur[0] = d_cur[0] = negInf;
+        for (int j = 1; j <= m; j++) {
+            const size_t js = static_cast<size_t>(j);
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            a_cur[js] = std::max(h_prev[js] - open1, a_prev[js] - extend1);
+            b_cur[js] =
+                std::max(h_cur[js - 1] - open1, b_cur[js - 1] - extend1);
+            c_cur[js] = std::max(h_prev[js] - open2, c_prev[js] - extend2);
+            d_cur[js] =
+                std::max(h_cur[js - 1] - open2, d_cur[js - 1] - extend2);
+            h_cur[js] = std::max({h_prev[js - 1] + s, a_cur[js], b_cur[js],
+                                  c_cur[js], d_cur[js]});
+        }
+        std::swap(h_prev, h_cur);
+        std::swap(a_prev, a_cur);
+        std::swap(b_prev, b_cur);
+        std::swap(c_prev, c_cur);
+        std::swap(d_prev, d_cur);
+    }
+    return h_prev[static_cast<size_t>(m)];
+}
+
+int64_t
+overlapScore(const seq::DnaSequence &q, const seq::DnaSequence &r, int match,
+             int mismatch, int gap)
+{
+    const int n = q.length(), m = r.length();
+    Row prev(static_cast<size_t>(m + 1), 0), cur(static_cast<size_t>(m + 1), 0);
+    int64_t best = negInf;
+    for (int i = 1; i <= n; i++) {
+        cur[0] = 0;
+        for (int j = 1; j <= m; j++) {
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            cur[static_cast<size_t>(j)] = std::max({
+                prev[static_cast<size_t>(j - 1)] + s,
+                prev[static_cast<size_t>(j)] + gap,
+                cur[static_cast<size_t>(j - 1)] + gap});
+        }
+        // Right column is part of the overlap end region.
+        best = std::max(best, cur[static_cast<size_t>(m)]);
+        std::swap(prev, cur);
+    }
+    // Bottom row.
+    for (int j = 1; j <= m; j++)
+        best = std::max(best, prev[static_cast<size_t>(j)]);
+    if (n == 0 || m == 0)
+        return 0;
+    return best;
+}
+
+int64_t
+semiGlobalScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                int match, int mismatch, int gap)
+{
+    const int n = q.length(), m = r.length();
+    Row prev(static_cast<size_t>(m + 1), 0), cur(static_cast<size_t>(m + 1));
+    for (int i = 1; i <= n; i++) {
+        cur[0] = static_cast<int64_t>(gap) * i;
+        for (int j = 1; j <= m; j++) {
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            cur[static_cast<size_t>(j)] = std::max({
+                prev[static_cast<size_t>(j - 1)] + s,
+                prev[static_cast<size_t>(j)] + gap,
+                cur[static_cast<size_t>(j - 1)] + gap});
+        }
+        std::swap(prev, cur);
+    }
+    int64_t best = negInf;
+    for (int j = 1; j <= m; j++)
+        best = std::max(best, prev[static_cast<size_t>(j)]);
+    if (n == 0 || m == 0)
+        return 0;
+    return best;
+}
+
+int64_t
+bandedNwScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+              int match, int mismatch, int gap, int band)
+{
+    const int n = q.length(), m = r.length();
+    if (std::abs(n - m) > band)
+        return negInf;
+    Row prev(static_cast<size_t>(m + 1), negInf),
+        cur(static_cast<size_t>(m + 1), negInf);
+    for (int j = 0; j <= std::min(m, band); j++)
+        prev[static_cast<size_t>(j)] = static_cast<int64_t>(gap) * j;
+    for (int i = 1; i <= n; i++) {
+        std::fill(cur.begin(), cur.end(), negInf);
+        if (i <= band)
+            cur[0] = static_cast<int64_t>(gap) * i;
+        const int lo = std::max(1, i - band);
+        const int hi = std::min(m, i + band);
+        for (int j = lo; j <= hi; j++) {
+            const int64_t s =
+                q[i - 1] == r[j - 1] ? match : mismatch;
+            int64_t v = prev[static_cast<size_t>(j - 1)] + s;
+            if (prev[static_cast<size_t>(j)] > negInf / 2)
+                v = std::max(v, prev[static_cast<size_t>(j)] + gap);
+            if (cur[static_cast<size_t>(j - 1)] > negInf / 2)
+                v = std::max(v, cur[static_cast<size_t>(j - 1)] + gap);
+            cur[static_cast<size_t>(j)] = v;
+        }
+        std::swap(prev, cur);
+    }
+    return prev[static_cast<size_t>(m)];
+}
+
+double
+dtwDistance(const seq::ComplexSequence &q, const seq::ComplexSequence &r)
+{
+    const int n = q.length(), m = r.length();
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> prev(static_cast<size_t>(m + 1), inf),
+        cur(static_cast<size_t>(m + 1), inf);
+    prev[0] = 0.0;
+    for (int i = 1; i <= n; i++) {
+        cur[0] = inf;
+        for (int j = 1; j <= m; j++) {
+            const double dr =
+                q[i - 1].real.toDouble() - r[j - 1].real.toDouble();
+            const double di =
+                q[i - 1].imag.toDouble() - r[j - 1].imag.toDouble();
+            const double d = dr * dr + di * di;
+            cur[static_cast<size_t>(j)] =
+                d + std::min({prev[static_cast<size_t>(j - 1)],
+                              prev[static_cast<size_t>(j)],
+                              cur[static_cast<size_t>(j - 1)]});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[static_cast<size_t>(m)];
+}
+
+int64_t
+sdtwDistance(const seq::SignalSequence &q, const seq::SignalSequence &r)
+{
+    const int n = q.length(), m = r.length();
+    constexpr int64_t inf = std::numeric_limits<int64_t>::max() / 4;
+    Row prev(static_cast<size_t>(m + 1), 0), cur(static_cast<size_t>(m + 1));
+    for (int i = 1; i <= n; i++) {
+        cur[0] = inf;
+        for (int j = 1; j <= m; j++) {
+            const int64_t d = std::abs(
+                static_cast<int64_t>(q[i - 1].value) - r[j - 1].value);
+            cur[static_cast<size_t>(j)] =
+                d + std::min({prev[static_cast<size_t>(j - 1)],
+                              prev[static_cast<size_t>(j)],
+                              cur[static_cast<size_t>(j - 1)]});
+        }
+        std::swap(prev, cur);
+    }
+    int64_t best = inf;
+    for (int j = 1; j <= m; j++)
+        best = std::min(best, prev[static_cast<size_t>(j)]);
+    return best;
+}
+
+double
+viterbiLogProb(const seq::DnaSequence &q, const seq::DnaSequence &r,
+               double delta, double epsilon, double p_match,
+               double p_mismatch)
+{
+    const int n = q.length(), m = r.length();
+    const double inf = -std::numeric_limits<double>::infinity();
+    const double ld = std::log(delta);
+    const double le = std::log(epsilon);
+    const double l12d = std::log(1.0 - 2.0 * delta);
+    const double l1e = std::log(1.0 - epsilon);
+    const double lq = std::log(0.25);
+
+    const size_t w = static_cast<size_t>(m + 1);
+    std::vector<double> vm_prev(w, inf), vm_cur(w, inf);
+    std::vector<double> vi_prev(w, inf), vi_cur(w, inf);
+    std::vector<double> vj_prev(w, inf), vj_cur(w, inf);
+
+    vm_prev[0] = 0.0;
+    for (int j = 1; j <= m; j++)
+        vj_prev[static_cast<size_t>(j)] = ld + le * (j - 1) + lq * j;
+    for (int i = 1; i <= n; i++) {
+        vm_cur[0] = vj_cur[0] = inf;
+        vi_cur[0] = ld + le * (i - 1) + lq * i;
+        for (int j = 1; j <= m; j++) {
+            const size_t js = static_cast<size_t>(j);
+            const double lp =
+                std::log(q[i - 1] == r[j - 1] ? p_match : p_mismatch);
+            vm_cur[js] = lp + std::max({l12d + vm_prev[js - 1],
+                                        l1e + vi_prev[js - 1],
+                                        l1e + vj_prev[js - 1]});
+            vi_cur[js] =
+                lq + std::max(ld + vm_prev[js], le + vi_prev[js]);
+            vj_cur[js] =
+                lq + std::max(ld + vm_cur[js - 1], le + vj_cur[js - 1]);
+        }
+        std::swap(vm_prev, vm_cur);
+        std::swap(vi_prev, vi_cur);
+        std::swap(vj_prev, vj_cur);
+    }
+    return vm_prev[static_cast<size_t>(m)];
+}
+
+int64_t
+profileScore(const seq::ProfileSequence &q, const seq::ProfileSequence &r,
+             const int8_t pair_score[5][5], int gap_scale)
+{
+    const int n = q.length(), m = r.length();
+    auto sop = [&](const seq::ProfileColumn &a, const seq::ProfileColumn &b) {
+        int64_t t = 0;
+        for (int x = 0; x < 5; x++) {
+            for (int y = 0; y < 5; y++) {
+                t += static_cast<int64_t>(pair_score[x][y]) *
+                     a.freq[static_cast<size_t>(x)] *
+                     b.freq[static_cast<size_t>(y)];
+            }
+        }
+        return t;
+    };
+    auto gap_col = [&](const seq::ProfileColumn &a) {
+        int64_t t = 0;
+        for (int x = 0; x < 5; x++) {
+            t += static_cast<int64_t>(pair_score[x][4]) *
+                 a.freq[static_cast<size_t>(x)];
+        }
+        return t * gap_scale;
+    };
+
+    Row prev(static_cast<size_t>(m + 1)), cur(static_cast<size_t>(m + 1));
+    prev[0] = 0;
+    for (int j = 1; j <= m; j++) {
+        prev[static_cast<size_t>(j)] =
+            static_cast<int64_t>(-2) * gap_scale * gap_scale * j;
+    }
+    for (int i = 1; i <= n; i++) {
+        cur[0] = static_cast<int64_t>(-2) * gap_scale * gap_scale * i;
+        for (int j = 1; j <= m; j++) {
+            const size_t js = static_cast<size_t>(j);
+            cur[js] = std::max(
+                {prev[js - 1] + sop(q[i - 1], r[j - 1]),
+                 prev[js] + gap_col(q[i - 1]),
+                 cur[js - 1] + gap_col(r[j - 1])});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[static_cast<size_t>(m)];
+}
+
+int64_t
+proteinSwScore(const seq::ProteinSequence &q, const seq::ProteinSequence &r,
+               const seq::ProteinMatrix &m, int gap)
+{
+    const int n = q.length(), mm = r.length();
+    Row prev(static_cast<size_t>(mm + 1), 0), cur(static_cast<size_t>(mm + 1), 0);
+    int64_t best = 0;
+    for (int i = 1; i <= n; i++) {
+        cur[0] = 0;
+        for (int j = 1; j <= mm; j++) {
+            const int64_t s = m(q[i - 1].code, r[j - 1].code);
+            int64_t v = std::max({
+                prev[static_cast<size_t>(j - 1)] + s,
+                prev[static_cast<size_t>(j)] + gap,
+                cur[static_cast<size_t>(j - 1)] + gap,
+                int64_t{0}});
+            cur[static_cast<size_t>(j)] = v;
+            best = std::max(best, v);
+        }
+        std::swap(prev, cur);
+    }
+    return best;
+}
+
+} // namespace dphls::ref::classic

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Independent textbook implementations of the 15 kernels' algorithms.
+ *
+ * These are deliberately written against the classic formulations
+ * (Needleman-Wunsch 1970, Gotoh 1982, Smith-Waterman 1981, minimap2's
+ * two-piece convex gap, DTW, pair-HMM Viterbi, sum-of-pairs profile
+ * scoring) and share no code with the kernel specifications. They close
+ * the verification triangle: kernel recurrences are validated against the
+ * literature here, while the systolic engine is validated bit-for-bit
+ * against the full-matrix executor of the same kernel spec.
+ *
+ * They also serve as the runnable CPU baseline bodies for Fig. 6A.
+ */
+
+#ifndef DPHLS_REFERENCE_CLASSIC_HH
+#define DPHLS_REFERENCE_CLASSIC_HH
+
+#include <cstdint>
+
+#include "seq/alphabet.hh"
+#include "seq/substitution_matrix.hh"
+
+namespace dphls::ref::classic {
+
+/** Needleman-Wunsch global alignment score (linear gap). */
+int64_t nwScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                int match, int mismatch, int gap);
+
+/** Gotoh global alignment score (affine gap; open = first gap char). */
+int64_t gotohScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                   int match, int mismatch, int open, int extend);
+
+/** Smith-Waterman local alignment score (linear gap). */
+int64_t swScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                int match, int mismatch, int gap);
+
+/** Smith-Waterman-Gotoh local alignment score (affine gap). */
+int64_t swgScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                 int match, int mismatch, int open, int extend);
+
+/** Global alignment with a two-piece (convex) gap cost, minimap2-style. */
+int64_t twoPieceScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                      int match, int mismatch, int open1, int extend1,
+                      int open2, int extend2);
+
+/** Overlap alignment score: free leading/trailing gaps on both ends. */
+int64_t overlapScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                     int match, int mismatch, int gap);
+
+/** Semi-global score: query end-to-end against a reference infix. */
+int64_t semiGlobalScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                        int match, int mismatch, int gap);
+
+/** Banded Needleman-Wunsch (band half-width around the main diagonal). */
+int64_t bandedNwScore(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                      int match, int mismatch, int gap, int band);
+
+/** Classic DTW distance (squared Euclidean), computed in double. */
+double dtwDistance(const seq::ComplexSequence &q,
+                   const seq::ComplexSequence &r);
+
+/** Semi-global DTW distance over integer signals (|q - r| cost). */
+int64_t sdtwDistance(const seq::SignalSequence &q,
+                     const seq::SignalSequence &r);
+
+/**
+ * Pair-HMM Viterbi log-probability of ending in the Match state,
+ * computed in double with the same border convention as kernel #10.
+ */
+double viterbiLogProb(const seq::DnaSequence &q, const seq::DnaSequence &r,
+                      double delta, double epsilon, double p_match,
+                      double p_mismatch);
+
+/** Global profile-profile alignment with sum-of-pairs scoring. */
+int64_t profileScore(const seq::ProfileSequence &q,
+                     const seq::ProfileSequence &r,
+                     const int8_t pair_score[5][5], int gap_scale);
+
+/** Smith-Waterman over proteins with a substitution matrix. */
+int64_t proteinSwScore(const seq::ProteinSequence &q,
+                       const seq::ProteinSequence &r,
+                       const seq::ProteinMatrix &m, int gap);
+
+} // namespace dphls::ref::classic
+
+#endif // DPHLS_REFERENCE_CLASSIC_HH

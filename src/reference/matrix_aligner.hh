@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Full-matrix reference executor for any DP-HLS kernel specification.
+ *
+ * This is the paper's "C/C++-simulation" golden model: it runs the same
+ * kernel front-end (init, PE function, traceback FSM) through an obviously
+ * correct row-major full-matrix evaluation, with none of the systolic
+ * buffering. The systolic engine must agree with it bit-for-bit on score,
+ * optimum cell and traceback path; the test suite enforces exactly that.
+ */
+
+#ifndef DPHLS_REFERENCE_MATRIX_ALIGNER_HH
+#define DPHLS_REFERENCE_MATRIX_ALIGNER_HH
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/alignment.hh"
+#include "core/kernel_concept.hh"
+#include "core/traceback_walk.hh"
+#include "core/types.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::ref {
+
+/**
+ * Row-major full-matrix aligner for kernel @p K. Supports banding (fixed
+ * band of half-width `bandWidth` around the main diagonal) when the kernel
+ * declares `banded`.
+ */
+template <core::KernelSpec K>
+class MatrixAligner
+{
+  public:
+    using ScoreT = typename K::ScoreT;
+    using CharT = typename K::CharT;
+    using Result = core::AlignResult<ScoreT>;
+    static constexpr int nLayers = K::nLayers;
+
+    explicit MatrixAligner(typename K::Params params = K::defaultParams(),
+                           int band_width = 64)
+        : _params(params), _bandWidth(band_width)
+    {}
+
+    const typename K::Params &params() const { return _params; }
+    int bandWidth() const { return _bandWidth; }
+
+    /** True if cell (i, j) is inside the band (1-based coordinates). */
+    bool
+    inBand(int i, int j) const
+    {
+        if (!K::banded)
+            return true;
+        return std::abs(i - j) <= _bandWidth;
+    }
+
+    Result
+    align(const seq::Sequence<CharT> &query,
+          const seq::Sequence<CharT> &reference) const
+    {
+        const int qlen = query.length();
+        const int rlen = reference.length();
+        const int stride = rlen + 1;
+        const auto worst =
+            core::scoreSentinelWorst<ScoreT>(K::objective);
+
+        // scores[layer][(i * stride) + j]
+        std::vector<std::vector<ScoreT>> scores(
+            nLayers,
+            std::vector<ScoreT>(static_cast<size_t>((qlen + 1) * stride),
+                                worst));
+        std::vector<core::TbPtr> tbp(
+            static_cast<size_t>((qlen + 1) * stride));
+
+        // Initialization (paper front-end step 2).
+        for (int l = 0; l < nLayers; l++) {
+            scores[static_cast<size_t>(l)][0] =
+                K::originScore(l, _params);
+            for (int j = 1; j <= rlen; j++) {
+                scores[static_cast<size_t>(l)][static_cast<size_t>(j)] =
+                    K::initRowScore(j, l, _params);
+            }
+            for (int i = 1; i <= qlen; i++) {
+                scores[static_cast<size_t>(l)]
+                      [static_cast<size_t>(i * stride)] =
+                    K::initColScore(i, l, _params);
+            }
+        }
+
+        // Matrix fill in row-major order.
+        core::PeIn<ScoreT, CharT, nLayers> in;
+        for (int i = 1; i <= qlen; i++) {
+            for (int j = 1; j <= rlen; j++) {
+                if (!inBand(i, j))
+                    continue;
+                for (int l = 0; l < nLayers; l++) {
+                    const auto &s = scores[static_cast<size_t>(l)];
+                    const size_t up = static_cast<size_t>((i - 1) * stride + j);
+                    const size_t left = static_cast<size_t>(i * stride + j - 1);
+                    const size_t diag =
+                        static_cast<size_t>((i - 1) * stride + j - 1);
+                    in.up[static_cast<size_t>(l)] =
+                        inBandOrInit(i - 1, j) ? s[up] : worst;
+                    in.left[static_cast<size_t>(l)] =
+                        inBandOrInit(i, j - 1) ? s[left] : worst;
+                    in.diag[static_cast<size_t>(l)] =
+                        inBandOrInit(i - 1, j - 1) ? s[diag] : worst;
+                }
+                in.qryVal = query[i - 1];
+                in.refVal = reference[j - 1];
+                in.row = i;
+                in.col = j;
+                const auto out = K::peFunc(in, _params);
+                for (int l = 0; l < nLayers; l++) {
+                    scores[static_cast<size_t>(l)]
+                          [static_cast<size_t>(i * stride + j)] =
+                        out.score[static_cast<size_t>(l)];
+                }
+                tbp[static_cast<size_t>(i * stride + j)] = out.tbPtr;
+            }
+        }
+
+        // Locate the optimum per the traceback strategy. Tie-break:
+        // lexicographically smallest (row, col) among equal scores, the
+        // same canonical rule the systolic reduction implements.
+        Result res;
+        const auto &h = scores[0];
+        auto consider = [&](int i, int j) {
+            const ScoreT v = h[static_cast<size_t>(i * stride + j)];
+            if (res.end == core::Coord{} ||
+                core::isBetter(K::objective, v, res.score)) {
+                res.score = v;
+                res.end = core::Coord{i, j};
+            }
+        };
+        const bool degenerate = qlen == 0 || rlen == 0;
+        switch (K::alignKind) {
+          case core::AlignmentKind::Global:
+            consider(qlen, rlen);
+            break;
+          case core::AlignmentKind::Local:
+            for (int i = 1; i <= qlen; i++) {
+                for (int j = 1; j <= rlen; j++) {
+                    if (inBand(i, j))
+                        consider(i, j);
+                }
+            }
+            break;
+          case core::AlignmentKind::SemiGlobal:
+            if (!degenerate) {
+                for (int j = 1; j <= rlen; j++) {
+                    if (inBand(qlen, j))
+                        consider(qlen, j);
+                }
+            }
+            break;
+          case core::AlignmentKind::Overlap:
+            // Eligible cells visited in (row, col) lexicographic order so
+            // tie-breaking matches the systolic reduction exactly.
+            if (!degenerate) {
+                for (int i = 1; i < qlen; i++) {
+                    if (inBand(i, rlen))
+                        consider(i, rlen);
+                }
+                for (int j = 1; j <= rlen; j++) {
+                    if (inBand(qlen, j))
+                        consider(qlen, j);
+                }
+            }
+            break;
+        }
+
+        // An end cell outside the band means no feasible alignment: report
+        // the sentinel score without a traceback path, exactly like the
+        // systolic engine.
+        const bool feasible = inBand(res.end.row, res.end.col) ||
+                              res.end.row == 0 || res.end.col == 0;
+        if (K::hasTraceback && feasible) {
+            auto walk = core::walkTraceback<K>(
+                res.end, [&](int i, int j) {
+                    return tbp[static_cast<size_t>(i * stride + j)];
+                });
+            res.ops = std::move(walk.ops);
+            res.start = walk.start;
+        } else {
+            res.start = res.end;
+        }
+        return res;
+    }
+
+  private:
+    /** Neighbor validity: init row/column cells are always available. */
+    bool
+    inBandOrInit(int i, int j) const
+    {
+        if (i == 0 || j == 0)
+            return true;
+        return inBand(i, j);
+    }
+
+    typename K::Params _params;
+    int _bandWidth;
+};
+
+} // namespace dphls::ref
+
+#endif // DPHLS_REFERENCE_MATRIX_ALIGNER_HH

@@ -1,0 +1,87 @@
+#include "seq/alphabet.hh"
+
+namespace dphls::seq {
+
+namespace {
+
+constexpr char dnaLetters[5] = "ACGT";
+
+} // namespace
+
+const char aminoLetters[21] = "ARNDCQEGHILKMFPSTWYV";
+
+DnaChar
+dnaFromAscii(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return DnaChar{0};
+      case 'C': case 'c': return DnaChar{1};
+      case 'G': case 'g': return DnaChar{2};
+      case 'T': case 't': case 'U': case 'u': return DnaChar{3};
+      default: return DnaChar{0};
+    }
+}
+
+char
+dnaToAscii(DnaChar c)
+{
+    return dnaLetters[c.code & 0x3];
+}
+
+AminoChar
+aminoFromAscii(char c)
+{
+    for (uint8_t i = 0; i < 20; i++) {
+        if (aminoLetters[i] == c || aminoLetters[i] == (c - 'a' + 'A'))
+            return AminoChar{i};
+    }
+    return AminoChar{0};
+}
+
+char
+aminoToAscii(AminoChar c)
+{
+    return aminoLetters[c.code % 20];
+}
+
+DnaSequence
+dnaFromString(const std::string &s, std::string name)
+{
+    std::vector<DnaChar> chars;
+    chars.reserve(s.size());
+    for (char c : s)
+        chars.push_back(dnaFromAscii(c));
+    return DnaSequence(std::move(chars), std::move(name));
+}
+
+std::string
+dnaToString(const DnaSequence &s)
+{
+    std::string out;
+    out.reserve(s.chars.size());
+    for (auto c : s.chars)
+        out.push_back(dnaToAscii(c));
+    return out;
+}
+
+ProteinSequence
+proteinFromString(const std::string &s, std::string name)
+{
+    std::vector<AminoChar> chars;
+    chars.reserve(s.size());
+    for (char c : s)
+        chars.push_back(aminoFromAscii(c));
+    return ProteinSequence(std::move(chars), std::move(name));
+}
+
+std::string
+proteinToString(const ProteinSequence &s)
+{
+    std::string out;
+    out.reserve(s.chars.size());
+    for (auto c : s.chars)
+        out.push_back(aminoToAscii(c));
+    return out;
+}
+
+} // namespace dphls::seq

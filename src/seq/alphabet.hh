@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Sequence alphabets used by the 15 DP-HLS kernels.
+ *
+ * The paper's front-end step 1 lets a kernel define its own `char_t`; the
+ * four alphabets used across Table 1 are reproduced here:
+ *  - 2-bit DNA characters (kernels #1-7, #10-13),
+ *  - 5-bit amino-acid characters (kernel #15),
+ *  - profile columns of 5 frequencies (kernel #8),
+ *  - complex fixed-point samples (kernel #9) and integer samples (#14).
+ */
+
+#ifndef DPHLS_SEQ_ALPHABET_HH
+#define DPHLS_SEQ_ALPHABET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/ap_fixed.hh"
+#include "hls/ap_int.hh"
+
+namespace dphls::seq {
+
+/** A DNA base encoded in 2 bits (A=0, C=1, G=2, T=3). */
+struct DnaChar
+{
+    uint8_t code = 0;
+
+    static constexpr int numSymbols = 4;
+    static constexpr int bits = 2;
+
+    constexpr bool operator==(const DnaChar &) const = default;
+};
+
+/** Encode an ASCII nucleotide; unknown characters map to A. */
+DnaChar dnaFromAscii(char c);
+
+/** Decode a DnaChar back to its ASCII letter. */
+char dnaToAscii(DnaChar c);
+
+/** An amino acid encoded in 5 bits (0..19, standard IUPAC order). */
+struct AminoChar
+{
+    uint8_t code = 0;
+
+    static constexpr int numSymbols = 20;
+    static constexpr int bits = 5;
+
+    constexpr bool operator==(const AminoChar &) const = default;
+};
+
+/** The 20 canonical amino-acid letters in encoding order. */
+extern const char aminoLetters[21];
+
+/** Encode an ASCII amino-acid letter; unknown characters map to A(lanine). */
+AminoChar aminoFromAscii(char c);
+
+/** Decode an AminoChar back to its ASCII letter. */
+char aminoToAscii(AminoChar c);
+
+/**
+ * One column of a sequence profile: frequencies of A, C, G, T and gap.
+ * Used by the Profile Alignment kernel (#8); each character is a tuple of
+ * 5 integers as described in Section 2.2.1 of the paper.
+ */
+struct ProfileColumn
+{
+    std::array<uint16_t, 5> freq{};
+
+    static constexpr int numSymbols = 5;
+
+    /** Total number of observations in this column. */
+    int
+    total() const
+    {
+        int t = 0;
+        for (auto f : freq)
+            t += f;
+        return t;
+    }
+
+    bool operator==(const ProfileColumn &) const = default;
+};
+
+/**
+ * A complex signal sample for the DTW kernel (#9): two 32-bit fixed-point
+ * numbers, exactly as Listing 1 (right) of the paper.
+ */
+struct ComplexSample
+{
+    hls::ApFixed<32, 26> real{0};
+    hls::ApFixed<32, 26> imag{0};
+
+    bool
+    operator==(const ComplexSample &o) const
+    {
+        return real == o.real && imag == o.imag;
+    }
+};
+
+/** An integer signal sample for the sDTW kernel (#14), SquiggleFilter style. */
+struct SignalSample
+{
+    int16_t value = 0;
+
+    bool operator==(const SignalSample &) const = default;
+};
+
+/**
+ * A named sequence over an arbitrary alphabet.
+ *
+ * This is the host-side container handed to the device model; the systolic
+ * engine copies characters into its local query/reference buffers exactly
+ * as the FPGA kernel streams them in.
+ */
+template <typename C>
+struct Sequence
+{
+    std::string name;
+    std::vector<C> chars;
+
+    Sequence() = default;
+    explicit Sequence(std::vector<C> c, std::string n = {})
+        : name(std::move(n)), chars(std::move(c))
+    {}
+
+    int length() const { return static_cast<int>(chars.size()); }
+    const C &operator[](int i) const { return chars[i]; }
+    C &operator[](int i) { return chars[i]; }
+    bool empty() const { return chars.empty(); }
+};
+
+using DnaSequence = Sequence<DnaChar>;
+using ProteinSequence = Sequence<AminoChar>;
+using ProfileSequence = Sequence<ProfileColumn>;
+using ComplexSequence = Sequence<ComplexSample>;
+using SignalSequence = Sequence<SignalSample>;
+
+/** Convert an ASCII DNA string to a sequence. */
+DnaSequence dnaFromString(const std::string &s, std::string name = {});
+
+/** Convert a DNA sequence back to an ASCII string. */
+std::string dnaToString(const DnaSequence &s);
+
+/** Convert an ASCII protein string to a sequence. */
+ProteinSequence proteinFromString(const std::string &s, std::string name = {});
+
+/** Convert a protein sequence back to an ASCII string. */
+std::string proteinToString(const ProteinSequence &s);
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_ALPHABET_HH

@@ -1,0 +1,86 @@
+#include "seq/fasta.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dphls::seq {
+
+std::vector<FastaRecord>
+readFasta(std::istream &in)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    FastaRecord current;
+    bool have_record = false;
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            if (have_record)
+                records.push_back(std::move(current));
+            current = FastaRecord{};
+            current.name = line.substr(1);
+            have_record = true;
+        } else {
+            if (!have_record) {
+                throw std::runtime_error(
+                    "FASTA: residue line before any '>' header");
+            }
+            current.residues += line;
+        }
+    }
+    if (have_record)
+        records.push_back(std::move(current));
+    return records;
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("FASTA: cannot open " + path);
+    return readFasta(in);
+}
+
+void
+writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+           int line_width)
+{
+    for (const auto &rec : records) {
+        out << '>' << rec.name << '\n';
+        for (size_t i = 0; i < rec.residues.size();
+             i += static_cast<size_t>(line_width)) {
+            out << rec.residues.substr(i, static_cast<size_t>(line_width))
+                << '\n';
+        }
+    }
+}
+
+std::vector<DnaSequence>
+toDna(const std::vector<FastaRecord> &records)
+{
+    std::vector<DnaSequence> out;
+    out.reserve(records.size());
+    for (const auto &rec : records)
+        out.push_back(dnaFromString(rec.residues, rec.name));
+    return out;
+}
+
+std::vector<ProteinSequence>
+toProtein(const std::vector<FastaRecord> &records)
+{
+    std::vector<ProteinSequence> out;
+    out.reserve(records.size());
+    for (const auto &rec : records)
+        out.push_back(proteinFromString(rec.residues, rec.name));
+    return out;
+}
+
+} // namespace dphls::seq

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal FASTA reader/writer for DNA and protein sequences.
+ *
+ * The host-side programs in the paper read workload sequences from FASTA
+ * files before batching them to the device; the examples and benches here
+ * do the same so users can substitute their own data.
+ */
+
+#ifndef DPHLS_SEQ_FASTA_HH
+#define DPHLS_SEQ_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hh"
+
+namespace dphls::seq {
+
+/** A raw FASTA record: header (without '>') and residue string. */
+struct FastaRecord
+{
+    std::string name;
+    std::string residues;
+};
+
+/** Parse all records from a FASTA stream. Throws on malformed input. */
+std::vector<FastaRecord> readFasta(std::istream &in);
+
+/** Parse all records from a FASTA file. Throws if unreadable. */
+std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+/** Write records as FASTA with the given line width. */
+void writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,
+                int line_width = 70);
+
+/** Decode FASTA records as DNA sequences. */
+std::vector<DnaSequence> toDna(const std::vector<FastaRecord> &records);
+
+/** Decode FASTA records as protein sequences. */
+std::vector<ProteinSequence> toProtein(const std::vector<FastaRecord> &records);
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_FASTA_HH

@@ -1,0 +1,86 @@
+#include "seq/profile_builder.hh"
+
+#include <algorithm>
+
+#include "seq/read_simulator.hh"
+
+namespace dphls::seq {
+
+namespace {
+
+/**
+ * Derive one family member from the ancestor: substitutions keep columns
+ * aligned; gap runs mark columns as gapped (code 4) for this member.
+ */
+std::vector<uint8_t>
+deriveMember(const DnaSequence &ancestor, const ProfileConfig &cfg, Rng &rng)
+{
+    const int n = ancestor.length();
+    std::vector<uint8_t> member(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++) {
+        if (rng.chance(cfg.subRate)) {
+            member[static_cast<size_t>(i)] = static_cast<uint8_t>(
+                (ancestor[i].code + 1 + rng.below(3)) & 0x3);
+        } else {
+            member[static_cast<size_t>(i)] = ancestor[i].code;
+        }
+    }
+    // Gap runs.
+    for (int i = 0; i < n; i++) {
+        if (rng.chance(cfg.gapRate)) {
+            int run = 1;
+            while (rng.chance(1.0 - 1.0 / cfg.meanGapLength) &&
+                   run < 4 * cfg.meanGapLength) {
+                run++;
+            }
+            for (int j = i; j < std::min(n, i + run); j++)
+                member[static_cast<size_t>(j)] = 4;
+            i += run;
+        }
+    }
+    return member;
+}
+
+ProfileSequence
+profileFromAncestor(const DnaSequence &ancestor, const ProfileConfig &cfg,
+                    Rng &rng)
+{
+    const int n = ancestor.length();
+    std::vector<ProfileColumn> cols(static_cast<size_t>(n));
+    for (int m = 0; m < cfg.familySize; m++) {
+        const auto member = deriveMember(ancestor, cfg, rng);
+        for (int i = 0; i < n; i++)
+            cols[static_cast<size_t>(i)].freq[member[static_cast<size_t>(i)]]++;
+    }
+    return ProfileSequence(std::move(cols));
+}
+
+} // namespace
+
+ProfileSequence
+buildProfile(int columns, const ProfileConfig &cfg, Rng &rng)
+{
+    const DnaSequence ancestor = randomDna(columns, rng);
+    return profileFromAncestor(ancestor, cfg, rng);
+}
+
+std::vector<ProfilePair>
+sampleProfilePairs(int count, int columns, uint64_t seed)
+{
+    Rng rng(seed);
+    ProfileConfig cfg;
+    std::vector<ProfilePair> pairs;
+    pairs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++) {
+        // Both families descend from the same ancestor, so the profiles
+        // are homologous, mirroring the two Drosophila species windows.
+        const DnaSequence ancestor = randomDna(columns, rng);
+        ProfilePair p;
+        p.first = profileFromAncestor(ancestor, cfg, rng);
+        p.second = profileFromAncestor(ancestor, cfg, rng);
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+} // namespace dphls::seq

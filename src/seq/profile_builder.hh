@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sequence-profile construction for the Profile Alignment kernel (#8).
+ *
+ * The paper builds profiles from 256-bp windows of Drosophila genomes
+ * (Section 6.1). We substitute a simulated sequence family: an ancestor
+ * sequence is mutated (substitutions only, so columns stay aligned) into N
+ * descendants, and each profile column counts the A/C/G/T/gap frequencies
+ * across the family at that position. Gaps are introduced by masking runs
+ * of columns in individual family members.
+ */
+
+#ifndef DPHLS_SEQ_PROFILE_BUILDER_HH
+#define DPHLS_SEQ_PROFILE_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hh"
+#include "seq/random.hh"
+
+namespace dphls::seq {
+
+/** Configuration for family simulation. */
+struct ProfileConfig
+{
+    int familySize = 8;        //!< sequences per profile
+    double subRate = 0.05;     //!< per-base substitution rate vs ancestor
+    double gapRate = 0.01;     //!< probability a member opens a gap run
+    int meanGapLength = 4;     //!< mean length of a gap run
+};
+
+/**
+ * Build a profile of the given column count from a simulated family
+ * descended from a random ancestor.
+ */
+ProfileSequence buildProfile(int columns, const ProfileConfig &cfg, Rng &rng);
+
+/** A pair of related profiles (families descended from the same ancestor). */
+struct ProfilePair
+{
+    ProfileSequence first;
+    ProfileSequence second;
+};
+
+/** Sample related profile pairs for the kernel #8 workload. */
+std::vector<ProfilePair> sampleProfilePairs(int count, int columns,
+                                            uint64_t seed);
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_PROFILE_BUILDER_HH

@@ -1,0 +1,99 @@
+#include "seq/protein_sampler.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace dphls::seq {
+
+// Swiss-Prot release-level background frequencies (percent / 100),
+// order: A R N D C Q E G H I L K M F P S T W Y V.
+const double swissProtFrequencies[20] = {
+    0.0826, 0.0553, 0.0406, 0.0546, 0.0137, 0.0393, 0.0674, 0.0708,
+    0.0227, 0.0591, 0.0965, 0.0580, 0.0241, 0.0386, 0.0474, 0.0665,
+    0.0536, 0.0110, 0.0292, 0.0686,
+};
+
+namespace {
+
+const std::array<double, 20> &
+cumulativeFrequencies()
+{
+    static const std::array<double, 20> cum = [] {
+        std::array<double, 20> c{};
+        double acc = 0;
+        for (int i = 0; i < 20; i++) {
+            acc += swissProtFrequencies[i];
+            c[static_cast<size_t>(i)] = acc;
+        }
+        return c;
+    }();
+    return cum;
+}
+
+} // namespace
+
+ProteinSequence
+sampleProtein(int length, Rng &rng)
+{
+    const auto &cum = cumulativeFrequencies();
+    std::vector<AminoChar> chars(static_cast<size_t>(length));
+    for (auto &c : chars) {
+        c = AminoChar{static_cast<uint8_t>(
+            rng.discreteFromCumulative(cum, 20))};
+    }
+    return ProteinSequence(std::move(chars));
+}
+
+int
+sampleProteinLength(Rng &rng, int min_len, int max_len)
+{
+    // Log-normal with median ~290 aa and sigma 0.65 approximates the
+    // Swiss-Prot length histogram well enough for workload purposes.
+    const double len = rng.logNormal(std::log(290.0), 0.65);
+    return std::clamp(static_cast<int>(len), min_len, max_len);
+}
+
+ProteinSequence
+mutateProtein(const ProteinSequence &src, double sub_rate, double indel_rate,
+              Rng &rng)
+{
+    const auto &cum = cumulativeFrequencies();
+    std::vector<AminoChar> out;
+    out.reserve(src.chars.size());
+    for (const auto &c : src.chars) {
+        if (rng.chance(indel_rate / 2))
+            continue;
+        if (rng.chance(indel_rate / 2)) {
+            out.push_back(AminoChar{static_cast<uint8_t>(
+                rng.discreteFromCumulative(cum, 20))});
+        }
+        if (rng.chance(sub_rate)) {
+            out.push_back(AminoChar{static_cast<uint8_t>(
+                rng.discreteFromCumulative(cum, 20))});
+        } else {
+            out.push_back(c);
+        }
+    }
+    if (out.empty())
+        out.push_back(AminoChar{0});
+    return ProteinSequence(std::move(out));
+}
+
+std::vector<ProteinPair>
+sampleProteinPairs(int count, int length, double divergence, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<ProteinPair> pairs;
+    pairs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++) {
+        const int len = length > 0 ? length : sampleProteinLength(rng);
+        ProteinPair p;
+        p.target = sampleProtein(len, rng);
+        p.query = mutateProtein(p.target, divergence, divergence / 4, rng);
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+} // namespace dphls::seq

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic protein sequence sampler (UniProtKB/Swiss-Prot substitution).
+ *
+ * Kernel #15's workload in the paper is random samples from Swiss-Prot
+ * (Section 6.1). Without the database we sample sequences whose amino-acid
+ * composition follows the Swiss-Prot background frequencies and whose
+ * lengths follow a log-normal fit of the Swiss-Prot length distribution
+ * (median ~290 aa). Related pairs for alignment are produced by mutating a
+ * sampled sequence under BLOSUM-like substitution pressure.
+ */
+
+#ifndef DPHLS_SEQ_PROTEIN_SAMPLER_HH
+#define DPHLS_SEQ_PROTEIN_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hh"
+#include "seq/random.hh"
+
+namespace dphls::seq {
+
+/** Swiss-Prot background amino-acid frequencies in aminoLetters order. */
+extern const double swissProtFrequencies[20];
+
+/** Sample one protein sequence with background composition. */
+ProteinSequence sampleProtein(int length, Rng &rng);
+
+/** Sample a length from the Swiss-Prot-like log-normal distribution. */
+int sampleProteinLength(Rng &rng, int min_len = 30, int max_len = 2000);
+
+/** Mutate a protein with the given substitution and indel rates. */
+ProteinSequence mutateProtein(const ProteinSequence &src, double sub_rate,
+                              double indel_rate, Rng &rng);
+
+/** A query/target protein pair with controlled divergence. */
+struct ProteinPair
+{
+    ProteinSequence query;
+    ProteinSequence target;
+};
+
+/**
+ * Sample @p count protein pairs; each pair is a background-composition
+ * sequence of length @p length (0 = sample from the length distribution)
+ * and a mutated copy.
+ */
+std::vector<ProteinPair> sampleProteinPairs(int count, int length,
+                                            double divergence,
+                                            uint64_t seed);
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_PROTEIN_SAMPLER_HH

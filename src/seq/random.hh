@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All dataset generators (read simulator, protein sampler, squiggle
+ * generator, profile builder) draw from this engine so that every test and
+ * benchmark is exactly reproducible across platforms and standard-library
+ * implementations. The core generator is SplitMix64, which is tiny, fast
+ * and has well-understood statistical quality for this purpose.
+ */
+
+#ifndef DPHLS_SEQ_RANDOM_HH
+#define DPHLS_SEQ_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace dphls::seq {
+
+/** Deterministic 64-bit random engine (SplitMix64). */
+class Rng
+{
+  public:
+    explicit constexpr Rng(uint64_t seed) : _state(seed) {}
+
+    /** Next raw 64-bit value. */
+    constexpr uint64_t
+    next()
+    {
+        uint64_t z = (_state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, n) for n >= 1. */
+    constexpr uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    constexpr int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    constexpr double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    constexpr bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal deviate (Box-Muller, one value per call). */
+    double
+    normal()
+    {
+        // Avoid log(0) by nudging away from zero.
+        double u1 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Log-normal deviate with the given log-space mean and sigma. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+    /**
+     * Sample an index from a discrete distribution given cumulative
+     * weights (last entry is the total weight).
+     */
+    template <typename Cum>
+    int
+    discreteFromCumulative(const Cum &cum, int n)
+    {
+        const double r = uniform() * cum[n - 1];
+        for (int i = 0; i < n; i++) {
+            if (r < cum[i])
+                return i;
+        }
+        return n - 1;
+    }
+
+  private:
+    uint64_t _state;
+};
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_RANDOM_HH

@@ -1,0 +1,127 @@
+#include "seq/read_simulator.hh"
+
+#include <algorithm>
+
+namespace dphls::seq {
+
+DnaSequence
+makeReferenceGenome(int length, Rng &rng)
+{
+    return randomDna(length, rng);
+}
+
+DnaSequence
+randomDna(int length, Rng &rng)
+{
+    std::vector<DnaChar> chars(static_cast<size_t>(length));
+    for (auto &c : chars)
+        c = DnaChar{static_cast<uint8_t>(rng.below(4))};
+    return DnaSequence(std::move(chars));
+}
+
+SimulatedRead
+simulateRead(const DnaSequence &reference, const ReadSimConfig &cfg, Rng &rng)
+{
+    // Walk the reference emitting bases; at each step an error event may
+    // replace the base (substitution), emit an extra base (insertion) or
+    // skip the reference base (deletion). The walk continues until the
+    // read reaches the target length or the reference is exhausted.
+    const double p_err = cfg.errorRate;
+    const double f_total =
+        cfg.subFraction + cfg.insFraction + cfg.delFraction;
+    const double p_sub = p_err * cfg.subFraction / f_total;
+    const double p_ins = p_err * cfg.insFraction / f_total;
+    const double p_del = p_err * cfg.delFraction / f_total;
+
+    const int ref_len = reference.length();
+    const int max_start = std::max(0, ref_len - cfg.readLength - 1);
+    const int start = static_cast<int>(rng.below(
+        static_cast<uint64_t>(max_start + 1)));
+
+    std::vector<DnaChar> read;
+    read.reserve(static_cast<size_t>(cfg.readLength));
+    int pos = start;
+    while (static_cast<int>(read.size()) < cfg.readLength && pos < ref_len) {
+        const double r = rng.uniform();
+        if (r < p_sub) {
+            // Substitute with one of the three other bases.
+            const uint8_t orig = reference[pos].code;
+            const uint8_t repl = static_cast<uint8_t>(
+                (orig + 1 + rng.below(3)) & 0x3);
+            read.push_back(DnaChar{repl});
+            pos++;
+        } else if (r < p_sub + p_ins) {
+            read.push_back(DnaChar{static_cast<uint8_t>(rng.below(4))});
+            // Reference position does not advance.
+        } else if (r < p_sub + p_ins + p_del) {
+            pos++; // skip a reference base
+        } else {
+            read.push_back(reference[pos]);
+            pos++;
+        }
+    }
+
+    SimulatedRead out;
+    out.read = DnaSequence(std::move(read));
+    out.refStart = start;
+    out.refEnd = pos;
+    return out;
+}
+
+std::vector<ReadPair>
+simulateReadPairs(int count, const ReadSimConfig &cfg, int truncate_to,
+                  uint64_t seed)
+{
+    Rng rng(seed);
+    // A reference long enough to sample `count` mostly-disjoint reads.
+    const int genome_len =
+        std::max(cfg.readLength * 4, cfg.readLength + count * 64);
+    const DnaSequence genome = makeReferenceGenome(genome_len, rng);
+
+    std::vector<ReadPair> pairs;
+    pairs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++) {
+        SimulatedRead sim = simulateRead(genome, cfg, rng);
+        ReadPair p;
+        p.query = std::move(sim.read);
+        std::vector<DnaChar> window(
+            genome.chars.begin() + sim.refStart,
+            genome.chars.begin() + sim.refEnd);
+        p.target = DnaSequence(std::move(window));
+        if (truncate_to > 0) {
+            if (p.query.length() > truncate_to)
+                p.query.chars.resize(static_cast<size_t>(truncate_to));
+            if (p.target.length() > truncate_to)
+                p.target.chars.resize(static_cast<size_t>(truncate_to));
+        }
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+DnaSequence
+mutateDna(const DnaSequence &src, double sub_rate, double indel_rate,
+          Rng &rng)
+{
+    std::vector<DnaChar> out;
+    out.reserve(src.chars.size());
+    for (const auto &c : src.chars) {
+        if (rng.chance(indel_rate / 2)) {
+            continue; // deletion
+        }
+        if (rng.chance(indel_rate / 2)) {
+            out.push_back(DnaChar{static_cast<uint8_t>(rng.below(4))});
+        }
+        if (rng.chance(sub_rate)) {
+            out.push_back(DnaChar{static_cast<uint8_t>(
+                (c.code + 1 + rng.below(3)) & 0x3)});
+        } else {
+            out.push_back(c);
+        }
+    }
+    if (out.empty())
+        out.push_back(DnaChar{0});
+    return DnaSequence(std::move(out));
+}
+
+} // namespace dphls::seq

@@ -1,0 +1,140 @@
+#include "seq/squiggle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/read_simulator.hh"
+
+namespace dphls::seq {
+
+int
+poreModelLevel(uint64_t kmer_code, const SquiggleConfig &cfg)
+{
+    // SplitMix-style scramble keyed by the k-mer code: a fixed pseudo
+    // pore model. Levels span [levelMin, levelMax].
+    uint64_t z = kmer_code + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const int span = cfg.levelMax - cfg.levelMin + 1;
+    return cfg.levelMin + static_cast<int>(z % static_cast<uint64_t>(span));
+}
+
+namespace {
+
+uint64_t
+kmerCode(const DnaSequence &dna, int start, int k)
+{
+    uint64_t code = 0;
+    for (int i = 0; i < k; i++)
+        code = (code << 2) | dna[start + i].code;
+    return code;
+}
+
+} // namespace
+
+SignalSequence
+expectedSignal(const DnaSequence &dna, const SquiggleConfig &cfg)
+{
+    std::vector<SignalSample> out;
+    const int n_events = dna.length() - cfg.kmer + 1;
+    out.reserve(static_cast<size_t>(std::max(0, n_events)));
+    for (int i = 0; i < n_events; i++) {
+        out.push_back(SignalSample{static_cast<int16_t>(
+            poreModelLevel(kmerCode(dna, i, cfg.kmer), cfg))});
+    }
+    return SignalSequence(std::move(out));
+}
+
+SignalSequence
+rawSignal(const DnaSequence &dna, const SquiggleConfig &cfg, Rng &rng)
+{
+    std::vector<SignalSample> out;
+    const int n_events = dna.length() - cfg.kmer + 1;
+    for (int i = 0; i < n_events; i++) {
+        const int level = poreModelLevel(kmerCode(dna, i, cfg.kmer), cfg);
+        // Geometric-ish dwell around the mean (at least one sample).
+        int dwell = 1;
+        while (rng.uniform() < 1.0 - 1.0 / cfg.meanDwell &&
+               dwell < 4 * cfg.meanDwell) {
+            dwell++;
+        }
+        for (int s = 0; s < dwell; s++) {
+            const double noisy = level + cfg.noiseSigma * rng.normal();
+            const int clamped = std::clamp(static_cast<int>(noisy), 0, 1023);
+            out.push_back(SignalSample{static_cast<int16_t>(clamped)});
+        }
+    }
+    if (out.empty())
+        out.push_back(SignalSample{0});
+    return SignalSequence(std::move(out));
+}
+
+std::vector<SquigglePair>
+sampleSquigglePairs(int count, int ref_events, int query_events,
+                    uint64_t seed)
+{
+    Rng rng(seed);
+    SquiggleConfig cfg;
+    std::vector<SquigglePair> pairs;
+    pairs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++) {
+        const DnaSequence genome =
+            randomDna(ref_events + cfg.kmer - 1, rng);
+        SquigglePair p;
+        p.reference = expectedSignal(genome, cfg);
+
+        // The query reads a random sub-window of the genome.
+        const int max_start =
+            std::max(0, ref_events - query_events);
+        const int start = static_cast<int>(
+            rng.below(static_cast<uint64_t>(max_start + 1)));
+        std::vector<DnaChar> window(
+            genome.chars.begin() + start,
+            genome.chars.begin() + start + query_events + cfg.kmer - 1);
+        DnaSequence sub(std::move(window));
+
+        // One sample per event on average keeps query lengths bounded for
+        // the fixed-size device buffers; dwell warping is still present.
+        SquiggleConfig qcfg = cfg;
+        qcfg.meanDwell = 1.3;
+        p.query = rawSignal(sub, qcfg, rng);
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+ComplexSequence
+randomComplexSignal(int length, Rng &rng)
+{
+    std::vector<ComplexSample> out(static_cast<size_t>(length));
+    for (auto &s : out) {
+        s.real = hls::ApFixed<32, 26>(rng.uniform() * 64.0 - 32.0);
+        s.imag = hls::ApFixed<32, 26>(rng.uniform() * 64.0 - 32.0);
+    }
+    return ComplexSequence(std::move(out));
+}
+
+ComplexSequence
+warpComplexSignal(const ComplexSequence &src, double warp_prob, double noise,
+                  Rng &rng)
+{
+    std::vector<ComplexSample> out;
+    out.reserve(src.chars.size());
+    for (const auto &s : src.chars) {
+        int copies = 1;
+        if (rng.chance(warp_prob))
+            copies = rng.chance(0.5) ? 0 : 2; // drop or repeat
+        for (int c = 0; c < copies; c++) {
+            ComplexSample w;
+            w.real = s.real + hls::ApFixed<32, 26>(noise * rng.normal());
+            w.imag = s.imag + hls::ApFixed<32, 26>(noise * rng.normal());
+            out.push_back(w);
+        }
+    }
+    if (out.empty())
+        out.push_back(ComplexSample{});
+    return ComplexSequence(std::move(out));
+}
+
+} // namespace dphls::seq

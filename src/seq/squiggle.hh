@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic nanopore signal ("squiggle") generator.
+ *
+ * Substitutes for two paper datasets: randomly generated complex-number
+ * sequences for the DTW kernel (#9) and the SquiggleFilter dataset for the
+ * sDTW kernel (#14). The squiggle model follows the standard nanopore
+ * abstraction: a DNA sequence passes through the pore k bases at a time
+ * and each k-mer produces a characteristic current level; events dwell a
+ * variable number of samples and carry Gaussian noise, which is what makes
+ * time-warping alignment necessary.
+ */
+
+#ifndef DPHLS_SEQ_SQUIGGLE_HH
+#define DPHLS_SEQ_SQUIGGLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hh"
+#include "seq/random.hh"
+
+namespace dphls::seq {
+
+/** Configuration for squiggle synthesis. */
+struct SquiggleConfig
+{
+    int kmer = 6;              //!< pore model k-mer size
+    double meanDwell = 8.0;    //!< mean samples per k-mer event
+    double noiseSigma = 2.5;   //!< Gaussian noise on each sample
+    int levelMin = 40;         //!< min pore current level (ADC units)
+    int levelMax = 220;        //!< max pore current level (ADC units)
+};
+
+/**
+ * Deterministic pore model: maps a k-mer code to its expected current
+ * level via a seeded hash, so the same k-mer always yields the same level.
+ */
+int poreModelLevel(uint64_t kmer_code, const SquiggleConfig &cfg);
+
+/** Generate the noiseless expected signal for a DNA sequence (1/k-mer). */
+SignalSequence expectedSignal(const DnaSequence &dna,
+                              const SquiggleConfig &cfg);
+
+/**
+ * Generate a noisy, time-warped raw signal for a DNA sequence: each k-mer
+ * event dwells a geometric number of samples around meanDwell and each
+ * sample carries Gaussian noise.
+ */
+SignalSequence rawSignal(const DnaSequence &dna, const SquiggleConfig &cfg,
+                         Rng &rng);
+
+/** A query signal plus the reference signal window it was drawn from. */
+struct SquigglePair
+{
+    SignalSequence query;      //!< noisy warped read signal
+    SignalSequence reference;  //!< noiseless expected reference signal
+};
+
+/**
+ * Sample sDTW workload pairs: reference = expected signal of a genome
+ * window, query = raw signal of a sub-window read; query starts somewhere
+ * inside the reference (semi-global setting).
+ */
+std::vector<SquigglePair> sampleSquigglePairs(int count, int ref_events,
+                                              int query_events,
+                                              uint64_t seed);
+
+/** Generate random complex-number sequences for the DTW kernel (#9). */
+ComplexSequence randomComplexSignal(int length, Rng &rng);
+
+/**
+ * Generate a warped + noisy copy of a complex signal (samples repeated or
+ * dropped, small additive noise) so DTW has real structure to recover.
+ */
+ComplexSequence warpComplexSignal(const ComplexSequence &src,
+                                  double warp_prob, double noise,
+                                  Rng &rng);
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_SQUIGGLE_HH

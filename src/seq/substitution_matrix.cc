@@ -1,0 +1,73 @@
+#include "seq/substitution_matrix.hh"
+
+namespace dphls::seq {
+
+DnaMatrix
+makeDnaMatrix(int match, int mismatch)
+{
+    DnaMatrix m;
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++)
+            m.score[a][b] = static_cast<int8_t>(a == b ? match : mismatch);
+    }
+    return m;
+}
+
+DnaMatrix
+makeTransitionAwareDnaMatrix(int match, int transition, int transversion)
+{
+    // Encoding: A=0, C=1, G=2, T=3. Transitions are A<->G and C<->T.
+    DnaMatrix m;
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++) {
+            if (a == b) {
+                m.score[a][b] = static_cast<int8_t>(match);
+            } else if ((a ^ b) == 2) { // 0^2 == 2 (A/G), 1^3 == 2 (C/T)
+                m.score[a][b] = static_cast<int8_t>(transition);
+            } else {
+                m.score[a][b] = static_cast<int8_t>(transversion);
+            }
+        }
+    }
+    return m;
+}
+
+const ProteinMatrix &
+blosum62()
+{
+    // Row/column order follows aminoLetters: A R N D C Q E G H I L K M F P
+    // S T W Y V (standard BLOSUM62 values).
+    static const ProteinMatrix m = [] {
+        ProteinMatrix b;
+        static const int8_t rows[20][20] = {
+            { 4,-1,-2,-2, 0,-1,-1, 0,-2,-1,-1,-1,-1,-2,-1, 1, 0,-3,-2, 0},
+            {-1, 5, 0,-2,-3, 1, 0,-2, 0,-3,-2, 2,-1,-3,-2,-1,-1,-3,-2,-3},
+            {-2, 0, 6, 1,-3, 0, 0, 0, 1,-3,-3, 0,-2,-3,-2, 1, 0,-4,-2,-3},
+            {-2,-2, 1, 6,-3, 0, 2,-1,-1,-3,-4,-1,-3,-3,-1, 0,-1,-4,-3,-3},
+            { 0,-3,-3,-3, 9,-3,-4,-3,-3,-1,-1,-3,-1,-2,-3,-1,-1,-2,-2,-1},
+            {-1, 1, 0, 0,-3, 5, 2,-2, 0,-3,-2, 1, 0,-3,-1, 0,-1,-2,-1,-2},
+            {-1, 0, 0, 2,-4, 2, 5,-2, 0,-3,-3, 1,-2,-3,-1, 0,-1,-3,-2,-2},
+            { 0,-2, 0,-1,-3,-2,-2, 6,-2,-4,-4,-2,-3,-3,-2, 0,-2,-2,-3,-3},
+            {-2, 0, 1,-1,-3, 0, 0,-2, 8,-3,-3,-1,-2,-1,-2,-1,-2,-2, 2,-3},
+            {-1,-3,-3,-3,-1,-3,-3,-4,-3, 4, 2,-3, 1, 0,-3,-2,-1,-3,-1, 3},
+            {-1,-2,-3,-4,-1,-2,-3,-4,-3, 2, 4,-2, 2, 0,-3,-2,-1,-2,-1, 1},
+            {-1, 2, 0,-1,-3, 1, 1,-2,-1,-3,-2, 5,-1,-3,-1, 0,-1,-3,-2,-2},
+            {-1,-1,-2,-3,-1, 0,-2,-3,-2, 1, 2,-1, 5, 0,-2,-1,-1,-1,-1, 1},
+            {-2,-3,-3,-3,-2,-3,-3,-3,-1, 0, 0,-3, 0, 6,-4,-2,-2, 1, 3,-1},
+            {-1,-2,-2,-1,-3,-1,-1,-2,-2,-3,-3,-1,-2,-4, 7,-1,-1,-4,-3,-2},
+            { 1,-1, 1, 0,-1, 0, 0, 0,-1,-2,-2, 0,-1,-2,-1, 4, 1,-3,-2,-2},
+            { 0,-1, 0,-1,-1,-1,-1,-2,-2,-1,-1,-1,-1,-2,-1, 1, 5,-2,-2, 0},
+            {-3,-3,-4,-4,-2,-2,-3,-2,-2,-3,-2,-3,-1, 1,-4,-3,-2,11, 2,-3},
+            {-2,-2,-2,-3,-2,-1,-2,-3, 2,-1,-1,-2,-1, 3,-3,-2,-2, 2, 7,-1},
+            { 0,-3,-3,-3,-1,-2,-2,-3,-3, 3, 1,-2, 1,-1,-2,-2, 0,-3,-1, 4},
+        };
+        for (int a = 0; a < 20; a++) {
+            for (int c = 0; c < 20; c++)
+                b.score[a][c] = rows[a][c];
+        }
+        return b;
+    }();
+    return m;
+}
+
+} // namespace dphls::seq

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Substitution score matrices for DNA and protein alignment.
+ *
+ * Section 2.2.2(a) of the paper: beyond single match/mismatch values,
+ * kernels may score substitutions from a full matrix (e.g. BLOSUM62 for
+ * protein kernel #15, or a transition/transversion-aware DNA matrix).
+ */
+
+#ifndef DPHLS_SEQ_SUBSTITUTION_MATRIX_HH
+#define DPHLS_SEQ_SUBSTITUTION_MATRIX_HH
+
+#include <array>
+#include <cstdint>
+
+#include "seq/alphabet.hh"
+
+namespace dphls::seq {
+
+/** A dense N x N substitution score matrix over an encoded alphabet. */
+template <int N>
+struct ScoreMatrix
+{
+    std::array<std::array<int8_t, N>, N> score{};
+
+    constexpr int8_t
+    operator()(int a, int b) const
+    {
+        return score[a][b];
+    }
+};
+
+using DnaMatrix = ScoreMatrix<4>;
+using ProteinMatrix = ScoreMatrix<20>;
+
+/** Simple DNA matrix: +match on the diagonal, -mismatch elsewhere. */
+DnaMatrix makeDnaMatrix(int match, int mismatch);
+
+/**
+ * DNA matrix that penalizes transversions (purine<->pyrimidine) more than
+ * transitions (A<->G, C<->T), as used by tools like LASTZ.
+ */
+DnaMatrix makeTransitionAwareDnaMatrix(int match, int transition,
+                                       int transversion);
+
+/** The BLOSUM62 matrix in the encoding order of `aminoLetters`. */
+const ProteinMatrix &blosum62();
+
+} // namespace dphls::seq
+
+#endif // DPHLS_SEQ_SUBSTITUTION_MATRIX_HH

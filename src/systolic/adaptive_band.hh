@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Adaptive banding extension (paper Section 2.2.4).
+ *
+ * The paper's kernels use *fixed* banding; adaptive methods (X-Drop,
+ * Suzuki-Kasahara) move a constant-width band to follow the best-scoring
+ * diagonal, pruning far more of the matrix for the same accuracy. This
+ * module implements that variation on top of any score-only kernel
+ * specification: after each row the band re-centers on the row's best
+ * column. It reports the cells actually computed and a device-cycle
+ * estimate for the equivalent systolic schedule, enabling the
+ * fixed-vs-adaptive ablation in the micro-benchmarks.
+ *
+ * Like kernels #10/#12/#14, this is a score-only path (adaptive-band
+ * traceback needs GACT-style tiling on top; see host/tiling.hh).
+ */
+
+#ifndef DPHLS_SYSTOLIC_ADAPTIVE_BAND_HH
+#define DPHLS_SYSTOLIC_ADAPTIVE_BAND_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/alignment.hh"
+#include "core/kernel_concept.hh"
+#include "core/types.hh"
+#include "seq/alphabet.hh"
+
+namespace dphls::sim {
+
+/** Outcome of an adaptive-banded alignment. */
+template <typename ScoreT>
+struct AdaptiveBandResult
+{
+    ScoreT score{};
+    core::Coord end;
+    bool feasible = false;      //!< the strategy's end region was covered
+    uint64_t cellsComputed = 0;
+    uint64_t cycleEstimate = 0; //!< systolic cycles for this schedule
+};
+
+/**
+ * Adaptive-banded score-only aligner for kernel @p K: a band of width
+ * @p band_width re-centers each row on the previous row's best column.
+ */
+template <core::KernelSpec K>
+class AdaptiveBandAligner
+{
+  public:
+    using ScoreT = typename K::ScoreT;
+    using CharT = typename K::CharT;
+
+    explicit AdaptiveBandAligner(int band_width = 64, int npe = 32,
+                                 typename K::Params params =
+                                     K::defaultParams())
+        : _bandWidth(std::max(2, band_width)), _npe(std::max(1, npe)),
+          _params(params)
+    {}
+
+    AdaptiveBandResult<ScoreT>
+    align(const seq::Sequence<CharT> &query,
+          const seq::Sequence<CharT> &reference) const
+    {
+        const int qlen = query.length();
+        const int rlen = reference.length();
+        const auto worst = core::scoreSentinelWorst<ScoreT>(K::objective);
+        constexpr int layers = K::nLayers;
+
+        AdaptiveBandResult<ScoreT> out;
+        if (qlen == 0 || rlen == 0)
+            return out;
+
+        // Rolling rows over the full width; only band cells are touched.
+        std::vector<std::array<ScoreT, layers>> prev(
+            static_cast<size_t>(rlen + 1)),
+            cur(static_cast<size_t>(rlen + 1));
+        for (int j = 0; j <= rlen; j++) {
+            for (int l = 0; l < layers; l++) {
+                prev[static_cast<size_t>(j)][static_cast<size_t>(l)] =
+                    j == 0 ? K::originScore(l, _params)
+                           : K::initRowScore(j, l, _params);
+            }
+        }
+        int prev_lo = 0, prev_hi = rlen; // row 0 fully initialized
+
+        core::PeIn<ScoreT, CharT, layers> in;
+        std::array<ScoreT, layers> sentinel_cell;
+        sentinel_cell.fill(worst);
+
+        ScoreT best_score{};
+        core::Coord best_cell;
+        bool best_valid = false;
+        auto consider = [&](ScoreT v, int i, int j) {
+            if (!best_valid || core::isBetter(K::objective, v, best_score)) {
+                best_score = v;
+                best_cell = core::Coord{i, j};
+                best_valid = true;
+            }
+        };
+
+        int lo = 1, hi = std::min(rlen, _bandWidth);
+        for (int i = 1; i <= qlen; i++) {
+            // Left edge of the band: column 0 init or a pruned cell.
+            for (int l = 0; l < layers; l++) {
+                cur[static_cast<size_t>(lo - 1)][static_cast<size_t>(l)] =
+                    lo == 1 ? K::initColScore(i, l, _params) : worst;
+            }
+            ScoreT row_best{};
+            int row_best_col = lo;
+            bool row_best_valid = false;
+            for (int j = lo; j <= hi; j++) {
+                const auto &up =
+                    (j >= prev_lo && j <= prev_hi)
+                        ? prev[static_cast<size_t>(j)] : sentinel_cell;
+                const auto &diag =
+                    (j - 1 >= prev_lo && j - 1 <= prev_hi)
+                        ? prev[static_cast<size_t>(j - 1)] : sentinel_cell;
+                const auto &left = cur[static_cast<size_t>(j - 1)];
+                for (int l = 0; l < layers; l++) {
+                    in.up[static_cast<size_t>(l)] =
+                        up[static_cast<size_t>(l)];
+                    in.diag[static_cast<size_t>(l)] =
+                        diag[static_cast<size_t>(l)];
+                    in.left[static_cast<size_t>(l)] =
+                        left[static_cast<size_t>(l)];
+                }
+                in.qryVal = query[i - 1];
+                in.refVal = reference[j - 1];
+                in.row = i;
+                in.col = j;
+                const auto cell = K::peFunc(in, _params);
+                for (int l = 0; l < layers; l++) {
+                    cur[static_cast<size_t>(j)][static_cast<size_t>(l)] =
+                        cell.score[static_cast<size_t>(l)];
+                }
+                out.cellsComputed++;
+
+                const ScoreT v = cell.score[0];
+                if (!row_best_valid ||
+                    core::isBetter(K::objective, v, row_best)) {
+                    row_best = v;
+                    row_best_col = j;
+                    row_best_valid = true;
+                }
+                if (eligible(i, j, qlen, rlen))
+                    consider(v, i, j);
+            }
+
+            // Re-center the band, never moving left (the alignment path
+            // is monotone). Two forces combine: the row's best column
+            // (score-following) and the expected main diagonal
+            // (drift-following); the latter keeps the band moving through
+            // score valleys such as long gaps, where the per-row argmax
+            // stalls on the old diagonal.
+            const int center = row_best_col + 1;
+            const int diag_col = static_cast<int>(
+                (static_cast<int64_t>(i + 1) * rlen + qlen / 2) / qlen);
+            const int next_lo = std::clamp(
+                std::max(center, diag_col) - _bandWidth / 2, lo, rlen);
+            prev_lo = lo;
+            prev_hi = hi;
+            lo = std::max(1, next_lo);
+            hi = std::min(rlen, lo + _bandWidth - 1);
+            std::swap(prev, cur);
+        }
+
+        out.feasible = best_valid;
+        if (best_valid) {
+            out.score = best_score;
+            out.end = best_cell;
+        } else {
+            out.score = worst;
+            out.end = core::Coord{qlen, rlen};
+        }
+
+        // Systolic schedule estimate: same chunked wavefront mapping as
+        // the fixed-band engine, with band-width loop bounds.
+        uint64_t fill = 0;
+        int remaining = qlen;
+        while (remaining > 0) {
+            const int rows = std::min(_npe, remaining);
+            fill += static_cast<uint64_t>(
+                        (_bandWidth + 2 * (rows - 1)) * K::ii) + 6;
+            remaining -= rows;
+        }
+        out.cycleEstimate = fill +
+            static_cast<uint64_t>(std::max(qlen, rlen)) + // init
+            static_cast<uint64_t>((qlen + rlen) / 32 + 2); // load
+        return out;
+    }
+
+  private:
+    static bool
+    eligible(int i, int j, int qlen, int rlen)
+    {
+        switch (K::alignKind) {
+          case core::AlignmentKind::Global:
+            return i == qlen && j == rlen;
+          case core::AlignmentKind::Local:
+            return true;
+          case core::AlignmentKind::SemiGlobal:
+            return i == qlen;
+          case core::AlignmentKind::Overlap:
+            return i == qlen || j == rlen;
+        }
+        return false;
+    }
+
+    int _bandWidth;
+    int _npe;
+    typename K::Params _params;
+};
+
+} // namespace dphls::sim
+
+#endif // DPHLS_SYSTOLIC_ADAPTIVE_BAND_HH

@@ -1,0 +1,21 @@
+#include "systolic/cycle_model.hh"
+
+#include <algorithm>
+
+namespace dphls::sim {
+
+uint64_t
+totalCycles(const CycleStats &stats, const CycleModelOptions &opt)
+{
+    const uint64_t front = stats.seqLoad + stats.init;
+    const uint64_t body = stats.fill + stats.reduction + stats.traceback +
+                          stats.writeback + stats.extra;
+    if (opt.overlapLoadInit) {
+        // Load/init of alignment N+1 proceeds while alignment N computes:
+        // in steady state only the larger of the two phases is exposed.
+        return std::max<uint64_t>(front, body);
+    }
+    return front + body;
+}
+
+} // namespace dphls::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cycle accounting for the systolic back-end.
+ *
+ * The paper computes kernel throughput from co-simulation cycle counts,
+ * the achieved clock frequency and the number of parallel alignments
+ * (Section 6.2). The engine tallies cycles per phase; this model combines
+ * them according to the accelerator's phase-overlap capabilities:
+ *
+ *  - DP-HLS executes sequence load, initialization, matrix fill, max
+ *    reduction, traceback and write-back sequentially (Section 7.3);
+ *  - hand-written RTL baselines (GACT, BSW, SquiggleFilter) overlap load
+ *    and initialization with the previous alignment's compute, which is
+ *    exactly the 7.7-16.8% throughput edge the paper reports;
+ *  - the Vitis Genomics Library baseline streams data through host
+ *    channels, adding a per-alignment stall (Section 7.5).
+ */
+
+#ifndef DPHLS_SYSTOLIC_CYCLE_MODEL_HH
+#define DPHLS_SYSTOLIC_CYCLE_MODEL_HH
+
+#include <cstdint>
+
+namespace dphls::sim {
+
+/** Per-phase cycle counts for one alignment on one block. */
+struct CycleStats
+{
+    uint64_t seqLoad = 0;    //!< streaming query+reference into local buffers
+    uint64_t init = 0;       //!< writing init row/column score buffers
+    uint64_t fill = 0;       //!< wavefront loop (trips x II + chunk overhead)
+    uint64_t fillTrips = 0;  //!< raw wavefront loop trips
+    uint64_t chunks = 0;     //!< query chunks processed
+    uint64_t reduction = 0;  //!< max-cell reduction over PEs
+    uint64_t traceback = 0;  //!< traceback FSM steps
+    uint64_t writeback = 0;  //!< streaming the path back to the host
+    uint64_t extra = 0;      //!< accelerator-specific stalls (HLS baseline)
+};
+
+/** Phase-overlap capabilities of an accelerator implementation. */
+struct CycleModelOptions
+{
+    /**
+     * Overlap sequence load + init with compute (RTL baselines). DP-HLS
+     * performs these phases sequentially; see paper Section 7.3.
+     */
+    bool overlapLoadInit = false;
+    /** Pipeline fill/drain overhead added per chunk. */
+    int pipelineDepth = 6;
+    /** Cycles per traceback step (BRAM access is pipelined; 1 nominal). */
+    int tracebackCyclesPerStep = 1;
+    /** Alignment ops packed per write-back cycle. */
+    int writebackOpsPerCycle = 4;
+    /**
+     * Host-streaming stall cycles per sequence character. Zero for DP-HLS
+     * (sequences live in device memory); nonzero for the Vitis Genomics
+     * Library baseline, which streams data through host channels
+     * (Section 7.5).
+     */
+    int hostStreamCyclesPerChar = 0;
+};
+
+/** Combine phase counts into total cycles per alignment. */
+uint64_t totalCycles(const CycleStats &stats, const CycleModelOptions &opt);
+
+} // namespace dphls::sim
+
+#endif // DPHLS_SYSTOLIC_CYCLE_MODEL_HH

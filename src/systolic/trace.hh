@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Structural schedule tracing for the systolic engine.
+ *
+ * Section 7.2 of the paper verifies that the HLS-generated RTL "exhibits
+ * the expected linear systolic array behavior" by checking throughput and
+ * resource scaling. The simulator can do better: it can emit the exact
+ * compute schedule (which PE computes which cell on which wavefront of
+ * which chunk, and which traceback-bank address it writes) so tests can
+ * assert the structural invariants directly:
+ *
+ *  - PE p of chunk c always computes row c*NPE + p + 1;
+ *  - cell (i, j) is computed on wavefront (j-1) + p of its chunk
+ *    (anti-diagonal schedule);
+ *  - all PEs write the same traceback-bank address on a given wavefront
+ *    (address coalescing, Section 5.2);
+ *  - every in-band cell is computed exactly once.
+ */
+
+#ifndef DPHLS_SYSTOLIC_TRACE_HH
+#define DPHLS_SYSTOLIC_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dphls::sim {
+
+/** One PE-cycle of the systolic schedule. */
+struct ScheduleEvent
+{
+    int chunk = 0;     //!< query chunk index
+    int wavefront = 0; //!< wavefront (anti-diagonal) within the chunk
+    int pe = 0;        //!< processing element index
+    int row = 0;       //!< matrix row computed (1-based)
+    int col = 0;       //!< matrix column computed (1-based)
+    bool valid = false; //!< inside the matrix and the band
+    int tbAddr = -1;   //!< traceback-bank address written (-1 if none)
+};
+
+/** Schedule sink; attach to EngineConfig::trace to record execution. */
+using ScheduleTrace = std::vector<ScheduleEvent>;
+
+} // namespace dphls::sim
+
+#endif // DPHLS_SYSTOLIC_TRACE_HH

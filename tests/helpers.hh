@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared helpers for the DP-HLS test suite: workload generation per
+ * alphabet and independent path re-scoring used to validate tracebacks.
+ */
+
+#ifndef DPHLS_TESTS_HELPERS_HH
+#define DPHLS_TESTS_HELPERS_HH
+
+#include <cstdint>
+
+#include "core/alignment.hh"
+#include "kernels/all.hh"
+#include "seq/profile_builder.hh"
+#include "seq/protein_sampler.hh"
+#include "seq/read_simulator.hh"
+#include "seq/squiggle.hh"
+
+namespace dphls::test {
+
+/** A query/reference pair over an arbitrary alphabet. */
+template <typename CharT>
+struct Pair
+{
+    seq::Sequence<CharT> query;
+    seq::Sequence<CharT> reference;
+};
+
+/** Random related DNA pair (lengths up to max_len). */
+inline Pair<seq::DnaChar>
+randomDnaPair(seq::Rng &rng, int max_len, bool related = true,
+              bool equal_len = false)
+{
+    const int qlen = 1 + static_cast<int>(rng.below(
+        static_cast<uint64_t>(max_len)));
+    Pair<seq::DnaChar> p;
+    p.query = seq::randomDna(qlen, rng);
+    if (related) {
+        p.reference = seq::mutateDna(p.query, 0.15, 0.08, rng);
+    } else {
+        const int rlen = 1 + static_cast<int>(rng.below(
+            static_cast<uint64_t>(max_len)));
+        p.reference = seq::randomDna(rlen, rng);
+    }
+    if (equal_len) {
+        const int len =
+            std::min(p.query.length(), p.reference.length());
+        p.query.chars.resize(static_cast<size_t>(len));
+        p.reference.chars.resize(static_cast<size_t>(len));
+    }
+    return p;
+}
+
+/**
+ * Independent re-scoring of a traceback path for linear-gap kernels:
+ * walks the path over the original sequences and accumulates the score
+ * the kernel should have reported. `start`/`end` are the walk endpoints
+ * (1-based cell coordinates).
+ */
+template <typename CharT, typename EqFn>
+int64_t
+rescoreLinearPath(const seq::Sequence<CharT> &q,
+                  const seq::Sequence<CharT> &r,
+                  const std::vector<core::AlnOp> &ops, core::Coord start,
+                  int64_t match, int64_t mismatch, int64_t gap, EqFn eq)
+{
+    int64_t score = 0;
+    int qi = start.row;
+    int rj = start.col;
+    for (const auto op : ops) {
+        switch (op) {
+          case core::AlnOp::Match:
+            score += eq(q[qi], r[rj]) ? match : mismatch;
+            qi++;
+            rj++;
+            break;
+          case core::AlnOp::Ins:
+            score += gap;
+            qi++;
+            break;
+          case core::AlnOp::Del:
+            score += gap;
+            rj++;
+            break;
+        }
+    }
+    return score;
+}
+
+/** Affine re-scoring of a path (open = first gap char). */
+template <typename CharT, typename EqFn>
+int64_t
+rescoreAffinePath(const seq::Sequence<CharT> &q,
+                  const seq::Sequence<CharT> &r,
+                  const std::vector<core::AlnOp> &ops, core::Coord start,
+                  int64_t match, int64_t mismatch, int64_t open,
+                  int64_t extend, EqFn eq)
+{
+    int64_t score = 0;
+    int qi = start.row;
+    int rj = start.col;
+    core::AlnOp prev = core::AlnOp::Match;
+    for (const auto op : ops) {
+        switch (op) {
+          case core::AlnOp::Match:
+            score += eq(q[qi], r[rj]) ? match : mismatch;
+            qi++;
+            rj++;
+            break;
+          case core::AlnOp::Ins:
+            score -= prev == core::AlnOp::Ins ? extend : open;
+            qi++;
+            break;
+          case core::AlnOp::Del:
+            score -= prev == core::AlnOp::Del ? extend : open;
+            rj++;
+            break;
+        }
+        prev = op;
+    }
+    return score;
+}
+
+} // namespace dphls::test
+
+#endif // DPHLS_TESTS_HELPERS_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the adaptive banding extension (paper Section 2.2.4): score
+ * agreement with full DP on realistic pairs, pruning effectiveness, and
+ * band-width monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "kernels/global_affine.hh"
+#include "kernels/global_linear.hh"
+#include "kernels/local_linear.hh"
+#include "reference/classic.hh"
+#include "seq/read_simulator.hh"
+#include "systolic/adaptive_band.hh"
+
+using namespace dphls;
+
+TEST(AdaptiveBand, MatchesFullDpOnRelatedPairs)
+{
+    seq::Rng rng(81);
+    sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(48);
+    for (int t = 0; t < 10; t++) {
+        const auto r = seq::randomDna(400, rng);
+        const auto q = seq::mutateDna(r, 0.08, 0.04, rng);
+        const auto got = aligner.align(q, r);
+        ASSERT_TRUE(got.feasible);
+        EXPECT_EQ(got.score,
+                  ref::classic::nwScore(q, r, 1, -1, -1)) << "trial " << t;
+    }
+}
+
+TEST(AdaptiveBand, MatchesFullAffineDp)
+{
+    seq::Rng rng(82);
+    sim::AdaptiveBandAligner<kernels::GlobalAffine> aligner(64);
+    for (int t = 0; t < 8; t++) {
+        const auto r = seq::randomDna(300, rng);
+        const auto q = seq::mutateDna(r, 0.08, 0.04, rng);
+        const auto got = aligner.align(q, r);
+        ASSERT_TRUE(got.feasible);
+        EXPECT_EQ(got.score,
+                  ref::classic::gotohScore(q, r, 2, -3, 4, 1));
+    }
+}
+
+TEST(AdaptiveBand, ComputesFarFewerCellsThanFullMatrix)
+{
+    seq::Rng rng(83);
+    const auto r = seq::randomDna(600, rng);
+    const auto q = seq::mutateDna(r, 0.1, 0.05, rng);
+    sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(48);
+    const auto got = aligner.align(q, r);
+    const uint64_t full =
+        static_cast<uint64_t>(q.length()) * static_cast<uint64_t>(r.length());
+    EXPECT_LT(got.cellsComputed, full / 5);
+    EXPECT_LE(got.cellsComputed,
+              static_cast<uint64_t>(q.length()) * 48u);
+}
+
+TEST(AdaptiveBand, NeverBeatsOptimal)
+{
+    seq::Rng rng(84);
+    for (const int band : {8, 16, 32}) {
+        sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(band);
+        for (int t = 0; t < 6; t++) {
+            const auto r = seq::randomDna(200, rng);
+            const auto q = seq::mutateDna(r, 0.2, 0.1, rng);
+            const auto got = aligner.align(q, r);
+            if (!got.feasible)
+                continue;
+            EXPECT_LE(got.score, ref::classic::nwScore(q, r, 1, -1, -1));
+        }
+    }
+}
+
+TEST(AdaptiveBand, WiderBandNeverWorse)
+{
+    seq::Rng rng(85);
+    for (int t = 0; t < 6; t++) {
+        const auto r = seq::randomDna(300, rng);
+        const auto q = seq::mutateDna(r, 0.15, 0.08, rng);
+        int32_t prev = std::numeric_limits<int32_t>::min();
+        for (const int band : {16, 48, 128, 512}) {
+            sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(band);
+            const auto got = aligner.align(q, r);
+            if (got.feasible) {
+                EXPECT_GE(got.score, prev) << "band " << band;
+                prev = got.score;
+            }
+        }
+    }
+}
+
+TEST(AdaptiveBand, TracksLargeIndelWhereNarrowFixedBandFails)
+{
+    // A 60-base deletion mid-sequence: a fixed 32-band around the main
+    // diagonal cannot even reach the end cell; the adaptive band (wide
+    // enough to straddle the gap while crossing it) follows the shifted
+    // diagonal and recovers the exact optimum while still pruning most
+    // of the matrix.
+    seq::Rng rng(86);
+    const auto left = seq::randomDna(200, rng);
+    const auto gap = seq::randomDna(60, rng);
+    const auto right = seq::randomDna(200, rng);
+    seq::DnaSequence ref;
+    ref.chars = left.chars;
+    ref.chars.insert(ref.chars.end(), gap.chars.begin(), gap.chars.end());
+    ref.chars.insert(ref.chars.end(), right.chars.begin(),
+                     right.chars.end());
+    seq::DnaSequence query;
+    query.chars = left.chars;
+    query.chars.insert(query.chars.end(), right.chars.begin(),
+                       right.chars.end());
+
+    sim::AdaptiveBandAligner<kernels::GlobalLinear> adaptive(150);
+    const auto got = adaptive.align(query, ref);
+    ASSERT_TRUE(got.feasible);
+    EXPECT_EQ(got.score, ref::classic::nwScore(query, ref, 1, -1, -1));
+    // Still far fewer cells than the full matrix.
+    EXPECT_LT(got.cellsComputed,
+              static_cast<uint64_t>(query.length()) *
+                  static_cast<uint64_t>(ref.length()) / 2);
+    // The fixed band of width 32 cannot cover |qlen - rlen| = 60.
+    EXPECT_EQ(ref::classic::bandedNwScore(query, ref, 1, -1, -1, 32),
+              std::numeric_limits<int64_t>::min() / 4);
+}
+
+TEST(AdaptiveBand, LocalKernelTracksBestRegion)
+{
+    seq::Rng rng(87);
+    const auto r = seq::randomDna(300, rng);
+    const auto q = seq::mutateDna(r, 0.1, 0.05, rng);
+    sim::AdaptiveBandAligner<kernels::LocalLinear> aligner(64);
+    const auto got = aligner.align(q, r);
+    ASSERT_TRUE(got.feasible);
+    EXPECT_GE(got.score, 0);
+    // Adaptive-band local score is a lower bound on the full SW score
+    // and should be close for related pairs.
+    const auto full = ref::classic::swScore(q, r, 2, -1, -1);
+    EXPECT_LE(got.score, full);
+    EXPECT_GE(got.score, full * 9 / 10);
+}
+
+TEST(AdaptiveBand, CycleEstimateBeatsUnbandedFill)
+{
+    seq::Rng rng(88);
+    const auto r = seq::randomDna(512, rng);
+    const auto q = seq::mutateDna(r, 0.08, 0.04, rng);
+    sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(48, 32);
+    const auto got = aligner.align(q, r);
+    // Unbanded fill at NPE=32 is ~chunks x (rlen + 31) cycles.
+    const uint64_t unbanded =
+        static_cast<uint64_t>((q.length() + 31) / 32) *
+        static_cast<uint64_t>(r.length() + 31);
+    EXPECT_LT(got.cycleEstimate, unbanded);
+}
+
+TEST(AdaptiveBand, EmptyInputsHandled)
+{
+    sim::AdaptiveBandAligner<kernels::GlobalLinear> aligner(16);
+    seq::DnaSequence empty;
+    seq::Rng rng(89);
+    const auto r = seq::randomDna(10, rng);
+    EXPECT_FALSE(aligner.align(empty, r).feasible);
+    EXPECT_FALSE(aligner.align(r, empty).feasible);
+}

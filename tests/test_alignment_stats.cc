@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for alignment path statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/alignment_stats.hh"
+#include "core/cigar.hh"
+#include "kernels/global_linear.hh"
+#include "seq/read_simulator.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+using core::AlnOp;
+
+TEST(AlignmentStats, PerfectMatchPath)
+{
+    const auto q = seq::dnaFromString("ACGTACGT");
+    const auto stats = core::computeStats(
+        q, q, std::vector<AlnOp>(8, AlnOp::Match), core::Coord{0, 0});
+    EXPECT_EQ(stats.matches, 8);
+    EXPECT_EQ(stats.mismatches, 0);
+    EXPECT_EQ(stats.columns, 8);
+    EXPECT_DOUBLE_EQ(stats.identity(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.gapCompressedIdentity(), 1.0);
+    EXPECT_EQ(stats.editDistance(), 0);
+}
+
+TEST(AlignmentStats, MixedPathCounts)
+{
+    const auto q = seq::dnaFromString("ACGTA");
+    const auto r = seq::dnaFromString("AGTCA");
+    // A-CGTA
+    // AGTC-A  : 1M(match) 1D 1M(?) ...
+    const auto ops = core::fromCigar("1M1D2M1I1M");
+    const auto stats = core::computeStats(q, r, ops, core::Coord{0, 0});
+    EXPECT_EQ(stats.columns, 6);
+    EXPECT_EQ(stats.insertions, 1);
+    EXPECT_EQ(stats.deletions, 1);
+    EXPECT_EQ(stats.gapOpens, 2);
+    EXPECT_EQ(stats.matches + stats.mismatches, 4);
+}
+
+TEST(AlignmentStats, GapRunsCompress)
+{
+    const auto q = seq::dnaFromString("AAAA");
+    const auto r = seq::dnaFromString("AAAATTTT");
+    const auto ops = core::fromCigar("4M4D");
+    const auto stats = core::computeStats(q, r, ops, core::Coord{0, 0});
+    EXPECT_EQ(stats.gapOpens, 1);
+    EXPECT_EQ(stats.deletions, 4);
+    EXPECT_DOUBLE_EQ(stats.identity(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.gapCompressedIdentity(), 4.0 / 5.0);
+}
+
+TEST(AlignmentStats, ConsistentWithEnginePaths)
+{
+    seq::Rng rng(404);
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    for (int t = 0; t < 10; t++) {
+        const auto r = seq::randomDna(120, rng);
+        const auto q = seq::mutateDna(r, 0.1, 0.05, rng);
+        const auto res = engine.align(q, r);
+        const auto stats =
+            core::computeStats(q, r, res.ops, res.start);
+        // Score under match=1/mismatch=-1/gap=-1 decomposes exactly.
+        EXPECT_EQ(res.score, stats.matches - stats.mismatches -
+                                 stats.insertions - stats.deletions);
+        EXPECT_EQ(stats.columns, static_cast<int>(res.ops.size()));
+        EXPECT_GT(stats.identity(), 0.6);
+    }
+}
+
+TEST(AlignmentStats, EmptyPath)
+{
+    const auto q = seq::dnaFromString("A");
+    const auto stats =
+        core::computeStats(q, q, {}, core::Coord{0, 0});
+    EXPECT_EQ(stats.columns, 0);
+    EXPECT_DOUBLE_EQ(stats.identity(), 0.0);
+    EXPECT_EQ(stats.editDistance(), 0);
+}

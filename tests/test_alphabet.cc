@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for sequence alphabets and conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "seq/alphabet.hh"
+
+using namespace dphls::seq;
+
+TEST(DnaAlphabet, EncodeDecodeRoundTrip)
+{
+    const std::string bases = "ACGT";
+    for (char c : bases)
+        EXPECT_EQ(dnaToAscii(dnaFromAscii(c)), c);
+}
+
+TEST(DnaAlphabet, LowercaseAndRna)
+{
+    EXPECT_EQ(dnaFromAscii('a').code, dnaFromAscii('A').code);
+    EXPECT_EQ(dnaFromAscii('u').code, dnaFromAscii('T').code);
+    EXPECT_EQ(dnaFromAscii('U').code, dnaFromAscii('T').code);
+}
+
+TEST(DnaAlphabet, UnknownMapsToA)
+{
+    EXPECT_EQ(dnaFromAscii('N').code, 0);
+    EXPECT_EQ(dnaFromAscii('-').code, 0);
+}
+
+TEST(DnaAlphabet, TwoBitCodes)
+{
+    EXPECT_EQ(dnaFromAscii('A').code, 0);
+    EXPECT_EQ(dnaFromAscii('C').code, 1);
+    EXPECT_EQ(dnaFromAscii('G').code, 2);
+    EXPECT_EQ(dnaFromAscii('T').code, 3);
+    EXPECT_EQ(DnaChar::bits, 2);
+    EXPECT_EQ(DnaChar::numSymbols, 4);
+}
+
+TEST(ProteinAlphabet, EncodeDecodeRoundTrip)
+{
+    for (int i = 0; i < 20; i++) {
+        const char c = aminoLetters[i];
+        const AminoChar a = aminoFromAscii(c);
+        EXPECT_EQ(a.code, i);
+        EXPECT_EQ(aminoToAscii(a), c);
+    }
+}
+
+TEST(ProteinAlphabet, LowercaseAccepted)
+{
+    EXPECT_EQ(aminoFromAscii('w').code, aminoFromAscii('W').code);
+}
+
+TEST(ProteinAlphabet, TwentySymbolsFiveBits)
+{
+    EXPECT_EQ(AminoChar::numSymbols, 20);
+    EXPECT_EQ(AminoChar::bits, 5);
+}
+
+TEST(SequenceConversion, DnaStringRoundTrip)
+{
+    const std::string s = "GATTACACATTAG";
+    const DnaSequence seq = dnaFromString(s, "test");
+    EXPECT_EQ(seq.name, "test");
+    EXPECT_EQ(seq.length(), static_cast<int>(s.size()));
+    EXPECT_EQ(dnaToString(seq), s);
+}
+
+TEST(SequenceConversion, ProteinStringRoundTrip)
+{
+    const std::string s = "MKTAYIAKQR";
+    EXPECT_EQ(proteinToString(proteinFromString(s)), s);
+}
+
+TEST(SequenceConversion, EmptySequence)
+{
+    const DnaSequence seq = dnaFromString("");
+    EXPECT_TRUE(seq.empty());
+    EXPECT_EQ(seq.length(), 0);
+    EXPECT_EQ(dnaToString(seq), "");
+}
+
+TEST(ProfileColumnTest, TotalSumsFrequencies)
+{
+    ProfileColumn col;
+    col.freq = {3, 2, 1, 1, 1};
+    EXPECT_EQ(col.total(), 8);
+    EXPECT_EQ(ProfileColumn{}.total(), 0);
+}
+
+TEST(ProfileColumnTest, Equality)
+{
+    ProfileColumn a, b;
+    a.freq = {1, 2, 3, 4, 5};
+    b.freq = {1, 2, 3, 4, 5};
+    EXPECT_EQ(a, b);
+    b.freq[0] = 9;
+    EXPECT_NE(a, b);
+}
+
+TEST(ComplexSampleTest, Equality)
+{
+    ComplexSample a, b;
+    a.real = dphls::hls::ApFixed<32, 26>(1.5);
+    b.real = dphls::hls::ApFixed<32, 26>(1.5);
+    EXPECT_TRUE(a == b);
+    b.imag = dphls::hls::ApFixed<32, 26>(0.25);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(SequenceContainer, IndexingAndMutation)
+{
+    DnaSequence seq = dnaFromString("ACGT");
+    EXPECT_EQ(seq[0].code, 0);
+    seq[0] = DnaChar{3};
+    EXPECT_EQ(dnaToString(seq), "TCGT");
+}

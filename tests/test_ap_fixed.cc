@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit and property tests for the fixed-point type (Vitis ap_fixed
+ * semantics: AP_TRN truncation toward minus infinity, AP_WRAP overflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hls/ap_fixed.hh"
+#include "seq/random.hh"
+
+using dphls::hls::ApFixed;
+using dphls::seq::Rng;
+
+TEST(ApFixedTest, IntegerConstruction)
+{
+    ApFixed<16, 8> v(3);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 3.0);
+    EXPECT_EQ(v.raw(), 3 << 8);
+}
+
+TEST(ApFixedTest, DoubleConstructionTruncatesTowardMinusInfinity)
+{
+    // 0.3 is not representable; AP_TRN keeps the value at or below.
+    ApFixed<16, 8> v(0.3);
+    EXPECT_LE(v.toDouble(), 0.3);
+    EXPECT_GT(v.toDouble(), 0.3 - 1.0 / 256.0);
+
+    ApFixed<16, 8> n(-0.3);
+    EXPECT_LE(n.toDouble(), -0.3);
+    EXPECT_GT(n.toDouble(), -0.3 - 1.0 / 256.0);
+}
+
+TEST(ApFixedTest, EpsilonIsOneUlp)
+{
+    EXPECT_DOUBLE_EQ((ApFixed<16, 8>::epsilon()).toDouble(), 1.0 / 256.0);
+    EXPECT_DOUBLE_EQ((ApFixed<32, 26>::epsilon()).toDouble(), 1.0 / 64.0);
+}
+
+TEST(ApFixedTest, Limits)
+{
+    using F = ApFixed<16, 8>;
+    EXPECT_DOUBLE_EQ(F::highest().toDouble(), 128.0 - 1.0 / 256.0);
+    EXPECT_DOUBLE_EQ(F::lowest().toDouble(), -128.0);
+}
+
+TEST(ApFixedTest, AdditionIsExact)
+{
+    using F = ApFixed<16, 8>;
+    F a(1.5), b(2.25);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 3.75);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), -0.75);
+}
+
+TEST(ApFixedTest, WrapOnOverflow)
+{
+    using F = ApFixed<8, 4>; // range [-8, 8)
+    F big(7.5);
+    F one(1);
+    EXPECT_DOUBLE_EQ((big + one).toDouble(), -7.5); // wraps
+}
+
+TEST(ApFixedTest, MultiplicationTruncates)
+{
+    using F = ApFixed<16, 8>;
+    F a(1.5), b(2.5);
+    EXPECT_DOUBLE_EQ((a * b).toDouble(), 3.75);
+
+    // 0.1 * 0.1 = 0.01 truncated to a multiple of 1/256 from below.
+    F c(0.1), d(0.1);
+    const double prod = (c * d).toDouble();
+    EXPECT_LE(prod, c.toDouble() * d.toDouble());
+    EXPECT_GT(prod, c.toDouble() * d.toDouble() - 1.0 / 256.0);
+}
+
+TEST(ApFixedTest, Comparisons)
+{
+    using F = ApFixed<16, 8>;
+    EXPECT_LT(F(-1.5), F(1.5));
+    EXPECT_GT(F(0.5), F(0.25));
+    EXPECT_EQ(F(2), F(2.0));
+    EXPECT_LE(F::lowest(), F::highest());
+}
+
+TEST(ApFixedTest, AbsoluteValue)
+{
+    using F = ApFixed<16, 8>;
+    EXPECT_DOUBLE_EQ(abs(F(-3.5)).toDouble(), 3.5);
+    EXPECT_DOUBLE_EQ(abs(F(3.5)).toDouble(), 3.5);
+    EXPECT_DOUBLE_EQ(abs(F(0)).toDouble(), 0.0);
+}
+
+TEST(ApFixedTest, DtwSampleTypeRoundTrip)
+{
+    // The paper's DTW alphabet: ap_fixed<32, 26>.
+    using F = ApFixed<32, 26>;
+    for (double v : {0.0, 1.0, -1.0, 31.984375, -32.0, 12.125}) {
+        EXPECT_DOUBLE_EQ(F(v).toDouble(), v) << v;
+    }
+}
+
+/** Property sweep: fixed-point ops track double within quantization. */
+class ApFixedProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ApFixedProperty, TracksDoubleWithinUlps)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    using F = ApFixed<32, 16>;
+    const double ulp = 1.0 / 65536.0;
+    for (int t = 0; t < 400; t++) {
+        const double a = rng.uniform() * 1000.0 - 500.0;
+        const double b = rng.uniform() * 1000.0 - 500.0;
+        F fa(a), fb(b);
+        // Construction: truncation toward minus infinity.
+        EXPECT_LE(fa.toDouble(), a);
+        EXPECT_GT(fa.toDouble(), a - ulp);
+        // Addition exact on representable values.
+        EXPECT_NEAR((fa + fb).toDouble(), fa.toDouble() + fb.toDouble(),
+                    1e-12);
+        // Subtraction exact.
+        EXPECT_NEAR((fa - fb).toDouble(), fa.toDouble() - fb.toDouble(),
+                    1e-12);
+        // Comparison consistent with double comparison of exact values.
+        EXPECT_EQ(fa < fb, fa.toDouble() < fb.toDouble());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApFixedProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ApFixedTest, FromRawRoundTrip)
+{
+    using F = ApFixed<24, 12>;
+    for (int64_t raw : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{4095},
+                        int64_t{-4096}}) {
+        EXPECT_EQ(F::fromRaw(raw).raw(), raw);
+    }
+}
+
+TEST(ApFixedTest, CompoundAssignment)
+{
+    using F = ApFixed<16, 8>;
+    F v(1.5);
+    v += F(0.25);
+    EXPECT_DOUBLE_EQ(v.toDouble(), 1.75);
+    v -= F(2.0);
+    EXPECT_DOUBLE_EQ(v.toDouble(), -0.25);
+    v *= F(4.0);
+    EXPECT_DOUBLE_EQ(v.toDouble(), -1.0);
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit and property tests for the arbitrary-precision integer types
+ * (Vitis ap_int / ap_uint semantics: two's complement, AP_WRAP).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "hls/ap_int.hh"
+#include "seq/random.hh"
+
+using dphls::hls::ApInt;
+using dphls::hls::ApUInt;
+using dphls::hls::bitMask;
+using dphls::hls::signExtend;
+using dphls::seq::Rng;
+
+TEST(BitMask, Values)
+{
+    EXPECT_EQ(bitMask(1), 0x1u);
+    EXPECT_EQ(bitMask(2), 0x3u);
+    EXPECT_EQ(bitMask(8), 0xFFu);
+    EXPECT_EQ(bitMask(16), 0xFFFFu);
+    EXPECT_EQ(bitMask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(bitMask(64), ~uint64_t{0});
+}
+
+TEST(SignExtend, Basics)
+{
+    EXPECT_EQ(signExtend(0x1, 2), 1);
+    EXPECT_EQ(signExtend(0x2, 2), -2);
+    EXPECT_EQ(signExtend(0x3, 2), -1);
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0xFF, 8), -1);
+}
+
+TEST(ApIntTest, ConstructionTruncates)
+{
+    EXPECT_EQ(ApInt<4>(7).raw(), 7);
+    EXPECT_EQ(ApInt<4>(8).raw(), -8);  // wraps into [-8, 7]
+    EXPECT_EQ(ApInt<4>(-9).raw(), 7);
+    EXPECT_EQ(ApInt<4>(16).raw(), 0);
+    EXPECT_EQ(ApInt<2>(2).raw(), -2);  // the paper's DNA char width
+}
+
+TEST(ApIntTest, Limits)
+{
+    EXPECT_EQ(ApInt<8>::lowest().raw(), -128);
+    EXPECT_EQ(ApInt<8>::highest().raw(), 127);
+    EXPECT_EQ(ApInt<16>::lowest().raw(), -32768);
+    EXPECT_EQ(ApInt<16>::highest().raw(), 32767);
+}
+
+TEST(ApIntTest, WrapOnOverflow)
+{
+    EXPECT_EQ((ApInt<8>(127) + ApInt<8>(1)).raw(), -128);
+    EXPECT_EQ((ApInt<8>(-128) - ApInt<8>(1)).raw(), 127);
+    EXPECT_EQ((ApInt<8>(100) * ApInt<8>(3)).raw(),
+              signExtend(static_cast<uint64_t>(300), 8));
+}
+
+TEST(ApIntTest, ComparisonUsesSignedValue)
+{
+    EXPECT_LT(ApInt<4>(-8), ApInt<4>(7));
+    EXPECT_GT(ApInt<4>(0), ApInt<4>(-1));
+    EXPECT_EQ(ApInt<4>(5), ApInt<4>(5));
+    EXPECT_NE(ApInt<4>(5), ApInt<4>(-5));
+}
+
+TEST(ApUIntTest, ConstructionTruncates)
+{
+    EXPECT_EQ(ApUInt<4>(15).raw(), 15u);
+    EXPECT_EQ(ApUInt<4>(16).raw(), 0u);
+    EXPECT_EQ(ApUInt<4>(-1).raw(), 15u);
+}
+
+TEST(ApUIntTest, WrapArithmetic)
+{
+    EXPECT_EQ((ApUInt<8>(255) + ApUInt<8>(1)).raw(), 0u);
+    EXPECT_EQ((ApUInt<8>(0) - ApUInt<8>(1)).raw(), 255u);
+}
+
+TEST(ApIntTest, WidthNarrowingConversion)
+{
+    ApInt<16> wide(0x1234);
+    ApInt<8> narrow(wide);
+    EXPECT_EQ(narrow.raw(), signExtend(0x34, 8));
+}
+
+/**
+ * Property sweep: ApInt arithmetic must agree with int64 arithmetic
+ * reduced mod 2^W (sign-extended), for random operands and widths.
+ */
+class ApIntProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ApIntProperty, MatchesInt64ModuloWidth)
+{
+    const int w = GetParam();
+    Rng rng(static_cast<uint64_t>(w) * 7919);
+    for (int t = 0; t < 500; t++) {
+        const int64_t a = static_cast<int64_t>(rng.next());
+        const int64_t b = static_cast<int64_t>(rng.next());
+        switch (w) {
+          case 8: {
+            ApInt<8> x(a), y(b);
+            EXPECT_EQ((x + y).raw(),
+                      signExtend(static_cast<uint64_t>(a + b), 8));
+            EXPECT_EQ((x - y).raw(),
+                      signExtend(static_cast<uint64_t>(a - b), 8));
+            EXPECT_EQ((x * y).raw(),
+                      signExtend(static_cast<uint64_t>(x.raw() * y.raw()),
+                                 8));
+            break;
+          }
+          case 16: {
+            ApInt<16> x(a), y(b);
+            EXPECT_EQ((x + y).raw(),
+                      signExtend(static_cast<uint64_t>(a + b), 16));
+            EXPECT_EQ((x - y).raw(),
+                      signExtend(static_cast<uint64_t>(a - b), 16));
+            break;
+          }
+          case 24: {
+            ApInt<24> x(a), y(b);
+            EXPECT_EQ((x + y).raw(),
+                      signExtend(static_cast<uint64_t>(a + b), 24));
+            break;
+          }
+          case 32: {
+            ApInt<32> x(a), y(b);
+            EXPECT_EQ((x + y).raw(),
+                      signExtend(static_cast<uint64_t>(a + b), 32));
+            EXPECT_EQ((-x).raw(),
+                      signExtend(static_cast<uint64_t>(-x.raw()), 32));
+            break;
+          }
+          default:
+            FAIL() << "unexpected width";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ApIntProperty,
+                         ::testing::Values(8, 16, 24, 32));
+
+/** Unsigned property sweep: agree with uint64 mod 2^W. */
+class ApUIntProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ApUIntProperty, MatchesUint64ModuloWidth)
+{
+    const int w = GetParam();
+    Rng rng(static_cast<uint64_t>(w) * 104729);
+    for (int t = 0; t < 500; t++) {
+        const uint64_t a = rng.next();
+        const uint64_t b = rng.next();
+        switch (w) {
+          case 2: {
+            ApUInt<2> x(a), y(b);
+            EXPECT_EQ((x + y).raw(), (a + b) & bitMask(2));
+            break;
+          }
+          case 8: {
+            ApUInt<8> x(a), y(b);
+            EXPECT_EQ((x + y).raw(), (a + b) & bitMask(8));
+            EXPECT_EQ((x - y).raw(), (a - b) & bitMask(8));
+            EXPECT_EQ((x * y).raw(),
+                      (x.raw() * y.raw()) & bitMask(8));
+            break;
+          }
+          case 32: {
+            ApUInt<32> x(a), y(b);
+            EXPECT_EQ((x + y).raw(), (a + b) & bitMask(32));
+            EXPECT_EQ((x ^ y).raw(), (a ^ b) & bitMask(32));
+            break;
+          }
+          default:
+            FAIL() << "unexpected width";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ApUIntProperty, ::testing::Values(2, 8, 32));
+
+TEST(ApIntTest, ShiftsAndBitOps)
+{
+    EXPECT_EQ((ApInt<8>(1) << 3).raw(), 8);
+    EXPECT_EQ((ApInt<8>(1) << 7).raw(), -128);
+    EXPECT_EQ((ApInt<8>(-128) >> 1).raw(), -64);
+    EXPECT_EQ((ApInt<8>(0x0F) & ApInt<8>(0x3C)).raw(), 0x0C);
+    EXPECT_EQ((ApInt<8>(0x0F) | ApInt<8>(0x30)).raw(), 0x3F);
+}
+
+TEST(ApIntTest, CompoundAssignment)
+{
+    ApInt<8> v(10);
+    v += ApInt<8>(5);
+    EXPECT_EQ(v.raw(), 15);
+    v -= ApInt<8>(20);
+    EXPECT_EQ(v.raw(), -5);
+    v *= ApInt<8>(-3);
+    EXPECT_EQ(v.raw(), 15);
+}
+
+TEST(ApIntTest, DivisionAndModulo)
+{
+    EXPECT_EQ((ApInt<8>(100) / ApInt<8>(7)).raw(), 14);
+    EXPECT_EQ((ApInt<8>(100) % ApInt<8>(7)).raw(), 2);
+    EXPECT_EQ((ApInt<8>(-100) / ApInt<8>(7)).raw(), -14);
+}

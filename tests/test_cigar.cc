@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for alignment ops, paths and CIGAR encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cigar.hh"
+
+using namespace dphls::core;
+
+TEST(AlnOpTest, OpChars)
+{
+    EXPECT_EQ(alnOpChar(AlnOp::Match), 'M');
+    EXPECT_EQ(alnOpChar(AlnOp::Ins), 'I');
+    EXPECT_EQ(alnOpChar(AlnOp::Del), 'D');
+}
+
+TEST(PathTest, Spans)
+{
+    const std::vector<AlnOp> ops{AlnOp::Match, AlnOp::Match, AlnOp::Ins,
+                                 AlnOp::Del, AlnOp::Match};
+    EXPECT_EQ(pathQuerySpan(ops), 4); // M, M, I, M consume query
+    EXPECT_EQ(pathRefSpan(ops), 4);   // M, M, D, M consume reference
+    EXPECT_EQ(pathString(ops), "MMIDM");
+}
+
+TEST(CigarTest, RunLengthEncoding)
+{
+    const std::vector<AlnOp> ops{AlnOp::Match, AlnOp::Match, AlnOp::Match,
+                                 AlnOp::Ins, AlnOp::Del, AlnOp::Del,
+                                 AlnOp::Match};
+    EXPECT_EQ(toCigar(ops), "3M1I2D1M");
+}
+
+TEST(CigarTest, EmptyPath)
+{
+    EXPECT_EQ(toCigar({}), "");
+    EXPECT_TRUE(fromCigar("").empty());
+}
+
+TEST(CigarTest, RoundTrip)
+{
+    const std::string cigar = "12M3I1D7M2I100M";
+    EXPECT_EQ(toCigar(fromCigar(cigar)), cigar);
+}
+
+TEST(CigarTest, SingleOps)
+{
+    EXPECT_EQ(toCigar({AlnOp::Ins}), "1I");
+    const auto ops = fromCigar("1D");
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0], AlnOp::Del);
+}
+
+TEST(CigarTest, InvalidInputsThrow)
+{
+    EXPECT_THROW(fromCigar("M"), std::invalid_argument);
+    EXPECT_THROW(fromCigar("3"), std::invalid_argument);
+    EXPECT_THROW(fromCigar("3X"), std::invalid_argument);
+    EXPECT_THROW(fromCigar("3M4"), std::invalid_argument);
+}
+
+TEST(CigarTest, LargeCounts)
+{
+    const auto ops = fromCigar("10000M");
+    EXPECT_EQ(ops.size(), 10000u);
+    EXPECT_EQ(toCigar(ops), "10000M");
+}

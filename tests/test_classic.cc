@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the independent textbook reference implementations: known
+ * hand-computed examples plus algebraic properties relating the
+ * algorithm family members to one another.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reference/classic.hh"
+#include "seq/read_simulator.hh"
+#include "seq/squiggle.hh"
+
+using namespace dphls;
+using namespace dphls::ref::classic;
+using seq::dnaFromString;
+using seq::Rng;
+
+TEST(ClassicNw, HandComputedExamples)
+{
+    // Identical sequences: all matches.
+    EXPECT_EQ(nwScore(dnaFromString("ACGT"), dnaFromString("ACGT"), 1, -1,
+                      -1),
+              4);
+    // One mismatch.
+    EXPECT_EQ(nwScore(dnaFromString("ACGT"), dnaFromString("AGGT"), 1, -1,
+                      -1),
+              2);
+    // Fig. 1 of the paper: ACTG vs ACTC, match 1, mismatch -1, gap -1.
+    EXPECT_EQ(nwScore(dnaFromString("ACTG"), dnaFromString("ACTC"), 1, -1,
+                      -1),
+              2);
+    // Pure gaps: empty vs non-empty.
+    EXPECT_EQ(nwScore(dnaFromString(""), dnaFromString("ACGT"), 1, -1, -1),
+              -4);
+    EXPECT_EQ(nwScore(dnaFromString("AC"), dnaFromString(""), 1, -1, -1),
+              -2);
+}
+
+TEST(ClassicNw, GapVersusMismatchTradeoff)
+{
+    // With cheap gaps, deletion+insertion beats a mismatch.
+    const auto q = dnaFromString("AG");
+    const auto r = dnaFromString("AT");
+    EXPECT_EQ(nwScore(q, r, 2, -5, -1), 0); // match + del + ins = 2-1-1
+}
+
+TEST(ClassicSw, HandComputedExamples)
+{
+    // Local alignment of a shared core.
+    EXPECT_EQ(swScore(dnaFromString("TTTACGTTT"), dnaFromString("GGACGTGG"),
+                      2, -3, -3),
+              8); // "ACGT" x2
+    // Disjoint content: best local score is a single match at least 0.
+    EXPECT_GE(swScore(dnaFromString("AAAA"), dnaFromString("CCCC"), 2, -3,
+                      -3),
+              0);
+}
+
+TEST(ClassicSw, NeverNegative)
+{
+    Rng rng(31);
+    for (int t = 0; t < 30; t++) {
+        const auto q = seq::randomDna(1 + (int)rng.below(80), rng);
+        const auto r = seq::randomDna(1 + (int)rng.below(80), rng);
+        EXPECT_GE(swScore(q, r, 1, -2, -2), 0);
+    }
+}
+
+TEST(ClassicGotoh, EqualsLinearWhenOpenEqualsExtend)
+{
+    // Affine cost open + (k-1)*ext with open == ext == g is k*g: linear.
+    Rng rng(32);
+    for (int t = 0; t < 30; t++) {
+        const auto q = seq::randomDna(1 + (int)rng.below(60), rng);
+        const auto r = seq::randomDna(1 + (int)rng.below(60), rng);
+        EXPECT_EQ(gotohScore(q, r, 1, -1, 2, 2), nwScore(q, r, 1, -1, -2));
+    }
+}
+
+TEST(ClassicGotoh, OpeningCostsMoreThanExtending)
+{
+    // One long gap must beat two short gaps under affine scoring.
+    const auto q = dnaFromString("AAAATTTT");
+    const auto r = dnaFromString("AAAACCTTTT");
+    const auto affine = gotohScore(q, r, 1, -4, 5, 1);
+    // Expected: 8 matches - (open 5 + extend 1) for the 2-gap = 8 - 6.
+    EXPECT_EQ(affine, 2);
+}
+
+TEST(ClassicTwoPiece, ReducesToAffineWithIdenticalPieces)
+{
+    Rng rng(33);
+    for (int t = 0; t < 30; t++) {
+        const auto q = seq::randomDna(1 + (int)rng.below(60), rng);
+        const auto r = seq::randomDna(1 + (int)rng.below(60), rng);
+        EXPECT_EQ(twoPieceScore(q, r, 2, -3, 4, 1, 4, 1),
+                  gotohScore(q, r, 2, -3, 4, 1));
+    }
+}
+
+TEST(ClassicTwoPiece, LongGapsUseCheapPiece)
+{
+    // A 20-base gap: piece 1 costs 4+19*2 = 42, piece 2 costs 13+19 = 32.
+    const auto q = dnaFromString("ACGTACGTAC");
+    std::string with_gap = "ACGTA" + std::string(20, 'G') + "CGTAC";
+    const auto r = dnaFromString(with_gap);
+    const auto score = twoPieceScore(q, r, 1, -2, 4, 2, 13, 1);
+    EXPECT_EQ(score, 10 - 32);
+}
+
+TEST(ClassicTwoPiece, AlwaysAtLeastAffine)
+{
+    // The two-piece max over both pieces can only help.
+    Rng rng(34);
+    for (int t = 0; t < 20; t++) {
+        const auto q = seq::randomDna(1 + (int)rng.below(50), rng);
+        const auto r = seq::mutateDna(q, 0.2, 0.3, rng);
+        EXPECT_GE(twoPieceScore(q, r, 2, -3, 4, 2, 13, 1),
+                  gotohScore(q, r, 2, -3, 4, 2));
+    }
+}
+
+TEST(ClassicBanded, EqualsUnbandedWhenBandCovers)
+{
+    Rng rng(35);
+    for (int t = 0; t < 30; t++) {
+        const auto q = seq::randomDna(1 + (int)rng.below(50), rng);
+        const auto r = seq::mutateDna(q, 0.1, 0.05, rng);
+        const int band = std::max(q.length(), r.length());
+        EXPECT_EQ(bandedNwScore(q, r, 1, -1, -1, band),
+                  nwScore(q, r, 1, -1, -1));
+    }
+}
+
+TEST(ClassicBanded, NarrowBandNeverBeatsUnbanded)
+{
+    Rng rng(36);
+    for (int t = 0; t < 30; t++) {
+        const auto q = seq::randomDna(40, rng);
+        const auto r = seq::mutateDna(q, 0.2, 0.1, rng);
+        if (std::abs(q.length() - r.length()) > 4)
+            continue;
+        EXPECT_LE(bandedNwScore(q, r, 1, -1, -1, 4),
+                  nwScore(q, r, 1, -1, -1));
+    }
+}
+
+TEST(ClassicOverlap, PerfectSuffixPrefixOverlap)
+{
+    // query suffix "CCGG" == reference prefix.
+    const auto q = dnaFromString("AAAACCGG");
+    const auto r = dnaFromString("CCGGTTTT");
+    EXPECT_EQ(overlapScore(q, r, 1, -3, -3), 4);
+}
+
+TEST(ClassicOverlap, AtLeastLocalContentLowerBound)
+{
+    // Overlap allows free ends, so a perfect overlap scores the overlap
+    // length; unrelated sequences can still go to ~0 via empty overlap.
+    const auto q = dnaFromString("AAAA");
+    const auto r = dnaFromString("TTTT");
+    EXPECT_GE(overlapScore(q, r, 1, -1, -1), -1);
+}
+
+TEST(ClassicSemiGlobal, FindsContainedQuery)
+{
+    // Query contained in reference: all matches, free flanks.
+    const auto q = dnaFromString("CGTA");
+    const auto r = dnaFromString("TTTTCGTATTTT");
+    EXPECT_EQ(semiGlobalScore(q, r, 1, -2, -2), 4);
+}
+
+TEST(ClassicSemiGlobal, QueryGapsPenalized)
+{
+    const auto q = dnaFromString("CGATA");
+    const auto r = dnaFromString("TTCGTATT");
+    // Best: CG-ATA vs CG.TA with one query char unmatched -> 4 matches
+    // minus one gap.
+    EXPECT_EQ(semiGlobalScore(q, r, 1, -2, -2), 2);
+}
+
+TEST(ClassicDtw, IdenticalSignalsHaveZeroDistance)
+{
+    Rng rng(37);
+    const auto a = seq::randomComplexSignal(60, rng);
+    EXPECT_DOUBLE_EQ(dtwDistance(a, a), 0.0);
+}
+
+TEST(ClassicDtw, WarpedCopyFarCloserThanUnrelatedSignal)
+{
+    Rng rng(38);
+    const auto a = seq::randomComplexSignal(60, rng);
+    const auto warped = seq::warpComplexSignal(a, 0.2, 0.05, rng);
+    const auto unrelated = seq::randomComplexSignal(60, rng);
+    EXPECT_LT(dtwDistance(a, warped), dtwDistance(a, unrelated) / 5.0);
+}
+
+TEST(ClassicDtw, RepeatOnlyWarpIsFree)
+{
+    // Pure dwell (repeated samples) costs nothing under DTW: construct a
+    // copy where every sample appears twice.
+    Rng rng(381);
+    const auto a = seq::randomComplexSignal(40, rng);
+    seq::ComplexSequence doubled;
+    for (const auto &s : a.chars) {
+        doubled.chars.push_back(s);
+        doubled.chars.push_back(s);
+    }
+    EXPECT_DOUBLE_EQ(dtwDistance(a, doubled), 0.0);
+}
+
+TEST(ClassicSdtw, FindsSubSignal)
+{
+    Rng rng(39);
+    const auto dna = seq::randomDna(300, rng);
+    seq::SquiggleConfig cfg;
+    const auto ref = seq::expectedSignal(dna, cfg);
+    // Query = exact middle slice of the reference: distance 0.
+    seq::SignalSequence q;
+    q.chars.assign(ref.chars.begin() + 100, ref.chars.begin() + 160);
+    EXPECT_EQ(sdtwDistance(q, ref), 0);
+}
+
+TEST(ClassicSdtw, NoisierQueryScoresWorse)
+{
+    const auto pairs = seq::sampleSquigglePairs(1, 200, 60, 40);
+    const auto base = sdtwDistance(pairs[0].query, pairs[0].reference);
+    // Add strong noise to the query; the distance must grow.
+    auto noisy = pairs[0].query;
+    Rng rng(41);
+    for (auto &s : noisy.chars) {
+        s.value = static_cast<int16_t>(
+            std::min(1023, std::max(0, s.value + (int)rng.range(-60, 60))));
+    }
+    EXPECT_GT(sdtwDistance(noisy, pairs[0].reference), base);
+}
+
+TEST(ClassicViterbi, IdenticalSequencesMoreLikely)
+{
+    Rng rng(42);
+    const auto q = seq::randomDna(40, rng);
+    const auto r = seq::mutateDna(q, 0.3, 0.0, rng);
+    const double same = viterbiLogProb(q, q, 0.1, 0.3, 0.22, 0.01);
+    const double diff = viterbiLogProb(q, r, 0.1, 0.3, 0.22, 0.01);
+    EXPECT_GT(same, diff);
+    EXPECT_TRUE(std::isfinite(same));
+    EXPECT_TRUE(std::isfinite(diff));
+}
+
+TEST(ClassicViterbi, MonotoneInMatchProbability)
+{
+    Rng rng(43);
+    const auto q = seq::randomDna(30, rng);
+    EXPECT_GT(viterbiLogProb(q, q, 0.1, 0.3, 0.25, 0.01),
+              viterbiLogProb(q, q, 0.1, 0.3, 0.15, 0.01));
+}
+
+TEST(ClassicProfile, UnitProfilesReduceToPairScores)
+{
+    // Profiles with a single sequence each: sum-of-pairs = pair score.
+    const int8_t m[5][5] = {
+        { 2, -1, -1, -1, -2},
+        {-1,  2, -1, -1, -2},
+        {-1, -1,  2, -1, -2},
+        {-1, -1, -1,  2, -2},
+        {-2, -2, -2, -2,  0},
+    };
+    auto make_unit = [](const std::string &s) {
+        seq::ProfileSequence p;
+        for (char c : s) {
+            seq::ProfileColumn col;
+            col.freq[seq::dnaFromAscii(c).code] = 1;
+            p.chars.push_back(col);
+        }
+        return p;
+    };
+    const auto p1 = make_unit("ACGT");
+    const auto p2 = make_unit("ACGT");
+    EXPECT_EQ(profileScore(p1, p2, m, 1), 8); // 4 matches x 2
+}
+
+TEST(ClassicProteinSw, UniformMatrixReducesToDnaStyleSw)
+{
+    // A matrix with +2 diagonal and -1 off-diagonal behaves like simple
+    // match/mismatch local alignment.
+    seq::ProteinMatrix m;
+    for (int a = 0; a < 20; a++) {
+        for (int b = 0; b < 20; b++)
+            m.score[a][b] = static_cast<int8_t>(a == b ? 2 : -1);
+    }
+    const auto q = seq::proteinFromString("WWWACDEFWWW");
+    const auto r = seq::proteinFromString("YYACDEFYY");
+    EXPECT_EQ(proteinSwScore(q, r, m, -2), 10); // "ACDEF" x2
+}
+
+TEST(ClassicProteinSw, Blosum62KnownAlignment)
+{
+    const auto q = seq::proteinFromString("HEAGAWGHEE");
+    const auto r = seq::proteinFromString("PAWHEAE");
+    // Classic textbook pair (Durbin et al.); with BLOSUM62 and linear
+    // gap -8 the best local alignment is AWGHE vs AW-HE.
+    const auto s = proteinSwScore(q, r, seq::blosum62(), -8);
+    EXPECT_EQ(s, 20);
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cycle-model tests: closed-form expectations for the wavefront loop,
+ * monotonicity in NPE, banding savings, phase overlap and the streaming
+ * stall used by the Vitis baseline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/all.hh"
+#include "seq/profile_builder.hh"
+#include "seq/read_simulator.hh"
+#include "systolic/cycle_model.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+namespace {
+
+template <typename K>
+sim::CycleStats
+statsFor(int npe, int qlen, int rlen, uint64_t seed,
+         sim::CycleModelOptions opts = {}, int band = 64)
+{
+    seq::Rng rng(seed);
+    const auto q = seq::randomDna(qlen, rng);
+    const auto r = seq::randomDna(rlen, rng);
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    cfg.bandWidth = band;
+    cfg.cycles = opts;
+    cfg.maxQueryLength = 4096;
+    cfg.maxReferenceLength = 4096;
+    sim::SystolicAligner<K> engine(cfg);
+    engine.align(q, r);
+    return engine.lastStats();
+}
+
+} // namespace
+
+TEST(CycleModel, UnbandedFillTripsClosedForm)
+{
+    // chunks = ceil(q/npe); full chunks run (rlen + npe - 1) wavefronts,
+    // the final partial chunk (rlen + rows - 1).
+    for (const int npe : {1, 4, 16, 32}) {
+        for (const int qlen : {16, 33, 64, 100}) {
+            const int rlen = 48;
+            const auto s =
+                statsFor<kernels::GlobalLinear>(npe, qlen, rlen, 9);
+            uint64_t want = 0;
+            int remaining = qlen;
+            while (remaining > 0) {
+                const int rows = std::min(npe, remaining);
+                want += static_cast<uint64_t>(rlen + rows - 1);
+                remaining -= rows;
+            }
+            EXPECT_EQ(s.fillTrips, want)
+                << "npe=" << npe << " qlen=" << qlen;
+            EXPECT_EQ(s.chunks,
+                      static_cast<uint64_t>((qlen + npe - 1) / npe));
+        }
+    }
+}
+
+TEST(CycleModel, FillIncludesPipelineDepthPerChunk)
+{
+    sim::CycleModelOptions opts;
+    opts.pipelineDepth = 11;
+    const auto s = statsFor<kernels::GlobalLinear>(8, 32, 40, 10, opts);
+    // 4 chunks x (40 + 8 - 1) trips + 4 x 11 overhead.
+    EXPECT_EQ(s.fill, 4u * 47u + 4u * 11u);
+}
+
+TEST(CycleModel, InitiationIntervalMultipliesTrips)
+{
+    // Kernel #8 has II=4 (paper Section 7.1): fill = trips*4 + overhead.
+    const auto pairs = seq::sampleProfilePairs(1, 40, 11);
+    sim::EngineConfig cfg;
+    cfg.numPe = 8;
+    sim::SystolicAligner<kernels::ProfileAlignment> engine(cfg);
+    engine.align(pairs[0].first, pairs[0].second);
+    const auto &s = engine.lastStats();
+    EXPECT_EQ(s.fill, s.fillTrips * 4 +
+                          s.chunks * static_cast<uint64_t>(
+                                         cfg.cycles.pipelineDepth));
+}
+
+TEST(CycleModel, MorePesFewerFillCycles)
+{
+    uint64_t prev = ~0ull;
+    for (const int npe : {1, 2, 4, 8, 16, 32, 64}) {
+        const auto s = statsFor<kernels::GlobalLinear>(npe, 256, 256, 12);
+        EXPECT_LT(s.fill, prev) << "npe=" << npe;
+        prev = s.fill;
+    }
+}
+
+TEST(CycleModel, BandedFewerTripsThanUnbanded)
+{
+    const auto banded = statsFor<kernels::BandedGlobalLinear>(
+        16, 200, 200, 13, {}, 16);
+    const auto full = statsFor<kernels::GlobalLinear>(16, 200, 200, 13);
+    EXPECT_LT(banded.fillTrips, full.fillTrips);
+    // Band window per chunk is about 2*band + 2*rows - 1 wavefronts.
+    EXPECT_LE(banded.fillTrips,
+              static_cast<uint64_t>((200 / 16 + 1) * (2 * 16 + 2 * 16)));
+}
+
+TEST(CycleModel, WiderBandMoreTrips)
+{
+    uint64_t prev = 0;
+    for (const int band : {4, 16, 64, 256}) {
+        const auto s = statsFor<kernels::BandedGlobalLinear>(
+            16, 192, 192, 14, {}, band);
+        EXPECT_GT(s.fillTrips, prev) << "band=" << band;
+        prev = s.fillTrips;
+    }
+}
+
+TEST(CycleModel, SequenceLoadUsesBusPacking)
+{
+    // DNA: 2 bits/char, 64-bit bus -> 32 chars per cycle.
+    const auto s = statsFor<kernels::GlobalLinear>(8, 64, 128, 15);
+    EXPECT_EQ(s.seqLoad, static_cast<uint64_t>(64 * 2 + 63) / 64 +
+                             static_cast<uint64_t>(128 * 2 + 63) / 64);
+}
+
+TEST(CycleModel, InitCostsMaxOfLengths)
+{
+    const auto s = statsFor<kernels::GlobalLinear>(8, 40, 100, 16);
+    EXPECT_EQ(s.init, 100u);
+}
+
+TEST(CycleModel, TotalIsSumOfPhasesWithoutOverlap)
+{
+    sim::CycleStats s;
+    s.seqLoad = 10;
+    s.init = 20;
+    s.fill = 100;
+    s.reduction = 5;
+    s.traceback = 30;
+    s.writeback = 8;
+    s.extra = 2;
+    sim::CycleModelOptions opts;
+    EXPECT_EQ(totalCycles(s, opts), 175u);
+}
+
+TEST(CycleModel, OverlapHidesFrontEndBehindBody)
+{
+    sim::CycleStats s;
+    s.seqLoad = 10;
+    s.init = 20;
+    s.fill = 100;
+    sim::CycleModelOptions opts;
+    opts.overlapLoadInit = true;
+    EXPECT_EQ(totalCycles(s, opts), 100u); // body dominates
+    s.fill = 5;
+    EXPECT_EQ(totalCycles(s, opts), 30u); // front dominates
+}
+
+TEST(CycleModel, RtlOverlapBeatsSequentialDpHls)
+{
+    sim::CycleModelOptions seq_opts;
+    sim::CycleModelOptions rtl_opts;
+    rtl_opts.overlapLoadInit = true;
+    const auto s = statsFor<kernels::GlobalAffine>(32, 256, 256, 17);
+    EXPECT_LT(totalCycles(s, rtl_opts), totalCycles(s, seq_opts));
+}
+
+TEST(CycleModel, HostStreamStallChargesPerCharacter)
+{
+    sim::CycleModelOptions opts;
+    opts.hostStreamCyclesPerChar = 2;
+    const auto s = statsFor<kernels::GlobalLinear>(8, 50, 70, 18, opts);
+    EXPECT_EQ(s.extra, 2u * (50 + 70));
+}
+
+TEST(CycleModel, TracebackCyclesTrackPathSteps)
+{
+    seq::Rng rng(19);
+    const auto q = seq::randomDna(100, rng);
+    const auto r = seq::mutateDna(q, 0.1, 0.05, rng);
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    const auto res = engine.align(q, r);
+    const auto &s = engine.lastStats();
+    // One FSM step per committed op for a linear kernel.
+    EXPECT_EQ(s.traceback, res.ops.size());
+    EXPECT_EQ(s.writeback, (res.ops.size() + 3) / 4);
+}
+
+TEST(CycleModel, ReductionOnlyForNonGlobalStrategies)
+{
+    const auto global = statsFor<kernels::GlobalLinear>(16, 64, 64, 20);
+    EXPECT_EQ(global.reduction, 0u);
+    const auto local = statsFor<kernels::LocalLinear>(16, 64, 64, 20);
+    EXPECT_GT(local.reduction, 0u);
+    // ceil(log2(16)) + 2 = 6.
+    EXPECT_EQ(local.reduction, 6u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Device-model tests: NB/NK parallel scaling, arbiter behavior, result
+ * consistency with the bare engine, and host-overhead accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/device_model.hh"
+#include "kernels/all.hh"
+#include "seq/read_simulator.hh"
+
+using namespace dphls;
+using Job = host::AlignmentJob<seq::DnaChar>;
+
+namespace {
+
+std::vector<Job>
+makeJobs(int n, uint64_t seed, int len = 96)
+{
+    std::vector<Job> jobs;
+    seq::Rng rng(seed);
+    for (int i = 0; i < n; i++) {
+        Job j;
+        j.query = seq::randomDna(len, rng);
+        j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+        if (j.reference.length() > len)
+            j.reference.chars.resize(static_cast<size_t>(len));
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(DeviceModel, ResultsMatchBareEngine)
+{
+    const auto jobs = makeJobs(24, 31);
+    host::DeviceConfig cfg;
+    cfg.npe = 16;
+    cfg.nb = 4;
+    cfg.nk = 2;
+    host::DeviceModel<kernels::GlobalAffine> device(cfg);
+    std::vector<host::DeviceModel<kernels::GlobalAffine>::Result> results;
+    device.run(jobs, &results);
+    ASSERT_EQ(results.size(), jobs.size());
+
+    sim::EngineConfig ecfg;
+    ecfg.numPe = 16;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(ecfg);
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const auto want = engine.align(jobs[i].query, jobs[i].reference);
+        EXPECT_EQ(results[i].score, want.score) << i;
+        EXPECT_EQ(results[i].ops, want.ops) << i;
+    }
+}
+
+TEST(DeviceModel, ThroughputScalesWithBlocks)
+{
+    const auto jobs = makeJobs(128, 32);
+    auto run = [&](int nb, int nk) {
+        host::DeviceConfig cfg;
+        cfg.npe = 8;
+        cfg.nb = nb;
+        cfg.nk = nk;
+        host::DeviceModel<kernels::GlobalLinear> device(cfg);
+        return device.run(jobs).alignsPerSec;
+    };
+    const double t1 = run(1, 1);
+    const double t4 = run(4, 1);
+    const double t16 = run(8, 2);
+    // Near-perfect inter-alignment parallelism (Fig. 3A/D, NB scaling).
+    EXPECT_NEAR(t4 / t1, 4.0, 0.5);
+    EXPECT_NEAR(t16 / t1, 16.0, 2.0);
+}
+
+TEST(DeviceModel, ChannelsSplitWorkEvenly)
+{
+    const auto jobs = makeJobs(64, 33);
+    host::DeviceConfig a;
+    a.npe = 8;
+    a.nb = 4;
+    a.nk = 1;
+    host::DeviceConfig b = a;
+    b.nb = 2;
+    b.nk = 2;
+    // Same total blocks => nearly the same makespan.
+    host::DeviceModel<kernels::GlobalLinear> da(a), db(b);
+    const auto sa = da.run(jobs);
+    const auto sb = db.run(jobs);
+    EXPECT_NEAR(static_cast<double>(sa.makespanCycles),
+                static_cast<double>(sb.makespanCycles),
+                0.15 * static_cast<double>(sa.makespanCycles));
+}
+
+TEST(DeviceModel, CyclesPerAlignIndependentOfParallelism)
+{
+    const auto jobs = makeJobs(64, 34);
+    auto cycles = [&](int nb, int nk) {
+        host::DeviceConfig cfg;
+        cfg.npe = 8;
+        cfg.nb = nb;
+        cfg.nk = nk;
+        host::DeviceModel<kernels::GlobalLinear> device(cfg);
+        return device.run(jobs).cyclesPerAlign;
+    };
+    EXPECT_DOUBLE_EQ(cycles(1, 1), cycles(8, 4));
+}
+
+TEST(DeviceModel, HostOverheadLowersThroughput)
+{
+    const auto jobs = makeJobs(32, 35);
+    auto run = [&](uint64_t overhead) {
+        host::DeviceConfig cfg;
+        cfg.npe = 8;
+        cfg.hostOverheadCycles = overhead;
+        host::DeviceModel<kernels::GlobalLinear> device(cfg);
+        return device.run(jobs).alignsPerSec;
+    };
+    EXPECT_GT(run(0), run(4000));
+}
+
+TEST(DeviceModel, FrequencyScalesThroughput)
+{
+    const auto jobs = makeJobs(32, 36);
+    auto run = [&](double mhz) {
+        host::DeviceConfig cfg;
+        cfg.npe = 8;
+        cfg.fmaxMhz = mhz;
+        host::DeviceModel<kernels::GlobalLinear> device(cfg);
+        return device.run(jobs).alignsPerSec;
+    };
+    EXPECT_NEAR(run(250.0) / run(125.0), 2.0, 1e-6);
+}
+
+TEST(DeviceModel, EmptyBatch)
+{
+    host::DeviceModel<kernels::GlobalLinear> device;
+    const auto stats = device.run({});
+    EXPECT_EQ(stats.alignments, 0);
+    EXPECT_EQ(stats.makespanCycles, 0u);
+}
+
+TEST(DeviceModel, StatsAccounting)
+{
+    const auto jobs = makeJobs(16, 37);
+    host::DeviceConfig cfg;
+    cfg.npe = 8;
+    cfg.nb = 2;
+    cfg.nk = 2;
+    host::DeviceModel<kernels::GlobalLinear> device(cfg);
+    const auto stats = device.run(jobs);
+    EXPECT_EQ(stats.alignments, 16);
+    EXPECT_GT(stats.totalCycles, 0u);
+    EXPECT_GE(stats.totalCycles,
+              stats.makespanCycles); // work spread over 4 blocks
+    EXPECT_GT(stats.alignsPerSec, 0.0);
+    EXPECT_GT(stats.cyclesPerAlign, 0.0);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Edge cases and configuration guards of the systolic engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cigar.hh"
+#include "helpers.hh"
+#include "reference/matrix_aligner.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+TEST(EngineEdge, RejectsInvalidPeCount)
+{
+    sim::EngineConfig cfg;
+    cfg.numPe = 0;
+    EXPECT_THROW(sim::SystolicAligner<kernels::GlobalLinear> a(cfg),
+                 std::invalid_argument);
+}
+
+TEST(EngineEdge, RejectsOverlongSequences)
+{
+    sim::EngineConfig cfg;
+    cfg.maxQueryLength = 16;
+    cfg.maxReferenceLength = 16;
+    sim::SystolicAligner<kernels::GlobalLinear> engine(cfg);
+    seq::Rng rng(1);
+    const auto longer = seq::randomDna(17, rng);
+    const auto ok = seq::randomDna(16, rng);
+    EXPECT_THROW(engine.align(longer, ok), std::invalid_argument);
+    EXPECT_THROW(engine.align(ok, longer), std::invalid_argument);
+    EXPECT_NO_THROW(engine.align(ok, ok));
+}
+
+TEST(EngineEdge, SingleCharacterSequences)
+{
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    const auto a = seq::dnaFromString("A");
+    const auto c = seq::dnaFromString("C");
+    auto res = engine.align(a, a);
+    EXPECT_EQ(res.score, 1);
+    EXPECT_EQ(core::toCigar(res.ops), "1M");
+    res = engine.align(a, c);
+    EXPECT_EQ(res.score, -1);
+}
+
+TEST(EngineEdge, EmptyQueryGlobalIsAllDeletions)
+{
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    ref::MatrixAligner<kernels::GlobalLinear> gold;
+    const auto empty = seq::dnaFromString("");
+    const auto r = seq::dnaFromString("ACGT");
+    const auto got = engine.align(empty, r);
+    const auto want = gold.align(empty, r);
+    EXPECT_EQ(got.score, want.score);
+    EXPECT_EQ(got.ops, want.ops);
+    EXPECT_EQ(got.score, -4);
+    EXPECT_EQ(core::toCigar(got.ops), "4D");
+}
+
+TEST(EngineEdge, EmptyReferenceGlobalIsAllInsertions)
+{
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    const auto q = seq::dnaFromString("ACG");
+    const auto empty = seq::dnaFromString("");
+    const auto got = engine.align(q, empty);
+    EXPECT_EQ(got.score, -3);
+    EXPECT_EQ(core::toCigar(got.ops), "3I");
+}
+
+TEST(EngineEdge, EmptyBothIsOrigin)
+{
+    sim::SystolicAligner<kernels::LocalLinear> engine;
+    const auto empty = seq::dnaFromString("");
+    const auto got = engine.align(empty, empty);
+    EXPECT_EQ(got.score, 0);
+    EXPECT_TRUE(got.ops.empty());
+}
+
+TEST(EngineEdge, SkipTracebackOmitsPath)
+{
+    sim::EngineConfig cfg;
+    cfg.skipTraceback = true;
+    sim::SystolicAligner<kernels::LocalLinear> engine(cfg);
+    seq::Rng rng(2);
+    const auto q = seq::randomDna(40, rng);
+    const auto r = seq::mutateDna(q, 0.1, 0.05, rng);
+    const auto got = engine.align(q, r);
+    EXPECT_TRUE(got.ops.empty());
+    EXPECT_EQ(engine.lastStats().traceback, 0u);
+    EXPECT_EQ(engine.lastStats().writeback, 0u);
+
+    // Score must match the traceback-enabled run.
+    sim::SystolicAligner<kernels::LocalLinear> full;
+    EXPECT_EQ(got.score, full.align(q, r).score);
+}
+
+TEST(EngineEdge, BandExcludingEndCellReportsInfeasible)
+{
+    sim::EngineConfig cfg;
+    cfg.bandWidth = 4;
+    sim::SystolicAligner<kernels::BandedGlobalLinear> engine(cfg);
+    seq::Rng rng(3);
+    const auto q = seq::randomDna(10, rng);
+    const auto r = seq::randomDna(40, rng); // |10 - 40| > 4
+    const auto got = engine.align(q, r);
+    EXPECT_TRUE(got.ops.empty());
+    EXPECT_EQ(got.end, (core::Coord{10, 40}));
+    EXPECT_LT(got.score, -100000); // sentinel-level score
+
+    // And the reference agrees.
+    ref::MatrixAligner<kernels::BandedGlobalLinear> gold(
+        kernels::BandedGlobalLinear::defaultParams(), 4);
+    const auto want = gold.align(q, r);
+    EXPECT_EQ(got.score, want.score);
+    EXPECT_EQ(want.ops, got.ops);
+}
+
+TEST(EngineEdge, DeterministicAcrossRuns)
+{
+    seq::Rng rng(4);
+    const auto q = seq::randomDna(77, rng);
+    const auto r = seq::mutateDna(q, 0.2, 0.1, rng);
+    sim::SystolicAligner<kernels::LocalAffine> engine;
+    const auto a = engine.align(q, r);
+    const auto b = engine.align(q, r);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.end, b.end);
+}
+
+TEST(EngineEdge, TieBreakPrefersLexSmallestCell)
+{
+    // Two identical local maxima: "AC" occurs twice in the reference; the
+    // canonical optimum is the first in (row, col) order.
+    const auto q = seq::dnaFromString("AC");
+    const auto r = seq::dnaFromString("ACGGAC");
+    for (const int npe : {1, 2, 4, 8}) {
+        sim::EngineConfig cfg;
+        cfg.numPe = npe;
+        sim::SystolicAligner<kernels::LocalLinear> engine(cfg);
+        const auto got = engine.align(q, r);
+        EXPECT_EQ(got.end, (core::Coord{2, 2})) << "npe=" << npe;
+    }
+}
+
+TEST(EngineEdge, NpeLargerThanQuery)
+{
+    seq::Rng rng(5);
+    const auto q = seq::randomDna(5, rng);
+    const auto r = seq::mutateDna(q, 0.1, 0.05, rng);
+    ref::MatrixAligner<kernels::GlobalAffine> gold;
+    sim::EngineConfig cfg;
+    cfg.numPe = 64;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    const auto a = gold.align(q, r);
+    const auto b = engine.align(q, r);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.ops, b.ops);
+}
+
+TEST(EngineEdge, StatsPopulatedAfterAlign)
+{
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    seq::Rng rng(6);
+    const auto q = seq::randomDna(64, rng);
+    const auto r = seq::randomDna(64, rng);
+    engine.align(q, r);
+    const auto &s = engine.lastStats();
+    EXPECT_GT(s.seqLoad, 0u);
+    EXPECT_GT(s.init, 0u);
+    EXPECT_GT(s.fill, 0u);
+    EXPECT_GT(s.fillTrips, 0u);
+    EXPECT_GT(s.chunks, 0u);
+    EXPECT_GT(s.traceback, 0u);
+    EXPECT_GT(engine.lastTotalCycles(), s.fill);
+}
+
+TEST(EngineEdge, ViterbiReportsNoPath)
+{
+    seq::Rng rng(7);
+    const auto q = seq::randomDna(30, rng);
+    const auto r = seq::mutateDna(q, 0.1, 0.0, rng);
+    sim::SystolicAligner<kernels::Viterbi> engine;
+    const auto got = engine.align(q, r);
+    EXPECT_TRUE(got.ops.empty());
+    EXPECT_EQ(got.start, got.end);
+    EXPECT_LT(got.scoreAsDouble(), 0.0); // log probability
+}

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The central back-end correctness property: for every kernel and every
+ * PE-array width, the systolic engine (chunked wavefront execution,
+ * two-wavefront buffers, preserved-row buffer, banked coalesced traceback
+ * memory, local-max reduction) must produce results bit-identical to the
+ * obviously-correct full-matrix executor running the same kernel
+ * specification — score, optimum cell, traceback start and the entire
+ * path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "reference/matrix_aligner.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+using test::randomDnaPair;
+
+namespace {
+
+template <typename K>
+void
+expectEqualResults(const core::AlignResult<typename K::ScoreT> &gold,
+                   const core::AlignResult<typename K::ScoreT> &got,
+                   int npe)
+{
+    EXPECT_EQ(core::ScoreTraits<typename K::ScoreT>::toDouble(gold.score),
+              core::ScoreTraits<typename K::ScoreT>::toDouble(got.score))
+        << K::name << " npe=" << npe;
+    EXPECT_EQ(gold.end, got.end) << K::name << " npe=" << npe;
+    EXPECT_EQ(gold.start, got.start) << K::name << " npe=" << npe;
+    EXPECT_EQ(gold.ops, got.ops) << K::name << " npe=" << npe;
+}
+
+/** Run one pair through reference and engine across a sweep of NPEs. */
+template <typename K>
+void
+crossCheck(const seq::Sequence<typename K::CharT> &q,
+           const seq::Sequence<typename K::CharT> &r, int band)
+{
+    ref::MatrixAligner<K> gold_aligner(K::defaultParams(), band);
+    const auto gold = gold_aligner.align(q, r);
+    for (const int npe : {1, 2, 3, 7, 16, 32, 128}) {
+        sim::EngineConfig cfg;
+        cfg.numPe = npe;
+        cfg.bandWidth = band;
+        cfg.maxQueryLength = 4096;
+        cfg.maxReferenceLength = 4096;
+        sim::SystolicAligner<K> engine(cfg);
+        expectEqualResults<K>(gold, engine.align(q, r), npe);
+    }
+}
+
+} // namespace
+
+/** DNA-alphabet kernels share a typed test. */
+template <typename K>
+class DnaEngineEquivalence : public ::testing::Test
+{};
+
+using DnaKernels = ::testing::Types<
+    kernels::GlobalLinear, kernels::GlobalAffine, kernels::LocalLinear,
+    kernels::LocalAffine, kernels::GlobalTwoPiece, kernels::Overlap,
+    kernels::SemiGlobal, kernels::Viterbi, kernels::BandedGlobalLinear,
+    kernels::BandedLocalAffine, kernels::BandedGlobalTwoPiece>;
+TYPED_TEST_SUITE(DnaEngineEquivalence, DnaKernels);
+
+TYPED_TEST(DnaEngineEquivalence, RelatedPairs)
+{
+    seq::Rng rng(1000 + TypeParam::kernelId);
+    for (int t = 0; t < 8; t++) {
+        const auto p = randomDnaPair(rng, 150, true, TypeParam::banded);
+        crossCheck<TypeParam>(p.query, p.reference, 24);
+    }
+}
+
+TYPED_TEST(DnaEngineEquivalence, UnrelatedPairs)
+{
+    seq::Rng rng(2000 + TypeParam::kernelId);
+    for (int t = 0; t < 8; t++) {
+        const auto p = randomDnaPair(rng, 150, false, TypeParam::banded);
+        crossCheck<TypeParam>(p.query, p.reference, 24);
+    }
+}
+
+TYPED_TEST(DnaEngineEquivalence, ShortSequences)
+{
+    seq::Rng rng(3000 + TypeParam::kernelId);
+    for (int t = 0; t < 12; t++) {
+        const auto p = randomDnaPair(rng, 6, false, TypeParam::banded);
+        crossCheck<TypeParam>(p.query, p.reference, 24);
+    }
+}
+
+TYPED_TEST(DnaEngineEquivalence, ChunkBoundaryLengths)
+{
+    // Lengths straddling multiples of common NPE values exercise partial
+    // final chunks (including single-row chunks).
+    seq::Rng rng(4000 + TypeParam::kernelId);
+    for (const int qlen : {15, 16, 17, 31, 32, 33, 63, 64, 65}) {
+        auto q = seq::randomDna(qlen, rng);
+        auto r = seq::mutateDna(q, 0.1, 0.05, rng);
+        if (TypeParam::banded) {
+            const int len = std::min(q.length(), r.length());
+            q.chars.resize(static_cast<size_t>(len));
+            r.chars.resize(static_cast<size_t>(len));
+        }
+        crossCheck<TypeParam>(q, r, 24);
+    }
+}
+
+TEST(EngineEquivalenceDtw, RandomWarpedSignals)
+{
+    seq::Rng rng(51);
+    for (int t = 0; t < 6; t++) {
+        const auto a = seq::randomComplexSignal(
+            20 + static_cast<int>(rng.below(100)), rng);
+        const auto b = seq::warpComplexSignal(a, 0.2, 0.4, rng);
+        crossCheck<kernels::Dtw>(b, a, 0);
+    }
+}
+
+TEST(EngineEquivalenceSdtw, SquigglePairs)
+{
+    const auto pairs = seq::sampleSquigglePairs(6, 180, 50, 52);
+    for (const auto &p : pairs)
+        crossCheck<kernels::Sdtw>(p.query, p.reference, 0);
+}
+
+TEST(EngineEquivalenceProfile, RelatedProfiles)
+{
+    const auto pairs = seq::sampleProfilePairs(5, 70, 53);
+    for (const auto &p : pairs)
+        crossCheck<kernels::ProfileAlignment>(p.first, p.second, 0);
+}
+
+TEST(EngineEquivalenceProtein, SampledPairs)
+{
+    const auto pairs = seq::sampleProteinPairs(6, 120, 0.25, 54);
+    for (const auto &p : pairs)
+        crossCheck<kernels::ProteinLocal>(p.query, p.target, 0);
+}
+
+/** Parameterized band sweep for the banded kernels. */
+class BandSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BandSweep, BandedKernelsMatchReferenceAtAllBandWidths)
+{
+    const int band = GetParam();
+    seq::Rng rng(60 + static_cast<uint64_t>(band));
+    for (int t = 0; t < 5; t++) {
+        const auto p = randomDnaPair(rng, 100, true, true);
+        {
+            ref::MatrixAligner<kernels::BandedGlobalLinear> gold(
+                kernels::BandedGlobalLinear::defaultParams(), band);
+            sim::EngineConfig cfg;
+            cfg.numPe = 16;
+            cfg.bandWidth = band;
+            sim::SystolicAligner<kernels::BandedGlobalLinear> engine(cfg);
+            expectEqualResults<kernels::BandedGlobalLinear>(
+                gold.align(p.query, p.reference),
+                engine.align(p.query, p.reference), 16);
+        }
+        {
+            ref::MatrixAligner<kernels::BandedLocalAffine> gold(
+                kernels::BandedLocalAffine::defaultParams(), band);
+            sim::EngineConfig cfg;
+            cfg.numPe = 16;
+            cfg.bandWidth = band;
+            sim::SystolicAligner<kernels::BandedLocalAffine> engine(cfg);
+            expectEqualResults<kernels::BandedLocalAffine>(
+                gold.align(p.query, p.reference),
+                engine.align(p.query, p.reference), 16);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, BandSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 48, 512));

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Randomized fuzz harness for the central back-end invariant: engine ==
+ * full-matrix reference, with *randomized configurations* (NPE, band
+ * width, sequence shapes) rather than the fixed sweeps of
+ * test_engine_equivalence.cc. Each seed drives dozens of comparisons
+ * across four representative kernels (one per scoring family).
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "reference/matrix_aligner.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+namespace {
+
+template <typename K>
+void
+fuzzOne(seq::Rng &rng, const seq::Sequence<typename K::CharT> &q,
+        const seq::Sequence<typename K::CharT> &r)
+{
+    const int npe = 1 + static_cast<int>(rng.below(70));
+    const int band = 1 + static_cast<int>(rng.below(48));
+
+    ref::MatrixAligner<K> gold_aligner(K::defaultParams(), band);
+    const auto gold = gold_aligner.align(q, r);
+
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    cfg.bandWidth = band;
+    cfg.maxQueryLength = 4096;
+    cfg.maxReferenceLength = 4096;
+    sim::SystolicAligner<K> engine(cfg);
+    const auto got = engine.align(q, r);
+
+    ASSERT_EQ(core::ScoreTraits<typename K::ScoreT>::toDouble(gold.score),
+              core::ScoreTraits<typename K::ScoreT>::toDouble(got.score))
+        << K::name << " npe=" << npe << " band=" << band
+        << " qlen=" << q.length() << " rlen=" << r.length();
+    ASSERT_EQ(gold.end, got.end) << K::name << " npe=" << npe;
+    ASSERT_EQ(gold.ops, got.ops) << K::name << " npe=" << npe;
+}
+
+} // namespace
+
+class EngineFuzz : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    seq::Rng rng{GetParam() * 7919 + 13};
+};
+
+TEST_P(EngineFuzz, LinearFamily)
+{
+    for (int t = 0; t < 15; t++) {
+        const auto p = test::randomDnaPair(
+            rng, 1 + static_cast<int>(rng.below(160)), t % 3 != 0);
+        fuzzOne<kernels::GlobalLinear>(rng, p.query, p.reference);
+        fuzzOne<kernels::LocalLinear>(rng, p.query, p.reference);
+    }
+}
+
+TEST_P(EngineFuzz, AffineFamily)
+{
+    for (int t = 0; t < 12; t++) {
+        const auto p = test::randomDnaPair(
+            rng, 1 + static_cast<int>(rng.below(130)), t % 3 != 0);
+        fuzzOne<kernels::GlobalAffine>(rng, p.query, p.reference);
+        fuzzOne<kernels::LocalAffine>(rng, p.query, p.reference);
+    }
+}
+
+TEST_P(EngineFuzz, TwoPieceAndStrategies)
+{
+    for (int t = 0; t < 10; t++) {
+        const auto p = test::randomDnaPair(
+            rng, 1 + static_cast<int>(rng.below(110)), true);
+        fuzzOne<kernels::GlobalTwoPiece>(rng, p.query, p.reference);
+        fuzzOne<kernels::Overlap>(rng, p.query, p.reference);
+        fuzzOne<kernels::SemiGlobal>(rng, p.query, p.reference);
+    }
+}
+
+TEST_P(EngineFuzz, BandedFamily)
+{
+    for (int t = 0; t < 10; t++) {
+        const auto p = test::randomDnaPair(
+            rng, 1 + static_cast<int>(rng.below(120)), true, true);
+        fuzzOne<kernels::BandedGlobalLinear>(rng, p.query, p.reference);
+        fuzzOne<kernels::BandedLocalAffine>(rng, p.query, p.reference);
+        fuzzOne<kernels::BandedGlobalTwoPiece>(rng, p.query, p.reference);
+    }
+}
+
+TEST_P(EngineFuzz, MinimizeObjectives)
+{
+    for (int t = 0; t < 6; t++) {
+        const auto a = seq::randomComplexSignal(
+            1 + static_cast<int>(rng.below(90)), rng);
+        const auto b = seq::warpComplexSignal(a, 0.2, 0.3, rng);
+        fuzzOne<kernels::Dtw>(rng, b, a);
+
+        const auto pairs = seq::sampleSquigglePairs(
+            1, 60 + static_cast<int>(rng.below(120)), 30, rng.next());
+        fuzzOne<kernels::Sdtw>(rng, pairs[0].query, pairs[0].reference);
+    }
+}
+
+TEST_P(EngineFuzz, ExtremeShapes)
+{
+    // Degenerate aspect ratios: 1xN, Nx1, long-and-thin.
+    const auto one = seq::randomDna(1, rng);
+    const auto lng = seq::randomDna(
+        50 + static_cast<int>(rng.below(200)), rng);
+    fuzzOne<kernels::GlobalLinear>(rng, one, lng);
+    fuzzOne<kernels::GlobalLinear>(rng, lng, one);
+    fuzzOne<kernels::LocalAffine>(rng, one, lng);
+    fuzzOne<kernels::SemiGlobal>(rng, one, lng);
+
+    const auto thin = seq::randomDna(4, rng);
+    fuzzOne<kernels::GlobalAffine>(rng, thin, lng);
+    fuzzOne<kernels::Overlap>(rng, lng, thin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Range<uint64_t>(1, 13));

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the FASTA reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.hh"
+
+using namespace dphls::seq;
+
+TEST(FastaTest, ParseSingleRecord)
+{
+    std::istringstream in(">seq1 description\nACGT\nACGT\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].name, "seq1 description");
+    EXPECT_EQ(records[0].residues, "ACGTACGT");
+}
+
+TEST(FastaTest, ParseMultipleRecords)
+{
+    std::istringstream in(">a\nAC\n>b\nGT\nTT\n>c\nA\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].residues, "AC");
+    EXPECT_EQ(records[1].residues, "GTTT");
+    EXPECT_EQ(records[2].residues, "A");
+}
+
+TEST(FastaTest, SkipsBlankLinesAndCrlf)
+{
+    std::istringstream in(">a\r\nAC\r\n\r\nGT\r\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].residues, "ACGT");
+}
+
+TEST(FastaTest, ResidueBeforeHeaderThrows)
+{
+    std::istringstream in("ACGT\n>a\nAC\n");
+    EXPECT_THROW(readFasta(in), std::runtime_error);
+}
+
+TEST(FastaTest, EmptyInputYieldsNoRecords)
+{
+    std::istringstream in("");
+    EXPECT_TRUE(readFasta(in).empty());
+}
+
+TEST(FastaTest, WriteReadRoundTrip)
+{
+    std::vector<FastaRecord> records{
+        {"read1", "ACGTACGTACGT"},
+        {"read2", std::string(200, 'G')},
+    };
+    std::ostringstream out;
+    writeFasta(out, records, 70);
+    std::istringstream in(out.str());
+    const auto back = readFasta(in);
+    ASSERT_EQ(back.size(), records.size());
+    for (size_t i = 0; i < records.size(); i++) {
+        EXPECT_EQ(back[i].name, records[i].name);
+        EXPECT_EQ(back[i].residues, records[i].residues);
+    }
+}
+
+TEST(FastaTest, LineWidthRespected)
+{
+    std::vector<FastaRecord> records{{"x", std::string(25, 'A')}};
+    std::ostringstream out;
+    writeFasta(out, records, 10);
+    // Expect 3 residue lines: 10 + 10 + 5.
+    EXPECT_EQ(out.str(), ">x\nAAAAAAAAAA\nAAAAAAAAAA\nAAAAA\n");
+}
+
+TEST(FastaTest, ToDnaDecodes)
+{
+    std::istringstream in(">a\nacgt\n");
+    const auto seqs = toDna(readFasta(in));
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(dnaToString(seqs[0]), "ACGT");
+    EXPECT_EQ(seqs[0].name, "a");
+}
+
+TEST(FastaTest, ToProteinDecodes)
+{
+    std::istringstream in(">p\nMKWV\n");
+    const auto seqs = toProtein(readFasta(in));
+    ASSERT_EQ(seqs.size(), 1u);
+    EXPECT_EQ(proteinToString(seqs[0]), "MKWV");
+}
+
+TEST(FastaTest, MissingFileThrows)
+{
+    EXPECT_THROW(readFastaFile("/nonexistent/path/xyz.fa"),
+                 std::runtime_error);
+}

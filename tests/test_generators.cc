@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the workload generators substituting for the paper's datasets
+ * (PBSIM2 reads, Swiss-Prot proteins, SquiggleFilter signals, Drosophila
+ * profiles; Section 6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seq/profile_builder.hh"
+#include "seq/protein_sampler.hh"
+#include "seq/read_simulator.hh"
+#include "seq/squiggle.hh"
+
+using namespace dphls::seq;
+
+TEST(ReadSimulator, GenomeLengthAndDeterminism)
+{
+    Rng a(5), b(5);
+    const auto g1 = makeReferenceGenome(1000, a);
+    const auto g2 = makeReferenceGenome(1000, b);
+    EXPECT_EQ(g1.length(), 1000);
+    EXPECT_EQ(dnaToString(g1), dnaToString(g2));
+}
+
+TEST(ReadSimulator, ReadOriginIsValidWindow)
+{
+    Rng rng(6);
+    const auto genome = makeReferenceGenome(50000, rng);
+    ReadSimConfig cfg;
+    cfg.readLength = 2000;
+    for (int i = 0; i < 20; i++) {
+        const auto sim = simulateRead(genome, cfg, rng);
+        EXPECT_GE(sim.refStart, 0);
+        EXPECT_LE(sim.refEnd, genome.length());
+        EXPECT_LT(sim.refStart, sim.refEnd);
+        EXPECT_GT(sim.read.length(), 0);
+    }
+}
+
+TEST(ReadSimulator, ErrorRateApproximatelyConfigured)
+{
+    // With 30% errors, identity between read and its origin window is far
+    // from 1; with 0% errors the read equals the window exactly.
+    Rng rng(7);
+    const auto genome = makeReferenceGenome(100000, rng);
+
+    ReadSimConfig clean;
+    clean.readLength = 5000;
+    clean.errorRate = 0.0;
+    const auto sim = simulateRead(genome, clean, rng);
+    ASSERT_EQ(sim.read.length(), sim.refEnd - sim.refStart);
+    for (int i = 0; i < sim.read.length(); i++)
+        EXPECT_EQ(sim.read[i].code, genome[sim.refStart + i].code);
+}
+
+TEST(ReadSimulator, ErrorsChangeBases)
+{
+    Rng rng(8);
+    const auto genome = makeReferenceGenome(100000, rng);
+    ReadSimConfig noisy;
+    noisy.readLength = 5000;
+    noisy.errorRate = 0.30;
+    const auto sim = simulateRead(genome, noisy, rng);
+    // Count raw positional mismatches (a crude lower bound on edits).
+    int diff = 0;
+    const int n = std::min(sim.read.length(), sim.refEnd - sim.refStart);
+    for (int i = 0; i < n; i++)
+        diff += sim.read[i].code != genome[sim.refStart + i].code;
+    EXPECT_GT(diff, n / 10);
+}
+
+TEST(ReadSimulator, PairsTruncatedToRequestedLength)
+{
+    const auto pairs = simulateReadPairs(10, ReadSimConfig{}, 256, 11);
+    ASSERT_EQ(pairs.size(), 10u);
+    for (const auto &p : pairs) {
+        EXPECT_LE(p.query.length(), 256);
+        EXPECT_LE(p.target.length(), 256);
+        EXPECT_GT(p.query.length(), 0);
+    }
+}
+
+TEST(ReadSimulator, MutateRates)
+{
+    Rng rng(12);
+    const auto src = randomDna(5000, rng);
+    const auto mut = mutateDna(src, 0.1, 0.0, rng);
+    ASSERT_EQ(mut.length(), src.length());
+    int diff = 0;
+    for (int i = 0; i < src.length(); i++)
+        diff += mut[i].code != src[i].code;
+    EXPECT_NEAR(diff / 5000.0, 0.1, 0.03);
+}
+
+TEST(ProteinSampler, CompositionMatchesBackground)
+{
+    Rng rng(13);
+    const auto p = sampleProtein(50000, rng);
+    int count_l = 0, count_w = 0;
+    for (const auto &c : p.chars) {
+        count_l += c.code == aminoFromAscii('L').code;
+        count_w += c.code == aminoFromAscii('W').code;
+    }
+    // Leucine ~9.65%, tryptophan ~1.1% in Swiss-Prot.
+    EXPECT_NEAR(count_l / 50000.0, 0.0965, 0.01);
+    EXPECT_NEAR(count_w / 50000.0, 0.011, 0.005);
+}
+
+TEST(ProteinSampler, LengthDistribution)
+{
+    Rng rng(14);
+    for (int i = 0; i < 200; i++) {
+        const int len = sampleProteinLength(rng);
+        EXPECT_GE(len, 30);
+        EXPECT_LE(len, 2000);
+    }
+}
+
+TEST(ProteinSampler, PairsShareAncestry)
+{
+    const auto pairs = sampleProteinPairs(5, 200, 0.1, 15);
+    ASSERT_EQ(pairs.size(), 5u);
+    for (const auto &p : pairs) {
+        EXPECT_EQ(p.target.length(), 200);
+        EXPECT_GT(p.query.length(), 150);
+        EXPECT_LT(p.query.length(), 250);
+    }
+    // Substitution-only mutation preserves positional identity.
+    Rng rng(15);
+    const auto base = sampleProtein(200, rng);
+    const auto mut = mutateProtein(base, 0.1, 0.0, rng);
+    ASSERT_EQ(mut.length(), 200);
+    int same = 0;
+    for (int i = 0; i < 200; i++)
+        same += mut[i].code == base[i].code;
+    EXPECT_GT(same, 150);
+}
+
+TEST(Squiggle, PoreModelDeterministicAndBounded)
+{
+    SquiggleConfig cfg;
+    for (uint64_t k = 0; k < 200; k++) {
+        const int l1 = poreModelLevel(k, cfg);
+        const int l2 = poreModelLevel(k, cfg);
+        EXPECT_EQ(l1, l2);
+        EXPECT_GE(l1, cfg.levelMin);
+        EXPECT_LE(l1, cfg.levelMax);
+    }
+}
+
+TEST(Squiggle, ExpectedSignalOneSamplePerKmer)
+{
+    Rng rng(16);
+    const auto dna = randomDna(100, rng);
+    SquiggleConfig cfg;
+    const auto sig = expectedSignal(dna, cfg);
+    EXPECT_EQ(sig.length(), 100 - cfg.kmer + 1);
+}
+
+TEST(Squiggle, RawSignalDwellsLongerThanExpected)
+{
+    Rng rng(17);
+    const auto dna = randomDna(200, rng);
+    SquiggleConfig cfg;
+    const auto expected = expectedSignal(dna, cfg);
+    const auto raw = rawSignal(dna, cfg, rng);
+    EXPECT_GT(raw.length(), expected.length());
+}
+
+TEST(Squiggle, PairsHaveRequestedShapes)
+{
+    const auto pairs = sampleSquigglePairs(4, 300, 80, 18);
+    ASSERT_EQ(pairs.size(), 4u);
+    for (const auto &p : pairs) {
+        EXPECT_EQ(p.reference.length(), 300);
+        EXPECT_GT(p.query.length(), 40);
+    }
+}
+
+TEST(Squiggle, ComplexWarpPreservesApproximateLength)
+{
+    Rng rng(19);
+    const auto a = randomComplexSignal(500, rng);
+    const auto b = warpComplexSignal(a, 0.2, 0.1, rng);
+    EXPECT_GT(b.length(), 300);
+    EXPECT_LT(b.length(), 700);
+}
+
+TEST(ProfileBuilder, ColumnTotalsEqualFamilySize)
+{
+    Rng rng(20);
+    ProfileConfig cfg;
+    cfg.familySize = 8;
+    const auto prof = buildProfile(100, cfg, rng);
+    ASSERT_EQ(prof.length(), 100);
+    for (const auto &col : prof.chars)
+        EXPECT_EQ(col.total(), 8);
+}
+
+TEST(ProfileBuilder, RelatedPairsShareConsensus)
+{
+    const auto pairs = sampleProfilePairs(3, 120, 21);
+    ASSERT_EQ(pairs.size(), 3u);
+    for (const auto &p : pairs) {
+        ASSERT_EQ(p.first.length(), 120);
+        ASSERT_EQ(p.second.length(), 120);
+        // The dominant base should agree at most columns (same ancestor).
+        int agree = 0;
+        for (int i = 0; i < 120; i++) {
+            int best1 = 0, best2 = 0;
+            for (int b = 1; b < 4; b++) {
+                if (p.first[i].freq[b] > p.first[i].freq[best1])
+                    best1 = b;
+                if (p.second[i].freq[b] > p.second[i].freq[best2])
+                    best2 = b;
+            }
+            agree += best1 == best2;
+        }
+        EXPECT_GT(agree, 90);
+    }
+}

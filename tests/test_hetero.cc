@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for heterogeneous kernel channels (paper Section 4 step 5: NK
+ * heterogeneous kernels linked in one design).
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/hetero.hh"
+#include "kernels/global_affine.hh"
+#include "kernels/local_linear.hh"
+#include "model/resource_model.hh"
+#include "seq/read_simulator.hh"
+
+using namespace dphls;
+
+namespace {
+
+std::vector<host::AlignmentJob<seq::DnaChar>>
+makeJobs(int n, uint64_t seed)
+{
+    std::vector<host::AlignmentJob<seq::DnaChar>> jobs;
+    seq::Rng rng(seed);
+    for (int i = 0; i < n; i++) {
+        host::AlignmentJob<seq::DnaChar> j;
+        j.query = seq::randomDna(80, rng);
+        j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+host::DeviceConfig
+cfgOf(int nb, int nk)
+{
+    host::DeviceConfig c;
+    c.npe = 8;
+    c.nb = nb;
+    c.nk = nk;
+    return c;
+}
+
+} // namespace
+
+TEST(HeteroDevice, ResultsMatchDedicatedDevices)
+{
+    const auto jobs_g = makeJobs(20, 91);
+    const auto jobs_l = makeJobs(20, 92);
+
+    host::HeteroDevice<kernels::GlobalAffine, kernels::LocalLinear> hetero(
+        cfgOf(2, 1), cfgOf(2, 1));
+    std::vector<core::AlignResult<int32_t>> res_g, res_l;
+    hetero.run(jobs_g, jobs_l, &res_g, &res_l);
+
+    host::DeviceModel<kernels::GlobalAffine> solo_g(cfgOf(2, 1));
+    host::DeviceModel<kernels::LocalLinear> solo_l(cfgOf(2, 1));
+    std::vector<core::AlignResult<int32_t>> want_g, want_l;
+    solo_g.run(jobs_g, &want_g);
+    solo_l.run(jobs_l, &want_l);
+
+    ASSERT_EQ(res_g.size(), want_g.size());
+    ASSERT_EQ(res_l.size(), want_l.size());
+    for (size_t i = 0; i < res_g.size(); i++) {
+        EXPECT_EQ(res_g[i].score, want_g[i].score);
+        EXPECT_EQ(res_g[i].ops, want_g[i].ops);
+    }
+    for (size_t i = 0; i < res_l.size(); i++)
+        EXPECT_EQ(res_l[i].score, want_l[i].score);
+}
+
+TEST(HeteroDevice, MakespanIsMaxOfPartitions)
+{
+    const auto jobs_g = makeJobs(40, 93);
+    const auto jobs_l = makeJobs(4, 94);
+    host::HeteroDevice<kernels::GlobalAffine, kernels::LocalLinear> hetero(
+        cfgOf(2, 1), cfgOf(2, 1));
+    const auto stats = hetero.run(jobs_g, jobs_l);
+    EXPECT_EQ(stats.makespanCycles,
+              std::max(stats.first.makespanCycles,
+                       stats.second.makespanCycles));
+    EXPECT_GT(stats.first.makespanCycles, stats.second.makespanCycles);
+}
+
+TEST(HeteroDevice, CombinedThroughputExceedsEitherPartition)
+{
+    const auto jobs_g = makeJobs(32, 95);
+    const auto jobs_l = makeJobs(32, 96);
+    host::HeteroDevice<kernels::GlobalAffine, kernels::LocalLinear> hetero(
+        cfgOf(2, 2), cfgOf(2, 2));
+    const auto stats = hetero.run(jobs_g, jobs_l);
+    EXPECT_GT(stats.alignsPerSec, stats.first.alignsPerSec);
+    EXPECT_GT(stats.alignsPerSec, stats.second.alignsPerSec);
+}
+
+TEST(HeteroDevice, CombinedResourcesFitTheDevice)
+{
+    host::HeteroDevice<kernels::GlobalAffine, kernels::LocalLinear> hetero(
+        cfgOf(8, 2), cfgOf(8, 2));
+    const auto r = hetero.resources(
+        model::kernelHwDesc<kernels::GlobalAffine>(256, 256, 2),
+        model::kernelHwDesc<kernels::LocalLinear>(256, 256, 1));
+    EXPECT_TRUE(model::FpgaDevice::xcvu9p().fits(r));
+    EXPECT_GT(r.lut, 0.0);
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Cross-kernel algebraic properties: relations between the scoring
+ * families and traceback strategies that must hold for any input. These
+ * complement the classic-implementation equivalence tests by checking
+ * the *kernels against each other*.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "helpers.hh"
+#include "reference/classic.hh"
+#include "reference/matrix_aligner.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+using test::randomDnaPair;
+
+class KernelProperties : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    seq::Rng rng{GetParam()};
+};
+
+TEST_P(KernelProperties, AffineWithEqualOpenExtendEqualsLinear)
+{
+    // cost(k) = open + (k-1)*extend collapses to k*g when open == extend.
+    kernels::GlobalAffine::Params ap;
+    ap.match = 1;
+    ap.mismatch = -1;
+    ap.gapOpen = 2;
+    ap.gapExtend = 2;
+    kernels::GlobalLinear::Params lp;
+    lp.match = 1;
+    lp.mismatch = -1;
+    lp.linearGap = -2;
+    sim::SystolicAligner<kernels::GlobalAffine> affine({}, ap);
+    sim::SystolicAligner<kernels::GlobalLinear> linear({}, lp);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 100, t % 2 == 0);
+        EXPECT_EQ(affine.align(p.query, p.reference).score,
+                  linear.align(p.query, p.reference).score);
+    }
+}
+
+TEST_P(KernelProperties, TwoPieceWithIdenticalPiecesEqualsAffine)
+{
+    kernels::GlobalTwoPiece::Params tp;
+    tp.match = 2;
+    tp.mismatch = -3;
+    tp.gapOpen1 = tp.gapOpen2 = 4;
+    tp.gapExtend1 = tp.gapExtend2 = 1;
+    kernels::GlobalAffine::Params ap;
+    ap.match = 2;
+    ap.mismatch = -3;
+    ap.gapOpen = 4;
+    ap.gapExtend = 1;
+    sim::SystolicAligner<kernels::GlobalTwoPiece> two({}, tp);
+    sim::SystolicAligner<kernels::GlobalAffine> affine({}, ap);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(two.align(p.query, p.reference).score,
+                  affine.align(p.query, p.reference).score);
+    }
+}
+
+TEST_P(KernelProperties, LocalDominatesGlobalUnderSameScoring)
+{
+    // A local alignment may take any sub-path of the global one, so its
+    // score is an upper bound when scoring parameters agree.
+    kernels::LocalLinear::Params lp;
+    lp.match = 1;
+    lp.mismatch = -1;
+    lp.linearGap = -1;
+    kernels::GlobalLinear::Params gp;
+    gp.match = 1;
+    gp.mismatch = -1;
+    gp.linearGap = -1;
+    sim::SystolicAligner<kernels::LocalLinear> local({}, lp);
+    sim::SystolicAligner<kernels::GlobalLinear> global({}, gp);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 100, t % 2 == 0);
+        EXPECT_GE(local.align(p.query, p.reference).score,
+                  global.align(p.query, p.reference).score);
+    }
+}
+
+TEST_P(KernelProperties, StrategyDominanceChain)
+{
+    // Free ends only help: local >= overlap >= semi-global >= global
+    // under identical match/mismatch/gap parameters.
+    kernels::LocalLinear::Params lp{1, -2, -2};
+    kernels::Overlap::Params op{1, -2, -2};
+    kernels::SemiGlobal::Params sp{1, -2, -2};
+    kernels::GlobalLinear::Params gp{1, -2, -2};
+    sim::SystolicAligner<kernels::LocalLinear> local({}, lp);
+    sim::SystolicAligner<kernels::Overlap> overlap({}, op);
+    sim::SystolicAligner<kernels::SemiGlobal> semi({}, sp);
+    sim::SystolicAligner<kernels::GlobalLinear> global({}, gp);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 100, t % 2 == 0);
+        const auto l = local.align(p.query, p.reference).score;
+        const auto o = overlap.align(p.query, p.reference).score;
+        const auto s = semi.align(p.query, p.reference).score;
+        const auto g = global.align(p.query, p.reference).score;
+        EXPECT_GE(l, o);
+        EXPECT_GE(o, s);
+        EXPECT_GE(s, g);
+    }
+}
+
+TEST_P(KernelProperties, BandedConvergesToUnbandedAsBandGrows)
+{
+    const auto p = randomDnaPair(rng, 120, true, true);
+    sim::SystolicAligner<kernels::GlobalLinear> unbanded;
+    const auto full = unbanded.align(p.query, p.reference).score;
+    int32_t prev = std::numeric_limits<int32_t>::min();
+    for (const int band : {2, 8, 32, 128, 512}) {
+        sim::EngineConfig cfg;
+        cfg.bandWidth = band;
+        sim::SystolicAligner<kernels::BandedGlobalLinear> banded(cfg);
+        const auto s = banded.align(p.query, p.reference).score;
+        EXPECT_GE(s, prev) << "band " << band;
+        EXPECT_LE(s, full) << "band " << band;
+        prev = s;
+    }
+    EXPECT_EQ(prev, full); // band 512 covers everything
+}
+
+TEST_P(KernelProperties, IdenticalSequencesScorePerfect)
+{
+    const auto q = seq::randomDna(
+        20 + static_cast<int>(rng.below(100)), rng);
+    sim::SystolicAligner<kernels::GlobalLinear> global;
+    EXPECT_EQ(global.align(q, q).score, q.length()); // match = +1
+
+    sim::SystolicAligner<kernels::LocalLinear> local;
+    EXPECT_EQ(local.align(q, q).score, 2 * q.length()); // match = +2
+
+    sim::SystolicAligner<kernels::Dtw> dtw;
+    seq::Rng crng(GetParam() + 1);
+    const auto sig = seq::randomComplexSignal(60, crng);
+    EXPECT_EQ(dtw.align(sig, sig).score.raw(), 0);
+
+    sim::SystolicAligner<kernels::Sdtw> sdtw(
+        sim::EngineConfig{.maxQueryLength = 2048,
+                          .maxReferenceLength = 2048});
+    const auto pairs = seq::sampleSquigglePairs(1, 100, 40, GetParam());
+    // An exact sub-signal of the reference scores 0 under sDTW.
+    seq::SignalSequence sub;
+    sub.chars.assign(pairs[0].reference.chars.begin() + 10,
+                     pairs[0].reference.chars.begin() + 50);
+    EXPECT_EQ(sdtw.align(sub, pairs[0].reference).score, 0);
+}
+
+TEST_P(KernelProperties, MismatchPenaltyMonotonicity)
+{
+    // A harsher mismatch penalty can never increase the global score.
+    const auto p = randomDnaPair(rng, 100, true);
+    kernels::GlobalLinear::Params mild{1, -1, -1};
+    kernels::GlobalLinear::Params harsh{1, -4, -1};
+    sim::SystolicAligner<kernels::GlobalLinear> a({}, mild);
+    sim::SystolicAligner<kernels::GlobalLinear> b({}, harsh);
+    EXPECT_GE(a.align(p.query, p.reference).score,
+              b.align(p.query, p.reference).score);
+}
+
+TEST_P(KernelProperties, SwapSymmetryOfGlobalScore)
+{
+    // Global alignment with symmetric scoring is symmetric in its
+    // arguments (paths transpose, scores match).
+    const auto p = randomDnaPair(rng, 90, true);
+    sim::SystolicAligner<kernels::GlobalLinear> engine;
+    const auto ab = engine.align(p.query, p.reference);
+    const auto ba = engine.align(p.reference, p.query);
+    EXPECT_EQ(ab.score, ba.score);
+    // Transposed path: Ins <-> Del swapped, Match preserved.
+    int ins_ab = 0, del_ab = 0, ins_ba = 0, del_ba = 0;
+    for (auto op : ab.ops) {
+        ins_ab += op == core::AlnOp::Ins;
+        del_ab += op == core::AlnOp::Del;
+    }
+    for (auto op : ba.ops) {
+        ins_ba += op == core::AlnOp::Ins;
+        del_ba += op == core::AlnOp::Del;
+    }
+    EXPECT_EQ(ins_ab, del_ba);
+    EXPECT_EQ(del_ab, ins_ba);
+}
+
+TEST_P(KernelProperties, ViterbiDominatedByPerfectMatchChain)
+{
+    // The all-match state path upper-bounds any pair-HMM path score.
+    const auto q = seq::randomDna(
+        10 + static_cast<int>(rng.below(60)), rng);
+    const auto r = seq::mutateDna(q, 0.2, 0.1, rng);
+    sim::SystolicAligner<kernels::Viterbi> engine;
+    const auto params = kernels::Viterbi::defaultParams();
+    const auto res = engine.align(q, r);
+    const double per_step =
+        params.log1M2Delta.toDouble() + params.logEmission[0][0].toDouble();
+    const double upper =
+        per_step * std::min(q.length(), r.length()) - per_step;
+    EXPECT_LE(res.scoreAsDouble(), upper + 1e-6);
+}
+
+TEST_P(KernelProperties, ProfileOfSingletonsMatchesPlainAlignment)
+{
+    // Unit profiles (one sequence per family, gapScale 1) reduce the
+    // sum-of-pairs kernel to plain global linear alignment with the
+    // pairScore matrix.
+    const auto p = randomDnaPair(rng, 60, true, true);
+    kernels::ProfileAlignment::Params pp;
+    pp.gapScale = 1;
+    seq::ProfileSequence q, r;
+    for (const auto &c : p.query.chars) {
+        seq::ProfileColumn col;
+        col.freq[c.code] = 1;
+        q.chars.push_back(col);
+    }
+    for (const auto &c : p.reference.chars) {
+        seq::ProfileColumn col;
+        col.freq[c.code] = 1;
+        r.chars.push_back(col);
+    }
+    sim::SystolicAligner<kernels::ProfileAlignment> profile({}, pp);
+
+    kernels::GlobalLinear::Params lp{2, -1, -2};
+    sim::SystolicAligner<kernels::GlobalLinear> plain({}, lp);
+    EXPECT_EQ(profile.align(q, r).score,
+              plain.align(p.query, p.reference).score);
+}
+
+TEST_P(KernelProperties, ProteinUnitMatrixEqualsDnaStyleScoring)
+{
+    // BLOSUM replaced by +2/-1 behaves like simple local alignment.
+    kernels::ProteinLocal::Params pp;
+    for (int a = 0; a < 20; a++) {
+        for (int b = 0; b < 20; b++)
+            pp.subst.score[a][b] = static_cast<int8_t>(a == b ? 2 : -1);
+    }
+    pp.linearGap = -1;
+    sim::SystolicAligner<kernels::ProteinLocal> prot({}, pp);
+    const auto pair = seq::sampleProteinPairs(1, 80, 0.2, GetParam());
+    const auto got = prot.align(pair[0].query, pair[0].target);
+
+    // Map the proteins onto a 20-symbol "DNA-like" local alignment via
+    // the classic implementation with the same unit matrix.
+    const auto want = ref::classic::proteinSwScore(
+        pair[0].query, pair[0].target, pp.subst, -1);
+    EXPECT_EQ(got.score, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));

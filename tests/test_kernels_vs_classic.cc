@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Validates every kernel specification's recurrences against the
+ * independent textbook implementations: the full-matrix executor running
+ * the kernel spec must reproduce the classic algorithm's score on
+ * randomized inputs. (The systolic engine is separately validated against
+ * the full-matrix executor, closing the verification triangle.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "reference/classic.hh"
+#include "reference/matrix_aligner.hh"
+
+using namespace dphls;
+using test::randomDnaPair;
+
+namespace {
+
+constexpr int numTrials = 25;
+
+} // namespace
+
+class KernelVsClassic : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(KernelVsClassic, GlobalLinearMatchesNw)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::GlobalLinear> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        const auto got = aligner.align(p.query, p.reference);
+        EXPECT_EQ(got.score, ref::classic::nwScore(p.query, p.reference, 1,
+                                                   -1, -1));
+    }
+}
+
+TEST_P(KernelVsClassic, GlobalAffineMatchesGotoh)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::GlobalAffine> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::gotohScore(p.query, p.reference, 2, -3, 4,
+                                           1));
+    }
+}
+
+TEST_P(KernelVsClassic, LocalLinearMatchesSw)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::LocalLinear> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::swScore(p.query, p.reference, 2, -1, -1));
+    }
+}
+
+TEST_P(KernelVsClassic, LocalAffineMatchesSwg)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::LocalAffine> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::swgScore(p.query, p.reference, 2, -3, 4, 1));
+    }
+}
+
+TEST_P(KernelVsClassic, GlobalTwoPieceMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::GlobalTwoPiece> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 80, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::twoPieceScore(p.query, p.reference, 2, -4,
+                                              4, 2, 13, 1));
+    }
+}
+
+TEST_P(KernelVsClassic, OverlapMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::Overlap> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::overlapScore(p.query, p.reference, 1, -2,
+                                             -2));
+    }
+}
+
+TEST_P(KernelVsClassic, SemiGlobalMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::SemiGlobal> aligner;
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 90, t % 2 == 0);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::semiGlobalScore(p.query, p.reference, 1,
+                                                -2, -2));
+    }
+}
+
+TEST_P(KernelVsClassic, BandedGlobalLinearMatchesClassicBanded)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::BandedGlobalLinear> aligner(
+        kernels::BandedGlobalLinear::defaultParams(), 12);
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 80, true, true);
+        EXPECT_EQ(aligner.align(p.query, p.reference).score,
+                  ref::classic::bandedNwScore(p.query, p.reference, 1, -1,
+                                              -1, 12));
+    }
+}
+
+TEST_P(KernelVsClassic, BandedLocalAffineBoundsAndWideBand)
+{
+    seq::Rng rng(GetParam());
+    // With a band covering the whole matrix the banded kernel equals the
+    // unbanded classic SWG score.
+    ref::MatrixAligner<kernels::BandedLocalAffine> wide(
+        kernels::BandedLocalAffine::defaultParams(), 4096);
+    ref::MatrixAligner<kernels::BandedLocalAffine> narrow(
+        kernels::BandedLocalAffine::defaultParams(), 8);
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 70, true);
+        const auto full =
+            ref::classic::swgScore(p.query, p.reference, 2, -3, 4, 1);
+        EXPECT_EQ(wide.align(p.query, p.reference).score, full);
+        EXPECT_LE(narrow.align(p.query, p.reference).score, full);
+    }
+}
+
+TEST_P(KernelVsClassic, BandedTwoPieceWideBandMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::BandedGlobalTwoPiece> wide(
+        kernels::BandedGlobalTwoPiece::defaultParams(), 4096);
+    for (int t = 0; t < numTrials; t++) {
+        const auto p = randomDnaPair(rng, 60, true);
+        EXPECT_EQ(wide.align(p.query, p.reference).score,
+                  ref::classic::twoPieceScore(p.query, p.reference, 2, -4,
+                                              4, 2, 13, 1));
+    }
+}
+
+TEST_P(KernelVsClassic, DtwMatchesDoubleWithinQuantization)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::Dtw> aligner;
+    for (int t = 0; t < 10; t++) {
+        const auto a = seq::randomComplexSignal(
+            20 + static_cast<int>(rng.below(60)), rng);
+        const auto b = seq::warpComplexSignal(a, 0.2, 0.3, rng);
+        const auto got = aligner.align(b, a);
+        const double want = ref::classic::dtwDistance(b, a);
+        // Fixed-point <32,26> has 6 fractional bits; truncation error
+        // accumulates along the path.
+        const double tol =
+            (b.length() + a.length()) * (2.0 / 64.0) + 1e-9;
+        EXPECT_NEAR(got.scoreAsDouble(), want, tol);
+    }
+}
+
+TEST_P(KernelVsClassic, SdtwMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::Sdtw> aligner;
+    for (int t = 0; t < 10; t++) {
+        const auto pairs = seq::sampleSquigglePairs(
+            1, 100 + static_cast<int>(rng.below(100)), 40, rng.next());
+        EXPECT_EQ(aligner.align(pairs[0].query, pairs[0].reference).score,
+                  ref::classic::sdtwDistance(pairs[0].query,
+                                             pairs[0].reference));
+    }
+}
+
+TEST_P(KernelVsClassic, ViterbiMatchesDoubleWithinQuantization)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::Viterbi> aligner;
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 50, true, true);
+        const auto got = aligner.align(p.query, p.reference);
+        const double want = ref::classic::viterbiLogProb(
+            p.query, p.reference, 0.1, 0.3, 0.22, 0.01);
+        // <32,14> fixed point: 18 fractional bits; error accumulates per
+        // cell on the Viterbi path.
+        const double tol = (p.query.length() + p.reference.length()) *
+                               (4.0 / (1 << 18)) +
+                           1e-6;
+        EXPECT_NEAR(got.scoreAsDouble(), want, tol);
+    }
+}
+
+TEST_P(KernelVsClassic, ProfileMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::ProfileAlignment> aligner;
+    const auto params = kernels::ProfileAlignment::defaultParams();
+    for (int t = 0; t < 8; t++) {
+        const auto pairs = seq::sampleProfilePairs(
+            1, 20 + static_cast<int>(rng.below(40)), rng.next());
+        EXPECT_EQ(aligner.align(pairs[0].first, pairs[0].second).score,
+                  ref::classic::profileScore(pairs[0].first,
+                                             pairs[0].second,
+                                             params.pairScore,
+                                             params.gapScale));
+    }
+}
+
+TEST_P(KernelVsClassic, ProteinMatchesClassic)
+{
+    seq::Rng rng(GetParam());
+    ref::MatrixAligner<kernels::ProteinLocal> aligner;
+    for (int t = 0; t < 10; t++) {
+        const auto pairs = seq::sampleProteinPairs(
+            1, 30 + static_cast<int>(rng.below(80)), 0.2, rng.next());
+        EXPECT_EQ(aligner.align(pairs[0].query, pairs[0].target).score,
+                  ref::classic::proteinSwScore(pairs[0].query,
+                                               pairs[0].target,
+                                               seq::blosum62(), -4));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelVsClassic,
+                         ::testing::Values(101, 202, 303, 404, 505));

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the deterministic random engine used by workload synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seq/random.hh"
+
+using dphls::seq::Rng;
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next())
+            equal++;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(17);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMedian)
+{
+    Rng rng(19);
+    int below = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++)
+        below += rng.logNormal(std::log(290.0), 0.65) < 290.0 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.03);
+}
+
+TEST(RngTest, DiscreteFromCumulative)
+{
+    Rng rng(23);
+    const double cum[3] = {0.2, 0.5, 1.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 30000;
+    for (int i = 0; i < n; i++)
+        counts[rng.discreteFromCumulative(cum, 3)]++;
+    EXPECT_NEAR(counts[0] / double(n), 0.2, 0.02);
+    EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / double(n), 0.5, 0.02);
+}

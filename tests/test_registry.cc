@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Kernel-registry tests: all 15 kernels present with consistent metadata
+ * and working standard-workload runners.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/registry.hh"
+
+using namespace dphls;
+using kernels::registry;
+
+TEST(Registry, HasAllFifteenKernels)
+{
+    ASSERT_EQ(registry().size(), 15u);
+    for (int id = 1; id <= 15; id++)
+        EXPECT_EQ(registry()[static_cast<size_t>(id - 1)].id, id);
+}
+
+TEST(Registry, LookupById)
+{
+    EXPECT_EQ(kernels::kernelById(1).name,
+              "Global Linear (Needleman-Wunsch)");
+    EXPECT_EQ(kernels::kernelById(14).name, "Semi-global DTW (sDTW)");
+    EXPECT_THROW(kernels::kernelById(16), std::out_of_range);
+    EXPECT_THROW(kernels::kernelById(0), std::out_of_range);
+}
+
+TEST(Registry, MetadataMatchesTable1)
+{
+    // Layer counts (paper front-end step 1.2).
+    EXPECT_EQ(kernels::kernelById(1).nLayers, 1);
+    EXPECT_EQ(kernels::kernelById(2).nLayers, 3);
+    EXPECT_EQ(kernels::kernelById(5).nLayers, 5);
+    EXPECT_EQ(kernels::kernelById(10).nLayers, 3);
+    EXPECT_EQ(kernels::kernelById(13).nLayers, 5);
+    // Traceback pointer widths (step 1.5).
+    EXPECT_EQ(kernels::kernelById(1).tbPtrBits, 2);
+    EXPECT_EQ(kernels::kernelById(2).tbPtrBits, 4);
+    EXPECT_EQ(kernels::kernelById(5).tbPtrBits, 7);
+    // Banding (step 1.6).
+    EXPECT_TRUE(kernels::kernelById(11).banded);
+    EXPECT_TRUE(kernels::kernelById(12).banded);
+    EXPECT_TRUE(kernels::kernelById(13).banded);
+    EXPECT_FALSE(kernels::kernelById(1).banded);
+    // No-traceback kernels (Table 1).
+    EXPECT_FALSE(kernels::kernelById(10).hasTraceback);
+    EXPECT_FALSE(kernels::kernelById(12).hasTraceback);
+    EXPECT_FALSE(kernels::kernelById(14).hasTraceback);
+    // Alphabets.
+    EXPECT_EQ(kernels::kernelById(8).alphabet, "Seq. Profiles");
+    EXPECT_EQ(kernels::kernelById(9).alphabet, "Complex Nos.");
+    EXPECT_EQ(kernels::kernelById(15).alphabet, "Amino acids");
+}
+
+TEST(Registry, PaperRowsPopulated)
+{
+    for (const auto &k : registry()) {
+        EXPECT_GT(k.paper.lutPct, 0.0) << k.id;
+        EXPECT_GT(k.paper.alignsPerSec, 0.0) << k.id;
+        EXPECT_GE(k.paper.fmaxMhz, 125.0) << k.id;
+        EXPECT_LE(k.paper.fmaxMhz, 250.0) << k.id;
+        EXPECT_GE(k.paper.npe, 16) << k.id;
+    }
+}
+
+TEST(Registry, RunnersProducePositiveThroughput)
+{
+    for (const auto &k : registry()) {
+        kernels::RunConfig rc;
+        rc.npe = 16;
+        rc.nb = 2;
+        rc.nk = 2;
+        rc.count = 8;
+        const auto res = k.run(rc);
+        EXPECT_GT(res.alignsPerSec, 0.0) << k.name;
+        EXPECT_GT(res.cyclesPerAlign, 0.0) << k.name;
+        EXPECT_GT(res.cellsPerAlign, 0.0) << k.name;
+        EXPECT_NEAR(res.fmaxMhz, k.fmaxMhz, 1e-9) << k.name;
+    }
+}
+
+TEST(Registry, RunnersAreDeterministic)
+{
+    const auto &k = kernels::kernelById(3);
+    kernels::RunConfig rc;
+    rc.count = 8;
+    const auto a = k.run(rc);
+    const auto b = k.run(rc);
+    EXPECT_DOUBLE_EQ(a.alignsPerSec, b.alignsPerSec);
+    EXPECT_DOUBLE_EQ(a.cyclesPerAlign, b.cyclesPerAlign);
+}
+
+TEST(Registry, MorePesFasterKernels)
+{
+    const auto &k = kernels::kernelById(1);
+    kernels::RunConfig lo, hi;
+    lo.npe = 8;
+    hi.npe = 64;
+    lo.count = hi.count = 16;
+    EXPECT_GT(k.run(hi).alignsPerSec, k.run(lo).alignsPerSec);
+}
+
+TEST(Registry, SkipTracebackSpeedsUpTracebackKernels)
+{
+    const auto &k = kernels::kernelById(15);
+    kernels::RunConfig with, without;
+    with.count = without.count = 8;
+    without.skipTraceback = true;
+    EXPECT_GT(without.skipTraceback ? k.run(without).alignsPerSec : 0.0,
+              k.run(with).alignsPerSec);
+}

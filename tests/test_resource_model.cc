@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Resource/frequency model tests: the structural scaling behaviors the
+ * paper demonstrates in Fig. 3 and the frequency tiers of Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/all.hh"
+#include "kernels/registry.hh"
+#include "model/frequency_model.hh"
+#include "model/resource_model.hh"
+
+using namespace dphls;
+using namespace dphls::model;
+
+namespace {
+
+KernelHwDesc
+descFor(int id)
+{
+    return kernels::kernelById(id).hw;
+}
+
+} // namespace
+
+TEST(ResourceModel, LutAndFfScaleLinearlyWithNpe)
+{
+    // Fig. 3B/E: LUT and FF utilization scale perfectly with NPE.
+    const auto desc = descFor(1);
+    const auto r8 = estimateBlock(desc, 8);
+    const auto r16 = estimateBlock(desc, 16);
+    const auto r32 = estimateBlock(desc, 32);
+    EXPECT_NEAR((r16.lut - r8.lut) / (r32.lut - r16.lut), 0.5, 0.05);
+    EXPECT_NEAR((r16.ff - r8.ff) / (r32.ff - r16.ff), 0.5, 0.05);
+}
+
+TEST(ResourceModel, BlocksScaleEverythingLinearly)
+{
+    // Fig. 3C/F: every resource scales linearly with NB (identical
+    // replicated blocks).
+    const auto desc = descFor(9);
+    const auto one = estimateBlock(desc, 32);
+    for (const int nb : {2, 4, 8, 16}) {
+        const auto k = estimateKernel(desc, 32, nb);
+        EXPECT_NEAR(k.lut, one.lut * nb + 900.0, 1.0);
+        EXPECT_NEAR(k.ff, one.ff * nb + 1400.0, 1.0);
+        EXPECT_NEAR(k.bram36, one.bram36 * nb, 1e-9);
+        EXPECT_NEAR(k.dsp, one.dsp * nb, 1e-9);
+    }
+}
+
+TEST(ResourceModel, DspFlatForGlobalLinearScalingForDtw)
+{
+    // Fig. 3B vs 3E: kernel #1's DSPs are fixed traceback-address logic;
+    // kernel #9's DSPs live inside every PE.
+    const auto k1 = descFor(1);
+    const auto k9 = descFor(9);
+    EXPECT_EQ(estimateBlock(k1, 8).dsp, estimateBlock(k1, 64).dsp);
+    EXPECT_GT(estimateBlock(k9, 64).dsp, estimateBlock(k9, 8).dsp * 6);
+}
+
+TEST(ResourceModel, BramDropsAtHighNpeViaLutram)
+{
+    // Fig. 3 (Section 7.2): at NPE=64 the per-bank depth falls below the
+    // LUTRAM threshold and BRAM usage drops instead of growing.
+    const auto desc = descFor(1);
+    const auto r32 = estimateBlock(desc, 32);
+    const auto r64 = estimateBlock(desc, 64);
+    EXPECT_LT(r64.bram36, r32.bram36);
+    // The banks moved into LUTs: LUT growth outpaces the linear term.
+    EXPECT_GT(r64.lut, 2.0 * r32.lut * 0.95);
+}
+
+TEST(ResourceModel, NoTracebackKernelsUseMinimalBram)
+{
+    // Table 2: kernels #12 and #14 (no traceback) have the lowest BRAM.
+    const auto with_tb = estimateBlock(descFor(4), 32).bram36;
+    const auto without_tb = estimateBlock(descFor(12), 32).bram36;
+    EXPECT_LT(without_tb, with_tb / 2);
+}
+
+TEST(ResourceModel, WiderPointersNeedMoreBram)
+{
+    // Two-piece affine (7-bit pointers) vs linear (2-bit).
+    EXPECT_GT(estimateBlock(descFor(5), 32).bram36,
+              estimateBlock(descFor(1), 32).bram36);
+}
+
+TEST(ResourceModel, ProteinTableAddsBram)
+{
+    // Kernel #15's 20x20 BLOSUM adds substitution-table BRAM (Table 2).
+    EXPECT_GT(estimateBlock(descFor(15), 32).bram36,
+              estimateBlock(descFor(3), 32).bram36);
+}
+
+TEST(ResourceModel, UtilizationPercentagesAgainstXcvu9p)
+{
+    const auto dev = FpgaDevice::xcvu9p();
+    const auto u = dev.utilization(DeviceResources{11822.4, 23644.8, 21.6,
+                                                   68.4});
+    EXPECT_NEAR(u.lutPct, 1.0, 1e-9);
+    EXPECT_NEAR(u.ffPct, 1.0, 1e-9);
+    EXPECT_NEAR(u.bramPct, 1.0, 1e-9);
+    EXPECT_NEAR(u.dspPct, 1.0, 1e-9);
+}
+
+TEST(ResourceModel, FitsChecksEveryResource)
+{
+    const auto dev = FpgaDevice::xcvu9p();
+    EXPECT_TRUE(dev.fits({1000, 1000, 10, 10}));
+    EXPECT_FALSE(dev.fits({2e6, 0, 0, 0}));
+    EXPECT_FALSE(dev.fits({0, 3e6, 0, 0}));
+    EXPECT_FALSE(dev.fits({0, 0, 3000, 0}));
+    EXPECT_FALSE(dev.fits({0, 0, 0, 7000}));
+}
+
+TEST(ResourceModel, MaxParallelFitFindsNontrivialConfig)
+{
+    const auto dev = FpgaDevice::xcvu9p();
+    const auto fit = maxParallelFit(descFor(1), 32, dev);
+    EXPECT_GE(fit.nb * fit.nk, 32); // small kernel: many blocks fit
+    EXPECT_TRUE(dev.fits(estimateDesign(descFor(1), 32, fit.nb, fit.nk)));
+}
+
+TEST(ResourceModel, DspHeavyKernelFitsFewerBlocks)
+{
+    const auto dev = FpgaDevice::xcvu9p();
+    const auto small = maxParallelFit(descFor(1), 32, dev);
+    const auto heavy = maxParallelFit(descFor(8), 32, dev);
+    EXPECT_LT(heavy.nb * heavy.nk, small.nb * small.nk);
+}
+
+TEST(FrequencyModel, TiersMatchPaperTable2)
+{
+    // Every kernel's modeled frequency equals the paper's achieved
+    // frequency tier.
+    for (const auto &k : kernels::registry()) {
+        EXPECT_NEAR(k.fmaxMhz, k.paper.fmaxMhz, 0.1)
+            << "kernel #" << k.id << " " << k.name;
+    }
+}
+
+TEST(FrequencyModel, DeeperCriticalPathsAreSlower)
+{
+    core::PeProfile shallow;
+    shallow.critPathLevels = 3;
+    core::PeProfile deep;
+    deep.critPathLevels = 12;
+    EXPECT_GT(frequencyMhz(shallow), frequencyMhz(deep));
+    EXPECT_EQ(frequencyMhz(shallow), targetFrequencyMhz);
+}
+
+TEST(ResourceModel, Table2UtilizationWithinBand)
+{
+    // Modeled 32-PE block utilization should land near the paper's
+    // Table 2 values: same order of magnitude and ordering-preserving.
+    const auto dev = FpgaDevice::xcvu9p();
+    for (const auto &k : kernels::registry()) {
+        const auto u = dev.utilization(estimateBlock(k.hw, 32));
+        EXPECT_GT(u.lutPct, k.paper.lutPct * 0.4) << "kernel " << k.id;
+        EXPECT_LT(u.lutPct, k.paper.lutPct * 2.5) << "kernel " << k.id;
+        EXPECT_GT(u.dspPct, k.paper.dspPct * 0.4) << "kernel " << k.id;
+        EXPECT_LT(u.dspPct, k.paper.dspPct * 2.5) << "kernel " << k.id;
+    }
+}
+
+TEST(ResourceModel, DspOrderingMatchesPaper)
+{
+    // #8 >> #9 >> everything else (Table 2).
+    const auto dev = FpgaDevice::xcvu9p();
+    const auto dsp = [&](int id) {
+        return dev.utilization(estimateBlock(descFor(id), 32)).dspPct;
+    };
+    EXPECT_GT(dsp(8), dsp(9) * 5);
+    EXPECT_GT(dsp(9), dsp(1) * 10);
+}

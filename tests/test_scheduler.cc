@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Host thread-pool tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <mutex>
+
+#include "host/scheduler.hh"
+
+using namespace dphls::host;
+
+TEST(ThreadPool, ExecutesAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count++; });
+    pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ClampsThreadCount)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count++; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CoversEachIndexExactlyOnce)
+{
+    std::mutex m;
+    std::set<int> seen;
+    parallelFor(250, 8, [&](int i) {
+        std::lock_guard lock(m);
+        EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+    });
+    EXPECT_EQ(seen.size(), 250u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 249);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleThread)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&](int) { calls++; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(5, 1, [&](int) { calls++; });
+    EXPECT_EQ(calls, 5);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork)
+{
+    std::atomic<int> count{0};
+    parallelFor(3, 16, [&](int) { count++; });
+    EXPECT_EQ(count.load(), 3);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for substitution matrices (BLOSUM62 and DNA variants).
+ */
+
+#include <gtest/gtest.h>
+
+#include "seq/substitution_matrix.hh"
+
+using namespace dphls::seq;
+
+TEST(Blosum62Test, IsSymmetric)
+{
+    const auto &m = blosum62();
+    for (int a = 0; a < 20; a++) {
+        for (int b = 0; b < 20; b++)
+            EXPECT_EQ(m(a, b), m(b, a)) << a << "," << b;
+    }
+}
+
+TEST(Blosum62Test, DiagonalIsPositive)
+{
+    const auto &m = blosum62();
+    for (int a = 0; a < 20; a++)
+        EXPECT_GT(m(a, a), 0) << aminoLetters[a];
+}
+
+TEST(Blosum62Test, DiagonalDominatesRow)
+{
+    const auto &m = blosum62();
+    for (int a = 0; a < 20; a++) {
+        for (int b = 0; b < 20; b++) {
+            if (a != b)
+                EXPECT_GT(m(a, a), m(a, b));
+        }
+    }
+}
+
+TEST(Blosum62Test, KnownValues)
+{
+    const auto &m = blosum62();
+    const auto idx = [](char c) { return aminoFromAscii(c).code; };
+    EXPECT_EQ(m(idx('W'), idx('W')), 11);
+    EXPECT_EQ(m(idx('A'), idx('A')), 4);
+    EXPECT_EQ(m(idx('I'), idx('L')), 2);
+    EXPECT_EQ(m(idx('W'), idx('P')), -4);
+    EXPECT_EQ(m(idx('C'), idx('C')), 9);
+    EXPECT_EQ(m(idx('H'), idx('Y')), 2);
+}
+
+TEST(DnaMatrixTest, SimpleMatchMismatch)
+{
+    const auto m = makeDnaMatrix(2, -3);
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++)
+            EXPECT_EQ(m(a, b), a == b ? 2 : -3);
+    }
+}
+
+TEST(DnaMatrixTest, TransitionAware)
+{
+    const auto m = makeTransitionAwareDnaMatrix(1, -1, -2);
+    // A=0, C=1, G=2, T=3; transitions: A<->G, C<->T.
+    EXPECT_EQ(m(0, 0), 1);
+    EXPECT_EQ(m(0, 2), -1); // A->G transition
+    EXPECT_EQ(m(2, 0), -1);
+    EXPECT_EQ(m(1, 3), -1); // C->T transition
+    EXPECT_EQ(m(0, 1), -2); // A->C transversion
+    EXPECT_EQ(m(0, 3), -2); // A->T transversion
+    EXPECT_EQ(m(1, 2), -2); // C->G transversion
+}
+
+TEST(DnaMatrixTest, TransitionMatrixSymmetric)
+{
+    const auto m = makeTransitionAwareDnaMatrix(1, -1, -2);
+    for (int a = 0; a < 4; a++) {
+        for (int b = 0; b < 4; b++)
+            EXPECT_EQ(m(a, b), m(b, a));
+    }
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the GACT-style tiling driver (paper contribution 5): path
+ * validity, near-optimal scores on long reads, and progress guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/tiling.hh"
+#include "kernels/global_affine.hh"
+#include "reference/classic.hh"
+#include "seq/read_simulator.hh"
+
+using namespace dphls;
+
+namespace {
+
+struct LongPair
+{
+    seq::DnaSequence query;
+    seq::DnaSequence reference;
+};
+
+LongPair
+makeLongPair(int len, double err, uint64_t seed)
+{
+    seq::Rng rng(seed);
+    LongPair p;
+    p.reference = seq::randomDna(len, rng);
+    p.query = seq::mutateDna(p.reference, err, err / 2, rng);
+    return p;
+}
+
+} // namespace
+
+TEST(CommittedOps, LastTileKeepsEverything)
+{
+    const std::vector<core::AlnOp> ops(40, core::AlnOp::Match);
+    EXPECT_EQ(host::committedOps(ops, 40, 40, 16, true), 40);
+}
+
+TEST(CommittedOps, TruncatesAtTileMinusOverlap)
+{
+    // 40 matches in a 40x40 tile with overlap 16: keep 24.
+    const std::vector<core::AlnOp> ops(40, core::AlnOp::Match);
+    EXPECT_EQ(host::committedOps(ops, 40, 40, 16, false), 24);
+}
+
+TEST(CommittedOps, GapsCountAgainstTheirSequenceOnly)
+{
+    // 10 deletions then matches: deletions consume only the reference.
+    std::vector<core::AlnOp> ops(10, core::AlnOp::Del);
+    ops.insert(ops.end(), 30, core::AlnOp::Match);
+    // keep_r = 24: reached after 10 D + 14 M = 24 ops.
+    EXPECT_EQ(host::committedOps(ops, 40, 40, 16, false), 24);
+}
+
+TEST(CommittedOps, AlwaysMakesProgress)
+{
+    const std::vector<core::AlnOp> ops{core::AlnOp::Match};
+    EXPECT_GE(host::committedOps(ops, 2, 2, 16, false), 1);
+}
+
+TEST(Tiling, PathSpansBothSequences)
+{
+    const auto p = makeLongPair(3000, 0.1, 41);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    const auto tiled =
+        host::tiledAlign(engine, p.query, p.reference,
+                         host::TilingConfig{512, 128});
+    EXPECT_EQ(core::pathQuerySpan(tiled.ops), p.query.length());
+    EXPECT_EQ(core::pathRefSpan(tiled.ops), p.reference.length());
+    EXPECT_GT(tiled.tiles, 4);
+    EXPECT_GT(tiled.totalCycles, 0u);
+}
+
+TEST(Tiling, NearOptimalScoreOnLongReads)
+{
+    // GACT's guarantee: with sufficient overlap the tiled path score is
+    // within a small margin of the optimal untiled score.
+    for (const uint64_t seed : {42ull, 43ull, 44ull}) {
+        const auto p = makeLongPair(2500, 0.08, seed);
+        sim::EngineConfig cfg;
+        cfg.numPe = 32;
+        cfg.maxQueryLength = 512;
+        cfg.maxReferenceLength = 512;
+        sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+        const auto tiled = host::tiledAlign(
+            engine, p.query, p.reference, host::TilingConfig{512, 128});
+        const auto tiled_score = host::rescoreAffinePath(
+            p.query, p.reference, tiled.ops,
+            kernels::GlobalAffine::defaultParams());
+        const auto optimal = ref::classic::gotohScore(
+            p.query, p.reference, 2, -3, 4, 1);
+        ASSERT_GT(optimal, 0);
+        EXPECT_GE(tiled_score,
+                  static_cast<int64_t>(0.95 * static_cast<double>(optimal)))
+            << "seed " << seed;
+        EXPECT_LE(tiled_score, optimal) << "seed " << seed;
+    }
+}
+
+TEST(Tiling, SingleTileEqualsDirectAlignment)
+{
+    const auto p = makeLongPair(300, 0.1, 45);
+    sim::EngineConfig cfg;
+    cfg.numPe = 16;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    const auto tiled = host::tiledAlign(
+        engine, p.query, p.reference, host::TilingConfig{512, 128});
+    EXPECT_EQ(tiled.tiles, 1);
+    const auto direct = engine.align(p.query, p.reference);
+    EXPECT_EQ(tiled.ops, direct.ops);
+}
+
+TEST(Tiling, MoreOverlapNeverFewerTiles)
+{
+    const auto p = makeLongPair(4000, 0.1, 46);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    const auto small = host::tiledAlign(engine, p.query, p.reference,
+                                        host::TilingConfig{512, 64});
+    const auto large = host::tiledAlign(engine, p.query, p.reference,
+                                        host::TilingConfig{512, 192});
+    EXPECT_GE(large.tiles, small.tiles);
+}
+
+TEST(Tiling, HandlesAsymmetricLengths)
+{
+    seq::Rng rng(47);
+    auto p = makeLongPair(2000, 0.1, 48);
+    // Append extra reference tail: global tiling must still consume it.
+    const auto tail = seq::randomDna(300, rng);
+    p.reference.chars.insert(p.reference.chars.end(), tail.chars.begin(),
+                             tail.chars.end());
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    const auto tiled = host::tiledAlign(engine, p.query, p.reference,
+                                        host::TilingConfig{512, 128});
+    EXPECT_EQ(core::pathQuerySpan(tiled.ops), p.query.length());
+    EXPECT_EQ(core::pathRefSpan(tiled.ops), p.reference.length());
+}

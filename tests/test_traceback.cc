@@ -1,0 +1,270 @@
+/**
+ * @file
+ * End-to-end traceback validation: paths recovered from the banked,
+ * address-coalesced traceback memory are independently re-scored over the
+ * original sequences and must reproduce the reported DP score exactly.
+ * This catches pointer-encoding, FSM and memory-addressing bugs that
+ * score comparison alone cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+using test::randomDnaPair;
+
+namespace {
+
+const auto dnaEq = [](seq::DnaChar a, seq::DnaChar b) { return a == b; };
+
+} // namespace
+
+class TracebackRescore : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TracebackRescore, GlobalLinearPathReproducesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(100 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::GlobalLinear> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, t % 2 == 0);
+        const auto res = engine.align(p.query, p.reference);
+        // Global: path must span both sequences fully.
+        EXPECT_EQ(core::pathQuerySpan(res.ops), p.query.length());
+        EXPECT_EQ(core::pathRefSpan(res.ops), p.reference.length());
+        EXPECT_EQ(res.start, (core::Coord{0, 0}));
+        const auto rescored = test::rescoreLinearPath(
+            p.query, p.reference, res.ops, res.start, 1, -1, -1, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, GlobalAffinePathReproducesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(200 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::GlobalAffine> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, t % 2 == 0);
+        const auto res = engine.align(p.query, p.reference);
+        EXPECT_EQ(core::pathQuerySpan(res.ops), p.query.length());
+        EXPECT_EQ(core::pathRefSpan(res.ops), p.reference.length());
+        const auto rescored = test::rescoreAffinePath(
+            p.query, p.reference, res.ops, res.start, 2, -3, 4, 1, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, LocalLinearPathReproducesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(300 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::LocalLinear> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, t % 2 == 0);
+        const auto res = engine.align(p.query, p.reference);
+        // Local: the path spans exactly the [start, end] sub-rectangle.
+        EXPECT_EQ(core::pathQuerySpan(res.ops),
+                  res.end.row - res.start.row);
+        EXPECT_EQ(core::pathRefSpan(res.ops), res.end.col - res.start.col);
+        const auto rescored = test::rescoreLinearPath(
+            p.query, p.reference, res.ops, res.start, 2, -1, -1, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+        EXPECT_GE(res.score, 0);
+    }
+}
+
+TEST_P(TracebackRescore, LocalAffinePathReproducesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(400 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::LocalAffine> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, t % 2 == 0);
+        const auto res = engine.align(p.query, p.reference);
+        const auto rescored = test::rescoreAffinePath(
+            p.query, p.reference, res.ops, res.start, 2, -3, 4, 1, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, SemiGlobalPathSpansQuery)
+{
+    const int npe = GetParam();
+    seq::Rng rng(500 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::SemiGlobal> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, true);
+        const auto res = engine.align(p.query, p.reference);
+        // The query must be consumed end-to-end; the path stops at row 0.
+        EXPECT_EQ(res.start.row, 0);
+        EXPECT_EQ(core::pathQuerySpan(res.ops), p.query.length());
+        const auto rescored = test::rescoreLinearPath(
+            p.query, p.reference, res.ops, res.start, 1, -2, -2, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, OverlapPathTouchesBorders)
+{
+    const int npe = GetParam();
+    seq::Rng rng(600 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::Overlap> engine(cfg);
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 120, t % 2 == 0);
+        const auto res = engine.align(p.query, p.reference);
+        // Overlap: starts on the top row or left column and ends on the
+        // bottom row or right column.
+        EXPECT_TRUE(res.start.row == 0 || res.start.col == 0);
+        EXPECT_TRUE(res.end.row == p.query.length() ||
+                    res.end.col == p.reference.length());
+        const auto rescored = test::rescoreLinearPath(
+            p.query, p.reference, res.ops, res.start, 1, -2, -2, dnaEq);
+        EXPECT_EQ(rescored, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, TwoPiecePathReproducesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(700 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::GlobalTwoPiece> engine(cfg);
+    const auto params = kernels::GlobalTwoPiece::defaultParams();
+    for (int t = 0; t < 10; t++) {
+        const auto p = randomDnaPair(rng, 100, true);
+        const auto res = engine.align(p.query, p.reference);
+        // Re-score with the two-piece convex cost: each gap run costs the
+        // cheaper of the two affine pieces.
+        int64_t score = 0;
+        int qi = 0, rj = 0;
+        size_t k = 0;
+        while (k < res.ops.size()) {
+            const auto op = res.ops[k];
+            if (op == core::AlnOp::Match) {
+                score += p.query[qi] == p.reference[rj] ? params.match
+                                                        : params.mismatch;
+                qi++;
+                rj++;
+                k++;
+                continue;
+            }
+            size_t run = 0;
+            while (k + run < res.ops.size() && res.ops[k + run] == op)
+                run++;
+            const int64_t len = static_cast<int64_t>(run);
+            const int64_t c1 =
+                params.gapOpen1 + params.gapExtend1 * (len - 1);
+            const int64_t c2 =
+                params.gapOpen2 + params.gapExtend2 * (len - 1);
+            score -= std::min(c1, c2);
+            if (op == core::AlnOp::Ins)
+                qi += static_cast<int>(run);
+            else
+                rj += static_cast<int>(run);
+            k += run;
+        }
+        // The optimal path may split a long gap between pieces; the
+        // re-scored path cost can only be >= the DP score if the DP chose
+        // per-run pieces optimally, and must never be better.
+        EXPECT_GE(score, res.score);
+        // For moderate gaps the run-level re-scoring is exact.
+        if (score != res.score) {
+            // Accept only tiny discrepancies from mixed-piece runs.
+            EXPECT_LE(score - res.score, 4);
+        }
+    }
+}
+
+TEST_P(TracebackRescore, ProteinLocalPathReproducesScore)
+{
+    const int npe = GetParam();
+    const auto pairs = seq::sampleProteinPairs(
+        6, 100, 0.2, 800 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::ProteinLocal> engine(cfg);
+    const auto &m = seq::blosum62();
+    for (const auto &p : pairs) {
+        const auto res = engine.align(p.query, p.target);
+        int64_t score = 0;
+        int qi = res.start.row, rj = res.start.col;
+        for (const auto op : res.ops) {
+            switch (op) {
+              case core::AlnOp::Match:
+                score += m(p.query[qi].code, p.target[rj].code);
+                qi++;
+                rj++;
+                break;
+              case core::AlnOp::Ins:
+                score += -4;
+                qi++;
+                break;
+              case core::AlnOp::Del:
+                score += -4;
+                rj++;
+                break;
+            }
+        }
+        EXPECT_EQ(score, res.score);
+    }
+}
+
+TEST_P(TracebackRescore, DtwPathCostMatchesScore)
+{
+    const int npe = GetParam();
+    seq::Rng rng(900 + static_cast<uint64_t>(npe));
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    sim::SystolicAligner<kernels::Dtw> engine(cfg);
+    for (int t = 0; t < 5; t++) {
+        const auto a = seq::randomComplexSignal(
+            20 + static_cast<int>(rng.below(60)), rng);
+        const auto b = seq::warpComplexSignal(a, 0.2, 0.3, rng);
+        const auto res = engine.align(b, a);
+        // Walk the path accumulating fixed-point distances; DTW charges
+        // the cell distance at every visited cell. The first op lands on
+        // cell (1, 1), accounted for by the initial term.
+        using F = kernels::Dtw::ScoreT;
+        ASSERT_FALSE(res.ops.empty());
+        F acc = kernels::Dtw::distance(b[0], a[0]);
+        int qi = 1, rj = 1;
+        for (size_t k = 1; k < res.ops.size(); k++) {
+            switch (res.ops[k]) {
+              case core::AlnOp::Match:
+                qi++;
+                rj++;
+                break;
+              case core::AlnOp::Ins:
+                qi++;
+                break;
+              case core::AlnOp::Del:
+                rj++;
+                break;
+            }
+            ASSERT_LE(qi, b.length());
+            ASSERT_LE(rj, a.length());
+            acc += kernels::Dtw::distance(b[qi - 1], a[rj - 1]);
+        }
+        EXPECT_EQ(acc.raw(), res.score.raw());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeWidths, TracebackRescore,
+                         ::testing::Values(1, 4, 32));

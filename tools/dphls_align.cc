@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Command-line aligner over the DP-HLS simulated device.
+ *
+ * Reads queries and references from FASTA files, runs the chosen kernel
+ * on the systolic engine and reports scores, CIGARs and device cycles —
+ * the host-side program of paper front-end step 6, packaged as a tool.
+ *
+ * Usage:
+ *   dphls_align --kernel <name> --query q.fa --reference r.fa
+ *               [--npe N] [--band W] [--max-len L] [--no-traceback]
+ *
+ * Kernels: global-linear, global-affine, local-linear, local-affine,
+ *          two-piece, overlap, semi-global, banded-global, banded-local,
+ *          banded-two-piece, protein-local, edit stats are printed per
+ *          pair (i-th query against i-th reference; the shorter list is
+ *          cycled).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cigar.hh"
+#include "kernels/all.hh"
+#include "seq/fasta.hh"
+#include "systolic/engine.hh"
+
+using namespace dphls;
+
+namespace {
+
+struct Options
+{
+    std::string kernel = "global-linear";
+    std::string queryPath;
+    std::string referencePath;
+    int npe = 32;
+    int band = 64;
+    int maxLen = 4096;
+    bool traceback = true;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dphls_align --kernel NAME --query FASTA "
+                 "--reference FASTA\n"
+                 "                   [--npe N] [--band W] [--max-len L] "
+                 "[--no-traceback]\n"
+                 "kernels: global-linear global-affine local-linear "
+                 "local-affine two-piece\n"
+                 "         overlap semi-global banded-global banded-local "
+                 "banded-two-piece protein-local\n");
+}
+
+template <typename K, typename SeqT>
+int
+runDna(const Options &opt, const std::vector<SeqT> &queries,
+       const std::vector<SeqT> &references)
+{
+    sim::EngineConfig cfg;
+    cfg.numPe = opt.npe;
+    cfg.bandWidth = opt.band;
+    cfg.maxQueryLength = opt.maxLen;
+    cfg.maxReferenceLength = opt.maxLen;
+    cfg.skipTraceback = !opt.traceback;
+    sim::SystolicAligner<K> engine(cfg);
+
+    const size_t n = std::max(queries.size(), references.size());
+    std::printf("%-20s %-20s %-10s %-12s %s\n", "query", "reference",
+                "score", "cycles", "cigar");
+    for (size_t i = 0; i < n; i++) {
+        const auto &q = queries[i % queries.size()];
+        const auto &r = references[i % references.size()];
+        const auto res = engine.align(q, r);
+        std::printf("%-20.20s %-20.20s %-10.0f %-12llu %s\n",
+                    q.name.empty() ? "(unnamed)" : q.name.c_str(),
+                    r.name.empty() ? "(unnamed)" : r.name.c_str(),
+                    res.scoreAsDouble(),
+                    (unsigned long long)engine.lastTotalCycles(),
+                    res.ops.empty() ? "-"
+                                    : core::toCigar(res.ops).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--kernel") {
+            opt.kernel = next();
+        } else if (a == "--query") {
+            opt.queryPath = next();
+        } else if (a == "--reference") {
+            opt.referencePath = next();
+        } else if (a == "--npe") {
+            opt.npe = std::atoi(next());
+        } else if (a == "--band") {
+            opt.band = std::atoi(next());
+        } else if (a == "--max-len") {
+            opt.maxLen = std::atoi(next());
+        } else if (a == "--no-traceback") {
+            opt.traceback = false;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (opt.queryPath.empty() || opt.referencePath.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        if (opt.kernel == "protein-local") {
+            const auto q =
+                seq::toProtein(seq::readFastaFile(opt.queryPath));
+            const auto r =
+                seq::toProtein(seq::readFastaFile(opt.referencePath));
+            if (q.empty() || r.empty())
+                throw std::runtime_error("empty FASTA input");
+            return runDna<kernels::ProteinLocal>(opt, q, r);
+        }
+
+        const auto q = seq::toDna(seq::readFastaFile(opt.queryPath));
+        const auto r = seq::toDna(seq::readFastaFile(opt.referencePath));
+        if (q.empty() || r.empty())
+            throw std::runtime_error("empty FASTA input");
+
+        if (opt.kernel == "global-linear")
+            return runDna<kernels::GlobalLinear>(opt, q, r);
+        if (opt.kernel == "global-affine")
+            return runDna<kernels::GlobalAffine>(opt, q, r);
+        if (opt.kernel == "local-linear")
+            return runDna<kernels::LocalLinear>(opt, q, r);
+        if (opt.kernel == "local-affine")
+            return runDna<kernels::LocalAffine>(opt, q, r);
+        if (opt.kernel == "two-piece")
+            return runDna<kernels::GlobalTwoPiece>(opt, q, r);
+        if (opt.kernel == "overlap")
+            return runDna<kernels::Overlap>(opt, q, r);
+        if (opt.kernel == "semi-global")
+            return runDna<kernels::SemiGlobal>(opt, q, r);
+        if (opt.kernel == "banded-global")
+            return runDna<kernels::BandedGlobalLinear>(opt, q, r);
+        if (opt.kernel == "banded-local")
+            return runDna<kernels::BandedLocalAffine>(opt, q, r);
+        if (opt.kernel == "banded-two-piece")
+            return runDna<kernels::BandedGlobalTwoPiece>(opt, q, r);
+        std::fprintf(stderr, "unknown kernel '%s'\n", opt.kernel.c_str());
+        usage();
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

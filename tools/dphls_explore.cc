@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Design-space exploration tool: for a chosen kernel, sweep NPE and
+ * report modeled resources, achievable (NB, NK) parallel fit on the
+ * XCVU9P, achieved frequency and the resulting device throughput on the
+ * standard workload — the "configure NPE/NB/NK empirically" loop of
+ * paper front-end step 5, automated.
+ *
+ * Usage: dphls_explore [kernel-id 1..15]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernels/registry.hh"
+#include "model/resource_model.hh"
+
+using namespace dphls;
+
+int
+main(int argc, char **argv)
+{
+    const int id = argc > 1 ? std::atoi(argv[1]) : 1;
+    const auto &k = kernels::kernelById(id);
+    const auto device = model::FpgaDevice::xcvu9p();
+
+    std::printf("design-space exploration: kernel #%d (%s), fmax %.1f "
+                "MHz\n\n",
+                k.id, k.name.c_str(), k.fmaxMhz);
+    std::printf("%-5s %-8s %-8s %-8s %-8s | %-10s | %-12s\n", "NPE",
+                "LUT%", "FF%", "BRAM%", "DSP%", "fit NBxNK",
+                "aligns/s");
+    for (const int npe : {8, 16, 32, 64}) {
+        const auto util =
+            device.utilization(model::estimateBlock(k.hw, npe));
+        const auto fit = model::maxParallelFit(k.hw, npe, device);
+        kernels::RunConfig rc;
+        rc.npe = npe;
+        rc.nb = fit.nb;
+        rc.nk = fit.nk;
+        rc.count = std::min(128, std::max(16, fit.nb * fit.nk));
+        const auto res = k.run(rc);
+        std::printf("%-5d %-8.2f %-8.2f %-8.2f %-8.3f | %3dx%-6d | "
+                    "%-12.4g\n",
+                    npe, util.lutPct, util.ffPct, util.bramPct,
+                    util.dspPct, fit.nb, fit.nk, res.alignsPerSec);
+    }
+    std::printf("\n(throughput at the modeled max parallel fit; compare "
+                "with bench_table2 for the paper's configs)\n");
+    return 0;
+}
