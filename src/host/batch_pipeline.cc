@@ -1,0 +1,52 @@
+#include "host/batch_pipeline.hh"
+
+namespace dphls::host {
+
+std::vector<std::vector<int>>
+shardRoundRobin(int jobs, int channels)
+{
+    std::vector<std::vector<int>> shards(
+        static_cast<size_t>(std::max(1, channels)));
+    if (jobs <= 0)
+        return shards;
+    const int nk = static_cast<int>(shards.size());
+    for (auto &s : shards)
+        s.reserve(static_cast<size_t>((jobs + nk - 1) / nk));
+    for (int i = 0; i < jobs; i++)
+        shards[static_cast<size_t>(i % nk)].push_back(i);
+    return shards;
+}
+
+void
+mergePathStats(core::AlignmentStats &into, const core::AlignmentStats &add)
+{
+    into.matches += add.matches;
+    into.mismatches += add.mismatches;
+    into.insertions += add.insertions;
+    into.deletions += add.deletions;
+    into.gapOpens += add.gapOpens;
+    into.columns += add.columns;
+}
+
+void
+finalizeBatchStats(BatchStats &stats, double fmax_mhz)
+{
+    stats.makespanCycles = 0;
+    stats.totalCycles = 0;
+    stats.alignments = 0;
+    for (const auto &ch : stats.channels) {
+        stats.makespanCycles = std::max(stats.makespanCycles, ch.busyCycles);
+        stats.totalCycles += ch.totalCycles;
+        stats.alignments += ch.alignments;
+    }
+    stats.seconds =
+        static_cast<double>(stats.makespanCycles) / (fmax_mhz * 1e6);
+    stats.alignsPerSec =
+        stats.seconds > 0 ? stats.alignments / stats.seconds : 0.0;
+    stats.cyclesPerAlign =
+        stats.alignments > 0
+            ? static_cast<double>(stats.totalCycles) / stats.alignments
+            : 0.0;
+}
+
+} // namespace dphls::host

@@ -19,22 +19,13 @@
 #ifndef DPHLS_HOST_DEVICE_MODEL_HH
 #define DPHLS_HOST_DEVICE_MODEL_HH
 
-#include <algorithm>
 #include <cstdint>
 #include <vector>
 
-#include "host/scheduler.hh"
+#include "host/batch_pipeline.hh"
 #include "systolic/engine.hh"
 
 namespace dphls::host {
-
-/** One alignment job: a query/reference pair. */
-template <typename CharT>
-struct AlignmentJob
-{
-    seq::Sequence<CharT> query;
-    seq::Sequence<CharT> reference;
-};
 
 /** Device configuration: parallelism, frequency and engine options. */
 struct DeviceConfig
@@ -89,63 +80,30 @@ class DeviceModel
     DeviceRunStats
     run(const std::vector<Job> &jobs, std::vector<Result> *results = nullptr)
     {
-        const int n = static_cast<int>(jobs.size());
-        if (results)
-            results->resize(static_cast<size_t>(n));
-
-        std::vector<uint64_t> job_cycles(static_cast<size_t>(n), 0);
-
-        // NK channels run concurrently, each fed by one host thread; the
-        // jobs are distributed round-robin over channels (step 6).
-        std::vector<std::vector<int>> channel_jobs(
-            static_cast<size_t>(_cfg.nk));
-        for (int i = 0; i < n; i++)
-            channel_jobs[static_cast<size_t>(i % _cfg.nk)].push_back(i);
-
-        std::vector<uint64_t> channel_makespan(
-            static_cast<size_t>(_cfg.nk), 0);
-
-        parallelFor(_cfg.nk, _cfg.nk, [&](int ch) {
-            sim::EngineConfig ecfg;
-            ecfg.numPe = _cfg.npe;
-            ecfg.bandWidth = _cfg.bandWidth;
-            ecfg.maxQueryLength = _cfg.maxQueryLength;
-            ecfg.maxReferenceLength = _cfg.maxReferenceLength;
-            ecfg.skipTraceback = _cfg.skipTraceback;
-            ecfg.cycles = _cfg.cycles;
-            sim::SystolicAligner<K> engine(ecfg, _params);
-
-            // Greedy arbiter: next job goes to the earliest-free block.
-            std::vector<uint64_t> block_free(
-                static_cast<size_t>(_cfg.nb), 0);
-            for (int idx : channel_jobs[static_cast<size_t>(ch)]) {
-                const auto &job = jobs[static_cast<size_t>(idx)];
-                Result res = engine.align(job.query, job.reference);
-                const uint64_t cycles =
-                    engine.lastTotalCycles() + _cfg.hostOverheadCycles;
-                job_cycles[static_cast<size_t>(idx)] = cycles;
-                auto it = std::min_element(block_free.begin(),
-                                           block_free.end());
-                *it += cycles;
-                if (results)
-                    (*results)[static_cast<size_t>(idx)] = std::move(res);
-            }
-            channel_makespan[static_cast<size_t>(ch)] = *std::max_element(
-                block_free.begin(), block_free.end());
-        });
+        // The batched pipeline owns the sharding and arbiter accounting
+        // (NK channels x NB blocks, step 6); one blocking epoch per run.
+        BatchConfig bc;
+        bc.npe = _cfg.npe;
+        bc.nb = _cfg.nb;
+        bc.nk = _cfg.nk;
+        bc.fmaxMhz = _cfg.fmaxMhz;
+        bc.bandWidth = _cfg.bandWidth;
+        bc.maxQueryLength = _cfg.maxQueryLength;
+        bc.maxReferenceLength = _cfg.maxReferenceLength;
+        bc.skipTraceback = _cfg.skipTraceback;
+        bc.cycles = _cfg.cycles;
+        bc.hostOverheadCycles = _cfg.hostOverheadCycles;
+        bc.collectPathStats = false;
+        BatchPipeline<K> pipeline(bc, _params);
+        const BatchStats bs = pipeline.runAll(jobs, results);
 
         DeviceRunStats stats;
-        stats.alignments = n;
-        for (auto c : job_cycles)
-            stats.totalCycles += c;
-        stats.makespanCycles = *std::max_element(channel_makespan.begin(),
-                                                 channel_makespan.end());
-        stats.seconds =
-            static_cast<double>(stats.makespanCycles) / (_cfg.fmaxMhz * 1e6);
-        stats.alignsPerSec =
-            stats.seconds > 0 ? n / stats.seconds : 0.0;
-        stats.cyclesPerAlign =
-            n > 0 ? static_cast<double>(stats.totalCycles) / n : 0.0;
+        stats.makespanCycles = bs.makespanCycles;
+        stats.totalCycles = bs.totalCycles;
+        stats.seconds = bs.seconds;
+        stats.alignsPerSec = bs.alignsPerSec;
+        stats.cyclesPerAlign = bs.cyclesPerAlign;
+        stats.alignments = bs.alignments;
         return stats;
     }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "host/device_model.hh"
+#include "host/batch_pipeline.hh"
 #include "kernels/all.hh"
 #include "model/frequency_model.hh"
 #include "seq/profile_builder.hh"
@@ -181,18 +181,19 @@ makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
         }
         cells /= jobs.empty() ? 1 : static_cast<double>(jobs.size());
 
-        host::DeviceConfig dc;
-        dc.npe = rc.npe;
-        dc.nb = rc.nb;
-        dc.nk = rc.nk;
-        dc.fmaxMhz = fmax;
-        dc.bandWidth = band_width;
-        dc.maxQueryLength = max_q;
-        dc.maxReferenceLength = max_r;
-        dc.skipTraceback = rc.skipTraceback;
-        dc.hostOverheadCycles = rc.hostOverheadCycles;
-        host::DeviceModel<K> device(dc);
-        const auto stats = device.run(jobs);
+        host::BatchConfig bc;
+        bc.npe = rc.npe;
+        bc.nb = rc.nb;
+        bc.nk = rc.nk;
+        bc.fmaxMhz = fmax;
+        bc.bandWidth = band_width;
+        bc.maxQueryLength = max_q;
+        bc.maxReferenceLength = max_r;
+        bc.skipTraceback = rc.skipTraceback;
+        bc.hostOverheadCycles = rc.hostOverheadCycles;
+        bc.collectPathStats = false; // throughput-only run
+        host::BatchPipeline<K> pipeline(bc);
+        const auto stats = pipeline.runAll(jobs);
 
         RunResult out;
         out.alignsPerSec = stats.alignsPerSec;

@@ -6,15 +6,20 @@
  * on the systolic engine and reports scores, CIGARs and device cycles —
  * the host-side program of paper front-end step 6, packaged as a tool.
  *
+ * The whole FASTA batch runs through the multi-channel BatchPipeline
+ * (front-end step 6): pairs are sharded round-robin over --nk channels,
+ * each channel drives one systolic engine, and the tool reports per-pair
+ * scores/CIGARs plus the batch's aggregate throughput and path stats.
+ *
  * Usage:
  *   dphls_align --kernel <name> --query q.fa --reference r.fa
- *               [--npe N] [--band W] [--max-len L] [--no-traceback]
+ *               [--npe N] [--band W] [--max-len L] [--nk K] [--nb B]
+ *               [--no-traceback]
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
- *          banded-two-piece, protein-local, edit stats are printed per
- *          pair (i-th query against i-th reference; the shorter list is
- *          cycled).
+ *          banded-two-piece, protein-local; pairs are i-th query against
+ *          i-th reference (the shorter list is cycled).
  */
 
 #include <cstdio>
@@ -22,9 +27,10 @@
 #include <string>
 
 #include "core/cigar.hh"
+#include "host/batch_pipeline.hh"
 #include "kernels/all.hh"
+#include "model/frequency_model.hh"
 #include "seq/fasta.hh"
-#include "systolic/engine.hh"
 
 using namespace dphls;
 
@@ -38,6 +44,8 @@ struct Options
     int npe = 32;
     int band = 64;
     int maxLen = 4096;
+    int nk = 4;
+    int nb = 1;
     bool traceback = true;
 };
 
@@ -48,7 +56,7 @@ usage()
                  "usage: dphls_align --kernel NAME --query FASTA "
                  "--reference FASTA\n"
                  "                   [--npe N] [--band W] [--max-len L] "
-                 "[--no-traceback]\n"
+                 "[--nk K] [--nb B] [--no-traceback]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -57,31 +65,61 @@ usage()
 
 template <typename K, typename SeqT>
 int
-runDna(const Options &opt, const std::vector<SeqT> &queries,
-       const std::vector<SeqT> &references)
+runBatch(const Options &opt, std::vector<SeqT> queries,
+         std::vector<SeqT> references)
 {
-    sim::EngineConfig cfg;
-    cfg.numPe = opt.npe;
+    host::BatchConfig cfg;
+    cfg.npe = opt.npe;
+    cfg.nb = opt.nb;
+    cfg.nk = opt.nk;
+    cfg.fmaxMhz = model::kernelFrequencyMhz<K>();
     cfg.bandWidth = opt.band;
     cfg.maxQueryLength = opt.maxLen;
     cfg.maxReferenceLength = opt.maxLen;
     cfg.skipTraceback = !opt.traceback;
-    sim::SystolicAligner<K> engine(cfg);
+    cfg.hostOverheadCycles = 0; // report pure device cycles per pair
+    host::BatchPipeline<K> pipeline(cfg);
 
     const size_t n = std::max(queries.size(), references.size());
+    std::vector<typename host::BatchPipeline<K>::Job> jobs;
+    jobs.reserve(n);
+    for (size_t i = 0; i < n; i++) {
+        // Copy only when a list is cycled; the common one-to-one case
+        // moves the parsed sequences straight into the batch.
+        auto pick = [n](std::vector<SeqT> &v, size_t i) {
+            return v.size() == n ? std::move(v[i]) : v[i % v.size()];
+        };
+        jobs.push_back({pick(queries, i), pick(references, i)});
+    }
+
+    std::vector<typename host::BatchPipeline<K>::Result> results;
+    std::vector<uint64_t> cycles;
+    const auto stats = pipeline.runAll(jobs, &results, &cycles);
+
     std::printf("%-20s %-20s %-10s %-12s %s\n", "query", "reference",
                 "score", "cycles", "cigar");
     for (size_t i = 0; i < n; i++) {
-        const auto &q = queries[i % queries.size()];
-        const auto &r = references[i % references.size()];
-        const auto res = engine.align(q, r);
+        const auto &q = jobs[i].query;
+        const auto &r = jobs[i].reference;
+        const auto &res = results[i];
         std::printf("%-20.20s %-20.20s %-10.0f %-12llu %s\n",
                     q.name.empty() ? "(unnamed)" : q.name.c_str(),
                     r.name.empty() ? "(unnamed)" : r.name.c_str(),
-                    res.scoreAsDouble(),
-                    (unsigned long long)engine.lastTotalCycles(),
+                    res.scoreAsDouble(), (unsigned long long)cycles[i],
                     res.ops.empty() ? "-"
                                     : core::toCigar(res.ops).c_str());
+    }
+    std::printf("# batch: %d alignments over %d channel(s), "
+                "makespan %llu cycles, %.3g aligns/sec @ %.1f MHz\n",
+                stats.alignments, pipeline.channelCount(),
+                (unsigned long long)stats.makespanCycles,
+                stats.alignsPerSec, cfg.fmaxMhz);
+    if (stats.paths.columns > 0) {
+        std::printf("# paths: %.2f%% identity, %d matches, %d mismatches, "
+                    "%d ins, %d del, %d gap opens\n",
+                    100.0 * stats.paths.identity(), stats.paths.matches,
+                    stats.paths.mismatches, stats.paths.insertions,
+                    stats.paths.deletions, stats.paths.gapOpens);
     }
     return 0;
 }
@@ -113,6 +151,10 @@ main(int argc, char **argv)
             opt.band = std::atoi(next());
         } else if (a == "--max-len") {
             opt.maxLen = std::atoi(next());
+        } else if (a == "--nk") {
+            opt.nk = std::atoi(next());
+        } else if (a == "--nb") {
+            opt.nb = std::atoi(next());
         } else if (a == "--no-traceback") {
             opt.traceback = false;
         } else {
@@ -127,40 +169,51 @@ main(int argc, char **argv)
 
     try {
         if (opt.kernel == "protein-local") {
-            const auto q =
+            auto q =
                 seq::toProtein(seq::readFastaFile(opt.queryPath));
-            const auto r =
+            auto r =
                 seq::toProtein(seq::readFastaFile(opt.referencePath));
             if (q.empty() || r.empty())
                 throw std::runtime_error("empty FASTA input");
-            return runDna<kernels::ProteinLocal>(opt, q, r);
+            return runBatch<kernels::ProteinLocal>(opt, std::move(q),
+                                                   std::move(r));
         }
 
-        const auto q = seq::toDna(seq::readFastaFile(opt.queryPath));
-        const auto r = seq::toDna(seq::readFastaFile(opt.referencePath));
+        auto q = seq::toDna(seq::readFastaFile(opt.queryPath));
+        auto r = seq::toDna(seq::readFastaFile(opt.referencePath));
         if (q.empty() || r.empty())
             throw std::runtime_error("empty FASTA input");
 
         if (opt.kernel == "global-linear")
-            return runDna<kernels::GlobalLinear>(opt, q, r);
+            return runBatch<kernels::GlobalLinear>(opt, std::move(q),
+                                                   std::move(r));
         if (opt.kernel == "global-affine")
-            return runDna<kernels::GlobalAffine>(opt, q, r);
+            return runBatch<kernels::GlobalAffine>(opt, std::move(q),
+                                                   std::move(r));
         if (opt.kernel == "local-linear")
-            return runDna<kernels::LocalLinear>(opt, q, r);
+            return runBatch<kernels::LocalLinear>(opt, std::move(q),
+                                                  std::move(r));
         if (opt.kernel == "local-affine")
-            return runDna<kernels::LocalAffine>(opt, q, r);
+            return runBatch<kernels::LocalAffine>(opt, std::move(q),
+                                                  std::move(r));
         if (opt.kernel == "two-piece")
-            return runDna<kernels::GlobalTwoPiece>(opt, q, r);
+            return runBatch<kernels::GlobalTwoPiece>(opt, std::move(q),
+                                                     std::move(r));
         if (opt.kernel == "overlap")
-            return runDna<kernels::Overlap>(opt, q, r);
+            return runBatch<kernels::Overlap>(opt, std::move(q),
+                                              std::move(r));
         if (opt.kernel == "semi-global")
-            return runDna<kernels::SemiGlobal>(opt, q, r);
+            return runBatch<kernels::SemiGlobal>(opt, std::move(q),
+                                                 std::move(r));
         if (opt.kernel == "banded-global")
-            return runDna<kernels::BandedGlobalLinear>(opt, q, r);
+            return runBatch<kernels::BandedGlobalLinear>(opt, std::move(q),
+                                                         std::move(r));
         if (opt.kernel == "banded-local")
-            return runDna<kernels::BandedLocalAffine>(opt, q, r);
+            return runBatch<kernels::BandedLocalAffine>(opt, std::move(q),
+                                                        std::move(r));
         if (opt.kernel == "banded-two-piece")
-            return runDna<kernels::BandedGlobalTwoPiece>(opt, q, r);
+            return runBatch<kernels::BandedGlobalTwoPiece>(opt, std::move(q),
+                                                           std::move(r));
         std::fprintf(stderr, "unknown kernel '%s'\n", opt.kernel.c_str());
         usage();
         return 2;
