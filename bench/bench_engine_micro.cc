@@ -11,10 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hh"
 #include "kernels/all.hh"
 #include "seq/read_simulator.hh"
 #include "seq/squiggle.hh"
 #include "systolic/engine.hh"
+#include "systolic/lane_engine.hh"
 
 using namespace dphls;
 
@@ -159,4 +163,181 @@ BM_Sdtw(benchmark::State &state)
 }
 BENCHMARK(BM_Sdtw);
 
-BENCHMARK_MAIN();
+/**
+ * Execution-path ablation: wavefront reference vs row-major fast path,
+ * 1k x 1k local-affine DNA with traceback on. Same results, same cycle
+ * stats — only host throughput differs.
+ */
+static void
+BM_ExecPath1kLocalAffine(benchmark::State &state)
+{
+    const bool fast = state.range(0) != 0;
+    const auto q = dnaOf(1024, 21);
+    const auto r = dnaOf(1024, 22);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.path = fast ? sim::EnginePath::Fast : sim::EnginePath::Wavefront;
+    sim::SystolicAligner<kernels::LocalAffine> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        1024.0 * 1024.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ExecPath1kLocalAffine)->Arg(0)->Arg(1);
+
+/** SIMD lane engine: 8 x (256 x 256) local-affine pairs in lockstep. */
+static void
+BM_LaneEngine8xLocalAffine(benchmark::State &state)
+{
+    using K = kernels::LocalAffine;
+    std::vector<seq::DnaSequence> qs, rs;
+    for (uint64_t i = 0; i < 8; i++) {
+        qs.push_back(dnaOf(256, 31 + 2 * i));
+        rs.push_back(dnaOf(256, 32 + 2 * i));
+    }
+    sim::LaneAligner<K> lanes;
+    std::vector<sim::LaneAligner<K>::LanePair> group;
+    for (size_t i = 0; i < 8; i++)
+        group.push_back({&qs[i], &rs[i]});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lanes.alignLanes(group));
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        8.0 * 256.0 * 256.0,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LaneEngine8xLocalAffine);
+
+namespace {
+
+/** Wall-clock cells/sec of one path on 1k x 1k local-affine DNA. */
+double
+measurePathCellsPerSec(sim::EnginePath path, uint64_t *device_cycles)
+{
+    const auto q = dnaOf(1024, 21);
+    const auto r = dnaOf(1024, 22);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.path = path;
+    sim::SystolicAligner<kernels::LocalAffine> engine(cfg);
+
+    engine.align(q, r); // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    int iters = 0;
+    double elapsed = 0;
+    do {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        iters++;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < 0.5);
+    *device_cycles = engine.lastTotalCycles();
+    return 1024.0 * 1024.0 * iters / elapsed;
+}
+
+/** Wall-clock cells/sec of the SIMD lane engine on the same workload. */
+double
+measureLaneCellsPerSec(uint64_t *device_cycles)
+{
+    using K = kernels::LocalAffine;
+    std::vector<seq::DnaSequence> qs, rs;
+    for (uint64_t i = 0; i < 8; i++) {
+        qs.push_back(dnaOf(1024, 21 + 2 * i));
+        rs.push_back(dnaOf(1024, 22 + 2 * i));
+    }
+    sim::LaneAligner<K> lanes;
+    std::vector<sim::LaneAligner<K>::LanePair> group;
+    for (size_t i = 0; i < 8; i++)
+        group.push_back({&qs[i], &rs[i]});
+
+    lanes.alignLanes(group); // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    int iters = 0;
+    double elapsed = 0;
+    do {
+        benchmark::DoNotOptimize(lanes.alignLanes(group));
+        iters++;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < 0.5);
+    *device_cycles = lanes.laneTotalCycles(0);
+    return 8.0 * 1024.0 * 1024.0 * iters / elapsed;
+}
+
+/**
+ * BENCH_engine_micro.json: the fast-path acceptance measurement —
+ * cells/sec of the wavefront reference path, the row-major scalar fast
+ * path, and the SIMD lane engine (8 pairs in lockstep), with speedups
+ * and the device-cycle agreement check. All on 1k x 1k local-affine
+ * DNA with traceback on.
+ */
+void
+writeJson(const std::string &path)
+{
+    uint64_t wave_cycles = 0, fast_cycles = 0, lane_cycles = 0;
+    const double wave =
+        measurePathCellsPerSec(sim::EnginePath::Wavefront, &wave_cycles);
+    const double fast =
+        measurePathCellsPerSec(sim::EnginePath::Fast, &fast_cycles);
+    const double lane = measureLaneCellsPerSec(&lane_cycles);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    bench::JsonWriter w(f);
+    w.beginObject();
+    w.kv("bench", "engine_micro");
+    w.kv("workload", "local-affine DNA 1024x1024, traceback on, NPE=32");
+    w.key("paths");
+    w.beginObject();
+    w.key("wavefront");
+    w.beginObject();
+    w.kv("cells_per_sec", wave);
+    w.kv("device_cycles", wave_cycles);
+    w.endObject();
+    w.key("fast");
+    w.beginObject();
+    w.kv("cells_per_sec", fast);
+    w.kv("device_cycles", fast_cycles);
+    w.endObject();
+    w.key("lanes8");
+    w.beginObject();
+    w.kv("cells_per_sec", lane);
+    w.kv("device_cycles", lane_cycles);
+    w.endObject();
+    w.endObject();
+    w.kv("fast_speedup", fast / wave);
+    w.kv("lane_speedup", lane / wave);
+    w.kv("device_cycles_identical", wave_cycles == fast_cycles &&
+                                        wave_cycles == lane_cycles);
+    w.endObject();
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wavefront %.3g, fast %.3g (%.2fx), lanes8 %.3g (%.2fx) "
+                "cells/s; cycles identical: %s -> %s\n",
+                wave, fast, fast / wave, lane, lane / wave,
+                wave_cycles == fast_cycles && wave_cycles == lane_cycles
+                    ? "yes" : "NO",
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    if (!json.empty())
+        writeJson(json);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

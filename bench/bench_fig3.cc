@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "kernels/registry.hh"
 #include "model/resource_model.hh"
 
@@ -22,12 +23,18 @@ using namespace dphls;
 
 namespace {
 
+bench::JsonWriter *g_json = nullptr; //!< set when --json is given
+
 void
 npeThroughputSweep(const kernels::KernelEntry &k)
 {
     printf("  Fig3 %s: throughput vs NPE (NB=4, NK=1)\n", k.name.c_str());
     printf("    %-5s %-14s %-14s %s\n", "NPE", "aligns/s", "cyc/align",
            "speedup-vs-2");
+    if (g_json) {
+        g_json->key("npe_sweep");
+        g_json->beginArray();
+    }
     double base = 0;
     for (const int npe : {2, 4, 8, 16, 32, 64}) {
         kernels::RunConfig rc;
@@ -40,7 +47,16 @@ npeThroughputSweep(const kernels::KernelEntry &k)
             base = res.alignsPerSec;
         printf("    %-5d %-14.4g %-14.0f %.2fx\n", npe, res.alignsPerSec,
                res.cyclesPerAlign, res.alignsPerSec / base);
+        if (g_json) {
+            g_json->beginObject();
+            g_json->kv("npe", npe);
+            g_json->kv("aligns_per_sec", res.alignsPerSec);
+            g_json->kv("cycles_per_align", res.cyclesPerAlign);
+            g_json->endObject();
+        }
     }
+    if (g_json)
+        g_json->endArray();
 }
 
 void
@@ -48,6 +64,10 @@ nbThroughputSweep(const kernels::KernelEntry &k, int nb_cap)
 {
     printf("  Fig3 %s: throughput vs NB (NPE=32, NK=1)\n", k.name.c_str());
     printf("    %-5s %-14s %s\n", "NB", "aligns/s", "speedup-vs-2");
+    if (g_json) {
+        g_json->key("nb_sweep");
+        g_json->beginArray();
+    }
     double base = 0;
     for (const int nb : {2, 4, 8, 16, 24}) {
         if (nb > nb_cap)
@@ -62,7 +82,15 @@ nbThroughputSweep(const kernels::KernelEntry &k, int nb_cap)
             base = res.alignsPerSec;
         printf("    %-5d %-14.4g %.2fx\n", nb, res.alignsPerSec,
                res.alignsPerSec / base);
+        if (g_json) {
+            g_json->beginObject();
+            g_json->kv("nb", nb);
+            g_json->kv("aligns_per_sec", res.alignsPerSec);
+            g_json->endObject();
+        }
     }
+    if (g_json)
+        g_json->endArray();
 }
 
 void
@@ -100,8 +128,23 @@ nbResourceSweep(const kernels::KernelEntry &k, int nb_cap)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    std::FILE *jf = nullptr;
+    bench::JsonWriter jw(stdout);
+    if (!json_path.empty()) {
+        jf = std::fopen(json_path.c_str(), "w");
+        if (!jf) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        jw = bench::JsonWriter(jf);
+        g_json = &jw;
+        jw.beginObject();
+        jw.kv("bench", "fig3");
+    }
+
     printf("Fig. 3: scaling of Global Linear (#1) and DTW (#9) with NPE "
            "and NB\n\n");
 
@@ -109,20 +152,38 @@ main()
     const auto &k9 = kernels::kernelById(9);
 
     printf("Panel A/B/C: Global Linear (#1)\n");
+    if (g_json) {
+        jw.key("global_linear");
+        jw.beginObject();
+    }
     npeThroughputSweep(k1);
     nbThroughputSweep(k1, 16);
+    if (g_json)
+        jw.endObject();
     npeResourceSweep(k1);
     nbResourceSweep(k1, 16);
 
     printf("\nPanel D/E/F: DTW (#9)\n");
+    if (g_json) {
+        jw.key("dtw");
+        jw.beginObject();
+    }
     npeThroughputSweep(k9);
     // Paper: NB capped at 24 for DTW by DSP availability.
     nbThroughputSweep(k9, 24);
+    if (g_json)
+        jw.endObject();
     npeResourceSweep(k9);
     nbResourceSweep(k9, 24);
 
     printf("\nExpected shapes: near-linear NPE scaling saturating at 64; "
            "near-perfect NB scaling;\nLUT/FF linear in NPE; DSP flat for "
            "#1, scaling for #9; BRAM drop at NPE=64 (LUTRAM).\n");
+    if (jf) {
+        jw.endObject();
+        std::fputc('\n', jf);
+        std::fclose(jf);
+        printf("wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Minimal JSON emission for the bench binaries' `--json <path>` flag:
+ * machine-readable BENCH_*.json artifacts that CI persists so
+ * throughput-model regressions diff against previous runs.
+ *
+ * Deliberately tiny (objects, arrays, string/number/bool scalars) — not
+ * a general serializer.
+ */
+
+#ifndef DPHLS_BENCH_BENCH_JSON_HH
+#define DPHLS_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace dphls::bench {
+
+/** Streaming writer producing compact, valid JSON into a FILE. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::FILE *out) : _out(out) {}
+
+    void beginObject() { sep(); std::fputc('{', _out); _first = true; }
+    void endObject() { std::fputc('}', _out); _first = false; }
+    void beginArray() { sep(); std::fputc('[', _out); _first = true; }
+    void endArray() { std::fputc(']', _out); _first = false; }
+
+    void
+    key(const char *name)
+    {
+        sep();
+        writeString(name);
+        std::fputc(':', _out);
+        _first = true; // value follows without a comma
+    }
+
+    void
+    value(const std::string &v)
+    {
+        sep();
+        writeString(v.c_str());
+    }
+
+    void
+    value(const char *v)
+    {
+        sep();
+        writeString(v);
+    }
+
+    void
+    value(double v)
+    {
+        sep();
+        std::fprintf(_out, "%.17g", v);
+    }
+
+    void
+    value(uint64_t v)
+    {
+        sep();
+        std::fprintf(_out, "%llu", (unsigned long long)v);
+    }
+
+    void
+    value(int v)
+    {
+        sep();
+        std::fprintf(_out, "%d", v);
+    }
+
+    void
+    value(bool v)
+    {
+        sep();
+        std::fputs(v ? "true" : "false", _out);
+    }
+
+    template <typename T>
+    void
+    kv(const char *name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (!_first)
+            std::fputc(',', _out);
+        _first = false;
+    }
+
+    void
+    writeString(const char *s)
+    {
+        std::fputc('"', _out);
+        for (; *s; s++) {
+            const char c = *s;
+            if (c == '"' || c == '\\')
+                std::fprintf(_out, "\\%c", c);
+            else if (static_cast<unsigned char>(c) < 0x20)
+                std::fprintf(_out, "\\u%04x", c);
+            else
+                std::fputc(c, _out);
+        }
+        std::fputc('"', _out);
+    }
+
+    std::FILE *_out;
+    bool _first = true;
+};
+
+/** Parse `--json <path>` out of argv; returns the path or empty. */
+inline std::string
+jsonPathFromArgs(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; i++) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return path;
+}
+
+} // namespace dphls::bench
+
+#endif // DPHLS_BENCH_BENCH_JSON_HH

@@ -11,14 +11,32 @@
 
 #include <cstdio>
 
+#include "bench_json.hh"
 #include "kernels/registry.hh"
 #include "model/resource_model.hh"
 
 using namespace dphls;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path = bench::jsonPathFromArgs(argc, argv);
+    std::FILE *jf = nullptr;
+    if (!json_path.empty()) {
+        jf = std::fopen(json_path.c_str(), "w");
+        if (!jf) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+    }
+    bench::JsonWriter jw(jf ? jf : stdout);
+    if (jf) {
+        jw.beginObject();
+        jw.kv("bench", "table2");
+        jw.key("kernels");
+        jw.beginArray();
+    }
+
     const auto device = model::FpgaDevice::xcvu9p();
 
     printf("Table 2: Performance summary of 15 DP-HLS kernels\n");
@@ -50,6 +68,29 @@ main()
                k.paper.bramPct, k.paper.dspPct, k.paper.npe, k.paper.nb,
                k.paper.nk, res.fmaxMhz, k.paper.fmaxMhz, res.alignsPerSec,
                k.paper.alignsPerSec);
+
+        if (jf) {
+            jw.beginObject();
+            jw.kv("id", k.id);
+            jw.kv("name", k.name);
+            jw.kv("aligns_per_sec", res.alignsPerSec);
+            jw.kv("cycles_per_align", res.cyclesPerAlign);
+            jw.kv("cells_per_align", res.cellsPerAlign);
+            jw.kv("fmax_mhz", res.fmaxMhz);
+            jw.kv("paper_aligns_per_sec", k.paper.alignsPerSec);
+            jw.kv("lut_pct", util.lutPct);
+            jw.kv("ff_pct", util.ffPct);
+            jw.kv("bram_pct", util.bramPct);
+            jw.kv("dsp_pct", util.dspPct);
+            jw.endObject();
+        }
+    }
+    if (jf) {
+        jw.endArray();
+        jw.endObject();
+        std::fputc('\n', jf);
+        std::fclose(jf);
+        printf("\nwrote %s\n", json_path.c_str());
     }
 
     printf("\nPredicted max parallel fit on the device (resource model):\n");

@@ -21,6 +21,20 @@
  * tests/test_batch_pipeline.cc). Cycle accounting matches the device
  * throughput model: per-channel busy cycles are the makespan of its
  * NB-block arbiter, and the batch makespan is the slowest channel.
+ *
+ * Two host-side accelerations sit in front of the engine, both
+ * result- and accounting-transparent:
+ *
+ *  - **SIMD lanes** (`laneWidth` > 1): each channel shard is grouped
+ *    into lanes of up to 16 same-kernel jobs and run through the
+ *    lockstep struct-of-arrays LaneAligner (inter-pair parallelism, the
+ *    BSW-style CPU-aligner technique). Per-job results and cycle stats
+ *    are bit-identical to scalar engine runs.
+ *  - **Result cache** (`cacheEntries` > 0): a sharded LRU keyed on an
+ *    FNV-1a digest of both sequences plus kernel params; repeated pairs
+ *    replay the stored result and device cycles without touching the
+ *    engine. The device model is deterministic, so accounting is
+ *    unchanged.
  */
 
 #ifndef DPHLS_HOST_BATCH_PIPELINE_HH
@@ -33,8 +47,10 @@
 #include <vector>
 
 #include "core/alignment_stats.hh"
+#include "host/result_cache.hh"
 #include "host/scheduler.hh"
 #include "systolic/engine.hh"
+#include "systolic/lane_engine.hh"
 
 namespace dphls::host {
 
@@ -62,6 +78,21 @@ struct BatchConfig
     uint64_t hostOverheadCycles = 2000;
     /** Aggregate path-level AlignmentStats over all tracebacks. */
     bool collectPathStats = true;
+    /**
+     * Jobs per SIMD lane group (1 = scalar engine per job; 8 or 16 are
+     * the intended widths, capped at LaneAligner::maxLanes). Per-job
+     * results and accounting are identical either way.
+     */
+    int laneWidth = 1;
+    /**
+     * Result-cache capacity in entries; 0 (the default) disables the
+     * cache. Enable it for workloads with repeated pairs (all-vs-all
+     * search, mapping seeds) — on all-distinct batches it only costs
+     * hashing plus result copies into the LRU.
+     */
+    size_t cacheEntries = 0;
+    /** Result-cache shard count (lock granularity). */
+    size_t cacheShards = 8;
 };
 
 /** Per-channel accounting from one drained epoch. */
@@ -120,10 +151,13 @@ class BatchPipeline
     explicit BatchPipeline(BatchConfig cfg = {},
                            Params params = K::defaultParams())
         : _cfg(cfg), _params(params),
+          _cache(cfg.cacheEntries, cfg.cacheShards),
           _pool(std::max(1, cfg.nk))
     {
         _cfg.nk = std::max(1, _cfg.nk);
         _cfg.nb = std::max(1, _cfg.nb);
+        _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
+                                    sim::LaneAligner<K>::maxLanes);
         sim::EngineConfig ecfg;
         ecfg.numPe = _cfg.npe;
         ecfg.bandWidth = _cfg.bandWidth;
@@ -133,12 +167,15 @@ class BatchPipeline
         ecfg.cycles = _cfg.cycles;
         _channels.reserve(static_cast<size_t>(_cfg.nk));
         for (int c = 0; c < _cfg.nk; c++)
-            _channels.push_back(std::make_unique<Channel>(ecfg, _params,
-                                                          _cfg.nb));
+            _channels.push_back(std::make_unique<Channel>(
+                ecfg, _params, _cfg.nb, _cfg.laneWidth));
     }
 
     const BatchConfig &config() const { return _cfg; }
     int channelCount() const { return _cfg.nk; }
+
+    /** Result-cache hit/miss/eviction counters (lifetime totals). */
+    CacheCounters cacheCounters() const { return _cache.counters(); }
 
     /**
      * Enqueue a batch for asynchronous execution. The batch is sharded
@@ -231,13 +268,18 @@ class BatchPipeline
     /** One device channel: engine, NB-block arbiter and accounting. */
     struct Channel
     {
-        Channel(const sim::EngineConfig &ecfg, const Params &params, int nb)
+        Channel(const sim::EngineConfig &ecfg, const Params &params, int nb,
+                int lane_width)
             : engine(ecfg, params),
               blockFree(static_cast<size_t>(nb), 0)
-        {}
+        {
+            if (lane_width > 1)
+                lanes = std::make_unique<sim::LaneAligner<K>>(ecfg, params);
+        }
 
         std::mutex mutex; //!< serializes shards from different batches
         sim::SystolicAligner<K> engine;
+        std::unique_ptr<sim::LaneAligner<K>> lanes; //!< laneWidth > 1 only
         std::vector<uint64_t> blockFree;
         ChannelStats stats;
         core::AlignmentStats paths;
@@ -271,11 +313,87 @@ class BatchPipeline
     {
         std::lock_guard lock(ch.mutex);
         const auto &jobs = batch.all();
+
+        // Phase 1 — functional results and per-job device cycles, via
+        // the result cache, the SIMD lane engine, or the scalar engine.
+        // Device cycles are independent of block placement, so the
+        // arbiter accounting can run as a separate phase below. Cache
+        // lookups interleave with lane-group flushes so a pair repeated
+        // later in the same shard hits once its first instance's group
+        // has been computed and inserted.
+        std::vector<PairHash> keys;
+        if (_cache.enabled())
+            keys.resize(shard.size());
+        const auto finishJob = [&](size_t k, Result res,
+                                   uint64_t engine_cycles) {
+            const int idx = shard[k];
+            if (_cache.enabled())
+                _cache.insert(keys[k], res, engine_cycles);
+            batch.cycles[static_cast<size_t>(idx)] =
+                engine_cycles + _cfg.hostOverheadCycles;
+            batch.results[static_cast<size_t>(idx)] = std::move(res);
+        };
+
+        std::vector<size_t> group; // shard positions awaiting the engine
+        const size_t width = ch.lanes && _cfg.laneWidth > 1
+            ? static_cast<size_t>(_cfg.laneWidth) : 1;
+        group.reserve(width);
+        const auto flushGroup = [&]() {
+            if (group.empty())
+                return;
+            if (ch.lanes && group.size() > 1) {
+                using Lane = typename sim::LaneAligner<K>::LanePair;
+                std::vector<Lane> lanes(group.size());
+                for (size_t m = 0; m < group.size(); m++) {
+                    const auto &job =
+                        jobs[static_cast<size_t>(shard[group[m]])];
+                    lanes[m] = Lane{&job.query, &job.reference};
+                }
+                auto results = ch.lanes->alignLanes(lanes);
+                for (size_t m = 0; m < group.size(); m++) {
+                    finishJob(group[m], std::move(results[m]),
+                              ch.lanes->laneTotalCycles(
+                                  static_cast<int>(m)));
+                }
+            } else {
+                for (const size_t k : group) {
+                    const auto &job =
+                        jobs[static_cast<size_t>(shard[k])];
+                    Result res =
+                        ch.engine.align(job.query, job.reference);
+                    finishJob(k, std::move(res),
+                              ch.engine.lastTotalCycles());
+                }
+            }
+            group.clear();
+        };
+
+        for (size_t k = 0; k < shard.size(); k++) {
+            const int idx = shard[k];
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            if (_cache.enabled()) {
+                keys[k] = pairHash(job.query, job.reference, _params);
+                if (auto hit = _cache.lookup(keys[k])) {
+                    batch.results[static_cast<size_t>(idx)] =
+                        std::move(hit->result);
+                    batch.cycles[static_cast<size_t>(idx)] =
+                        hit->cycles + _cfg.hostOverheadCycles;
+                    continue;
+                }
+            }
+            group.push_back(k);
+            if (group.size() >= width)
+                flushGroup();
+        }
+        flushGroup();
+
+        // Phase 2 — greedy NB-block arbiter and accounting, in shard
+        // order (identical to the interleaved accounting the scalar
+        // loop used to do).
         for (int idx : shard) {
             const auto &job = jobs[static_cast<size_t>(idx)];
-            Result res = ch.engine.align(job.query, job.reference);
-            const uint64_t cycles =
-                ch.engine.lastTotalCycles() + _cfg.hostOverheadCycles;
+            const auto &res = batch.results[static_cast<size_t>(idx)];
+            const uint64_t cycles = batch.cycles[static_cast<size_t>(idx)];
 
             // Greedy arbiter: the job lands on the earliest-free block.
             auto it = std::min_element(ch.blockFree.begin(),
@@ -291,13 +409,12 @@ class BatchPipeline
                     ch.paths, core::computeStats(job.query, job.reference,
                                                  res.ops, res.start));
             }
-            batch.cycles[static_cast<size_t>(idx)] = cycles;
-            batch.results[static_cast<size_t>(idx)] = std::move(res);
         }
     }
 
     BatchConfig _cfg;
     Params _params;
+    ShardedResultCache<Result> _cache;
     std::mutex _batchesMutex;
     std::vector<std::shared_ptr<Batch>> _batches;
     std::vector<std::unique_ptr<Channel>> _channels;

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Sharded LRU cache of alignment results keyed on sequence-pair hashes.
+ *
+ * All-vs-all protein search and seed-chain mapping workloads repeat
+ * query/reference pairs; the device model is deterministic, so a
+ * repeated pair can skip the engine entirely and replay the stored
+ * result and device cycles (accounting stays bit-identical because the
+ * engine would have produced exactly the same numbers).
+ *
+ * Keys are 128 bits: two independent FNV-1a passes (different offset
+ * basis and a post-mix) over the raw character bytes of both sequences,
+ * their lengths as domain separators, and the kernel parameter block.
+ * The full key is stored and compared on lookup, so a 64-bit collision
+ * cannot alias results. The cache is sharded by key to keep channel
+ * threads from serializing on one mutex.
+ */
+
+#ifndef DPHLS_HOST_RESULT_CACHE_HH
+#define DPHLS_HOST_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/alphabet.hh"
+
+namespace dphls::host {
+
+/** 128-bit cache key (two independent 64-bit digests). */
+struct PairHash
+{
+    uint64_t h1 = 0;
+    uint64_t h2 = 0;
+
+    bool operator==(const PairHash &) const = default;
+};
+
+namespace detail {
+
+constexpr uint64_t fnvPrime = 1099511628211ULL;
+constexpr uint64_t fnvBasis1 = 14695981039346656037ULL; // FNV-1a offset
+constexpr uint64_t fnvBasis2 = 0x9e3779b97f4a7c15ULL;   // independent seed
+
+inline void
+fnvMix(PairHash &h, const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; i++) {
+        h.h1 = (h.h1 ^ p[i]) * fnvPrime;
+        h.h2 = (h.h2 ^ (p[i] + 0x9eU)) * fnvPrime;
+    }
+}
+
+} // namespace detail
+
+/**
+ * Stable FNV-1a digest of an alignment job: both sequences' character
+ * bytes plus the kernel parameter block. Character and parameter types
+ * must be trivially copyable (all shipped alphabets and kernels are);
+ * a non-trivially-copyable Params is skipped — safe because a cache
+ * lives inside one pipeline whose params never change.
+ */
+template <typename CharT, typename Params>
+PairHash
+pairHash(const seq::Sequence<CharT> &query,
+         const seq::Sequence<CharT> &reference, const Params &params)
+{
+    static_assert(std::is_trivially_copyable_v<CharT>,
+                  "alphabet characters must be raw-byte hashable");
+    PairHash h{detail::fnvBasis1, detail::fnvBasis2};
+    const uint64_t qlen = static_cast<uint64_t>(query.length());
+    const uint64_t rlen = static_cast<uint64_t>(reference.length());
+    detail::fnvMix(h, &qlen, sizeof(qlen));
+    if (qlen > 0)
+        detail::fnvMix(h, query.chars.data(), query.chars.size() *
+                                                  sizeof(CharT));
+    detail::fnvMix(h, &rlen, sizeof(rlen));
+    if (rlen > 0)
+        detail::fnvMix(h, reference.chars.data(),
+                       reference.chars.size() * sizeof(CharT));
+    if constexpr (std::is_trivially_copyable_v<Params>)
+        detail::fnvMix(h, &params, sizeof(Params));
+    return h;
+}
+
+/** Cache hit/miss counters (monotonic over the cache's lifetime). */
+struct CacheCounters
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+/**
+ * Sharded LRU map from PairHash to (result, device cycles). Value type
+ * @p Result is copied out on hit; thread-safe per shard.
+ */
+template <typename Result>
+class ShardedResultCache
+{
+  public:
+    struct Entry
+    {
+        Result result;
+        uint64_t cycles = 0;
+    };
+
+    /** @p capacity total entries over @p shards shards; 0 disables. */
+    explicit ShardedResultCache(size_t capacity, size_t shards = 8)
+        : _shards(std::max<size_t>(1, shards))
+    {
+        const size_t per =
+            capacity == 0 ? 0
+                          : std::max<size_t>(1, capacity / _shards.size());
+        for (auto &s : _shards)
+            s.capacity = per;
+    }
+
+    bool enabled() const { return _shards[0].capacity > 0; }
+
+    /** Copy out the entry for @p key, refreshing its LRU position. */
+    std::optional<Entry>
+    lookup(const PairHash &key)
+    {
+        if (!enabled())
+            return std::nullopt;
+        Shard &s = shardOf(key);
+        std::lock_guard lock(s.mutex);
+        auto it = s.index.find(key);
+        if (it == s.index.end()) {
+            s.misses.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        s.hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second->entry;
+    }
+
+    /** Insert (or refresh) @p key; evicts the shard's LRU tail. */
+    void
+    insert(const PairHash &key, Result result, uint64_t cycles)
+    {
+        if (!enabled())
+            return;
+        Shard &s = shardOf(key);
+        std::lock_guard lock(s.mutex);
+        auto it = s.index.find(key);
+        if (it != s.index.end()) {
+            it->second->entry = Entry{std::move(result), cycles};
+            s.lru.splice(s.lru.begin(), s.lru, it->second);
+            return;
+        }
+        s.lru.push_front(Node{key, Entry{std::move(result), cycles}});
+        s.index.emplace(key, s.lru.begin());
+        if (s.lru.size() > s.capacity) {
+            s.index.erase(s.lru.back().key);
+            s.lru.pop_back();
+            s.evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /** Aggregate counters over all shards. */
+    CacheCounters
+    counters() const
+    {
+        CacheCounters c;
+        for (const auto &s : _shards) {
+            c.hits += s.hits.load(std::memory_order_relaxed);
+            c.misses += s.misses.load(std::memory_order_relaxed);
+            c.evictions += s.evictions.load(std::memory_order_relaxed);
+        }
+        return c;
+    }
+
+    /** Entries currently resident (over all shards). */
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (const auto &s : _shards) {
+            std::lock_guard lock(s.mutex);
+            n += s.lru.size();
+        }
+        return n;
+    }
+
+  private:
+    struct Node
+    {
+        PairHash key;
+        Entry entry;
+    };
+
+    struct KeyHasher
+    {
+        size_t operator()(const PairHash &k) const
+        {
+            return static_cast<size_t>(k.h1 ^ (k.h2 >> 1));
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Node> lru; //!< front = most recent
+        std::unordered_map<PairHash, typename std::list<Node>::iterator,
+                           KeyHasher>
+            index;
+        size_t capacity = 0;
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
+        std::atomic<uint64_t> evictions{0};
+    };
+
+    Shard &
+    shardOf(const PairHash &key)
+    {
+        return _shards[static_cast<size_t>(key.h2) % _shards.size()];
+    }
+
+    std::vector<Shard> _shards;
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_RESULT_CACHE_HH

@@ -15,6 +15,7 @@
 
 #include "core/kernel_concept.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -97,6 +98,19 @@ struct BandedGlobalTwoPiece
             p.gapOpen2, p.gapExtend2, false);
         return {cell.score, cell.ptr};
     }
+
+
+#ifdef DPHLS_VEC
+    /** Vectorized lane cell (lane_engine.hh); mirrors peFunc per lane. */
+    template <typename V>
+    static void
+    laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+             const Params &p, V *score, V &ptr)
+    {
+        detail::simd::dnaTwoPieceLaneCell(up, left, diag, qry, ref, p, false,
+                                     score, ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = detail::TpMM;
 

@@ -69,6 +69,39 @@ enum TwoPieceState : uint8_t
 };
 
 /**
+ * Branch-free building blocks for the cell updates.
+ *
+ * Two ideas keep the recurrences free of data-dependent branches (which
+ * mispredict badly — e.g. the local-alignment zero clamp flips at
+ * essentially random cells):
+ *
+ *  - score maxima are plain `b > a ? b : a` selects (cmov/blend);
+ *  - the traceback source is *decoded after the fact* from equality
+ *    tests against the final maximum, assigned in reverse priority
+ *    order so the last (highest-priority) match wins. This reproduces
+ *    the classic strictly-greater update chain bit-for-bit: a candidate
+ *    only beat the chain if it was strictly greater than every
+ *    higher-priority candidate, so the highest-priority candidate equal
+ *    to the maximum is exactly the chain's pick.
+ */
+template <typename ScoreT>
+inline ScoreT
+maxOf(ScoreT a, ScoreT b)
+{
+    return b > a ? b : a;
+}
+
+/** Branch-free max of open/extend gap candidates, or-ing the extend bit. */
+template <typename ScoreT>
+inline ScoreT
+gapSelect(ScoreT open_cand, ScoreT ext_cand, uint8_t ext_bit, uint8_t &ptr)
+{
+    const bool ext = ext_cand > open_cand;
+    ptr = static_cast<uint8_t>(ptr | (ext ? ext_bit : 0));
+    return ext ? ext_cand : open_cand;
+}
+
+/**
  * Linear-gap cell update: returns the best of diag+subst / up+gap /
  * left+gap (optionally clamped at zero for local alignment, writing the
  * End pointer). Tie-break priority is Diag > Up > Left, the same order
@@ -89,20 +122,16 @@ linearCell(ScoreT diag, ScoreT up, ScoreT left, ScoreT subst, ScoreT gap,
     const ScoreT mat = diag + subst;
     const ScoreT ins = up + gap;
     const ScoreT del = left + gap;
-    ScoreT best = mat;
-    uint8_t ptr = core::tb::Diag;
-    if (ins > best) {
-        best = ins;
-        ptr = core::tb::Up;
-    }
-    if (del > best) {
-        best = del;
-        ptr = core::tb::Left;
-    }
-    if (clamp_zero && best < ScoreT{0}) {
-        best = ScoreT{0};
-        ptr = core::tb::End;
-    }
+    // The clamp is a max (cmov), never a two-output branch: the zero
+    // crossing is data-random in local alignment and would mispredict.
+    ScoreT best = maxOf(maxOf(mat, ins), del);
+    const bool clamp = clamp_zero & (best < ScoreT{0});
+    best = clamp_zero ? maxOf(best, ScoreT{0}) : best;
+
+    uint8_t ptr = core::tb::Left;
+    ptr = best == ins ? core::tb::Up : ptr;
+    ptr = best == mat ? core::tb::Diag : ptr;
+    ptr = clamp ? core::tb::End : ptr;
     return {best, core::TbPtr{ptr}};
 }
 
@@ -139,33 +168,24 @@ affineCell(const std::array<ScoreT, 3> &up,
     uint8_t ptr = 0;
 
     // Ix: vertical gap (consumes query), from H(i-1,j) or Ix(i-1,j).
-    ScoreT ix = up[0] - open;
-    if (up[1] - extend > ix) {
-        ix = up[1] - extend;
-        ptr |= IxExtBit;
-    }
+    const ScoreT ix =
+        gapSelect(up[0] - open, up[1] - extend, IxExtBit, ptr);
     // Iy: horizontal gap (consumes reference).
-    ScoreT iy = left[0] - open;
-    if (left[2] - extend > iy) {
-        iy = left[2] - extend;
-        ptr |= IyExtBit;
-    }
+    const ScoreT iy =
+        gapSelect(left[0] - open, left[2] - extend, IyExtBit, ptr);
     // H: best of diagonal continuation and the two gap layers.
-    ScoreT h = diag[0] + subst;
-    uint8_t src = HDiag;
-    if (ix > h) {
-        h = ix;
-        src = HIx;
-    }
-    if (iy > h) {
-        h = iy;
-        src = HIy;
-    }
-    if (clamp_zero && h < ScoreT{0}) {
-        h = ScoreT{0};
-        src = HEnd;
-    }
-    ptr |= src;
+    const ScoreT mat = diag[0] + subst;
+    // Clamp via max (cmov), never a two-output branch: the zero
+    // crossing is data-random in local alignment and would mispredict.
+    ScoreT h = maxOf(maxOf(mat, ix), iy);
+    const bool clamp = clamp_zero & (h < ScoreT{0});
+    h = clamp_zero ? maxOf(h, ScoreT{0}) : h;
+
+    uint8_t src = HIy;
+    src = h == ix ? HIx : src;
+    src = h == mat ? HDiag : src;
+    src = clamp ? HEnd : src;
+    ptr = static_cast<uint8_t>(ptr | src);
     return {{h, ix, iy}, core::TbPtr{ptr}};
 }
 
@@ -221,50 +241,27 @@ twoPieceCell(const std::array<ScoreT, 5> &up,
     using namespace two_piece_ptr;
     uint8_t ptr = 0;
 
-    ScoreT ix = up[0] - open1;
-    if (up[1] - extend1 > ix) {
-        ix = up[1] - extend1;
-        ptr |= IxExtBit;
-    }
-    ScoreT iy = left[0] - open1;
-    if (left[2] - extend1 > iy) {
-        iy = left[2] - extend1;
-        ptr |= IyExtBit;
-    }
-    ScoreT ix2 = up[0] - open2;
-    if (up[3] - extend2 > ix2) {
-        ix2 = up[3] - extend2;
-        ptr |= Ix2ExtBit;
-    }
-    ScoreT iy2 = left[0] - open2;
-    if (left[4] - extend2 > iy2) {
-        iy2 = left[4] - extend2;
-        ptr |= Iy2ExtBit;
-    }
+    const ScoreT ix =
+        gapSelect(up[0] - open1, up[1] - extend1, IxExtBit, ptr);
+    const ScoreT iy =
+        gapSelect(left[0] - open1, left[2] - extend1, IyExtBit, ptr);
+    const ScoreT ix2 =
+        gapSelect(up[0] - open2, up[3] - extend2, Ix2ExtBit, ptr);
+    const ScoreT iy2 =
+        gapSelect(left[0] - open2, left[4] - extend2, Iy2ExtBit, ptr);
 
-    ScoreT h = diag[0] + subst;
-    uint8_t src = HDiag;
-    if (ix > h) {
-        h = ix;
-        src = HIx;
-    }
-    if (iy > h) {
-        h = iy;
-        src = HIy;
-    }
-    if (ix2 > h) {
-        h = ix2;
-        src = HIx2;
-    }
-    if (iy2 > h) {
-        h = iy2;
-        src = HIy2;
-    }
-    if (clamp_zero && h < ScoreT{0}) {
-        h = ScoreT{0};
-        src = HEnd;
-    }
-    ptr |= src;
+    const ScoreT mat = diag[0] + subst;
+    ScoreT h = maxOf(maxOf(maxOf(mat, ix), maxOf(iy, ix2)), iy2);
+    const bool clamp = clamp_zero & (h < ScoreT{0});
+    h = clamp_zero ? maxOf(h, ScoreT{0}) : h;
+
+    uint8_t src = HIy2;
+    src = h == ix2 ? HIx2 : src;
+    src = h == iy ? HIy : src;
+    src = h == ix ? HIx : src;
+    src = h == mat ? HDiag : src;
+    src = clamp ? HEnd : src;
+    ptr = static_cast<uint8_t>(ptr | src);
     return {{h, ix, iy, ix2, iy2}, core::TbPtr{ptr}};
 }
 

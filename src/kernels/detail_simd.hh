@@ -1,0 +1,262 @@
+/**
+ * @file
+ * SIMD (struct-of-arrays) forms of the kernel-family cell updates, used
+ * by the lane engine's vectorized inner loop.
+ *
+ * These mirror the scalar helpers in `detail.hh` operation for
+ * operation — same candidate order, same strictly-greater selects, same
+ * after-the-fact traceback-source decode — so every lane of a vector
+ * cell is bit-identical to the scalar recurrence (enforced by
+ * tests/test_lane_batching.cc, which diffs the lane engine against
+ * scalar engine runs for every hooked kernel).
+ *
+ * Implementation uses the GNU vector extension (`vector_size`), which
+ * GCC and Clang lower to SSE/AVX/NEON as available and split for
+ * narrower ISAs; comparisons yield all-ones/zero lane masks and selects
+ * are mask arithmetic, so the code is branch-free by construction. On
+ * compilers without the extension, DPHLS_VEC stays undefined and the
+ * lane engine falls back to its scalar per-lane loop.
+ */
+
+#ifndef DPHLS_KERNELS_DETAIL_SIMD_HH
+#define DPHLS_KERNELS_DETAIL_SIMD_HH
+
+#include <cstdint>
+
+#include "kernels/detail.hh"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DPHLS_VEC 1
+#endif
+
+#ifdef DPHLS_VEC
+
+namespace dphls::kernels::detail::simd {
+
+/**
+ * Pack of W 32-bit score lanes. `aligned(4)` keeps loads/stores legal
+ * on unaligned addresses (the engine's SoA rows are only element-
+ * aligned). W must be a power of two (4, 8 or 16).
+ */
+template <int W>
+struct VecPack;
+
+template <>
+struct VecPack<4>
+{
+    typedef int32_t I32 __attribute__((vector_size(16), aligned(4)));
+    typedef uint8_t U8 __attribute__((vector_size(4), aligned(1)));
+};
+template <>
+struct VecPack<8>
+{
+    typedef int32_t I32 __attribute__((vector_size(32), aligned(4)));
+    typedef uint8_t U8 __attribute__((vector_size(8), aligned(1)));
+};
+template <>
+struct VecPack<16>
+{
+    typedef int32_t I32 __attribute__((vector_size(64), aligned(4)));
+    typedef uint8_t U8 __attribute__((vector_size(16), aligned(1)));
+};
+
+/** Broadcast a scalar into every lane. */
+template <typename V>
+inline V
+splat(int32_t v)
+{
+    return V{} + v;
+}
+
+/** Lane-mask select: mask lanes are all-ones (take a) or zero (take b). */
+template <typename V>
+inline V
+sel(V mask, V a, V b)
+{
+    return (a & mask) | (b & ~mask);
+}
+
+/** Lane-wise max keeping @p a on ties (matches detail::maxOf). */
+template <typename V>
+inline V
+maxV(V a, V b)
+{
+    return sel(b > a, b, a);
+}
+
+/** Lane-wise min keeping @p a on ties. */
+template <typename V>
+inline V
+minV(V a, V b)
+{
+    return sel(b < a, b, a);
+}
+
+/** Linear-gap family (mirrors detail::linearCell). */
+template <typename V>
+inline void
+linearCellV(const V *up, const V *left, const V *diag, V subst, V gap,
+            bool clamp_zero, V *score, V &ptr)
+{
+    const V mat = diag[0] + subst;
+    const V ins = up[0] + gap;
+    const V del = left[0] + gap;
+    V best = maxV(maxV(mat, ins), del);
+    const V clamp = clamp_zero ? (best < V{}) : V{};
+    best = clamp_zero ? maxV(best, V{}) : best;
+
+    V p = splat<V>(core::tb::Left);
+    p = sel(best == ins, splat<V>(core::tb::Up), p);
+    p = sel(best == mat, splat<V>(core::tb::Diag), p);
+    p = sel(clamp, splat<V>(core::tb::End), p);
+    score[0] = best;
+    ptr = p;
+}
+
+/** Affine-gap family (mirrors detail::affineCell). */
+template <typename V>
+inline void
+affineCellV(const V *up, const V *left, const V *diag, V subst, V open,
+            V extend, bool clamp_zero, V *score, V &ptr)
+{
+    using namespace affine_ptr;
+    V p = V{};
+    const V ixo = up[0] - open;
+    const V ixe = up[1] - extend;
+    const V mx = ixe > ixo;
+    const V ix = sel(mx, ixe, ixo);
+    p |= mx & splat<V>(IxExtBit);
+
+    const V iyo = left[0] - open;
+    const V iye = left[2] - extend;
+    const V my = iye > iyo;
+    const V iy = sel(my, iye, iyo);
+    p |= my & splat<V>(IyExtBit);
+
+    const V mat = diag[0] + subst;
+    V h = maxV(maxV(mat, ix), iy);
+    const V clamp = clamp_zero ? (h < V{}) : V{};
+    h = clamp_zero ? maxV(h, V{}) : h;
+
+    V src = splat<V>(HIy);
+    src = sel(h == ix, splat<V>(HIx), src);
+    src = sel(h == mat, splat<V>(HDiag), src);
+    src = sel(clamp, splat<V>(HEnd), src);
+    score[0] = h;
+    score[1] = ix;
+    score[2] = iy;
+    ptr = p | src;
+}
+
+/** Two-piece affine family (mirrors detail::twoPieceCell). */
+template <typename V>
+inline void
+twoPieceCellV(const V *up, const V *left, const V *diag, V subst, V open1,
+              V extend1, V open2, V extend2, bool clamp_zero, V *score,
+              V &ptr)
+{
+    using namespace two_piece_ptr;
+    V p = V{};
+    const V ixo = up[0] - open1, ixe = up[1] - extend1;
+    const V mx = ixe > ixo;
+    const V ix = sel(mx, ixe, ixo);
+    p |= mx & splat<V>(IxExtBit);
+
+    const V iyo = left[0] - open1, iye = left[2] - extend1;
+    const V my = iye > iyo;
+    const V iy = sel(my, iye, iyo);
+    p |= my & splat<V>(IyExtBit);
+
+    const V ix2o = up[0] - open2, ix2e = up[3] - extend2;
+    const V mx2 = ix2e > ix2o;
+    const V ix2 = sel(mx2, ix2e, ix2o);
+    p |= mx2 & splat<V>(Ix2ExtBit);
+
+    const V iy2o = left[0] - open2, iy2e = left[4] - extend2;
+    const V my2 = iy2e > iy2o;
+    const V iy2 = sel(my2, iy2e, iy2o);
+    p |= my2 & splat<V>(Iy2ExtBit);
+
+    const V mat = diag[0] + subst;
+    V h = maxV(maxV(maxV(mat, ix), maxV(iy, ix2)), iy2);
+    const V clamp = clamp_zero ? (h < V{}) : V{};
+    h = clamp_zero ? maxV(h, V{}) : h;
+
+    V src = splat<V>(HIy2);
+    src = sel(h == ix2, splat<V>(HIx2), src);
+    src = sel(h == iy, splat<V>(HIy), src);
+    src = sel(h == ix, splat<V>(HIx), src);
+    src = sel(h == mat, splat<V>(HDiag), src);
+    src = sel(clamp, splat<V>(HEnd), src);
+    score[0] = h;
+    score[1] = ix;
+    score[2] = iy;
+    score[3] = ix2;
+    score[4] = iy2;
+    ptr = p | src;
+}
+
+/**
+ * Family-level lane cells for the DNA kernels: substitution score from a
+ * lane-wise match/mismatch select, then the family recurrence. Kernel
+ * headers forward their `laneCell` here.
+ */
+template <typename V, typename Params>
+inline void
+dnaLinearLaneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+                  const Params &p, bool clamp_zero, V *score, V &ptr)
+{
+    const V subst =
+        sel(qry == ref, splat<V>(p.match), splat<V>(p.mismatch));
+    linearCellV(up, left, diag, subst, splat<V>(p.linearGap), clamp_zero,
+                score, ptr);
+}
+
+template <typename V, typename Params>
+inline void
+dnaAffineLaneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+                  const Params &p, bool clamp_zero, V *score, V &ptr)
+{
+    const V subst =
+        sel(qry == ref, splat<V>(p.match), splat<V>(p.mismatch));
+    affineCellV(up, left, diag, subst, splat<V>(p.gapOpen),
+                splat<V>(p.gapExtend), clamp_zero, score, ptr);
+}
+
+template <typename V, typename Params>
+inline void
+dnaTwoPieceLaneCell(const V *up, const V *left, const V *diag, V qry,
+                    V ref, const Params &p, bool clamp_zero, V *score,
+                    V &ptr)
+{
+    const V subst =
+        sel(qry == ref, splat<V>(p.match), splat<V>(p.mismatch));
+    twoPieceCellV(up, left, diag, subst, splat<V>(p.gapOpen1),
+                  splat<V>(p.gapExtend1), splat<V>(p.gapOpen2),
+                  splat<V>(p.gapExtend2), clamp_zero, score, ptr);
+}
+
+/** sDTW distance cell (mirrors kernels::Sdtw::peFunc). */
+template <typename V>
+inline void
+sdtwCellV(const V *up, const V *left, const V *diag, V qry, V ref,
+          V *score, V &ptr)
+{
+    const V d = sel(qry > ref, qry - ref, ref - qry);
+    V best = diag[0];
+    V p = splat<V>(core::tb::Diag);
+    const V mu = up[0] < best;
+    best = sel(mu, up[0], best);
+    p = sel(mu, splat<V>(core::tb::Up), p);
+    const V ml = left[0] < best;
+    best = sel(ml, left[0], best);
+    p = sel(ml, splat<V>(core::tb::Left), p);
+    score[0] = best + d;
+    ptr = p;
+}
+
+} // namespace dphls::kernels::detail::simd
+
+#endif // DPHLS_VEC
+
+#endif // DPHLS_KERNELS_DETAIL_SIMD_HH

@@ -11,6 +11,7 @@
 
 #include "core/kernel_concept.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -79,6 +80,19 @@ struct LocalAffine
             in.up, in.left, in.diag, subst, p.gapOpen, p.gapExtend, true);
         return {cell.score, cell.ptr};
     }
+
+
+#ifdef DPHLS_VEC
+    /** Vectorized lane cell (lane_engine.hh); mirrors peFunc per lane. */
+    template <typename V>
+    static void
+    laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+             const Params &p, V *score, V &ptr)
+    {
+        detail::simd::dnaAffineLaneCell(up, left, diag, qry, ref, p, true,
+                                     score, ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = detail::MM;
 

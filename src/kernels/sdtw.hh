@@ -18,6 +18,7 @@
 
 #include "core/kernel_concept.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -80,6 +81,17 @@ struct Sdtw
         }
         return {{best + d}, core::TbPtr{ptr}};
     }
+
+#ifdef DPHLS_VEC
+    /** Vectorized lane cell (lane_engine.hh); mirrors peFunc per lane. */
+    template <typename V>
+    static void
+    laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+             const Params &, V *score, V &ptr)
+    {
+        detail::simd::sdtwCellV(up, left, diag, qry, ref, score, ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = 0;
 

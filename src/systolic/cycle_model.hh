@@ -35,6 +35,9 @@ struct CycleStats
     uint64_t traceback = 0;  //!< traceback FSM steps
     uint64_t writeback = 0;  //!< streaming the path back to the host
     uint64_t extra = 0;      //!< accelerator-specific stalls (HLS baseline)
+
+    /** Paths must agree bit-for-bit; the equivalence suite compares. */
+    bool operator==(const CycleStats &) const = default;
 };
 
 /** Phase-overlap capabilities of an accelerator implementation. */

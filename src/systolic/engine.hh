@@ -2,22 +2,25 @@
  * @file
  * The DP-HLS back-end: a cycle-level linear systolic array engine.
  *
- * This simulator executes any kernel satisfying core::KernelSpec through
- * the exact micro-architecture the paper's HLS pragmas produce (Fig. 2C):
+ * `SystolicAligner` executes any kernel satisfying core::KernelSpec
+ * through one of two execution paths that decouple functional DP
+ * computation from schedule modeling:
  *
- *  - the query is split into chunks of NPE consecutive rows, one row per
- *    processing element; the reference streams through the array;
- *  - each wavefront (anti-diagonal) is computed in one pipeline initiation
- *    interval; the two previous wavefronts live in the DP memory buffer
- *    and the current one in the score buffer;
- *  - a preserved-row score buffer carries the last PE's row into the next
- *    chunk's first PE;
- *  - every PE owns a private traceback memory bank; consecutive wavefronts
- *    map to consecutive bank addresses (address coalescing, Section 5.2),
- *    so all PEs write the same address each cycle;
- *  - PEs track their local optimum over the traceback strategy's eligible
- *    region and a reduction tree picks the global optimum (Section 5.2);
- *  - fixed banding restricts the wavefront loop bounds (Section 4, step 1.6).
+ *  - the **wavefront reference path** (`wavefront_path.hh`) runs the
+ *    exact micro-architecture the paper's HLS pragmas produce (Fig. 2C):
+ *    NPE-row chunks, one anti-diagonal per initiation interval,
+ *    preserved-row buffer, address-coalesced traceback banks, per-PE
+ *    optimum tracking and reduction (Section 5.2), fixed banding via
+ *    wavefront loop bounds (Section 4, step 1.6);
+ *  - the **fast functional path** (`fast_path.hh`) computes the same
+ *    recurrence row-major over flattened per-layer row buffers with the
+ *    band handled by loop bounds — several times faster on the host.
+ *
+ * Cycle statistics are analytic functions of the wavefront trip counts
+ * (`engine_common.hh`), so results AND cycle numbers are bit-identical
+ * across paths (enforced by tests/test_fastpath_equivalence.cc). The
+ * engine selects the fast path automatically unless a ScheduleTrace is
+ * attached; `EngineConfig::path` overrides the selection.
  *
  * Functional results are bit-identical to the full-matrix reference
  * aligner (enforced by the test suite); cycle counts per phase feed the
@@ -27,56 +30,13 @@
 #ifndef DPHLS_SYSTOLIC_ENGINE_HH
 #define DPHLS_SYSTOLIC_ENGINE_HH
 
-#include <algorithm>
-#include <array>
-#include <cstdlib>
 #include <stdexcept>
-#include <vector>
 
-#include "core/alignment.hh"
-#include "core/kernel_concept.hh"
-#include "core/traceback_walk.hh"
-#include "core/types.hh"
-#include "seq/alphabet.hh"
-#include "systolic/cycle_model.hh"
-#include "systolic/trace.hh"
+#include "systolic/engine_common.hh"
+#include "systolic/fast_path.hh"
+#include "systolic/wavefront_path.hh"
 
 namespace dphls::sim {
-
-/** Bits per streamed character, used by the sequence-load cycle model. */
-template <typename C>
-struct CharBits
-{
-    static constexpr int value = C::bits;
-};
-template <>
-struct CharBits<seq::ProfileColumn>
-{
-    static constexpr int value = 80; // 5 x 16-bit frequencies
-};
-template <>
-struct CharBits<seq::ComplexSample>
-{
-    static constexpr int value = 64; // two 32-bit fixed-point samples
-};
-template <>
-struct CharBits<seq::SignalSample>
-{
-    static constexpr int value = 16;
-};
-
-/** Configuration of one systolic block (paper front-end steps 1 and 5). */
-struct EngineConfig
-{
-    int numPe = 32;             //!< NPE: processing elements per block
-    int bandWidth = 64;         //!< fixed band half-width (banded kernels)
-    int maxQueryLength = 1024;  //!< MAX_QUERY_LENGTH
-    int maxReferenceLength = 1024; //!< MAX_REFERENCE_LENGTH
-    bool skipTraceback = false; //!< disable traceback (GPU-baseline mode)
-    CycleModelOptions cycles{}; //!< phase-overlap model
-    /** Optional structural schedule sink (testing/inspection only). */
-    ScheduleTrace *trace = nullptr;
-};
 
 /**
  * Systolic-array aligner for kernel @p K: one DP-HLS block of NPE PEs.
@@ -97,10 +57,24 @@ class SystolicAligner
     {
         if (_cfg.numPe < 1)
             throw std::invalid_argument("numPe must be >= 1");
+        if (_cfg.path == EnginePath::Fast && _cfg.trace != nullptr)
+            throw std::invalid_argument(
+                "ScheduleTrace requires the wavefront path");
     }
 
     const EngineConfig &config() const { return _cfg; }
     const Params &params() const { return _params; }
+
+    /** The execution path align() runs under the current config. */
+    EnginePath
+    activePath() const
+    {
+        if (_cfg.path == EnginePath::Auto) {
+            return _cfg.trace == nullptr ? EnginePath::Fast
+                                         : EnginePath::Wavefront;
+        }
+        return _cfg.path;
+    }
 
     /** Cycle statistics of the most recent align() call. */
     const CycleStats &lastStats() const { return _stats; }
@@ -117,367 +91,23 @@ class SystolicAligner
     align(const seq::Sequence<CharT> &query,
           const seq::Sequence<CharT> &reference)
     {
-        const int qlen = query.length();
-        const int rlen = reference.length();
-        if (qlen > _cfg.maxQueryLength)
+        if (query.length() > _cfg.maxQueryLength)
             throw std::invalid_argument("query exceeds MAX_QUERY_LENGTH");
-        if (rlen > _cfg.maxReferenceLength)
+        if (reference.length() > _cfg.maxReferenceLength)
             throw std::invalid_argument(
                 "reference exceeds MAX_REFERENCE_LENGTH");
 
-        const int npe = _cfg.numPe;
-        const int band = _cfg.bandWidth;
-        const auto worst = core::scoreSentinelWorst<ScoreT>(K::objective);
-        const bool keep_tb = K::hasTraceback && !_cfg.skipTraceback;
-
-        _stats = CycleStats{};
-        _stats.seqLoad = busCycles(qlen) + busCycles(rlen);
-        _stats.init = static_cast<uint64_t>(std::max(qlen, rlen));
-        _stats.extra = static_cast<uint64_t>(
-            _cfg.cycles.hostStreamCyclesPerChar) *
-            static_cast<uint64_t>(qlen + rlen);
-
-        // Init score buffers (front-end step 2); index 0 is the origin.
-        std::array<std::vector<ScoreT>, nLayers> init_row, init_col;
-        for (int l = 0; l < nLayers; l++) {
-            auto &row = init_row[static_cast<size_t>(l)];
-            auto &col = init_col[static_cast<size_t>(l)];
-            row.assign(static_cast<size_t>(rlen + 1), worst);
-            col.assign(static_cast<size_t>(qlen + 1), worst);
-            row[0] = col[0] = K::originScore(l, _params);
-            for (int j = 1; j <= rlen; j++)
-                row[static_cast<size_t>(j)] = K::initRowScore(j, l, _params);
-            for (int i = 1; i <= qlen; i++)
-                col[static_cast<size_t>(i)] = K::initColScore(i, l, _params);
-        }
-
-        // Preserved row score buffer: scores of row (chunk * NPE), plus a
-        // row stamp so banded chunks never read stale entries. A single
-        // shadow generation models the hardware's read-before-write
-        // register: in chunks with one active row the same PE reads row
-        // i-1 from an entry it overwrites with row i one cycle earlier.
-        std::array<std::vector<ScoreT>, nLayers> preserved, shadow;
-        std::vector<int> preserved_row_of(static_cast<size_t>(rlen + 1), 0);
-        std::vector<int> shadow_row_of(static_cast<size_t>(rlen + 1), -1);
-        for (int l = 0; l < nLayers; l++) {
-            preserved[static_cast<size_t>(l)] =
-                init_row[static_cast<size_t>(l)];
-            shadow[static_cast<size_t>(l)] =
-                init_row[static_cast<size_t>(l)];
-        }
-
-        // Per-PE wavefront buffers (N-1th and N-2th wavefronts).
-        std::array<std::vector<ScoreT>, nLayers> prev1, prev2, cur;
-        for (int l = 0; l < nLayers; l++) {
-            prev1[static_cast<size_t>(l)].assign(
-                static_cast<size_t>(npe), worst);
-            prev2[static_cast<size_t>(l)].assign(
-                static_cast<size_t>(npe), worst);
-            cur[static_cast<size_t>(l)].assign(
-                static_cast<size_t>(npe), worst);
-        }
-
-        // Traceback memory: one bank per PE, address-coalesced by
-        // wavefront within each chunk.
-        std::vector<std::vector<core::TbPtr>> tb_mem;
-        if (keep_tb)
-            tb_mem.assign(static_cast<size_t>(npe), {});
-        std::vector<int> chunk_base, chunk_wstart;
-
-        // Per-PE local optimum over the eligible region.
-        struct Best
-        {
-            ScoreT score{};
-            core::Coord cell;
-            bool valid = false;
-        };
-        std::vector<Best> best(static_cast<size_t>(npe));
-
-        const int n_chunks = qlen > 0 ? (qlen + npe - 1) / npe : 0;
-        core::PeIn<ScoreT, CharT, nLayers> in;
-
-        for (int c = 0; c < n_chunks; c++) {
-            const int row0 = c * npe + 1;
-            const int rows = std::min(npe, qlen - c * npe);
-
-            // Wavefront loop bounds; banding narrows them (Section 4 1.6).
-            int w_lo = 0;
-            int w_hi = rlen + rows - 2;
-            if (K::banded) {
-                w_lo = std::max(w_lo, row0 - band - 1);
-                w_hi = std::min(w_hi, row0 + 2 * (rows - 1) + band - 1);
-            }
-            chunk_wstart.push_back(w_lo);
-            chunk_base.push_back(
-                keep_tb && !tb_mem.empty()
-                    ? static_cast<int>(tb_mem[0].size()) : 0);
-            if (w_lo > w_hi)
-                continue;
-
-            for (int l = 0; l < nLayers; l++) {
-                std::fill(prev1[static_cast<size_t>(l)].begin(),
-                          prev1[static_cast<size_t>(l)].end(), worst);
-                std::fill(prev2[static_cast<size_t>(l)].begin(),
-                          prev2[static_cast<size_t>(l)].end(), worst);
-            }
-
-            const int trips = w_hi - w_lo + 1;
-            _stats.fillTrips += static_cast<uint64_t>(trips);
-            _stats.fill += static_cast<uint64_t>(trips) *
-                           static_cast<uint64_t>(K::ii) +
-                           static_cast<uint64_t>(_cfg.cycles.pipelineDepth);
-            _stats.chunks++;
-            if (keep_tb) {
-                for (auto &bank : tb_mem) {
-                    bank.resize(bank.size() + static_cast<size_t>(trips));
-                }
-            }
-
-            for (int w = w_lo; w <= w_hi; w++) {
-                for (int p = 0; p < rows; p++) {
-                    const int i = row0 + p;
-                    const int j = w - p + 1;
-                    const bool valid = j >= 1 && j <= rlen &&
-                        (!K::banded || std::abs(i - j) <= band);
-                    core::TbPtr ptr{};
-                    if (!valid) {
-                        for (int l = 0; l < nLayers; l++)
-                            cur[static_cast<size_t>(l)]
-                               [static_cast<size_t>(p)] = worst;
-                    } else {
-                        for (int l = 0; l < nLayers; l++) {
-                            const size_t ls = static_cast<size_t>(l);
-                            const size_t ps = static_cast<size_t>(p);
-                            if (j == 1) {
-                                in.left[ls] =
-                                    init_col[ls][static_cast<size_t>(i)];
-                                in.diag[ls] =
-                                    init_col[ls][static_cast<size_t>(i - 1)];
-                                in.up[ls] = p == 0
-                                    ? preservedFetch(preserved, shadow,
-                                                     preserved_row_of,
-                                                     shadow_row_of, l, 1,
-                                                     i - 1, worst)
-                                    : prev1[ls][ps - 1];
-                            } else {
-                                in.left[ls] = prev1[ls][ps];
-                                if (p == 0) {
-                                    in.up[ls] = preservedFetch(
-                                        preserved, shadow, preserved_row_of,
-                                        shadow_row_of, l, j, i - 1, worst);
-                                    in.diag[ls] = preservedFetch(
-                                        preserved, shadow, preserved_row_of,
-                                        shadow_row_of, l, j - 1, i - 1,
-                                        worst);
-                                } else {
-                                    in.up[ls] = prev1[ls][ps - 1];
-                                    in.diag[ls] = prev2[ls][ps - 1];
-                                }
-                            }
-                        }
-                        in.qryVal = query[i - 1];
-                        in.refVal = reference[j - 1];
-                        in.row = i;
-                        in.col = j;
-                        const auto out = K::peFunc(in, _params);
-                        for (int l = 0; l < nLayers; l++) {
-                            cur[static_cast<size_t>(l)]
-                               [static_cast<size_t>(p)] =
-                                out.score[static_cast<size_t>(l)];
-                        }
-                        ptr = out.tbPtr;
-
-                        // Local optimum tracking (Section 5.2): strictly
-                        // better only, so the per-PE best is the first
-                        // optimum in (row, col) order.
-                        if (eligible(i, j, qlen, rlen)) {
-                            auto &b = best[static_cast<size_t>(p)];
-                            const ScoreT v = out.score[0];
-                            if (!b.valid ||
-                                core::isBetter(K::objective, v, b.score)) {
-                                b.score = v;
-                                b.cell = core::Coord{i, j};
-                                b.valid = true;
-                            }
-                        }
-                    }
-                    if (keep_tb) {
-                        tb_mem[static_cast<size_t>(p)]
-                              [static_cast<size_t>(chunk_base.back() +
-                                                   (w - w_lo))] = ptr;
-                    }
-                    if (_cfg.trace) {
-                        ScheduleEvent ev;
-                        ev.chunk = c;
-                        ev.wavefront = w - w_lo;
-                        ev.pe = p;
-                        ev.row = i;
-                        ev.col = j;
-                        ev.valid = valid;
-                        ev.tbAddr =
-                            keep_tb ? chunk_base.back() + (w - w_lo) : -1;
-                        _cfg.trace->push_back(ev);
-                    }
-                    // Preserved-row update by the chunk's last PE; the old
-                    // value drops into the shadow generation.
-                    if (p == rows - 1 && j >= 1 && j <= rlen) {
-                        for (int l = 0; l < nLayers; l++) {
-                            const size_t ls = static_cast<size_t>(l);
-                            const size_t js = static_cast<size_t>(j);
-                            shadow[ls][js] = preserved[ls][js];
-                            preserved[ls][js] =
-                                cur[ls][static_cast<size_t>(p)];
-                        }
-                        shadow_row_of[static_cast<size_t>(j)] =
-                            preserved_row_of[static_cast<size_t>(j)];
-                        preserved_row_of[static_cast<size_t>(j)] = i;
-                    }
-                }
-                for (int l = 0; l < nLayers; l++) {
-                    std::swap(prev2[static_cast<size_t>(l)],
-                              prev1[static_cast<size_t>(l)]);
-                    std::swap(prev1[static_cast<size_t>(l)],
-                              cur[static_cast<size_t>(l)]);
-                }
-            }
-        }
-
-        // Reduction over the PEs' local optima (Section 5.2).
-        Result res;
-        bool found = false;
-        for (const auto &b : best) {
-            if (!b.valid)
-                continue;
-            const bool better = !found ||
-                core::isBetter(K::objective, b.score, res.score) ||
-                (b.score == res.score &&
-                 (b.cell.row < res.end.row ||
-                  (b.cell.row == res.end.row &&
-                   b.cell.col < res.end.col)));
-            if (better) {
-                res.score = b.score;
-                res.end = b.cell;
-                found = true;
-            }
-        }
-        if (!found) {
-            // No eligible cell was computed: empty input, or the band
-            // excludes the whole eligible region. Match the full-matrix
-            // reference semantics exactly: a global alignment reads the
-            // (possibly sentinel/init) end cell, other strategies report
-            // a zero score at the origin.
-            if (K::alignKind == core::AlignmentKind::Global) {
-                if (qlen == 0 && rlen == 0) {
-                    res.score = K::originScore(0, _params);
-                } else if (qlen == 0) {
-                    res.score = init_row[0][static_cast<size_t>(rlen)];
-                } else if (rlen == 0) {
-                    res.score = init_col[0][static_cast<size_t>(qlen)];
-                } else {
-                    res.score = worst; // band excludes the end cell
-                }
-                res.end = core::Coord{qlen, rlen};
-                if (keep_tb && (qlen == 0 || rlen == 0)) {
-                    // Border-only path: the walker needs no pointers.
-                    auto walk = core::walkTraceback<K>(
-                        res.end, [](int, int) { return core::TbPtr{}; });
-                    res.ops = std::move(walk.ops);
-                    res.start = walk.start;
-                    return res;
-                }
-            } else {
-                res.score = typename K::ScoreT{};
-                res.end = core::Coord{0, 0};
-            }
-            res.start = res.end;
-            return res;
-        }
-        if (K::alignKind != core::AlignmentKind::Global)
-            _stats.reduction = static_cast<uint64_t>(log2Ceil(npe) + 2);
-
-        if (keep_tb) {
-            auto fetch = [&](int i, int j) {
-                const int c = (i - 1) / npe;
-                const int p = (i - 1) % npe;
-                const int w = (j - 1) + p;
-                const int addr =
-                    chunk_base[static_cast<size_t>(c)] +
-                    (w - chunk_wstart[static_cast<size_t>(c)]);
-                return tb_mem[static_cast<size_t>(p)]
-                             [static_cast<size_t>(addr)];
-            };
-            auto walk = core::walkTraceback<K>(res.end, fetch);
-            res.ops = std::move(walk.ops);
-            res.start = walk.start;
-            _stats.traceback = static_cast<uint64_t>(walk.steps) *
-                static_cast<uint64_t>(_cfg.cycles.tracebackCyclesPerStep);
-            _stats.writeback = (res.ops.size() +
-                static_cast<size_t>(_cfg.cycles.writebackOpsPerCycle) - 1) /
-                static_cast<size_t>(_cfg.cycles.writebackOpsPerCycle);
-        } else {
-            res.start = res.end;
-        }
-        return res;
+        if (activePath() == EnginePath::Fast)
+            return fastAlign<K>(_cfg, _params, query, reference, _stats,
+                                _fastWs);
+        return wavefrontAlign<K>(_cfg, _params, query, reference, _stats);
     }
 
   private:
-    /** Cells eligible for optimum tracking under the traceback strategy. */
-    static bool
-    eligible(int i, int j, int qlen, int rlen)
-    {
-        switch (K::alignKind) {
-          case core::AlignmentKind::Global:
-            return i == qlen && j == rlen;
-          case core::AlignmentKind::Local:
-            return true;
-          case core::AlignmentKind::SemiGlobal:
-            return i == qlen;
-          case core::AlignmentKind::Overlap:
-            return i == qlen || j == rlen;
-        }
-        return false;
-    }
-
-    /**
-     * Preserved-row fetch guarded by row stamps: the current generation,
-     * then the shadow (read-before-write) generation, else a sentinel
-     * (stale entry outside a banded chunk's window).
-     */
-    static ScoreT
-    preservedFetch(const std::array<std::vector<ScoreT>, nLayers> &preserved,
-                   const std::array<std::vector<ScoreT>, nLayers> &shadow,
-                   const std::vector<int> &row_of,
-                   const std::vector<int> &shadow_row_of, int l, int j,
-                   int expect_row, ScoreT worst)
-    {
-        if (row_of[static_cast<size_t>(j)] == expect_row)
-            return preserved[static_cast<size_t>(l)][static_cast<size_t>(j)];
-        if (shadow_row_of[static_cast<size_t>(j)] == expect_row)
-            return shadow[static_cast<size_t>(l)][static_cast<size_t>(j)];
-        return worst;
-    }
-
-    /** 64-bit-bus transfer cycles for a sequence of this alphabet. */
-    static uint64_t
-    busCycles(int len)
-    {
-        const int bits = CharBits<CharT>::value;
-        return static_cast<uint64_t>((static_cast<int64_t>(len) * bits + 63) /
-                                     64);
-    }
-
-    static int
-    log2Ceil(int v)
-    {
-        int l = 0;
-        while ((1 << l) < v)
-            l++;
-        return l;
-    }
-
     EngineConfig _cfg;
     Params _params;
     CycleStats _stats;
+    FastWorkspace<K> _fastWs;
 };
 
 } // namespace dphls::sim

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Batch-level SIMD lanes: lockstep row-major DP over several pairs.
+ *
+ * CPU aligners (the BSW baseline in `baselines/bsw.*`) recover SIMD
+ * throughput by running one alignment per vector lane — inter-sequence
+ * parallelism. LaneAligner is the host-simulator analog: up to 16
+ * same-kernel pairs advance through a struct-of-arrays row buffer in
+ * lockstep, with the lane loop innermost and contiguous (stride-1 per
+ * (layer, column) slot) so the compiler can auto-vectorize the score
+ * recurrence (the loop carries a `#pragma omp simd` hint when the
+ * compiler accepts `-fopenmp-simd`; no runtime dependency).
+ *
+ * Pairs of different lengths share one padded (max-q x max-r) iteration
+ * space. Per-lane results stay bit-identical to the scalar fast path
+ * because
+ *
+ *  - init row/column values depend only on (index, layer, params),
+ *    never on the pair, so every lane sees its own exact boundary;
+ *  - cells beyond a lane's own (qlen, rlen) compute garbage that no
+ *    in-range cell of that lane ever reads (DP dependencies only point
+ *    down-right);
+ *  - optimum eligibility is masked per lane with the lane's own
+ *    dimensions, preserving the first-optimum-in-(row,col)-order
+ *    reduction semantics;
+ *  - cycle statistics are analytic per lane (same trip-count formulas
+ *    as the scalar paths, over the lane's own dimensions).
+ *
+ * Enforced by tests/test_lane_batching.cc.
+ */
+
+#ifndef DPHLS_SYSTOLIC_LANE_ENGINE_HH
+#define DPHLS_SYSTOLIC_LANE_ENGINE_HH
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/detail_simd.hh"
+#include "systolic/engine_common.hh"
+
+#if defined(_OPENMP) || defined(DPHLS_OPENMP_SIMD)
+#define DPHLS_SIMD_LOOP _Pragma("omp simd")
+#else
+#define DPHLS_SIMD_LOOP
+#endif
+
+namespace dphls::sim {
+
+#ifdef DPHLS_VEC
+// Vector types carry alignment attributes that concept/template
+// argument binding drops by design; the resulting -Wignored-attributes
+// is noise here (the types are only probed, never stored).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wignored-attributes"
+/**
+ * Kernels exposing a vectorized lane cell (one call computes one cell
+ * across all W lanes on int32 vector packs). The formulas mirror
+ * peFunc bit-for-bit; kernels without the hook run the scalar per-lane
+ * loop instead.
+ */
+template <typename K, typename V>
+concept KernelHasLaneCell =
+    requires(const V *v, V x, const typename K::Params &p, V *s, V &ptr) {
+        K::template laneCell<V>(v, v, v, x, x, p, s, ptr);
+    };
+#endif
+
+/** Lane-widened integer code of a character (for vector lane cells). */
+template <typename C>
+constexpr bool laneCharWidens =
+    requires(const C &c) { c.code; } || requires(const C &c) { c.value; };
+
+template <typename C>
+inline int32_t
+laneCharCode(const C &c)
+{
+    if constexpr (requires { c.code; })
+        return static_cast<int32_t>(c.code);
+    else
+        return static_cast<int32_t>(c.value);
+}
+
+/**
+ * Lockstep multi-pair aligner for kernel @p K. One group of at most
+ * `maxLanes` pairs per alignLanes() call; the host (BatchPipeline)
+ * forms the groups.
+ */
+template <core::KernelSpec K>
+class LaneAligner
+{
+  public:
+    using ScoreT = typename K::ScoreT;
+    using CharT = typename K::CharT;
+    using Params = typename K::Params;
+    using Result = core::AlignResult<ScoreT>;
+    static constexpr int nLayers = K::nLayers;
+    static constexpr int maxLanes = 16;
+
+    /** One lane: non-owning views of a query/reference pair. */
+    struct LanePair
+    {
+        const seq::Sequence<CharT> *query = nullptr;
+        const seq::Sequence<CharT> *reference = nullptr;
+    };
+
+    explicit LaneAligner(EngineConfig cfg = {},
+                         Params params = K::defaultParams())
+        : _cfg(cfg), _params(params)
+    {
+        if (_cfg.numPe < 1)
+            throw std::invalid_argument("numPe must be >= 1");
+    }
+
+    const EngineConfig &config() const { return _cfg; }
+
+    /** Per-lane cycle statistics of the most recent alignLanes() call. */
+    const std::vector<CycleStats> &laneStats() const { return _laneStats; }
+
+    /** Total cycles of lane @p lane per the cycle model. */
+    uint64_t
+    laneTotalCycles(int lane) const
+    {
+        return totalCycles(_laneStats[static_cast<size_t>(lane)],
+                           _cfg.cycles);
+    }
+
+    /**
+     * Lockstep width matching the host's native vector registers: wider
+     * packs get split by the compiler into slower multi-op sequences,
+     * so larger groups run as several native-width sweeps instead.
+     */
+    static constexpr int nativeLanes =
+#if defined(__AVX512F__)
+        16;
+#elif defined(__AVX2__)
+        8;
+#else
+        4;
+#endif
+
+    /** Align a group of pairs in lockstep; returns one result per lane. */
+    std::vector<Result>
+    alignLanes(const std::vector<LanePair> &lanes)
+    {
+        const int n = static_cast<int>(lanes.size());
+        if (n == 0)
+            return {};
+        if (n > maxLanes)
+            throw std::invalid_argument("lane group exceeds maxLanes");
+        for (const auto &lp : lanes) {
+            if (lp.query->length() > _cfg.maxQueryLength)
+                throw std::invalid_argument(
+                    "query exceeds MAX_QUERY_LENGTH");
+            if (lp.reference->length() > _cfg.maxReferenceLength)
+                throw std::invalid_argument(
+                    "reference exceeds MAX_REFERENCE_LENGTH");
+        }
+
+        // Split into native-width sub-groups (also shrinks the padded
+        // iteration space when lengths vary across the group).
+        std::vector<Result> results;
+        std::vector<CycleStats> stats;
+        results.reserve(lanes.size());
+        stats.reserve(lanes.size());
+        for (size_t g = 0; g < lanes.size();
+             g += static_cast<size_t>(nativeLanes)) {
+            const size_t count = std::min(
+                static_cast<size_t>(nativeLanes), lanes.size() - g);
+            const std::vector<LanePair> sub(
+                lanes.begin() + static_cast<ptrdiff_t>(g),
+                lanes.begin() + static_cast<ptrdiff_t>(g + count));
+            auto sub_results = dispatch(sub);
+            results.insert(results.end(),
+                           std::make_move_iterator(sub_results.begin()),
+                           std::make_move_iterator(sub_results.end()));
+            stats.insert(stats.end(), _laneStats.begin(),
+                         _laneStats.end());
+        }
+        _laneStats = std::move(stats);
+        return results;
+    }
+
+  private:
+    std::vector<Result>
+    dispatch(const std::vector<LanePair> &lanes)
+    {
+        // Only native-width (or narrower) sweeps are instantiated:
+        // wider vector packs than the ISA provides would be split into
+        // slow multi-op sequences by the compiler.
+        [[maybe_unused]] const int n = static_cast<int>(lanes.size());
+        if constexpr (nativeLanes >= 16) {
+            if (n > 8)
+                return run<16>(lanes);
+        }
+        if constexpr (nativeLanes >= 8) {
+            if (n > 4)
+                return run<8>(lanes);
+        }
+        return run<4>(lanes);
+    }
+    template <int W>
+    std::vector<Result>
+    run(const std::vector<LanePair> &lanes)
+    {
+        const int n = static_cast<int>(lanes.size());
+        const int band = _cfg.bandWidth;
+        const auto worst = core::scoreSentinelWorst<ScoreT>(K::objective);
+        const bool keep_tb = K::hasTraceback && !_cfg.skipTraceback;
+
+        // Unused lanes run as empty pairs: never eligible, cost nothing
+        // beyond the lockstep arithmetic.
+        std::array<int, W> qlen{}, rlen{};
+        int maxq = 0, maxr = 0;
+        for (int lane = 0; lane < n; lane++) {
+            qlen[static_cast<size_t>(lane)] = lanes
+                [static_cast<size_t>(lane)].query->length();
+            rlen[static_cast<size_t>(lane)] = lanes
+                [static_cast<size_t>(lane)].reference->length();
+            maxq = std::max(maxq, qlen[static_cast<size_t>(lane)]);
+            maxr = std::max(maxr, rlen[static_cast<size_t>(lane)]);
+        }
+
+        // Struct-of-arrays padded character buffers: [pos][lane].
+        std::vector<CharT> &qch = _ws.qch;
+        std::vector<CharT> &rch = _ws.rch;
+        qch.assign(static_cast<size_t>(maxq) * W, CharT{});
+        rch.assign(static_cast<size_t>(maxr) * W, CharT{});
+        for (int lane = 0; lane < n; lane++) {
+            const auto &q = *lanes[static_cast<size_t>(lane)].query;
+            const auto &r = *lanes[static_cast<size_t>(lane)].reference;
+            for (int i = 0; i < q.length(); i++)
+                qch[static_cast<size_t>(i) * W +
+                    static_cast<size_t>(lane)] = q[i];
+            for (int j = 0; j < r.length(); j++)
+                rch[static_cast<size_t>(j) * W +
+                    static_cast<size_t>(lane)] = r[j];
+        }
+
+#ifdef DPHLS_VEC
+        using V = typename kernels::detail::simd::VecPack<W>::I32;
+        using U8V = typename kernels::detail::simd::VecPack<W>::U8;
+        constexpr bool kVec = KernelHasLaneCell<K, V> &&
+            laneCharWidens<CharT> && std::is_same_v<ScoreT, int32_t>;
+        // Lane-widened int32 character codes for the vector path.
+        std::vector<int32_t> &qch32 = _ws.qch32;
+        std::vector<int32_t> &rch32 = _ws.rch32;
+        if constexpr (kVec) {
+            qch32.resize(static_cast<size_t>(maxq) * W);
+            rch32.resize(static_cast<size_t>(maxr) * W);
+            for (size_t k = 0; k < qch.size(); k++)
+                qch32[k] = laneCharCode(qch[k]);
+            for (size_t k = 0; k < rch.size(); k++)
+                rch32[k] = laneCharCode(rch[k]);
+        }
+#endif
+
+        const auto j_lo = [&](int i) { return bandJLo<K>(i, band); };
+        const auto j_hi = [&](int i) { return bandJHi<K>(i, maxr, band); };
+
+        // Shared band-compressed traceback bank, [cell][lane]. When
+        // traceback is off, every cell's store lands in one scratch
+        // slot instead — the lane loop stays branch-free either way
+        // (a conditional store would block vectorization).
+        std::vector<core::TbPtr> &tb = _ws.tb;
+        tb.clear();
+        std::array<core::TbPtr, W> tb_scratch{};
+        std::vector<int64_t> &row_base = _ws.rowBase;
+        if (keep_tb) {
+            const int64_t cells =
+                buildTbRowBase<K>(maxq, maxr, band, row_base);
+            tb.resize(static_cast<size_t>(cells) * W);
+        } else {
+            row_base.assign(static_cast<size_t>(maxq + 1), 0);
+        }
+
+        // SoA row buffers: [layer][column][lane].
+        std::array<std::vector<ScoreT>, nLayers> &row_prev = _ws.rowPrev;
+        std::array<std::vector<ScoreT>, nLayers> &row_cur = _ws.rowCur;
+        for (int l = 0; l < nLayers; l++) {
+            auto &prev = row_prev[static_cast<size_t>(l)];
+            auto &cur = row_cur[static_cast<size_t>(l)];
+            prev.assign(static_cast<size_t>(maxr + 1) * W, worst);
+            cur.assign(static_cast<size_t>(maxr + 1) * W, worst);
+            const ScoreT origin = K::originScore(l, _params);
+            for (int lane = 0; lane < W; lane++)
+                prev[static_cast<size_t>(lane)] = origin;
+            for (int j = 1; j <= maxr; j++) {
+                const ScoreT v = K::initRowScore(j, l, _params);
+                for (int lane = 0; lane < W; lane++)
+                    prev[static_cast<size_t>(j) * W +
+                         static_cast<size_t>(lane)] = v;
+            }
+        }
+
+        std::array<uint8_t, W> found{};
+        std::array<ScoreT, W> best_score{};
+        std::array<int, W> best_i{}, best_j{};
+
+#ifdef DPHLS_VEC
+        [[maybe_unused]] V vbs{}, vbi{}, vbj{}, vfound{}, vql{}, vrl{};
+        if constexpr (kVec) {
+            std::memcpy(&vql, qlen.data(), sizeof(V));
+            std::memcpy(&vrl, rlen.data(), sizeof(V));
+        }
+#endif
+
+        for (int i = 1; i <= maxq; i++) {
+            const int jlo = j_lo(i);
+            const int jhi = j_hi(i);
+            if (jlo > jhi)
+                continue; // band fully outside this row
+
+            for (int l = 0; l < nLayers; l++) {
+                const ScoreT bval = jlo == 1
+                    ? K::initColScore(i, l, _params) : worst;
+                auto *cur = row_cur[static_cast<size_t>(l)].data() +
+                            static_cast<size_t>(jlo - 1) * W;
+                for (int lane = 0; lane < W; lane++)
+                    cur[lane] = bval;
+            }
+
+            const CharT *qv = qch.data() + static_cast<size_t>(i - 1) * W;
+            core::TbPtr *tb_row = keep_tb
+                ? tb.data() + static_cast<size_t>(
+                      row_base[static_cast<size_t>(i)]) * W
+                : tb_scratch.data();
+            const size_t tb_stride = keep_tb ? W : 0;
+
+#ifdef DPHLS_VEC
+            if constexpr (kVec) {
+                // Vector row sweep: one laneCell call computes the cell
+                // for all W lanes; diag/left packs carry in registers.
+                V dg[nLayers], lf[nLayers], up[nLayers], sc[nLayers];
+                for (int l = 0; l < nLayers; l++) {
+                    std::memcpy(&dg[l],
+                                &row_prev[static_cast<size_t>(l)]
+                                         [static_cast<size_t>(jlo - 1) * W],
+                                sizeof(V));
+                    std::memcpy(&lf[l],
+                                &row_cur[static_cast<size_t>(l)]
+                                        [static_cast<size_t>(jlo - 1) * W],
+                                sizeof(V));
+                }
+                V vqry;
+                std::memcpy(&vqry, &qch32[static_cast<size_t>(i - 1) * W],
+                            sizeof(V));
+                const V vi = kernels::detail::simd::splat<V>(i);
+                for (int j = jlo; j <= jhi; j++) {
+                    for (int l = 0; l < nLayers; l++) {
+                        std::memcpy(
+                            &up[l],
+                            &row_prev[static_cast<size_t>(l)]
+                                     [static_cast<size_t>(j) * W],
+                            sizeof(V));
+                    }
+                    V vref, vptr{};
+                    std::memcpy(&vref,
+                                &rch32[static_cast<size_t>(j - 1) * W],
+                                sizeof(V));
+                    K::template laneCell<V>(up, lf, dg, vqry, vref,
+                                            _params, sc, vptr);
+                    for (int l = 0; l < nLayers; l++) {
+                        std::memcpy(&row_cur[static_cast<size_t>(l)]
+                                            [static_cast<size_t>(j) * W],
+                                    &sc[l], sizeof(V));
+                        dg[l] = up[l];
+                        lf[l] = sc[l];
+                    }
+                    const U8V nb = __builtin_convertvector(vptr, U8V);
+                    std::memcpy(static_cast<void *>(
+                                    tb_row + static_cast<size_t>(j - jlo) *
+                                                 tb_stride),
+                                &nb, sizeof(nb));
+
+                    // Per-lane optimum masks, identical to the scalar
+                    // lane loop's select chain.
+                    const V vj = kernels::detail::simd::splat<V>(j);
+                    V elig;
+                    if constexpr (K::alignKind ==
+                                  core::AlignmentKind::Local) {
+                        elig = (vi <= vql) & (vj <= vrl);
+                    } else if constexpr (K::alignKind ==
+                                         core::AlignmentKind::Global) {
+                        elig = (vi == vql) & (vj == vrl);
+                    } else if constexpr (
+                        K::alignKind == core::AlignmentKind::SemiGlobal) {
+                        elig = (vi == vql) & (vj <= vrl);
+                    } else { // Overlap
+                        elig = ((vi == vql) & (vj <= vrl)) |
+                               ((vj == vrl) & (vi <= vql));
+                    }
+                    const V v = sc[0];
+                    const V is_better =
+                        K::objective == core::Objective::Maximize
+                            ? (v > vbs) : (v < vbs);
+                    const V better = elig & (~vfound | is_better);
+                    vbs = kernels::detail::simd::sel(better, v, vbs);
+                    vbi = kernels::detail::simd::sel(better, vi, vbi);
+                    vbj = kernels::detail::simd::sel(better, vj, vbj);
+                    vfound |= better;
+                }
+                if (jhi < maxr) {
+                    for (int l = 0; l < nLayers; l++) {
+                        auto *cur =
+                            row_cur[static_cast<size_t>(l)].data() +
+                            static_cast<size_t>(jhi + 1) * W;
+                        for (int lane = 0; lane < W; lane++)
+                            cur[lane] = worst;
+                    }
+                }
+                for (int l = 0; l < nLayers; l++) {
+                    std::swap(row_prev[static_cast<size_t>(l)],
+                              row_cur[static_cast<size_t>(l)]);
+                }
+                continue;
+            }
+#endif
+
+            for (int j = jlo; j <= jhi; j++) {
+                const CharT *rv =
+                    rch.data() + static_cast<size_t>(j - 1) * W;
+                core::TbPtr *tb_cell =
+                    tb_row + static_cast<size_t>(j - jlo) * tb_stride;
+                // The lane body is branch-free by construction (plain
+                // selects, non-short-circuit masks, unconditional
+                // stores) so the compiler can if-convert and vectorize
+                // the whole recurrence across lanes.
+                DPHLS_SIMD_LOOP
+                for (int lane = 0; lane < W; lane++) {
+                    // Layer loops are unrolled via fold expressions:
+                    // a runtime inner loop would read as control flow
+                    // and defeat the vectorizer.
+                    core::PeIn<ScoreT, CharT, nLayers> in;
+                    const size_t js = static_cast<size_t>(j) * W +
+                                      static_cast<size_t>(lane);
+                    [&]<size_t... L>(std::index_sequence<L...>) {
+                        ((in.up[L] = row_prev[L][js]), ...);
+                        ((in.diag[L] = row_prev[L][js - W]), ...);
+                        ((in.left[L] = row_cur[L][js - W]), ...);
+                    }(std::make_index_sequence<
+                        static_cast<size_t>(nLayers)>{});
+                    in.qryVal = qv[lane];
+                    in.refVal = rv[lane];
+                    in.row = i;
+                    in.col = j;
+                    const auto out = K::peFunc(in, _params);
+                    [&]<size_t... L>(std::index_sequence<L...>) {
+                        ((row_cur[L][js] = out.score[L]), ...);
+                    }(std::make_index_sequence<
+                        static_cast<size_t>(nLayers)>{});
+                    tb_cell[lane] = out.tbPtr;
+
+                    // Per-lane optimum mask over the lane's own
+                    // dimensions; select-style update keeps the lane
+                    // loop branch-free.
+                    const int ql = qlen[static_cast<size_t>(lane)];
+                    const int rl = rlen[static_cast<size_t>(lane)];
+                    bool elig;
+                    if constexpr (K::alignKind ==
+                                  core::AlignmentKind::Local) {
+                        elig = (i <= ql) & (j <= rl);
+                    } else if constexpr (K::alignKind ==
+                                         core::AlignmentKind::Global) {
+                        elig = (i == ql) & (j == rl);
+                    } else if constexpr (
+                        K::alignKind == core::AlignmentKind::SemiGlobal) {
+                        elig = (i == ql) & (j <= rl);
+                    } else { // Overlap
+                        elig = ((i == ql) & (j <= rl)) |
+                               ((j == rl) & (i <= ql));
+                    }
+                    const ScoreT v = out.score[0];
+                    const size_t lu = static_cast<size_t>(lane);
+                    const bool better = elig &
+                        (!found[lu] |
+                         core::isBetter(K::objective, v, best_score[lu]));
+                    best_score[lu] = better ? v : best_score[lu];
+                    best_i[lu] = better ? i : best_i[lu];
+                    best_j[lu] = better ? j : best_j[lu];
+                    found[lu] = found[lu] | static_cast<uint8_t>(better);
+                }
+            }
+            if (jhi < maxr) {
+                for (int l = 0; l < nLayers; l++) {
+                    auto *cur = row_cur[static_cast<size_t>(l)].data() +
+                                static_cast<size_t>(jhi + 1) * W;
+                    for (int lane = 0; lane < W; lane++)
+                        cur[lane] = worst;
+                }
+            }
+            for (int l = 0; l < nLayers; l++) {
+                std::swap(row_prev[static_cast<size_t>(l)],
+                          row_cur[static_cast<size_t>(l)]);
+            }
+        }
+
+#ifdef DPHLS_VEC
+        if constexpr (kVec) {
+            for (int lane = 0; lane < W; lane++) {
+                const size_t lu = static_cast<size_t>(lane);
+                found[lu] = vfound[lane] != 0;
+                best_score[lu] = vbs[lane];
+                best_i[lu] = vbi[lane];
+                best_j[lu] = vbj[lane];
+            }
+        }
+#endif
+
+        // Per-lane epilogue: analytic cycle accounting over the lane's
+        // own dimensions plus the shared traceback walk machinery.
+        std::vector<Result> results;
+        results.reserve(static_cast<size_t>(n));
+        _laneStats.assign(static_cast<size_t>(n), CycleStats{});
+        for (int lane = 0; lane < n; lane++) {
+            const size_t lu = static_cast<size_t>(lane);
+            CycleStats &stats = _laneStats[lu];
+            const int ql = qlen[lu];
+            const int rl = rlen[lu];
+            accountLoadInit<K>(_cfg, ql, rl, stats);
+            accountFill<K>(_cfg, ql, rl, stats);
+            const auto fetch = [&](int fi, int fj) {
+                const int flo = j_lo(fi);
+                if (fj < flo || fj > j_hi(fi))
+                    return core::TbPtr{};
+                return tb[static_cast<size_t>(
+                              row_base[static_cast<size_t>(fi)] +
+                              (fj - flo)) * W + lu];
+            };
+            results.push_back(finishResult<K>(
+                _cfg, _params, ql, rl, found[lu] != 0, best_score[lu],
+                core::Coord{best_i[lu], best_j[lu]}, keep_tb, fetch,
+                stats));
+        }
+        return results;
+    }
+
+    /**
+     * Reusable buffers amortized across alignLanes() calls (the batch
+     * host calls once per lane group; reallocating multi-megabyte
+     * traceback banks per group would dominate).
+     */
+    struct Workspace
+    {
+        std::vector<CharT> qch, rch;
+        std::vector<int32_t> qch32, rch32;
+        std::vector<core::TbPtr> tb;
+        std::vector<int64_t> rowBase;
+        std::array<std::vector<ScoreT>, nLayers> rowPrev, rowCur;
+    };
+
+    EngineConfig _cfg;
+    Params _params;
+    std::vector<CycleStats> _laneStats;
+    Workspace _ws;
+};
+
+#ifdef DPHLS_VEC
+#pragma GCC diagnostic pop
+#endif
+
+} // namespace dphls::sim
+
+#endif // DPHLS_SYSTOLIC_LANE_ENGINE_HH

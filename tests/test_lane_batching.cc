@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Batch-level SIMD lane tests: the lockstep LaneAligner and the
+ * BatchPipeline lane grouping must be bit-identical — results and cycle
+ * accounting — to scalar engine runs, at group sizes around the lane
+ * width (1, lane-1, lane, lane+1) and with mixed/degenerate lengths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "host/batch_pipeline.hh"
+#include "kernels/all.hh"
+#include "systolic/lane_engine.hh"
+
+using namespace dphls;
+
+namespace {
+
+template <typename K>
+void
+expectLanesMatchScalar(
+    const std::vector<test::Pair<typename K::CharT>> &pairs, int npe,
+    int band)
+{
+    sim::EngineConfig cfg;
+    cfg.numPe = npe;
+    cfg.bandWidth = band;
+    cfg.maxQueryLength = 4096;
+    cfg.maxReferenceLength = 4096;
+
+    sim::LaneAligner<K> lanes(cfg);
+    std::vector<typename sim::LaneAligner<K>::LanePair> group;
+    group.reserve(pairs.size());
+    for (const auto &p : pairs)
+        group.push_back({&p.query, &p.reference});
+    const auto got = lanes.alignLanes(group);
+    ASSERT_EQ(got.size(), pairs.size());
+
+    sim::SystolicAligner<K> engine(cfg);
+    using Tr = core::ScoreTraits<typename K::ScoreT>;
+    for (size_t i = 0; i < pairs.size(); i++) {
+        const auto gold =
+            engine.align(pairs[i].query, pairs[i].reference);
+        const std::string ctx = std::string(K::name) + " lane " +
+            std::to_string(i) + "/" + std::to_string(pairs.size()) +
+            " qlen=" + std::to_string(pairs[i].query.length()) +
+            " rlen=" + std::to_string(pairs[i].reference.length());
+        ASSERT_EQ(Tr::toDouble(gold.score), Tr::toDouble(got[i].score))
+            << ctx;
+        ASSERT_EQ(gold.end, got[i].end) << ctx;
+        ASSERT_EQ(gold.start, got[i].start) << ctx;
+        ASSERT_EQ(gold.ops, got[i].ops) << ctx;
+        EXPECT_TRUE(engine.lastStats() ==
+                    lanes.laneStats()[i]) << ctx;
+        EXPECT_EQ(engine.lastTotalCycles(),
+                  lanes.laneTotalCycles(static_cast<int>(i))) << ctx;
+    }
+}
+
+template <typename K>
+std::vector<test::Pair<typename K::CharT>>
+dnaPairs(seq::Rng &rng, int count, int max_len)
+{
+    std::vector<test::Pair<typename K::CharT>> pairs;
+    for (int i = 0; i < count; i++)
+        pairs.push_back(test::randomDnaPair(rng, max_len, i % 3 != 0));
+    return pairs;
+}
+
+} // namespace
+
+TEST(LaneAligner, GroupSizesAroundLaneWidth)
+{
+    seq::Rng rng(101);
+    for (const int count : {1, 7, 8, 9, 15, 16}) {
+        auto pairs = dnaPairs<kernels::LocalAffine>(rng, count, 120);
+        expectLanesMatchScalar<kernels::LocalAffine>(pairs, 32, 16);
+    }
+}
+
+TEST(LaneAligner, MixedLengthsAndEmptyLanes)
+{
+    seq::Rng rng(202);
+    auto pairs = dnaPairs<kernels::GlobalAffine>(rng, 6, 90);
+    // Degenerate lanes mixed into one group: empty query, empty
+    // reference, both empty, single character.
+    pairs.push_back({seq::DnaSequence{}, seq::randomDna(40, rng)});
+    pairs.push_back({seq::randomDna(40, rng), seq::DnaSequence{}});
+    pairs.push_back({seq::DnaSequence{}, seq::DnaSequence{}});
+    pairs.push_back({seq::randomDna(1, rng), seq::randomDna(77, rng)});
+    expectLanesMatchScalar<kernels::GlobalAffine>(pairs, 8, 16);
+}
+
+TEST(LaneAligner, AllKindsAndAlphabets)
+{
+    seq::Rng rng(303);
+    expectLanesMatchScalar<kernels::GlobalLinear>(
+        dnaPairs<kernels::GlobalLinear>(rng, 9, 100), 16, 8);
+    expectLanesMatchScalar<kernels::LocalLinear>(
+        dnaPairs<kernels::LocalLinear>(rng, 9, 100), 16, 8);
+    expectLanesMatchScalar<kernels::SemiGlobal>(
+        dnaPairs<kernels::SemiGlobal>(rng, 9, 100), 16, 8);
+    expectLanesMatchScalar<kernels::Overlap>(
+        dnaPairs<kernels::Overlap>(rng, 9, 100), 16, 8);
+    expectLanesMatchScalar<kernels::GlobalTwoPiece>(
+        dnaPairs<kernels::GlobalTwoPiece>(rng, 5, 80), 16, 8);
+
+    // Banded kernels share the band across lanes of different lengths.
+    {
+        std::vector<test::Pair<seq::DnaChar>> pairs;
+        for (const int len : {30, 64, 5, 90, 64, 1, 33}) {
+            auto p = test::randomDnaPair(rng, len, true, true);
+            pairs.push_back(std::move(p));
+        }
+        expectLanesMatchScalar<kernels::BandedGlobalLinear>(pairs, 32, 12);
+        expectLanesMatchScalar<kernels::BandedLocalAffine>(pairs, 32, 12);
+        expectLanesMatchScalar<kernels::BandedGlobalTwoPiece>(pairs, 32,
+                                                              12);
+    }
+
+    // Kernels without a vectorized lane cell (ApFixed scores) exercise
+    // the scalar per-lane fallback.
+    expectLanesMatchScalar<kernels::Viterbi>(
+        [&] {
+            std::vector<test::Pair<seq::DnaChar>> pairs;
+            for (const int len : {20, 45, 31})
+                pairs.push_back(test::randomDnaPair(rng, len, true, true));
+            return pairs;
+        }(),
+        16, 8);
+
+    // Protein and signal alphabets.
+    {
+        std::vector<test::Pair<seq::AminoChar>> pairs;
+        for (const int len : {40, 80, 17, 120, 61}) {
+            test::Pair<seq::AminoChar> p;
+            p.query = seq::sampleProtein(len, rng);
+            p.reference = seq::mutateProtein(p.query, 0.2, 0.05, rng);
+            pairs.push_back(std::move(p));
+        }
+        expectLanesMatchScalar<kernels::ProteinLocal>(pairs, 32, 16);
+    }
+    {
+        std::vector<test::Pair<seq::SignalSample>> pairs;
+        auto sq = seq::sampleSquigglePairs(5, 100, 40, 404);
+        for (auto &p : sq)
+            pairs.push_back({std::move(p.query), std::move(p.reference)});
+        expectLanesMatchScalar<kernels::Sdtw>(pairs, 32, 16);
+    }
+}
+
+TEST(LaneAligner, RejectsOversizedGroup)
+{
+    seq::Rng rng(505);
+    auto pairs = dnaPairs<kernels::GlobalLinear>(
+        rng, sim::LaneAligner<kernels::GlobalLinear>::maxLanes + 1, 30);
+    sim::LaneAligner<kernels::GlobalLinear> lanes;
+    std::vector<sim::LaneAligner<kernels::GlobalLinear>::LanePair> group;
+    for (const auto &p : pairs)
+        group.push_back({&p.query, &p.reference});
+    EXPECT_THROW(lanes.alignLanes(group), std::invalid_argument);
+}
+
+TEST(BatchPipeline, LaneWidthIsResultAndAccountingTransparent)
+{
+    seq::Rng rng(606);
+    using K = kernels::LocalAffine;
+    using Pipeline = host::BatchPipeline<K>;
+
+    for (const int batch_size : {1, 7, 8, 9, 31}) {
+        std::vector<typename Pipeline::Job> jobs;
+        for (int i = 0; i < batch_size; i++) {
+            auto p = test::randomDnaPair(rng, 100, i % 2 == 0);
+            jobs.push_back({std::move(p.query), std::move(p.reference)});
+        }
+
+        host::BatchConfig scfg;
+        scfg.nk = 2;
+        scfg.nb = 4;
+        scfg.cacheEntries = 0; // isolate the lane path
+        scfg.laneWidth = 1;
+        host::BatchConfig lcfg = scfg;
+        lcfg.laneWidth = 8;
+
+        Pipeline scalar(scfg), laned(lcfg);
+        std::vector<typename Pipeline::Result> sres, lres;
+        std::vector<uint64_t> scyc, lcyc;
+        const auto sstats = scalar.runAll(jobs, &sres, &scyc);
+        const auto lstats = laned.runAll(jobs, &lres, &lcyc);
+
+        ASSERT_EQ(sres.size(), lres.size());
+        for (size_t i = 0; i < sres.size(); i++) {
+            ASSERT_EQ(sres[i].score, lres[i].score) << i;
+            ASSERT_EQ(sres[i].end, lres[i].end) << i;
+            ASSERT_EQ(sres[i].ops, lres[i].ops) << i;
+        }
+        ASSERT_EQ(scyc, lcyc);
+        EXPECT_EQ(sstats.makespanCycles, lstats.makespanCycles);
+        EXPECT_EQ(sstats.totalCycles, lstats.totalCycles);
+        EXPECT_EQ(sstats.alignments, lstats.alignments);
+        EXPECT_EQ(sstats.paths.matches, lstats.paths.matches);
+        EXPECT_EQ(sstats.paths.columns, lstats.paths.columns);
+        ASSERT_EQ(sstats.channels.size(), lstats.channels.size());
+        for (size_t c = 0; c < sstats.channels.size(); c++) {
+            EXPECT_EQ(sstats.channels[c].busyCycles,
+                      lstats.channels[c].busyCycles) << c;
+            EXPECT_EQ(sstats.channels[c].totalCycles,
+                      lstats.channels[c].totalCycles) << c;
+        }
+    }
+}

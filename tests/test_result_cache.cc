@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Result-cache tests: hash stability and sensitivity, LRU behavior of
+ * the sharded cache, and end-to-end transparency inside BatchPipeline
+ * (repeated pairs skip the engine but results and cycle accounting stay
+ * bit-identical to an uncached run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "host/batch_pipeline.hh"
+#include "host/result_cache.hh"
+#include "kernels/all.hh"
+
+using namespace dphls;
+
+TEST(PairHash, StableAndContentSensitive)
+{
+    const auto q1 = seq::dnaFromString("ACGTACGT");
+    const auto r1 = seq::dnaFromString("ACGGACGT");
+    const auto params = kernels::LocalAffine::defaultParams();
+
+    // Same contents, different objects (names ignored).
+    auto q2 = seq::dnaFromString("ACGTACGT", "other-name");
+    const auto h1 = host::pairHash(q1, r1, params);
+    const auto h2 = host::pairHash(q2, r1, params);
+    EXPECT_EQ(h1, h2);
+
+    // Any content change flips the digest.
+    const auto r2 = seq::dnaFromString("ACGGACGA");
+    EXPECT_FALSE(h1 == host::pairHash(q1, r2, params));
+
+    // Swapping query and reference is a different job.
+    EXPECT_FALSE(h1 == host::pairHash(r1, q1, params));
+
+    // Length boundary shifts must not alias (domain separation).
+    const auto a = seq::dnaFromString("ACGTA");
+    const auto b = seq::dnaFromString("CGT");
+    const auto c = seq::dnaFromString("ACGT");
+    const auto d = seq::dnaFromString("ACGT");
+    EXPECT_FALSE(host::pairHash(a, b, params) ==
+                 host::pairHash(c, d, params));
+
+    // Parameter changes flip the digest too.
+    auto p2 = params;
+    p2.gapOpen += 1;
+    EXPECT_FALSE(h1 == host::pairHash(q1, r1, p2));
+}
+
+TEST(ShardedResultCache, LruEvictionPerShard)
+{
+    host::ShardedResultCache<int> cache(4, 1); // one shard, 4 entries
+    ASSERT_TRUE(cache.enabled());
+    for (uint64_t i = 0; i < 4; i++)
+        cache.insert({i + 1, i + 100}, static_cast<int>(i), i);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // Touch key 1 so key 2 becomes the LRU tail, then overflow.
+    EXPECT_TRUE(cache.lookup({1, 100}).has_value());
+    cache.insert({9, 109}, 9, 9);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_TRUE(cache.lookup({1, 100}).has_value());
+    EXPECT_FALSE(cache.lookup({2, 101}).has_value());
+    EXPECT_EQ(cache.counters().evictions, 1u);
+
+    const auto hit = cache.lookup({9, 109});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->result, 9);
+    EXPECT_EQ(hit->cycles, 9u);
+}
+
+TEST(ShardedResultCache, ZeroCapacityDisables)
+{
+    host::ShardedResultCache<int> cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.insert({1, 2}, 3, 4);
+    EXPECT_FALSE(cache.lookup({1, 2}).has_value());
+    EXPECT_EQ(cache.counters().hits + cache.counters().misses, 0u);
+}
+
+TEST(BatchPipeline, CacheIsResultAndAccountingTransparent)
+{
+    seq::Rng rng(42);
+    using K = kernels::LocalAffine;
+    using Pipeline = host::BatchPipeline<K>;
+
+    // 8 distinct pairs, each submitted 4 times.
+    std::vector<typename Pipeline::Job> jobs;
+    for (int rep = 0; rep < 4; rep++) {
+        seq::Rng gen(7); // same stream every rep -> identical pairs
+        for (int i = 0; i < 8; i++) {
+            auto p = test::randomDnaPair(gen, 90, true);
+            jobs.push_back({std::move(p.query), std::move(p.reference)});
+        }
+    }
+
+    host::BatchConfig ccfg;
+    ccfg.nk = 2;
+    ccfg.nb = 2;
+    ccfg.cacheEntries = 256;
+    host::BatchConfig ncfg = ccfg;
+    ncfg.cacheEntries = 0;
+
+    Pipeline cached(ccfg), uncached(ncfg);
+    std::vector<typename Pipeline::Result> cres, nres;
+    std::vector<uint64_t> ccyc, ncyc;
+    const auto cstats = cached.runAll(jobs, &cres, &ccyc);
+    const auto nstats = uncached.runAll(jobs, &nres, &ncyc);
+
+    ASSERT_EQ(cres.size(), nres.size());
+    for (size_t i = 0; i < cres.size(); i++) {
+        ASSERT_EQ(cres[i].score, nres[i].score) << i;
+        ASSERT_EQ(cres[i].end, nres[i].end) << i;
+        ASSERT_EQ(cres[i].ops, nres[i].ops) << i;
+    }
+    ASSERT_EQ(ccyc, ncyc);
+    EXPECT_EQ(cstats.makespanCycles, nstats.makespanCycles);
+    EXPECT_EQ(cstats.totalCycles, nstats.totalCycles);
+    EXPECT_EQ(cstats.paths.matches, nstats.paths.matches);
+
+    const auto counters = cached.cacheCounters();
+    EXPECT_GT(counters.hits, 0u);
+    EXPECT_EQ(uncached.cacheCounters().hits, 0u);
+    // Every repeat of a distinct pair can hit once computed; with the
+    // 2-channel round-robin shard both channels may compute a pair once,
+    // so hits are at least total - 2 * distinct.
+    EXPECT_GE(counters.hits, static_cast<uint64_t>(jobs.size()) - 2 * 8);
+}
+
+TEST(BatchPipeline, CacheComposesWithLanes)
+{
+    seq::Rng rng(77);
+    using K = kernels::GlobalAffine;
+    using Pipeline = host::BatchPipeline<K>;
+
+    std::vector<typename Pipeline::Job> jobs;
+    for (int rep = 0; rep < 3; rep++) {
+        seq::Rng gen(11);
+        for (int i = 0; i < 10; i++) {
+            auto p = test::randomDnaPair(gen, 70, true);
+            jobs.push_back({std::move(p.query), std::move(p.reference)});
+        }
+    }
+
+    host::BatchConfig base;
+    base.nk = 1;
+    base.nb = 2;
+    base.cacheEntries = 0;
+    base.laneWidth = 1;
+    host::BatchConfig both = base;
+    both.cacheEntries = 128;
+    both.laneWidth = 8;
+
+    Pipeline plain(base), accel(both);
+    std::vector<typename Pipeline::Result> pres, ares;
+    std::vector<uint64_t> pcyc, acyc;
+    plain.runAll(jobs, &pres, &pcyc);
+    accel.runAll(jobs, &ares, &acyc);
+
+    ASSERT_EQ(pres.size(), ares.size());
+    for (size_t i = 0; i < pres.size(); i++) {
+        ASSERT_EQ(pres[i].score, ares[i].score) << i;
+        ASSERT_EQ(pres[i].ops, ares[i].ops) << i;
+    }
+    ASSERT_EQ(pcyc, acyc);
+    EXPECT_GT(accel.cacheCounters().hits, 0u);
+}

@@ -14,7 +14,7 @@
  * Usage:
  *   dphls_align --kernel <name> --query q.fa --reference r.fa
  *               [--npe N] [--band W] [--max-len L] [--nk K] [--nb B]
- *               [--no-traceback]
+ *               [--lanes W] [--no-cache] [--no-traceback]
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
@@ -46,6 +46,8 @@ struct Options
     int maxLen = 4096;
     int nk = 4;
     int nb = 1;
+    int lanes = 8; //!< SIMD lane width (results identical at any width)
+    bool cache = true;
     bool traceback = true;
 };
 
@@ -56,7 +58,9 @@ usage()
                  "usage: dphls_align --kernel NAME --query FASTA "
                  "--reference FASTA\n"
                  "                   [--npe N] [--band W] [--max-len L] "
-                 "[--nk K] [--nb B] [--no-traceback]\n"
+                 "[--nk K] [--nb B]\n"
+                 "                   [--lanes W] [--no-cache] "
+                 "[--no-traceback]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -78,6 +82,8 @@ runBatch(const Options &opt, std::vector<SeqT> queries,
     cfg.maxReferenceLength = opt.maxLen;
     cfg.skipTraceback = !opt.traceback;
     cfg.hostOverheadCycles = 0; // report pure device cycles per pair
+    cfg.laneWidth = opt.lanes;
+    cfg.cacheEntries = opt.cache ? 4096 : 0;
     host::BatchPipeline<K> pipeline(cfg);
 
     const size_t n = std::max(queries.size(), references.size());
@@ -121,6 +127,14 @@ runBatch(const Options &opt, std::vector<SeqT> queries,
                     stats.paths.mismatches, stats.paths.insertions,
                     stats.paths.deletions, stats.paths.gapOpens);
     }
+    const auto cc = pipeline.cacheCounters();
+    if (cc.hits + cc.misses > 0) {
+        std::printf("# cache: %llu hits, %llu misses (%.1f%% hit rate)\n",
+                    (unsigned long long)cc.hits,
+                    (unsigned long long)cc.misses,
+                    100.0 * static_cast<double>(cc.hits) /
+                        static_cast<double>(cc.hits + cc.misses));
+    }
     return 0;
 }
 
@@ -155,6 +169,10 @@ main(int argc, char **argv)
             opt.nk = std::atoi(next());
         } else if (a == "--nb") {
             opt.nb = std::atoi(next());
+        } else if (a == "--lanes") {
+            opt.lanes = std::atoi(next());
+        } else if (a == "--no-cache") {
+            opt.cache = false;
         } else if (a == "--no-traceback") {
             opt.traceback = false;
         } else {
