@@ -189,6 +189,108 @@ BM_ExecPath1kLocalAffine(benchmark::State &state)
 }
 BENCHMARK(BM_ExecPath1kLocalAffine)->Arg(0)->Arg(1);
 
+namespace {
+
+/**
+ * Mixed-length lane workload: short and long pairs interleaved in
+ * submission order, the shape on which length-aware lane grouping pays
+ * off (a group mixing 96- and 768-base pairs pads every lane to the
+ * longest member; sorting by (qlen, rlen) first clusters like-sized
+ * pairs).
+ */
+struct MixedLaneWorkload
+{
+    static constexpr int pairs = 32;
+    static constexpr int groupWidth = 8;
+    std::vector<seq::DnaSequence> qs, rs;
+    double usefulCells = 0; //!< sum of qlen x rlen over all pairs
+
+    MixedLaneWorkload()
+    {
+        for (int i = 0; i < pairs; i++) {
+            const int len = i % 2 == 0 ? 96 : 768;
+            qs.push_back(dnaOf(len, 100 + 2 * static_cast<uint64_t>(i)));
+            rs.push_back(dnaOf(len, 101 + 2 * static_cast<uint64_t>(i)));
+            usefulCells += static_cast<double>(len) * len;
+        }
+    }
+
+    /** Pair order: submission order, or sorted by (qlen, rlen). */
+    std::vector<int>
+    order(bool sorted) const
+    {
+        std::vector<int> idx(pairs);
+        for (int i = 0; i < pairs; i++)
+            idx[static_cast<size_t>(i)] = i;
+        if (sorted) {
+            std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+                const auto ka = std::make_tuple(
+                    qs[static_cast<size_t>(a)].length(),
+                    rs[static_cast<size_t>(a)].length(), a);
+                const auto kb = std::make_tuple(
+                    qs[static_cast<size_t>(b)].length(),
+                    rs[static_cast<size_t>(b)].length(), b);
+                return ka < kb;
+            });
+        }
+        return idx;
+    }
+};
+
+/** One sweep over the mixed workload; returns summed per-job cycles. */
+uint64_t
+runMixedLaneSweep(sim::LaneAligner<kernels::LocalAffine> &lanes,
+                  const MixedLaneWorkload &w, const std::vector<int> &order)
+{
+    using Lane = sim::LaneAligner<kernels::LocalAffine>::LanePair;
+    uint64_t cycles = 0;
+    for (size_t g = 0; g < order.size();
+         g += static_cast<size_t>(MixedLaneWorkload::groupWidth)) {
+        const size_t count =
+            std::min(static_cast<size_t>(MixedLaneWorkload::groupWidth),
+                     order.size() - g);
+        std::vector<Lane> group(count);
+        for (size_t m = 0; m < count; m++) {
+            const int idx = order[g + m];
+            group[m] = Lane{&w.qs[static_cast<size_t>(idx)],
+                            &w.rs[static_cast<size_t>(idx)]};
+        }
+        benchmark::DoNotOptimize(lanes.alignLanes(group));
+        for (size_t m = 0; m < count; m++)
+            cycles += lanes.laneTotalCycles(static_cast<int>(m));
+    }
+    return cycles;
+}
+
+} // namespace
+
+/**
+ * Length-aware lane grouping on a mixed-length batch: Arg(0) groups in
+ * submission order (interleaved short/long), Arg(1) groups after the
+ * (qlen, rlen) sort the StreamPipeline applies per shard. Device cycles
+ * are analytic per lane and identical either way; only the padded host
+ * iteration space — and so useful cells/sec — changes.
+ */
+static void
+BM_LaneMixedLengthGrouping(benchmark::State &state)
+{
+    const bool sorted = state.range(0) != 0;
+    const MixedLaneWorkload w;
+    const auto order = w.order(sorted);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 1024;
+    cfg.maxReferenceLength = 1024;
+    sim::LaneAligner<kernels::LocalAffine> lanes(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles = runMixedLaneSweep(lanes, w, order);
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+    state.counters["useful_cells_per_sec"] = benchmark::Counter(
+        w.usefulCells, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LaneMixedLengthGrouping)->Arg(0)->Arg(1);
+
 /** SIMD lane engine: 8 x (256 x 256) local-affine pairs in lockstep. */
 static void
 BM_LaneEngine8xLocalAffine(benchmark::State &state)
@@ -268,6 +370,35 @@ measureLaneCellsPerSec(uint64_t *device_cycles)
 }
 
 /**
+ * Wall-clock useful cells/sec of the mixed-length lane workload with
+ * the given grouping order; also reports the summed per-job device
+ * cycles (analytic, so grouping must not change them).
+ */
+double
+measureMixedLaneCellsPerSec(bool sorted, uint64_t *device_cycles)
+{
+    const MixedLaneWorkload w;
+    const auto order = w.order(sorted);
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.maxQueryLength = 1024;
+    cfg.maxReferenceLength = 1024;
+    sim::LaneAligner<kernels::LocalAffine> lanes(cfg);
+
+    *device_cycles = runMixedLaneSweep(lanes, w, order); // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    int iters = 0;
+    double elapsed = 0;
+    do {
+        runMixedLaneSweep(lanes, w, order);
+        iters++;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < 0.5);
+    return w.usefulCells * iters / elapsed;
+}
+
+/**
  * BENCH_engine_micro.json: the fast-path acceptance measurement —
  * cells/sec of the wavefront reference path, the row-major scalar fast
  * path, and the SIMD lane engine (8 pairs in lockstep), with speedups
@@ -315,14 +446,38 @@ writeJson(const std::string &path)
     w.kv("lane_speedup", lane / wave);
     w.kv("device_cycles_identical", wave_cycles == fast_cycles &&
                                         wave_cycles == lane_cycles);
+
+    // Length-aware lane grouping on a mixed-length batch (the
+    // StreamPipeline's per-shard (qlen, rlen) sort): useful cells/sec
+    // with submission-order vs sorted grouping, identical device
+    // cycles either way.
+    uint64_t unsorted_cycles = 0, sorted_cycles = 0;
+    const double unsorted_rate =
+        measureMixedLaneCellsPerSec(false, &unsorted_cycles);
+    const double sorted_rate =
+        measureMixedLaneCellsPerSec(true, &sorted_cycles);
+    w.key("mixed_lane_grouping");
+    w.beginObject();
+    w.kv("workload",
+         "32 local-affine DNA pairs, 96/768 bases interleaved, "
+         "8-lane groups");
+    w.kv("unsorted_useful_cells_per_sec", unsorted_rate);
+    w.kv("sorted_useful_cells_per_sec", sorted_rate);
+    w.kv("sorted_speedup", sorted_rate / unsorted_rate);
+    w.kv("device_cycles_identical", unsorted_cycles == sorted_cycles);
+    w.endObject();
     w.endObject();
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("wavefront %.3g, fast %.3g (%.2fx), lanes8 %.3g (%.2fx) "
-                "cells/s; cycles identical: %s -> %s\n",
+                "cells/s; cycles identical: %s\n",
                 wave, fast, fast / wave, lane, lane / wave,
                 wave_cycles == fast_cycles && wave_cycles == lane_cycles
-                    ? "yes" : "NO",
+                    ? "yes" : "NO");
+    std::printf("mixed-length lanes: unsorted %.3g, sorted %.3g useful "
+                "cells/s (%.2fx), cycles identical: %s -> %s\n",
+                unsorted_rate, sorted_rate, sorted_rate / unsorted_rate,
+                unsorted_cycles == sorted_cycles ? "yes" : "NO",
                 path.c_str());
 }
 

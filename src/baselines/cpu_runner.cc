@@ -23,6 +23,13 @@ measureCpu(int n, int threads, const std::function<void(int)> &fn)
     return r;
 }
 
+uint64_t
+wallClockCycles(double seconds, double mhz)
+{
+    const double cycles = seconds * mhz * 1e6;
+    return cycles >= 1.0 ? static_cast<uint64_t>(cycles + 0.5) : 1;
+}
+
 CpuRunResult
 runDnaCpuBaseline(int kernel_id, int pairs, int length, int threads,
                   uint64_t seed)

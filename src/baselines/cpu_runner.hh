@@ -31,6 +31,16 @@ struct CpuRunResult
 CpuRunResult measureCpu(int n, int threads,
                         const std::function<void(int)> &fn);
 
+/**
+ * Device-comparable cycle count for a wall-clock measurement at the
+ * given equivalent clock (MHz). The host CPU has no analytic cycle
+ * model; the hetero dispatcher charges CPU-backend jobs this derived
+ * count so per-backend accounting stays in one unit. Never returns 0
+ * for a completed alignment (clock granularity can round short jobs
+ * down).
+ */
+uint64_t wallClockCycles(double seconds, double mhz);
+
 /** Run a DNA kernel's classic CPU implementation over read pairs. */
 CpuRunResult runDnaCpuBaseline(int kernel_id, int pairs, int length,
                                int threads, uint64_t seed);

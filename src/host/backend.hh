@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Pluggable alignment backends for the streaming host executor.
+ *
+ * The paper's host front-end (step 6) feeds NK independent device
+ * channels; real deployments additionally keep a CPU path for jobs the
+ * device cannot take (sequences over the synthesized MAX_*_LENGTH) or
+ * should not take (tiny pairs whose DMA/invocation overhead dominates).
+ * AlignBackend is the seam between the two: the StreamPipeline routes
+ * each job to a backend and aggregates per-backend accounting, so the
+ * heterogeneous split stays visible in the epoch statistics.
+ *
+ * Three implementations:
+ *
+ *  - DeviceChannelBackend: one simulated device channel — the scalar
+ *    cycle-level systolic engine plus the greedy NB-block arbiter
+ *    (extracted from the old BatchPipeline::Channel). Per-job device
+ *    cycles are the engine's analytic totals plus the configured host
+ *    overhead; channel busy cycles are the arbiter makespan.
+ *  - LaneChannelBackend: the same channel driven through the SIMD lane
+ *    engine — jobs are sorted by (qlen, rlen) and grouped into lockstep
+ *    lanes so mixed-length batches share a smaller padded iteration
+ *    space. Results and per-job cycles are bit-identical to the scalar
+ *    backend (the lane engine's per-lane guarantees); the arbiter runs
+ *    in original shard order so channel accounting is unchanged too.
+ *  - CpuBaselineBackend: the classic full-matrix CPU implementation
+ *    (the golden model the engine is verified against) executed across
+ *    host threads with cpu_runner's wall-clock methodology; cycles are
+ *    derived from measured seconds at a configurable equivalent clock,
+ *    and its "blocks" are the host threads.
+ */
+
+#ifndef DPHLS_HOST_BACKEND_HH
+#define DPHLS_HOST_BACKEND_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "baselines/cpu_runner.hh"
+#include "host/result_cache.hh"
+#include "host/scheduler.hh"
+#include "reference/matrix_aligner.hh"
+#include "systolic/engine.hh"
+#include "systolic/lane_engine.hh"
+
+namespace dphls::host {
+
+/** One alignment job: a query/reference pair. */
+template <typename CharT>
+struct AlignmentJob
+{
+    seq::Sequence<CharT> query;
+    seq::Sequence<CharT> reference;
+};
+
+/** Accounting of one backend run (a channel shard or a CPU shard). */
+struct ChannelStats
+{
+    uint64_t busyCycles = 0;  //!< makespan of the backend's blocks/slots
+    uint64_t totalCycles = 0; //!< sum of job cycles on this backend
+    int alignments = 0;       //!< jobs this backend processed
+};
+
+/**
+ * A backend that can align a set of jobs. run() fills the per-job
+ * output slots (indexed by job index, so submission-order collation is
+ * free) and folds its arbiter accounting into @p acct. Implementations
+ * are stateful (engines, scratch buffers); the pipeline serializes
+ * run() calls per backend instance.
+ */
+template <core::KernelSpec K>
+class AlignBackend
+{
+  public:
+    using CharT = typename K::CharT;
+    using ScoreT = typename K::ScoreT;
+    using Result = core::AlignResult<ScoreT>;
+    using Job = AlignmentJob<CharT>;
+    using Params = typename K::Params;
+
+    virtual ~AlignBackend() = default;
+
+    /** Stable backend name used in per-backend stats sections. */
+    virtual const char *name() const = 0;
+    /** Clock the backend's cycles are counted at (MHz). */
+    virtual double clockMhz() const = 0;
+
+    /**
+     * Align jobs[indices[k]] for every k; write each job's result and
+     * cycle count into results[idx] / cycles[idx]; add the run's
+     * arbiter accounting to @p acct.
+     */
+    virtual void run(const std::vector<Job> &jobs,
+                     const std::vector<int> &indices, Result *results,
+                     uint64_t *cycles, ChannelStats &acct) = 0;
+};
+
+/**
+ * One simulated device channel: scalar cycle-level engine, shared
+ * result cache, and the greedy NB-block arbiter.
+ */
+template <core::KernelSpec K>
+class DeviceChannelBackend : public AlignBackend<K>
+{
+  public:
+    using Base = AlignBackend<K>;
+    using typename Base::Job;
+    using typename Base::Params;
+    using typename Base::Result;
+
+    DeviceChannelBackend(const sim::EngineConfig &ecfg, const Params &params,
+                         int nb, uint64_t host_overhead_cycles,
+                         double fmax_mhz, ShardedResultCache<Result> *cache)
+        : _engine(ecfg, params), _params(params), _cache(cache),
+          _hostOverhead(host_overhead_cycles), _fmaxMhz(fmax_mhz),
+          _blockFree(static_cast<size_t>(std::max(1, nb)), 0)
+    {}
+
+    const char *name() const override { return "device"; }
+    double clockMhz() const override { return _fmaxMhz; }
+
+    void
+    run(const std::vector<Job> &jobs, const std::vector<int> &indices,
+        Result *results, uint64_t *cycles, ChannelStats &acct) override
+    {
+        computeResults(jobs, indices, results, cycles);
+        arbitrate(indices, cycles, acct);
+    }
+
+  protected:
+    /** Functional results and per-job device cycles (scalar engine). */
+    virtual void
+    computeResults(const std::vector<Job> &jobs,
+                   const std::vector<int> &indices, Result *results,
+                   uint64_t *cycles)
+    {
+        for (const int idx : indices) {
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            PairHash key;
+            if (cacheEnabled()) {
+                key = pairHash(job.query, job.reference, _params);
+                if (lookupCached(key, idx, results, cycles))
+                    continue;
+            }
+            Result res = _engine.align(job.query, job.reference);
+            finishJob(key, idx, std::move(res),
+                      _engine.lastTotalCycles(), results, cycles);
+        }
+    }
+
+    /**
+     * Greedy NB-block arbiter over the per-job cycles, in @p indices
+     * order: each job lands on the earliest-free block; busy cycles are
+     * the block makespan. Device cycles are independent of block
+     * placement, so this runs as a separate phase after the compute.
+     */
+    void
+    arbitrate(const std::vector<int> &indices, const uint64_t *cycles,
+              ChannelStats &acct)
+    {
+        std::fill(_blockFree.begin(), _blockFree.end(), 0);
+        for (const int idx : indices) {
+            const uint64_t c = cycles[static_cast<size_t>(idx)];
+            auto it =
+                std::min_element(_blockFree.begin(), _blockFree.end());
+            *it += c;
+            acct.totalCycles += c;
+            acct.alignments++;
+        }
+        acct.busyCycles +=
+            *std::max_element(_blockFree.begin(), _blockFree.end());
+    }
+
+    bool cacheEnabled() const { return _cache && _cache->enabled(); }
+
+    bool
+    lookupCached(const PairHash &key, int idx, Result *results,
+                 uint64_t *cycles)
+    {
+        auto hit = _cache->lookup(key);
+        if (!hit)
+            return false;
+        results[static_cast<size_t>(idx)] = std::move(hit->result);
+        cycles[static_cast<size_t>(idx)] = hit->cycles + _hostOverhead;
+        return true;
+    }
+
+    void
+    finishJob(const PairHash &key, int idx, Result res,
+              uint64_t engine_cycles, Result *results, uint64_t *cycles)
+    {
+        if (cacheEnabled())
+            _cache->insert(key, res, engine_cycles);
+        cycles[static_cast<size_t>(idx)] = engine_cycles + _hostOverhead;
+        results[static_cast<size_t>(idx)] = std::move(res);
+    }
+
+    sim::SystolicAligner<K> _engine;
+    Params _params;
+    ShardedResultCache<Result> *_cache;
+    uint64_t _hostOverhead;
+    double _fmaxMhz;
+    std::vector<uint64_t> _blockFree;
+};
+
+/**
+ * A device channel whose compute phase runs the lockstep SIMD lane
+ * engine with length-aware grouping: jobs are processed in (qlen, rlen)
+ * order so each lane group shares a similar padded iteration space.
+ * Cache lookups interleave with lane-group flushes, so a pair repeated
+ * later in the same shard hits once its first instance's group has been
+ * computed and inserted.
+ */
+template <core::KernelSpec K>
+class LaneChannelBackend : public DeviceChannelBackend<K>
+{
+  public:
+    using Base = DeviceChannelBackend<K>;
+    using typename Base::Job;
+    using typename Base::Params;
+    using typename Base::Result;
+
+    LaneChannelBackend(const sim::EngineConfig &ecfg, const Params &params,
+                       int nb, uint64_t host_overhead_cycles,
+                       double fmax_mhz,
+                       ShardedResultCache<Result> *cache, int lane_width,
+                       bool sort_by_length)
+        : Base(ecfg, params, nb, host_overhead_cycles, fmax_mhz, cache),
+          _lanes(ecfg, params),
+          _width(std::clamp(lane_width, 1,
+                            sim::LaneAligner<K>::maxLanes)),
+          _sortByLength(sort_by_length)
+    {}
+
+  protected:
+    void
+    computeResults(const std::vector<Job> &jobs,
+                   const std::vector<int> &indices, Result *results,
+                   uint64_t *cycles) override
+    {
+        // Length-aware grouping (sorting only reorders the compute; the
+        // arbiter still runs in shard order, and per-lane results and
+        // analytic cycle stats are grouping-independent, so everything
+        // observable stays bit-identical).
+        std::vector<int> order(indices);
+        if (_sortByLength && order.size() > 1) {
+            std::sort(order.begin(), order.end(), [&](int a, int b) {
+                const auto &ja = jobs[static_cast<size_t>(a)];
+                const auto &jb = jobs[static_cast<size_t>(b)];
+                return std::make_tuple(ja.query.length(),
+                                       ja.reference.length(), a) <
+                       std::make_tuple(jb.query.length(),
+                                       jb.reference.length(), b);
+            });
+        }
+
+        std::vector<int> group; // job indices awaiting the engine
+        group.reserve(static_cast<size_t>(_width));
+        std::vector<PairHash> group_keys;
+        group_keys.reserve(static_cast<size_t>(_width));
+
+        const auto flushGroup = [&]() {
+            if (group.empty())
+                return;
+            if (group.size() > 1) {
+                using Lane = typename sim::LaneAligner<K>::LanePair;
+                std::vector<Lane> lanes(group.size());
+                for (size_t m = 0; m < group.size(); m++) {
+                    const auto &job =
+                        jobs[static_cast<size_t>(group[m])];
+                    lanes[m] = Lane{&job.query, &job.reference};
+                }
+                auto lane_results = _lanes.alignLanes(lanes);
+                for (size_t m = 0; m < group.size(); m++) {
+                    this->finishJob(
+                        group_keys[m], group[m],
+                        std::move(lane_results[m]),
+                        _lanes.laneTotalCycles(static_cast<int>(m)),
+                        results, cycles);
+                }
+            } else {
+                const auto &job =
+                    jobs[static_cast<size_t>(group[0])];
+                Result res =
+                    this->_engine.align(job.query, job.reference);
+                this->finishJob(group_keys[0], group[0], std::move(res),
+                                this->_engine.lastTotalCycles(), results,
+                                cycles);
+            }
+            group.clear();
+            group_keys.clear();
+        };
+
+        for (const int idx : order) {
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            PairHash key;
+            if (this->cacheEnabled()) {
+                key = pairHash(job.query, job.reference, this->_params);
+                if (this->lookupCached(key, idx, results, cycles))
+                    continue;
+            }
+            group.push_back(idx);
+            group_keys.push_back(key);
+            if (static_cast<int>(group.size()) >= _width)
+                flushGroup();
+        }
+        flushGroup();
+    }
+
+  private:
+    sim::LaneAligner<K> _lanes;
+    int _width;
+    bool _sortByLength;
+};
+
+/**
+ * CPU fallback backend: the classic full-matrix implementation (the
+ * golden model the systolic engine is verified against bit-for-bit, so
+ * in-range jobs produce identical results) executed across host
+ * threads. There is no analytic cycle model for the host CPU; cycles
+ * are derived from per-job wall-clock measurements at an equivalent
+ * clock, cpu_runner's baseline methodology. The backend's "blocks" are
+ * its host threads: busy cycles are the greedy makespan over them.
+ */
+template <core::KernelSpec K>
+class CpuBaselineBackend : public AlignBackend<K>
+{
+  public:
+    using Base = AlignBackend<K>;
+    using typename Base::Job;
+    using typename Base::Params;
+    using typename Base::Result;
+
+    CpuBaselineBackend(const Params &params, int band_width,
+                       double cpu_mhz, int threads,
+                       bool skip_traceback)
+        : _aligner(params, band_width), _cpuMhz(cpu_mhz),
+          _threads(std::max(1, threads)), _skipTraceback(skip_traceback)
+    {}
+
+    const char *name() const override { return "cpu"; }
+    double clockMhz() const override { return _cpuMhz; }
+
+    void
+    run(const std::vector<Job> &jobs, const std::vector<int> &indices,
+        Result *results, uint64_t *cycles, ChannelStats &acct) override
+    {
+        const int n = static_cast<int>(indices.size());
+        parallelFor(n, std::min(_threads, std::max(1, n)), [&](int k) {
+            const int idx = indices[static_cast<size_t>(k)];
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            const auto t0 = std::chrono::steady_clock::now();
+            Result res = _aligner.align(job.query, job.reference);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (_skipTraceback) {
+                res.ops.clear();
+                res.start = res.end;
+            }
+            cycles[static_cast<size_t>(idx)] =
+                baseline::wallClockCycles(seconds, _cpuMhz);
+            results[static_cast<size_t>(idx)] = std::move(res);
+        });
+
+        // Host threads as slots: greedy earliest-free packing, same
+        // arbiter shape as the device channels' NB blocks. The slot
+        // vector is run-local: the pipeline does not serialize CPU
+        // shards of different tickets (this backend has no other
+        // mutable state — MatrixAligner::align is const).
+        std::vector<uint64_t> slot_free(
+            static_cast<size_t>(_threads), 0);
+        for (const int idx : indices) {
+            const uint64_t c = cycles[static_cast<size_t>(idx)];
+            auto it = std::min_element(slot_free.begin(), slot_free.end());
+            *it += c;
+            acct.totalCycles += c;
+            acct.alignments++;
+        }
+        acct.busyCycles +=
+            *std::max_element(slot_free.begin(), slot_free.end());
+    }
+
+  private:
+    ref::MatrixAligner<K> _aligner;
+    double _cpuMhz;
+    int _threads;
+    bool _skipTraceback;
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_BACKEND_HH

@@ -1,428 +1,25 @@
 /**
  * @file
- * Batched multi-channel host pipeline.
+ * Compatibility facade for the batched multi-channel host pipeline.
  *
- * The paper's host programs (front-end step 6) keep the device's NK
- * independent channels saturated: the host shards a batch of alignment
- * jobs round-robin over the channels, each channel feeds its NB blocks
- * through a greedy arbiter, and the host threads stream results back.
- *
- * BatchPipeline packages that arrangement behind two interfaces:
- *
- *  - runAll(): blocking — shard a batch, run every job through the
- *    cycle-level systolic engine, return aggregate statistics (and
- *    optionally per-job results/cycles);
- *  - submit()/drain(): asynchronous — enqueue batches from any thread;
- *    drain() blocks until all outstanding work completes and returns the
- *    aggregate since the previous drain.
- *
- * Each channel owns one engine instance, so batched results are
- * bit-identical to sequential single-job engine runs (enforced by
- * tests/test_batch_pipeline.cc). Cycle accounting matches the device
- * throughput model: per-channel busy cycles are the makespan of its
- * NB-block arbiter, and the batch makespan is the slowest channel.
- *
- * Two host-side accelerations sit in front of the engine, both
- * result- and accounting-transparent:
- *
- *  - **SIMD lanes** (`laneWidth` > 1): each channel shard is grouped
- *    into lanes of up to 16 same-kernel jobs and run through the
- *    lockstep struct-of-arrays LaneAligner (inter-pair parallelism, the
- *    BSW-style CPU-aligner technique). Per-job results and cycle stats
- *    are bit-identical to scalar engine runs.
- *  - **Result cache** (`cacheEntries` > 0): a sharded LRU keyed on an
- *    FNV-1a digest of both sequences plus kernel params; repeated pairs
- *    replay the stored result and device cycles without touching the
- *    engine. The device model is deterministic, so accounting is
- *    unchanged.
+ * BatchPipeline is now an alias of the streaming executor
+ * (host/stream_pipeline.hh): the historical blocking API — runAll(),
+ * fire-and-forget submit() (the returned ticket may be ignored) and the
+ * epoch-aggregating drain() — is a strict subset of StreamPipeline's.
+ * The old restriction that a submit() must not overlap a drain() is
+ * gone: accounting is per-ticket, so concurrent submissions land either
+ * wholly in the drained epoch or wholly in the next one.
  */
 
 #ifndef DPHLS_HOST_BATCH_PIPELINE_HH
 #define DPHLS_HOST_BATCH_PIPELINE_HH
 
-#include <algorithm>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
-
-#include "core/alignment_stats.hh"
-#include "host/result_cache.hh"
-#include "host/scheduler.hh"
-#include "systolic/engine.hh"
-#include "systolic/lane_engine.hh"
+#include "host/stream_pipeline.hh"
 
 namespace dphls::host {
 
-/** One alignment job: a query/reference pair. */
-template <typename CharT>
-struct AlignmentJob
-{
-    seq::Sequence<CharT> query;
-    seq::Sequence<CharT> reference;
-};
-
-/** Pipeline configuration: parallelism, frequency and engine options. */
-struct BatchConfig
-{
-    int npe = 32;                  //!< PEs per systolic block
-    int nb = 16;                   //!< blocks per channel (arbiter width)
-    int nk = 4;                    //!< independent channels / host threads
-    double fmaxMhz = 250.0;
-    int bandWidth = 64;
-    int maxQueryLength = 1024;
-    int maxReferenceLength = 1024;
-    bool skipTraceback = false;
-    sim::CycleModelOptions cycles{};
-    /** Host/DMA overhead cycles charged per alignment. */
-    uint64_t hostOverheadCycles = 2000;
-    /** Aggregate path-level AlignmentStats over all tracebacks. */
-    bool collectPathStats = true;
-    /**
-     * Jobs per SIMD lane group (1 = scalar engine per job; 8 or 16 are
-     * the intended widths, capped at LaneAligner::maxLanes). Per-job
-     * results and accounting are identical either way.
-     */
-    int laneWidth = 1;
-    /**
-     * Result-cache capacity in entries; 0 (the default) disables the
-     * cache. Enable it for workloads with repeated pairs (all-vs-all
-     * search, mapping seeds) — on all-distinct batches it only costs
-     * hashing plus result copies into the LRU.
-     */
-    size_t cacheEntries = 0;
-    /** Result-cache shard count (lock granularity). */
-    size_t cacheShards = 8;
-};
-
-/** Per-channel accounting from one drained epoch. */
-struct ChannelStats
-{
-    uint64_t busyCycles = 0;  //!< makespan of the channel's NB blocks
-    uint64_t totalCycles = 0; //!< sum of job cycles on this channel
-    int alignments = 0;       //!< jobs this channel processed
-};
-
-/** Aggregate outcome of one runAll() / drain() epoch. */
-struct BatchStats
-{
-    std::vector<ChannelStats> channels;
-    uint64_t makespanCycles = 0; //!< slowest channel's busy cycles
-    uint64_t totalCycles = 0;    //!< sum over all alignments
-    int alignments = 0;
-    double seconds = 0;          //!< makespan / fmax
-    double alignsPerSec = 0;
-    double cyclesPerAlign = 0;
-    /** Path-level statistics summed over every traceback in the epoch. */
-    core::AlignmentStats paths;
-};
-
-/** Round-robin shard of @p jobs job indices over @p channels channels. */
-std::vector<std::vector<int>> shardRoundRobin(int jobs, int channels);
-
-/** Sum the counting fields of @p add into @p into. */
-void mergePathStats(core::AlignmentStats &into,
-                    const core::AlignmentStats &add);
-
-/**
- * Fill the derived fields (makespan, totals, seconds, throughput) of
- * @p stats from its per-channel accounting.
- */
-void finalizeBatchStats(BatchStats &stats, double fmax_mhz);
-
-/**
- * Batched multi-channel pipeline running kernel @p K.
- *
- * Thread-safety: submit() may be called concurrently from multiple
- * producers, but every producer must be quiesced (joined or otherwise
- * done submitting) before drain()/runAll() is called — a submit()
- * overlapping a drain() races the epoch accounting.
- */
 template <core::KernelSpec K>
-class BatchPipeline
-{
-  public:
-    using CharT = typename K::CharT;
-    using ScoreT = typename K::ScoreT;
-    using Result = core::AlignResult<ScoreT>;
-    using Job = AlignmentJob<CharT>;
-    using Params = typename K::Params;
-
-    explicit BatchPipeline(BatchConfig cfg = {},
-                           Params params = K::defaultParams())
-        : _cfg(cfg), _params(params),
-          _cache(cfg.cacheEntries, cfg.cacheShards),
-          _pool(std::max(1, cfg.nk))
-    {
-        _cfg.nk = std::max(1, _cfg.nk);
-        _cfg.nb = std::max(1, _cfg.nb);
-        _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
-                                    sim::LaneAligner<K>::maxLanes);
-        sim::EngineConfig ecfg;
-        ecfg.numPe = _cfg.npe;
-        ecfg.bandWidth = _cfg.bandWidth;
-        ecfg.maxQueryLength = _cfg.maxQueryLength;
-        ecfg.maxReferenceLength = _cfg.maxReferenceLength;
-        ecfg.skipTraceback = _cfg.skipTraceback;
-        ecfg.cycles = _cfg.cycles;
-        _channels.reserve(static_cast<size_t>(_cfg.nk));
-        for (int c = 0; c < _cfg.nk; c++)
-            _channels.push_back(std::make_unique<Channel>(
-                ecfg, _params, _cfg.nb, _cfg.laneWidth));
-    }
-
-    const BatchConfig &config() const { return _cfg; }
-    int channelCount() const { return _cfg.nk; }
-
-    /** Result-cache hit/miss/eviction counters (lifetime totals). */
-    CacheCounters cacheCounters() const { return _cache.counters(); }
-
-    /**
-     * Enqueue a batch for asynchronous execution. The batch is sharded
-     * round-robin over the channels; each channel shard becomes one
-     * thread-pool task. Safe to call from multiple producer threads.
-     */
-    void
-    submit(std::vector<Job> jobs)
-    {
-        auto batch = std::make_shared<Batch>();
-        batch->jobs = std::move(jobs);
-        enqueue(std::move(batch));
-    }
-
-    /**
-     * Block until every submitted batch has completed; return the
-     * aggregate statistics since the previous drain and reset the
-     * accounting. Optionally collect per-job results and device cycles,
-     * ordered by submission.
-     */
-    BatchStats
-    drain(std::vector<Result> *results = nullptr,
-          std::vector<uint64_t> *job_cycles = nullptr)
-    {
-        _pool.wait();
-
-        BatchStats stats;
-        stats.channels.reserve(_channels.size());
-        for (auto &ch : _channels) {
-            stats.channels.push_back(ch->stats);
-            mergePathStats(stats.paths, ch->paths);
-            ch->stats = ChannelStats{};
-            ch->paths = core::AlignmentStats{};
-            std::fill(ch->blockFree.begin(), ch->blockFree.end(), 0);
-        }
-        finalizeBatchStats(stats, _cfg.fmaxMhz);
-
-        std::vector<std::shared_ptr<Batch>> drained;
-        {
-            std::lock_guard lock(_batchesMutex);
-            drained.swap(_batches);
-        }
-        if (results) {
-            results->clear();
-            for (const auto &b : drained) {
-                results->insert(results->end(),
-                                std::make_move_iterator(b->results.begin()),
-                                std::make_move_iterator(b->results.end()));
-            }
-        }
-        if (job_cycles) {
-            job_cycles->clear();
-            for (const auto &b : drained) {
-                job_cycles->insert(job_cycles->end(), b->cycles.begin(),
-                                   b->cycles.end());
-            }
-        }
-        return stats;
-    }
-
-    /**
-     * Blocking convenience: run one batch to completion. Must not race
-     * with concurrent submit()/drain() on the same pipeline.
-     */
-    BatchStats
-    runAll(const std::vector<Job> &jobs,
-           std::vector<Result> *results = nullptr,
-           std::vector<uint64_t> *job_cycles = nullptr)
-    {
-        auto batch = std::make_shared<Batch>();
-        // Non-owning view: runAll() blocks until the work completes, so
-        // the caller's vector outlives every task.
-        batch->view = &jobs;
-        enqueue(std::move(batch));
-        return drain(results, job_cycles);
-    }
-
-  private:
-    /** One submitted batch and its per-job output slots. */
-    struct Batch
-    {
-        std::vector<Job> jobs;           //!< owned (submit path)
-        const std::vector<Job> *view = nullptr; //!< borrowed (runAll path)
-        std::vector<Result> results;
-        std::vector<uint64_t> cycles;
-
-        const std::vector<Job> &all() const { return view ? *view : jobs; }
-    };
-
-    /** One device channel: engine, NB-block arbiter and accounting. */
-    struct Channel
-    {
-        Channel(const sim::EngineConfig &ecfg, const Params &params, int nb,
-                int lane_width)
-            : engine(ecfg, params),
-              blockFree(static_cast<size_t>(nb), 0)
-        {
-            if (lane_width > 1)
-                lanes = std::make_unique<sim::LaneAligner<K>>(ecfg, params);
-        }
-
-        std::mutex mutex; //!< serializes shards from different batches
-        sim::SystolicAligner<K> engine;
-        std::unique_ptr<sim::LaneAligner<K>> lanes; //!< laneWidth > 1 only
-        std::vector<uint64_t> blockFree;
-        ChannelStats stats;
-        core::AlignmentStats paths;
-    };
-
-    void
-    enqueue(std::shared_ptr<Batch> batch)
-    {
-        const auto &jobs = batch->all();
-        const int n = static_cast<int>(jobs.size());
-        batch->results.resize(static_cast<size_t>(n));
-        batch->cycles.assign(static_cast<size_t>(n), 0);
-        {
-            std::lock_guard lock(_batchesMutex);
-            _batches.push_back(batch);
-        }
-        auto shards = shardRoundRobin(n, _cfg.nk);
-        for (int c = 0; c < _cfg.nk; c++) {
-            auto shard = std::move(shards[static_cast<size_t>(c)]);
-            if (shard.empty())
-                continue;
-            Channel *ch = _channels[static_cast<size_t>(c)].get();
-            _pool.submit([this, batch, ch, shard = std::move(shard)] {
-                runShard(*batch, *ch, shard);
-            });
-        }
-    }
-
-    void
-    runShard(Batch &batch, Channel &ch, const std::vector<int> &shard)
-    {
-        std::lock_guard lock(ch.mutex);
-        const auto &jobs = batch.all();
-
-        // Phase 1 — functional results and per-job device cycles, via
-        // the result cache, the SIMD lane engine, or the scalar engine.
-        // Device cycles are independent of block placement, so the
-        // arbiter accounting can run as a separate phase below. Cache
-        // lookups interleave with lane-group flushes so a pair repeated
-        // later in the same shard hits once its first instance's group
-        // has been computed and inserted.
-        std::vector<PairHash> keys;
-        if (_cache.enabled())
-            keys.resize(shard.size());
-        const auto finishJob = [&](size_t k, Result res,
-                                   uint64_t engine_cycles) {
-            const int idx = shard[k];
-            if (_cache.enabled())
-                _cache.insert(keys[k], res, engine_cycles);
-            batch.cycles[static_cast<size_t>(idx)] =
-                engine_cycles + _cfg.hostOverheadCycles;
-            batch.results[static_cast<size_t>(idx)] = std::move(res);
-        };
-
-        std::vector<size_t> group; // shard positions awaiting the engine
-        const size_t width = ch.lanes && _cfg.laneWidth > 1
-            ? static_cast<size_t>(_cfg.laneWidth) : 1;
-        group.reserve(width);
-        const auto flushGroup = [&]() {
-            if (group.empty())
-                return;
-            if (ch.lanes && group.size() > 1) {
-                using Lane = typename sim::LaneAligner<K>::LanePair;
-                std::vector<Lane> lanes(group.size());
-                for (size_t m = 0; m < group.size(); m++) {
-                    const auto &job =
-                        jobs[static_cast<size_t>(shard[group[m]])];
-                    lanes[m] = Lane{&job.query, &job.reference};
-                }
-                auto results = ch.lanes->alignLanes(lanes);
-                for (size_t m = 0; m < group.size(); m++) {
-                    finishJob(group[m], std::move(results[m]),
-                              ch.lanes->laneTotalCycles(
-                                  static_cast<int>(m)));
-                }
-            } else {
-                for (const size_t k : group) {
-                    const auto &job =
-                        jobs[static_cast<size_t>(shard[k])];
-                    Result res =
-                        ch.engine.align(job.query, job.reference);
-                    finishJob(k, std::move(res),
-                              ch.engine.lastTotalCycles());
-                }
-            }
-            group.clear();
-        };
-
-        for (size_t k = 0; k < shard.size(); k++) {
-            const int idx = shard[k];
-            const auto &job = jobs[static_cast<size_t>(idx)];
-            if (_cache.enabled()) {
-                keys[k] = pairHash(job.query, job.reference, _params);
-                if (auto hit = _cache.lookup(keys[k])) {
-                    batch.results[static_cast<size_t>(idx)] =
-                        std::move(hit->result);
-                    batch.cycles[static_cast<size_t>(idx)] =
-                        hit->cycles + _cfg.hostOverheadCycles;
-                    continue;
-                }
-            }
-            group.push_back(k);
-            if (group.size() >= width)
-                flushGroup();
-        }
-        flushGroup();
-
-        // Phase 2 — greedy NB-block arbiter and accounting, in shard
-        // order (identical to the interleaved accounting the scalar
-        // loop used to do).
-        for (int idx : shard) {
-            const auto &job = jobs[static_cast<size_t>(idx)];
-            const auto &res = batch.results[static_cast<size_t>(idx)];
-            const uint64_t cycles = batch.cycles[static_cast<size_t>(idx)];
-
-            // Greedy arbiter: the job lands on the earliest-free block.
-            auto it = std::min_element(ch.blockFree.begin(),
-                                       ch.blockFree.end());
-            *it += cycles;
-            ch.stats.busyCycles = *std::max_element(ch.blockFree.begin(),
-                                                    ch.blockFree.end());
-            ch.stats.totalCycles += cycles;
-            ch.stats.alignments++;
-
-            if (_cfg.collectPathStats && !res.ops.empty()) {
-                mergePathStats(
-                    ch.paths, core::computeStats(job.query, job.reference,
-                                                 res.ops, res.start));
-            }
-        }
-    }
-
-    BatchConfig _cfg;
-    Params _params;
-    ShardedResultCache<Result> _cache;
-    std::mutex _batchesMutex;
-    std::vector<std::shared_ptr<Batch>> _batches;
-    std::vector<std::unique_ptr<Channel>> _channels;
-    // Declared last: ~ThreadPool drains every queued shard task, so the
-    // pool must be destroyed before the channels/batches those tasks
-    // reference (pipeline destroyed with submitted-but-undrained work).
-    ThreadPool _pool;
-};
+using BatchPipeline = StreamPipeline<K>;
 
 } // namespace dphls::host
 

@@ -6,14 +6,15 @@
  * parallelism inside one block), NB (blocks sharing one arbiter within a
  * kernel) and NK (independent kernels, each with its own host channel).
  * The device processes NB x NK alignments concurrently; the host keeps
- * the channels fed with batches from NK threads (step 6).
+ * the channels fed with batches from its worker threads (step 6).
  *
  * This model simulates that arrangement: alignments are distributed
  * round-robin over channels; within a channel a greedy arbiter hands the
  * next alignment to the earliest-free block. Functional results come from
  * the cycle-level systolic engine; the makespan in cycles plus the
  * achieved frequency yields alignments/second, matching the paper's
- * throughput methodology (Section 6.2).
+ * throughput methodology (Section 6.2). The execution itself runs on the
+ * streaming executor (host/stream_pipeline.hh); one ticket per run().
  */
 
 #ifndef DPHLS_HOST_DEVICE_MODEL_HH
@@ -22,7 +23,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "host/batch_pipeline.hh"
+#include "host/stream_pipeline.hh"
 #include "systolic/engine.hh"
 
 namespace dphls::host {
@@ -33,6 +34,8 @@ struct DeviceConfig
     int npe = 32;
     int nb = 16;
     int nk = 4;
+    /** Host worker threads (0 = one per channel); see BatchConfig. */
+    int threads = 0;
     double fmaxMhz = 250.0;
     int bandWidth = 64;
     int maxQueryLength = 1024;
@@ -57,6 +60,40 @@ struct DeviceRunStats
     int alignments = 0;
 };
 
+/** The pipeline configuration equivalent to a DeviceConfig. */
+inline BatchConfig
+toBatchConfig(const DeviceConfig &cfg)
+{
+    BatchConfig bc;
+    bc.npe = cfg.npe;
+    bc.nb = cfg.nb;
+    bc.nk = cfg.nk;
+    bc.threads = cfg.threads;
+    bc.fmaxMhz = cfg.fmaxMhz;
+    bc.bandWidth = cfg.bandWidth;
+    bc.maxQueryLength = cfg.maxQueryLength;
+    bc.maxReferenceLength = cfg.maxReferenceLength;
+    bc.skipTraceback = cfg.skipTraceback;
+    bc.cycles = cfg.cycles;
+    bc.hostOverheadCycles = cfg.hostOverheadCycles;
+    bc.collectPathStats = false; // throughput-only model
+    return bc;
+}
+
+/** Device-level view of one ticket's / epoch's batch statistics. */
+inline DeviceRunStats
+toDeviceRunStats(const BatchStats &bs)
+{
+    DeviceRunStats stats;
+    stats.makespanCycles = bs.makespanCycles;
+    stats.totalCycles = bs.totalCycles;
+    stats.seconds = bs.seconds;
+    stats.alignsPerSec = bs.alignsPerSec;
+    stats.cyclesPerAlign = bs.cyclesPerAlign;
+    stats.alignments = bs.alignments;
+    return stats;
+}
+
 /** A simulated DP-HLS device running kernel @p K. */
 template <core::KernelSpec K>
 class DeviceModel
@@ -80,31 +117,8 @@ class DeviceModel
     DeviceRunStats
     run(const std::vector<Job> &jobs, std::vector<Result> *results = nullptr)
     {
-        // The batched pipeline owns the sharding and arbiter accounting
-        // (NK channels x NB blocks, step 6); one blocking epoch per run.
-        BatchConfig bc;
-        bc.npe = _cfg.npe;
-        bc.nb = _cfg.nb;
-        bc.nk = _cfg.nk;
-        bc.fmaxMhz = _cfg.fmaxMhz;
-        bc.bandWidth = _cfg.bandWidth;
-        bc.maxQueryLength = _cfg.maxQueryLength;
-        bc.maxReferenceLength = _cfg.maxReferenceLength;
-        bc.skipTraceback = _cfg.skipTraceback;
-        bc.cycles = _cfg.cycles;
-        bc.hostOverheadCycles = _cfg.hostOverheadCycles;
-        bc.collectPathStats = false;
-        BatchPipeline<K> pipeline(bc, _params);
-        const BatchStats bs = pipeline.runAll(jobs, results);
-
-        DeviceRunStats stats;
-        stats.makespanCycles = bs.makespanCycles;
-        stats.totalCycles = bs.totalCycles;
-        stats.seconds = bs.seconds;
-        stats.alignsPerSec = bs.alignsPerSec;
-        stats.cyclesPerAlign = bs.cyclesPerAlign;
-        stats.alignments = bs.alignments;
-        return stats;
+        StreamPipeline<K> pipeline(toBatchConfig(_cfg), _params);
+        return toDeviceRunStats(pipeline.runAll(jobs, results));
     }
 
   private:

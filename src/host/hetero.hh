@@ -8,6 +8,12 @@
  * models exactly that: two different kernels instantiated on the same
  * device, each owning its share of channels and blocks, fed concurrently
  * by the host and sharing the FPGA's resource budget.
+ *
+ * Built on the streaming executor: both partitions are submitted as
+ * tickets up front and collected afterwards, so their host-side
+ * execution genuinely overlaps — exactly how independent channel groups
+ * behave on the FPGA (the old implementation ran the partitions
+ * back-to-back and only modeled the overlap in the makespan).
  */
 
 #ifndef DPHLS_HOST_HETERO_HH
@@ -42,7 +48,8 @@ class HeteroDevice
     HeteroDevice(DeviceConfig cfg1, DeviceConfig cfg2,
                  typename K1::Params p1 = K1::defaultParams(),
                  typename K2::Params p2 = K2::defaultParams())
-        : _dev1(cfg1, p1), _dev2(cfg2, p2), _cfg1(cfg1), _cfg2(cfg2)
+        : _cfg1(cfg1), _cfg2(cfg2),
+          _pipe1(toBatchConfig(cfg1), p1), _pipe2(toBatchConfig(cfg2), p2)
     {}
 
     /** Combined resource estimate of both partitions. */
@@ -65,10 +72,13 @@ class HeteroDevice
     {
         HeteroRunStats stats;
         // The two partitions are physically independent channel groups;
-        // the host feeds them in parallel. Their wall-clock union is the
-        // max of the two makespans converted at each partition's clock.
-        stats.first = _dev1.run(jobs1, res1);
-        stats.second = _dev2.run(jobs2, res2);
+        // submit both tickets before collecting either so the host
+        // feeds them in parallel. Their wall-clock union is the max of
+        // the two makespans converted at each partition's clock.
+        auto t1 = _pipe1.submitBorrowed(jobs1);
+        auto t2 = _pipe2.submitBorrowed(jobs2);
+        stats.first = toDeviceRunStats(_pipe1.collect(t1, res1));
+        stats.second = toDeviceRunStats(_pipe2.collect(t2, res2));
         stats.makespanCycles =
             std::max(stats.first.makespanCycles, stats.second.makespanCycles);
         stats.seconds = std::max(stats.first.seconds, stats.second.seconds);
@@ -79,9 +89,9 @@ class HeteroDevice
     }
 
   private:
-    DeviceModel<K1> _dev1;
-    DeviceModel<K2> _dev2;
     DeviceConfig _cfg1, _cfg2;
+    StreamPipeline<K1> _pipe1;
+    StreamPipeline<K2> _pipe2;
 };
 
 } // namespace dphls::host

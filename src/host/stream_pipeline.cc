@@ -1,0 +1,116 @@
+#include "host/stream_pipeline.hh"
+
+namespace dphls::host {
+
+std::vector<std::vector<int>>
+shardRoundRobin(int jobs, int channels)
+{
+    std::vector<std::vector<int>> shards(
+        static_cast<size_t>(std::max(1, channels)));
+    if (jobs <= 0)
+        return shards;
+    const int nk = static_cast<int>(shards.size());
+    for (auto &s : shards)
+        s.reserve(static_cast<size_t>((jobs + nk - 1) / nk));
+    for (int i = 0; i < jobs; i++)
+        shards[static_cast<size_t>(i % nk)].push_back(i);
+    return shards;
+}
+
+std::vector<std::vector<int>>
+shardIndicesRoundRobin(const std::vector<int> &indices, int channels)
+{
+    std::vector<std::vector<int>> shards(
+        static_cast<size_t>(std::max(1, channels)));
+    const int nk = static_cast<int>(shards.size());
+    const int n = static_cast<int>(indices.size());
+    for (auto &s : shards)
+        s.reserve(static_cast<size_t>((n + nk - 1) / nk));
+    for (int i = 0; i < n; i++) {
+        shards[static_cast<size_t>(i % nk)].push_back(
+            indices[static_cast<size_t>(i)]);
+    }
+    return shards;
+}
+
+void
+mergePathStats(core::AlignmentStats &into, const core::AlignmentStats &add)
+{
+    into.matches += add.matches;
+    into.mismatches += add.mismatches;
+    into.insertions += add.insertions;
+    into.deletions += add.deletions;
+    into.gapOpens += add.gapOpens;
+    into.columns += add.columns;
+}
+
+void
+finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
+{
+    stats.makespanCycles = 0;
+    uint64_t device_total = 0;
+    int device_aligns = 0;
+    for (const auto &ch : stats.channels) {
+        stats.makespanCycles = std::max(stats.makespanCycles, ch.busyCycles);
+        device_total += ch.totalCycles;
+        device_aligns += ch.alignments;
+    }
+    stats.totalCycles = device_total + stats.cpu.totalCycles;
+    stats.alignments = device_aligns + stats.cpu.alignments;
+
+    stats.backends.clear();
+    {
+        BackendStats dev;
+        dev.name = "device";
+        dev.clockMhz = fmax_mhz;
+        dev.busyCycles = stats.makespanCycles;
+        dev.totalCycles = device_total;
+        dev.alignments = device_aligns;
+        dev.seconds = fmax_mhz > 0
+            ? static_cast<double>(dev.busyCycles) / (fmax_mhz * 1e6)
+            : 0.0;
+        stats.backends.push_back(dev);
+    }
+    if (stats.cpu.alignments > 0) {
+        BackendStats cpu;
+        cpu.name = "cpu";
+        cpu.clockMhz = cpu_mhz;
+        cpu.busyCycles = stats.cpu.busyCycles;
+        cpu.totalCycles = stats.cpu.totalCycles;
+        cpu.alignments = stats.cpu.alignments;
+        cpu.seconds = cpu_mhz > 0
+            ? static_cast<double>(cpu.busyCycles) / (cpu_mhz * 1e6)
+            : 0.0;
+        stats.backends.push_back(cpu);
+    }
+
+    // The backends run concurrently; the epoch's wall time is the
+    // slowest section at its own clock.
+    stats.seconds = 0;
+    for (const auto &b : stats.backends)
+        stats.seconds = std::max(stats.seconds, b.seconds);
+    stats.alignsPerSec =
+        stats.seconds > 0 ? stats.alignments / stats.seconds : 0.0;
+    stats.cyclesPerAlign =
+        stats.alignments > 0
+            ? static_cast<double>(stats.totalCycles) / stats.alignments
+            : 0.0;
+}
+
+void
+accumulateBatchStats(BatchStats &into, const BatchStats &add)
+{
+    if (into.channels.size() < add.channels.size())
+        into.channels.resize(add.channels.size());
+    for (size_t c = 0; c < add.channels.size(); c++) {
+        into.channels[c].busyCycles += add.channels[c].busyCycles;
+        into.channels[c].totalCycles += add.channels[c].totalCycles;
+        into.channels[c].alignments += add.channels[c].alignments;
+    }
+    into.cpu.busyCycles += add.cpu.busyCycles;
+    into.cpu.totalCycles += add.cpu.totalCycles;
+    into.cpu.alignments += add.cpu.alignments;
+    mergePathStats(into.paths, add.paths);
+}
+
+} // namespace dphls::host

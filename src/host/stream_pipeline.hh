@@ -1,0 +1,571 @@
+/**
+ * @file
+ * Streaming multi-backend host executor.
+ *
+ * The paper's host programs (front-end step 6) keep the device's NK
+ * independent channels saturated. StreamPipeline generalizes the old
+ * barrier-epoch BatchPipeline into a streaming executor over pluggable
+ * AlignBackends (host/backend.hh):
+ *
+ *  - submit() returns a per-batch **ticket**; batches complete
+ *    independently (no global barrier), completion callbacks fire as
+ *    each batch's last shard finishes, and collect()/wait() retire one
+ *    ticket at a time so hosts can pipeline parse -> align -> writeback.
+ *  - Accounting is **per ticket**: every ticket carries its own channel
+ *    and backend statistics, finalized at completion, so a submit()
+ *    overlapping a drain() can no longer race the epoch accounting (the
+ *    documented BatchPipeline restriction is gone).
+ *  - A **dispatch policy** routes jobs the device cannot or should not
+ *    take (sequences over MAX_*_LENGTH, or pairs below a configurable
+ *    floor) to the CPU baseline backend; per-backend stats sections
+ *    make the heterogeneous split visible, and they sum to the epoch
+ *    totals.
+ *  - Host worker **threads are decoupled from NK**: with the lane
+ *    engine one thread can saturate several modeled channels, so
+ *    BatchConfig::threads sizes the pool independently (0 = one thread
+ *    per channel, the old arrangement).
+ *
+ * drain() remains as a compatibility wrapper that waits for every
+ * outstanding ticket and aggregates in submission order; BatchPipeline
+ * (host/batch_pipeline.hh) is now an alias of this class. For a single
+ * batch, results, CIGARs and per-job device cycles are bit-identical to
+ * the old pipeline (enforced by tests/test_stream_pipeline.cc).
+ *
+ * Multi-batch epoch accounting sums each channel's per-ticket arbiter
+ * makespans (batches synchronize at batch boundaries); for one batch
+ * this equals the old epoch-wide greedy packing exactly.
+ */
+
+#ifndef DPHLS_HOST_STREAM_PIPELINE_HH
+#define DPHLS_HOST_STREAM_PIPELINE_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/alignment_stats.hh"
+#include "host/backend.hh"
+#include "host/result_cache.hh"
+#include "host/scheduler.hh"
+
+namespace dphls::host {
+
+/** Pipeline configuration: parallelism, frequency and engine options. */
+struct BatchConfig
+{
+    int npe = 32;                  //!< PEs per systolic block
+    int nb = 16;                   //!< blocks per channel (arbiter width)
+    int nk = 4;                    //!< independent device channels
+    /**
+     * Host worker threads, decoupled from NK: 0 (the default) sizes
+     * the pool at one thread per channel; with SIMD lanes a single
+     * thread can saturate several modeled channels, so fewer threads
+     * than channels is a legitimate configuration. Accounting is
+     * modeled (cycle-domain), so thread count never changes results or
+     * statistics — only host wall-clock.
+     */
+    int threads = 0;
+    double fmaxMhz = 250.0;
+    int bandWidth = 64;
+    int maxQueryLength = 1024;
+    int maxReferenceLength = 1024;
+    bool skipTraceback = false;
+    sim::CycleModelOptions cycles{};
+    /** Host/DMA overhead cycles charged per alignment. */
+    uint64_t hostOverheadCycles = 2000;
+    /** Aggregate path-level AlignmentStats over all tracebacks. */
+    bool collectPathStats = true;
+    /**
+     * Jobs per SIMD lane group (1 = scalar engine per job; 8 or 16 are
+     * the intended widths, capped at LaneAligner::maxLanes). Per-job
+     * results and accounting are identical either way.
+     */
+    int laneWidth = 1;
+    /**
+     * Length-aware lane grouping: sort each device shard by
+     * (qlen, rlen) before forming lane groups so lockstep lanes share a
+     * similar padded iteration space. Observable output is unchanged
+     * (results, per-job cycles and arbiter accounting are
+     * grouping-independent); only host wall-clock improves on
+     * mixed-length batches. Ignored when laneWidth == 1.
+     */
+    bool sortLanesByLength = true;
+    /**
+     * Route jobs the device cannot take (qlen/rlen over the configured
+     * maxima) or should not take (both dimensions under cpuFloorLen) to
+     * the CPU baseline backend. Off by default: without it, oversized
+     * jobs throw exactly as before.
+     */
+    bool cpuFallback = false;
+    /** Jobs with max(qlen, rlen) < floor go to the CPU backend. */
+    int cpuFloorLen = 0;
+    /** Equivalent clock (MHz) for wall-derived CPU-backend cycles. */
+    double cpuEquivalentMhz = 1500.0;
+    /** CPU-backend worker threads (0 = same as the pool size). */
+    int cpuThreads = 0;
+    /**
+     * Result-cache capacity in entries; 0 (the default) disables the
+     * cache. Enable it for workloads with repeated pairs (all-vs-all
+     * search, mapping seeds) — on all-distinct batches it only costs
+     * hashing plus result copies into the LRU.
+     */
+    size_t cacheEntries = 0;
+    /** Result-cache shard count (lock granularity). */
+    size_t cacheShards = 8;
+};
+
+/** One backend's section of an epoch/ticket accounting. */
+struct BackendStats
+{
+    const char *name = "device";
+    double clockMhz = 0;     //!< clock its cycles are counted at
+    uint64_t busyCycles = 0; //!< makespan across the backend's blocks
+    uint64_t totalCycles = 0;
+    int alignments = 0;
+    double seconds = 0;      //!< busyCycles / clockMhz
+};
+
+/** Aggregate outcome of one ticket / drained epoch. */
+struct BatchStats
+{
+    std::vector<ChannelStats> channels; //!< device channels
+    ChannelStats cpu;                   //!< CPU-fallback backend totals
+    /** Per-backend sections (derived by finalizeBatchStats); their
+     *  alignments and totalCycles sum to the epoch totals below. */
+    std::vector<BackendStats> backends;
+    uint64_t makespanCycles = 0; //!< slowest device channel's busy cycles
+    uint64_t totalCycles = 0;    //!< sum over all alignments, all backends
+    int alignments = 0;
+    double seconds = 0;          //!< slowest backend section's wall time
+    double alignsPerSec = 0;
+    double cyclesPerAlign = 0;
+    /** Path-level statistics summed over every traceback in the epoch. */
+    core::AlignmentStats paths;
+};
+
+/** Round-robin shard of @p jobs job indices over @p channels channels. */
+std::vector<std::vector<int>> shardRoundRobin(int jobs, int channels);
+
+/** Round-robin shard of explicit job indices over @p channels channels. */
+std::vector<std::vector<int>>
+shardIndicesRoundRobin(const std::vector<int> &indices, int channels);
+
+/** Sum the counting fields of @p add into @p into. */
+void mergePathStats(core::AlignmentStats &into,
+                    const core::AlignmentStats &add);
+
+/**
+ * Fill the derived fields (backend sections, makespan, totals, seconds,
+ * throughput) of @p stats from its per-channel and CPU accounting.
+ */
+void finalizeBatchStats(BatchStats &stats, double fmax_mhz,
+                        double cpu_mhz = 0);
+
+/**
+ * Sum @p add's raw accounting (channels, cpu, paths) into @p into;
+ * the caller re-finalizes afterwards. Channel busy cycles add up as
+ * sequential per-batch makespans.
+ */
+void accumulateBatchStats(BatchStats &into, const BatchStats &add);
+
+template <core::KernelSpec K>
+class StreamPipeline;
+
+/**
+ * One submitted batch: per-job outputs in submission order, per-ticket
+ * accounting, and a completion latch. Tickets are shared between the
+ * submitting host and the worker tasks; results()/cycles()/stats() are
+ * valid once done() (or after wait()).
+ */
+template <core::KernelSpec K>
+class BatchTicket
+{
+  public:
+    using CharT = typename K::CharT;
+    using Result = core::AlignResult<typename K::ScoreT>;
+    using Job = AlignmentJob<CharT>;
+
+    bool
+    done() const
+    {
+        std::lock_guard lock(_mutex);
+        return _done;
+    }
+
+    /** Block until every shard of this batch has completed. */
+    void
+    wait() const
+    {
+        std::unique_lock lock(_mutex);
+        _cv.wait(lock, [&] { return _done; });
+    }
+
+    /** The batch's jobs (owned or borrowed), in submission order. */
+    const std::vector<Job> &jobs() const { return _view ? *_view : _jobs; }
+
+    /** Per-job results, indexed like jobs(). Valid once done(). */
+    const std::vector<Result> &results() const { return _results; }
+
+    /** Per-job cycle counts, indexed like jobs(). Valid once done(). */
+    const std::vector<uint64_t> &cycles() const { return _cycles; }
+
+    /** Per-ticket accounting, finalized at completion. */
+    const BatchStats &stats() const { return _stats; }
+
+  private:
+    friend class StreamPipeline<K>;
+
+    std::vector<Job> _jobs;                 //!< owned (submit path)
+    const std::vector<Job> *_view = nullptr; //!< borrowed (runAll path)
+    std::vector<Result> _results;
+    std::vector<uint64_t> _cycles;
+    BatchStats _stats;
+    std::function<void(BatchTicket &)> _callback;
+    int _pending = 0; //!< shards still running (under _mutex)
+    bool _done = false;
+    mutable std::mutex _mutex;
+    mutable std::condition_variable _cv;
+};
+
+/**
+ * Streaming multi-backend pipeline running kernel @p K.
+ *
+ * Thread-safety: submit()/collect()/drain() may be called concurrently
+ * from any thread. Completion callbacks run on worker threads and must
+ * not throw. Destroying the pipeline drains every in-flight shard
+ * first, so held tickets complete (and become collectible) even when
+ * the pipeline dies before they are waited on.
+ */
+template <core::KernelSpec K>
+class StreamPipeline
+{
+  public:
+    using CharT = typename K::CharT;
+    using ScoreT = typename K::ScoreT;
+    using Result = core::AlignResult<ScoreT>;
+    using Job = AlignmentJob<CharT>;
+    using Params = typename K::Params;
+    using Ticket = std::shared_ptr<BatchTicket<K>>;
+    using Callback = std::function<void(BatchTicket<K> &)>;
+
+    explicit StreamPipeline(BatchConfig cfg = {},
+                            Params params = K::defaultParams())
+        : _cfg(cfg), _params(params),
+          _cache(cfg.cacheEntries, cfg.cacheShards),
+          _pool(poolThreads(cfg))
+    {
+        _cfg.nk = std::max(1, _cfg.nk);
+        _cfg.nb = std::max(1, _cfg.nb);
+        _cfg.threads = poolThreads(cfg);
+        _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
+                                    sim::LaneAligner<K>::maxLanes);
+        sim::EngineConfig ecfg;
+        ecfg.numPe = _cfg.npe;
+        ecfg.bandWidth = _cfg.bandWidth;
+        ecfg.maxQueryLength = _cfg.maxQueryLength;
+        ecfg.maxReferenceLength = _cfg.maxReferenceLength;
+        ecfg.skipTraceback = _cfg.skipTraceback;
+        ecfg.cycles = _cfg.cycles;
+        _channels.reserve(static_cast<size_t>(_cfg.nk));
+        for (int c = 0; c < _cfg.nk; c++) {
+            auto ch = std::make_unique<Channel>();
+            if (_cfg.laneWidth > 1) {
+                ch->backend = std::make_unique<LaneChannelBackend<K>>(
+                    ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
+                    _cfg.fmaxMhz, &_cache, _cfg.laneWidth,
+                    _cfg.sortLanesByLength);
+            } else {
+                ch->backend = std::make_unique<DeviceChannelBackend<K>>(
+                    ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
+                    _cfg.fmaxMhz, &_cache);
+            }
+            _channels.push_back(std::move(ch));
+        }
+        if (_cfg.cpuFallback) {
+            const int cpu_threads = _cfg.cpuThreads > 0 ? _cfg.cpuThreads
+                                                        : _cfg.threads;
+            _cpu = std::make_unique<CpuBaselineBackend<K>>(
+                _params, _cfg.bandWidth, _cfg.cpuEquivalentMhz,
+                cpu_threads, _cfg.skipTraceback);
+        }
+    }
+
+    const BatchConfig &config() const { return _cfg; }
+    int channelCount() const { return _cfg.nk; }
+    int threadCount() const { return _pool.threadCount(); }
+
+    /** Result-cache hit/miss/eviction counters (lifetime totals). */
+    CacheCounters cacheCounters() const { return _cache.counters(); }
+
+    /**
+     * Enqueue an owned batch for asynchronous execution; the returned
+     * ticket completes when every shard has finished. @p callback (if
+     * any) fires once on a worker thread at completion.
+     */
+    Ticket
+    submit(std::vector<Job> jobs, Callback callback = nullptr)
+    {
+        auto ticket = std::make_shared<BatchTicket<K>>();
+        ticket->_jobs = std::move(jobs);
+        ticket->_callback = std::move(callback);
+        enqueue(ticket);
+        return ticket;
+    }
+
+    /**
+     * Enqueue a borrowed batch: the caller guarantees @p jobs outlives
+     * the ticket's completion (runAll() and the hetero device use this
+     * to avoid copying).
+     */
+    Ticket
+    submitBorrowed(const std::vector<Job> &jobs, Callback callback = nullptr)
+    {
+        auto ticket = std::make_shared<BatchTicket<K>>();
+        ticket->_view = &jobs;
+        ticket->_callback = std::move(callback);
+        enqueue(ticket);
+        return ticket;
+    }
+
+    /**
+     * Wait for @p ticket, retire it from the outstanding set and return
+     * its per-ticket statistics. When @p results / @p job_cycles are
+     * given, the ticket's outputs are moved into them (collect with
+     * outputs at most once per ticket); otherwise they stay readable on
+     * the ticket.
+     */
+    BatchStats
+    collect(const Ticket &ticket, std::vector<Result> *results = nullptr,
+            std::vector<uint64_t> *job_cycles = nullptr)
+    {
+        ticket->wait();
+        {
+            std::lock_guard lock(_outstandingMutex);
+            auto it = std::find(_outstanding.begin(), _outstanding.end(),
+                                ticket);
+            if (it != _outstanding.end())
+                _outstanding.erase(it);
+        }
+        if (results)
+            *results = std::move(ticket->_results);
+        if (job_cycles)
+            *job_cycles = std::move(ticket->_cycles);
+        return ticket->_stats;
+    }
+
+    /**
+     * Compatibility wrapper: block until every outstanding ticket has
+     * completed and return the aggregate statistics, with optional
+     * per-job results and cycles ordered by submission. Safe to overlap
+     * with concurrent submit(): accounting is per-ticket, so a racing
+     * submission lands either in this epoch or in the next one, never
+     * half in each.
+     */
+    BatchStats
+    drain(std::vector<Result> *results = nullptr,
+          std::vector<uint64_t> *job_cycles = nullptr)
+    {
+        std::vector<Ticket> drained;
+        {
+            std::lock_guard lock(_outstandingMutex);
+            drained.swap(_outstanding);
+        }
+        if (results)
+            results->clear();
+        if (job_cycles)
+            job_cycles->clear();
+
+        BatchStats agg;
+        agg.channels.assign(static_cast<size_t>(_cfg.nk), ChannelStats{});
+        for (const auto &t : drained) {
+            t->wait();
+            accumulateBatchStats(agg, t->_stats);
+            if (results) {
+                results->insert(
+                    results->end(),
+                    std::make_move_iterator(t->_results.begin()),
+                    std::make_move_iterator(t->_results.end()));
+            }
+            if (job_cycles) {
+                job_cycles->insert(job_cycles->end(), t->_cycles.begin(),
+                                   t->_cycles.end());
+            }
+        }
+        finalizeBatchStats(agg, _cfg.fmaxMhz, _cfg.cpuEquivalentMhz);
+        return agg;
+    }
+
+    /**
+     * Blocking convenience: run one batch to completion and return its
+     * statistics (other in-flight tickets are untouched).
+     */
+    BatchStats
+    runAll(const std::vector<Job> &jobs,
+           std::vector<Result> *results = nullptr,
+           std::vector<uint64_t> *job_cycles = nullptr)
+    {
+        auto ticket = submitBorrowed(jobs);
+        return collect(ticket, results, job_cycles);
+    }
+
+  private:
+    /** One device channel: its backend and the serializing mutex. */
+    struct Channel
+    {
+        std::mutex mutex; //!< serializes shards from different tickets
+        std::unique_ptr<AlignBackend<K>> backend;
+    };
+
+    static int
+    poolThreads(const BatchConfig &cfg)
+    {
+        return std::max(1, cfg.threads > 0 ? cfg.threads
+                                           : std::max(1, cfg.nk));
+    }
+
+    /** True when the dispatch policy routes @p job to the CPU backend. */
+    bool
+    routeToCpu(const Job &job) const
+    {
+        if (!_cpu)
+            return false;
+        const int qlen = job.query.length();
+        const int rlen = job.reference.length();
+        if (qlen > _cfg.maxQueryLength || rlen > _cfg.maxReferenceLength)
+            return true;
+        return _cfg.cpuFloorLen > 0 &&
+               std::max(qlen, rlen) < _cfg.cpuFloorLen;
+    }
+
+    void
+    enqueue(const Ticket &ticket)
+    {
+        const auto &jobs = ticket->jobs();
+        const int n = static_cast<int>(jobs.size());
+        ticket->_results.resize(static_cast<size_t>(n));
+        ticket->_cycles.assign(static_cast<size_t>(n), 0);
+        ticket->_stats.channels.assign(static_cast<size_t>(_cfg.nk),
+                                       ChannelStats{});
+
+        // Dispatch policy, then round-robin sharding of the device's
+        // share over its channels (index-order preserving, exactly the
+        // old sharding when nothing routes to the CPU).
+        std::vector<int> device_idx, cpu_idx;
+        device_idx.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; i++) {
+            if (routeToCpu(jobs[static_cast<size_t>(i)]))
+                cpu_idx.push_back(i);
+            else
+                device_idx.push_back(i);
+        }
+        auto shards = shardIndicesRoundRobin(device_idx, _cfg.nk);
+
+        int tasks = cpu_idx.empty() ? 0 : 1;
+        for (const auto &s : shards)
+            tasks += s.empty() ? 0 : 1;
+        ticket->_pending = tasks;
+        {
+            std::lock_guard lock(_outstandingMutex);
+            _outstanding.push_back(ticket);
+        }
+        if (tasks == 0) {
+            finishShard(ticket); // empty batch completes immediately
+            return;
+        }
+
+        for (int c = 0; c < _cfg.nk; c++) {
+            auto shard = std::move(shards[static_cast<size_t>(c)]);
+            if (shard.empty())
+                continue;
+            _pool.submit([this, ticket, c, shard = std::move(shard)] {
+                Channel &ch = *_channels[static_cast<size_t>(c)];
+                {
+                    std::lock_guard lock(ch.mutex);
+                    ch.backend->run(
+                        ticket->jobs(), shard, ticket->_results.data(),
+                        ticket->_cycles.data(),
+                        ticket->_stats.channels[static_cast<size_t>(c)]);
+                }
+                collectPaths(*ticket, shard);
+                finishShard(ticket);
+            });
+        }
+        if (!cpu_idx.empty()) {
+            _pool.submit([this, ticket, cpu = std::move(cpu_idx)] {
+                // MatrixAligner is stateless-const, so the CPU backend
+                // needs no serialization across tickets.
+                _cpu->run(ticket->jobs(), cpu, ticket->_results.data(),
+                          ticket->_cycles.data(), ticket->_stats.cpu);
+                collectPaths(*ticket, cpu);
+                finishShard(ticket);
+            });
+        }
+    }
+
+    void
+    collectPaths(BatchTicket<K> &ticket, const std::vector<int> &indices)
+    {
+        if (!_cfg.collectPathStats)
+            return;
+        core::AlignmentStats local;
+        const auto &jobs = ticket.jobs();
+        for (const int idx : indices) {
+            const auto &res = ticket._results[static_cast<size_t>(idx)];
+            if (res.ops.empty())
+                continue;
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            mergePathStats(local,
+                           core::computeStats(job.query, job.reference,
+                                              res.ops, res.start));
+        }
+        std::lock_guard lock(ticket._mutex);
+        mergePathStats(ticket._stats.paths, local);
+    }
+
+    /**
+     * Mark one shard done; the last one finalizes the ticket, runs the
+     * completion callback and only then releases waiters — so wait()
+     * returning guarantees the callback has finished (a callback must
+     * therefore never wait on its own ticket).
+     */
+    void
+    finishShard(const Ticket &ticket)
+    {
+        std::function<void(BatchTicket<K> &)> callback;
+        {
+            std::lock_guard lock(ticket->_mutex);
+            if (ticket->_pending > 0 && --ticket->_pending > 0)
+                return;
+            finalizeBatchStats(ticket->_stats, _cfg.fmaxMhz,
+                               _cfg.cpuEquivalentMhz);
+            callback = std::move(ticket->_callback);
+        }
+        if (callback)
+            callback(*ticket);
+        {
+            std::lock_guard lock(ticket->_mutex);
+            ticket->_done = true;
+        }
+        ticket->_cv.notify_all();
+    }
+
+    BatchConfig _cfg;
+    Params _params;
+    ShardedResultCache<Result> _cache;
+    std::mutex _outstandingMutex;
+    std::vector<Ticket> _outstanding; //!< submitted, not yet retired
+    std::vector<std::unique_ptr<Channel>> _channels;
+    std::unique_ptr<CpuBaselineBackend<K>> _cpu;
+    // Declared last: ~ThreadPool drains every queued shard task, so the
+    // pool must be destroyed before the channels/backends those tasks
+    // reference (pipeline destroyed with in-flight tickets).
+    ThreadPool _pool;
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_STREAM_PIPELINE_HH

@@ -236,6 +236,28 @@ dnaTwoPieceLaneCell(const V *up, const V *left, const V *diag, V qry,
                   splat<V>(p.gapExtend2), clamp_zero, score, ptr);
 }
 
+/**
+ * Protein local-linear lane cell: the substitution score is a per-lane
+ * gather from the dense 20x20 matrix (ISAs without a real gather lower
+ * to exactly this scalar loop; the DP recurrence itself — the adds,
+ * maxes, clamp and traceback decode — stays fully vectorized), then the
+ * shared linear-gap recurrence. Lane character codes beyond a pair's
+ * own length are default-encoded (0), a valid matrix row/column, so the
+ * gather never reads out of bounds.
+ */
+template <typename V, typename Params>
+inline void
+proteinLocalLaneCell(const V *up, const V *left, const V *diag, V qry,
+                     V ref, const Params &p, V *score, V &ptr)
+{
+    constexpr int W = static_cast<int>(sizeof(V) / sizeof(int32_t));
+    V subst{};
+    for (int lane = 0; lane < W; lane++)
+        subst[lane] = p.subst(qry[lane], ref[lane]);
+    linearCellV(up, left, diag, subst, splat<V>(p.linearGap), true, score,
+                ptr);
+}
+
 /** sDTW distance cell (mirrors kernels::Sdtw::peFunc). */
 template <typename V>
 inline void

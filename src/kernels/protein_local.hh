@@ -13,6 +13,7 @@
 
 #include "core/kernel_concept.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 #include "seq/substitution_matrix.hh"
 
@@ -58,6 +59,18 @@ struct ProteinLocal
             in.diag[0], in.up[0], in.left[0], subst, p.linearGap, true);
         return {{cell.score}, cell.ptr};
     }
+
+#ifdef DPHLS_VEC
+    /** Vectorized lane cell (lane_engine.hh); mirrors peFunc per lane. */
+    template <typename V>
+    static void
+    laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+             const Params &p, V *score, V &ptr)
+    {
+        detail::simd::proteinLocalLaneCell(up, left, diag, qry, ref, p,
+                                           score, ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = 0;
 

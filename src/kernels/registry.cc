@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "host/batch_pipeline.hh"
+#include "host/stream_pipeline.hh"
 #include "kernels/all.hh"
 #include "model/frequency_model.hh"
 #include "seq/profile_builder.hh"
@@ -185,6 +185,7 @@ makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
         bc.npe = rc.npe;
         bc.nb = rc.nb;
         bc.nk = rc.nk;
+        bc.threads = rc.threads;
         bc.fmaxMhz = fmax;
         bc.bandWidth = band_width;
         bc.maxQueryLength = max_q;
@@ -192,7 +193,7 @@ makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
         bc.skipTraceback = rc.skipTraceback;
         bc.hostOverheadCycles = rc.hostOverheadCycles;
         bc.collectPathStats = false; // throughput-only run
-        host::BatchPipeline<K> pipeline(bc);
+        host::StreamPipeline<K> pipeline(bc);
         const auto stats = pipeline.runAll(jobs);
 
         RunResult out;

@@ -43,6 +43,7 @@ struct RunConfig
     int npe = 32;
     int nb = 16;
     int nk = 4;
+    int threads = 0;                //!< host workers (0 = one per channel)
     int count = 64;                 //!< alignments to simulate
     uint64_t seed = 42;
     bool skipTraceback = false;

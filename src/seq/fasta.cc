@@ -12,31 +12,10 @@ std::vector<FastaRecord>
 readFasta(std::istream &in)
 {
     std::vector<FastaRecord> records;
-    std::string line;
-    FastaRecord current;
-    bool have_record = false;
-
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (line.empty())
-            continue;
-        if (line[0] == '>') {
-            if (have_record)
-                records.push_back(std::move(current));
-            current = FastaRecord{};
-            current.name = line.substr(1);
-            have_record = true;
-        } else {
-            if (!have_record) {
-                throw std::runtime_error(
-                    "FASTA: residue line before any '>' header");
-            }
-            current.residues += line;
-        }
-    }
-    if (have_record)
-        records.push_back(std::move(current));
+    FastaStream stream(in);
+    FastaRecord rec;
+    while (stream.next(rec))
+        records.push_back(std::move(rec));
     return records;
 }
 
@@ -47,6 +26,52 @@ readFastaFile(const std::string &path)
     if (!in)
         throw std::runtime_error("FASTA: cannot open " + path);
     return readFasta(in);
+}
+
+FastaStream::FastaStream(const std::string &path)
+    : _file(path), _in(&_file)
+{
+    if (!_file)
+        throw std::runtime_error("FASTA: cannot open " + path);
+}
+
+FastaStream::FastaStream(std::istream &in) : _in(&in) {}
+
+bool
+FastaStream::next(FastaRecord &out)
+{
+    out = FastaRecord{};
+    bool have_record = false;
+    if (_havePending) {
+        out.name = std::move(_pendingName);
+        _havePending = false;
+        have_record = true;
+    }
+
+    std::string line;
+    while (std::getline(*_in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            if (have_record) {
+                // Next record's header: stash it and yield this one.
+                _pendingName = line.substr(1);
+                _havePending = true;
+                return true;
+            }
+            out.name = line.substr(1);
+            have_record = true;
+        } else {
+            if (!have_record) {
+                throw std::runtime_error(
+                    "FASTA: residue line before any '>' header");
+            }
+            out.residues += line;
+        }
+    }
+    return have_record;
 }
 
 void

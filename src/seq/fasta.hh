@@ -10,6 +10,7 @@
 #ifndef DPHLS_SEQ_FASTA_HH
 #define DPHLS_SEQ_FASTA_HH
 
+#include <fstream>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -30,6 +31,32 @@ std::vector<FastaRecord> readFasta(std::istream &in);
 
 /** Parse all records from a FASTA file. Throws if unreadable. */
 std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+/**
+ * Incremental FASTA reader: yields one record at a time so streaming
+ * hosts can overlap parsing with alignment and writeback instead of
+ * materializing the whole file up front (dphls_align's parse -> align
+ * -> writeback pipeline). The batch readFasta()/readFastaFile() APIs
+ * drain this parser, so there is exactly one copy of the FASTA
+ * grammar. Throws on open failure or malformed input.
+ */
+class FastaStream
+{
+  public:
+    /** Open and own @p path. */
+    explicit FastaStream(const std::string &path);
+    /** Borrow @p in (must outlive the stream). */
+    explicit FastaStream(std::istream &in);
+
+    /** Read the next record into @p out; false at end of input. */
+    bool next(FastaRecord &out);
+
+  private:
+    std::ifstream _file; //!< owned storage for the path constructor
+    std::istream *_in;
+    std::string _pendingName;
+    bool _havePending = false;
+};
 
 /** Write records as FASTA with the given line width. */
 void writeFasta(std::ostream &out, const std::vector<FastaRecord> &records,

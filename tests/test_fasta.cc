@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "seq/fasta.hh"
@@ -96,5 +98,60 @@ TEST(FastaTest, ToProteinDecodes)
 TEST(FastaTest, MissingFileThrows)
 {
     EXPECT_THROW(readFastaFile("/nonexistent/path/xyz.fa"),
+                 std::runtime_error);
+}
+
+TEST(FastaTest, StreamYieldsRecordsIncrementally)
+{
+    // FastaStream reads from a file; write a temp FASTA and replay it.
+    const std::string path = "test_fasta_stream_tmp.fa";
+    {
+        std::ofstream out(path);
+        out << ">a desc\nAC\nGT\n\n>b\r\nTTTT\r\n>c\nA\n";
+    }
+    FastaStream stream(path);
+    FastaRecord rec;
+    ASSERT_TRUE(stream.next(rec));
+    EXPECT_EQ(rec.name, "a desc");
+    EXPECT_EQ(rec.residues, "ACGT");
+    ASSERT_TRUE(stream.next(rec));
+    EXPECT_EQ(rec.name, "b");
+    EXPECT_EQ(rec.residues, "TTTT");
+    ASSERT_TRUE(stream.next(rec));
+    EXPECT_EQ(rec.name, "c");
+    EXPECT_EQ(rec.residues, "A");
+    EXPECT_FALSE(stream.next(rec));
+    EXPECT_FALSE(stream.next(rec)); // idempotent at EOF
+    std::remove(path.c_str());
+}
+
+TEST(FastaTest, StreamMatchesBatchReader)
+{
+    const std::string path = "test_fasta_stream_diff_tmp.fa";
+    {
+        std::ofstream out(path);
+        for (int i = 0; i < 20; i++) {
+            out << ">rec" << i << "\n";
+            for (int j = 0; j <= i; j++)
+                out << "ACGTA\n";
+        }
+    }
+    const auto want = readFastaFile(path);
+    FastaStream stream(path);
+    std::vector<FastaRecord> got;
+    FastaRecord rec;
+    while (stream.next(rec))
+        got.push_back(rec);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        EXPECT_EQ(got[i].name, want[i].name) << i;
+        EXPECT_EQ(got[i].residues, want[i].residues) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FastaTest, StreamMissingFileThrows)
+{
+    EXPECT_THROW(FastaStream("/nonexistent/path/xyz.fa"),
                  std::runtime_error);
 }

@@ -130,7 +130,7 @@ TEST(LaneAligner, AllKindsAndAlphabets)
         }(),
         16, 8);
 
-    // Protein and signal alphabets.
+    // Protein and signal alphabets (both vectorized lane cells).
     {
         std::vector<test::Pair<seq::AminoChar>> pairs;
         for (const int len : {40, 80, 17, 120, 61}) {
@@ -148,6 +148,55 @@ TEST(LaneAligner, AllKindsAndAlphabets)
             pairs.push_back({std::move(p.query), std::move(p.reference)});
         expectLanesMatchScalar<kernels::Sdtw>(pairs, 32, 16);
     }
+}
+
+#ifdef DPHLS_VEC
+// The protein family must run the gathered-substitution vector path,
+// not the scalar per-lane fallback: the laneCell hook has to be visible
+// to the lane engine's dispatch concept. (The vector type is only
+// probed, never stored, so the dropped alignment attribute is noise.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wignored-attributes"
+static_assert(
+    sim::KernelHasLaneCell<
+        kernels::ProteinLocal,
+        kernels::detail::simd::VecPack<4>::I32>,
+    "ProteinLocal must expose a vectorized laneCell");
+#pragma GCC diagnostic pop
+#endif
+
+/**
+ * Gathered-substitution protein lane cells: sweep group sizes around
+ * the lane width with log-normal-ish mixed lengths plus degenerate
+ * lanes, so every sub-group shape of the vector path is diffed against
+ * scalar BLOSUM62 Smith-Waterman runs.
+ */
+TEST(LaneAligner, ProteinGatheredSubstitutionGroupSweep)
+{
+    seq::Rng rng(707);
+    for (const int count : {1, 4, 7, 8, 9, 16}) {
+        std::vector<test::Pair<seq::AminoChar>> pairs;
+        for (int i = 0; i < count; i++) {
+            const int len = seq::sampleProteinLength(rng, 10, 200);
+            test::Pair<seq::AminoChar> p;
+            p.query = seq::sampleProtein(len, rng);
+            p.reference = seq::mutateProtein(p.query, 0.25, 0.08, rng);
+            pairs.push_back(std::move(p));
+        }
+        expectLanesMatchScalar<kernels::ProteinLocal>(pairs, 16, 8);
+    }
+
+    // Degenerate lanes inside a full-width protein group.
+    std::vector<test::Pair<seq::AminoChar>> pairs;
+    for (const int len : {55, 1, 90, 33})
+        pairs.push_back({seq::sampleProtein(len, rng),
+                         seq::sampleProtein(std::max(1, len / 2), rng)});
+    pairs.push_back({seq::ProteinSequence{}, seq::sampleProtein(25, rng)});
+    pairs.push_back({seq::sampleProtein(25, rng), seq::ProteinSequence{}});
+    pairs.push_back({seq::ProteinSequence{}, seq::ProteinSequence{}});
+    pairs.push_back({seq::sampleProtein(140, rng),
+                     seq::sampleProtein(140, rng)});
+    expectLanesMatchScalar<kernels::ProteinLocal>(pairs, 32, 8);
 }
 
 TEST(LaneAligner, RejectsOversizedGroup)

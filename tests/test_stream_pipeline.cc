@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Streaming executor tests: the ticket path must be bit-identical —
+ * results, CIGARs and per-job device cycles — to blocking runAll() for
+ * every registered kernel; overlapped submission and completion
+ * callbacks must behave; heterogeneous device/CPU dispatch accounting
+ * must stay consistent (per-backend sections summing to epoch totals);
+ * length-sorted lane grouping must be observation-transparent; and a
+ * pipeline destroyed with in-flight tickets must still complete them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/cigar.hh"
+#include "helpers.hh"
+#include "host/stream_pipeline.hh"
+#include "kernels/all.hh"
+#include "reference/matrix_aligner.hh"
+
+using namespace dphls;
+
+namespace {
+
+/**
+ * A pair with exact (qlen, rlen) shape: realistic content for the
+ * kernel's alphabet, force-resized (default-character padding is fine —
+ * every execution path consumes identical input either way).
+ */
+template <typename K>
+test::Pair<typename K::CharT>
+shapedPair(seq::Rng &rng, int qlen, int rlen)
+{
+    using CharT = typename K::CharT;
+    test::Pair<CharT> p;
+    const int base = std::max({qlen, rlen, 1});
+    if constexpr (std::is_same_v<CharT, seq::DnaChar>) {
+        p.query = seq::randomDna(base, rng);
+        p.reference = seq::mutateDna(p.query, 0.15, 0.08, rng);
+    } else if constexpr (std::is_same_v<CharT, seq::AminoChar>) {
+        p.query = seq::sampleProtein(base, rng);
+        p.reference = seq::mutateProtein(p.query, 0.15, 0.05, rng);
+    } else if constexpr (std::is_same_v<CharT, seq::ProfileColumn>) {
+        auto pairs = seq::sampleProfilePairs(1, base, rng.next());
+        p.query = std::move(pairs[0].first);
+        p.reference = std::move(pairs[0].second);
+    } else if constexpr (std::is_same_v<CharT, seq::ComplexSample>) {
+        p.query = seq::randomComplexSignal(base, rng);
+        p.reference = seq::warpComplexSignal(p.query, 0.2, 0.3, rng);
+    } else {
+        auto pairs = seq::sampleSquigglePairs(1, base, std::max(1, base / 2),
+                                              rng.next());
+        p.query = std::move(pairs[0].query);
+        p.reference = std::move(pairs[0].reference);
+    }
+    p.query.chars.resize(static_cast<size_t>(qlen));
+    p.reference.chars.resize(static_cast<size_t>(rlen));
+    return p;
+}
+
+template <typename K>
+std::vector<typename host::StreamPipeline<K>::Job>
+shapedJobs(uint64_t seed)
+{
+    seq::Rng rng(seed);
+    const std::pair<int, int> shapes[] = {
+        {0, 0},  {1, 40},  {40, 1},  {3, 37},   {31, 33},
+        {33, 31}, {64, 64}, {97, 113}, {17, 90}, {120, 45},
+    };
+    std::vector<typename host::StreamPipeline<K>::Job> jobs;
+    for (const auto &[qlen, rlen] : shapes) {
+        auto p = shapedPair<K>(rng, qlen, rlen);
+        jobs.push_back({std::move(p.query), std::move(p.reference)});
+    }
+    return jobs;
+}
+
+template <typename K>
+void
+expectSameOutputs(
+    const std::vector<typename host::StreamPipeline<K>::Result> &want,
+    const std::vector<uint64_t> &want_cycles,
+    const std::vector<typename host::StreamPipeline<K>::Result> &got,
+    const std::vector<uint64_t> &got_cycles, const char *what)
+{
+    using Tr = core::ScoreTraits<typename K::ScoreT>;
+    ASSERT_EQ(want.size(), got.size()) << K::name << " " << what;
+    ASSERT_EQ(want_cycles, got_cycles) << K::name << " " << what;
+    for (size_t i = 0; i < want.size(); i++) {
+        const std::string ctx = std::string(K::name) + " " + what +
+            " job " + std::to_string(i);
+        ASSERT_EQ(Tr::toDouble(want[i].score), Tr::toDouble(got[i].score))
+            << ctx;
+        ASSERT_EQ(want[i].end, got[i].end) << ctx;
+        ASSERT_EQ(want[i].start, got[i].start) << ctx;
+        ASSERT_EQ(core::toCigar(want[i].ops), core::toCigar(got[i].ops))
+            << ctx;
+    }
+}
+
+/**
+ * The acceptance differential: ticket-path streaming execution (two
+ * overlapping submissions) vs blocking runAll(), per kernel, with SIMD
+ * lanes, length sorting and a decoupled thread count in play.
+ */
+template <typename K>
+void
+streamingMatchesRunAll()
+{
+    using Pipeline = host::StreamPipeline<K>;
+    auto jobs = shapedJobs<K>(static_cast<uint64_t>(K::kernelId) * 77 + 5);
+
+    host::BatchConfig cfg;
+    cfg.npe = 16;
+    cfg.nb = 2;
+    cfg.nk = 3;
+    cfg.threads = 2; // decoupled from nk
+    cfg.laneWidth = 4;
+    cfg.bandWidth = 16;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+
+    Pipeline blocking(cfg);
+    std::vector<typename Pipeline::Result> want;
+    std::vector<uint64_t> want_cycles;
+    const auto want_stats = blocking.runAll(jobs, &want, &want_cycles);
+
+    // Same jobs split across two tickets submitted before either is
+    // collected; outputs concatenate in submission order.
+    Pipeline streaming(cfg);
+    const size_t split = jobs.size() / 2;
+    std::vector<typename Pipeline::Job> first(jobs.begin(),
+                                              jobs.begin() + split);
+    std::vector<typename Pipeline::Job> second(jobs.begin() + split,
+                                               jobs.end());
+    auto t1 = streaming.submit(std::move(first));
+    auto t2 = streaming.submit(std::move(second));
+    std::vector<typename Pipeline::Result> got, got2;
+    std::vector<uint64_t> got_cycles, got_cycles2;
+    const auto s1 = streaming.collect(t1, &got, &got_cycles);
+    const auto s2 = streaming.collect(t2, &got2, &got_cycles2);
+    got.insert(got.end(), std::make_move_iterator(got2.begin()),
+               std::make_move_iterator(got2.end()));
+    got_cycles.insert(got_cycles.end(), got_cycles2.begin(),
+                      got_cycles2.end());
+
+    expectSameOutputs<K>(want, want_cycles, got, got_cycles, "stream");
+    EXPECT_EQ(s1.alignments + s2.alignments, want_stats.alignments)
+        << K::name;
+    EXPECT_EQ(s1.totalCycles + s2.totalCycles, want_stats.totalCycles)
+        << K::name;
+}
+
+} // namespace
+
+TEST(StreamPipeline, GlobalLinearMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::GlobalLinear>();
+}
+TEST(StreamPipeline, GlobalAffineMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::GlobalAffine>();
+}
+TEST(StreamPipeline, LocalLinearMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::LocalLinear>();
+}
+TEST(StreamPipeline, LocalAffineMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::LocalAffine>();
+}
+TEST(StreamPipeline, GlobalTwoPieceMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::GlobalTwoPiece>();
+}
+TEST(StreamPipeline, OverlapMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::Overlap>();
+}
+TEST(StreamPipeline, SemiGlobalMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::SemiGlobal>();
+}
+TEST(StreamPipeline, ProfileAlignmentMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::ProfileAlignment>();
+}
+TEST(StreamPipeline, DtwMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::Dtw>();
+}
+TEST(StreamPipeline, ViterbiMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::Viterbi>();
+}
+TEST(StreamPipeline, BandedGlobalLinearMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::BandedGlobalLinear>();
+}
+TEST(StreamPipeline, BandedLocalAffineMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::BandedLocalAffine>();
+}
+TEST(StreamPipeline, BandedGlobalTwoPieceMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::BandedGlobalTwoPiece>();
+}
+TEST(StreamPipeline, SdtwMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::Sdtw>();
+}
+TEST(StreamPipeline, ProteinLocalMatchesRunAll)
+{
+    streamingMatchesRunAll<kernels::ProteinLocal>();
+}
+
+namespace {
+
+using K = kernels::LocalAffine;
+using Pipeline = host::StreamPipeline<K>;
+
+std::vector<Pipeline::Job>
+dnaJobs(int n, uint64_t seed, int max_len = 96)
+{
+    std::vector<Pipeline::Job> jobs;
+    seq::Rng rng(seed);
+    for (int i = 0; i < n; i++) {
+        auto p = test::randomDnaPair(rng, max_len);
+        jobs.push_back({std::move(p.query), std::move(p.reference)});
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(StreamPipeline, SecondBatchCompletesBeforeFirstIsCollected)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 1;
+    cfg.threads = 1; // FIFO worker: deterministic completion order
+    Pipeline pipeline(cfg);
+
+    const auto all = dnaJobs(24, 900);
+    std::vector<Pipeline::Job> first(all.begin(), all.begin() + 16);
+    std::vector<Pipeline::Job> second(all.begin() + 16, all.end());
+
+    auto t1 = pipeline.submit(std::move(first));
+    auto t2 = pipeline.submit(std::move(second));
+
+    // No global barrier: the second ticket completes on its own while
+    // the first is still un-collected.
+    t2->wait();
+    EXPECT_TRUE(t2->done());
+    EXPECT_EQ(t2->results().size(), 8u);
+
+    std::vector<Pipeline::Result> res1;
+    const auto s1 = pipeline.collect(t1, &res1);
+    EXPECT_EQ(s1.alignments, 16);
+    ASSERT_EQ(res1.size(), 16u);
+
+    // Both tickets' outputs match fresh blocking runs of the same jobs.
+    Pipeline gold(cfg);
+    std::vector<Pipeline::Result> want;
+    gold.runAll(all, &want);
+    for (size_t i = 0; i < 16; i++)
+        EXPECT_EQ(want[i].score, res1[i].score) << i;
+    for (size_t i = 16; i < all.size(); i++)
+        EXPECT_EQ(want[i].score, t2->results()[i - 16].score) << i;
+}
+
+TEST(StreamPipeline, CompletionCallbacksFireOnceInOrder)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 1;
+    cfg.threads = 1; // FIFO worker: callbacks fire in submission order
+    Pipeline pipeline(cfg);
+
+    std::mutex mutex;
+    std::vector<int> completed;
+    std::vector<Pipeline::Ticket> tickets;
+    for (int b = 0; b < 5; b++) {
+        tickets.push_back(pipeline.submit(
+            dnaJobs(3, 1000 + static_cast<uint64_t>(b)),
+            [&mutex, &completed, b](host::BatchTicket<K> &t) {
+                std::lock_guard lock(mutex);
+                completed.push_back(b);
+                EXPECT_EQ(t.results().size(), 3u);
+                EXPECT_EQ(t.stats().alignments, 3);
+            }));
+    }
+    for (const auto &t : tickets)
+        t->wait();
+    ASSERT_EQ(completed.size(), 5u);
+    for (int b = 0; b < 5; b++)
+        EXPECT_EQ(completed[static_cast<size_t>(b)], b);
+}
+
+TEST(StreamPipeline, MixedDeviceCpuDispatchAccounting)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nb = 2;
+    cfg.nk = 2;
+    cfg.maxQueryLength = 128;
+    cfg.maxReferenceLength = 128;
+    cfg.cpuFallback = true;
+    cfg.cpuFloorLen = 24;
+    Pipeline pipeline(cfg);
+
+    // 4 oversized jobs (device cannot take them), 3 tiny jobs (below
+    // the floor), 9 regular device jobs.
+    std::vector<Pipeline::Job> jobs;
+    seq::Rng rng(77);
+    auto mk = [&](int qlen, int rlen) {
+        Pipeline::Job j;
+        j.query = seq::randomDna(qlen, rng);
+        j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+        j.reference.chars.resize(static_cast<size_t>(rlen));
+        jobs.push_back(std::move(j));
+    };
+    mk(300, 120);
+    mk(120, 300);
+    mk(200, 200);
+    mk(129, 64);
+    for (int i = 0; i < 3; i++)
+        mk(10 + i, 12 + i);
+    for (int i = 0; i < 9; i++)
+        mk(60 + i, 80 + i);
+
+    std::vector<Pipeline::Result> got;
+    std::vector<uint64_t> cycles;
+    const auto stats = pipeline.runAll(jobs, &got, &cycles);
+
+    // Functional results match the full-matrix golden model for every
+    // job, device- or CPU-routed alike.
+    ref::MatrixAligner<K> gold(K::defaultParams(), cfg.bandWidth);
+    for (size_t i = 0; i < jobs.size(); i++) {
+        const auto want = gold.align(jobs[i].query, jobs[i].reference);
+        EXPECT_EQ(want.score, got[i].score) << i;
+        EXPECT_EQ(want.end, got[i].end) << i;
+        EXPECT_EQ(want.ops, got[i].ops) << i;
+        EXPECT_GT(cycles[i], 0u) << i;
+    }
+
+    // The hetero split is visible and per-backend sections sum to the
+    // epoch totals.
+    ASSERT_EQ(stats.backends.size(), 2u);
+    EXPECT_STREQ(stats.backends[0].name, "device");
+    EXPECT_STREQ(stats.backends[1].name, "cpu");
+    EXPECT_EQ(stats.backends[1].alignments, 7);
+    EXPECT_EQ(stats.backends[0].alignments, 9);
+    int aligns = 0;
+    uint64_t total = 0;
+    for (const auto &b : stats.backends) {
+        aligns += b.alignments;
+        total += b.totalCycles;
+    }
+    EXPECT_EQ(aligns, stats.alignments);
+    EXPECT_EQ(total, stats.totalCycles);
+    EXPECT_EQ(stats.alignments, static_cast<int>(jobs.size()));
+    uint64_t per_job = 0;
+    for (const auto c : cycles)
+        per_job += c;
+    EXPECT_EQ(per_job, stats.totalCycles);
+    EXPECT_GT(stats.cpu.busyCycles, 0u);
+    EXPECT_LE(stats.cpu.busyCycles, stats.cpu.totalCycles);
+    EXPECT_GT(stats.seconds, 0.0);
+    // Path stats cover CPU-routed tracebacks too.
+    EXPECT_GT(stats.paths.columns, 0);
+}
+
+TEST(StreamPipeline, LengthSortedLaneGroupingIsObservationTransparent)
+{
+    seq::Rng rng(1234);
+    std::vector<Pipeline::Job> jobs;
+    // Deliberately adversarial mixed lengths in interleaved order.
+    for (int i = 0; i < 33; i++) {
+        const int len = (i % 2 == 0) ? 16 + i : 200 + 5 * i;
+        auto p = test::randomDnaPair(rng, len);
+        jobs.push_back({std::move(p.query), std::move(p.reference)});
+    }
+
+    host::BatchConfig sorted_cfg;
+    sorted_cfg.npe = 16;
+    sorted_cfg.nb = 4;
+    sorted_cfg.nk = 2;
+    sorted_cfg.laneWidth = 8;
+    sorted_cfg.sortLanesByLength = true;
+    host::BatchConfig unsorted_cfg = sorted_cfg;
+    unsorted_cfg.sortLanesByLength = false;
+
+    Pipeline sorted_pipe(sorted_cfg), unsorted_pipe(unsorted_cfg);
+    std::vector<Pipeline::Result> sres, ures;
+    std::vector<uint64_t> scyc, ucyc;
+    const auto sstats = sorted_pipe.runAll(jobs, &sres, &scyc);
+    const auto ustats = unsorted_pipe.runAll(jobs, &ures, &ucyc);
+
+    expectSameOutputs<K>(ures, ucyc, sres, scyc, "sorted-lanes");
+    EXPECT_EQ(ustats.makespanCycles, sstats.makespanCycles);
+    EXPECT_EQ(ustats.totalCycles, sstats.totalCycles);
+    ASSERT_EQ(ustats.channels.size(), sstats.channels.size());
+    for (size_t c = 0; c < ustats.channels.size(); c++) {
+        EXPECT_EQ(ustats.channels[c].busyCycles,
+                  sstats.channels[c].busyCycles) << c;
+    }
+    EXPECT_EQ(ustats.paths.matches, sstats.paths.matches);
+}
+
+TEST(StreamPipeline, ThreadCountIsDecoupledFromChannels)
+{
+    const auto jobs = dnaJobs(25, 4321);
+    auto run = [&](int threads, std::vector<Pipeline::Result> *res,
+                   std::vector<uint64_t> *cyc) {
+        host::BatchConfig cfg;
+        cfg.npe = 8;
+        cfg.nb = 2;
+        cfg.nk = 4;
+        cfg.threads = threads;
+        Pipeline pipeline(cfg);
+        EXPECT_EQ(pipeline.channelCount(), 4);
+        EXPECT_EQ(pipeline.threadCount(), threads);
+        return pipeline.runAll(jobs, res, cyc);
+    };
+    std::vector<Pipeline::Result> r1, r8;
+    std::vector<uint64_t> c1, c8;
+    const auto s1 = run(1, &r1, &c1);
+    const auto s8 = run(8, &r8, &c8);
+
+    // Modeled accounting is thread-count independent.
+    expectSameOutputs<K>(r1, c1, r8, c8, "threads");
+    EXPECT_EQ(s1.makespanCycles, s8.makespanCycles);
+    EXPECT_EQ(s1.totalCycles, s8.totalCycles);
+    ASSERT_EQ(s1.channels.size(), s8.channels.size());
+    for (size_t c = 0; c < s1.channels.size(); c++) {
+        EXPECT_EQ(s1.channels[c].busyCycles, s8.channels[c].busyCycles)
+            << c;
+    }
+}
+
+TEST(StreamPipeline, DestructionWithInFlightTicketsCompletesThem)
+{
+    std::vector<Pipeline::Ticket> tickets;
+    {
+        host::BatchConfig cfg;
+        cfg.npe = 8;
+        cfg.nk = 2;
+        cfg.threads = 2;
+        Pipeline pipeline(cfg);
+        for (int b = 0; b < 6; b++) {
+            tickets.push_back(pipeline.submit(
+                dnaJobs(5, 5000 + static_cast<uint64_t>(b))));
+        }
+        // Pipeline destroyed with tickets in flight: its pool drains
+        // every shard first, so held tickets finish rather than hang.
+    }
+    for (const auto &t : tickets) {
+        EXPECT_TRUE(t->done());
+        EXPECT_EQ(t->results().size(), 5u);
+        EXPECT_EQ(t->stats().alignments, 5);
+        for (const auto c : t->cycles())
+            EXPECT_GT(c, 0u);
+    }
+}
+
+TEST(StreamPipeline, DrainAggregatesAcrossTicketsInSubmissionOrder)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 2;
+    Pipeline pipeline(cfg);
+    const auto all = dnaJobs(18, 6000);
+    std::vector<Pipeline::Job> a(all.begin(), all.begin() + 7);
+    std::vector<Pipeline::Job> b(all.begin() + 7, all.end());
+    pipeline.submit(std::move(a));
+    pipeline.submit(std::move(b));
+
+    std::vector<Pipeline::Result> got;
+    std::vector<uint64_t> cycles;
+    const auto stats = pipeline.drain(&got, &cycles);
+    EXPECT_EQ(stats.alignments, 18);
+    ASSERT_EQ(got.size(), all.size());
+    ASSERT_EQ(cycles.size(), all.size());
+
+    Pipeline gold(cfg);
+    std::vector<Pipeline::Result> want;
+    std::vector<uint64_t> want_cycles;
+    gold.runAll(all, &want, &want_cycles);
+    ASSERT_EQ(cycles, want_cycles);
+    for (size_t i = 0; i < all.size(); i++)
+        EXPECT_EQ(want[i].score, got[i].score) << i;
+
+    // Nothing outstanding afterwards.
+    const auto empty = pipeline.drain();
+    EXPECT_EQ(empty.alignments, 0);
+    EXPECT_EQ(empty.makespanCycles, 0u);
+}

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json artifacts against a previous run's.
+
+Walks every numeric metric in the old and new artifact trees, keyed by
+its JSON path (array elements keyed by their "id"/"name"/sweep-knob
+field when present, so reordering a table does not misalign rows), and:
+
+  - FAILS (exit 1) when a deterministic throughput metric
+    (*aligns_per_sec*) regresses by more than --threshold percent —
+    these come from the cycle model, so any drop is a real model or
+    pipeline regression, not measurement noise;
+  - reports wall-clock metrics (*cells_per_sec*, *_speedup*) as
+    notices only — shared CI runners make them too noisy to gate on.
+
+When the old directory is missing, empty, or has no matching files the
+script soft-passes with a notice (first run, expired artifacts).
+
+Usage:
+  bench_diff.py --old PREV_DIR --new NEW_DIR [--threshold 10]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HARD_SUFFIXES = ("aligns_per_sec",)
+SOFT_SUFFIXES = ("cells_per_sec", "_speedup")
+# Keys that name an array element better than its position.
+ELEMENT_KEYS = ("id", "name", "npe", "nb", "band", "length")
+
+
+def flatten(node, path, out):
+    """Collect {json-path: number} for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            flatten(value, f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            label = str(index)
+            if isinstance(value, dict):
+                for key in ELEMENT_KEYS:
+                    if key in value:
+                        label = f"{key}={value[key]}"
+                        break
+            flatten(value, f"{path}[{label}]", out)
+    elif isinstance(node, bool):
+        pass  # true/false are not throughput metrics
+    elif isinstance(node, (int, float)):
+        out[path] = float(node)
+
+
+def load_metrics(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    metrics = {}
+    flatten(data, "", metrics)
+    return metrics
+
+
+def classify(path):
+    if path.endswith(HARD_SUFFIXES):
+        return "hard"
+    if path.endswith(SOFT_SUFFIXES):
+        return "soft"
+    return None
+
+
+def diff_file(name, old_path, new_path, threshold_pct):
+    """Return (regressions, notices) for one artifact pair."""
+    old = load_metrics(old_path)
+    new = load_metrics(new_path)
+    regressions, notices = [], []
+    for path in sorted(old.keys() & new.keys()):
+        kind = classify(path)
+        if kind is None:
+            continue
+        before, after = old[path], new[path]
+        if before <= 0:
+            continue
+        change_pct = 100.0 * (after - before) / before
+        line = (f"{name}:{path}: {before:.4g} -> {after:.4g} "
+                f"({change_pct:+.1f}%)")
+        if change_pct < -threshold_pct:
+            (regressions if kind == "hard" else notices).append(line)
+        elif abs(change_pct) > threshold_pct:
+            notices.append(line)
+    return regressions, notices
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--old", required=True,
+                        help="directory with the previous run's BENCH_*.json")
+    parser.add_argument("--new", required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.new):
+        print(f"bench_diff: new artifact directory {args.new!r} missing")
+        return 1
+    new_files = sorted(f for f in os.listdir(args.new)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not new_files:
+        print(f"bench_diff: no BENCH_*.json under {args.new!r}")
+        return 1
+
+    if not os.path.isdir(args.old):
+        print(f"bench_diff: no previous artifacts at {args.old!r} — "
+              "soft pass (first run or expired artifacts)")
+        return 0
+
+    compared = 0
+    regressions, notices = [], []
+    for name in new_files:
+        old_path = os.path.join(args.old, name)
+        if not os.path.isfile(old_path):
+            print(f"bench_diff: {name} has no previous artifact — skipped")
+            continue
+        file_regressions, file_notices = diff_file(
+            name, old_path, os.path.join(args.new, name), args.threshold)
+        regressions += file_regressions
+        notices += file_notices
+        compared += 1
+
+    if compared == 0:
+        print("bench_diff: no comparable artifacts — soft pass")
+        return 0
+
+    for line in notices:
+        print(f"notice: {line}")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} aligns/sec regression(s) "
+              f"beyond {args.threshold:.0f}%:")
+        for line in regressions:
+            print(f"FAIL: {line}")
+        return 1
+    print(f"bench_diff: {compared} artifact(s) compared, no aligns/sec "
+          f"regression beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

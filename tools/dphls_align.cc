@@ -6,15 +6,20 @@
  * on the systolic engine and reports scores, CIGARs and device cycles —
  * the host-side program of paper front-end step 6, packaged as a tool.
  *
- * The whole FASTA batch runs through the multi-channel BatchPipeline
- * (front-end step 6): pairs are sharded round-robin over --nk channels,
- * each channel drives one systolic engine, and the tool reports per-pair
- * scores/CIGARs plus the batch's aggregate throughput and path stats.
+ * The tool is a streaming host: FASTA records are parsed incrementally,
+ * submitted to the StreamPipeline in chunks, and written back as each
+ * chunk's ticket completes — parsing, alignment and writeback overlap
+ * instead of barriering on the whole file. Worker threads (--threads)
+ * are decoupled from the modeled channel count (--nk), and
+ * --cpu-fallback routes pairs the device cannot take (over --max-len)
+ * or should not take (both ends under --cpu-floor) to the CPU baseline
+ * backend, with the hetero split reported per backend.
  *
  * Usage:
  *   dphls_align --kernel <name> --query q.fa --reference r.fa
  *               [--npe N] [--band W] [--max-len L] [--nk K] [--nb B]
- *               [--lanes W] [--no-cache] [--no-traceback]
+ *               [--threads T] [--lanes W] [--chunk N] [--cpu-fallback]
+ *               [--cpu-floor L] [--no-cache] [--no-traceback]
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
@@ -24,10 +29,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/cigar.hh"
-#include "host/batch_pipeline.hh"
+#include "host/stream_pipeline.hh"
 #include "kernels/all.hh"
 #include "model/frequency_model.hh"
 #include "seq/fasta.hh"
@@ -46,7 +54,11 @@ struct Options
     int maxLen = 4096;
     int nk = 4;
     int nb = 1;
-    int lanes = 8; //!< SIMD lane width (results identical at any width)
+    int threads = 0;   //!< host workers; 0 = one per channel
+    int lanes = 8;     //!< SIMD lane width (results identical at any width)
+    int chunk = 256;   //!< pairs per submitted batch (streaming grain)
+    int cpuFloor = 0;  //!< with --cpu-fallback: short-pair floor
+    bool cpuFallback = false;
     bool cache = true;
     bool traceback = true;
 };
@@ -59,7 +71,9 @@ usage()
                  "--reference FASTA\n"
                  "                   [--npe N] [--band W] [--max-len L] "
                  "[--nk K] [--nb B]\n"
-                 "                   [--lanes W] [--no-cache] "
+                 "                   [--threads T] [--lanes W] [--chunk N] "
+                 "[--cpu-fallback]\n"
+                 "                   [--cpu-floor L] [--no-cache] "
                  "[--no-traceback]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
@@ -67,15 +81,71 @@ usage()
                  "banded-two-piece protein-local\n");
 }
 
+/**
+ * Incremental FASTA source that cycles back to the start of its file
+ * when the other source still has records — the streaming equivalent of
+ * "the shorter list is cycled" over fully-parsed vectors.
+ */
+template <typename SeqT>
+class CyclingFastaSource
+{
+  public:
+    using Decode = SeqT (*)(const seq::FastaRecord &);
+
+    CyclingFastaSource(std::string path, Decode decode)
+        : _path(std::move(path)), _decode(decode),
+          _stream(std::make_unique<seq::FastaStream>(_path))
+    {}
+
+    /** True once this source has hit its end of file at least once. */
+    bool exhausted() const { return _exhausted; }
+
+    /**
+     * Produce the next sequence. Returns false — ending the pairing —
+     * when this source hits EOF and the other one is already
+     * exhausted; otherwise cycles back to its first record.
+     */
+    bool
+    next(SeqT &out, bool other_exhausted)
+    {
+        seq::FastaRecord rec;
+        if (_stream->next(rec)) {
+            out = _decode(rec);
+            _count++;
+            return true;
+        }
+        _exhausted = true;
+        if (other_exhausted)
+            return false;
+        if (_count == 0)
+            throw std::runtime_error("empty FASTA input: " + _path);
+        _stream = std::make_unique<seq::FastaStream>(_path);
+        if (!_stream->next(rec))
+            return false;
+        out = _decode(rec);
+        _count++;
+        return true;
+    }
+
+  private:
+    std::string _path;
+    Decode _decode;
+    std::unique_ptr<seq::FastaStream> _stream;
+    int64_t _count = 0;
+    bool _exhausted = false;
+};
+
 template <typename K, typename SeqT>
 int
-runBatch(const Options &opt, std::vector<SeqT> queries,
-         std::vector<SeqT> references)
+runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
 {
+    using Pipeline = host::StreamPipeline<K>;
+
     host::BatchConfig cfg;
     cfg.npe = opt.npe;
     cfg.nb = opt.nb;
     cfg.nk = opt.nk;
+    cfg.threads = opt.threads;
     cfg.fmaxMhz = model::kernelFrequencyMhz<K>();
     cfg.bandWidth = opt.band;
     cfg.maxQueryLength = opt.maxLen;
@@ -83,49 +153,107 @@ runBatch(const Options &opt, std::vector<SeqT> queries,
     cfg.skipTraceback = !opt.traceback;
     cfg.hostOverheadCycles = 0; // report pure device cycles per pair
     cfg.laneWidth = opt.lanes;
+    cfg.cpuFallback = opt.cpuFallback;
+    cfg.cpuFloorLen = opt.cpuFloor;
     cfg.cacheEntries = opt.cache ? 4096 : 0;
-    host::BatchPipeline<K> pipeline(cfg);
+    Pipeline pipeline(cfg);
 
-    const size_t n = std::max(queries.size(), references.size());
-    std::vector<typename host::BatchPipeline<K>::Job> jobs;
-    jobs.reserve(n);
-    for (size_t i = 0; i < n; i++) {
-        // Copy only when a list is cycled; the common one-to-one case
-        // moves the parsed sequences straight into the batch.
-        auto pick = [n](std::vector<SeqT> &v, size_t i) {
-            return v.size() == n ? std::move(v[i]) : v[i % v.size()];
-        };
-        jobs.push_back({pick(queries, i), pick(references, i)});
+    CyclingFastaSource<SeqT> queries(opt.queryPath, decode);
+    CyclingFastaSource<SeqT> references(opt.referencePath, decode);
+
+    // Streaming epoch aggregation over per-ticket statistics.
+    host::BatchStats epoch;
+    epoch.channels.assign(static_cast<size_t>(std::max(1, opt.nk)),
+                          host::ChannelStats{});
+    std::deque<typename Pipeline::Ticket> pending;
+
+    bool header_printed = false;
+    const auto writeback = [&](const typename Pipeline::Ticket &ticket) {
+        if (!header_printed) {
+            std::printf("%-20s %-20s %-10s %-12s %s\n", "query",
+                        "reference", "score", "cycles", "cigar");
+            header_printed = true;
+        }
+        host::accumulateBatchStats(epoch, pipeline.collect(ticket));
+        const auto &jobs = ticket->jobs();
+        const auto &results = ticket->results();
+        const auto &cycles = ticket->cycles();
+        for (size_t i = 0; i < jobs.size(); i++) {
+            const auto &q = jobs[i].query;
+            const auto &r = jobs[i].reference;
+            const auto &res = results[i];
+            std::printf("%-20.20s %-20.20s %-10.0f %-12llu %s\n",
+                        q.name.empty() ? "(unnamed)" : q.name.c_str(),
+                        r.name.empty() ? "(unnamed)" : r.name.c_str(),
+                        res.scoreAsDouble(),
+                        (unsigned long long)cycles[i],
+                        res.ops.empty()
+                            ? "-"
+                            : core::toCigar(res.ops).c_str());
+        }
+    };
+
+    // Parse -> submit -> writeback loop: each chunk is one ticket;
+    // completed front tickets are written back while later chunks are
+    // still parsing or aligning (output stays in submission order).
+    // Backpressure bounds memory to a few in-flight chunks: parsing is
+    // much faster than alignment, so without the cap a large input
+    // would materialize entirely as pending tickets.
+    const size_t chunk = static_cast<size_t>(std::max(1, opt.chunk));
+    const size_t max_pending =
+        4 + static_cast<size_t>(pipeline.threadCount());
+    bool done = false;
+    while (!done) {
+        std::vector<typename Pipeline::Job> jobs;
+        jobs.reserve(chunk);
+        while (jobs.size() < chunk) {
+            typename Pipeline::Job job;
+            if (!queries.next(job.query, references.exhausted())) {
+                done = true;
+                break;
+            }
+            if (!references.next(job.reference, queries.exhausted())) {
+                done = true;
+                break;
+            }
+            jobs.push_back(std::move(job));
+        }
+        if (!jobs.empty())
+            pending.push_back(pipeline.submit(std::move(jobs)));
+        while (!pending.empty() &&
+               (pending.front()->done() || pending.size() > max_pending)) {
+            writeback(pending.front()); // collect() blocks when forced
+            pending.pop_front();
+        }
+    }
+    while (!pending.empty()) {
+        writeback(pending.front()); // collect() blocks until complete
+        pending.pop_front();
     }
 
-    std::vector<typename host::BatchPipeline<K>::Result> results;
-    std::vector<uint64_t> cycles;
-    const auto stats = pipeline.runAll(jobs, &results, &cycles);
-
-    std::printf("%-20s %-20s %-10s %-12s %s\n", "query", "reference",
-                "score", "cycles", "cigar");
-    for (size_t i = 0; i < n; i++) {
-        const auto &q = jobs[i].query;
-        const auto &r = jobs[i].reference;
-        const auto &res = results[i];
-        std::printf("%-20.20s %-20.20s %-10.0f %-12llu %s\n",
-                    q.name.empty() ? "(unnamed)" : q.name.c_str(),
-                    r.name.empty() ? "(unnamed)" : r.name.c_str(),
-                    res.scoreAsDouble(), (unsigned long long)cycles[i],
-                    res.ops.empty() ? "-"
-                                    : core::toCigar(res.ops).c_str());
+    host::finalizeBatchStats(epoch, cfg.fmaxMhz, cfg.cpuEquivalentMhz);
+    std::printf("# batch: %d alignments over %d channel(s) x %d host "
+                "thread(s), makespan %llu cycles, %.3g aligns/sec @ %.1f "
+                "MHz\n",
+                epoch.alignments, pipeline.channelCount(),
+                pipeline.threadCount(),
+                (unsigned long long)epoch.makespanCycles,
+                epoch.alignsPerSec, cfg.fmaxMhz);
+    for (const auto &b : epoch.backends) {
+        if (epoch.backends.size() < 2 && std::strcmp(b.name, "cpu") != 0)
+            continue; // single-backend runs: skip the redundant section
+        std::printf("#   backend %-6s %6d alignments, %12llu cycles "
+                    "(busy %llu @ %.1f MHz)\n",
+                    b.name, b.alignments,
+                    (unsigned long long)b.totalCycles,
+                    (unsigned long long)b.busyCycles, b.clockMhz);
     }
-    std::printf("# batch: %d alignments over %d channel(s), "
-                "makespan %llu cycles, %.3g aligns/sec @ %.1f MHz\n",
-                stats.alignments, pipeline.channelCount(),
-                (unsigned long long)stats.makespanCycles,
-                stats.alignsPerSec, cfg.fmaxMhz);
-    if (stats.paths.columns > 0) {
+    if (epoch.paths.columns > 0) {
         std::printf("# paths: %.2f%% identity, %d matches, %d mismatches, "
                     "%d ins, %d del, %d gap opens\n",
-                    100.0 * stats.paths.identity(), stats.paths.matches,
-                    stats.paths.mismatches, stats.paths.insertions,
-                    stats.paths.deletions, stats.paths.gapOpens);
+                    100.0 * epoch.paths.identity(), epoch.paths.matches,
+                    epoch.paths.mismatches, epoch.paths.insertions,
+                    epoch.paths.deletions, epoch.paths.gapOpens);
     }
     const auto cc = pipeline.cacheCounters();
     if (cc.hits + cc.misses > 0) {
@@ -136,6 +264,18 @@ runBatch(const Options &opt, std::vector<SeqT> queries,
                         static_cast<double>(cc.hits + cc.misses));
     }
     return 0;
+}
+
+seq::DnaSequence
+decodeDna(const seq::FastaRecord &rec)
+{
+    return seq::dnaFromString(rec.residues, rec.name);
+}
+
+seq::ProteinSequence
+decodeProtein(const seq::FastaRecord &rec)
+{
+    return seq::proteinFromString(rec.residues, rec.name);
 }
 
 } // namespace
@@ -169,8 +309,16 @@ main(int argc, char **argv)
             opt.nk = std::atoi(next());
         } else if (a == "--nb") {
             opt.nb = std::atoi(next());
+        } else if (a == "--threads") {
+            opt.threads = std::atoi(next());
         } else if (a == "--lanes") {
             opt.lanes = std::atoi(next());
+        } else if (a == "--chunk") {
+            opt.chunk = std::atoi(next());
+        } else if (a == "--cpu-fallback") {
+            opt.cpuFallback = true;
+        } else if (a == "--cpu-floor") {
+            opt.cpuFloor = std::atoi(next());
         } else if (a == "--no-cache") {
             opt.cache = false;
         } else if (a == "--no-traceback") {
@@ -187,51 +335,31 @@ main(int argc, char **argv)
 
     try {
         if (opt.kernel == "protein-local") {
-            auto q =
-                seq::toProtein(seq::readFastaFile(opt.queryPath));
-            auto r =
-                seq::toProtein(seq::readFastaFile(opt.referencePath));
-            if (q.empty() || r.empty())
-                throw std::runtime_error("empty FASTA input");
-            return runBatch<kernels::ProteinLocal>(opt, std::move(q),
-                                                   std::move(r));
+            return runStreaming<kernels::ProteinLocal>(opt, decodeProtein);
         }
-
-        auto q = seq::toDna(seq::readFastaFile(opt.queryPath));
-        auto r = seq::toDna(seq::readFastaFile(opt.referencePath));
-        if (q.empty() || r.empty())
-            throw std::runtime_error("empty FASTA input");
-
         if (opt.kernel == "global-linear")
-            return runBatch<kernels::GlobalLinear>(opt, std::move(q),
-                                                   std::move(r));
+            return runStreaming<kernels::GlobalLinear>(opt, decodeDna);
         if (opt.kernel == "global-affine")
-            return runBatch<kernels::GlobalAffine>(opt, std::move(q),
-                                                   std::move(r));
+            return runStreaming<kernels::GlobalAffine>(opt, decodeDna);
         if (opt.kernel == "local-linear")
-            return runBatch<kernels::LocalLinear>(opt, std::move(q),
-                                                  std::move(r));
+            return runStreaming<kernels::LocalLinear>(opt, decodeDna);
         if (opt.kernel == "local-affine")
-            return runBatch<kernels::LocalAffine>(opt, std::move(q),
-                                                  std::move(r));
+            return runStreaming<kernels::LocalAffine>(opt, decodeDna);
         if (opt.kernel == "two-piece")
-            return runBatch<kernels::GlobalTwoPiece>(opt, std::move(q),
-                                                     std::move(r));
+            return runStreaming<kernels::GlobalTwoPiece>(opt, decodeDna);
         if (opt.kernel == "overlap")
-            return runBatch<kernels::Overlap>(opt, std::move(q),
-                                              std::move(r));
+            return runStreaming<kernels::Overlap>(opt, decodeDna);
         if (opt.kernel == "semi-global")
-            return runBatch<kernels::SemiGlobal>(opt, std::move(q),
-                                                 std::move(r));
+            return runStreaming<kernels::SemiGlobal>(opt, decodeDna);
         if (opt.kernel == "banded-global")
-            return runBatch<kernels::BandedGlobalLinear>(opt, std::move(q),
-                                                         std::move(r));
+            return runStreaming<kernels::BandedGlobalLinear>(opt,
+                                                             decodeDna);
         if (opt.kernel == "banded-local")
-            return runBatch<kernels::BandedLocalAffine>(opt, std::move(q),
-                                                        std::move(r));
+            return runStreaming<kernels::BandedLocalAffine>(opt,
+                                                            decodeDna);
         if (opt.kernel == "banded-two-piece")
-            return runBatch<kernels::BandedGlobalTwoPiece>(opt, std::move(q),
-                                                           std::move(r));
+            return runStreaming<kernels::BandedGlobalTwoPiece>(opt,
+                                                               decodeDna);
         std::fprintf(stderr, "unknown kernel '%s'\n", opt.kernel.c_str());
         usage();
         return 2;
