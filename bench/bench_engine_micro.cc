@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "bench_json.hh"
+#include "host/stream_pipeline.hh"
 #include "kernels/all.hh"
 #include "seq/read_simulator.hh"
 #include "seq/squiggle.hh"
@@ -398,6 +399,77 @@ measureMixedLaneCellsPerSec(bool sorted, uint64_t *device_cycles)
     return w.usefulCells * iters / elapsed;
 }
 
+/** Outcome of one dispatch-policy run on the mixed-shape workload. */
+struct DispatchOutcome
+{
+    double alignsPerSec = 0;
+    int deviceAligns = 0, cpuAligns = 0, gpuAligns = 0;
+    std::vector<double> scores; //!< per-job, for the policy-identity check
+};
+
+/**
+ * Modeled useful aligns/sec of a mixed-shape local-affine batch under
+ * the given dispatch policy. Shapes deliberately stress the router:
+ * short pairs (invocation overhead matters), medium pairs (the
+ * device's sweet spot), and oversized pairs the device cannot take at
+ * all. Both policies run with the same backends enabled (CPU fallback
+ * with a pinned deterministic rate, the GASAL2-LOCAL GPU model) so the
+ * only difference is routing: the threshold rule cuts on shape, the
+ * cost model balances estimated completion times. All accounting is
+ * cycle-domain/modeled, so the resulting aligns/sec are deterministic
+ * and safe for bench_diff's hard gate.
+ */
+DispatchOutcome
+measureDispatchPolicy(host::DispatchPolicy policy)
+{
+    using K = kernels::LocalAffine;
+    host::BatchConfig cfg;
+    cfg.npe = 32;
+    cfg.nb = 2;
+    cfg.nk = 2;
+    cfg.threads = 2;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    cfg.dispatch = policy;
+    cfg.cpuFallback = true;
+    cfg.cpuFloorLen = 48; // threshold rule: tiny pairs to the CPU
+    cfg.cpuModeledCellsPerSec = 5e8;
+    cfg.gpuModel = true;
+    cfg.laneWidth = 8;
+    cfg.collectPathStats = false;
+    host::StreamPipeline<K> pipeline(cfg);
+
+    std::vector<host::AlignmentJob<seq::DnaChar>> jobs;
+    seq::Rng rng(2024);
+    auto push = [&](int len, int count) {
+        for (int i = 0; i < count; i++) {
+            host::AlignmentJob<seq::DnaChar> j;
+            j.query = seq::randomDna(len, rng);
+            j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+            j.reference.chars.resize(static_cast<size_t>(len));
+            jobs.push_back(std::move(j));
+        }
+    };
+    push(32, 24);  // tiny: DMA/invocation overhead dominates
+    push(96, 24);  // short
+    push(256, 24); // medium: device sweet spot
+    push(700, 8);  // oversized: device-infeasible, CPU or GPU only
+
+    std::vector<host::StreamPipeline<K>::Result> results;
+    const auto stats = pipeline.runAll(jobs, &results);
+
+    DispatchOutcome out;
+    out.alignsPerSec = stats.alignsPerSec;
+    for (const auto &ch : stats.channels)
+        out.deviceAligns += ch.alignments;
+    out.cpuAligns = stats.cpu.alignments;
+    out.gpuAligns = stats.gpu.alignments;
+    out.scores.reserve(results.size());
+    for (const auto &r : results)
+        out.scores.push_back(r.scoreAsDouble());
+    return out;
+}
+
 /**
  * BENCH_engine_micro.json: the fast-path acceptance measurement —
  * cells/sec of the wavefront reference path, the row-major scalar fast
@@ -466,9 +538,51 @@ writeJson(const std::string &path)
     w.kv("sorted_speedup", sorted_rate / unsorted_rate);
     w.kv("device_cycles_identical", unsorted_cycles == sorted_cycles);
     w.endObject();
+
+    // Dispatch-policy section: modeled aligns/sec of the mixed-shape
+    // batch under threshold vs cost-model routing. Deterministic
+    // (cycle-domain device accounting, pinned CPU rate, modeled GPU),
+    // so bench_diff hard-gates both throughput numbers across runs.
+    const DispatchOutcome threshold =
+        measureDispatchPolicy(host::DispatchPolicy::Threshold);
+    const DispatchOutcome cost =
+        measureDispatchPolicy(host::DispatchPolicy::CostModel);
+    const bool same_results = threshold.scores == cost.scores;
+    w.key("dispatch_policy");
+    w.beginObject();
+    w.kv("workload",
+         "80 local-affine DNA pairs, 32/96/256/700 bases mixed, "
+         "2 channels + CPU fallback (pinned 5e8 cells/s) + GPU model");
+    w.key("threshold");
+    w.beginObject();
+    w.kv("aligns_per_sec", threshold.alignsPerSec);
+    w.kv("device_aligns", threshold.deviceAligns);
+    w.kv("cpu_aligns", threshold.cpuAligns);
+    w.kv("gpu_aligns", threshold.gpuAligns);
+    w.endObject();
+    w.key("cost_model");
+    w.beginObject();
+    w.kv("aligns_per_sec", cost.alignsPerSec);
+    w.kv("device_aligns", cost.deviceAligns);
+    w.kv("cpu_aligns", cost.cpuAligns);
+    w.kv("gpu_aligns", cost.gpuAligns);
+    w.endObject();
+    w.kv("cost_model_speedup",
+         threshold.alignsPerSec > 0
+             ? cost.alignsPerSec / threshold.alignsPerSec
+             : 0.0);
+    w.kv("result_sets_identical", same_results);
+    w.endObject();
     w.endObject();
     std::fputc('\n', f);
     std::fclose(f);
+    std::printf("dispatch: threshold %.3g, cost-model %.3g modeled "
+                "aligns/s (%.2fx), results identical: %s\n",
+                threshold.alignsPerSec, cost.alignsPerSec,
+                threshold.alignsPerSec > 0
+                    ? cost.alignsPerSec / threshold.alignsPerSec
+                    : 0.0,
+                same_results ? "yes" : "NO");
     std::printf("wavefront %.3g, fast %.3g (%.2fx), lanes8 %.3g (%.2fx) "
                 "cells/s; cycles identical: %s\n",
                 wave, fast, fast / wave, lane, lane / wave,

@@ -35,4 +35,32 @@ gpuBaselineAlignsPerSec(int kernel_id, double cells_per_alignment)
     return b.gcups * 1e9 / cells_per_alignment;
 }
 
+double
+gpuModelClockMhz()
+{
+    return 1380.0; // Tesla V100 boost clock
+}
+
+double
+gpuModelLaunchOverheadSec()
+{
+    return 50e-6; // one kernel launch + staging per submitted batch
+}
+
+double
+gpuModelServiceSec(int kernel_id, double cells)
+{
+    const GpuBaseline b = gpuBaselineFor(kernel_id);
+    if (b.gcups <= 0 || cells <= 0)
+        return 0;
+    return cells / (b.gcups * 1e9);
+}
+
+uint64_t
+gpuModelServiceCycles(int kernel_id, double cells)
+{
+    return static_cast<uint64_t>(gpuModelServiceSec(kernel_id, cells) *
+                                 gpuModelClockMhz() * 1e6);
+}
+
 } // namespace dphls::baseline

@@ -17,6 +17,7 @@
 #ifndef DPHLS_BASELINES_GPU_MODEL_HH
 #define DPHLS_BASELINES_GPU_MODEL_HH
 
+#include <cstdint>
 #include <string>
 
 namespace dphls::baseline {
@@ -36,6 +37,33 @@ double gpuBaselineAlignsPerSec(int kernel_id, double cells_per_alignment);
 
 /** True if the paper has a GPU baseline for this kernel. */
 bool hasGpuBaseline(int kernel_id);
+
+/**
+ * Clock (MHz) the GPU-model backend counts its modeled cycles at — the
+ * V100's boost clock, so GPU cycle numbers sit in the same unit system
+ * as the device channels' fmax-domain cycles and the CPU backend's
+ * wall-derived cycles.
+ */
+double gpuModelClockMhz();
+
+/**
+ * Modeled kernel-launch overhead per submitted batch, in seconds.
+ * GASAL2 and CUDASW++ both amortize one launch over thousands of pairs;
+ * the overhead matters only for the small batches a streaming host
+ * submits, which is exactly when the cost-model router should prefer
+ * the FPGA channels.
+ */
+double gpuModelLaunchOverheadSec();
+
+/**
+ * Modeled GPU service time for @p cells DP cells of kernel
+ * @p kernel_id: cells / (iso-cost GCUPS), excluding launch overhead.
+ * Returns 0 when the kernel has no GPU baseline.
+ */
+double gpuModelServiceSec(int kernel_id, double cells);
+
+/** gpuModelServiceSec() converted to cycles at gpuModelClockMhz(). */
+uint64_t gpuModelServiceCycles(int kernel_id, double cells);
 
 } // namespace dphls::baseline
 

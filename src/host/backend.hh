@@ -10,7 +10,7 @@
  * each job to a backend and aggregates per-backend accounting, so the
  * heterogeneous split stays visible in the epoch statistics.
  *
- * Three implementations:
+ * Four implementations:
  *
  *  - DeviceChannelBackend: one simulated device channel — the scalar
  *    cycle-level systolic engine plus the greedy NB-block arbiter
@@ -28,18 +28,34 @@
  *    host threads with cpu_runner's wall-clock methodology; cycles are
  *    derived from measured seconds at a configurable equivalent clock,
  *    and its "blocks" are the host threads.
+ *  - GpuModelBackend: the iso-cost GPU throughput model
+ *    (baselines/gpu_model.hh) promoted onto the backend seam. Results
+ *    come from the same full-matrix golden model; cycles and busy time
+ *    are modeled from the published GASAL2 / CUDASW++ GCUPS plus a
+ *    per-batch launch overhead, for the kernels the paper benchmarks
+ *    on a GPU (Fig. 6B).
+ *
+ * Every backend also answers estimate(job) — a cost-model service-time
+ * estimate (device channels from the analytic cycle formulas in
+ * engine_common.hh, the CPU backend from an EWMA of measured cells/sec,
+ * the GPU model from its GCUPS) — and carries a live queued-work signal
+ * the StreamPipeline's cost-model dispatch policy reads to pick the
+ * backend with the lowest estimated completion time.
  */
 
 #ifndef DPHLS_HOST_BACKEND_HH
 #define DPHLS_HOST_BACKEND_HH
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <tuple>
 #include <vector>
 
 #include "baselines/cpu_runner.hh"
+#include "baselines/gpu_model.hh"
 #include "host/result_cache.hh"
 #include "host/scheduler.hh"
 #include "reference/matrix_aligner.hh"
@@ -47,6 +63,33 @@
 #include "systolic/lane_engine.hh"
 
 namespace dphls::host {
+
+/**
+ * Digest of the result- and cycle-affecting EngineConfig fields, mixed
+ * into every cache key so backends with different band widths, PE
+ * counts, maxima, traceback or cycle options can share one
+ * ShardedResultCache without aliasing each other's entries.
+ */
+inline uint64_t
+engineConfigSalt(const sim::EngineConfig &cfg)
+{
+    PairHash h{detail::fnvBasis1, detail::fnvBasis2};
+    // Field-by-field (never the raw struct bytes: padding after the
+    // bools is unspecified and would make logically equal configs hash
+    // differently, silently splitting a shared cache).
+    const int32_t fields[] = {cfg.numPe,
+                              cfg.bandWidth,
+                              cfg.maxQueryLength,
+                              cfg.maxReferenceLength,
+                              cfg.skipTraceback ? 1 : 0,
+                              cfg.cycles.overlapLoadInit ? 1 : 0,
+                              cfg.cycles.pipelineDepth,
+                              cfg.cycles.tracebackCyclesPerStep,
+                              cfg.cycles.writebackOpsPerCycle,
+                              cfg.cycles.hostStreamCyclesPerChar};
+    detail::fnvMix(h, fields, sizeof(fields));
+    return h.h1 ^ (h.h2 * detail::fnvPrime);
+}
 
 /** One alignment job: a query/reference pair. */
 template <typename CharT>
@@ -65,11 +108,29 @@ struct ChannelStats
 };
 
 /**
+ * Cost-model service-time estimate for one job on one backend. The
+ * estimate is a routing signal, not an accounting value: it may be
+ * approximate (traceback length is unknown before the alignment runs)
+ * but must be deterministic for a given backend state so dispatch
+ * decisions are reproducible.
+ */
+struct CostEstimate
+{
+    double seconds = 0;   //!< estimated marginal service time
+    bool feasible = true; //!< false when the backend cannot run the job
+};
+
+/**
  * A backend that can align a set of jobs. run() fills the per-job
  * output slots (indexed by job index, so submission-order collation is
  * free) and folds its arbiter accounting into @p acct. Implementations
  * are stateful (engines, scratch buffers); the pipeline serializes
  * run() calls per backend instance.
+ *
+ * For cost-model dispatch the base class additionally tracks queued
+ * estimated work: the router calls noteEnqueued() with each routed
+ * job's estimate and the executing task calls noteCompleted() when the
+ * shard retires, so queuedSeconds() is a live backlog signal.
  */
 template <core::KernelSpec K>
 class AlignBackend
@@ -88,6 +149,17 @@ class AlignBackend
     /** Clock the backend's cycles are counted at (MHz). */
     virtual double clockMhz() const = 0;
 
+    /** Estimated marginal service time for @p job on this backend. */
+    virtual CostEstimate estimate(const Job &job) const = 0;
+
+    /**
+     * Fixed cost the backend pays once per submitted shard regardless
+     * of its size (the GPU model's kernel-launch overhead). The router
+     * charges it to the first job it routes to this backend within a
+     * batch, so small batches see the backend's true marginal cost.
+     */
+    virtual double batchOverheadSeconds() const { return 0; }
+
     /**
      * Align jobs[indices[k]] for every k; write each job's result and
      * cycle count into results[idx] / cycles[idx]; add the run's
@@ -96,6 +168,40 @@ class AlignBackend
     virtual void run(const std::vector<Job> &jobs,
                      const std::vector<int> &indices, Result *results,
                      uint64_t *cycles, ChannelStats &acct) = 0;
+
+    /** Estimated seconds of routed-but-unfinished work (queue depth). */
+    double
+    queuedSeconds() const
+    {
+        return static_cast<double>(
+                   _queuedMicros.load(std::memory_order_relaxed)) *
+               1e-6;
+    }
+
+    /** Router-side: account @p seconds of estimated work as queued. */
+    void
+    noteEnqueued(double seconds)
+    {
+        _queuedMicros.fetch_add(toMicros(seconds),
+                                std::memory_order_relaxed);
+    }
+
+    /** Executor-side: retire @p seconds of previously queued work. */
+    void
+    noteCompleted(double seconds)
+    {
+        _queuedMicros.fetch_sub(toMicros(seconds),
+                                std::memory_order_relaxed);
+    }
+
+  private:
+    static int64_t
+    toMicros(double seconds)
+    {
+        return static_cast<int64_t>(std::llround(seconds * 1e6));
+    }
+
+    std::atomic<int64_t> _queuedMicros{0};
 };
 
 /**
@@ -114,13 +220,49 @@ class DeviceChannelBackend : public AlignBackend<K>
     DeviceChannelBackend(const sim::EngineConfig &ecfg, const Params &params,
                          int nb, uint64_t host_overhead_cycles,
                          double fmax_mhz, ShardedResultCache<Result> *cache)
-        : _engine(ecfg, params), _params(params), _cache(cache),
+        : _engine(ecfg, params), _params(params),
+          _cache(cache), _cfgSalt(engineConfigSalt(ecfg)),
           _hostOverhead(host_overhead_cycles), _fmaxMhz(fmax_mhz),
           _blockFree(static_cast<size_t>(std::max(1, nb)), 0)
     {}
 
     const char *name() const override { return "device"; }
     double clockMhz() const override { return _fmaxMhz; }
+
+    /**
+     * Analytic service-time estimate from the engine_common cycle
+     * formulas: load/init/fill are exact (they are the same formulas
+     * the engine accounts with); traceback is bounded by the worst-case
+     * walk length since the real path is unknown before alignment. The
+     * NB blocks serve jobs concurrently, so the marginal completion
+     * contribution of one job is its cycles divided by the arbiter
+     * width.
+     */
+    CostEstimate
+    estimate(const Job &job) const override
+    {
+        const sim::EngineConfig &ecfg = _engine.config();
+        const int qlen = job.query.length();
+        const int rlen = job.reference.length();
+        if (qlen > ecfg.maxQueryLength || rlen > ecfg.maxReferenceLength)
+            return {0, false};
+        sim::CycleStats cs;
+        sim::accountLoadInit<K>(ecfg, qlen, rlen, cs);
+        sim::accountFill<K>(ecfg, qlen, rlen, cs);
+        if (!ecfg.skipTraceback && K::hasTraceback) {
+            const uint64_t steps = static_cast<uint64_t>(qlen + rlen);
+            cs.traceback = steps *
+                static_cast<uint64_t>(ecfg.cycles.tracebackCyclesPerStep);
+            cs.writeback = steps /
+                static_cast<uint64_t>(ecfg.cycles.writebackOpsPerCycle);
+        }
+        const uint64_t cycles =
+            sim::totalCycles(cs, ecfg.cycles) + _hostOverhead;
+        const double width =
+            static_cast<double>(std::max<size_t>(1, _blockFree.size()));
+        return {static_cast<double>(cycles) / (_fmaxMhz * 1e6 * width),
+                true};
+    }
 
     void
     run(const std::vector<Job> &jobs, const std::vector<int> &indices,
@@ -141,7 +283,8 @@ class DeviceChannelBackend : public AlignBackend<K>
             const auto &job = jobs[static_cast<size_t>(idx)];
             PairHash key;
             if (cacheEnabled()) {
-                key = pairHash(job.query, job.reference, _params);
+                key = pairHash(job.query, job.reference, _params,
+                               _cfgSalt);
                 if (lookupCached(key, idx, results, cycles))
                     continue;
             }
@@ -201,6 +344,7 @@ class DeviceChannelBackend : public AlignBackend<K>
     sim::SystolicAligner<K> _engine;
     Params _params;
     ShardedResultCache<Result> *_cache;
+    uint64_t _cfgSalt;
     uint64_t _hostOverhead;
     double _fmaxMhz;
     std::vector<uint64_t> _blockFree;
@@ -298,7 +442,8 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
             const auto &job = jobs[static_cast<size_t>(idx)];
             PairHash key;
             if (this->cacheEnabled()) {
-                key = pairHash(job.query, job.reference, this->_params);
+                key = pairHash(job.query, job.reference, this->_params,
+                               this->_cfgSalt);
                 if (this->lookupCached(key, idx, results, cycles))
                     continue;
             }
@@ -317,6 +462,24 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
 };
 
 /**
+ * Full-matrix cell count of one job as the CPU/GPU baselines pay it:
+ * banded kernels only sweep the band's columns per row.
+ */
+template <core::KernelSpec K, typename Job>
+inline double
+baselineCells(const Job &job, int band_width)
+{
+    const double qlen = static_cast<double>(job.query.length());
+    const double rlen = static_cast<double>(job.reference.length());
+    if (K::banded) {
+        const double band_cols =
+            std::min(rlen, 2.0 * std::max(1, band_width) + 1.0);
+        return std::max(1.0, qlen * band_cols);
+    }
+    return std::max(1.0, qlen * rlen);
+}
+
+/**
  * CPU fallback backend: the classic full-matrix implementation (the
  * golden model the systolic engine is verified against bit-for-bit, so
  * in-range jobs produce identical results) executed across host
@@ -324,6 +487,13 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
  * are derived from per-job wall-clock measurements at an equivalent
  * clock, cpu_runner's baseline methodology. The backend's "blocks" are
  * its host threads: busy cycles are the greedy makespan over them.
+ *
+ * The cost model's service-time estimate comes from an EWMA of the
+ * measured cells/sec, updated after every completed job — the backend
+ * learns the host's actual throughput instead of assuming one. Passing
+ * modeled_cells_per_sec > 0 pins the rate AND derives cycles from it
+ * instead of the wall clock, making accounting deterministic (benches
+ * and differential tests use this; real hosts leave it 0).
  */
 template <core::KernelSpec K>
 class CpuBaselineBackend : public AlignBackend<K>
@@ -336,13 +506,36 @@ class CpuBaselineBackend : public AlignBackend<K>
 
     CpuBaselineBackend(const Params &params, int band_width,
                        double cpu_mhz, int threads,
-                       bool skip_traceback)
-        : _aligner(params, band_width), _cpuMhz(cpu_mhz),
-          _threads(std::max(1, threads)), _skipTraceback(skip_traceback)
+                       bool skip_traceback,
+                       double modeled_cells_per_sec = 0)
+        : _aligner(params, band_width), _bandWidth(band_width),
+          _cpuMhz(cpu_mhz), _threads(std::max(1, threads)),
+          _skipTraceback(skip_traceback),
+          _modeledCellsPerSec(modeled_cells_per_sec),
+          _ewmaCellsPerSec(modeled_cells_per_sec > 0
+                               ? modeled_cells_per_sec
+                               : 2e8)
     {}
 
     const char *name() const override { return "cpu"; }
     double clockMhz() const override { return _cpuMhz; }
+
+    /** Current cells/sec estimate (EWMA of measurements, or pinned). */
+    double
+    cellsPerSecEstimate() const
+    {
+        return _ewmaCellsPerSec.load(std::memory_order_relaxed);
+    }
+
+    CostEstimate
+    estimate(const Job &job) const override
+    {
+        const double cells = baselineCells<K>(job, _bandWidth);
+        const double rate = cellsPerSecEstimate();
+        // The host threads serve jobs concurrently, so one job's
+        // marginal completion contribution shrinks with the pool.
+        return {cells / (rate * _threads), true};
+    }
 
     void
     run(const std::vector<Job> &jobs, const std::vector<int> &indices,
@@ -352,12 +545,17 @@ class CpuBaselineBackend : public AlignBackend<K>
         parallelFor(n, std::min(_threads, std::max(1, n)), [&](int k) {
             const int idx = indices[static_cast<size_t>(k)];
             const auto &job = jobs[static_cast<size_t>(idx)];
+            const double cells = baselineCells<K>(job, _bandWidth);
             const auto t0 = std::chrono::steady_clock::now();
             Result res = _aligner.align(job.query, job.reference);
-            const double seconds =
+            double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+            if (_modeledCellsPerSec > 0)
+                seconds = cells / _modeledCellsPerSec; // pinned rate
+            else if (seconds > 0)
+                updateEwma(cells / seconds);
             if (_skipTraceback) {
                 res.ops.clear();
                 res.start = res.end;
@@ -386,8 +584,121 @@ class CpuBaselineBackend : public AlignBackend<K>
     }
 
   private:
+    /**
+     * Relaxed-atomic EWMA (alpha 0.25): concurrent updates may drop a
+     * sample, which only costs estimate freshness, never correctness.
+     */
+    void
+    updateEwma(double rate)
+    {
+        const double prev =
+            _ewmaCellsPerSec.load(std::memory_order_relaxed);
+        _ewmaCellsPerSec.store(prev + 0.25 * (rate - prev),
+                               std::memory_order_relaxed);
+    }
+
     ref::MatrixAligner<K> _aligner;
+    int _bandWidth;
     double _cpuMhz;
+    int _threads;
+    bool _skipTraceback;
+    double _modeledCellsPerSec;
+    std::atomic<double> _ewmaCellsPerSec;
+};
+
+/**
+ * Modeled GPU backend: baselines/gpu_model promoted onto the backend
+ * seam for the kernels the paper benchmarks on a GPU (GASAL2 for the
+ * DNA global/local/banded-local families, CUDASW++ for protein local).
+ * Functional results come from the same full-matrix golden model the
+ * CPU backend uses (bit-identical to the device for in-range shapes);
+ * accounting is modeled, not measured: each run() is one batched
+ * kernel launch — a fixed launch overhead plus the batch's DP cells at
+ * the published iso-cost GCUPS — with per-job cycles proportional to
+ * each job's cells, all counted at the V100 clock. The "arbiter" is
+ * the GPU itself: one fully-shared slot whose busy time is the modeled
+ * batch service time.
+ */
+template <core::KernelSpec K>
+class GpuModelBackend : public AlignBackend<K>
+{
+  public:
+    using Base = AlignBackend<K>;
+    using typename Base::Job;
+    using typename Base::Params;
+    using typename Base::Result;
+
+    /** True when the paper has a GPU baseline for kernel @p K. */
+    static bool covered() { return baseline::hasGpuBaseline(K::kernelId); }
+
+    GpuModelBackend(const Params &params, int band_width, int threads,
+                    bool skip_traceback)
+        : _aligner(params, band_width), _bandWidth(band_width),
+          _threads(std::max(1, threads)), _skipTraceback(skip_traceback)
+    {}
+
+    const char *name() const override { return "gpu"; }
+    double clockMhz() const override { return baseline::gpuModelClockMhz(); }
+
+    CostEstimate
+    estimate(const Job &job) const override
+    {
+        if (!covered())
+            return {0, false};
+        // Pure service cost; the per-launch overhead is reported via
+        // batchOverheadSeconds() so the router charges it exactly once
+        // per shard (run() accounts it the same way).
+        const double cells = baselineCells<K>(job, _bandWidth);
+        return {baseline::gpuModelServiceSec(K::kernelId, cells), true};
+    }
+
+    double
+    batchOverheadSeconds() const override
+    {
+        return baseline::gpuModelLaunchOverheadSec();
+    }
+
+    void
+    run(const std::vector<Job> &jobs, const std::vector<int> &indices,
+        Result *results, uint64_t *cycles, ChannelStats &acct) override
+    {
+        // Functional pass on host threads (the model has no GPU to run
+        // on); accounting below is purely analytic.
+        const int n = static_cast<int>(indices.size());
+        parallelFor(n, std::min(_threads, std::max(1, n)), [&](int k) {
+            const int idx = indices[static_cast<size_t>(k)];
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            Result res = _aligner.align(job.query, job.reference);
+            if (_skipTraceback) {
+                res.ops.clear();
+                res.start = res.end;
+            }
+            cycles[static_cast<size_t>(idx)] = std::max<uint64_t>(
+                1, baseline::gpuModelServiceCycles(
+                       K::kernelId, baselineCells<K>(job, _bandWidth)));
+            results[static_cast<size_t>(idx)] = std::move(res);
+        });
+
+        // One batched launch: overhead + total cells at the tool's
+        // GCUPS. The batch runs concurrently on the GPU, so busy time
+        // is the batch service time, not a per-job sum.
+        double batch_cells = 0;
+        for (const int idx : indices) {
+            batch_cells +=
+                baselineCells<K>(jobs[static_cast<size_t>(idx)],
+                                 _bandWidth);
+            acct.totalCycles += cycles[static_cast<size_t>(idx)];
+            acct.alignments++;
+        }
+        acct.busyCycles +=
+            static_cast<uint64_t>(baseline::gpuModelLaunchOverheadSec() *
+                                  baseline::gpuModelClockMhz() * 1e6) +
+            baseline::gpuModelServiceCycles(K::kernelId, batch_cells);
+    }
+
+  private:
+    ref::MatrixAligner<K> _aligner;
+    int _bandWidth;
     int _threads;
     bool _skipTraceback;
 };

@@ -47,6 +47,14 @@ struct DeviceConfig
      * batching and PCIe transfers amortized over a batch).
      */
     uint64_t hostOverheadCycles = 2000;
+    /** Backend routing rule (see BatchConfig::dispatch). */
+    DispatchPolicy dispatch = DispatchPolicy::Threshold;
+    /** Keep a CPU fallback backend alongside the device channels. */
+    bool cpuFallback = false;
+    /** Deterministic CPU rate for cost-model runs (0 = measure). */
+    double cpuModeledCellsPerSec = 0;
+    /** Add the modeled GPU backend (covered kernels only). */
+    bool gpuModel = false;
 };
 
 /** Aggregate outcome of one batched device run. */
@@ -76,6 +84,10 @@ toBatchConfig(const DeviceConfig &cfg)
     bc.skipTraceback = cfg.skipTraceback;
     bc.cycles = cfg.cycles;
     bc.hostOverheadCycles = cfg.hostOverheadCycles;
+    bc.dispatch = cfg.dispatch;
+    bc.cpuFallback = cfg.cpuFallback;
+    bc.cpuModeledCellsPerSec = cfg.cpuModeledCellsPerSec;
+    bc.gpuModel = cfg.gpuModel;
     bc.collectPathStats = false; // throughput-only model
     return bc;
 }

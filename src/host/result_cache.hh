@@ -10,10 +10,13 @@
  *
  * Keys are 128 bits: two independent FNV-1a passes (different offset
  * basis and a post-mix) over the raw character bytes of both sequences,
- * their lengths as domain separators, and the kernel parameter block.
- * The full key is stored and compared on lookup, so a 64-bit collision
- * cannot alias results. The cache is sharded by key to keep channel
- * threads from serializing on one mutex.
+ * their lengths as domain separators, the kernel parameter block, and a
+ * caller-supplied configuration salt (the backends derive it from the
+ * effective EngineConfig scoring/band fields, so two backends sharing
+ * one cache with different band widths or cycle options can never alias
+ * to each other's results). The full key is stored and compared on
+ * lookup, so a 64-bit collision cannot alias results. The cache is
+ * sharded by key to keep channel threads from serializing on one mutex.
  */
 
 #ifndef DPHLS_HOST_RESULT_CACHE_HH
@@ -62,19 +65,25 @@ fnvMix(PairHash &h, const void *data, size_t len)
 
 /**
  * Stable FNV-1a digest of an alignment job: both sequences' character
- * bytes plus the kernel parameter block. Character and parameter types
- * must be trivially copyable (all shipped alphabets and kernels are);
- * a non-trivially-copyable Params is skipped — safe because a cache
+ * bytes plus the kernel parameter block and a configuration salt
+ * (engineConfigSalt in host/backend.hh digests the result-affecting
+ * EngineConfig fields — band width, NPE, maxima, traceback and cycle
+ * options — so entries from differently-configured backends sharing a
+ * cache cannot alias). Character and parameter types must be trivially
+ * copyable (all shipped alphabets and kernels are); a
+ * non-trivially-copyable Params is skipped — safe because a cache
  * lives inside one pipeline whose params never change.
  */
 template <typename CharT, typename Params>
 PairHash
 pairHash(const seq::Sequence<CharT> &query,
-         const seq::Sequence<CharT> &reference, const Params &params)
+         const seq::Sequence<CharT> &reference, const Params &params,
+         uint64_t config_salt = 0)
 {
     static_assert(std::is_trivially_copyable_v<CharT>,
                   "alphabet characters must be raw-byte hashable");
     PairHash h{detail::fnvBasis1, detail::fnvBasis2};
+    detail::fnvMix(h, &config_salt, sizeof(config_salt));
     const uint64_t qlen = static_cast<uint64_t>(query.length());
     const uint64_t rlen = static_cast<uint64_t>(reference.length());
     detail::fnvMix(h, &qlen, sizeof(qlen));

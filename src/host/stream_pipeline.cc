@@ -1,5 +1,7 @@
 #include "host/stream_pipeline.hh"
 
+#include "baselines/gpu_model.hh"
+
 namespace dphls::host {
 
 std::vector<std::vector<int>>
@@ -55,8 +57,10 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         device_total += ch.totalCycles;
         device_aligns += ch.alignments;
     }
-    stats.totalCycles = device_total + stats.cpu.totalCycles;
-    stats.alignments = device_aligns + stats.cpu.alignments;
+    stats.totalCycles =
+        device_total + stats.cpu.totalCycles + stats.gpu.totalCycles;
+    stats.alignments =
+        device_aligns + stats.cpu.alignments + stats.gpu.alignments;
 
     stats.backends.clear();
     {
@@ -82,6 +86,17 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
             ? static_cast<double>(cpu.busyCycles) / (cpu_mhz * 1e6)
             : 0.0;
         stats.backends.push_back(cpu);
+    }
+    if (stats.gpu.alignments > 0) {
+        BackendStats gpu;
+        gpu.name = "gpu";
+        gpu.clockMhz = baseline::gpuModelClockMhz();
+        gpu.busyCycles = stats.gpu.busyCycles;
+        gpu.totalCycles = stats.gpu.totalCycles;
+        gpu.alignments = stats.gpu.alignments;
+        gpu.seconds =
+            static_cast<double>(gpu.busyCycles) / (gpu.clockMhz * 1e6);
+        stats.backends.push_back(gpu);
     }
 
     // The backends run concurrently; the epoch's wall time is the
@@ -110,6 +125,9 @@ accumulateBatchStats(BatchStats &into, const BatchStats &add)
     into.cpu.busyCycles += add.cpu.busyCycles;
     into.cpu.totalCycles += add.cpu.totalCycles;
     into.cpu.alignments += add.cpu.alignments;
+    into.gpu.busyCycles += add.gpu.busyCycles;
+    into.gpu.totalCycles += add.gpu.totalCycles;
+    into.gpu.alignments += add.gpu.alignments;
     mergePathStats(into.paths, add.paths);
 }
 

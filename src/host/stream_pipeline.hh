@@ -15,11 +15,19 @@
  *    and backend statistics, finalized at completion, so a submit()
  *    overlapping a drain() can no longer race the epoch accounting (the
  *    documented BatchPipeline restriction is gone).
- *  - A **dispatch policy** routes jobs the device cannot or should not
- *    take (sequences over MAX_*_LENGTH, or pairs below a configurable
- *    floor) to the CPU baseline backend; per-backend stats sections
- *    make the heterogeneous split visible, and they sum to the epoch
- *    totals.
+ *  - A **dispatch policy** routes each job to a backend. The Threshold
+ *    policy is the shape rule: jobs the device cannot take (sequences
+ *    over MAX_*_LENGTH) or should not take (pairs below a configurable
+ *    floor) go to the CPU baseline backend, everything else round-robins
+ *    over the device channels. The CostModel policy instead asks every
+ *    enabled backend for a service-time estimate (device channels:
+ *    analytic cycle formulas; CPU: EWMA of measured cells/sec; GPU
+ *    model: published GCUPS) and routes each job to the backend — and
+ *    channel — with the lowest estimated completion time given its
+ *    current queued work. Either way, per-backend stats sections make
+ *    the heterogeneous split visible, and they sum to the epoch totals.
+ *    A job no enabled backend can take fails loudly at submission with
+ *    its index and shape.
  *  - Host worker **threads are decoupled from NK**: with the lane
  *    engine one thread can saturate several modeled channels, so
  *    BatchConfig::threads sizes the pool independently (0 = one thread
@@ -43,8 +51,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/alignment_stats.hh"
@@ -53,6 +64,24 @@
 #include "host/scheduler.hh"
 
 namespace dphls::host {
+
+/** How the pipeline routes jobs across its backends. */
+enum class DispatchPolicy : uint8_t
+{
+    /**
+     * Shape thresholds (the original rule): oversized/tiny jobs to the
+     * CPU backend, everything else round-robin over device channels.
+     * Bit-identical to the pre-cost-model pipeline.
+     */
+    Threshold,
+    /**
+     * Pick the backend (and channel) with the lowest estimated
+     * completion time: per-job service estimate plus the backend's
+     * live queued-work signal. Balances load across heterogeneous
+     * executors instead of cutting on shape alone.
+     */
+    CostModel,
+};
 
 /** Pipeline configuration: parallelism, frequency and engine options. */
 struct BatchConfig
@@ -108,6 +137,21 @@ struct BatchConfig
     /** CPU-backend worker threads (0 = same as the pool size). */
     int cpuThreads = 0;
     /**
+     * Pin the CPU backend's cells/sec instead of learning it from wall
+     * -clock measurements, and derive its cycles from the pinned rate.
+     * Makes CPU-backend accounting deterministic — benches and
+     * differential tests use it; real hosts leave it 0 (measure).
+     */
+    double cpuModeledCellsPerSec = 0;
+    /** Backend routing rule; Threshold preserves the original path. */
+    DispatchPolicy dispatch = DispatchPolicy::Threshold;
+    /**
+     * Add the modeled GPU backend (GASAL2/CUDASW++ iso-cost GCUPS) for
+     * kernels the paper benchmarks on a GPU. It only receives jobs
+     * under the CostModel policy.
+     */
+    bool gpuModel = false;
+    /**
      * Result-cache capacity in entries; 0 (the default) disables the
      * cache. Enable it for workloads with repeated pairs (all-vs-all
      * search, mapping seeds) — on all-distinct batches it only costs
@@ -134,6 +178,7 @@ struct BatchStats
 {
     std::vector<ChannelStats> channels; //!< device channels
     ChannelStats cpu;                   //!< CPU-fallback backend totals
+    ChannelStats gpu;                   //!< modeled GPU backend totals
     /** Per-backend sections (derived by finalizeBatchStats); their
      *  alignments and totalCycles sum to the epoch totals below. */
     std::vector<BackendStats> backends;
@@ -290,7 +335,15 @@ class StreamPipeline
                                                         : _cfg.threads;
             _cpu = std::make_unique<CpuBaselineBackend<K>>(
                 _params, _cfg.bandWidth, _cfg.cpuEquivalentMhz,
-                cpu_threads, _cfg.skipTraceback);
+                cpu_threads, _cfg.skipTraceback,
+                _cfg.cpuModeledCellsPerSec);
+        }
+        if (_cfg.gpuModel && GpuModelBackend<K>::covered()) {
+            const int gpu_threads = _cfg.cpuThreads > 0 ? _cfg.cpuThreads
+                                                        : _cfg.threads;
+            _gpu = std::make_unique<GpuModelBackend<K>>(
+                _params, _cfg.bandWidth, gpu_threads,
+                _cfg.skipTraceback);
         }
     }
 
@@ -427,7 +480,7 @@ class StreamPipeline
                                            : std::max(1, cfg.nk));
     }
 
-    /** True when the dispatch policy routes @p job to the CPU backend. */
+    /** True when the Threshold policy routes @p job to the CPU backend. */
     bool
     routeToCpu(const Job &job) const
     {
@@ -441,31 +494,192 @@ class StreamPipeline
                std::max(qlen, rlen) < _cfg.cpuFloorLen;
     }
 
+    [[noreturn]] void
+    throwUndispatchable(int idx, const Job &job) const
+    {
+        throw std::invalid_argument(
+            "dispatch: job " + std::to_string(idx) + " (" +
+            std::to_string(job.query.length()) + " x " +
+            std::to_string(job.reference.length()) +
+            ") exceeds device maxima (" +
+            std::to_string(_cfg.maxQueryLength) + " x " +
+            std::to_string(_cfg.maxReferenceLength) +
+            ") and no fallback backend is enabled");
+    }
+
+    /** Routing outcome of one batch: per-channel shards + CPU/GPU. */
+    struct Routing
+    {
+        std::vector<std::vector<int>> shards;
+        std::vector<int> cpu, gpu;
+        std::vector<double> shardEst; //!< per-channel estimated seconds
+        double cpuEst = 0, gpuEst = 0;
+    };
+
+    /**
+     * Threshold routing: the original shape rule — CPU for oversized/
+     * tiny jobs, round-robin device sharding for the rest. Exactly the
+     * old sharding when nothing routes to the CPU. An oversized job
+     * with no CPU backend falls back to the GPU model when that is
+     * enabled (its full-matrix implementation has no length limit)
+     * before failing loudly.
+     */
+    Routing
+    routeThreshold(const std::vector<Job> &jobs) const
+    {
+        Routing r;
+        std::vector<int> device_idx;
+        device_idx.reserve(jobs.size());
+        for (int i = 0; i < static_cast<int>(jobs.size()); i++) {
+            const Job &job = jobs[static_cast<size_t>(i)];
+            const bool oversized =
+                job.query.length() > _cfg.maxQueryLength ||
+                job.reference.length() > _cfg.maxReferenceLength;
+            if (routeToCpu(job)) {
+                r.cpu.push_back(i);
+            } else if (oversized) {
+                if (_gpu)
+                    r.gpu.push_back(i);
+                else
+                    throwUndispatchable(i, job);
+            } else {
+                device_idx.push_back(i);
+            }
+        }
+        r.shards = shardIndicesRoundRobin(device_idx, _cfg.nk);
+        r.shardEst.assign(r.shards.size(), 0.0);
+        return r;
+    }
+
+    /**
+     * Cost-model routing: every job goes to the feasible backend slot
+     * (each device channel, the CPU backend, the GPU model) with the
+     * lowest estimated completion time — the slot's live queued-work
+     * signal, plus work routed earlier in this same batch, plus the
+     * job's service estimate. Ties prefer the device (its estimates
+     * are exact; the baselines' are learned or modeled).
+     */
+    Routing
+    routeCostModel(const std::vector<Job> &jobs) const
+    {
+        Routing r;
+        r.shards.assign(static_cast<size_t>(_cfg.nk), {});
+        r.shardEst.assign(static_cast<size_t>(_cfg.nk), 0.0);
+        std::vector<double> ch_queued(static_cast<size_t>(_cfg.nk), 0.0);
+        for (int c = 0; c < _cfg.nk; c++) {
+            ch_queued[static_cast<size_t>(c)] =
+                _channels[static_cast<size_t>(c)]->backend->queuedSeconds();
+        }
+        const double cpu_queued = _cpu ? _cpu->queuedSeconds() : 0;
+        const double gpu_queued = _gpu ? _gpu->queuedSeconds() : 0;
+        // Per-shard fixed costs (the GPU model's kernel launch): paid
+        // by the first job routed to the slot in this batch, so small
+        // batches see the true marginal cost of waking a backend.
+        const double dev_overhead =
+            _channels[0]->backend->batchOverheadSeconds();
+        const double cpu_overhead =
+            _cpu ? _cpu->batchOverheadSeconds() : 0;
+        const double gpu_overhead =
+            _gpu ? _gpu->batchOverheadSeconds() : 0;
+
+        for (int i = 0; i < static_cast<int>(jobs.size()); i++) {
+            const Job &job = jobs[static_cast<size_t>(i)];
+            // All device channels share one configuration, so one
+            // estimate covers them; the choice between channels is
+            // purely their backlog.
+            const CostEstimate dev =
+                _channels[0]->backend->estimate(job);
+            const CostEstimate cpu_est =
+                _cpu ? _cpu->estimate(job) : CostEstimate{0, false};
+            const CostEstimate gpu_est =
+                _gpu ? _gpu->estimate(job) : CostEstimate{0, false};
+
+            int best_channel = -1;
+            double best = std::numeric_limits<double>::infinity();
+            if (dev.feasible) {
+                for (int c = 0; c < _cfg.nk; c++) {
+                    const double first =
+                        r.shards[static_cast<size_t>(c)].empty()
+                            ? dev_overhead
+                            : 0;
+                    const double t = ch_queued[static_cast<size_t>(c)] +
+                                     r.shardEst[static_cast<size_t>(c)] +
+                                     dev.seconds + first;
+                    if (t < best) {
+                        best = t;
+                        best_channel = c;
+                    }
+                }
+            }
+            const double cpu_first = r.cpu.empty() ? cpu_overhead : 0;
+            const double gpu_first = r.gpu.empty() ? gpu_overhead : 0;
+            enum { Device, Cpu, Gpu } target = Device;
+            if (cpu_est.feasible &&
+                cpu_queued + r.cpuEst + cpu_est.seconds + cpu_first <
+                    best) {
+                best = cpu_queued + r.cpuEst + cpu_est.seconds + cpu_first;
+                target = Cpu;
+            }
+            if (gpu_est.feasible &&
+                gpu_queued + r.gpuEst + gpu_est.seconds + gpu_first <
+                    best) {
+                best = gpu_queued + r.gpuEst + gpu_est.seconds + gpu_first;
+                target = Gpu;
+            }
+            if (!dev.feasible && target == Device) {
+                if (cpu_est.feasible) {
+                    target = Cpu;
+                } else if (gpu_est.feasible) {
+                    target = Gpu;
+                } else {
+                    throwUndispatchable(i, job);
+                }
+            }
+            switch (target) {
+              case Device: {
+                auto &shard = r.shards[static_cast<size_t>(best_channel)];
+                if (shard.empty())
+                    r.shardEst[static_cast<size_t>(best_channel)] +=
+                        dev_overhead;
+                shard.push_back(i);
+                r.shardEst[static_cast<size_t>(best_channel)] +=
+                    dev.seconds;
+                break;
+              }
+              case Cpu:
+                r.cpu.push_back(i);
+                r.cpuEst += cpu_est.seconds + cpu_first;
+                break;
+              case Gpu:
+                r.gpu.push_back(i);
+                r.gpuEst += gpu_est.seconds + gpu_first;
+                break;
+            }
+        }
+        return r;
+    }
+
     void
     enqueue(const Ticket &ticket)
     {
         const auto &jobs = ticket->jobs();
         const int n = static_cast<int>(jobs.size());
+
+        // Route first: an undispatchable job throws here, before the
+        // ticket is registered, so a failed submit leaves the pipeline
+        // with nothing outstanding.
+        Routing routing = _cfg.dispatch == DispatchPolicy::CostModel
+                              ? routeCostModel(jobs)
+                              : routeThreshold(jobs);
+
         ticket->_results.resize(static_cast<size_t>(n));
         ticket->_cycles.assign(static_cast<size_t>(n), 0);
         ticket->_stats.channels.assign(static_cast<size_t>(_cfg.nk),
                                        ChannelStats{});
 
-        // Dispatch policy, then round-robin sharding of the device's
-        // share over its channels (index-order preserving, exactly the
-        // old sharding when nothing routes to the CPU).
-        std::vector<int> device_idx, cpu_idx;
-        device_idx.reserve(static_cast<size_t>(n));
-        for (int i = 0; i < n; i++) {
-            if (routeToCpu(jobs[static_cast<size_t>(i)]))
-                cpu_idx.push_back(i);
-            else
-                device_idx.push_back(i);
-        }
-        auto shards = shardIndicesRoundRobin(device_idx, _cfg.nk);
-
-        int tasks = cpu_idx.empty() ? 0 : 1;
-        for (const auto &s : shards)
+        int tasks = (routing.cpu.empty() ? 0 : 1) +
+                    (routing.gpu.empty() ? 0 : 1);
+        for (const auto &s : routing.shards)
             tasks += s.empty() ? 0 : 1;
         ticket->_pending = tasks;
         {
@@ -478,29 +692,58 @@ class StreamPipeline
         }
 
         for (int c = 0; c < _cfg.nk; c++) {
-            auto shard = std::move(shards[static_cast<size_t>(c)]);
+            auto shard = std::move(routing.shards[static_cast<size_t>(c)]);
             if (shard.empty())
                 continue;
-            _pool.submit([this, ticket, c, shard = std::move(shard)] {
-                Channel &ch = *_channels[static_cast<size_t>(c)];
+            const double est = routing.shardEst[static_cast<size_t>(c)];
+            Channel &ch = *_channels[static_cast<size_t>(c)];
+            if (est > 0)
+                ch.backend->noteEnqueued(est);
+            _pool.submit([this, ticket, c, est,
+                          shard = std::move(shard)] {
+                Channel &chan = *_channels[static_cast<size_t>(c)];
                 {
-                    std::lock_guard lock(ch.mutex);
-                    ch.backend->run(
+                    std::lock_guard lock(chan.mutex);
+                    chan.backend->run(
                         ticket->jobs(), shard, ticket->_results.data(),
                         ticket->_cycles.data(),
                         ticket->_stats.channels[static_cast<size_t>(c)]);
                 }
+                if (est > 0)
+                    chan.backend->noteCompleted(est);
                 collectPaths(*ticket, shard);
                 finishShard(ticket);
             });
         }
-        if (!cpu_idx.empty()) {
-            _pool.submit([this, ticket, cpu = std::move(cpu_idx)] {
+        if (!routing.cpu.empty()) {
+            const double est = routing.cpuEst;
+            if (est > 0)
+                _cpu->noteEnqueued(est);
+            _pool.submit([this, ticket, est,
+                          cpu = std::move(routing.cpu)] {
                 // MatrixAligner is stateless-const, so the CPU backend
                 // needs no serialization across tickets.
                 _cpu->run(ticket->jobs(), cpu, ticket->_results.data(),
                           ticket->_cycles.data(), ticket->_stats.cpu);
+                if (est > 0)
+                    _cpu->noteCompleted(est);
                 collectPaths(*ticket, cpu);
+                finishShard(ticket);
+            });
+        }
+        if (!routing.gpu.empty()) {
+            const double est = routing.gpuEst;
+            if (est > 0)
+                _gpu->noteEnqueued(est);
+            _pool.submit([this, ticket, est,
+                          gpu = std::move(routing.gpu)] {
+                // The GPU model batches each shard as one launch; like
+                // the CPU backend it has no cross-ticket mutable state.
+                _gpu->run(ticket->jobs(), gpu, ticket->_results.data(),
+                          ticket->_cycles.data(), ticket->_stats.gpu);
+                if (est > 0)
+                    _gpu->noteCompleted(est);
+                collectPaths(*ticket, gpu);
                 finishShard(ticket);
             });
         }
@@ -560,6 +803,7 @@ class StreamPipeline
     std::vector<Ticket> _outstanding; //!< submitted, not yet retired
     std::vector<std::unique_ptr<Channel>> _channels;
     std::unique_ptr<CpuBaselineBackend<K>> _cpu;
+    std::unique_ptr<GpuModelBackend<K>> _gpu;
     // Declared last: ~ThreadPool drains every queued shard task, so the
     // pool must be destroyed before the channels/backends those tasks
     // reference (pipeline destroyed with in-flight tickets).

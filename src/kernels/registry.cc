@@ -192,6 +192,11 @@ makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
         bc.maxReferenceLength = max_r;
         bc.skipTraceback = rc.skipTraceback;
         bc.hostOverheadCycles = rc.hostOverheadCycles;
+        bc.dispatch = rc.costModelDispatch ? host::DispatchPolicy::CostModel
+                                           : host::DispatchPolicy::Threshold;
+        bc.cpuFallback = rc.cpuFallback;
+        bc.cpuModeledCellsPerSec = rc.cpuModeledCellsPerSec;
+        bc.gpuModel = rc.gpuModel;
         bc.collectPathStats = false; // throughput-only run
         host::StreamPipeline<K> pipeline(bc);
         const auto stats = pipeline.runAll(jobs);

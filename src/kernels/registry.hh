@@ -48,6 +48,14 @@ struct RunConfig
     uint64_t seed = 42;
     bool skipTraceback = false;
     uint64_t hostOverheadCycles = 2000;
+    /** Cost-model dispatch instead of the threshold rule. */
+    bool costModelDispatch = false;
+    /** Keep a CPU fallback backend alongside the device channels. */
+    bool cpuFallback = false;
+    /** Deterministic CPU rate for cost-model runs (0 = measure). */
+    double cpuModeledCellsPerSec = 0;
+    /** Add the modeled GPU backend (covered kernels only). */
+    bool gpuModel = false;
 };
 
 /** Outcome of one simulated device run on the standard workload. */

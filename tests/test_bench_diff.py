@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI-regression-gate tests for tools/bench_diff.py.
+
+Runs the script as a subprocess against synthetic artifact directories
+and checks the gating contract: hard aligns_per_sec regressions fail,
+zero/missing baselines soft-pass (a previous run that crashed or
+skipped a bench must not take CI down with a ZeroDivisionError), and
+wall-clock metrics only ever produce notices.
+
+Registered with CTest (stdlib unittest only — no pytest dependency).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "tools", "bench_diff.py")
+
+
+def run_diff(old, new, threshold="10"):
+    return subprocess.run(
+        [sys.executable, SCRIPT, "--old", old, "--new", new,
+         "--threshold", threshold],
+        capture_output=True, text=True)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.old = os.path.join(self._tmp.name, "old")
+        self.new = os.path.join(self._tmp.name, "new")
+        os.makedirs(self.old)
+        os.makedirs(self.new)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, dirname, data, name="BENCH_t.json"):
+        with open(os.path.join(dirname, name), "w") as handle:
+            json.dump(data, handle)
+
+    def test_zero_baseline_soft_passes(self):
+        # A crashed/skipped previous bench leaves aligns_per_sec == 0;
+        # that must be a notice, not a ZeroDivisionError or a failure.
+        self.write(self.old, {"aligns_per_sec": 0})
+        self.write(self.new, {"aligns_per_sec": 123.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("no usable baseline", result.stdout)
+
+    def test_missing_metric_in_baseline_is_skipped(self):
+        self.write(self.old, {"other_metric": 5})
+        self.write(self.new, {"aligns_per_sec": 123.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_missing_old_dir_soft_passes(self):
+        self.write(self.new, {"aligns_per_sec": 123.0})
+        result = run_diff(os.path.join(self._tmp.name, "nope"), self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("soft pass", result.stdout)
+
+    def test_missing_new_dir_fails(self):
+        result = run_diff(self.old, os.path.join(self._tmp.name, "nope"))
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_hard_regression_fails(self):
+        self.write(self.old, {"aligns_per_sec": 100.0})
+        self.write(self.new, {"aligns_per_sec": 80.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_improvement_and_small_drop_pass(self):
+        self.write(self.old, {"a": {"aligns_per_sec": 100.0},
+                              "b": {"aligns_per_sec": 100.0}})
+        self.write(self.new, {"a": {"aligns_per_sec": 200.0},
+                              "b": {"aligns_per_sec": 95.0}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_wall_clock_regression_is_notice_only(self):
+        self.write(self.old, {"cells_per_sec": 100.0})
+        self.write(self.new, {"cells_per_sec": 10.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("notice", result.stdout)
+
+    def test_keyed_rows_survive_reordering(self):
+        self.write(self.old, {"rows": [{"id": 1, "aligns_per_sec": 50.0},
+                                       {"id": 2, "aligns_per_sec": 100.0}]})
+        self.write(self.new, {"rows": [{"id": 2, "aligns_per_sec": 100.0},
+                                       {"id": 1, "aligns_per_sec": 50.0}]})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

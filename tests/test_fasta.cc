@@ -40,6 +40,60 @@ TEST(FastaTest, SkipsBlankLinesAndCrlf)
     EXPECT_EQ(records[0].residues, "ACGT");
 }
 
+TEST(FastaTest, CrlfFileKeepsHeadersAndResiduesClean)
+{
+    // A fully CRLF-terminated file (the common case for FASTA files
+    // touched on Windows): no '\r' may leak into names or residues.
+    std::istringstream in(">a one\r\nACGT\r\nAC\r\n>b two\r\nGGTT\r\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name, "a one");
+    EXPECT_EQ(records[0].residues, "ACGTAC");
+    EXPECT_EQ(records[1].name, "b two");
+    EXPECT_EQ(records[1].residues, "GGTT");
+    for (const auto &rec : records) {
+        EXPECT_EQ(rec.name.find('\r'), std::string::npos);
+        EXPECT_EQ(rec.residues.find('\r'), std::string::npos);
+    }
+}
+
+TEST(FastaTest, MixedLineEndingsParseLikeUnixFile)
+{
+    // Mixed LF and CRLF endings in one file, including a final line
+    // with a carriage return but no newline — a file assembled from
+    // several sources. Must parse identically to the clean LF version.
+    std::istringstream mixed(">a\r\nACGT\nTT\r\n>b\nGG\r\n>c\r\nAC\r");
+    std::istringstream plain(">a\nACGT\nTT\n>b\nGG\n>c\nAC\n");
+    const auto got = readFasta(mixed);
+    const auto want = readFasta(plain);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        EXPECT_EQ(got[i].name, want[i].name) << i;
+        EXPECT_EQ(got[i].residues, want[i].residues) << i;
+    }
+}
+
+TEST(FastaTest, CrlfStreamDecodesToDna)
+{
+    // End to end through the incremental parser and the DNA decoder: a
+    // stray '\r' in the residues would throw in dnaFromString.
+    const std::string path = "test_fasta_crlf_tmp.fa";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << ">r1 desc\r\nACGT\r\nGGCC\r\n>r2\r\nTTAA\r\n";
+    }
+    FastaStream stream(path);
+    FastaRecord rec;
+    ASSERT_TRUE(stream.next(rec));
+    EXPECT_EQ(rec.name, "r1 desc");
+    EXPECT_EQ(dnaToString(dnaFromString(rec.residues)), "ACGTGGCC");
+    ASSERT_TRUE(stream.next(rec));
+    EXPECT_EQ(rec.name, "r2");
+    EXPECT_EQ(dnaToString(dnaFromString(rec.residues)), "TTAA");
+    EXPECT_FALSE(stream.next(rec));
+    std::remove(path.c_str());
+}
+
 TEST(FastaTest, ResidueBeforeHeaderThrows)
 {
     std::istringstream in("ACGT\n>a\nAC\n");

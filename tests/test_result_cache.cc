@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "helpers.hh"
+#include "host/backend.hh"
 #include "host/batch_pipeline.hh"
 #include "host/result_cache.hh"
 #include "kernels/all.hh"
+#include "systolic/engine.hh"
 
 using namespace dphls;
 
@@ -46,6 +48,93 @@ TEST(PairHash, StableAndContentSensitive)
     auto p2 = params;
     p2.gapOpen += 1;
     EXPECT_FALSE(h1 == host::pairHash(q1, r1, p2));
+}
+
+TEST(PairHash, ConfigSaltSeparatesKeys)
+{
+    const auto q = seq::dnaFromString("ACGTACGT");
+    const auto r = seq::dnaFromString("ACGGACGT");
+    const auto params = kernels::BandedGlobalLinear::defaultParams();
+
+    // Different salts yield different keys for the same job...
+    const auto h1 = host::pairHash(q, r, params, 1);
+    const auto h2 = host::pairHash(q, r, params, 2);
+    EXPECT_FALSE(h1 == h2);
+    // ...and the same salt is stable.
+    EXPECT_EQ(h1, host::pairHash(q, r, params, 1));
+
+    // Every result- or cycle-affecting EngineConfig field flips the
+    // derived salt: band width, NPE, maxima, traceback, cycle options.
+    sim::EngineConfig base;
+    const uint64_t s0 = host::engineConfigSalt(base);
+    auto salted = [&](auto mutate) {
+        sim::EngineConfig cfg;
+        mutate(cfg);
+        return host::engineConfigSalt(cfg);
+    };
+    EXPECT_EQ(s0, host::engineConfigSalt(base)); // deterministic
+    EXPECT_NE(s0, salted([](auto &c) { c.bandWidth = 8; }));
+    EXPECT_NE(s0, salted([](auto &c) { c.numPe = 16; }));
+    EXPECT_NE(s0, salted([](auto &c) { c.maxQueryLength = 512; }));
+    EXPECT_NE(s0, salted([](auto &c) { c.skipTraceback = true; }));
+    EXPECT_NE(s0, salted([](auto &c) { c.cycles.pipelineDepth = 9; }));
+}
+
+TEST(ShardedResultCache, CrossConfigBackendsDoNotAlias)
+{
+    // Regression: two backends with different band widths sharing one
+    // cache must never replay each other's results for the same pair.
+    // A 12-base insertion forces the path off the diagonal, so the
+    // narrow band scores it very differently from the wide one.
+    using K = kernels::BandedGlobalLinear;
+    using Result = core::AlignResult<K::ScoreT>;
+    const auto params = K::defaultParams();
+    auto q = seq::dnaFromString(std::string(40, 'A'));
+    auto r = seq::dnaFromString("GGGGGGGGGGGG" + std::string(40, 'A'));
+
+    sim::EngineConfig narrow_cfg, wide_cfg;
+    narrow_cfg.bandWidth = 2;
+    wide_cfg.bandWidth = 32;
+
+    host::ShardedResultCache<Result> cache(64, 2);
+    host::DeviceChannelBackend<K> narrow(narrow_cfg, params, 1, 0, 250.0,
+                                         &cache);
+    host::DeviceChannelBackend<K> wide(wide_cfg, params, 1, 0, 250.0,
+                                       &cache);
+
+    std::vector<host::AlignmentJob<seq::DnaChar>> jobs;
+    jobs.push_back({q, r});
+    const std::vector<int> indices{0};
+    Result narrow_res, wide_res;
+    uint64_t narrow_cycles = 0, wide_cycles = 0;
+    host::ChannelStats acct;
+    narrow.run(jobs, indices, &narrow_res, &narrow_cycles, acct);
+    wide.run(jobs, indices, &wide_res, &wide_cycles, acct);
+
+    // Both computed (no cross-config hit), and each matches a fresh
+    // uncached engine at its own configuration.
+    EXPECT_EQ(cache.counters().hits, 0u);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    sim::SystolicAligner<K> narrow_engine(narrow_cfg, params);
+    sim::SystolicAligner<K> wide_engine(wide_cfg, params);
+    const auto narrow_want = narrow_engine.align(q, r);
+    const uint64_t narrow_want_cycles = narrow_engine.lastTotalCycles();
+    const auto wide_want = wide_engine.align(q, r);
+    const uint64_t wide_want_cycles = wide_engine.lastTotalCycles();
+    EXPECT_EQ(narrow_res.score, narrow_want.score);
+    EXPECT_EQ(narrow_res.ops, narrow_want.ops);
+    EXPECT_EQ(narrow_cycles, narrow_want_cycles);
+    EXPECT_EQ(wide_res.score, wide_want.score);
+    EXPECT_EQ(wide_res.ops, wide_want.ops);
+    EXPECT_EQ(wide_cycles, wide_want_cycles);
+    // The two configurations genuinely disagree, so aliasing would
+    // have been visible.
+    EXPECT_NE(narrow_want.score, wide_want.score);
+
+    // Same-config repeats still hit.
+    narrow.run(jobs, indices, &narrow_res, &narrow_cycles, acct);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(narrow_res.score, narrow_want.score);
 }
 
 TEST(ShardedResultCache, LruEvictionPerShard)

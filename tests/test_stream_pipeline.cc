@@ -154,7 +154,86 @@ streamingMatchesRunAll()
         << K::name;
 }
 
+/**
+ * The cost-model router differential: CostModel and Threshold dispatch
+ * must produce identical result sets for the same batch — whichever
+ * backend serves a job, functional outputs are pinned to the same
+ * golden semantics (cycles legitimately differ: the backends have
+ * different cost models). Per-backend sections must sum to the epoch
+ * totals under both policies.
+ */
+template <typename K>
+void
+costModelMatchesThreshold()
+{
+    using Pipeline = host::StreamPipeline<K>;
+    using Tr = core::ScoreTraits<typename K::ScoreT>;
+    auto jobs = shapedJobs<K>(static_cast<uint64_t>(K::kernelId) * 131 + 9);
+
+    host::BatchConfig cfg;
+    cfg.npe = 16;
+    cfg.nb = 2;
+    cfg.nk = 3;
+    cfg.laneWidth = 4;
+    cfg.bandWidth = 16;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    cfg.cpuFallback = true;
+    cfg.cpuFloorLen = 8;
+    cfg.cpuModeledCellsPerSec = 4e8; // deterministic CPU accounting
+    host::BatchConfig cost_cfg = cfg;
+    cost_cfg.dispatch = host::DispatchPolicy::CostModel;
+    cost_cfg.gpuModel = true; // three-way for the kernels Fig. 6B covers
+
+    Pipeline threshold(cfg), cost(cost_cfg);
+    std::vector<typename Pipeline::Result> want, got;
+    const auto tstats = threshold.runAll(jobs, &want);
+    const auto cstats = cost.runAll(jobs, &got);
+
+    ASSERT_EQ(want.size(), got.size()) << K::name;
+    for (size_t i = 0; i < want.size(); i++) {
+        const std::string ctx =
+            std::string(K::name) + " policy-diff job " + std::to_string(i);
+        ASSERT_EQ(Tr::toDouble(want[i].score), Tr::toDouble(got[i].score))
+            << ctx;
+        ASSERT_EQ(want[i].end, got[i].end) << ctx;
+        ASSERT_EQ(want[i].start, got[i].start) << ctx;
+        ASSERT_EQ(core::toCigar(want[i].ops), core::toCigar(got[i].ops))
+            << ctx;
+    }
+    EXPECT_EQ(tstats.alignments, cstats.alignments) << K::name;
+    for (const auto *stats : {&tstats, &cstats}) {
+        int aligns = 0;
+        uint64_t total = 0;
+        for (const auto &b : stats->backends) {
+            aligns += b.alignments;
+            total += b.totalCycles;
+        }
+        EXPECT_EQ(aligns, stats->alignments) << K::name;
+        EXPECT_EQ(total, stats->totalCycles) << K::name;
+    }
+}
+
 } // namespace
+
+TEST(StreamPipeline, CostModelMatchesThresholdAllKernels)
+{
+    costModelMatchesThreshold<kernels::GlobalLinear>();
+    costModelMatchesThreshold<kernels::GlobalAffine>();
+    costModelMatchesThreshold<kernels::LocalLinear>();
+    costModelMatchesThreshold<kernels::LocalAffine>();
+    costModelMatchesThreshold<kernels::GlobalTwoPiece>();
+    costModelMatchesThreshold<kernels::Overlap>();
+    costModelMatchesThreshold<kernels::SemiGlobal>();
+    costModelMatchesThreshold<kernels::ProfileAlignment>();
+    costModelMatchesThreshold<kernels::Dtw>();
+    costModelMatchesThreshold<kernels::Viterbi>();
+    costModelMatchesThreshold<kernels::BandedGlobalLinear>();
+    costModelMatchesThreshold<kernels::BandedLocalAffine>();
+    costModelMatchesThreshold<kernels::BandedGlobalTwoPiece>();
+    costModelMatchesThreshold<kernels::Sdtw>();
+    costModelMatchesThreshold<kernels::ProteinLocal>();
+}
 
 TEST(StreamPipeline, GlobalLinearMatchesRunAll)
 {
@@ -498,4 +577,218 @@ TEST(StreamPipeline, DrainAggregatesAcrossTicketsInSubmissionOrder)
     const auto empty = pipeline.drain();
     EXPECT_EQ(empty.alignments, 0);
     EXPECT_EQ(empty.makespanCycles, 0u);
+}
+
+TEST(StreamPipeline, OversizedJobWithoutFallbackFailsLoudlyAtSubmit)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 2;
+    cfg.maxQueryLength = 128;
+    cfg.maxReferenceLength = 128;
+    // No cpuFallback: an oversized job has nowhere to go and must be
+    // rejected at submission with its index and shape, not by whatever
+    // the engine does on a worker thread.
+    Pipeline pipeline(cfg);
+
+    auto jobs = dnaJobs(3, 4242, 96);
+    seq::Rng rng(9);
+    Pipeline::Job big;
+    big.query = seq::randomDna(200, rng);
+    big.reference = seq::randomDna(50, rng);
+    jobs.push_back(std::move(big));
+
+    try {
+        pipeline.runAll(jobs);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("job 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("200 x 50"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("128 x 128"), std::string::npos) << msg;
+    }
+
+    // Same loud failure under the cost-model policy with no feasible
+    // backend.
+    host::BatchConfig cost_cfg = cfg;
+    cost_cfg.dispatch = host::DispatchPolicy::CostModel;
+    Pipeline cost_pipeline(cost_cfg);
+    EXPECT_THROW(cost_pipeline.runAll(jobs), std::invalid_argument);
+
+    // A failed submit leaves nothing outstanding; the pipeline stays
+    // usable.
+    const auto stats = pipeline.runAll(dnaJobs(5, 4243, 96));
+    EXPECT_EQ(stats.alignments, 5);
+    EXPECT_EQ(pipeline.drain().alignments, 0);
+}
+
+TEST(StreamPipeline, ThresholdRoutesOversizedToGpuModelWhenOnlyGpuEnabled)
+{
+    // --gpu-model without --cpu-fallback under the threshold policy:
+    // an oversized job must be served by the GPU model (its
+    // full-matrix implementation has no length limit), not rejected
+    // with a message claiming no fallback backend is enabled.
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 2;
+    cfg.maxQueryLength = 128;
+    cfg.maxReferenceLength = 128;
+    cfg.gpuModel = true; // LocalAffine is GASAL2-covered
+    Pipeline pipeline(cfg);
+
+    auto jobs = dnaJobs(4, 777, 96);
+    seq::Rng rng(11);
+    Pipeline::Job big;
+    big.query = seq::randomDna(300, rng);
+    big.reference = seq::randomDna(150, rng);
+    jobs.push_back(std::move(big));
+
+    std::vector<Pipeline::Result> got;
+    const auto stats = pipeline.runAll(jobs, &got);
+    EXPECT_EQ(stats.alignments, 5);
+    EXPECT_EQ(stats.gpu.alignments, 1);
+    ref::MatrixAligner<K> gold(K::defaultParams(), cfg.bandWidth);
+    const auto want = gold.align(jobs.back().query, jobs.back().reference);
+    EXPECT_EQ(want.score, got.back().score);
+    EXPECT_EQ(want.ops, got.back().ops);
+    int aligns = 0;
+    for (const auto &b : stats.backends)
+        aligns += b.alignments;
+    EXPECT_EQ(aligns, stats.alignments);
+}
+
+TEST(StreamPipeline, BackendEstimatesAndQueueSignal)
+{
+    sim::EngineConfig ecfg;
+    ecfg.numPe = 8;
+    ecfg.maxQueryLength = 64;
+    ecfg.maxReferenceLength = 64;
+    host::DeviceChannelBackend<K> dev(ecfg, K::defaultParams(), 2, 1000,
+                                      250.0, nullptr);
+
+    seq::Rng rng(5);
+    Pipeline::Job small{seq::randomDna(32, rng), seq::randomDna(32, rng)};
+    Pipeline::Job big{seq::randomDna(100, rng), seq::randomDna(20, rng)};
+
+    const auto small_est = dev.estimate(small);
+    EXPECT_TRUE(small_est.feasible);
+    EXPECT_GT(small_est.seconds, 0.0);
+    EXPECT_FALSE(dev.estimate(big).feasible); // over the device maxima
+    // Longer jobs cost more.
+    Pipeline::Job mid{seq::randomDna(64, rng), seq::randomDna(64, rng)};
+    EXPECT_GT(dev.estimate(mid).seconds, small_est.seconds);
+
+    // The queued-work signal round-trips.
+    EXPECT_EQ(dev.queuedSeconds(), 0.0);
+    dev.noteEnqueued(0.5);
+    EXPECT_NEAR(dev.queuedSeconds(), 0.5, 1e-9);
+    dev.noteCompleted(0.5);
+    EXPECT_EQ(dev.queuedSeconds(), 0.0);
+
+    // CPU backend: pinned rate gives an exact deterministic estimate.
+    host::CpuBaselineBackend<K> cpu(K::defaultParams(), 64, 1500.0, 2,
+                                    false, 1e8);
+    EXPECT_NEAR(cpu.estimate(small).seconds,
+                32.0 * 32.0 / (1e8 * 2), 1e-12);
+
+    // Unpinned rate: the EWMA learns from measured completions.
+    host::CpuBaselineBackend<K> learning(K::defaultParams(), 64, 1500.0,
+                                         1, false);
+    const double before = learning.cellsPerSecEstimate();
+    std::vector<Pipeline::Job> jobs;
+    for (int i = 0; i < 8; i++)
+        jobs.push_back({seq::randomDna(48, rng), seq::randomDna(48, rng)});
+    std::vector<Pipeline::Result> results(jobs.size());
+    std::vector<uint64_t> cycles(jobs.size(), 0);
+    std::vector<int> indices;
+    for (int i = 0; i < 8; i++)
+        indices.push_back(i);
+    host::ChannelStats acct;
+    learning.run(jobs, indices, results.data(), cycles.data(), acct);
+    EXPECT_GT(learning.cellsPerSecEstimate(), 0.0);
+    EXPECT_NE(learning.cellsPerSecEstimate(), before);
+
+    // GPU-model coverage follows the paper's Fig. 6B kernel set.
+    EXPECT_TRUE(host::GpuModelBackend<kernels::LocalAffine>::covered());
+    EXPECT_TRUE(host::GpuModelBackend<kernels::ProteinLocal>::covered());
+    EXPECT_FALSE(host::GpuModelBackend<kernels::LocalLinear>::covered());
+    host::GpuModelBackend<K> gpu(K::defaultParams(), 64, 2, false);
+    const auto gpu_est = gpu.estimate(small);
+    EXPECT_TRUE(gpu_est.feasible);
+    EXPECT_GT(gpu_est.seconds, 0.0);
+}
+
+TEST(StreamPipeline, ThreeWayCostModelDispatchSumsToEpochTotals)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nb = 1;
+    cfg.nk = 2;
+    cfg.threads = 2;
+    cfg.maxQueryLength = 256;
+    cfg.maxReferenceLength = 256;
+    cfg.dispatch = host::DispatchPolicy::CostModel;
+    cfg.cpuFallback = true;
+    cfg.cpuModeledCellsPerSec = 2e8; // deterministic routing + accounting
+    cfg.gpuModel = true;             // LocalAffine is GASAL2-covered
+    Pipeline pipeline(cfg);
+
+    // Enough medium jobs that the GPU's and then the device channels'
+    // backlogs grow past the CPU's estimate, plus oversized jobs the
+    // device cannot take: all three backends end up serving jobs.
+    std::vector<Pipeline::Job> jobs;
+    seq::Rng rng(321);
+    for (int i = 0; i < 180; i++) {
+        const int len = 180 + (i % 5);
+        Pipeline::Job j;
+        j.query = seq::randomDna(len, rng);
+        j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+        j.reference.chars.resize(static_cast<size_t>(len));
+        jobs.push_back(std::move(j));
+    }
+    for (int i = 0; i < 6; i++) {
+        Pipeline::Job j;
+        j.query = seq::randomDna(400, rng);
+        j.reference = seq::randomDna(200, rng);
+        jobs.push_back(std::move(j));
+    }
+
+    std::vector<Pipeline::Result> got;
+    std::vector<uint64_t> cycles;
+    const auto stats = pipeline.runAll(jobs, &got, &cycles);
+
+    // Functional results match the golden model no matter which
+    // backend served the job.
+    ref::MatrixAligner<K> gold(K::defaultParams(), cfg.bandWidth);
+    for (size_t i = 0; i < jobs.size(); i += 13) {
+        const auto want = gold.align(jobs[i].query, jobs[i].reference);
+        EXPECT_EQ(want.score, got[i].score) << i;
+        EXPECT_EQ(want.ops, got[i].ops) << i;
+    }
+    for (const auto c : cycles)
+        EXPECT_GT(c, 0u);
+
+    // All three backends participated, and their sections sum to the
+    // epoch totals exactly.
+    EXPECT_EQ(stats.alignments, static_cast<int>(jobs.size()));
+    int device_aligns = 0;
+    for (const auto &ch : stats.channels)
+        device_aligns += ch.alignments;
+    EXPECT_GT(device_aligns, 0);
+    EXPECT_GT(stats.cpu.alignments, 0);
+    EXPECT_GT(stats.gpu.alignments, 0);
+    ASSERT_EQ(stats.backends.size(), 3u);
+    int aligns = 0;
+    uint64_t total = 0;
+    for (const auto &b : stats.backends) {
+        aligns += b.alignments;
+        total += b.totalCycles;
+    }
+    EXPECT_EQ(aligns, stats.alignments);
+    EXPECT_EQ(total, stats.totalCycles);
+    uint64_t per_job = 0;
+    for (const auto c : cycles)
+        per_job += c;
+    EXPECT_EQ(per_job, stats.totalCycles);
+    EXPECT_GT(stats.seconds, 0.0);
 }

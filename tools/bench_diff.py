@@ -77,6 +77,11 @@ def diff_file(name, old_path, new_path, threshold_pct):
             continue
         before, after = old[path], new[path]
         if before <= 0:
+            # A zero/negative baseline means the previous run crashed or
+            # skipped this bench — there is nothing sane to divide by,
+            # so treat it as soft: report, never gate.
+            notices.append(f"{name}:{path}: baseline {before:.4g} "
+                           f"-> {after:.4g} (no usable baseline, soft)")
             continue
         change_pct = 100.0 * (after - before) / before
         line = (f"{name}:{path}: {before:.4g} -> {after:.4g} "

@@ -15,11 +15,21 @@
  * or should not take (both ends under --cpu-floor) to the CPU baseline
  * backend, with the hetero split reported per backend.
  *
+ * --dispatch cost switches from the shape-threshold rule to cost-model
+ * routing (lowest estimated completion time over device channels, the
+ * CPU backend when --cpu-fallback is set, and the modeled GPU backend
+ * when --gpu-model is set; --gpu-model alone implies --dispatch cost).
+ * --chunk auto (or 0) sizes each submitted ticket adaptively from the
+ * observed drain latency so the parse -> align -> writeback pipeline
+ * stays full across kernel speeds.
+ *
  * Usage:
  *   dphls_align --kernel <name> --query q.fa --reference r.fa
  *               [--npe N] [--band W] [--max-len L] [--nk K] [--nb B]
- *               [--threads T] [--lanes W] [--chunk N] [--cpu-fallback]
- *               [--cpu-floor L] [--no-cache] [--no-traceback]
+ *               [--threads T] [--lanes W] [--chunk N|auto]
+ *               [--dispatch threshold|cost] [--gpu-model]
+ *               [--cpu-fallback] [--cpu-floor L] [--no-cache]
+ *               [--no-traceback]
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
@@ -27,12 +37,16 @@
  *          i-th reference (the shorter list is cycled).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/cigar.hh"
 #include "host/stream_pipeline.hh"
@@ -56,9 +70,11 @@ struct Options
     int nb = 1;
     int threads = 0;   //!< host workers; 0 = one per channel
     int lanes = 8;     //!< SIMD lane width (results identical at any width)
-    int chunk = 256;   //!< pairs per submitted batch (streaming grain)
+    int chunk = 256;   //!< pairs per submitted batch; 0/auto = adaptive
     int cpuFloor = 0;  //!< with --cpu-fallback: short-pair floor
     bool cpuFallback = false;
+    bool gpuModel = false;     //!< add the modeled GPU backend
+    std::string dispatch;      //!< "", "threshold" or "cost"
     bool cache = true;
     bool traceback = true;
 };
@@ -71,8 +87,10 @@ usage()
                  "--reference FASTA\n"
                  "                   [--npe N] [--band W] [--max-len L] "
                  "[--nk K] [--nb B]\n"
-                 "                   [--threads T] [--lanes W] [--chunk N] "
-                 "[--cpu-fallback]\n"
+                 "                   [--threads T] [--lanes W] "
+                 "[--chunk N|auto]\n"
+                 "                   [--dispatch threshold|cost] "
+                 "[--gpu-model] [--cpu-fallback]\n"
                  "                   [--cpu-floor L] [--no-cache] "
                  "[--no-traceback]\n"
                  "kernels: global-linear global-affine local-linear "
@@ -155,6 +173,13 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     cfg.laneWidth = opt.lanes;
     cfg.cpuFallback = opt.cpuFallback;
     cfg.cpuFloorLen = opt.cpuFloor;
+    cfg.gpuModel = opt.gpuModel;
+    // --gpu-model implies cost-model dispatch (the GPU backend only
+    // receives jobs under it) unless --dispatch threshold insists.
+    cfg.dispatch = opt.dispatch == "cost" ||
+                           (opt.dispatch.empty() && opt.gpuModel)
+                       ? host::DispatchPolicy::CostModel
+                       : host::DispatchPolicy::Threshold;
     cfg.cacheEntries = opt.cache ? 4096 : 0;
     Pipeline pipeline(cfg);
 
@@ -165,16 +190,44 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     host::BatchStats epoch;
     epoch.channels.assign(static_cast<size_t>(std::max(1, opt.nk)),
                           host::ChannelStats{});
-    std::deque<typename Pipeline::Ticket> pending;
+    using Clock = std::chrono::steady_clock;
+    std::deque<std::pair<typename Pipeline::Ticket, Clock::time_point>>
+        pending;
+
+    // Adaptive chunking (--chunk auto/0): size the next ticket from the
+    // observed submit-to-collect latency of retired tickets, keeping
+    // each ticket's drain near a fixed target so the parse -> align ->
+    // writeback pipeline stays full for fast kernels (bigger chunks)
+    // without going lumpy for slow ones (smaller chunks).
+    const bool adaptive = opt.chunk <= 0;
+    size_t chunk = adaptive ? 64 : static_cast<size_t>(opt.chunk);
+    constexpr double target_latency = 0.15; // seconds per ticket drain
+    constexpr size_t chunk_min = 16, chunk_max = 16384;
 
     bool header_printed = false;
-    const auto writeback = [&](const typename Pipeline::Ticket &ticket) {
+    const auto writeback = [&](const typename Pipeline::Ticket &ticket,
+                               Clock::time_point submitted) {
         if (!header_printed) {
             std::printf("%-20s %-20s %-10s %-12s %s\n", "query",
                         "reference", "score", "cycles", "cigar");
             header_printed = true;
         }
         host::accumulateBatchStats(epoch, pipeline.collect(ticket));
+        if (adaptive) {
+            const double latency =
+                std::chrono::duration<double>(Clock::now() - submitted)
+                    .count();
+            if (latency > 0 && !ticket->jobs().empty()) {
+                const double ideal = static_cast<double>(chunk) *
+                                     target_latency / latency;
+                // Move halfway toward the ideal size per retired
+                // ticket: responsive without oscillating on noise.
+                chunk = std::clamp(
+                    static_cast<size_t>(
+                        (static_cast<double>(chunk) + ideal) / 2.0),
+                    chunk_min, chunk_max);
+            }
+        }
         const auto &jobs = ticket->jobs();
         const auto &results = ticket->results();
         const auto &cycles = ticket->cycles();
@@ -199,7 +252,6 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     // Backpressure bounds memory to a few in-flight chunks: parsing is
     // much faster than alignment, so without the cap a large input
     // would materialize entirely as pending tickets.
-    const size_t chunk = static_cast<size_t>(std::max(1, opt.chunk));
     const size_t max_pending =
         4 + static_cast<size_t>(pipeline.threadCount());
     bool done = false;
@@ -218,16 +270,21 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
             }
             jobs.push_back(std::move(job));
         }
-        if (!jobs.empty())
-            pending.push_back(pipeline.submit(std::move(jobs)));
+        if (!jobs.empty()) {
+            pending.emplace_back(pipeline.submit(std::move(jobs)),
+                                 Clock::now());
+        }
         while (!pending.empty() &&
-               (pending.front()->done() || pending.size() > max_pending)) {
-            writeback(pending.front()); // collect() blocks when forced
+               (pending.front().first->done() ||
+                pending.size() > max_pending)) {
+            // collect() blocks when forced by backpressure
+            writeback(pending.front().first, pending.front().second);
             pending.pop_front();
         }
     }
     while (!pending.empty()) {
-        writeback(pending.front()); // collect() blocks until complete
+        // collect() blocks until complete
+        writeback(pending.front().first, pending.front().second);
         pending.pop_front();
     }
 
@@ -314,7 +371,28 @@ main(int argc, char **argv)
         } else if (a == "--lanes") {
             opt.lanes = std::atoi(next());
         } else if (a == "--chunk") {
-            opt.chunk = std::atoi(next());
+            const std::string v = next();
+            if (v == "auto") {
+                opt.chunk = 0; // adaptive
+            } else {
+                // Strictly numeric: a typo must error, not silently
+                // flip the tool into a different chunking mode.
+                char *end = nullptr;
+                const long parsed = std::strtol(v.c_str(), &end, 10);
+                if (v.empty() || *end != '\0' || parsed < 0) {
+                    usage();
+                    return 2;
+                }
+                opt.chunk = static_cast<int>(parsed); // 0 = adaptive
+            }
+        } else if (a == "--dispatch") {
+            opt.dispatch = next();
+            if (opt.dispatch != "threshold" && opt.dispatch != "cost") {
+                usage();
+                return 2;
+            }
+        } else if (a == "--gpu-model") {
+            opt.gpuModel = true;
         } else if (a == "--cpu-fallback") {
             opt.cpuFallback = true;
         } else if (a == "--cpu-floor") {
