@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "bench_json.hh"
+#include "host/latency_probe.hh"
 #include "host/stream_pipeline.hh"
 #include "kernels/all.hh"
 #include "seq/read_simulator.hh"
@@ -470,6 +471,95 @@ measureDispatchPolicy(host::DispatchPolicy policy)
     return out;
 }
 
+/** Per-class modeled ticket latencies of the two-class workload. */
+struct PriorityOutcome
+{
+    std::vector<double> interactiveLat, bulkLat; //!< seconds, per ticket
+    std::vector<double> scores; //!< per ticket+job, for the identity check
+};
+
+/**
+ * Modeled per-ticket completion latency of a mixed two-class workload:
+ * 6 bulk tickets (24 x 256-base local-affine pairs each — the
+ * re-alignment batch class) interleaved with 12 interactive tickets
+ * (one 64-base pair each), all queued while the pipeline is paused and
+ * then released onto one channel served by one worker. Latency of a
+ * ticket is the channel's cumulative busy cycles at its completion
+ * converted at fmax — arrival is the shared release instant, so this
+ * is pure modeled queueing + service time, deterministic across runs
+ * and machines (safe for bench_diff's hard gate).
+ *
+ * With @p prioritized the interactive class is priority 5 and overtakes
+ * every queued bulk ticket; without it everything is class 0 and the
+ * dispatch order degrades to FIFO, so each interactive ticket waits
+ * behind the bulk tickets submitted before it.
+ */
+PriorityOutcome
+measurePriorityScheduling(bool prioritized)
+{
+    using K = kernels::LocalAffine;
+    constexpr double fmax = 250.0;
+    host::BatchConfig cfg;
+    cfg.npe = 32;
+    cfg.nb = 1;
+    cfg.nk = 1;
+    cfg.threads = 1;
+    cfg.fmaxMhz = fmax;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    cfg.collectPathStats = false;
+    host::StreamPipeline<K> pipeline(cfg);
+
+    PriorityOutcome out;
+    auto probe = std::make_shared<host::TwoClassLatencyProbe>(fmax);
+    std::vector<host::StreamPipeline<K>::Ticket> tickets;
+    const auto submitClass = [&](std::vector<host::AlignmentJob<
+                                     seq::DnaChar>> batch,
+                                 bool interactive) {
+        host::TicketOptions topt;
+        topt.priority = interactive && prioritized ? 5 : 0;
+        topt.tag = interactive ? "interactive" : "bulk";
+        tickets.push_back(pipeline.submit(
+            std::move(batch), std::move(topt),
+            [probe, interactive](host::BatchTicket<K> &t) {
+                probe->record(t.stats().makespanCycles, interactive);
+            }));
+    };
+
+    const auto makeJobs = [](int count, int len, uint64_t seed) {
+        std::vector<host::AlignmentJob<seq::DnaChar>> jobs;
+        seq::Rng rng(seed);
+        for (int i = 0; i < count; i++) {
+            host::AlignmentJob<seq::DnaChar> j;
+            j.query = seq::randomDna(len, rng);
+            j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+            j.reference.chars.resize(static_cast<size_t>(len));
+            jobs.push_back(std::move(j));
+        }
+        return jobs;
+    };
+
+    pipeline.pause(); // queue the whole backlog, then release at once
+    for (uint64_t b = 0; b < 6; b++) {
+        submitClass(makeJobs(24, 256, 9000 + b), false);
+        submitClass(makeJobs(1, 64, 9100 + 2 * b), true);
+        submitClass(makeJobs(1, 64, 9101 + 2 * b), true);
+    }
+    pipeline.resume();
+    for (const auto &t : tickets)
+        t->wait();
+    // Scores in submission order: the scheduler may only reorder
+    // execution, never change results.
+    for (const auto &t : tickets) {
+        for (const auto &r : t->results())
+            out.scores.push_back(r.scoreAsDouble());
+    }
+    pipeline.drain();
+    out.interactiveLat = probe->interactive();
+    out.bulkLat = probe->bulk();
+    return out;
+}
+
 /**
  * BENCH_engine_micro.json: the fast-path acceptance measurement —
  * cells/sec of the wavefront reference path, the row-major scalar fast
@@ -573,6 +663,44 @@ writeJson(const std::string &path)
              : 0.0);
     w.kv("result_sets_identical", same_results);
     w.endObject();
+
+    // Priority-scheduling section: modeled p50/p99 completion latency
+    // of the interactive class on the mixed two-class workload, FIFO vs
+    // priority dispatch. Latencies are cycle-domain (deterministic);
+    // the p99 service rates (1/p99) are aligns_per_sec metrics so
+    // bench_diff hard-gates them across runs.
+    const PriorityOutcome fifo = measurePriorityScheduling(false);
+    const PriorityOutcome prio = measurePriorityScheduling(true);
+    const double fifo_p50 = host::percentile(fifo.interactiveLat, 0.5);
+    const double fifo_p99 = host::percentile(fifo.interactiveLat, 0.99);
+    const double prio_p50 = host::percentile(prio.interactiveLat, 0.5);
+    const double prio_p99 = host::percentile(prio.interactiveLat, 0.99);
+    const bool prio_same_results = fifo.scores == prio.scores;
+    w.key("priority_scheduling");
+    w.beginObject();
+    w.kv("workload",
+         "12 interactive (1x64b) + 6 bulk (24x256b) local-affine "
+         "tickets, 1 channel, 1 worker, modeled cycles @ 250 MHz");
+    w.key("fifo");
+    w.beginObject();
+    w.kv("interactive_p50_latency_s", fifo_p50);
+    w.kv("interactive_p99_latency_s", fifo_p99);
+    w.kv("interactive_p99_aligns_per_sec",
+         fifo_p99 > 0 ? 1.0 / fifo_p99 : 0.0);
+    w.kv("bulk_p99_latency_s", host::percentile(fifo.bulkLat, 0.99));
+    w.endObject();
+    w.key("priority");
+    w.beginObject();
+    w.kv("interactive_p50_latency_s", prio_p50);
+    w.kv("interactive_p99_latency_s", prio_p99);
+    w.kv("interactive_p99_aligns_per_sec",
+         prio_p99 > 0 ? 1.0 / prio_p99 : 0.0);
+    w.kv("bulk_p99_latency_s", host::percentile(prio.bulkLat, 0.99));
+    w.endObject();
+    w.kv("interactive_p99_speedup",
+         prio_p99 > 0 ? fifo_p99 / prio_p99 : 0.0);
+    w.kv("result_sets_identical", prio_same_results);
+    w.endObject();
     w.endObject();
     std::fputc('\n', f);
     std::fclose(f);
@@ -593,6 +721,11 @@ writeJson(const std::string &path)
                 unsorted_rate, sorted_rate, sorted_rate / unsorted_rate,
                 unsorted_cycles == sorted_cycles ? "yes" : "NO",
                 path.c_str());
+    std::printf("priority scheduling: interactive p99 %.3f ms FIFO vs "
+                "%.3f ms prioritized (%.1fx), results identical: %s\n",
+                1e3 * fifo_p99, 1e3 * prio_p99,
+                prio_p99 > 0 ? fifo_p99 / prio_p99 : 0.0,
+                prio_same_results ? "yes" : "NO");
 }
 
 } // namespace

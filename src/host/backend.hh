@@ -105,6 +105,10 @@ struct ChannelStats
     uint64_t busyCycles = 0;  //!< makespan of the backend's blocks/slots
     uint64_t totalCycles = 0; //!< sum of job cycles on this backend
     int alignments = 0;       //!< jobs this backend processed
+    /** Jobs dropped from this backend's queue by a ticket cancel(). */
+    int cancelled = 0;
+    /** Jobs that completed after their ticket's deadline had passed. */
+    int deadlineMisses = 0;
 };
 
 /**
@@ -128,9 +132,12 @@ struct CostEstimate
  * run() calls per backend instance.
  *
  * For cost-model dispatch the base class additionally tracks queued
- * estimated work: the router calls noteEnqueued() with each routed
- * job's estimate and the executing task calls noteCompleted() when the
- * shard retires, so queuedSeconds() is a live backlog signal.
+ * estimated work: callers pair noteEnqueued() with noteCompleted() so
+ * queuedSeconds() is a live backlog signal. (The StreamPipeline now
+ * keeps its routing backlog in its own dispatch slots rather than in
+ * backend state, so releasing a cancelled shard's backlog never has to
+ * reach into a backend whose pipeline may be mid-destruction; the
+ * signal stays available here for hosts driving backends directly.)
  */
 template <core::KernelSpec K>
 class AlignBackend
@@ -567,9 +574,10 @@ class CpuBaselineBackend : public AlignBackend<K>
 
         // Host threads as slots: greedy earliest-free packing, same
         // arbiter shape as the device channels' NB blocks. The slot
-        // vector is run-local: the pipeline does not serialize CPU
-        // shards of different tickets (this backend has no other
-        // mutable state — MatrixAligner::align is const).
+        // vector is run-local: the pipeline's CPU dispatch slot has
+        // capacity > 1, so run() calls for different tickets may
+        // execute concurrently (this backend has no other mutable
+        // state — MatrixAligner::align is const).
         std::vector<uint64_t> slot_free(
             static_cast<size_t>(_threads), 0);
         for (const int idx : indices) {

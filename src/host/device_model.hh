@@ -66,6 +66,8 @@ struct DeviceRunStats
     double alignsPerSec = 0;
     double cyclesPerAlign = 0;     //!< mean per-alignment device cycles
     int alignments = 0;
+    int cancelled = 0;             //!< jobs dropped by ticket cancel()
+    int deadlineMisses = 0;        //!< jobs finished past their deadline
 };
 
 /** The pipeline configuration equivalent to a DeviceConfig. */
@@ -103,6 +105,8 @@ toDeviceRunStats(const BatchStats &bs)
     stats.alignsPerSec = bs.alignsPerSec;
     stats.cyclesPerAlign = bs.cyclesPerAlign;
     stats.alignments = bs.alignments;
+    stats.cancelled = bs.cancelled;
+    stats.deadlineMisses = bs.deadlineMisses;
     return stats;
 }
 
@@ -124,13 +128,17 @@ class DeviceModel
 
     /**
      * Run a batch of jobs; optionally collect per-job results (indexed
-     * like @p jobs).
+     * like @p jobs). @p options carries the batch's scheduling class
+     * (priority/deadline) — with the default options the run is the
+     * historical FIFO device model.
      */
     DeviceRunStats
-    run(const std::vector<Job> &jobs, std::vector<Result> *results = nullptr)
+    run(const std::vector<Job> &jobs, std::vector<Result> *results = nullptr,
+        TicketOptions options = {})
     {
         StreamPipeline<K> pipeline(toBatchConfig(_cfg), _params);
-        return toDeviceRunStats(pipeline.runAll(jobs, results));
+        return toDeviceRunStats(
+            pipeline.runAll(jobs, results, nullptr, std::move(options)));
     }
 
   private:

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Modeled ticket-latency probe for two-class scheduling workloads.
+ *
+ * Shared by `dphls_align --two-class-demo` and bench_engine_micro's
+ * `priority_scheduling` section: both queue an interactive/bulk ticket
+ * mix on a paused one-channel pipeline, release it, and record each
+ * ticket's completion latency as the channel's cumulative busy cycles
+ * at that completion converted at fmax — arrival is the shared release
+ * instant, so the latency is pure modeled queueing + service time and
+ * deterministic across runs and machines.
+ */
+
+#ifndef DPHLS_HOST_LATENCY_PROBE_HH
+#define DPHLS_HOST_LATENCY_PROBE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dphls::host {
+
+/**
+ * p-th percentile (p in [0, 1], nearest-rank) of @p values; 0 when
+ * empty. p <= 0 returns the minimum, p >= 1 the maximum.
+ */
+inline double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const size_t rank = static_cast<size_t>(std::max(
+        1.0, std::ceil(p * static_cast<double>(values.size()))));
+    return values[std::min(values.size() - 1, rank - 1)];
+}
+
+/**
+ * Accumulates per-class modeled completion latencies. Call record()
+ * from each ticket's completion callback with the ticket's makespan
+ * cycles; thread-safe, read the vectors only after every ticket has
+ * completed.
+ */
+class TwoClassLatencyProbe
+{
+  public:
+    explicit TwoClassLatencyProbe(double fmax_mhz) : _fmaxMhz(fmax_mhz) {}
+
+    void
+    record(uint64_t makespan_cycles, bool interactive)
+    {
+        std::lock_guard lock(_mutex);
+        _cumCycles += makespan_cycles;
+        const double seconds =
+            static_cast<double>(_cumCycles) / (_fmaxMhz * 1e6);
+        (interactive ? _interactive : _bulk).push_back(seconds);
+    }
+
+    const std::vector<double> &interactive() const { return _interactive; }
+    const std::vector<double> &bulk() const { return _bulk; }
+
+  private:
+    double _fmaxMhz;
+    std::mutex _mutex;
+    uint64_t _cumCycles = 0;
+    std::vector<double> _interactive, _bulk;
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_LATENCY_PROBE_HH

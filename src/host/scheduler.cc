@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace dphls::host {
 
@@ -24,12 +25,33 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::runsBefore(const Entry &a, const Entry &b)
+{
+    if (a.priority != b.priority)
+        return a.priority > b.priority;
+    if (a.deadline != b.deadline)
+        return a.deadline < b.deadline;
+    return a.seq < b.seq;
+}
+
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    submit(std::move(task), TaskOptions{});
+}
+
+void
+ThreadPool::submit(std::function<void()> task, const TaskOptions &options)
+{
     {
         std::unique_lock lock(_mutex);
-        _tasks.push(std::move(task));
+        _tasks.push_back(Entry{options.priority, options.deadlineSeconds,
+                               _nextSeq++, std::move(task)});
+        std::push_heap(_tasks.begin(), _tasks.end(),
+                       [](const Entry &a, const Entry &b) {
+                           return runsBefore(b, a);
+                       });
     }
     _cv.notify_one();
 }
@@ -51,8 +73,12 @@ ThreadPool::workerLoop()
             _cv.wait(lock, [this] { return _stop || !_tasks.empty(); });
             if (_stop && _tasks.empty())
                 return;
-            task = std::move(_tasks.front());
-            _tasks.pop();
+            std::pop_heap(_tasks.begin(), _tasks.end(),
+                          [](const Entry &a, const Entry &b) {
+                              return runsBefore(b, a);
+                          });
+            task = std::move(_tasks.back().fn);
+            _tasks.pop_back();
             _active++;
         }
         task();

@@ -1,11 +1,18 @@
 /**
  * @file
- * Host-side thread pool.
+ * Host-side thread pool with priority/deadline-aware task ordering.
  *
  * The paper's host programs use multi-threading to keep the device's NK
  * independent channels busy (front-end step 6). The device model and the
  * CPU baseline runner both use this pool to parallelize work across host
  * threads.
+ *
+ * Tasks are popped highest-priority first, then earliest-deadline, then
+ * in submission order, so when worker threads are scarcer than runnable
+ * shards the pool itself honors the StreamPipeline's latency classes.
+ * The plain submit() overload enqueues at the default priority with no
+ * deadline, which degrades to exact FIFO order — existing callers see
+ * the historical behavior unchanged.
  */
 
 #ifndef DPHLS_HOST_SCHEDULER_HH
@@ -13,15 +20,32 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace dphls::host {
 
-/** A fixed-size thread pool executing enqueued tasks. */
+/** Scheduling attributes of one pool task. */
+struct TaskOptions
+{
+    /** Higher runs first. The default class is 0. */
+    int priority = 0;
+    /**
+     * Absolute deadline in seconds on the steady clock's epoch;
+     * infinity (the default) means no deadline. Among equal-priority
+     * tasks the earliest deadline runs first.
+     */
+    double deadlineSeconds = std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A fixed-size thread pool executing enqueued tasks in (priority,
+ * deadline, FIFO) order.
+ */
 class ThreadPool
 {
   public:
@@ -31,8 +55,11 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task for asynchronous execution. */
+    /** Enqueue a task at the default priority (FIFO among its peers). */
     void submit(std::function<void()> task);
+
+    /** Enqueue a task with explicit scheduling attributes. */
+    void submit(std::function<void()> task, const TaskOptions &options);
 
     /** Block until all submitted tasks have completed. */
     void wait();
@@ -40,10 +67,23 @@ class ThreadPool
     int threadCount() const { return static_cast<int>(_workers.size()); }
 
   private:
+    /** One queued task plus its pop-ordering key. */
+    struct Entry
+    {
+        int priority = 0;
+        double deadline = std::numeric_limits<double>::infinity();
+        uint64_t seq = 0;
+        std::function<void()> fn;
+    };
+
+    /** True when @p a should run before @p b. */
+    static bool runsBefore(const Entry &a, const Entry &b);
+
     void workerLoop();
 
     std::vector<std::thread> _workers;
-    std::queue<std::function<void()>> _tasks;
+    std::vector<Entry> _tasks; //!< max-heap ordered by runsBefore
+    uint64_t _nextSeq = 0;
     std::mutex _mutex;
     std::condition_variable _cv;
     std::condition_variable _idleCv;

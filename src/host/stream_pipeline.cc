@@ -52,15 +52,23 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
     stats.makespanCycles = 0;
     uint64_t device_total = 0;
     int device_aligns = 0;
+    int device_cancelled = 0;
+    int device_misses = 0;
     for (const auto &ch : stats.channels) {
         stats.makespanCycles = std::max(stats.makespanCycles, ch.busyCycles);
         device_total += ch.totalCycles;
         device_aligns += ch.alignments;
+        device_cancelled += ch.cancelled;
+        device_misses += ch.deadlineMisses;
     }
     stats.totalCycles =
         device_total + stats.cpu.totalCycles + stats.gpu.totalCycles;
     stats.alignments =
         device_aligns + stats.cpu.alignments + stats.gpu.alignments;
+    stats.cancelled =
+        device_cancelled + stats.cpu.cancelled + stats.gpu.cancelled;
+    stats.deadlineMisses =
+        device_misses + stats.cpu.deadlineMisses + stats.gpu.deadlineMisses;
 
     stats.backends.clear();
     {
@@ -70,30 +78,36 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         dev.busyCycles = stats.makespanCycles;
         dev.totalCycles = device_total;
         dev.alignments = device_aligns;
+        dev.cancelled = device_cancelled;
+        dev.deadlineMisses = device_misses;
         dev.seconds = fmax_mhz > 0
             ? static_cast<double>(dev.busyCycles) / (fmax_mhz * 1e6)
             : 0.0;
         stats.backends.push_back(dev);
     }
-    if (stats.cpu.alignments > 0) {
+    if (stats.cpu.alignments > 0 || stats.cpu.cancelled > 0) {
         BackendStats cpu;
         cpu.name = "cpu";
         cpu.clockMhz = cpu_mhz;
         cpu.busyCycles = stats.cpu.busyCycles;
         cpu.totalCycles = stats.cpu.totalCycles;
         cpu.alignments = stats.cpu.alignments;
+        cpu.cancelled = stats.cpu.cancelled;
+        cpu.deadlineMisses = stats.cpu.deadlineMisses;
         cpu.seconds = cpu_mhz > 0
             ? static_cast<double>(cpu.busyCycles) / (cpu_mhz * 1e6)
             : 0.0;
         stats.backends.push_back(cpu);
     }
-    if (stats.gpu.alignments > 0) {
+    if (stats.gpu.alignments > 0 || stats.gpu.cancelled > 0) {
         BackendStats gpu;
         gpu.name = "gpu";
         gpu.clockMhz = baseline::gpuModelClockMhz();
         gpu.busyCycles = stats.gpu.busyCycles;
         gpu.totalCycles = stats.gpu.totalCycles;
         gpu.alignments = stats.gpu.alignments;
+        gpu.cancelled = stats.gpu.cancelled;
+        gpu.deadlineMisses = stats.gpu.deadlineMisses;
         gpu.seconds =
             static_cast<double>(gpu.busyCycles) / (gpu.clockMhz * 1e6);
         stats.backends.push_back(gpu);
@@ -121,13 +135,19 @@ accumulateBatchStats(BatchStats &into, const BatchStats &add)
         into.channels[c].busyCycles += add.channels[c].busyCycles;
         into.channels[c].totalCycles += add.channels[c].totalCycles;
         into.channels[c].alignments += add.channels[c].alignments;
+        into.channels[c].cancelled += add.channels[c].cancelled;
+        into.channels[c].deadlineMisses += add.channels[c].deadlineMisses;
     }
     into.cpu.busyCycles += add.cpu.busyCycles;
     into.cpu.totalCycles += add.cpu.totalCycles;
     into.cpu.alignments += add.cpu.alignments;
+    into.cpu.cancelled += add.cpu.cancelled;
+    into.cpu.deadlineMisses += add.cpu.deadlineMisses;
     into.gpu.busyCycles += add.gpu.busyCycles;
     into.gpu.totalCycles += add.gpu.totalCycles;
     into.gpu.alignments += add.gpu.alignments;
+    into.gpu.cancelled += add.gpu.cancelled;
+    into.gpu.deadlineMisses += add.gpu.deadlineMisses;
     mergePathStats(into.paths, add.paths);
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Streaming multi-backend host executor.
+ * Streaming multi-backend host executor with priority scheduling.
  *
  * The paper's host programs (front-end step 6) keep the device's NK
  * independent channels saturated. StreamPipeline generalizes the old
@@ -24,20 +24,48 @@
  *    analytic cycle formulas; CPU: EWMA of measured cells/sec; GPU
  *    model: published GCUPS) and routes each job to the backend — and
  *    channel — with the lowest estimated completion time given its
- *    current queued work. Either way, per-backend stats sections make
- *    the heterogeneous split visible, and they sum to the epoch totals.
- *    A job no enabled backend can take fails loudly at submission with
- *    its index and shape.
+ *    current queued work. When the ticket carries a deadline the router
+ *    folds it into the argmin: among backends whose estimated completion
+ *    beats the deadline it picks the one with the lowest marginal
+ *    service cost, even if another backend would complete sooner — fast
+ *    capacity stays free for traffic that actually needs it. Either
+ *    way, per-backend stats sections make the heterogeneous split
+ *    visible, and they sum to the epoch totals. A job no enabled
+ *    backend can take fails loudly at submission with its index and
+ *    shape.
+ *  - Shards wait in **per-backend dispatch queues**, not FIFO: each
+ *    device channel (and the CPU/GPU backend) pulls its
+ *    highest-priority queued shard next, ties broken by earliest
+ *    deadline, then submission order. TicketOptions carries the
+ *    priority, deadline and tag; with no options every ticket is class
+ *    0 with no deadline and dispatch degrades to exact FIFO. Deadline
+ *    misses are counted per backend (ChannelStats/BackendStats
+ *    ::deadlineMisses) and summed into BatchStats::deadlineMisses.
+ *  - Tickets can be **cancelled**: queued shards are dropped (and
+ *    accounted per backend as ChannelStats::cancelled), in-flight
+ *    shards run to completion, and the ticket still completes — wait()
+ *    returns, the completion callback fires once, and results() holds a
+ *    partial result set (BatchTicket::completed() says which jobs ran;
+ *    the rest hold default-constructed results and zero cycles).
  *  - Host worker **threads are decoupled from NK**: with the lane
  *    engine one thread can saturate several modeled channels, so
  *    BatchConfig::threads sizes the pool independently (0 = one thread
- *    per channel, the old arrangement).
+ *    per channel, the old arrangement). When threads are scarcer than
+ *    runnable shards the pool pops tasks in the same (priority,
+ *    deadline, FIFO) order as the dispatch queues.
+ *
+ * pause()/resume() gate dispatch without blocking submission: while
+ * paused, submitted shards accumulate in the dispatch queues and
+ * resume() releases them in scheduling order — letting hosts (and the
+ * benches) batch a backlog and observe a deterministic dispatch order.
  *
  * drain() remains as a compatibility wrapper that waits for every
  * outstanding ticket and aggregates in submission order; BatchPipeline
  * (host/batch_pipeline.hh) is now an alias of this class. For a single
  * batch, results, CIGARs and per-job device cycles are bit-identical to
- * the old pipeline (enforced by tests/test_stream_pipeline.cc).
+ * the old pipeline (enforced by tests/test_stream_pipeline.cc), and the
+ * priority machinery is transparent when unused (enforced by
+ * tests/test_scheduler_torture.cc).
  *
  * Multi-batch epoch accounting sums each channel's per-ticket arbiter
  * makespans (batches synchronize at batch boundaries); for one batch
@@ -48,14 +76,19 @@
 #define DPHLS_HOST_STREAM_PIPELINE_HH
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/alignment_stats.hh"
@@ -78,9 +111,50 @@ enum class DispatchPolicy : uint8_t
      * Pick the backend (and channel) with the lowest estimated
      * completion time: per-job service estimate plus the backend's
      * live queued-work signal. Balances load across heterogeneous
-     * executors instead of cutting on shape alone.
+     * executors instead of cutting on shape alone. Tickets with a
+     * deadline instead prefer the cheapest backend that still meets
+     * it (see the file comment).
      */
     CostModel,
+};
+
+/** Scheduling class of one submitted ticket. */
+struct TicketOptions
+{
+    /** Higher is dispatched first; the default class is 0. */
+    int priority = 0;
+    /**
+     * Completion deadline; time_point::max() (the default) means none.
+     * Queued shards of an earlier-deadline ticket run first within a
+     * priority class, completions after the deadline are counted as
+     * deadline misses, and the cost-model router prefers backends whose
+     * estimated completion beats the deadline.
+     */
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /** Free-form label for logs and host-side bookkeeping. */
+    std::string tag;
+
+    bool
+    hasDeadline() const
+    {
+        return deadline != std::chrono::steady_clock::time_point::max();
+    }
+
+    /** Options with a deadline @p deadline_ms from now. */
+    static TicketOptions
+    afterMs(int priority, double deadline_ms, std::string tag = {})
+    {
+        TicketOptions opt;
+        opt.priority = priority;
+        opt.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               deadline_ms));
+        opt.tag = std::move(tag);
+        return opt;
+    }
 };
 
 /** Pipeline configuration: parallelism, frequency and engine options. */
@@ -170,6 +244,8 @@ struct BackendStats
     uint64_t busyCycles = 0; //!< makespan across the backend's blocks
     uint64_t totalCycles = 0;
     int alignments = 0;
+    int cancelled = 0;       //!< jobs dropped from this backend's queue
+    int deadlineMisses = 0;  //!< jobs completed past their deadline
     double seconds = 0;      //!< busyCycles / clockMhz
 };
 
@@ -180,11 +256,14 @@ struct BatchStats
     ChannelStats cpu;                   //!< CPU-fallback backend totals
     ChannelStats gpu;                   //!< modeled GPU backend totals
     /** Per-backend sections (derived by finalizeBatchStats); their
-     *  alignments and totalCycles sum to the epoch totals below. */
+     *  alignments, cancelled and totalCycles sum to the epoch totals
+     *  below. */
     std::vector<BackendStats> backends;
     uint64_t makespanCycles = 0; //!< slowest device channel's busy cycles
     uint64_t totalCycles = 0;    //!< sum over all alignments, all backends
-    int alignments = 0;
+    int alignments = 0;          //!< jobs that actually ran
+    int cancelled = 0;           //!< jobs dropped by a ticket cancel()
+    int deadlineMisses = 0;      //!< jobs completed past their deadline
     double seconds = 0;          //!< slowest backend section's wall time
     double alignsPerSec = 0;
     double cyclesPerAlign = 0;
@@ -220,6 +299,160 @@ void accumulateBatchStats(BatchStats &into, const BatchStats &add);
 template <core::KernelSpec K>
 class StreamPipeline;
 
+template <core::KernelSpec K>
+class BatchTicket;
+
+namespace detail {
+
+/**
+ * Shared dispatch state: one queue of pending shards per backend slot
+ * (NK device channels, then the CPU backend, then the GPU model),
+ * popped in (priority, deadline, FIFO) order up to the slot's
+ * concurrency capacity — 1 for the stateful device channels, the pool
+ * width for the stateless CPU/GPU backends, which therefore keep
+ * serving shards of different tickets concurrently as they did before
+ * the dispatch queues existed. The pipeline holds the owning
+ * shared_ptr; tickets hold a weak_ptr upgraded on cancel(), so a
+ * cancel() races pipeline destruction safely: ~StreamPipeline drains
+ * every queue before its backends die, and once the core itself is
+ * gone the upgrade simply fails and cancel() only flips the ticket
+ * flag (nothing queued can remain by then).
+ */
+template <core::KernelSpec K>
+class DispatchCore
+{
+  public:
+    using Ticket = std::shared_ptr<BatchTicket<K>>;
+    using Clock = std::chrono::steady_clock;
+
+    /** One queued shard: its ticket, job indices and scheduling key. */
+    struct ShardEntry
+    {
+        Ticket ticket;
+        std::vector<int> indices;
+        double estSeconds = 0; //!< routed-work estimate (backlog signal)
+        int priority = 0;
+        Clock::time_point deadline = Clock::time_point::max();
+        uint64_t seq = 0; //!< submission order (FIFO tiebreak)
+    };
+
+    /** Dispatch order: entryBefore() as a strict weak ordering (seq is
+     *  unique, so it is in fact total — pops are deterministic). */
+    struct EntryOrder
+    {
+        bool
+        operator()(const ShardEntry &a, const ShardEntry &b) const
+        {
+            return entryBefore(a, b);
+        }
+    };
+
+    /** One backend execution slot and its dispatch queue. */
+    struct Slot
+    {
+        std::mutex mutex; //!< protects queue and busy
+        int busy = 0;     //!< shards currently executing (<= capacity)
+        /**
+         * Concurrent-shard limit: 1 for stateful device channels (the
+         * engine serializes), pool width for the stateless CPU/GPU
+         * backends (MatrixAligner::align is const, so shards of
+         * different tickets may run concurrently).
+         */
+        int capacity = 1;
+        /**
+         * Pending shards, best-first: O(log n) insert and pop keep a
+         * large paused backlog's release at O(n log n) overall (a
+         * linear scan per pop would make it quadratic). Cancellation
+         * still scans — it is the rare path.
+         */
+        std::multiset<ShardEntry, EntryOrder> queue;
+        /** Estimated seconds of routed-but-unfinished work. */
+        std::atomic<int64_t> queuedMicros{0};
+    };
+
+    DispatchCore(int nk, double fmax_mhz, double cpu_mhz)
+        : _nk(nk), _fmaxMhz(fmax_mhz), _cpuMhz(cpu_mhz),
+          _slots(static_cast<size_t>(nk) + 2)
+    {}
+
+    int cpuSlot() const { return _nk; }
+    int gpuSlot() const { return _nk + 1; }
+    int slotCount() const { return _nk + 2; }
+    Slot &slot(int s) { return _slots[static_cast<size_t>(s)]; }
+
+    uint64_t nextSeq() { return _seq.fetch_add(1, std::memory_order_relaxed); }
+
+    double
+    queuedSeconds(int s)
+    {
+        return static_cast<double>(slot(s).queuedMicros.load(
+                   std::memory_order_relaxed)) *
+               1e-6;
+    }
+
+    void
+    noteEnqueued(int s, double seconds)
+    {
+        slot(s).queuedMicros.fetch_add(toMicros(seconds),
+                                       std::memory_order_relaxed);
+    }
+
+    void
+    noteCompleted(int s, double seconds)
+    {
+        slot(s).queuedMicros.fetch_sub(toMicros(seconds),
+                                       std::memory_order_relaxed);
+    }
+
+    /** True when @p a should be dispatched before @p b. */
+    static bool
+    entryBefore(const ShardEntry &a, const ShardEntry &b)
+    {
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        if (a.deadline != b.deadline)
+            return a.deadline < b.deadline;
+        return a.seq < b.seq;
+    }
+
+    /** The ticket-stats bucket slot @p s accounts into. */
+    ChannelStats &acctFor(BatchTicket<K> &ticket, int s);
+
+    /**
+     * Drop every queued shard of @p ticket, accounting the dropped jobs
+     * as cancelled on the backend they were queued for and retiring
+     * their shards (the last retire completes the ticket). In-flight
+     * shards are untouched and run to completion.
+     */
+    void dropTicket(BatchTicket<K> &ticket);
+
+    /**
+     * Mark one shard done; the last one finalizes the ticket, runs the
+     * completion callback and only then releases waiters — so wait()
+     * returning guarantees the callback has finished (a callback must
+     * therefore never wait on its own ticket).
+     */
+    void finishShard(BatchTicket<K> &ticket);
+
+    /** Dispatch gate: while set, pumps leave queued shards in place. */
+    std::atomic<bool> paused{false};
+
+  private:
+    static int64_t
+    toMicros(double seconds)
+    {
+        return static_cast<int64_t>(std::llround(seconds * 1e6));
+    }
+
+    int _nk;
+    double _fmaxMhz;
+    double _cpuMhz;
+    std::atomic<uint64_t> _seq{0};
+    std::deque<Slot> _slots; //!< deque: Slot is neither movable nor copyable
+};
+
+} // namespace detail
+
 /**
  * One submitted batch: per-job outputs in submission order, per-ticket
  * accounting, and a completion latch. Tickets are shared between the
@@ -241,13 +474,51 @@ class BatchTicket
         return _done;
     }
 
-    /** Block until every shard of this batch has completed. */
+    /**
+     * Block until every shard of this batch has completed or been
+     * dropped by cancel() — a cancelled ticket still completes (with a
+     * partial result set) rather than blocking forever.
+     */
     void
     wait() const
     {
         std::unique_lock lock(_mutex);
         _cv.wait(lock, [&] { return _done; });
     }
+
+    /**
+     * Request cancellation: shards still queued are dropped immediately
+     * and accounted as cancelled on their backend; shards already
+     * running finish normally. When the drop retires the ticket's last
+     * outstanding shard, its completion callback runs synchronously on
+     * the cancelling thread. Returns false when the ticket had already
+     * completed (nothing to cancel), true otherwise — including repeat
+     * calls while the cancellation is in flight.
+     */
+    bool
+    cancel()
+    {
+        {
+            std::lock_guard lock(_mutex);
+            if (_done)
+                return false;
+            if (_cancelled.exchange(true, std::memory_order_acq_rel))
+                return true; // first cancel() already dropped the queues
+        }
+        if (auto core = _core.lock())
+            core->dropTicket(*this);
+        return true;
+    }
+
+    /** True once cancel() has been requested. */
+    bool
+    cancelled() const
+    {
+        return _cancelled.load(std::memory_order_acquire);
+    }
+
+    /** The scheduling class this ticket was submitted with. */
+    const TicketOptions &options() const { return _options; }
 
     /** The batch's jobs (owned or borrowed), in submission order. */
     const std::vector<Job> &jobs() const { return _view ? *_view : _jobs; }
@@ -258,32 +529,123 @@ class BatchTicket
     /** Per-job cycle counts, indexed like jobs(). Valid once done(). */
     const std::vector<uint64_t> &cycles() const { return _cycles; }
 
+    /**
+     * Per-job completion mask, indexed like jobs(), valid once done():
+     * 1 when the job actually ran (its result/cycles slots are live),
+     * 0 when its shard was dropped by cancel() (the slots hold default
+     * values). All-ones unless the ticket was cancelled.
+     */
+    const std::vector<uint8_t> &completed() const { return _completed; }
+
     /** Per-ticket accounting, finalized at completion. */
     const BatchStats &stats() const { return _stats; }
 
   private:
     friend class StreamPipeline<K>;
+    friend class detail::DispatchCore<K>;
 
     std::vector<Job> _jobs;                 //!< owned (submit path)
     const std::vector<Job> *_view = nullptr; //!< borrowed (runAll path)
     std::vector<Result> _results;
     std::vector<uint64_t> _cycles;
+    std::vector<uint8_t> _completed;
     BatchStats _stats;
+    TicketOptions _options;
     std::function<void(BatchTicket &)> _callback;
+    std::weak_ptr<detail::DispatchCore<K>> _core;
+    std::atomic<bool> _cancelled{false};
     int _pending = 0; //!< shards still running (under _mutex)
     bool _done = false;
     mutable std::mutex _mutex;
     mutable std::condition_variable _cv;
 };
 
+namespace detail {
+
+template <core::KernelSpec K>
+ChannelStats &
+DispatchCore<K>::acctFor(BatchTicket<K> &ticket, int s)
+{
+    if (s < _nk)
+        return ticket._stats.channels[static_cast<size_t>(s)];
+    if (s == _nk)
+        return ticket._stats.cpu;
+    return ticket._stats.gpu;
+}
+
+template <core::KernelSpec K>
+void
+DispatchCore<K>::dropTicket(BatchTicket<K> &ticket)
+{
+    for (int s = 0; s < slotCount(); s++) {
+        ShardEntry dropped;
+        bool found = false;
+        {
+            std::lock_guard lock(slot(s).mutex);
+            auto &q = slot(s).queue;
+            // At most one entry per (ticket, slot): routing emits one
+            // shard per backend slot per batch.
+            auto it = std::find_if(q.begin(), q.end(),
+                                   [&](const ShardEntry &e) {
+                                       return e.ticket.get() == &ticket;
+                                   });
+            if (it != q.end()) {
+                auto node = q.extract(it);
+                dropped = std::move(node.value());
+                found = true;
+            }
+        }
+        if (!found)
+            continue;
+        noteCompleted(s, dropped.estSeconds);
+        // No writer race: the entry is out of its queue, so no worker
+        // will account this (ticket, slot) bucket concurrently.
+        acctFor(ticket, s).cancelled +=
+            static_cast<int>(dropped.indices.size());
+        finishShard(ticket);
+    }
+}
+
+template <core::KernelSpec K>
+void
+DispatchCore<K>::finishShard(BatchTicket<K> &ticket)
+{
+    std::function<void(BatchTicket<K> &)> callback;
+    {
+        std::lock_guard lock(ticket._mutex);
+        if (ticket._pending > 0 && --ticket._pending > 0)
+            return;
+        finalizeBatchStats(ticket._stats, _fmaxMhz, _cpuMhz);
+        callback = std::move(ticket._callback);
+    }
+    if (callback)
+        callback(ticket);
+    {
+        std::lock_guard lock(ticket._mutex);
+        ticket._done = true;
+    }
+    ticket._cv.notify_all();
+}
+
+} // namespace detail
+
 /**
  * Streaming multi-backend pipeline running kernel @p K.
  *
- * Thread-safety: submit()/collect()/drain() may be called concurrently
- * from any thread. Completion callbacks run on worker threads and must
- * not throw. Destroying the pipeline drains every in-flight shard
- * first, so held tickets complete (and become collectible) even when
- * the pipeline dies before they are waited on.
+ * Thread-safety: submit()/collect()/drain()/pause()/resume() and ticket
+ * cancel() may be called concurrently from any thread. Completion
+ * callbacks usually run on a worker thread, but fire synchronously on
+ * the thread that retires the ticket's last shard: submit() of an
+ * empty batch, a cancel() that drops the last queued shard, or a
+ * resume()/submit() whose pump discards a cancelled entry — callbacks
+ * must not throw, must never wait on their own ticket, and must not
+ * take locks the cancelling/submitting thread may already hold.
+ * Destroying the
+ * pipeline drains every queued and in-flight shard first (releasing a
+ * pause if one is active), so held tickets complete (and become
+ * collectible) even when the pipeline dies before they are waited on —
+ * including cancelled-but-unwaited tickets, whose callbacks have
+ * already run or been destroyed with the ticket, never leaked.
  */
 template <core::KernelSpec K>
 class StreamPipeline
@@ -308,6 +670,12 @@ class StreamPipeline
         _cfg.threads = poolThreads(cfg);
         _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
                                     sim::LaneAligner<K>::maxLanes);
+        _core = std::make_shared<detail::DispatchCore<K>>(
+            _cfg.nk, _cfg.fmaxMhz, _cfg.cpuEquivalentMhz);
+        const int baseline_width = std::max(
+            1, _cfg.cpuThreads > 0 ? _cfg.cpuThreads : _cfg.threads);
+        _core->slot(_core->cpuSlot()).capacity = baseline_width;
+        _core->slot(_core->gpuSlot()).capacity = baseline_width;
         sim::EngineConfig ecfg;
         ecfg.numPe = _cfg.npe;
         ecfg.bandWidth = _cfg.bandWidth;
@@ -317,18 +685,18 @@ class StreamPipeline
         ecfg.cycles = _cfg.cycles;
         _channels.reserve(static_cast<size_t>(_cfg.nk));
         for (int c = 0; c < _cfg.nk; c++) {
-            auto ch = std::make_unique<Channel>();
             if (_cfg.laneWidth > 1) {
-                ch->backend = std::make_unique<LaneChannelBackend<K>>(
-                    ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
-                    _cfg.fmaxMhz, &_cache, _cfg.laneWidth,
-                    _cfg.sortLanesByLength);
+                _channels.push_back(
+                    std::make_unique<LaneChannelBackend<K>>(
+                        ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
+                        _cfg.fmaxMhz, &_cache, _cfg.laneWidth,
+                        _cfg.sortLanesByLength));
             } else {
-                ch->backend = std::make_unique<DeviceChannelBackend<K>>(
-                    ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
-                    _cfg.fmaxMhz, &_cache);
+                _channels.push_back(
+                    std::make_unique<DeviceChannelBackend<K>>(
+                        ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
+                        _cfg.fmaxMhz, &_cache));
             }
-            _channels.push_back(std::move(ch));
         }
         if (_cfg.cpuFallback) {
             const int cpu_threads = _cfg.cpuThreads > 0 ? _cfg.cpuThreads
@@ -347,12 +715,45 @@ class StreamPipeline
         }
     }
 
+    /**
+     * Drains every queued and in-flight shard (releasing any pause), so
+     * the backends outlive all work that references them and every held
+     * ticket reaches its terminal state.
+     */
+    ~StreamPipeline()
+    {
+        resume();
+        // After the pool idles the dispatch queues are empty (every
+        // pop chains the next pump before its task retires), so a
+        // concurrent ticket cancel() can no longer reach backend state.
+        _pool.wait();
+    }
+
     const BatchConfig &config() const { return _cfg; }
     int channelCount() const { return _cfg.nk; }
     int threadCount() const { return _pool.threadCount(); }
 
     /** Result-cache hit/miss/eviction counters (lifetime totals). */
     CacheCounters cacheCounters() const { return _cache.counters(); }
+
+    /**
+     * Stop starting new shards; submissions still queue (in scheduling
+     * order) until resume(). Shards already running finish normally.
+     */
+    void
+    pause()
+    {
+        _core->paused.store(true, std::memory_order_release);
+    }
+
+    /** Re-open dispatch and release queued shards in scheduling order. */
+    void
+    resume()
+    {
+        _core->paused.store(false, std::memory_order_release);
+        for (int s = 0; s < _core->slotCount(); s++)
+            pump(s);
+    }
 
     /**
      * Enqueue an owned batch for asynchronous execution; the returned
@@ -362,8 +763,18 @@ class StreamPipeline
     Ticket
     submit(std::vector<Job> jobs, Callback callback = nullptr)
     {
+        return submit(std::move(jobs), TicketOptions{},
+                      std::move(callback));
+    }
+
+    /** submit() with an explicit scheduling class. */
+    Ticket
+    submit(std::vector<Job> jobs, TicketOptions options,
+           Callback callback = nullptr)
+    {
         auto ticket = std::make_shared<BatchTicket<K>>();
         ticket->_jobs = std::move(jobs);
+        ticket->_options = std::move(options);
         ticket->_callback = std::move(callback);
         enqueue(ticket);
         return ticket;
@@ -377,8 +788,17 @@ class StreamPipeline
     Ticket
     submitBorrowed(const std::vector<Job> &jobs, Callback callback = nullptr)
     {
+        return submitBorrowed(jobs, TicketOptions{}, std::move(callback));
+    }
+
+    /** submitBorrowed() with an explicit scheduling class. */
+    Ticket
+    submitBorrowed(const std::vector<Job> &jobs, TicketOptions options,
+                   Callback callback = nullptr)
+    {
         auto ticket = std::make_shared<BatchTicket<K>>();
         ticket->_view = &jobs;
+        ticket->_options = std::move(options);
         ticket->_callback = std::move(callback);
         enqueue(ticket);
         return ticket;
@@ -416,7 +836,8 @@ class StreamPipeline
      * per-job results and cycles ordered by submission. Safe to overlap
      * with concurrent submit(): accounting is per-ticket, so a racing
      * submission lands either in this epoch or in the next one, never
-     * half in each.
+     * half in each. Cancelled tickets contribute their partial outputs
+     * (default results for dropped jobs) and cancelled counts.
      */
     BatchStats
     drain(std::vector<Result> *results = nullptr,
@@ -459,19 +880,16 @@ class StreamPipeline
     BatchStats
     runAll(const std::vector<Job> &jobs,
            std::vector<Result> *results = nullptr,
-           std::vector<uint64_t> *job_cycles = nullptr)
+           std::vector<uint64_t> *job_cycles = nullptr,
+           TicketOptions options = {})
     {
-        auto ticket = submitBorrowed(jobs);
+        auto ticket = submitBorrowed(jobs, std::move(options));
         return collect(ticket, results, job_cycles);
     }
 
   private:
-    /** One device channel: its backend and the serializing mutex. */
-    struct Channel
-    {
-        std::mutex mutex; //!< serializes shards from different tickets
-        std::unique_ptr<AlignBackend<K>> backend;
-    };
+    using Core = detail::DispatchCore<K>;
+    using ShardEntry = typename Core::ShardEntry;
 
     static int
     poolThreads(const BatchConfig &cfg)
@@ -558,25 +976,43 @@ class StreamPipeline
      * signal, plus work routed earlier in this same batch, plus the
      * job's service estimate. Ties prefer the device (its estimates
      * are exact; the baselines' are learned or modeled).
+     *
+     * With a ticket deadline the argmin is deadline-aware: among slots
+     * whose estimated completion beats the remaining deadline budget,
+     * the one with the lowest marginal *service* cost wins even if
+     * another slot would complete sooner — meeting the deadline on the
+     * cheapest capacity keeps the fast backends free. When no slot can
+     * meet the deadline the router falls back to earliest completion
+     * (least lateness).
      */
     Routing
-    routeCostModel(const std::vector<Job> &jobs) const
+    routeCostModel(const std::vector<Job> &jobs,
+                   const TicketOptions &options) const
     {
+        constexpr double inf = std::numeric_limits<double>::infinity();
+        double deadline_budget = inf;
+        if (options.hasDeadline()) {
+            deadline_budget = std::max(
+                0.0, std::chrono::duration<double>(
+                         options.deadline -
+                         std::chrono::steady_clock::now())
+                         .count());
+        }
+
         Routing r;
         r.shards.assign(static_cast<size_t>(_cfg.nk), {});
         r.shardEst.assign(static_cast<size_t>(_cfg.nk), 0.0);
         std::vector<double> ch_queued(static_cast<size_t>(_cfg.nk), 0.0);
-        for (int c = 0; c < _cfg.nk; c++) {
-            ch_queued[static_cast<size_t>(c)] =
-                _channels[static_cast<size_t>(c)]->backend->queuedSeconds();
-        }
-        const double cpu_queued = _cpu ? _cpu->queuedSeconds() : 0;
-        const double gpu_queued = _gpu ? _gpu->queuedSeconds() : 0;
+        for (int c = 0; c < _cfg.nk; c++)
+            ch_queued[static_cast<size_t>(c)] = _core->queuedSeconds(c);
+        const double cpu_queued =
+            _cpu ? _core->queuedSeconds(_core->cpuSlot()) : 0;
+        const double gpu_queued =
+            _gpu ? _core->queuedSeconds(_core->gpuSlot()) : 0;
         // Per-shard fixed costs (the GPU model's kernel launch): paid
         // by the first job routed to the slot in this batch, so small
         // batches see the true marginal cost of waking a backend.
-        const double dev_overhead =
-            _channels[0]->backend->batchOverheadSeconds();
+        const double dev_overhead = _channels[0]->batchOverheadSeconds();
         const double cpu_overhead =
             _cpu ? _cpu->batchOverheadSeconds() : 0;
         const double gpu_overhead =
@@ -587,15 +1023,14 @@ class StreamPipeline
             // All device channels share one configuration, so one
             // estimate covers them; the choice between channels is
             // purely their backlog.
-            const CostEstimate dev =
-                _channels[0]->backend->estimate(job);
+            const CostEstimate dev = _channels[0]->estimate(job);
             const CostEstimate cpu_est =
                 _cpu ? _cpu->estimate(job) : CostEstimate{0, false};
             const CostEstimate gpu_est =
                 _gpu ? _gpu->estimate(job) : CostEstimate{0, false};
 
             int best_channel = -1;
-            double best = std::numeric_limits<double>::infinity();
+            double best = inf;
             if (dev.feasible) {
                 for (int c = 0; c < _cfg.nk; c++) {
                     const double first =
@@ -611,19 +1046,24 @@ class StreamPipeline
                     }
                 }
             }
+            const double dev_total = best;
             const double cpu_first = r.cpu.empty() ? cpu_overhead : 0;
             const double gpu_first = r.gpu.empty() ? gpu_overhead : 0;
+            const double cpu_total =
+                cpu_est.feasible
+                    ? cpu_queued + r.cpuEst + cpu_est.seconds + cpu_first
+                    : inf;
+            const double gpu_total =
+                gpu_est.feasible
+                    ? gpu_queued + r.gpuEst + gpu_est.seconds + gpu_first
+                    : inf;
             enum { Device, Cpu, Gpu } target = Device;
-            if (cpu_est.feasible &&
-                cpu_queued + r.cpuEst + cpu_est.seconds + cpu_first <
-                    best) {
-                best = cpu_queued + r.cpuEst + cpu_est.seconds + cpu_first;
+            if (cpu_total < best) {
+                best = cpu_total;
                 target = Cpu;
             }
-            if (gpu_est.feasible &&
-                gpu_queued + r.gpuEst + gpu_est.seconds + gpu_first <
-                    best) {
-                best = gpu_queued + r.gpuEst + gpu_est.seconds + gpu_first;
+            if (gpu_total < best) {
+                best = gpu_total;
                 target = Gpu;
             }
             if (!dev.feasible && target == Device) {
@@ -634,6 +1074,33 @@ class StreamPipeline
                 } else {
                     throwUndispatchable(i, job);
                 }
+            }
+            if (deadline_budget < inf) {
+                // Deadline-aware override: cheapest service cost among
+                // the slots that still meet the deadline (iteration
+                // order keeps the device-first tie preference).
+                double best_cost = inf;
+                int met = -1;
+                if (dev.feasible && dev_total <= deadline_budget) {
+                    best_cost = dev.seconds;
+                    met = Device;
+                }
+                if (cpu_est.feasible && cpu_total <= deadline_budget &&
+                    cpu_est.seconds < best_cost) {
+                    best_cost = cpu_est.seconds;
+                    met = Cpu;
+                }
+                if (gpu_est.feasible && gpu_total <= deadline_budget &&
+                    gpu_est.seconds < best_cost) {
+                    best_cost = gpu_est.seconds;
+                    met = Gpu;
+                }
+                if (met == Device)
+                    target = Device;
+                else if (met == Cpu)
+                    target = Cpu;
+                else if (met == Gpu)
+                    target = Gpu;
             }
             switch (target) {
               case Device: {
@@ -664,89 +1131,154 @@ class StreamPipeline
     {
         const auto &jobs = ticket->jobs();
         const int n = static_cast<int>(jobs.size());
+        const TicketOptions &opt = ticket->_options;
 
         // Route first: an undispatchable job throws here, before the
         // ticket is registered, so a failed submit leaves the pipeline
         // with nothing outstanding.
         Routing routing = _cfg.dispatch == DispatchPolicy::CostModel
-                              ? routeCostModel(jobs)
+                              ? routeCostModel(jobs, opt)
                               : routeThreshold(jobs);
 
+        ticket->_core = _core;
         ticket->_results.resize(static_cast<size_t>(n));
         ticket->_cycles.assign(static_cast<size_t>(n), 0);
+        ticket->_completed.assign(static_cast<size_t>(n), 0);
         ticket->_stats.channels.assign(static_cast<size_t>(_cfg.nk),
                                        ChannelStats{});
 
-        int tasks = (routing.cpu.empty() ? 0 : 1) +
-                    (routing.gpu.empty() ? 0 : 1);
-        for (const auto &s : routing.shards)
-            tasks += s.empty() ? 0 : 1;
-        ticket->_pending = tasks;
+        // Collect (slot, shard, estimate) triples for every non-empty
+        // shard the routing produced.
+        std::vector<std::pair<int, ShardEntry>> entries;
+        const uint64_t seq = _core->nextSeq();
+        auto addEntry = [&](int slot, std::vector<int> &&indices,
+                            double est) {
+            if (indices.empty())
+                return;
+            ShardEntry e;
+            e.ticket = ticket;
+            e.indices = std::move(indices);
+            e.estSeconds = est;
+            e.priority = opt.priority;
+            e.deadline = opt.deadline;
+            e.seq = seq;
+            entries.emplace_back(slot, std::move(e));
+        };
+        for (int c = 0; c < _cfg.nk; c++) {
+            addEntry(c, std::move(routing.shards[static_cast<size_t>(c)]),
+                     routing.shardEst[static_cast<size_t>(c)]);
+        }
+        addEntry(_core->cpuSlot(), std::move(routing.cpu), routing.cpuEst);
+        addEntry(_core->gpuSlot(), std::move(routing.gpu), routing.gpuEst);
+
+        ticket->_pending = static_cast<int>(entries.size());
         {
             std::lock_guard lock(_outstandingMutex);
             _outstanding.push_back(ticket);
         }
-        if (tasks == 0) {
-            finishShard(ticket); // empty batch completes immediately
+        if (entries.empty()) {
+            _core->finishShard(*ticket); // empty batch completes now
             return;
         }
 
-        for (int c = 0; c < _cfg.nk; c++) {
-            auto shard = std::move(routing.shards[static_cast<size_t>(c)]);
-            if (shard.empty())
-                continue;
-            const double est = routing.shardEst[static_cast<size_t>(c)];
-            Channel &ch = *_channels[static_cast<size_t>(c)];
-            if (est > 0)
-                ch.backend->noteEnqueued(est);
-            _pool.submit([this, ticket, c, est,
-                          shard = std::move(shard)] {
-                Channel &chan = *_channels[static_cast<size_t>(c)];
-                {
-                    std::lock_guard lock(chan.mutex);
-                    chan.backend->run(
-                        ticket->jobs(), shard, ticket->_results.data(),
-                        ticket->_cycles.data(),
-                        ticket->_stats.channels[static_cast<size_t>(c)]);
+        for (auto &[slot, entry] : entries) {
+            _core->noteEnqueued(slot, entry.estSeconds);
+            {
+                std::lock_guard lock(_core->slot(slot).mutex);
+                _core->slot(slot).queue.insert(std::move(entry));
+            }
+            pump(slot);
+        }
+    }
+
+    /**
+     * Start queued shards of slot @p s, best first, until its
+     * concurrency capacity is full or dispatch is paused. Shards of
+     * cancelled tickets are dropped here when the cancel() raced the
+     * queue scan.
+     */
+    void
+    pump(int s)
+    {
+        auto &slot = _core->slot(s);
+        for (;;) {
+            ShardEntry entry;
+            bool start = false;
+            {
+                std::lock_guard lock(slot.mutex);
+                if (slot.busy >= slot.capacity ||
+                    _core->paused.load(std::memory_order_acquire) ||
+                    slot.queue.empty()) {
+                    return;
                 }
-                if (est > 0)
-                    chan.backend->noteCompleted(est);
-                collectPaths(*ticket, shard);
-                finishShard(ticket);
-            });
+                auto node = slot.queue.extract(slot.queue.begin());
+                entry = std::move(node.value());
+                // Decide under the lock: if the shard starts, its
+                // capacity unit must be owned by exactly this pop.
+                start = !entry.ticket->cancelled();
+                if (start)
+                    slot.busy++;
+            }
+            if (!start) {
+                _core->noteCompleted(s, entry.estSeconds);
+                _core->acctFor(*entry.ticket, s).cancelled +=
+                    static_cast<int>(entry.indices.size());
+                _core->finishShard(*entry.ticket);
+                continue;
+            }
+            TaskOptions attrs;
+            attrs.priority = entry.priority;
+            if (entry.deadline !=
+                detail::DispatchCore<K>::Clock::time_point::max()) {
+                attrs.deadlineSeconds =
+                    std::chrono::duration<double>(
+                        entry.deadline.time_since_epoch())
+                        .count();
+            }
+            // shared_ptr capture: std::function requires copyability.
+            auto shared = std::make_shared<ShardEntry>(std::move(entry));
+            _pool.submit([this, s, shared] { runShard(s, *shared); },
+                         attrs);
+            // Loop on: a slot with spare capacity starts its next-best
+            // shard too (only the CPU/GPU slots have capacity > 1).
         }
-        if (!routing.cpu.empty()) {
-            const double est = routing.cpuEst;
-            if (est > 0)
-                _cpu->noteEnqueued(est);
-            _pool.submit([this, ticket, est,
-                          cpu = std::move(routing.cpu)] {
-                // MatrixAligner is stateless-const, so the CPU backend
-                // needs no serialization across tickets.
-                _cpu->run(ticket->jobs(), cpu, ticket->_results.data(),
-                          ticket->_cycles.data(), ticket->_stats.cpu);
-                if (est > 0)
-                    _cpu->noteCompleted(est);
-                collectPaths(*ticket, cpu);
-                finishShard(ticket);
-            });
+    }
+
+    /** Execute one popped shard on slot @p s, then chain the pump. */
+    void
+    runShard(int s, ShardEntry &entry)
+    {
+        BatchTicket<K> &ticket = *entry.ticket;
+        AlignBackend<K> *backend;
+        if (s < _cfg.nk)
+            backend = _channels[static_cast<size_t>(s)].get();
+        else if (s == _core->cpuSlot())
+            backend = _cpu.get();
+        else
+            backend = _gpu.get();
+        ChannelStats &acct = _core->acctFor(ticket, s);
+
+        backend->run(ticket.jobs(), entry.indices,
+                     ticket._results.data(), ticket._cycles.data(), acct);
+        for (const int idx : entry.indices)
+            ticket._completed[static_cast<size_t>(idx)] = 1;
+        if (entry.deadline !=
+                detail::DispatchCore<K>::Clock::time_point::max() &&
+            detail::DispatchCore<K>::Clock::now() > entry.deadline) {
+            acct.deadlineMisses += static_cast<int>(entry.indices.size());
         }
-        if (!routing.gpu.empty()) {
-            const double est = routing.gpuEst;
-            if (est > 0)
-                _gpu->noteEnqueued(est);
-            _pool.submit([this, ticket, est,
-                          gpu = std::move(routing.gpu)] {
-                // The GPU model batches each shard as one launch; like
-                // the CPU backend it has no cross-ticket mutable state.
-                _gpu->run(ticket->jobs(), gpu, ticket->_results.data(),
-                          ticket->_cycles.data(), ticket->_stats.gpu);
-                if (est > 0)
-                    _gpu->noteCompleted(est);
-                collectPaths(*ticket, gpu);
-                finishShard(ticket);
-            });
+        _core->noteCompleted(s, entry.estSeconds);
+
+        // Free the slot before the (possibly slow) path-stats merge and
+        // completion callback, so the next shard overlaps them.
+        {
+            std::lock_guard lock(_core->slot(s).mutex);
+            _core->slot(s).busy--;
         }
+        pump(s);
+
+        collectPaths(ticket, entry.indices);
+        _core->finishShard(ticket);
     }
 
     void
@@ -769,39 +1301,13 @@ class StreamPipeline
         mergePathStats(ticket._stats.paths, local);
     }
 
-    /**
-     * Mark one shard done; the last one finalizes the ticket, runs the
-     * completion callback and only then releases waiters — so wait()
-     * returning guarantees the callback has finished (a callback must
-     * therefore never wait on its own ticket).
-     */
-    void
-    finishShard(const Ticket &ticket)
-    {
-        std::function<void(BatchTicket<K> &)> callback;
-        {
-            std::lock_guard lock(ticket->_mutex);
-            if (ticket->_pending > 0 && --ticket->_pending > 0)
-                return;
-            finalizeBatchStats(ticket->_stats, _cfg.fmaxMhz,
-                               _cfg.cpuEquivalentMhz);
-            callback = std::move(ticket->_callback);
-        }
-        if (callback)
-            callback(*ticket);
-        {
-            std::lock_guard lock(ticket->_mutex);
-            ticket->_done = true;
-        }
-        ticket->_cv.notify_all();
-    }
-
     BatchConfig _cfg;
     Params _params;
     ShardedResultCache<Result> _cache;
     std::mutex _outstandingMutex;
     std::vector<Ticket> _outstanding; //!< submitted, not yet retired
-    std::vector<std::unique_ptr<Channel>> _channels;
+    std::shared_ptr<Core> _core;      //!< shared with issued tickets
+    std::vector<std::unique_ptr<AlignBackend<K>>> _channels;
     std::unique_ptr<CpuBaselineBackend<K>> _cpu;
     std::unique_ptr<GpuModelBackend<K>> _gpu;
     // Declared last: ~ThreadPool drains every queued shard task, so the

@@ -199,13 +199,19 @@ makeRunner(MakeJobs make_jobs, int band_width, int max_q, int max_r)
         bc.gpuModel = rc.gpuModel;
         bc.collectPathStats = false; // throughput-only run
         host::StreamPipeline<K> pipeline(bc);
-        const auto stats = pipeline.runAll(jobs);
+        host::TicketOptions topt;
+        topt.priority = rc.priority;
+        if (rc.deadlineMs > 0)
+            topt = host::TicketOptions::afterMs(rc.priority, rc.deadlineMs);
+        const auto stats =
+            pipeline.runAll(jobs, nullptr, nullptr, std::move(topt));
 
         RunResult out;
         out.alignsPerSec = stats.alignsPerSec;
         out.cyclesPerAlign = stats.cyclesPerAlign;
         out.fmaxMhz = fmax;
         out.cellsPerAlign = cells;
+        out.deadlineMisses = stats.deadlineMisses;
         return out;
     };
 }

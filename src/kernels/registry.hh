@@ -56,6 +56,10 @@ struct RunConfig
     double cpuModeledCellsPerSec = 0;
     /** Add the modeled GPU backend (covered kernels only). */
     bool gpuModel = false;
+    /** Scheduling class of the workload's ticket (0 = default FIFO). */
+    int priority = 0;
+    /** Ticket deadline in ms from submission (0 = no deadline). */
+    double deadlineMs = 0;
 };
 
 /** Outcome of one simulated device run on the standard workload. */
@@ -65,6 +69,7 @@ struct RunResult
     double cyclesPerAlign = 0;
     double fmaxMhz = 0;
     double cellsPerAlign = 0; //!< mean full-matrix cells (for GCUPS)
+    int deadlineMisses = 0;   //!< jobs finished past the ticket deadline
 };
 
 /** Registry entry for one kernel. */

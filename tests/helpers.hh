@@ -7,7 +7,10 @@
 #ifndef DPHLS_TESTS_HELPERS_HH
 #define DPHLS_TESTS_HELPERS_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 
 #include "core/alignment.hh"
 #include "kernels/all.hh"
@@ -25,6 +28,42 @@ struct Pair
     seq::Sequence<CharT> query;
     seq::Sequence<CharT> reference;
 };
+
+/**
+ * A pair with exact (qlen, rlen) shape for kernel @p K's alphabet:
+ * realistic content, force-resized (default-character padding is fine —
+ * every execution path consumes identical input either way).
+ */
+template <typename K>
+Pair<typename K::CharT>
+shapedPair(seq::Rng &rng, int qlen, int rlen)
+{
+    using CharT = typename K::CharT;
+    Pair<CharT> p;
+    const int base = std::max({qlen, rlen, 1});
+    if constexpr (std::is_same_v<CharT, seq::DnaChar>) {
+        p.query = seq::randomDna(base, rng);
+        p.reference = seq::mutateDna(p.query, 0.15, 0.08, rng);
+    } else if constexpr (std::is_same_v<CharT, seq::AminoChar>) {
+        p.query = seq::sampleProtein(base, rng);
+        p.reference = seq::mutateProtein(p.query, 0.15, 0.05, rng);
+    } else if constexpr (std::is_same_v<CharT, seq::ProfileColumn>) {
+        auto pairs = seq::sampleProfilePairs(1, base, rng.next());
+        p.query = std::move(pairs[0].first);
+        p.reference = std::move(pairs[0].second);
+    } else if constexpr (std::is_same_v<CharT, seq::ComplexSample>) {
+        p.query = seq::randomComplexSignal(base, rng);
+        p.reference = seq::warpComplexSignal(p.query, 0.2, 0.3, rng);
+    } else {
+        auto pairs = seq::sampleSquigglePairs(1, base, std::max(1, base / 2),
+                                              rng.next());
+        p.query = std::move(pairs[0].query);
+        p.reference = std::move(pairs[0].reference);
+    }
+    p.query.chars.resize(static_cast<size_t>(qlen));
+    p.reference.chars.resize(static_cast<size_t>(rlen));
+    return p;
+}
 
 /** Random related DNA pair (lengths up to max_len). */
 inline Pair<seq::DnaChar>

@@ -94,6 +94,70 @@ TEST(FastaTest, CrlfStreamDecodesToDna)
     std::remove(path.c_str());
 }
 
+TEST(FastaTest, EmptyFileYieldsNoRecordsEverywhere)
+{
+    // A zero-byte file (as opposed to an empty istream) through both
+    // the batch reader and the incremental stream: no records, no
+    // throw, idempotent at EOF.
+    const std::string path = "test_fasta_empty_tmp.fa";
+    {
+        std::ofstream out(path);
+    }
+    EXPECT_TRUE(readFastaFile(path).empty());
+    FastaStream stream(path);
+    FastaRecord rec;
+    EXPECT_FALSE(stream.next(rec));
+    EXPECT_FALSE(stream.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(FastaTest, RecordWithNoTrailingNewlineKeepsLastLine)
+{
+    // The final residue line ends at EOF with no '\n' (a truncated or
+    // hand-edited file): the line still belongs to the record.
+    std::istringstream in(">a\nACGT\nGGCC");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].name, "a");
+    EXPECT_EQ(records[0].residues, "ACGTGGCC");
+
+    // Same for a header with no trailing newline and no residues: the
+    // record exists, with an empty residue string.
+    std::istringstream header_only(">a\nAC\n>b");
+    const auto two = readFasta(header_only);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[1].name, "b");
+    EXPECT_EQ(two[1].residues, "");
+}
+
+TEST(FastaTest, BareGtHeaderYieldsUnnamedRecord)
+{
+    // A '>'-only header line is a record with an empty name — defined,
+    // non-crashing behavior for files that omit sequence ids.
+    std::istringstream in(">\nACGT\n>\nGG\n");
+    const auto records = readFasta(in);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].name, "");
+    EXPECT_EQ(records[0].residues, "ACGT");
+    EXPECT_EQ(records[1].name, "");
+    EXPECT_EQ(records[1].residues, "GG");
+
+    // A lone '>' with nothing after it is still one (empty) record.
+    std::istringstream bare(">");
+    const auto lone = readFasta(bare);
+    ASSERT_EQ(lone.size(), 1u);
+    EXPECT_EQ(lone[0].name, "");
+    EXPECT_EQ(lone[0].residues, "");
+
+    // And a '>'-only header with a CRLF line ending stays empty-named
+    // (the '\r' is stripped, not kept as the name).
+    std::istringstream crlf(">\r\nAC\r\n");
+    const auto stripped = readFasta(crlf);
+    ASSERT_EQ(stripped.size(), 1u);
+    EXPECT_EQ(stripped[0].name, "");
+    EXPECT_EQ(stripped[0].residues, "AC");
+}
+
 TEST(FastaTest, ResidueBeforeHeaderThrows)
 {
     std::istringstream in("ACGT\n>a\nAC\n");

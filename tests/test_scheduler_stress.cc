@@ -112,6 +112,53 @@ TEST(ThreadPoolStress, DestructionDrainsQueuedWork)
     EXPECT_EQ(count.load(), 300);
 }
 
+TEST(ThreadPoolStress, PopOrderIsPriorityThenDeadlineThenFifo)
+{
+    ThreadPool pool(1);
+    // Gate the single worker so every task below is queued before any
+    // of them can run; the drain order is then pure pop order. The
+    // submissions must wait until the worker has actually entered the
+    // gate task — otherwise a high-priority task submitted early could
+    // be popped ahead of the gate itself.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool go = false;
+    std::atomic<bool> gate_entered{false};
+    pool.submit([&] {
+        gate_entered = true;
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return go; });
+    });
+    while (!gate_entered.load())
+        std::this_thread::yield();
+
+    std::vector<int> order;
+    std::mutex order_mutex;
+    const auto record = [&](int id) {
+        return [&order, &order_mutex, id] {
+            std::lock_guard lock(order_mutex);
+            order.push_back(id);
+        };
+    };
+    pool.submit(record(0));                        // class 0, FIFO first
+    pool.submit(record(1), {.priority = 5});       // highest class
+    pool.submit(record(2), {.priority = 5, .deadlineSeconds = 10.0});
+    pool.submit(record(3), {.priority = 5, .deadlineSeconds = 2.0});
+    pool.submit(record(4), {.priority = 1});
+    pool.submit(record(5));                        // class 0, FIFO second
+
+    {
+        std::lock_guard lock(mutex);
+        go = true;
+    }
+    cv.notify_all();
+    pool.wait();
+
+    // Priority desc, then deadline asc (finite before infinite), then
+    // submission order.
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 4, 0, 5}));
+}
+
 TEST(ThreadPoolStress, SubmitRacingWait)
 {
     for (int round = 0; round < 10; round++) {

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <mutex>
 #include <thread>
 
@@ -25,41 +26,7 @@ using namespace dphls;
 
 namespace {
 
-/**
- * A pair with exact (qlen, rlen) shape: realistic content for the
- * kernel's alphabet, force-resized (default-character padding is fine —
- * every execution path consumes identical input either way).
- */
-template <typename K>
-test::Pair<typename K::CharT>
-shapedPair(seq::Rng &rng, int qlen, int rlen)
-{
-    using CharT = typename K::CharT;
-    test::Pair<CharT> p;
-    const int base = std::max({qlen, rlen, 1});
-    if constexpr (std::is_same_v<CharT, seq::DnaChar>) {
-        p.query = seq::randomDna(base, rng);
-        p.reference = seq::mutateDna(p.query, 0.15, 0.08, rng);
-    } else if constexpr (std::is_same_v<CharT, seq::AminoChar>) {
-        p.query = seq::sampleProtein(base, rng);
-        p.reference = seq::mutateProtein(p.query, 0.15, 0.05, rng);
-    } else if constexpr (std::is_same_v<CharT, seq::ProfileColumn>) {
-        auto pairs = seq::sampleProfilePairs(1, base, rng.next());
-        p.query = std::move(pairs[0].first);
-        p.reference = std::move(pairs[0].second);
-    } else if constexpr (std::is_same_v<CharT, seq::ComplexSample>) {
-        p.query = seq::randomComplexSignal(base, rng);
-        p.reference = seq::warpComplexSignal(p.query, 0.2, 0.3, rng);
-    } else {
-        auto pairs = seq::sampleSquigglePairs(1, base, std::max(1, base / 2),
-                                              rng.next());
-        p.query = std::move(pairs[0].query);
-        p.reference = std::move(pairs[0].reference);
-    }
-    p.query.chars.resize(static_cast<size_t>(qlen));
-    p.reference.chars.resize(static_cast<size_t>(rlen));
-    return p;
-}
+using test::shapedPair;
 
 template <typename K>
 std::vector<typename host::StreamPipeline<K>::Job>
@@ -716,6 +683,293 @@ TEST(StreamPipeline, BackendEstimatesAndQueueSignal)
     const auto gpu_est = gpu.estimate(small);
     EXPECT_TRUE(gpu_est.feasible);
     EXPECT_GT(gpu_est.seconds, 0.0);
+}
+
+TEST(StreamPipeline, CancelWhilePausedDropsAllShardsAndCompletes)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 2;
+    cfg.threads = 1;
+    Pipeline pipeline(cfg);
+
+    pipeline.pause(); // nothing dispatches: every shard stays queued
+    std::atomic<int> fires{0};
+    auto keep = pipeline.submit(dnaJobs(6, 7100));
+    auto victim = pipeline.submit(
+        dnaJobs(8, 7200), host::TicketOptions{},
+        [&fires](host::BatchTicket<K> &t) {
+            fires++;
+            EXPECT_EQ(t.stats().cancelled, 8);
+        });
+
+    EXPECT_TRUE(victim->cancel());
+    // Queued-only cancellation completes the ticket immediately — no
+    // wait()-blocking-forever, and the callback has already fired.
+    EXPECT_TRUE(victim->done());
+    EXPECT_TRUE(victim->cancelled());
+    EXPECT_EQ(fires.load(), 1);
+    EXPECT_FALSE(victim->cancel()); // already terminal
+
+    const auto &stats = victim->stats();
+    EXPECT_EQ(stats.alignments, 0);
+    EXPECT_EQ(stats.cancelled, 8);
+    EXPECT_EQ(stats.totalCycles, 0u);
+    for (size_t i = 0; i < victim->jobs().size(); i++) {
+        EXPECT_EQ(victim->completed()[i], 0u) << i;
+        EXPECT_EQ(victim->cycles()[i], 0u) << i;
+        EXPECT_TRUE(victim->results()[i].ops.empty()) << i;
+    }
+    int section_cancelled = 0;
+    for (const auto &b : stats.backends)
+        section_cancelled += b.cancelled;
+    EXPECT_EQ(section_cancelled, 8);
+
+    // The untouched ticket still runs to full completion on resume.
+    pipeline.resume();
+    const auto keep_stats = pipeline.collect(keep);
+    EXPECT_EQ(keep_stats.alignments, 6);
+    EXPECT_EQ(keep_stats.cancelled, 0);
+}
+
+TEST(StreamPipeline, CancelLeavesInFlightShardsRunningToCompletion)
+{
+    // Deterministic mixed cancel, one channel + one worker: resume()
+    // pops the victim's CPU shard synchronously (the CPU slot is
+    // free), so once the cancelling callback — gated on resume()
+    // having returned — fires, that shard is in flight and must run to
+    // completion. The victim's device shard, by contrast, is still
+    // queued behind blocker2 at that moment, so the cancel drops it —
+    // leaving a genuinely partial result set: CPU job computed, device
+    // jobs cancelled.
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 1;
+    cfg.threads = 1;
+    cfg.maxQueryLength = 128;
+    cfg.maxReferenceLength = 128;
+    cfg.cpuFallback = true;
+    cfg.cpuModeledCellsPerSec = 1e9;
+    Pipeline pipeline(cfg);
+
+    pipeline.pause();
+    Pipeline::Ticket victim;
+    std::promise<void> resumed;
+    std::shared_future<void> resumed_future = resumed.get_future().share();
+    auto blocker1 = pipeline.submit(
+        dnaJobs(3, 7300), host::TicketOptions{},
+        [&victim, resumed_future](host::BatchTicket<K> &) {
+            resumed_future.wait();
+            victim->cancel();
+        });
+    auto blocker2 = pipeline.submit(dnaJobs(3, 7400));
+
+    // Victim: 4 device jobs + 1 oversized job that routes to the CPU.
+    auto jobs = dnaJobs(4, 7500);
+    seq::Rng rng(75);
+    Pipeline::Job big;
+    big.query = seq::randomDna(200, rng);
+    big.reference = seq::mutateDna(big.query, 0.1, 0.05, rng);
+    jobs.push_back(std::move(big));
+    const Pipeline::Job cpu_job = jobs.back(); // copy for the gold run
+    victim = pipeline.submit(std::move(jobs));
+
+    pipeline.resume();
+    resumed.set_value(); // release the cancelling callback
+    victim->wait();
+    blocker2->wait();
+
+    EXPECT_TRUE(victim->cancelled());
+    const auto &stats = victim->stats();
+    // The CPU shard was in flight when the cancel hit: it completed.
+    // The device shard was still queued behind blocker2: dropped.
+    EXPECT_EQ(stats.alignments, 1);
+    EXPECT_EQ(stats.cancelled, 4);
+    for (size_t i = 0; i < 4; i++) {
+        EXPECT_EQ(victim->completed()[i], 0u) << i;
+        EXPECT_EQ(victim->cycles()[i], 0u) << i;
+    }
+    EXPECT_EQ(victim->completed()[4], 1u);
+    EXPECT_GT(victim->cycles()[4], 0u);
+    ref::MatrixAligner<K> gold(K::defaultParams(), cfg.bandWidth);
+    const auto want = gold.align(cpu_job.query, cpu_job.reference);
+    EXPECT_EQ(want.score, victim->results()[4].score);
+    EXPECT_EQ(want.ops, victim->results()[4].ops);
+
+    // Blockers are untouched by the neighbor's cancellation.
+    EXPECT_EQ(blocker1->stats().alignments, 3);
+    EXPECT_EQ(blocker2->stats().alignments, 3);
+}
+
+TEST(StreamPipeline, DestructorWithCancelledUnwaitedTicketNoLeakNoDeadlock)
+{
+    // Regression companion to DestructionWithInFlightTicketsCompletesThem:
+    // a ticket cancelled but never waited on must not leak its callback
+    // (tracked via the captured shared_ptr) and must not deadlock the
+    // pipeline destructor, even when the pipeline dies paused with
+    // other work still queued.
+    auto guard = std::make_shared<int>(42);
+    std::weak_ptr<int> weak = guard;
+    Pipeline::Ticket cancelled, queued;
+    {
+        host::BatchConfig cfg;
+        cfg.npe = 8;
+        cfg.nk = 1;
+        cfg.threads = 1;
+        Pipeline pipeline(cfg);
+        pipeline.pause();
+        queued = pipeline.submit(dnaJobs(5, 7600));
+        cancelled = pipeline.submit(
+            dnaJobs(4, 7700), host::TicketOptions{},
+            [guard](host::BatchTicket<K> &) { (void)guard; });
+        guard.reset(); // the callback now holds the only reference
+        EXPECT_FALSE(weak.expired());
+        EXPECT_TRUE(cancelled->cancel());
+        EXPECT_TRUE(cancelled->done());
+        // The callback ran (once) during cancellation and its capture
+        // was released — nothing is left to leak.
+        EXPECT_TRUE(weak.expired());
+        // Pipeline destroyed here: still paused, with `queued` pending
+        // and `cancelled` never waited on or collected.
+    }
+    EXPECT_TRUE(queued->done()); // destructor resumed and drained
+    EXPECT_EQ(queued->stats().alignments, 5);
+    EXPECT_EQ(cancelled->stats().cancelled, 4);
+}
+
+TEST(StreamPipeline, PausedBacklogReleasesInPriorityThenDeadlineOrder)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 1;
+    cfg.threads = 1; // one slot, one worker: pure scheduler order
+    Pipeline pipeline(cfg);
+
+    std::mutex mutex;
+    std::vector<char> order;
+    const auto tag = [&](char c) {
+        return [&mutex, &order, c](host::BatchTicket<K> &) {
+            std::lock_guard lock(mutex);
+            order.push_back(c);
+        };
+    };
+
+    pipeline.pause();
+    host::TicketOptions prio5_late = host::TicketOptions::afterMs(5, 500);
+    host::TicketOptions prio5_soon = host::TicketOptions::afterMs(5, 250);
+    host::TicketOptions prio1;
+    prio1.priority = 1;
+    host::TicketOptions prio3;
+    prio3.priority = 3;
+    auto a = pipeline.submit(dnaJobs(2, 8000), tag('a')); // class 0
+    auto b = pipeline.submit(dnaJobs(2, 8001), prio5_late, tag('b'));
+    auto c = pipeline.submit(dnaJobs(2, 8002), prio1, tag('c'));
+    auto d = pipeline.submit(dnaJobs(2, 8003), prio5_soon, tag('d'));
+    auto e = pipeline.submit(dnaJobs(2, 8004), prio3, tag('e'));
+    auto f = pipeline.submit(dnaJobs(2, 8005), tag('f')); // class 0, FIFO
+    pipeline.resume();
+    pipeline.drain();
+
+    // Highest priority first; equal priorities by earliest deadline;
+    // no-deadline class-0 tickets in submission order.
+    ASSERT_EQ(order.size(), 6u);
+    EXPECT_EQ(std::string(order.begin(), order.end()), "dbecaf");
+}
+
+TEST(StreamPipeline, DeadlineMissesAreCountedPerBackend)
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nk = 2;
+    cfg.maxQueryLength = 128;
+    cfg.maxReferenceLength = 128;
+    cfg.cpuFallback = true;
+    cfg.cpuFloorLen = 24;
+    cfg.cpuModeledCellsPerSec = 1e9;
+    Pipeline pipeline(cfg);
+
+    // 3 tiny CPU-routed jobs + 6 device jobs, with a deadline that has
+    // already expired at submission: every completion is a miss.
+    std::vector<Pipeline::Job> jobs;
+    seq::Rng rng(91);
+    for (int i = 0; i < 3; i++) {
+        Pipeline::Job j;
+        j.query = seq::randomDna(10 + i, rng);
+        j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+        j.reference.chars.resize(static_cast<size_t>(12 + i));
+        jobs.push_back(std::move(j));
+    }
+    auto device_jobs = dnaJobs(6, 9100);
+    for (auto &j : device_jobs)
+        jobs.push_back(std::move(j));
+
+    const auto missed = pipeline.runAll(
+        jobs, nullptr, nullptr, host::TicketOptions::afterMs(0, 0.0));
+    EXPECT_EQ(missed.alignments, 9);
+    EXPECT_EQ(missed.deadlineMisses, 9);
+    EXPECT_EQ(missed.cpu.deadlineMisses, 3);
+    int device_misses = 0;
+    for (const auto &ch : missed.channels)
+        device_misses += ch.deadlineMisses;
+    EXPECT_EQ(device_misses, 6);
+    int section_misses = 0;
+    for (const auto &b : missed.backends)
+        section_misses += b.deadlineMisses;
+    EXPECT_EQ(section_misses, 9);
+
+    // A comfortable deadline produces no misses.
+    const auto met = pipeline.runAll(
+        jobs, nullptr, nullptr, host::TicketOptions::afterMs(0, 60000.0));
+    EXPECT_EQ(met.alignments, 9);
+    EXPECT_EQ(met.deadlineMisses, 0);
+
+    // No deadline at all: nothing to miss.
+    const auto none = pipeline.runAll(jobs);
+    EXPECT_EQ(none.deadlineMisses, 0);
+}
+
+TEST(StreamPipeline, CostModelPrefersCheapestBackendMeetingDeadline)
+{
+    // 256x256 local-affine: the GPU model's marginal service time
+    // (65536 cells at 23 GCUPS ~ 2.9 us) is far below the device
+    // channel's (~20 us of modeled cycles), but its 50 us launch
+    // overhead makes its completion later — so the plain cost-model
+    // argmin routes to the device. With a roomy deadline both backends
+    // meet it and the router must flip to the cheaper GPU, keeping the
+    // device free for traffic that needs its latency.
+    host::BatchConfig cfg;
+    cfg.npe = 32;
+    cfg.nb = 1;
+    cfg.nk = 1;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    cfg.dispatch = host::DispatchPolicy::CostModel;
+    cfg.gpuModel = true;
+    Pipeline pipeline(cfg);
+
+    std::vector<Pipeline::Job> jobs;
+    seq::Rng rng(321);
+    Pipeline::Job j;
+    j.query = seq::randomDna(256, rng);
+    j.reference = seq::mutateDna(j.query, 0.1, 0.05, rng);
+    j.reference.chars.resize(256);
+    jobs.push_back(std::move(j));
+
+    const auto no_deadline = pipeline.runAll(jobs);
+    EXPECT_EQ(no_deadline.gpu.alignments, 0);
+    EXPECT_EQ(no_deadline.alignments, 1);
+
+    const auto roomy = pipeline.runAll(
+        jobs, nullptr, nullptr, host::TicketOptions::afterMs(0, 10000.0));
+    EXPECT_EQ(roomy.gpu.alignments, 1);
+    EXPECT_EQ(roomy.alignments, 1);
+
+    // An unmeetable deadline falls back to earliest completion — the
+    // device — rather than refusing to route.
+    const auto hopeless = pipeline.runAll(
+        jobs, nullptr, nullptr, host::TicketOptions::afterMs(0, 1e-6));
+    EXPECT_EQ(hopeless.gpu.alignments, 0);
+    EXPECT_EQ(hopeless.alignments, 1);
 }
 
 TEST(StreamPipeline, ThreeWayCostModelDispatchSumsToEpochTotals)

@@ -23,13 +23,25 @@
  * observed drain latency so the parse -> align -> writeback pipeline
  * stays full across kernel speeds.
  *
+ * Scheduling: --priority P submits every ticket in priority class P
+ * (higher classes are dispatched first when the pipeline is shared)
+ * and --deadline-ms D stamps each ticket with a deadline D ms after
+ * its submission — completions past the deadline are reported in the
+ * batch summary, and cost-model routing prefers backends whose
+ * estimated completion beats the deadline. --two-class-demo runs the
+ * input once as a mixed interactive/bulk workload under FIFO and
+ * under priority scheduling and reports the modeled p50/p99 ticket
+ * latency of each class, making the scheduler's effect visible end to
+ * end from the command line.
+ *
  * Usage:
  *   dphls_align --kernel <name> --query q.fa --reference r.fa
  *               [--npe N] [--band W] [--max-len L] [--nk K] [--nb B]
  *               [--threads T] [--lanes W] [--chunk N|auto]
  *               [--dispatch threshold|cost] [--gpu-model]
  *               [--cpu-fallback] [--cpu-floor L] [--no-cache]
- *               [--no-traceback]
+ *               [--no-traceback] [--priority P] [--deadline-ms D]
+ *               [--two-class-demo]
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
@@ -39,16 +51,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/cigar.hh"
+#include "host/latency_probe.hh"
 #include "host/stream_pipeline.hh"
 #include "kernels/all.hh"
 #include "model/frequency_model.hh"
@@ -77,6 +93,9 @@ struct Options
     std::string dispatch;      //!< "", "threshold" or "cost"
     bool cache = true;
     bool traceback = true;
+    int priority = 0;          //!< scheduling class of every ticket
+    double deadlineMs = 0;     //!< per-ticket deadline (0 = none)
+    bool twoClassDemo = false; //!< run the priority-scheduling demo
 };
 
 void
@@ -93,6 +112,8 @@ usage()
                  "[--gpu-model] [--cpu-fallback]\n"
                  "                   [--cpu-floor L] [--no-cache] "
                  "[--no-traceback]\n"
+                 "                   [--priority P] [--deadline-ms D] "
+                 "[--two-class-demo]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -153,11 +174,151 @@ class CyclingFastaSource
     bool _exhausted = false;
 };
 
+/** The per-ticket scheduling class the options ask for. */
+host::TicketOptions
+ticketOptions(const Options &opt)
+{
+    if (opt.deadlineMs > 0)
+        return host::TicketOptions::afterMs(opt.priority, opt.deadlineMs);
+    host::TicketOptions topt;
+    topt.priority = opt.priority;
+    return topt;
+}
+
+/**
+ * Two-class scheduling demo: the input pairs are split into bulk
+ * tickets (every --chunk pairs, the re-alignment batch class) and
+ * interactive tickets (one pair in eight, submitted alone), interleaved
+ * in submission order. The same workload runs twice on a one-channel,
+ * one-thread pipeline — once with every ticket in class 0 (FIFO) and
+ * once with the interactive tickets in a higher priority class — and
+ * the modeled completion latency of each ticket (cumulative channel
+ * busy cycles at its completion, at the kernel's fmax) is reported as
+ * per-class p50/p99. Deterministic: all tickets are queued while the
+ * pipeline is paused, and the accounting is cycle-domain.
+ */
+template <typename K, typename SeqT>
+int
+runTwoClassDemo(const Options &opt,
+                SeqT (*decode)(const seq::FastaRecord &))
+{
+    using Pipeline = host::StreamPipeline<K>;
+    using Job = typename Pipeline::Job;
+
+    CyclingFastaSource<SeqT> queries(opt.queryPath, decode);
+    CyclingFastaSource<SeqT> references(opt.referencePath, decode);
+    std::vector<Job> jobs;
+    for (;;) {
+        Job job;
+        if (!queries.next(job.query, references.exhausted()))
+            break;
+        if (!references.next(job.reference, queries.exhausted()))
+            break;
+        jobs.push_back(std::move(job));
+    }
+    if (jobs.empty()) {
+        std::fprintf(stderr, "two-class demo: no pairs in input\n");
+        return 1;
+    }
+
+    const double fmax = model::kernelFrequencyMhz<K>();
+    const size_t bulk_chunk =
+        std::max<size_t>(1, opt.chunk > 0 ? static_cast<size_t>(opt.chunk)
+                                          : 64);
+    const auto run = [&](int interactive_priority) {
+        host::BatchConfig cfg;
+        cfg.npe = opt.npe;
+        cfg.nb = opt.nb;
+        cfg.nk = 1; // one channel: the contended-queue case
+        cfg.threads = 1;
+        cfg.fmaxMhz = fmax;
+        cfg.bandWidth = opt.band;
+        cfg.maxQueryLength = opt.maxLen;
+        cfg.maxReferenceLength = opt.maxLen;
+        cfg.skipTraceback = !opt.traceback;
+        cfg.hostOverheadCycles = 0;
+        cfg.collectPathStats = false;
+        cfg.cacheEntries = 0;
+        Pipeline pipeline(cfg);
+
+        auto probe = std::make_shared<host::TwoClassLatencyProbe>(fmax);
+        std::vector<typename Pipeline::Ticket> tickets;
+        const auto submitClass = [&](std::vector<Job> batch,
+                                     bool interactive) {
+            host::TicketOptions topt;
+            topt.priority = interactive ? interactive_priority : 0;
+            topt.tag = interactive ? "interactive" : "bulk";
+            // Deadlines only in the prioritized leg: a deadline also
+            // reorders equal-priority dispatch (EDF tiebreak), so
+            // stamping the baseline leg would corrupt its pure-FIFO
+            // semantics and flatten the reported speedup.
+            if (interactive && interactive_priority > 0 &&
+                opt.deadlineMs > 0) {
+                topt = host::TicketOptions::afterMs(
+                    interactive_priority, opt.deadlineMs, "interactive");
+            }
+            tickets.push_back(pipeline.submit(
+                std::move(batch), std::move(topt),
+                [probe, interactive](host::BatchTicket<K> &t) {
+                    probe->record(t.stats().makespanCycles, interactive);
+                }));
+        };
+
+        // Queue the whole mixed backlog before dispatch starts, so the
+        // measured order is the scheduler's, not the submission race's.
+        pipeline.pause();
+        std::vector<Job> bulk;
+        for (size_t i = 0; i < jobs.size(); i++) {
+            if (i % 8 == 0) {
+                submitClass({jobs[i]}, true);
+            } else {
+                bulk.push_back(jobs[i]);
+                if (bulk.size() >= bulk_chunk) {
+                    submitClass(std::move(bulk), false);
+                    bulk.clear();
+                }
+            }
+        }
+        if (!bulk.empty())
+            submitClass(std::move(bulk), false);
+        pipeline.resume();
+        for (const auto &t : tickets)
+            t->wait();
+        pipeline.drain();
+        return probe;
+    };
+
+    const auto fifo = run(0);
+    const auto prio = run(10);
+    const double fifo_p99 = host::percentile(fifo->interactive(), 0.99);
+    const double prio_p99 = host::percentile(prio->interactive(), 0.99);
+    std::printf("# two-class demo: %zu interactive + %zu bulk tickets "
+                "(%zu pairs), kernel %s @ %.1f MHz, 1 channel\n",
+                fifo->interactive().size(), fifo->bulk().size(),
+                jobs.size(), K::name, fmax);
+    std::printf("#   fifo:     interactive p50 %.3f ms, p99 %.3f ms; "
+                "bulk p99 %.3f ms\n",
+                1e3 * host::percentile(fifo->interactive(), 0.5),
+                1e3 * fifo_p99,
+                1e3 * host::percentile(fifo->bulk(), 0.99));
+    std::printf("#   priority: interactive p50 %.3f ms, p99 %.3f ms; "
+                "bulk p99 %.3f ms\n",
+                1e3 * host::percentile(prio->interactive(), 0.5),
+                1e3 * prio_p99,
+                1e3 * host::percentile(prio->bulk(), 0.99));
+    std::printf("#   interactive p99 speedup: %.2fx\n",
+                prio_p99 > 0 ? fifo_p99 / prio_p99 : 0.0);
+    return 0;
+}
+
 template <typename K, typename SeqT>
 int
 runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
 {
     using Pipeline = host::StreamPipeline<K>;
+
+    if (opt.twoClassDemo)
+        return runTwoClassDemo<K>(opt, decode);
 
     host::BatchConfig cfg;
     cfg.npe = opt.npe;
@@ -271,8 +432,9 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
             jobs.push_back(std::move(job));
         }
         if (!jobs.empty()) {
-            pending.emplace_back(pipeline.submit(std::move(jobs)),
-                                 Clock::now());
+            pending.emplace_back(
+                pipeline.submit(std::move(jobs), ticketOptions(opt)),
+                Clock::now());
         }
         while (!pending.empty() &&
                (pending.front().first->done() ||
@@ -304,6 +466,12 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
                     b.name, b.alignments,
                     (unsigned long long)b.totalCycles,
                     (unsigned long long)b.busyCycles, b.clockMhz);
+    }
+    if (opt.deadlineMs > 0 || epoch.deadlineMisses > 0 ||
+        epoch.cancelled > 0) {
+        std::printf("# scheduling: priority %d, %d deadline miss(es), "
+                    "%d cancelled\n",
+                    opt.priority, epoch.deadlineMisses, epoch.cancelled);
     }
     if (epoch.paths.columns > 0) {
         std::printf("# paths: %.2f%% identity, %d matches, %d mismatches, "
@@ -401,6 +569,18 @@ main(int argc, char **argv)
             opt.cache = false;
         } else if (a == "--no-traceback") {
             opt.traceback = false;
+        } else if (a == "--priority") {
+            opt.priority = std::atoi(next());
+        } else if (a == "--deadline-ms") {
+            char *end = nullptr;
+            const std::string v = next();
+            opt.deadlineMs = std::strtod(v.c_str(), &end);
+            if (v.empty() || *end != '\0' || opt.deadlineMs < 0) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--two-class-demo") {
+            opt.twoClassDemo = true;
         } else {
             usage();
             return 2;
