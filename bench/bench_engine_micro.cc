@@ -669,8 +669,8 @@ writeJson(const std::string &path)
     // priority dispatch. Latencies are cycle-domain (deterministic);
     // the p99 service rates (1/p99) are aligns_per_sec metrics so
     // bench_diff hard-gates them across runs.
-    const PriorityOutcome fifo = measurePriorityScheduling(false);
-    const PriorityOutcome prio = measurePriorityScheduling(true);
+    PriorityOutcome fifo = measurePriorityScheduling(false);
+    PriorityOutcome prio = measurePriorityScheduling(true);
     const double fifo_p50 = host::percentile(fifo.interactiveLat, 0.5);
     const double fifo_p99 = host::percentile(fifo.interactiveLat, 0.99);
     const double prio_p50 = host::percentile(prio.interactiveLat, 0.5);

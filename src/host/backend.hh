@@ -260,8 +260,12 @@ class DeviceChannelBackend : public AlignBackend<K>
             const uint64_t steps = static_cast<uint64_t>(qlen + rlen);
             cs.traceback = steps *
                 static_cast<uint64_t>(ecfg.cycles.tracebackCyclesPerStep);
+            // writebackOpsPerCycle is a user-configurable knob; a 0
+            // must degrade to the slowest rate, not divide by zero on
+            // the routing hot path.
             cs.writeback = steps /
-                static_cast<uint64_t>(ecfg.cycles.writebackOpsPerCycle);
+                static_cast<uint64_t>(
+                    std::max(1, ecfg.cycles.writebackOpsPerCycle));
         }
         const uint64_t cycles =
             sim::totalCycles(cs, ecfg.cycles) + _hostOverhead;

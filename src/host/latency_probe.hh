@@ -24,18 +24,39 @@
 namespace dphls::host {
 
 /**
- * p-th percentile (p in [0, 1], nearest-rank) of @p values; 0 when
- * empty. p <= 0 returns the minimum, p >= 1 the maximum.
+ * p-th percentile (nearest-rank) of @p values; 0 when empty. @p p is
+ * clamped into [0, 1] (non-finite p included): p <= 0 returns the
+ * minimum, p >= 1 the maximum, and a single-element vector returns its
+ * element for every p. O(n) via std::nth_element on the caller's
+ * vector — the hot two-class probes call this repeatedly per report,
+ * so the old by-value copy + full sort per call was pure overhead. The
+ * vector is partially reordered (any permutation yields the same
+ * percentile), never resized.
  */
 inline double
-percentile(std::vector<double> values, double p)
+percentile(std::vector<double> &values, double p)
 {
     if (values.empty())
         return 0;
-    std::sort(values.begin(), values.end());
-    const size_t rank = static_cast<size_t>(std::max(
-        1.0, std::ceil(p * static_cast<double>(values.size()))));
-    return values[std::min(values.size() - 1, rank - 1)];
+    if (!(p > 0)) // also catches NaN
+        p = 0;
+    else if (p > 1)
+        p = 1;
+    const size_t n = values.size();
+    const size_t rank = std::min(
+        n, static_cast<size_t>(std::max(
+               1.0, std::ceil(p * static_cast<double>(n)))));
+    const auto nth = values.begin() +
+                     static_cast<std::ptrdiff_t>(rank - 1);
+    std::nth_element(values.begin(), nth, values.end());
+    return *nth;
+}
+
+/** percentile() over a temporary (single-use callers). */
+inline double
+percentile(std::vector<double> &&values, double p)
+{
+    return percentile(values, p);
 }
 
 /**

@@ -6,7 +6,8 @@
 
 namespace dphls::host {
 
-ThreadPool::ThreadPool(int threads)
+ThreadPool::ThreadPool(int threads, int aging_every)
+    : _agingEvery(std::max(0, aging_every))
 {
     const int n = std::max(1, threads);
     _workers.reserve(static_cast<size_t>(n));
@@ -73,12 +74,32 @@ ThreadPool::workerLoop()
             _cv.wait(lock, [this] { return _stop || !_tasks.empty(); });
             if (_stop && _tasks.empty())
                 return;
-            std::pop_heap(_tasks.begin(), _tasks.end(),
-                          [](const Entry &a, const Entry &b) {
-                              return runsBefore(b, a);
-                          });
-            task = std::move(_tasks.back().fn);
-            _tasks.pop_back();
+            _pops++;
+            if (_agingEvery > 0 && _tasks.size() > 1 &&
+                _pops % static_cast<uint64_t>(_agingEvery) == 0) {
+                // Aging pop: serve the oldest submission so bulk tasks
+                // keep a latency bound under saturating high-priority
+                // traffic. The heap order is restored afterwards.
+                auto oldest = std::min_element(
+                    _tasks.begin(), _tasks.end(),
+                    [](const Entry &a, const Entry &b) {
+                        return a.seq < b.seq;
+                    });
+                task = std::move(oldest->fn);
+                *oldest = std::move(_tasks.back());
+                _tasks.pop_back();
+                std::make_heap(_tasks.begin(), _tasks.end(),
+                               [](const Entry &a, const Entry &b) {
+                                   return runsBefore(b, a);
+                               });
+            } else {
+                std::pop_heap(_tasks.begin(), _tasks.end(),
+                              [](const Entry &a, const Entry &b) {
+                                  return runsBefore(b, a);
+                              });
+                task = std::move(_tasks.back().fn);
+                _tasks.pop_back();
+            }
             _active++;
         }
         task();

@@ -13,6 +13,13 @@
  * The plain submit() overload enqueues at the default priority with no
  * deadline, which degrades to exact FIFO order — existing callers see
  * the historical behavior unchanged.
+ *
+ * Starvation control: a pool constructed with aging_every = N > 0
+ * serves the *oldest* queued task (lowest submission sequence) on every
+ * N-th pop instead of the best-priority one, so a saturating
+ * high-priority stream cannot hold a lower class off the workers for
+ * more than N-1 consecutive pops. 0 (the default) disables aging and
+ * preserves strict (priority, deadline, FIFO) order.
  */
 
 #ifndef DPHLS_HOST_SCHEDULER_HH
@@ -49,7 +56,13 @@ struct TaskOptions
 class ThreadPool
 {
   public:
-    explicit ThreadPool(int threads);
+    /**
+     * @param threads worker count (clamped to >= 1).
+     * @param aging_every anti-starvation period: every N-th pop takes
+     *        the oldest queued task instead of the highest-priority
+     *        one; 0 disables aging (strict priority order).
+     */
+    explicit ThreadPool(int threads, int aging_every = 0);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -83,6 +96,8 @@ class ThreadPool
 
     std::vector<std::thread> _workers;
     std::vector<Entry> _tasks; //!< max-heap ordered by runsBefore
+    int _agingEvery = 0;       //!< 0 = no aging
+    uint64_t _pops = 0;        //!< pops so far (aging phase, under _mutex)
     uint64_t _nextSeq = 0;
     std::mutex _mutex;
     std::condition_variable _cv;

@@ -234,6 +234,17 @@ struct BatchConfig
     size_t cacheEntries = 0;
     /** Result-cache shard count (lock granularity). */
     size_t cacheShards = 8;
+    /**
+     * Anti-starvation aging for the dispatch queues (and the worker
+     * pool): every N-th pop from a queue takes the *oldest* queued
+     * shard (lowest submission sequence) instead of the
+     * highest-priority one, so a saturating high-priority stream
+     * cannot keep bulk-class shards queued for more than N-1
+     * consecutive pops. 0 (the default) disables aging and preserves
+     * the exact (priority, deadline, FIFO) order — the transparency
+     * guarantees of the priority machinery are unchanged.
+     */
+    int agingEvery = 0;
 };
 
 /** One backend's section of an epoch/ticket accounting. */
@@ -368,12 +379,19 @@ class DispatchCore
         std::multiset<ShardEntry, EntryOrder> queue;
         /** Estimated seconds of routed-but-unfinished work. */
         std::atomic<int64_t> queuedMicros{0};
+        /** Pops so far (aging phase); guarded by mutex. */
+        uint64_t pops = 0;
     };
 
-    DispatchCore(int nk, double fmax_mhz, double cpu_mhz)
+    DispatchCore(int nk, double fmax_mhz, double cpu_mhz,
+                 int aging_every = 0)
         : _nk(nk), _fmaxMhz(fmax_mhz), _cpuMhz(cpu_mhz),
+          _agingEvery(std::max(0, aging_every)),
           _slots(static_cast<size_t>(nk) + 2)
     {}
+
+    /** Anti-starvation period (0 = strict priority order). */
+    int agingEvery() const { return _agingEvery; }
 
     int cpuSlot() const { return _nk; }
     int gpuSlot() const { return _nk + 1; }
@@ -447,6 +465,7 @@ class DispatchCore
     int _nk;
     double _fmaxMhz;
     double _cpuMhz;
+    int _agingEvery;
     std::atomic<uint64_t> _seq{0};
     std::deque<Slot> _slots; //!< deque: Slot is neither movable nor copyable
 };
@@ -663,15 +682,17 @@ class StreamPipeline
                             Params params = K::defaultParams())
         : _cfg(cfg), _params(params),
           _cache(cfg.cacheEntries, cfg.cacheShards),
-          _pool(poolThreads(cfg))
+          _pool(poolThreads(cfg), cfg.agingEvery)
     {
         _cfg.nk = std::max(1, _cfg.nk);
         _cfg.nb = std::max(1, _cfg.nb);
         _cfg.threads = poolThreads(cfg);
+        _cfg.agingEvery = std::max(0, _cfg.agingEvery);
         _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
                                     sim::LaneAligner<K>::maxLanes);
         _core = std::make_shared<detail::DispatchCore<K>>(
-            _cfg.nk, _cfg.fmaxMhz, _cfg.cpuEquivalentMhz);
+            _cfg.nk, _cfg.fmaxMhz, _cfg.cpuEquivalentMhz,
+            _cfg.agingEvery);
         const int baseline_width = std::max(
             1, _cfg.cpuThreads > 0 ? _cfg.cpuThreads : _cfg.threads);
         _core->slot(_core->cpuSlot()).capacity = baseline_width;
@@ -871,6 +892,40 @@ class StreamPipeline
         }
         finalizeBatchStats(agg, _cfg.fmaxMhz, _cfg.cpuEquivalentMhz);
         return agg;
+    }
+
+    /**
+     * Admission view: modeled completion time (seconds from now) of
+     * routing @p jobs onto the current backlog — the cost-model
+     * routing's worst slot, i.e. each used slot's live queued-seconds
+     * signal plus the work this batch would add to it. Deadline-aware
+     * admission control (serve/admission.hh) rejects a ticket at
+     * submit when this estimate already exceeds its deadline budget,
+     * instead of counting a miss after the fact. Throws
+     * std::invalid_argument (like submit()) when some job no enabled
+     * backend can take. The estimate is advisory: it reads the live
+     * backlog counters racily and does not reserve capacity.
+     */
+    double
+    estimateCompletionSeconds(const std::vector<Job> &jobs) const
+    {
+        const Routing r = routeCostModel(jobs, TicketOptions{});
+        double worst = 0;
+        for (int c = 0; c < _cfg.nk; c++) {
+            if (!r.shards[static_cast<size_t>(c)].empty())
+                worst = std::max(worst,
+                                 _core->queuedSeconds(c) +
+                                     r.shardEst[static_cast<size_t>(c)]);
+        }
+        if (!r.cpu.empty())
+            worst = std::max(worst, _core->queuedSeconds(
+                                        _core->cpuSlot()) +
+                                        r.cpuEst);
+        if (!r.gpu.empty())
+            worst = std::max(worst, _core->queuedSeconds(
+                                        _core->gpuSlot()) +
+                                        r.gpuEst);
+        return worst;
     }
 
     /**
@@ -1211,7 +1266,22 @@ class StreamPipeline
                     slot.queue.empty()) {
                     return;
                 }
-                auto node = slot.queue.extract(slot.queue.begin());
+                auto it = slot.queue.begin();
+                slot.pops++;
+                if (_core->agingEvery() > 0 && slot.queue.size() > 1 &&
+                    slot.pops % static_cast<uint64_t>(
+                                    _core->agingEvery()) ==
+                        0) {
+                    // Aging pop: the oldest submission runs regardless
+                    // of priority, bounding bulk-class queueing under a
+                    // saturating high-priority stream.
+                    it = std::min_element(
+                        slot.queue.begin(), slot.queue.end(),
+                        [](const ShardEntry &a, const ShardEntry &b) {
+                            return a.seq < b.seq;
+                        });
+                }
+                auto node = slot.queue.extract(it);
                 entry = std::move(node.value());
                 // Decide under the lock: if the shard starts, its
                 // capacity unit must be owned by exactly this pop.

@@ -1,0 +1,409 @@
+#include "serve/protocol.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace dphls::serve {
+
+namespace {
+
+/** Decoding limits (beyond the frame-level payload cap). */
+constexpr uint32_t kMaxJobsPerRequest = 1u << 20;
+constexpr uint32_t kMaxSeqLen = 1u << 24;
+constexpr uint32_t kMaxRunsPerJob = 1u << 24;
+constexpr uint32_t kMaxBackends = 256;
+
+} // namespace
+
+void
+WireWriter::u16(uint16_t v)
+{
+    _bytes.push_back(static_cast<uint8_t>(v));
+    _bytes.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+WireWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        _bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        _bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::f64(double v)
+{
+    u64(std::bit_cast<uint64_t>(v));
+}
+
+void
+WireWriter::blob(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    _bytes.insert(_bytes.end(), p, p + len);
+}
+
+void
+WireWriter::shortString(const std::string &s)
+{
+    if (s.size() > 255)
+        throw ProtocolError("short string over 255 bytes");
+    u8(static_cast<uint8_t>(s.size()));
+    blob(s.data(), s.size());
+}
+
+void
+WireReader::need(size_t n) const
+{
+    if (_len - _pos < n)
+        throw ProtocolError("payload truncated");
+}
+
+uint8_t
+WireReader::u8()
+{
+    need(1);
+    return _data[_pos++];
+}
+
+uint16_t
+WireReader::u16()
+{
+    need(2);
+    uint16_t v = static_cast<uint16_t>(_data[_pos]) |
+                 static_cast<uint16_t>(_data[_pos + 1]) << 8;
+    _pos += 2;
+    return v;
+}
+
+uint32_t
+WireReader::u32()
+{
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<uint32_t>(_data[_pos + static_cast<size_t>(i)])
+             << (8 * i);
+    _pos += 4;
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(_data[_pos + static_cast<size_t>(i)])
+             << (8 * i);
+    _pos += 8;
+    return v;
+}
+
+double
+WireReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+void
+WireReader::blob(void *out, size_t len)
+{
+    need(len);
+    std::memcpy(out, _data + _pos, len);
+    _pos += len;
+}
+
+std::string
+WireReader::shortString()
+{
+    const size_t len = u8();
+    need(len);
+    std::string s(reinterpret_cast<const char *>(_data + _pos), len);
+    _pos += len;
+    return s;
+}
+
+std::vector<uint32_t>
+encodeRuns(const std::vector<core::AlnOp> &ops)
+{
+    std::vector<uint32_t> runs;
+    size_t i = 0;
+    while (i < ops.size()) {
+        size_t j = i + 1;
+        while (j < ops.size() && ops[j] == ops[i])
+            j++;
+        // 30-bit run counts: longer runs split (never occurs for real
+        // paths, whose lengths are bounded by the sequence maxima).
+        size_t count = j - i;
+        while (count > 0) {
+            const uint32_t piece = static_cast<uint32_t>(
+                std::min<size_t>(count, (1u << 30) - 1));
+            runs.push_back(piece << 2 |
+                           static_cast<uint32_t>(ops[i]));
+            count -= piece;
+        }
+        i = j;
+    }
+    return runs;
+}
+
+std::vector<core::AlnOp>
+decodeRuns(const std::vector<uint32_t> &runs)
+{
+    std::vector<core::AlnOp> ops;
+    for (const uint32_t run : runs) {
+        const uint32_t count = run >> 2;
+        const uint32_t op = run & 3;
+        if (op > 2)
+            throw ProtocolError("bad CIGAR op code");
+        ops.insert(ops.end(), count, static_cast<core::AlnOp>(op));
+    }
+    return ops;
+}
+
+std::vector<uint8_t>
+encodeHello(const std::string &kernel)
+{
+    WireWriter w;
+    w.shortString(kernel);
+    return std::move(w.bytes());
+}
+
+std::string
+decodeHello(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    std::string kernel = r.shortString();
+    if (!r.done())
+        throw ProtocolError("trailing bytes in Hello");
+    return kernel;
+}
+
+std::vector<uint8_t>
+encodeHelloOk(const ServerInfo &info)
+{
+    WireWriter w;
+    w.shortString(info.kernel);
+    w.u32(info.maxQueryLength);
+    w.u32(info.maxReferenceLength);
+    w.u32(info.alphabetSymbols);
+    return std::move(w.bytes());
+}
+
+ServerInfo
+decodeHelloOk(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    ServerInfo info;
+    info.kernel = r.shortString();
+    info.maxQueryLength = r.u32();
+    info.maxReferenceLength = r.u32();
+    info.alphabetSymbols = r.u32();
+    if (!r.done())
+        throw ProtocolError("trailing bytes in HelloOk");
+    return info;
+}
+
+std::vector<uint8_t>
+encodeAlignRequest(const AlignRequest &req)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(req.trafficClass));
+    w.u64(req.deadlineMicros);
+    w.shortString(req.tenant);
+    w.u32(static_cast<uint32_t>(req.jobs.size()));
+    for (const WireJob &job : req.jobs) {
+        w.u32(static_cast<uint32_t>(job.query.size()));
+        w.u32(static_cast<uint32_t>(job.reference.size()));
+        w.blob(job.query.data(), job.query.size());
+        w.blob(job.reference.data(), job.reference.size());
+    }
+    return std::move(w.bytes());
+}
+
+AlignRequest
+decodeAlignRequest(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    AlignRequest req;
+    const uint8_t cls = r.u8();
+    if (cls > static_cast<uint8_t>(TrafficClass::Interactive))
+        throw ProtocolError("bad traffic class");
+    req.trafficClass = static_cast<TrafficClass>(cls);
+    req.deadlineMicros = r.u64();
+    req.tenant = r.shortString();
+    const uint32_t count = r.u32();
+    if (count > kMaxJobsPerRequest)
+        throw ProtocolError("job count over limit");
+    req.jobs.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        const uint32_t qlen = r.u32();
+        const uint32_t rlen = r.u32();
+        if (qlen > kMaxSeqLen || rlen > kMaxSeqLen)
+            throw ProtocolError("sequence length over limit");
+        WireJob job;
+        job.query.resize(qlen);
+        job.reference.resize(rlen);
+        if (qlen)
+            r.blob(job.query.data(), qlen);
+        if (rlen)
+            r.blob(job.reference.data(), rlen);
+        req.jobs.push_back(std::move(job));
+    }
+    if (!r.done())
+        throw ProtocolError("trailing bytes in Align");
+    return req;
+}
+
+std::vector<uint8_t>
+encodeAlignResponse(const AlignResponse &res)
+{
+    WireWriter w;
+    w.u8(res.deadlineMissed ? 1 : 0);
+    w.u64(res.totalCycles);
+    w.u32(static_cast<uint32_t>(res.results.size()));
+    for (const WireJobResult &jr : res.results) {
+        w.u8(jr.completed ? 1 : 0);
+        w.f64(jr.score);
+        w.u64(jr.cycles);
+        w.u32(static_cast<uint32_t>(jr.runs.size()));
+        for (const uint32_t run : jr.runs)
+            w.u32(run);
+    }
+    return std::move(w.bytes());
+}
+
+AlignResponse
+decodeAlignResponse(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    AlignResponse res;
+    res.deadlineMissed = r.u8() != 0;
+    res.totalCycles = r.u64();
+    const uint32_t count = r.u32();
+    if (count > kMaxJobsPerRequest)
+        throw ProtocolError("result count over limit");
+    res.results.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        WireJobResult jr;
+        jr.completed = r.u8() != 0;
+        jr.score = r.f64();
+        jr.cycles = r.u64();
+        const uint32_t runs = r.u32();
+        if (runs > kMaxRunsPerJob)
+            throw ProtocolError("run count over limit");
+        jr.runs.reserve(runs);
+        for (uint32_t k = 0; k < runs; k++)
+            jr.runs.push_back(r.u32());
+        res.results.push_back(std::move(jr));
+    }
+    if (!r.done())
+        throw ProtocolError("trailing bytes in AlignOk");
+    return res;
+}
+
+std::vector<uint8_t>
+encodeReject(const RejectInfo &info)
+{
+    WireWriter w;
+    w.u8(static_cast<uint8_t>(info.reason));
+    w.u32(static_cast<uint32_t>(info.message.size()));
+    w.blob(info.message.data(), info.message.size());
+    return std::move(w.bytes());
+}
+
+RejectInfo
+decodeReject(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    RejectInfo info;
+    const uint8_t reason = r.u8();
+    if (reason < 1 ||
+        reason > static_cast<uint8_t>(RejectReason::ShuttingDown))
+        throw ProtocolError("bad reject reason");
+    info.reason = static_cast<RejectReason>(reason);
+    const uint32_t len = r.u32();
+    if (len != r.remaining())
+        throw ProtocolError("bad reject message length");
+    info.message.resize(len);
+    if (len)
+        r.blob(info.message.data(), len);
+    return info;
+}
+
+std::vector<uint8_t>
+encodeStats(const ServeStats &stats)
+{
+    WireWriter w;
+    w.u64(stats.acceptedRequests);
+    w.u64(stats.rejectedDeadline);
+    w.u64(stats.rejectedQuota);
+    w.u64(stats.rejectedUndispatchable);
+    w.u64(stats.rejectedMalformed);
+    w.u64(stats.completedJobs);
+    w.u64(stats.cancelledJobs);
+    w.u64(stats.deadlineMissJobs);
+    w.u64(stats.totalCycles);
+    w.u64(stats.makespanCycles);
+    w.f64(stats.alignsPerSec);
+    w.u8(stats.accountingClosed ? 1 : 0);
+    w.u32(static_cast<uint32_t>(stats.backends.size()));
+    for (const WireBackendStats &b : stats.backends) {
+        w.shortString(b.name);
+        w.f64(b.clockMhz);
+        w.u64(b.busyCycles);
+        w.u64(b.totalCycles);
+        w.u32(static_cast<uint32_t>(b.alignments));
+        w.u32(static_cast<uint32_t>(b.cancelled));
+        w.u32(static_cast<uint32_t>(b.deadlineMisses));
+        w.f64(b.seconds);
+    }
+    return std::move(w.bytes());
+}
+
+ServeStats
+decodeStats(const Frame &frame)
+{
+    WireReader r(frame.payload);
+    ServeStats stats;
+    stats.acceptedRequests = r.u64();
+    stats.rejectedDeadline = r.u64();
+    stats.rejectedQuota = r.u64();
+    stats.rejectedUndispatchable = r.u64();
+    stats.rejectedMalformed = r.u64();
+    stats.completedJobs = r.u64();
+    stats.cancelledJobs = r.u64();
+    stats.deadlineMissJobs = r.u64();
+    stats.totalCycles = r.u64();
+    stats.makespanCycles = r.u64();
+    stats.alignsPerSec = r.f64();
+    stats.accountingClosed = r.u8() != 0;
+    const uint32_t count = r.u32();
+    if (count > kMaxBackends)
+        throw ProtocolError("backend count over limit");
+    stats.backends.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        WireBackendStats b;
+        b.name = r.shortString();
+        b.clockMhz = r.f64();
+        b.busyCycles = r.u64();
+        b.totalCycles = r.u64();
+        b.alignments = static_cast<int32_t>(r.u32());
+        b.cancelled = static_cast<int32_t>(r.u32());
+        b.deadlineMisses = static_cast<int32_t>(r.u32());
+        b.seconds = r.f64();
+        stats.backends.push_back(std::move(b));
+    }
+    if (!r.done())
+        throw ProtocolError("trailing bytes in StatsOk");
+    return stats;
+}
+
+} // namespace dphls::serve

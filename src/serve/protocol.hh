@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Compact binary request/response protocol of the `dphls_serve`
+ * multi-tenant alignment daemon.
+ *
+ * Everything before this spoke CLI: the streaming executor terminated
+ * at a one-shot tool. dphls_serve turns it into a long-lived service,
+ * and this header is the wire contract between the daemon and its
+ * clients (tools/dphls_loadgen.cc, tests/test_serve.cc):
+ *
+ *  - Framing: every message is a fixed 20-byte little-endian header
+ *    (magic, version, type, flags, payload length, request id) followed
+ *    by a type-specific payload. Request ids are chosen by the client
+ *    and echoed on every response, so responses may arrive out of
+ *    submission order (tickets complete independently).
+ *  - Sequences travel as raw alphabet codes (one byte per character:
+ *    DNA 0..3, protein 0..19) — no ASCII re-encoding on either side.
+ *  - CIGARs leave the daemon as binary run-length records
+ *    (count << 2 | op), retiring the zero-copy-writeback roadmap item:
+ *    the host never materializes a CIGAR string on the serving path.
+ *  - Scheduling is first-class: each Align request carries a traffic
+ *    class (bulk/interactive, mapped onto ticket priorities), a
+ *    relative deadline, and a tenant id for quota accounting. Requests
+ *    the daemon will not run come back as an explicit Reject frame
+ *    with a machine-readable reason (deadline unmeetable at admission,
+ *    quota exceeded, undispatchable shape, malformed payload) instead
+ *    of an error-path crash or a silently-missed deadline.
+ *  - Stats surfaces the per-backend BatchStats sections plus the
+ *    admission/quota counters, so a load generator can assert
+ *    accounting closure end to end.
+ *
+ * Encoding helpers throw ProtocolError on malformed input; the framing
+ * layer (socket_io.hh) enforces magic/version/length limits before any
+ * payload decoding runs.
+ */
+
+#ifndef DPHLS_SERVE_PROTOCOL_HH
+#define DPHLS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/alignment.hh"
+
+namespace dphls::serve {
+
+constexpr uint32_t kMagic = 0x4C485044; // "DPHL" little-endian
+constexpr uint8_t kVersion = 1;
+/** Upper bound on one frame's payload (malformed-length guard). */
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+/** Wire message types. */
+enum class MsgType : uint8_t
+{
+    Hello = 1,      //!< client -> server: expected kernel name
+    HelloOk = 2,    //!< server -> client: kernel + configured maxima
+    Align = 3,      //!< client -> server: one batch of pairs
+    AlignOk = 4,    //!< server -> client: per-job binary results
+    Reject = 5,     //!< server -> client: request refused (reason)
+    Stats = 6,      //!< client -> server: stats snapshot request
+    StatsOk = 7,    //!< server -> client: per-backend sections
+    Error = 8,      //!< server -> client: protocol-level error (text)
+    Shutdown = 9,   //!< client -> server: drain and exit
+    ShutdownOk = 10 //!< server -> client: drained, closing
+};
+
+/** Why the daemon refused an Align request. */
+enum class RejectReason : uint8_t
+{
+    DeadlineUnmeetable = 1, //!< admission: estimate exceeds the budget
+    QuotaExceeded = 2,      //!< tenant over its in-flight job quota
+    Undispatchable = 3,     //!< no enabled backend can take a job
+    Malformed = 4,          //!< payload failed validation
+    ShuttingDown = 5        //!< daemon is draining
+};
+
+/** Traffic classes mapped onto ticket priorities by the daemon. */
+enum class TrafficClass : uint8_t
+{
+    Bulk = 0,
+    Interactive = 1
+};
+
+/** Malformed frame/payload; the session answers Error and drops it. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One frame header as laid out on the wire (20 bytes, little-endian). */
+struct FrameHeader
+{
+    uint32_t magic = kMagic;
+    uint8_t version = kVersion;
+    uint8_t type = 0;
+    uint16_t flags = 0;
+    uint32_t payloadLen = 0;
+    uint64_t requestId = 0;
+};
+
+constexpr size_t kFrameHeaderBytes = 20;
+
+/** One decoded frame: header plus raw payload bytes. */
+struct Frame
+{
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+
+    MsgType type() const { return static_cast<MsgType>(header.type); }
+    uint64_t requestId() const { return header.requestId; }
+};
+
+/** Little-endian append-only payload builder. */
+class WireWriter
+{
+  public:
+    std::vector<uint8_t> &bytes() { return _bytes; }
+    const std::vector<uint8_t> &bytes() const { return _bytes; }
+
+    void u8(uint8_t v) { _bytes.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+    void blob(const void *data, size_t len);
+    /** Length-prefixed (u8) short string; throws when over 255 bytes. */
+    void shortString(const std::string &s);
+
+  private:
+    std::vector<uint8_t> _bytes;
+};
+
+/** Little-endian payload reader; throws ProtocolError on underrun. */
+class WireReader
+{
+  public:
+    WireReader(const uint8_t *data, size_t len)
+        : _data(data), _len(len)
+    {}
+    explicit WireReader(const std::vector<uint8_t> &payload)
+        : WireReader(payload.data(), payload.size())
+    {}
+
+    size_t remaining() const { return _len - _pos; }
+    bool done() const { return _pos == _len; }
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    void blob(void *out, size_t len);
+    std::string shortString();
+
+  private:
+    void need(size_t n) const;
+
+    const uint8_t *_data;
+    size_t _len;
+    size_t _pos = 0;
+};
+
+/** One alignment job on the wire: raw alphabet codes, one byte each. */
+struct WireJob
+{
+    std::vector<uint8_t> query;
+    std::vector<uint8_t> reference;
+};
+
+/** Decoded Align request. */
+struct AlignRequest
+{
+    TrafficClass trafficClass = TrafficClass::Bulk;
+    /** Relative completion deadline in microseconds; 0 = none. */
+    uint64_t deadlineMicros = 0;
+    std::string tenant;
+    std::vector<WireJob> jobs;
+};
+
+/** One job's slice of an AlignOk response. */
+struct WireJobResult
+{
+    bool completed = true; //!< false when the shard was cancelled
+    double score = 0;
+    uint64_t cycles = 0;
+    /** Run-length CIGAR records: count << 2 | op (binary writeback). */
+    std::vector<uint32_t> runs;
+};
+
+/** Decoded AlignOk response. */
+struct AlignResponse
+{
+    bool deadlineMissed = false; //!< any job completed past deadline
+    uint64_t totalCycles = 0;
+    std::vector<WireJobResult> results;
+};
+
+/** Decoded Reject / Error body. */
+struct RejectInfo
+{
+    RejectReason reason = RejectReason::Malformed;
+    std::string message;
+};
+
+/** Decoded HelloOk body. */
+struct ServerInfo
+{
+    std::string kernel;
+    uint32_t maxQueryLength = 0;
+    uint32_t maxReferenceLength = 0;
+    uint32_t alphabetSymbols = 0;
+};
+
+/** One backend's section of a Stats response. */
+struct WireBackendStats
+{
+    std::string name;
+    double clockMhz = 0;
+    uint64_t busyCycles = 0;
+    uint64_t totalCycles = 0;
+    int32_t alignments = 0;
+    int32_t cancelled = 0;
+    int32_t deadlineMisses = 0;
+    double seconds = 0;
+};
+
+/** Decoded Stats response: epoch totals + admission/quota counters. */
+struct ServeStats
+{
+    uint64_t acceptedRequests = 0;
+    uint64_t rejectedDeadline = 0; //!< admission rejects (not misses)
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedUndispatchable = 0;
+    uint64_t rejectedMalformed = 0;
+    uint64_t completedJobs = 0;
+    uint64_t cancelledJobs = 0;
+    uint64_t deadlineMissJobs = 0;
+    uint64_t totalCycles = 0;
+    uint64_t makespanCycles = 0;
+    double alignsPerSec = 0;
+    /** Per-backend sections sum to the totals (checked server-side). */
+    bool accountingClosed = true;
+    std::vector<WireBackendStats> backends;
+
+    uint64_t
+    rejectedRequests() const
+    {
+        return rejectedDeadline + rejectedQuota +
+               rejectedUndispatchable + rejectedMalformed;
+    }
+};
+
+/** Run-length encode a traceback path for the wire (count<<2 | op). */
+std::vector<uint32_t> encodeRuns(const std::vector<core::AlnOp> &ops);
+
+/** Expand wire run-length records back into an op list. */
+std::vector<core::AlnOp> decodeRuns(const std::vector<uint32_t> &runs);
+
+std::vector<uint8_t> encodeHello(const std::string &kernel);
+std::string decodeHello(const Frame &frame);
+
+std::vector<uint8_t> encodeHelloOk(const ServerInfo &info);
+ServerInfo decodeHelloOk(const Frame &frame);
+
+std::vector<uint8_t> encodeAlignRequest(const AlignRequest &req);
+AlignRequest decodeAlignRequest(const Frame &frame);
+
+std::vector<uint8_t> encodeAlignResponse(const AlignResponse &res);
+AlignResponse decodeAlignResponse(const Frame &frame);
+
+std::vector<uint8_t> encodeReject(const RejectInfo &info);
+RejectInfo decodeReject(const Frame &frame);
+
+std::vector<uint8_t> encodeStats(const ServeStats &stats);
+ServeStats decodeStats(const Frame &frame);
+
+} // namespace dphls::serve
+
+#endif // DPHLS_SERVE_PROTOCOL_HH

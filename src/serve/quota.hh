@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-tenant in-flight job quotas for the dphls_serve daemon.
+ *
+ * The quota is counted in *jobs*, not requests, so one tenant cannot
+ * monopolize the pipeline by batching: a 10k-pair bulk request and
+ * 10k single-pair interactive requests weigh the same. Acquisition is
+ * all-or-nothing — a request either fits under the cap or is rejected
+ * whole (partial admission would complicate response framing for no
+ * scheduling benefit).
+ */
+
+#ifndef DPHLS_SERVE_QUOTA_HH
+#define DPHLS_SERVE_QUOTA_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace dphls::serve {
+
+/** Thread-safe per-tenant in-flight job counter with a shared cap. */
+class TenantQuotas
+{
+  public:
+    /** @param max_in_flight_jobs per-tenant cap; 0 disables quotas. */
+    explicit TenantQuotas(uint64_t max_in_flight_jobs)
+        : _cap(max_in_flight_jobs)
+    {}
+
+    /**
+     * Reserve @p jobs slots for @p tenant. Returns false (and reserves
+     * nothing) when the tenant would exceed the cap.
+     */
+    bool
+    tryAcquire(const std::string &tenant, uint64_t jobs)
+    {
+        if (_cap == 0)
+            return true;
+        std::lock_guard<std::mutex> lk(_mtx);
+        uint64_t &used = _inFlight[tenant];
+        if (used + jobs > _cap)
+            return false;
+        used += jobs;
+        return true;
+    }
+
+    /** Return @p jobs slots (ticket completed or cancelled). */
+    void
+    release(const std::string &tenant, uint64_t jobs)
+    {
+        if (_cap == 0)
+            return;
+        std::lock_guard<std::mutex> lk(_mtx);
+        auto it = _inFlight.find(tenant);
+        if (it == _inFlight.end())
+            return;
+        it->second = it->second > jobs ? it->second - jobs : 0;
+        if (it->second == 0)
+            _inFlight.erase(it);
+    }
+
+    /** Current in-flight jobs for @p tenant (0 when unknown). */
+    uint64_t
+    inFlight(const std::string &tenant) const
+    {
+        std::lock_guard<std::mutex> lk(_mtx);
+        const auto it = _inFlight.find(tenant);
+        return it == _inFlight.end() ? 0 : it->second;
+    }
+
+    uint64_t cap() const { return _cap; }
+
+  private:
+    const uint64_t _cap;
+    mutable std::mutex _mtx;
+    std::unordered_map<std::string, uint64_t> _inFlight;
+};
+
+} // namespace dphls::serve
+
+#endif // DPHLS_SERVE_QUOTA_HH

@@ -1,0 +1,239 @@
+#include "serve/socket_io.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dphls::serve {
+
+void
+Fd::reset()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+    _fd = -1;
+}
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+recvAll(int fd, void *data, size_t len)
+{
+    auto *p = static_cast<uint8_t *>(data);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+namespace {
+
+void
+putU16(uint8_t *out, uint16_t v)
+{
+    out[0] = static_cast<uint8_t>(v);
+    out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void
+putU32(uint8_t *out, uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+putU64(uint8_t *out, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t
+getU16(const uint8_t *in)
+{
+    return static_cast<uint16_t>(static_cast<uint16_t>(in[0]) |
+                                 static_cast<uint16_t>(in[1]) << 8);
+}
+
+uint32_t
+getU32(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= static_cast<uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= static_cast<uint64_t>(in[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, MsgType type, uint64_t request_id,
+           const std::vector<uint8_t> &payload)
+{
+    if (payload.size() > kMaxPayloadBytes)
+        return false;
+    uint8_t hdr[kFrameHeaderBytes];
+    putU32(hdr, kMagic);
+    hdr[4] = kVersion;
+    hdr[5] = static_cast<uint8_t>(type);
+    putU16(hdr + 6, 0);
+    putU32(hdr + 8, static_cast<uint32_t>(payload.size()));
+    putU64(hdr + 12, request_id);
+    if (!sendAll(fd, hdr, sizeof(hdr)))
+        return false;
+    return payload.empty() || sendAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, Frame &out, std::string *err)
+{
+    uint8_t hdr[kFrameHeaderBytes];
+    if (!recvAll(fd, hdr, sizeof(hdr)))
+        return false; // EOF or transport error: caller drops session
+    out.header.magic = getU32(hdr);
+    out.header.version = hdr[4];
+    out.header.type = hdr[5];
+    out.header.flags = getU16(hdr + 6);
+    out.header.payloadLen = getU32(hdr + 8);
+    out.header.requestId = getU64(hdr + 12);
+    if (out.header.magic != kMagic) {
+        if (err)
+            *err = "bad frame magic";
+        return false;
+    }
+    if (out.header.version != kVersion) {
+        if (err)
+            *err = "unsupported protocol version";
+        return false;
+    }
+    if (out.header.payloadLen > kMaxPayloadBytes) {
+        if (err)
+            *err = "payload length over limit";
+        return false;
+    }
+    out.payload.resize(out.header.payloadLen);
+    if (out.header.payloadLen &&
+        !recvAll(fd, out.payload.data(), out.payload.size()))
+        return false;
+    return true;
+}
+
+UnixListener::UnixListener(const std::string &path, int backlog)
+    : _path(path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        throw std::runtime_error(std::string("socket(): ") +
+                                 std::strerror(errno));
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw std::runtime_error("bind(" + path + "): " +
+                                 std::strerror(errno));
+    if (::listen(fd.get(), backlog) != 0)
+        throw std::runtime_error("listen(" + path + "): " +
+                                 std::strerror(errno));
+    _fd = std::move(fd);
+}
+
+UnixListener::~UnixListener()
+{
+    close();
+    ::unlink(_path.c_str());
+}
+
+Fd
+UnixListener::accept()
+{
+    int lfd;
+    {
+        std::lock_guard<std::mutex> lk(_closeMutex);
+        lfd = _fd.get();
+    }
+    if (lfd < 0)
+        return Fd();
+    while (true) {
+        const int c = ::accept(lfd, nullptr, nullptr);
+        if (c >= 0)
+            return Fd(c);
+        if (errno != EINTR)
+            return Fd();
+    }
+}
+
+void
+UnixListener::close()
+{
+    std::lock_guard<std::mutex> lk(_closeMutex);
+    // shutdown() unblocks any thread parked in accept(); the fd itself
+    // is left open until destruction so a racing accept() never sees
+    // its descriptor number recycled.
+    if (_fd.valid())
+        ::shutdown(_fd.get(), SHUT_RDWR);
+}
+
+Fd
+unixConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return Fd();
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return Fd();
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return Fd();
+    return fd;
+}
+
+} // namespace dphls::serve

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * POSIX stream-socket transport for the dphls_serve protocol: RAII
+ * descriptors, a Unix-domain listener, and framed send/receive over
+ * any connected stream fd (Unix socket or socketpair — the tests drive
+ * the framing over a socketpair without a filesystem path).
+ *
+ * Error handling is return-value based (the daemon treats a failed
+ * read as a disconnect, not an exception); readFrame() validates the
+ * magic, version and payload cap before allocating, so a garbage
+ * client cannot make the daemon allocate unbounded memory.
+ */
+
+#ifndef DPHLS_SERVE_SOCKET_IO_HH
+#define DPHLS_SERVE_SOCKET_IO_HH
+
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace dphls::serve {
+
+/** RAII file descriptor (move-only). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : _fd(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+    Fd(Fd &&o) noexcept : _fd(o.release()) {}
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            _fd = o.release();
+        }
+        return *this;
+    }
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+
+    int
+    release()
+    {
+        const int fd = _fd;
+        _fd = -1;
+        return fd;
+    }
+
+    void reset();
+
+  private:
+    int _fd = -1;
+};
+
+/** Write exactly @p len bytes; false on error/disconnect. */
+bool sendAll(int fd, const void *data, size_t len);
+
+/** Read exactly @p len bytes; false on error/EOF. */
+bool recvAll(int fd, void *data, size_t len);
+
+/** Frame and send one message; false on error/disconnect. */
+bool writeFrame(int fd, MsgType type, uint64_t request_id,
+                const std::vector<uint8_t> &payload);
+
+/**
+ * Read one frame. Returns false on clean EOF or transport error; sets
+ * @p err (when given) and returns false on a malformed header (bad
+ * magic/version or payload over kMaxPayloadBytes).
+ */
+bool readFrame(int fd, Frame &out, std::string *err = nullptr);
+
+/**
+ * Listening Unix-domain stream socket. The path is unlinked on bind
+ * (stale socket from a previous run) and again on destruction.
+ */
+class UnixListener
+{
+  public:
+    /** Bind and listen; throws std::runtime_error on failure. */
+    explicit UnixListener(const std::string &path, int backlog = 16);
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /** Accept one connection; invalid Fd on error (e.g. closed). */
+    Fd accept();
+
+    /**
+     * Close the listening socket (unblocks a pending accept()).
+     * Idempotent and safe to call from any thread.
+     */
+    void close();
+
+    const std::string &path() const { return _path; }
+
+    /** Raw listening descriptor; for signal handlers. */
+    int fd() const { return _fd.get(); }
+
+  private:
+    std::string _path;
+    std::mutex _closeMutex;
+    Fd _fd;
+};
+
+/** Connect to a Unix-domain socket; invalid Fd on failure. */
+Fd unixConnect(const std::string &path);
+
+} // namespace dphls::serve
+
+#endif // DPHLS_SERVE_SOCKET_IO_HH

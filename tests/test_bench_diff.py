@@ -90,6 +90,39 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout)
         self.assertIn("notice", result.stdout)
 
+    def test_new_gated_metric_soft_passes_with_notice(self):
+        # First landing of a new section (e.g. BENCH_serve.json gaining
+        # server.aligns_per_sec): nothing to diff against, so it must
+        # soft-pass with a visible notice, not crash or silently vanish.
+        self.write(self.old, {"aligns_per_sec": 100.0})
+        self.write(self.new, {"aligns_per_sec": 100.0,
+                              "server": {"aligns_per_sec": 321.0}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("new metric, no baseline", result.stdout)
+
+    def test_new_ungated_metric_is_silent(self):
+        self.write(self.old, {"aligns_per_sec": 100.0})
+        self.write(self.new, {"aligns_per_sec": 100.0, "p99_ms": 3.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertNotIn("new metric", result.stdout)
+
+    def test_corrupt_old_artifact_skipped_with_notice(self):
+        with open(os.path.join(self.old, "BENCH_t.json"), "w") as handle:
+            handle.write("{\"aligns_per_sec\": 10")  # truncated upload
+        self.write(self.new, {"aligns_per_sec": 123.0})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("unreadable", result.stdout)
+
+    def test_corrupt_new_artifact_fails(self):
+        self.write(self.old, {"aligns_per_sec": 100.0})
+        with open(os.path.join(self.new, "BENCH_t.json"), "w") as handle:
+            handle.write("not json")
+        result = run_diff(self.old, self.new)
+        self.assertNotEqual(result.returncode, 0, result.stdout)
+
     def test_keyed_rows_survive_reordering(self):
         self.write(self.old, {"rows": [{"id": 1, "aligns_per_sec": 50.0},
                                        {"id": 2, "aligns_per_sec": 100.0}]})

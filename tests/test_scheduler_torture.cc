@@ -358,6 +358,152 @@ TEST(SchedulerTorture, RandomizedSubmitCancelWaitAllKernels)
     tortureKernel<kernels::ProteinLocal>(25);
 }
 
+/**
+ * Anti-starvation aging: on a single worker with a saturating queue of
+ * high-priority interactive tickets, a bulk (priority 0) ticket queued
+ * *first* must complete within the first agingEvery pops — and with
+ * aging off, the same workload serves it dead last.
+ */
+TEST(SchedulerTorture, AgingBoundsBulkStarvation)
+{
+    using K = kernels::GlobalLinear;
+    using Pipeline = host::StreamPipeline<K>;
+    constexpr int interactive_count = 8;
+    constexpr int aging_every = 3;
+
+    for (const int aging : {aging_every, 0}) {
+        host::BatchConfig cfg;
+        cfg.npe = 4;
+        cfg.nb = 1;
+        cfg.nk = 1;
+        cfg.threads = 1; // serial pops: completion order == pop order
+        cfg.bandWidth = 8;
+        cfg.maxQueryLength = 64;
+        cfg.maxReferenceLength = 64;
+        cfg.agingEvery = aging;
+        Pipeline pipeline(cfg);
+        pipeline.pause(); // queue everything before the first pop
+
+        std::mutex orderMutex;
+        std::vector<int> completionOrder; // ticket ids, completion order
+        auto recorder = [&](int id) {
+            return [&, id](host::BatchTicket<K> &) {
+                std::lock_guard lock(orderMutex);
+                completionOrder.push_back(id);
+            };
+        };
+
+        seq::Rng rng(4242);
+        std::vector<typename Pipeline::Ticket> tickets;
+        auto oneJob = [&] {
+            auto p = test::shapedPair<K>(rng, 24, 24);
+            std::vector<typename Pipeline::Job> jobs;
+            jobs.push_back({std::move(p.query), std::move(p.reference)});
+            return jobs;
+        };
+
+        host::TicketOptions bulk;
+        bulk.priority = 0;
+        tickets.push_back(pipeline.submit(oneJob(), bulk, recorder(0)));
+        for (int i = 1; i <= interactive_count; i++) {
+            host::TicketOptions interactive;
+            interactive.priority = 10;
+            tickets.push_back(
+                pipeline.submit(oneJob(), interactive, recorder(i)));
+        }
+
+        pipeline.resume();
+        for (const auto &t : tickets)
+            t->wait();
+        ASSERT_EQ(completionOrder.size(), tickets.size());
+
+        size_t bulkPos = completionOrder.size();
+        for (size_t i = 0; i < completionOrder.size(); i++) {
+            if (completionOrder[i] == 0)
+                bulkPos = i;
+        }
+        ASSERT_LT(bulkPos, completionOrder.size());
+        if (aging > 0) {
+            // The aging pop (every aging_every-th) must have served the
+            // oldest queued shard ahead of the interactive backlog.
+            EXPECT_LT(bulkPos, static_cast<size_t>(aging))
+                << "bulk ticket starved past the aging bound";
+        } else {
+            EXPECT_EQ(bulkPos, completionOrder.size() - 1)
+                << "strict priority order should serve bulk last";
+        }
+        EXPECT_EQ(pipeline.drain().alignments, interactive_count + 1);
+    }
+}
+
+/**
+ * Submit-time rejection accounting: jobs refused by
+ * estimateCompletionSeconds/submit (undispatchable shape) must appear
+ * in *no* accounting bucket, while accepted work — including a
+ * cancelled ticket — still closes the epoch as alignments + cancelled.
+ */
+TEST(SchedulerTorture, SubmitRejectsStayOutsideEpochAccounting)
+{
+    using K = kernels::GlobalLinear;
+    using Pipeline = host::StreamPipeline<K>;
+
+    host::BatchConfig cfg;
+    cfg.npe = 4;
+    cfg.nb = 1;
+    cfg.nk = 1;
+    cfg.threads = 1;
+    cfg.bandWidth = 8;
+    cfg.maxQueryLength = 32; // undispatchable above this, no fallback
+    cfg.maxReferenceLength = 32;
+    cfg.cpuFallback = false;
+    Pipeline pipeline(cfg);
+
+    seq::Rng rng(977);
+    auto jobsOf = [&](int count, int len) {
+        std::vector<typename Pipeline::Job> jobs;
+        for (int i = 0; i < count; i++) {
+            auto p = test::shapedPair<K>(rng, len, len);
+            jobs.push_back({std::move(p.query), std::move(p.reference)});
+        }
+        return jobs;
+    };
+
+    // The admission probe and submit must agree on the reject, and a
+    // rejected batch must not touch the backlog counters.
+    const auto oversized = jobsOf(2, 48);
+    EXPECT_THROW((void)pipeline.estimateCompletionSeconds(oversized),
+                 std::invalid_argument);
+    auto copy = oversized;
+    EXPECT_THROW((void)pipeline.submit(std::move(copy)),
+                 std::invalid_argument);
+
+    // A dispatchable batch still has a positive modeled estimate.
+    const auto accepted_jobs = jobsOf(6, 24);
+    EXPECT_GT(pipeline.estimateCompletionSeconds(accepted_jobs), 0.0);
+
+    pipeline.pause(); // so the cancel below lands before execution
+    auto t1 = pipeline.submit(jobsOf(6, 24));
+    auto t2 = pipeline.submit(jobsOf(4, 20));
+    t2->cancel();
+    pipeline.resume();
+    t1->wait();
+    t2->wait();
+
+    // Epoch closure: 6 completed + 4 cancelled-or-completed, and the 2
+    // rejected jobs in neither bucket.
+    const auto epoch = pipeline.drain();
+    EXPECT_EQ(epoch.alignments, t1->stats().alignments +
+                                    t2->stats().alignments);
+    EXPECT_EQ(epoch.cancelled, t2->stats().cancelled);
+    EXPECT_EQ(t1->stats().alignments, 6);
+    EXPECT_EQ(t2->stats().alignments + t2->stats().cancelled, 4);
+    EXPECT_EQ(epoch.alignments + epoch.cancelled, 10);
+    const SectionSums sums = sumSections(epoch);
+    EXPECT_EQ(sums.alignments, epoch.alignments);
+    EXPECT_EQ(sums.cancelled, epoch.cancelled);
+    EXPECT_EQ(sums.totalCycles, epoch.totalCycles);
+}
+
 TEST(SchedulerTorture, PriorityMachineryTransparentWhenUnusedAllKernels)
 {
     priorityTransparentWhenUnused<kernels::GlobalLinear>();

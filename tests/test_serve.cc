@@ -1,0 +1,722 @@
+/**
+ * @file
+ * dphls_serve coverage without a daemon process in the loop:
+ *
+ *  - protocol encode/decode roundtrips, including the ProtocolError
+ *    paths (truncated payloads, trailing bytes, bad enum codes) and
+ *    binary run-length CIGAR records;
+ *  - TenantQuotas all-or-nothing acquire/release semantics;
+ *  - admission-policy arithmetic;
+ *  - AlignService driven directly with in-memory frames and a
+ *    vector-of-frames sink: completed alignments match a blocking
+ *    pipeline run bit-for-bit, unmeetable deadlines are rejected at
+ *    submit (accounted as rejects, not deadline misses), quota and
+ *    malformed rejects answer with the right reason, Stats closes the
+ *    accounting, and Shutdown drains;
+ *  - framed transport over a socketpair, including header validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "kernels/all.hh"
+#include "serve/admission.hh"
+#include "serve/protocol.hh"
+#include "serve/quota.hh"
+#include "serve/service.hh"
+#include "serve/socket_io.hh"
+
+using namespace dphls;
+using namespace dphls::serve;
+
+namespace {
+
+using Kernel = kernels::GlobalLinear;
+using Service = AlignService<Kernel>;
+using Pipeline = host::StreamPipeline<Kernel>;
+
+Frame
+makeFrame(MsgType type, uint64_t rid, std::vector<uint8_t> payload = {})
+{
+    Frame f;
+    f.header.type = static_cast<uint8_t>(type);
+    f.header.requestId = rid;
+    f.header.payloadLen = static_cast<uint32_t>(payload.size());
+    f.payload = std::move(payload);
+    return f;
+}
+
+/** Thread-safe response recorder (completion callbacks answer from
+ *  worker threads). */
+struct CapturedFrames
+{
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<std::tuple<MsgType, uint64_t, std::vector<uint8_t>>>
+        frames;
+
+    Service::Sink
+    sink()
+    {
+        return [this](MsgType t, uint64_t rid,
+                      std::vector<uint8_t> payload) {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                frames.emplace_back(t, rid, std::move(payload));
+            }
+            cv.notify_all();
+        };
+    }
+
+    bool
+    waitFor(size_t n)
+    {
+        std::unique_lock<std::mutex> lk(m);
+        return cv.wait_for(lk, std::chrono::seconds(30),
+                           [&] { return frames.size() >= n; });
+    }
+
+    std::tuple<MsgType, uint64_t, std::vector<uint8_t>>
+    at(size_t i)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        return frames.at(i);
+    }
+
+    size_t
+    size()
+    {
+        std::lock_guard<std::mutex> lk(m);
+        return frames.size();
+    }
+};
+
+/** Deterministic DNA code vector (codes 0..3). */
+std::vector<uint8_t>
+dnaCodes(size_t len, uint64_t seed)
+{
+    std::vector<uint8_t> codes(len);
+    uint64_t state = seed * 2654435761u + 1;
+    for (auto &c : codes) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        c = static_cast<uint8_t>((state >> 33) & 3);
+    }
+    return codes;
+}
+
+Pipeline::Job
+jobFromCodes(const std::vector<uint8_t> &q, const std::vector<uint8_t> &r)
+{
+    Pipeline::Job job;
+    for (const uint8_t c : q)
+        job.query.chars.push_back(seq::DnaChar{c});
+    for (const uint8_t c : r)
+        job.reference.chars.push_back(seq::DnaChar{c});
+    return job;
+}
+
+host::BatchConfig
+smallConfig()
+{
+    host::BatchConfig cfg;
+    cfg.npe = 8;
+    cfg.nb = 1;
+    cfg.nk = 1;
+    cfg.threads = 1;
+    cfg.bandWidth = 16;
+    cfg.maxQueryLength = 256;
+    cfg.maxReferenceLength = 256;
+    cfg.hostOverheadCycles = 0;
+    cfg.cacheEntries = 0;
+    cfg.collectPathStats = false;
+    return cfg;
+}
+
+// --------------------------------------------------------- protocol
+
+TEST(ServeProtocol, HelloRoundtrip)
+{
+    const Frame f =
+        makeFrame(MsgType::Hello, 7, encodeHello("global-linear"));
+    EXPECT_EQ(decodeHello(f), "global-linear");
+}
+
+TEST(ServeProtocol, HelloTrailingBytesThrow)
+{
+    auto payload = encodeHello("x");
+    payload.push_back(0);
+    const Frame f = makeFrame(MsgType::Hello, 1, std::move(payload));
+    EXPECT_THROW(decodeHello(f), ProtocolError);
+}
+
+TEST(ServeProtocol, HelloOkRoundtrip)
+{
+    ServerInfo info;
+    info.kernel = "Global Linear";
+    info.maxQueryLength = 1024;
+    info.maxReferenceLength = 2048;
+    info.alphabetSymbols = 4;
+    const Frame f = makeFrame(MsgType::HelloOk, 2, encodeHelloOk(info));
+    const ServerInfo got = decodeHelloOk(f);
+    EXPECT_EQ(got.kernel, info.kernel);
+    EXPECT_EQ(got.maxQueryLength, info.maxQueryLength);
+    EXPECT_EQ(got.maxReferenceLength, info.maxReferenceLength);
+    EXPECT_EQ(got.alphabetSymbols, info.alphabetSymbols);
+}
+
+TEST(ServeProtocol, AlignRequestRoundtrip)
+{
+    AlignRequest req;
+    req.trafficClass = TrafficClass::Interactive;
+    req.deadlineMicros = 1500;
+    req.tenant = "tenant-a";
+    req.jobs.push_back({dnaCodes(12, 1), dnaCodes(17, 2)});
+    req.jobs.push_back({{}, dnaCodes(3, 3)}); // empty query is legal
+    const Frame f =
+        makeFrame(MsgType::Align, 3, encodeAlignRequest(req));
+    const AlignRequest got = decodeAlignRequest(f);
+    EXPECT_EQ(got.trafficClass, TrafficClass::Interactive);
+    EXPECT_EQ(got.deadlineMicros, 1500u);
+    EXPECT_EQ(got.tenant, "tenant-a");
+    ASSERT_EQ(got.jobs.size(), 2u);
+    EXPECT_EQ(got.jobs[0].query, req.jobs[0].query);
+    EXPECT_EQ(got.jobs[0].reference, req.jobs[0].reference);
+    EXPECT_TRUE(got.jobs[1].query.empty());
+    EXPECT_EQ(got.jobs[1].reference, req.jobs[1].reference);
+}
+
+TEST(ServeProtocol, AlignRequestTruncationThrows)
+{
+    AlignRequest req;
+    req.tenant = "t";
+    req.jobs.push_back({dnaCodes(8, 1), dnaCodes(8, 2)});
+    auto payload = encodeAlignRequest(req);
+    for (const size_t keep : {size_t{0}, size_t{1}, payload.size() / 2,
+                              payload.size() - 1}) {
+        std::vector<uint8_t> cut(payload.begin(),
+                                 payload.begin() +
+                                     static_cast<ptrdiff_t>(keep));
+        const Frame f = makeFrame(MsgType::Align, 4, std::move(cut));
+        EXPECT_THROW(decodeAlignRequest(f), ProtocolError)
+            << "kept " << keep << " of " << payload.size();
+    }
+    payload.push_back(0); // trailing byte
+    const Frame f = makeFrame(MsgType::Align, 4, std::move(payload));
+    EXPECT_THROW(decodeAlignRequest(f), ProtocolError);
+}
+
+TEST(ServeProtocol, AlignRequestBadTrafficClassThrows)
+{
+    AlignRequest req;
+    req.tenant = "t";
+    auto payload = encodeAlignRequest(req);
+    payload[0] = 9; // first byte is the traffic class
+    const Frame f = makeFrame(MsgType::Align, 5, std::move(payload));
+    EXPECT_THROW(decodeAlignRequest(f), ProtocolError);
+}
+
+TEST(ServeProtocol, AlignResponseRoundtrip)
+{
+    AlignResponse res;
+    res.deadlineMissed = true;
+    res.totalCycles = 123456;
+    WireJobResult jr;
+    jr.completed = true;
+    jr.score = -3.5;
+    jr.cycles = 99;
+    jr.runs = {4u << 2 | 0u, 1u << 2 | 1u, 2u << 2 | 2u};
+    res.results.push_back(jr);
+    jr.completed = false;
+    jr.runs.clear();
+    res.results.push_back(jr);
+    const Frame f =
+        makeFrame(MsgType::AlignOk, 6, encodeAlignResponse(res));
+    const AlignResponse got = decodeAlignResponse(f);
+    EXPECT_TRUE(got.deadlineMissed);
+    EXPECT_EQ(got.totalCycles, 123456u);
+    ASSERT_EQ(got.results.size(), 2u);
+    EXPECT_TRUE(got.results[0].completed);
+    EXPECT_EQ(got.results[0].score, -3.5);
+    EXPECT_EQ(got.results[0].cycles, 99u);
+    EXPECT_EQ(got.results[0].runs, res.results[0].runs);
+    EXPECT_FALSE(got.results[1].completed);
+    EXPECT_TRUE(got.results[1].runs.empty());
+}
+
+TEST(ServeProtocol, RejectRoundtripAndBadReason)
+{
+    const Frame f = makeFrame(
+        MsgType::Reject, 7,
+        encodeReject({RejectReason::QuotaExceeded, "over quota"}));
+    const RejectInfo got = decodeReject(f);
+    EXPECT_EQ(got.reason, RejectReason::QuotaExceeded);
+    EXPECT_EQ(got.message, "over quota");
+
+    auto bad = encodeReject({RejectReason::Malformed, ""});
+    bad[0] = 0; // reason codes start at 1
+    EXPECT_THROW(decodeReject(makeFrame(MsgType::Reject, 8,
+                                        std::move(bad))),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, StatsRoundtrip)
+{
+    ServeStats stats;
+    stats.acceptedRequests = 10;
+    stats.rejectedDeadline = 2;
+    stats.rejectedQuota = 1;
+    stats.completedJobs = 40;
+    stats.deadlineMissJobs = 3;
+    stats.totalCycles = 777;
+    stats.alignsPerSec = 1e6;
+    stats.accountingClosed = true;
+    WireBackendStats b;
+    b.name = "device0";
+    b.clockMhz = 250.0;
+    b.busyCycles = 500;
+    b.totalCycles = 700;
+    b.alignments = 40;
+    b.seconds = 2.8e-6;
+    stats.backends.push_back(b);
+    const Frame f = makeFrame(MsgType::StatsOk, 9, encodeStats(stats));
+    const ServeStats got = decodeStats(f);
+    EXPECT_EQ(got.acceptedRequests, 10u);
+    EXPECT_EQ(got.rejectedDeadline, 2u);
+    EXPECT_EQ(got.rejectedRequests(), 3u);
+    EXPECT_EQ(got.completedJobs, 40u);
+    EXPECT_EQ(got.deadlineMissJobs, 3u);
+    EXPECT_TRUE(got.accountingClosed);
+    ASSERT_EQ(got.backends.size(), 1u);
+    EXPECT_EQ(got.backends[0].name, "device0");
+    EXPECT_EQ(got.backends[0].alignments, 40);
+    EXPECT_DOUBLE_EQ(got.backends[0].clockMhz, 250.0);
+}
+
+TEST(ServeProtocol, RunsRoundtrip)
+{
+    using core::AlnOp;
+    std::vector<AlnOp> ops;
+    for (int i = 0; i < 5; i++)
+        ops.push_back(AlnOp::Match);
+    ops.push_back(AlnOp::Ins);
+    ops.push_back(AlnOp::Ins);
+    ops.push_back(AlnOp::Del);
+    for (int i = 0; i < 3; i++)
+        ops.push_back(AlnOp::Match);
+    const auto runs = encodeRuns(ops);
+    ASSERT_EQ(runs.size(), 4u); // 5M 2I 1D 3M
+    EXPECT_EQ(runs[0], 5u << 2 | 0u);
+    EXPECT_EQ(runs[1], 2u << 2 | 1u);
+    EXPECT_EQ(runs[2], 1u << 2 | 2u);
+    EXPECT_EQ(runs[3], 3u << 2 | 0u);
+    EXPECT_EQ(decodeRuns(runs), ops);
+    EXPECT_TRUE(encodeRuns({}).empty());
+    EXPECT_TRUE(decodeRuns({}).empty());
+}
+
+TEST(ServeProtocol, DecodeRunsRejectsBadOp)
+{
+    EXPECT_THROW(decodeRuns({1u << 2 | 3u}), ProtocolError);
+}
+
+// ------------------------------------------------------------ quota
+
+TEST(TenantQuotas, AllOrNothingUnderCap)
+{
+    TenantQuotas q(10);
+    EXPECT_TRUE(q.tryAcquire("a", 6));
+    EXPECT_EQ(q.inFlight("a"), 6u);
+    EXPECT_FALSE(q.tryAcquire("a", 5)); // 6 + 5 > 10: nothing reserved
+    EXPECT_EQ(q.inFlight("a"), 6u);
+    EXPECT_TRUE(q.tryAcquire("a", 4));
+    EXPECT_EQ(q.inFlight("a"), 10u);
+    EXPECT_TRUE(q.tryAcquire("b", 10)); // caps are per tenant
+    q.release("a", 10);
+    EXPECT_EQ(q.inFlight("a"), 0u);
+    EXPECT_EQ(q.inFlight("b"), 10u);
+}
+
+TEST(TenantQuotas, ZeroCapDisables)
+{
+    TenantQuotas q(0);
+    EXPECT_TRUE(q.tryAcquire("a", 1'000'000));
+    EXPECT_EQ(q.inFlight("a"), 0u); // not even tracked
+}
+
+TEST(TenantQuotas, ReleaseClampsAndForgets)
+{
+    TenantQuotas q(5);
+    EXPECT_TRUE(q.tryAcquire("a", 3));
+    q.release("a", 100); // over-release clamps to zero
+    EXPECT_EQ(q.inFlight("a"), 0u);
+    q.release("never-seen", 1); // unknown tenant is a no-op
+}
+
+// -------------------------------------------------------- admission
+
+TEST(Admission, PolicyArithmetic)
+{
+    AdmissionPolicy p;
+    EXPECT_TRUE(admits(p, 0.5, 1.0));
+    EXPECT_TRUE(admits(p, 1.0, 1.0)); // boundary admits
+    EXPECT_FALSE(admits(p, 1.1, 1.0));
+    EXPECT_TRUE(admits(p, 100.0, 0.0)); // no budget = no deadline
+    p.slack = 2.0;
+    EXPECT_TRUE(admits(p, 1.9, 1.0));
+    p.enabled = false;
+    EXPECT_TRUE(admits(p, 1e9, 1.0));
+}
+
+// ---------------------------------------------------------- service
+
+TEST(AlignService, HelloAnswersAndChecksKernel)
+{
+    Service service(smallConfig(),
+                    {.kernelAlias = "global-linear"});
+    CapturedFrames out;
+    service.handleFrame(
+        makeFrame(MsgType::Hello, 1, encodeHello("global-linear")),
+        out.sink());
+    service.handleFrame(
+        makeFrame(MsgType::Hello, 2, encodeHello(Kernel::name)),
+        out.sink());
+    service.handleFrame(
+        makeFrame(MsgType::Hello, 3, encodeHello("local-affine")),
+        out.sink());
+    ASSERT_EQ(out.size(), 3u);
+    auto [t1, rid1, p1] = out.at(0);
+    EXPECT_EQ(t1, MsgType::HelloOk);
+    EXPECT_EQ(rid1, 1u);
+    const ServerInfo info =
+        decodeHelloOk(makeFrame(MsgType::HelloOk, rid1, p1));
+    EXPECT_EQ(info.kernel, Kernel::name);
+    EXPECT_EQ(info.alphabetSymbols, seq::DnaChar::numSymbols);
+    EXPECT_EQ(info.maxQueryLength, 256u);
+    EXPECT_EQ(std::get<0>(out.at(1)), MsgType::HelloOk);
+    EXPECT_EQ(std::get<0>(out.at(2)), MsgType::Error);
+}
+
+TEST(AlignService, AlignMatchesBlockingPipeline)
+{
+    const auto cfg = smallConfig();
+    Service service(cfg);
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.tenant = "t";
+    std::vector<Pipeline::Job> jobs;
+    for (int i = 0; i < 4; i++) {
+        WireJob wj{dnaCodes(40 + static_cast<size_t>(i) * 13,
+                            static_cast<uint64_t>(i) * 2 + 1),
+                   dnaCodes(35 + static_cast<size_t>(i) * 17,
+                            static_cast<uint64_t>(i) * 2 + 2)};
+        jobs.push_back(jobFromCodes(wj.query, wj.reference));
+        req.jobs.push_back(std::move(wj));
+    }
+
+    Pipeline blocking(cfg);
+    std::vector<Pipeline::Result> want;
+    std::vector<uint64_t> want_cycles;
+    blocking.runAll(jobs, &want, &want_cycles);
+
+    service.handleFrame(
+        makeFrame(MsgType::Align, 42, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_TRUE(out.waitFor(1));
+    auto [type, rid, payload] = out.at(0);
+    ASSERT_EQ(type, MsgType::AlignOk);
+    EXPECT_EQ(rid, 42u);
+    const AlignResponse res =
+        decodeAlignResponse(makeFrame(MsgType::AlignOk, rid, payload));
+    EXPECT_FALSE(res.deadlineMissed);
+    ASSERT_EQ(res.results.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        EXPECT_TRUE(res.results[i].completed) << i;
+        EXPECT_EQ(res.results[i].score, want[i].scoreAsDouble()) << i;
+        EXPECT_EQ(res.results[i].cycles, want_cycles[i]) << i;
+        EXPECT_EQ(res.results[i].runs, encodeRuns(want[i].ops)) << i;
+    }
+
+    const ServeStats stats = service.snapshot();
+    EXPECT_EQ(stats.acceptedRequests, 1u);
+    EXPECT_EQ(stats.rejectedRequests(), 0u);
+    EXPECT_EQ(stats.completedJobs, jobs.size());
+    EXPECT_EQ(stats.deadlineMissJobs, 0u);
+    EXPECT_TRUE(stats.accountingClosed);
+    ASSERT_FALSE(stats.backends.empty());
+}
+
+TEST(AlignService, UnmeetableDeadlineRejectedAtSubmit)
+{
+    Service service(smallConfig());
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.trafficClass = TrafficClass::Interactive;
+    req.deadlineMicros = 1; // no 200-length DP fits in a microsecond
+    req.tenant = "t";
+    for (int i = 0; i < 4; i++)
+        req.jobs.push_back(
+            {dnaCodes(200, static_cast<uint64_t>(i) + 1),
+             dnaCodes(200, static_cast<uint64_t>(i) + 100)});
+
+    service.handleFrame(
+        makeFrame(MsgType::Align, 5, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_EQ(out.size(), 1u); // rejects answer synchronously
+    auto [type, rid, payload] = out.at(0);
+    ASSERT_EQ(type, MsgType::Reject);
+    EXPECT_EQ(rid, 5u);
+    const RejectInfo info =
+        decodeReject(makeFrame(MsgType::Reject, rid, payload));
+    EXPECT_EQ(info.reason, RejectReason::DeadlineUnmeetable);
+
+    // Rejected at submit: an admission reject, never a deadline miss,
+    // and absent from the job accounting entirely.
+    const ServeStats stats = service.snapshot();
+    EXPECT_EQ(stats.rejectedDeadline, 1u);
+    EXPECT_EQ(stats.deadlineMissJobs, 0u);
+    EXPECT_EQ(stats.acceptedRequests, 0u);
+    EXPECT_EQ(stats.completedJobs, 0u);
+    EXPECT_TRUE(stats.accountingClosed);
+    EXPECT_EQ(service.inFlight("t"), 0u); // quota released on reject
+}
+
+TEST(AlignService, AdmissionDisabledAcceptsTightDeadline)
+{
+    ServiceConfig scfg;
+    scfg.admission.enabled = false;
+    Service service(smallConfig(), scfg);
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.deadlineMicros = 1;
+    req.tenant = "t";
+    req.jobs.push_back({dnaCodes(64, 1), dnaCodes(64, 2)});
+    // Deadline misses are wall-clock: hold the pipeline paused past the
+    // one-microsecond deadline so the miss is deterministic.
+    service.pipeline().pause();
+    service.handleFrame(
+        makeFrame(MsgType::Align, 6, encodeAlignRequest(req)),
+        out.sink());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    service.pipeline().resume();
+    ASSERT_TRUE(out.waitFor(1));
+    EXPECT_EQ(std::get<0>(out.at(0)), MsgType::AlignOk);
+    const ServeStats stats = service.snapshot();
+    EXPECT_EQ(stats.acceptedRequests, 1u);
+    // The deadline was accepted and then (deterministically) missed:
+    // the miss shows up in the miss counter, not the reject counter.
+    EXPECT_EQ(stats.rejectedDeadline, 0u);
+    EXPECT_EQ(stats.deadlineMissJobs, 1u);
+    EXPECT_TRUE(stats.accountingClosed);
+}
+
+TEST(AlignService, QuotaRejectsOversizedTenant)
+{
+    ServiceConfig scfg;
+    scfg.maxInFlightJobsPerTenant = 2;
+    Service service(smallConfig(), scfg);
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.tenant = "greedy";
+    for (int i = 0; i < 3; i++)
+        req.jobs.push_back(
+            {dnaCodes(16, static_cast<uint64_t>(i) + 1),
+             dnaCodes(16, static_cast<uint64_t>(i) + 50)});
+    service.handleFrame(
+        makeFrame(MsgType::Align, 7, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_EQ(out.size(), 1u);
+    auto [type, rid, payload] = out.at(0);
+    ASSERT_EQ(type, MsgType::Reject);
+    const RejectInfo info =
+        decodeReject(makeFrame(MsgType::Reject, rid, payload));
+    EXPECT_EQ(info.reason, RejectReason::QuotaExceeded);
+    EXPECT_EQ(service.inFlight("greedy"), 0u);
+
+    // Under the cap the same tenant is served, and the quota drains
+    // back to zero once the ticket completes.
+    req.jobs.resize(2);
+    service.handleFrame(
+        makeFrame(MsgType::Align, 8, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_TRUE(out.waitFor(2));
+    EXPECT_EQ(std::get<0>(out.at(1)), MsgType::AlignOk);
+    EXPECT_EQ(service.inFlight("greedy"), 0u);
+    const ServeStats stats = service.snapshot();
+    EXPECT_EQ(stats.rejectedQuota, 1u);
+    EXPECT_EQ(stats.completedJobs, 2u);
+    EXPECT_TRUE(stats.accountingClosed);
+}
+
+TEST(AlignService, BadAlphabetCodeIsMalformed)
+{
+    Service service(smallConfig());
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.tenant = "t";
+    WireJob wj{dnaCodes(8, 1), dnaCodes(8, 2)};
+    wj.query[3] = seq::DnaChar::numSymbols; // first out-of-range code
+    req.jobs.push_back(std::move(wj));
+    service.handleFrame(
+        makeFrame(MsgType::Align, 9, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_EQ(out.size(), 1u);
+    auto [type, rid, payload] = out.at(0);
+    ASSERT_EQ(type, MsgType::Reject);
+    const RejectInfo info =
+        decodeReject(makeFrame(MsgType::Reject, rid, payload));
+    EXPECT_EQ(info.reason, RejectReason::Malformed);
+    EXPECT_EQ(service.snapshot().rejectedMalformed, 1u);
+}
+
+TEST(AlignService, UnexpectedTypeAnswersError)
+{
+    Service service(smallConfig());
+    CapturedFrames out;
+    service.handleFrame(makeFrame(MsgType::HelloOk, 10), out.sink());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(std::get<0>(out.at(0)), MsgType::Error);
+}
+
+TEST(AlignService, ShutdownDrainsThenRejectsNewWork)
+{
+    Service service(smallConfig());
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.tenant = "t";
+    req.jobs.push_back({dnaCodes(32, 1), dnaCodes(32, 2)});
+    service.handleFrame(
+        makeFrame(MsgType::Align, 11, encodeAlignRequest(req)),
+        out.sink());
+    service.handleFrame(makeFrame(MsgType::Shutdown, 12), out.sink());
+    EXPECT_TRUE(service.draining());
+    // Shutdown drains first, so the in-flight AlignOk precedes
+    // ShutdownOk in the sink.
+    ASSERT_TRUE(out.waitFor(2));
+    EXPECT_EQ(std::get<0>(out.at(0)), MsgType::AlignOk);
+    EXPECT_EQ(std::get<0>(out.at(1)), MsgType::ShutdownOk);
+    EXPECT_EQ(std::get<1>(out.at(1)), 12u);
+
+    service.handleFrame(
+        makeFrame(MsgType::Align, 13, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_EQ(out.size(), 3u);
+    auto [type, rid, payload] = out.at(2);
+    ASSERT_EQ(type, MsgType::Reject);
+    const RejectInfo info =
+        decodeReject(makeFrame(MsgType::Reject, rid, payload));
+    EXPECT_EQ(info.reason, RejectReason::ShuttingDown);
+}
+
+TEST(AlignService, StatsFrameReturnsClosedAccounting)
+{
+    Service service(smallConfig());
+    CapturedFrames out;
+    AlignRequest req;
+    req.tenant = "t";
+    req.jobs.push_back({dnaCodes(24, 1), dnaCodes(24, 2)});
+    service.handleFrame(
+        makeFrame(MsgType::Align, 14, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_TRUE(out.waitFor(1));
+    service.handleFrame(makeFrame(MsgType::Stats, 15), out.sink());
+    ASSERT_TRUE(out.waitFor(2));
+    auto [type, rid, payload] = out.at(1);
+    ASSERT_EQ(type, MsgType::StatsOk);
+    EXPECT_EQ(rid, 15u);
+    const ServeStats stats =
+        decodeStats(makeFrame(MsgType::StatsOk, rid, payload));
+    EXPECT_EQ(stats.acceptedRequests, 1u);
+    EXPECT_EQ(stats.completedJobs, 1u);
+    EXPECT_TRUE(stats.accountingClosed);
+    uint64_t section_aligns = 0;
+    for (const auto &b : stats.backends)
+        section_aligns += static_cast<uint64_t>(b.alignments);
+    EXPECT_EQ(section_aligns, stats.completedJobs);
+}
+
+// -------------------------------------------------------- transport
+
+TEST(SocketIo, FrameRoundtripOverSocketpair)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Fd a(sv[0]), b(sv[1]);
+
+    const auto payload = encodeHello("global-linear");
+    ASSERT_TRUE(writeFrame(a.get(), MsgType::Hello, 99, payload));
+    Frame got;
+    std::string err;
+    ASSERT_TRUE(readFrame(b.get(), got, &err)) << err;
+    EXPECT_EQ(got.type(), MsgType::Hello);
+    EXPECT_EQ(got.requestId(), 99u);
+    EXPECT_EQ(got.payload, payload);
+
+    // Empty payload frames work too.
+    ASSERT_TRUE(writeFrame(a.get(), MsgType::Stats, 100, {}));
+    ASSERT_TRUE(readFrame(b.get(), got, &err)) << err;
+    EXPECT_EQ(got.type(), MsgType::Stats);
+    EXPECT_TRUE(got.payload.empty());
+
+    // Clean EOF: false with no error message.
+    a.reset();
+    err.clear();
+    EXPECT_FALSE(readFrame(b.get(), got, &err));
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(SocketIo, BadMagicReportsError)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Fd a(sv[0]), b(sv[1]);
+
+    uint8_t junk[kFrameHeaderBytes] = {};
+    std::memset(junk, 0xEE, sizeof junk);
+    ASSERT_TRUE(sendAll(a.get(), junk, sizeof junk));
+    Frame got;
+    std::string err;
+    EXPECT_FALSE(readFrame(b.get(), got, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SocketIo, OversizedPayloadLengthReportsError)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    Fd a(sv[0]), b(sv[1]);
+
+    // Valid magic/version but a payload length over the cap: the
+    // reader must refuse before allocating.
+    uint8_t hdr[kFrameHeaderBytes] = {};
+    for (int i = 0; i < 4; i++)
+        hdr[i] = static_cast<uint8_t>(kMagic >> (8 * i));
+    hdr[4] = kVersion;
+    hdr[5] = static_cast<uint8_t>(MsgType::Align);
+    const uint32_t huge = kMaxPayloadBytes + 1;
+    for (int i = 0; i < 4; i++)
+        hdr[8 + i] = static_cast<uint8_t>(huge >> (8 * i));
+    ASSERT_TRUE(sendAll(a.get(), hdr, sizeof hdr));
+    Frame got;
+    std::string err;
+    EXPECT_FALSE(readFrame(b.get(), got, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace

@@ -66,11 +66,17 @@ def classify(path):
     return None
 
 
-def diff_file(name, old_path, new_path, threshold_pct):
-    """Return (regressions, notices) for one artifact pair."""
-    old = load_metrics(old_path)
-    new = load_metrics(new_path)
+def diff_file(name, old, new, threshold_pct):
+    """Return (regressions, notices) for one metric-dict pair."""
     regressions, notices = [], []
+    # Gated metrics that only exist in the new run (a bench gained a
+    # section, or an artifact landed for the first time with new keys):
+    # nothing to diff against, so soft-pass with a notice instead of
+    # silently skipping — the next run will have the baseline.
+    for path in sorted(new.keys() - old.keys()):
+        if classify(path) is not None:
+            notices.append(f"{name}:{path}: {new[path]:.4g} "
+                           "(new metric, no baseline — soft pass)")
     for path in sorted(old.keys() & new.keys()):
         kind = classify(path)
         if kind is None:
@@ -124,8 +130,18 @@ def main():
         if not os.path.isfile(old_path):
             print(f"bench_diff: {name} has no previous artifact — skipped")
             continue
+        try:
+            old = load_metrics(old_path)
+        except (json.JSONDecodeError, OSError) as exc:
+            # A truncated/corrupt previous artifact (interrupted upload)
+            # is a missing baseline, not a regression: note and skip.
+            print(f"bench_diff: {name} previous artifact unreadable "
+                  f"({exc}) — skipped")
+            continue
+        # A corrupt NEW artifact is this run's bug: let it fail loudly.
+        new = load_metrics(os.path.join(args.new, name))
         file_regressions, file_notices = diff_file(
-            name, old_path, os.path.join(args.new, name), args.threshold)
+            name, old, new, args.threshold)
         regressions += file_regressions
         notices += file_notices
         compared += 1

@@ -290,22 +290,26 @@ runTwoClassDemo(const Options &opt,
 
     const auto fifo = run(0);
     const auto prio = run(10);
-    const double fifo_p99 = host::percentile(fifo->interactive(), 0.99);
-    const double prio_p99 = host::percentile(prio->interactive(), 0.99);
+    // percentile() selects in place (partial reorder), so copy each
+    // class once instead of copying + fully sorting on every call.
+    std::vector<double> fifo_int = fifo->interactive();
+    std::vector<double> fifo_bulk = fifo->bulk();
+    std::vector<double> prio_int = prio->interactive();
+    std::vector<double> prio_bulk = prio->bulk();
+    const double fifo_p99 = host::percentile(fifo_int, 0.99);
+    const double prio_p99 = host::percentile(prio_int, 0.99);
     std::printf("# two-class demo: %zu interactive + %zu bulk tickets "
                 "(%zu pairs), kernel %s @ %.1f MHz, 1 channel\n",
-                fifo->interactive().size(), fifo->bulk().size(),
-                jobs.size(), K::name, fmax);
+                fifo_int.size(), fifo_bulk.size(), jobs.size(), K::name,
+                fmax);
     std::printf("#   fifo:     interactive p50 %.3f ms, p99 %.3f ms; "
                 "bulk p99 %.3f ms\n",
-                1e3 * host::percentile(fifo->interactive(), 0.5),
-                1e3 * fifo_p99,
-                1e3 * host::percentile(fifo->bulk(), 0.99));
+                1e3 * host::percentile(fifo_int, 0.5), 1e3 * fifo_p99,
+                1e3 * host::percentile(fifo_bulk, 0.99));
     std::printf("#   priority: interactive p50 %.3f ms, p99 %.3f ms; "
                 "bulk p99 %.3f ms\n",
-                1e3 * host::percentile(prio->interactive(), 0.5),
-                1e3 * prio_p99,
-                1e3 * host::percentile(prio->bulk(), 0.99));
+                1e3 * host::percentile(prio_int, 0.5), 1e3 * prio_p99,
+                1e3 * host::percentile(prio_bulk, 0.99));
     std::printf("#   interactive p99 speedup: %.2fx\n",
                 prio_p99 > 0 ? fifo_p99 / prio_p99 : 0.0);
     return 0;
@@ -416,6 +420,7 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     const size_t max_pending =
         4 + static_cast<size_t>(pipeline.threadCount());
     bool done = false;
+    size_t submitted_chunks = 0;
     while (!done) {
         std::vector<typename Pipeline::Job> jobs;
         jobs.reserve(chunk);
@@ -432,9 +437,33 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
             jobs.push_back(std::move(job));
         }
         if (!jobs.empty()) {
-            pending.emplace_back(
-                pipeline.submit(std::move(jobs), ticketOptions(opt)),
-                Clock::now());
+            const size_t njobs = jobs.size();
+            try {
+                pending.emplace_back(
+                    pipeline.submit(std::move(jobs), ticketOptions(opt)),
+                    Clock::now());
+                submitted_chunks++;
+            } catch (const std::invalid_argument &e) {
+                // An undispatchable pair (over every enabled backend's
+                // maxima) must not escape as an unhandled exception:
+                // report it with its context — the message carries the
+                // job's index within the chunk and its qlen x rlen
+                // shape — retire the tickets already in flight so
+                // their output is not lost, and exit non-zero.
+                std::fprintf(stderr,
+                             "error: %s\n"
+                             "error: chunk %zu (%zu pairs, after %zu "
+                             "submitted chunks) rejected at submit; "
+                             "completing in-flight work\n",
+                             e.what(), submitted_chunks, njobs,
+                             submitted_chunks);
+                while (!pending.empty()) {
+                    writeback(pending.front().first,
+                              pending.front().second);
+                    pending.pop_front();
+                }
+                return 1;
+            }
         }
         while (!pending.empty() &&
                (pending.front().first->done() ||

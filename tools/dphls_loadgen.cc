@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Open-loop load generator for the dphls_serve daemon.
+ *
+ * Drives a mixed two-class workload over the daemon's Unix socket:
+ * Poisson arrivals (exponential inter-arrival times, open loop — the
+ * next request is sent on schedule whether or not earlier ones have
+ * completed, so queueing delay is visible, not hidden by back-pressure)
+ * of single-pair interactive requests with a deadline and multi-pair
+ * bulk requests without one. A sender thread walks the merged arrival
+ * schedule while a receiver thread matches responses by request id and
+ * records per-class end-to-end latency, rejects by reason, and protocol
+ * errors.
+ *
+ * --tight-deadline-frac submits that fraction of interactive requests
+ * with a microsecond-scale deadline no backlog can meet — they must
+ * come back as submit-time DeadlineUnmeetable rejects (admission
+ * control), not as completed-late deadline misses; the SLO report
+ * separates the two.
+ *
+ * The run ends with a Stats snapshot from the daemon (per-backend
+ * sections, accounting closure) and, with --shutdown, a Shutdown frame
+ * so CI can run daemon + loadgen as one forward-only script. --json
+ * writes the SLO report as BENCH_serve.json for bench_diff.py.
+ *
+ * Exit status: 0 when the run saw no protocol errors and every request
+ * was answered; 1 otherwise.
+ *
+ * Usage:
+ *   dphls_loadgen --socket PATH [--kernel NAME] [--seconds S]
+ *                 [--interactive-rps R] [--bulk-rps R] [--bulk-chunk N]
+ *                 [--deadline-ms D] [--tight-deadline-frac F]
+ *                 [--slo-ms D] [--seed S] [--min-len L] [--max-len L]
+ *                 [--tenants N] [--json PATH] [--shutdown]
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hh"
+#include "host/latency_probe.hh"
+#include "seq/random.hh"
+#include "serve/socket_io.hh"
+
+using namespace dphls;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options
+{
+    std::string socketPath;
+    std::string kernel = "global-linear";
+    double seconds = 2.0;
+    double interactiveRps = 50.0;
+    double bulkRps = 10.0;
+    int bulkChunk = 32;
+    double deadlineMs = 250.0;      //!< interactive deadline budget
+    double tightDeadlineFrac = 0.1; //!< sent with an unmeetable deadline
+    double sloMs = 250.0;           //!< interactive latency SLO
+    uint64_t seed = 42;
+    int minLen = 32;
+    int maxLen = 256;
+    int tenants = 2; //!< round-robin tenant ids per class
+    std::string jsonPath;
+    bool shutdown = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dphls_loadgen --socket PATH [--kernel NAME] "
+        "[--seconds S]\n"
+        "                     [--interactive-rps R] [--bulk-rps R] "
+        "[--bulk-chunk N]\n"
+        "                     [--deadline-ms D] "
+        "[--tight-deadline-frac F] [--slo-ms D]\n"
+        "                     [--seed S] [--min-len L] [--max-len L] "
+        "[--tenants N]\n"
+        "                     [--json PATH] [--shutdown]\n");
+}
+
+/** What the sender recorded about one in-flight request. */
+struct PendingRequest
+{
+    Clock::time_point sent;
+    bool interactive = false;
+    bool tightDeadline = false;
+};
+
+/** Outcome tallies of one traffic class. */
+struct ClassOutcome
+{
+    uint64_t sent = 0;
+    uint64_t completed = 0;
+    uint64_t rejectedDeadline = 0;
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedOther = 0;
+    uint64_t deadlineMissed = 0; //!< admitted but completed late
+    uint64_t jobsCompleted = 0;
+    std::vector<double> latencyMs; //!< completed requests only
+};
+
+struct SharedState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<uint64_t, PendingRequest> pending;
+    ClassOutcome interactive;
+    ClassOutcome bulk;
+    uint64_t tightRejected = 0; //!< tight-deadline admission rejects
+    uint64_t tightCompleted = 0;
+    uint64_t protocolErrors = 0;
+    bool senderDone = false;
+    /** Final Stats handshake: the receiver consumes the StatsOk. */
+    bool statsExpected = false;
+    bool statsReceived = false; //!< a StatsOk arrived (even malformed)
+    bool statsValid = false;    //!< ... and decoded cleanly
+    serve::ServeStats server{};
+};
+
+/** Exponential inter-arrival gap for rate @p per_sec. */
+double
+expGap(seq::Rng &rng, double per_sec)
+{
+    // An hour is "never" for any run horizon, and stays safely inside
+    // steady_clock::duration when added to a time_point.
+    constexpr double never = 3600.0;
+    if (per_sec <= 0)
+        return never;
+    double u = rng.uniform();
+    if (u < 1e-12)
+        u = 1e-12;
+    return std::min(never, -std::log(u) / per_sec);
+}
+
+std::vector<uint8_t>
+randomCodes(seq::Rng &rng, int min_len, int max_len, uint32_t symbols)
+{
+    const int n = static_cast<int>(rng.range(min_len, max_len));
+    std::vector<uint8_t> codes(static_cast<size_t>(n));
+    for (auto &c : codes)
+        c = static_cast<uint8_t>(rng.below(symbols));
+    return codes;
+}
+
+void
+receiverLoop(int fd, SharedState &st)
+{
+    serve::Frame frame;
+    std::string err;
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(st.mutex);
+            if (st.senderDone && st.pending.empty() &&
+                (!st.statsExpected || st.statsReceived))
+                return;
+        }
+        if (!serve::readFrame(fd, frame, &err)) {
+            std::lock_guard<std::mutex> lk(st.mutex);
+            if (!st.pending.empty() || !st.senderDone) {
+                st.protocolErrors++;
+                std::fprintf(stderr,
+                             "loadgen: connection lost with %zu "
+                             "request(s) outstanding%s%s\n",
+                             st.pending.size(),
+                             err.empty() ? "" : ": ",
+                             err.c_str());
+            }
+            st.senderDone = true; // nothing more will be answered
+            st.pending.clear();
+            st.cv.notify_all();
+            return;
+        }
+        const Clock::time_point now = Clock::now();
+        std::lock_guard<std::mutex> lk(st.mutex);
+        if (frame.type() == serve::MsgType::StatsOk) {
+            try {
+                st.server = serve::decodeStats(frame);
+                st.statsValid = true;
+            } catch (const serve::ProtocolError &) {
+                st.protocolErrors++;
+            }
+            st.statsReceived = true; // don't wait for another
+            st.cv.notify_all();
+            continue;
+        }
+        const auto it = st.pending.find(frame.requestId());
+        if (it == st.pending.end()) {
+            st.protocolErrors++;
+            continue;
+        }
+        const PendingRequest req = it->second;
+        st.pending.erase(it);
+        ClassOutcome &out =
+            req.interactive ? st.interactive : st.bulk;
+        try {
+            if (frame.type() == serve::MsgType::AlignOk) {
+                const serve::AlignResponse res =
+                    serve::decodeAlignResponse(frame);
+                out.completed++;
+                if (res.deadlineMissed)
+                    out.deadlineMissed++;
+                for (const auto &jr : res.results)
+                    out.jobsCompleted += jr.completed ? 1 : 0;
+                out.latencyMs.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        now - req.sent)
+                        .count());
+                if (req.tightDeadline)
+                    st.tightCompleted++;
+            } else if (frame.type() == serve::MsgType::Reject) {
+                const serve::RejectInfo info =
+                    serve::decodeReject(frame);
+                switch (info.reason) {
+                  case serve::RejectReason::DeadlineUnmeetable:
+                    out.rejectedDeadline++;
+                    if (req.tightDeadline)
+                        st.tightRejected++;
+                    break;
+                  case serve::RejectReason::QuotaExceeded:
+                    out.rejectedQuota++;
+                    break;
+                  default:
+                    out.rejectedOther++;
+                    break;
+                }
+            } else {
+                st.protocolErrors++;
+            }
+        } catch (const serve::ProtocolError &) {
+            st.protocolErrors++;
+        }
+        st.cv.notify_all();
+    }
+}
+
+/** Percentile of a latency sample in ms (0 when empty). */
+double
+pctMs(std::vector<double> &ms, double p)
+{
+    return host::percentile(ms, p);
+}
+
+void
+writeClassJson(bench::JsonWriter &w, const char *name,
+               const ClassOutcome &out, std::vector<double> &lat,
+               double slo_ms)
+{
+    uint64_t slo_miss = 0;
+    for (const double l : lat)
+        slo_miss += l > slo_ms ? 1 : 0;
+    w.key(name);
+    w.beginObject();
+    w.kv("sent", out.sent);
+    w.kv("completed", out.completed);
+    w.kv("rejected_deadline", out.rejectedDeadline);
+    w.kv("rejected_quota", out.rejectedQuota);
+    w.kv("rejected_other", out.rejectedOther);
+    w.kv("deadline_missed", out.deadlineMissed);
+    w.kv("jobs_completed", out.jobsCompleted);
+    w.kv("p50_ms", pctMs(lat, 0.5));
+    w.kv("p99_ms", pctMs(lat, 0.99));
+    w.kv("slo_ms", slo_ms);
+    w.kv("slo_miss", slo_miss);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    opt.jsonPath = bench::jsonPathFromArgs(argc, argv);
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--socket")
+            opt.socketPath = next();
+        else if (a == "--kernel")
+            opt.kernel = next();
+        else if (a == "--seconds")
+            opt.seconds = std::atof(next());
+        else if (a == "--interactive-rps")
+            opt.interactiveRps = std::atof(next());
+        else if (a == "--bulk-rps")
+            opt.bulkRps = std::atof(next());
+        else if (a == "--bulk-chunk")
+            opt.bulkChunk = std::max(1, std::atoi(next()));
+        else if (a == "--deadline-ms")
+            opt.deadlineMs = std::atof(next());
+        else if (a == "--tight-deadline-frac")
+            opt.tightDeadlineFrac = std::atof(next());
+        else if (a == "--slo-ms")
+            opt.sloMs = std::atof(next());
+        else if (a == "--seed")
+            opt.seed = static_cast<uint64_t>(std::atoll(next()));
+        else if (a == "--min-len")
+            opt.minLen = std::max(1, std::atoi(next()));
+        else if (a == "--max-len")
+            opt.maxLen = std::max(1, std::atoi(next()));
+        else if (a == "--tenants")
+            opt.tenants = std::max(1, std::atoi(next()));
+        else if (a == "--shutdown")
+            opt.shutdown = true;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (opt.socketPath.empty()) {
+        usage();
+        return 2;
+    }
+    opt.maxLen = std::max(opt.maxLen, opt.minLen);
+
+    serve::Fd conn = serve::unixConnect(opt.socketPath);
+    if (!conn.valid()) {
+        std::fprintf(stderr, "loadgen: cannot connect to %s\n",
+                     opt.socketPath.c_str());
+        return 1;
+    }
+
+    // Handshake: learn the alphabet (and verify the kernel).
+    uint64_t next_rid = 1;
+    if (!serve::writeFrame(conn.get(), serve::MsgType::Hello, next_rid++,
+                           serve::encodeHello(opt.kernel))) {
+        std::fprintf(stderr, "loadgen: Hello write failed\n");
+        return 1;
+    }
+    serve::Frame frame;
+    std::string err;
+    if (!serve::readFrame(conn.get(), frame, &err) ||
+        frame.type() != serve::MsgType::HelloOk) {
+        std::fprintf(stderr, "loadgen: handshake failed%s%s\n",
+                     err.empty() ? "" : ": ", err.c_str());
+        return 1;
+    }
+    serve::ServerInfo info;
+    try {
+        info = serve::decodeHelloOk(frame);
+    } catch (const serve::ProtocolError &e) {
+        std::fprintf(stderr, "loadgen: bad HelloOk: %s\n", e.what());
+        return 1;
+    }
+    const uint32_t symbols = std::max(1u, info.alphabetSymbols);
+    const int max_len = std::min<int>(
+        opt.maxLen, static_cast<int>(std::min(info.maxQueryLength,
+                                              info.maxReferenceLength)));
+    const int min_len = std::min(opt.minLen, max_len);
+
+    SharedState st;
+    std::thread receiver([&] { receiverLoop(conn.get(), st); });
+
+    // Sender: merged two-class Poisson schedule, open loop.
+    seq::Rng rng(opt.seed);
+    const Clock::time_point start = Clock::now();
+    const Clock::time_point end =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(opt.seconds));
+    auto next_at = [&](double gap_s, Clock::time_point from) {
+        return from + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(gap_s));
+    };
+    Clock::time_point int_at =
+        next_at(expGap(rng, opt.interactiveRps), start);
+    Clock::time_point bulk_at = next_at(expGap(rng, opt.bulkRps), start);
+    bool transport_ok = true;
+
+    while (transport_ok) {
+        const bool send_interactive = int_at <= bulk_at;
+        const Clock::time_point at = send_interactive ? int_at : bulk_at;
+        if (at >= end)
+            break;
+        std::this_thread::sleep_until(at);
+
+        serve::AlignRequest req;
+        PendingRequest rec;
+        rec.interactive = send_interactive;
+        if (send_interactive) {
+            req.trafficClass = serve::TrafficClass::Interactive;
+            rec.tightDeadline = rng.chance(opt.tightDeadlineFrac);
+            // The tight budget is one microsecond: no queue state makes
+            // that meetable, so admission must reject at submit.
+            req.deadlineMicros =
+                rec.tightDeadline
+                    ? 1
+                    : static_cast<uint64_t>(opt.deadlineMs * 1e3);
+            req.tenant = "int-" + std::to_string(rng.below(
+                                      static_cast<uint64_t>(opt.tenants)));
+            req.jobs.push_back(
+                {randomCodes(rng, min_len, max_len, symbols),
+                 randomCodes(rng, min_len, max_len, symbols)});
+            int_at = next_at(expGap(rng, opt.interactiveRps), int_at);
+        } else {
+            req.trafficClass = serve::TrafficClass::Bulk;
+            req.deadlineMicros = 0;
+            req.tenant = "bulk-" + std::to_string(rng.below(
+                                       static_cast<uint64_t>(opt.tenants)));
+            for (int j = 0; j < opt.bulkChunk; j++) {
+                req.jobs.push_back(
+                    {randomCodes(rng, min_len, max_len, symbols),
+                     randomCodes(rng, min_len, max_len, symbols)});
+            }
+            bulk_at = next_at(expGap(rng, opt.bulkRps), bulk_at);
+        }
+
+        const uint64_t rid = next_rid++;
+        {
+            std::lock_guard<std::mutex> lk(st.mutex);
+            if (st.senderDone) // receiver saw the connection die
+                break;
+            rec.sent = Clock::now();
+            st.pending.emplace(rid, rec);
+            ClassOutcome &out =
+                send_interactive ? st.interactive : st.bulk;
+            out.sent++;
+        }
+        if (!serve::writeFrame(conn.get(), serve::MsgType::Align, rid,
+                               serve::encodeAlignRequest(req))) {
+            std::lock_guard<std::mutex> lk(st.mutex);
+            st.pending.erase(rid);
+            st.protocolErrors++;
+            transport_ok = false;
+        }
+    }
+
+    // Wait for every outstanding response, then fetch the server's
+    // Stats snapshot; the receiver consumes the StatsOk and exits.
+    {
+        std::unique_lock<std::mutex> lk(st.mutex);
+        st.cv.wait(lk, [&] { return st.pending.empty(); });
+        st.senderDone = true;
+        st.statsExpected = transport_ok;
+        st.cv.notify_all();
+    }
+    if (transport_ok &&
+        !serve::writeFrame(conn.get(), serve::MsgType::Stats, next_rid++,
+                           {})) {
+        std::lock_guard<std::mutex> lk(st.mutex);
+        st.statsExpected = false;
+        st.protocolErrors++;
+        transport_ok = false;
+    }
+    receiver.join();
+    const bool have_server_stats = st.statsValid;
+    const serve::ServeStats &server = st.server;
+
+    if (opt.shutdown && transport_ok) {
+        if (!serve::writeFrame(conn.get(), serve::MsgType::Shutdown,
+                               next_rid, {}) ||
+            !serve::readFrame(conn.get(), frame, &err) ||
+            frame.type() != serve::MsgType::ShutdownOk) {
+            std::fprintf(stderr, "loadgen: shutdown handshake failed\n");
+            st.protocolErrors++;
+        }
+    }
+
+    // Report. The receiver is joined: no lock needed anymore.
+    const double wall = std::chrono::duration<double>(
+                            Clock::now() - start)
+                            .count();
+    std::vector<double> int_lat = st.interactive.latencyMs;
+    std::vector<double> bulk_lat = st.bulk.latencyMs;
+    std::printf(
+        "# loadgen: %.1f s wall, kernel %s, %llu protocol error(s)\n",
+        wall, info.kernel.c_str(),
+        (unsigned long long)st.protocolErrors);
+    std::printf("#   interactive: %llu sent, %llu completed, %llu "
+                "admission-rejected (%llu tight), p50 %.2f ms, p99 "
+                "%.2f ms\n",
+                (unsigned long long)st.interactive.sent,
+                (unsigned long long)st.interactive.completed,
+                (unsigned long long)st.interactive.rejectedDeadline,
+                (unsigned long long)st.tightRejected,
+                pctMs(int_lat, 0.5), pctMs(int_lat, 0.99));
+    std::printf("#   bulk:        %llu sent, %llu completed (%llu "
+                "jobs), p50 %.2f ms, p99 %.2f ms\n",
+                (unsigned long long)st.bulk.sent,
+                (unsigned long long)st.bulk.completed,
+                (unsigned long long)st.bulk.jobsCompleted,
+                pctMs(bulk_lat, 0.5), pctMs(bulk_lat, 0.99));
+    if (have_server_stats) {
+        std::printf("#   server: %llu accepted, %llu rejected "
+                    "(%llu deadline), %llu jobs, %llu deadline "
+                    "miss(es), accounting %s\n",
+                    (unsigned long long)server.acceptedRequests,
+                    (unsigned long long)server.rejectedRequests(),
+                    (unsigned long long)server.rejectedDeadline,
+                    (unsigned long long)server.completedJobs,
+                    (unsigned long long)server.deadlineMissJobs,
+                    server.accountingClosed ? "closed" : "NOT CLOSED");
+    }
+
+    if (!opt.jsonPath.empty()) {
+        std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "loadgen: cannot write %s\n",
+                         opt.jsonPath.c_str());
+            return 1;
+        }
+        bench::JsonWriter w(f);
+        w.beginObject();
+        w.kv("bench", "serve");
+        w.kv("kernel", info.kernel);
+        w.kv("wall_seconds", wall);
+        w.kv("protocol_errors", st.protocolErrors);
+        writeClassJson(w, "interactive", st.interactive, int_lat,
+                       opt.sloMs);
+        writeClassJson(w, "bulk", st.bulk, bulk_lat,
+                       opt.sloMs * 20); // bulk bound: aging, not SLO
+        w.key("admission");
+        w.beginObject();
+        w.kv("tight_deadline_sent",
+             st.tightRejected + st.tightCompleted);
+        w.kv("tight_deadline_rejected", st.tightRejected);
+        w.kv("rejected_at_submit",
+             st.interactive.rejectedDeadline +
+                 st.bulk.rejectedDeadline);
+        w.kv("admitted_deadline_misses",
+             st.interactive.deadlineMissed + st.bulk.deadlineMissed);
+        w.endObject();
+        if (have_server_stats) {
+            w.key("server");
+            w.beginObject();
+            w.kv("accepted_requests", server.acceptedRequests);
+            w.kv("rejected_deadline", server.rejectedDeadline);
+            w.kv("rejected_quota", server.rejectedQuota);
+            w.kv("rejected_undispatchable",
+                 server.rejectedUndispatchable);
+            w.kv("rejected_malformed", server.rejectedMalformed);
+            w.kv("completed_jobs", server.completedJobs);
+            w.kv("cancelled_jobs", server.cancelledJobs);
+            w.kv("deadline_miss_jobs", server.deadlineMissJobs);
+            w.kv("total_cycles", server.totalCycles);
+            w.kv("makespan_cycles", server.makespanCycles);
+            w.kv("aligns_per_sec", server.alignsPerSec);
+            w.kv("accounting_closed", server.accountingClosed);
+            w.key("backends");
+            w.beginArray();
+            for (const auto &b : server.backends) {
+                w.beginObject();
+                w.kv("name", b.name);
+                w.kv("clock_mhz", b.clockMhz);
+                w.kv("busy_cycles", b.busyCycles);
+                w.kv("total_cycles", b.totalCycles);
+                w.kv("alignments", b.alignments);
+                w.kv("cancelled", b.cancelled);
+                w.kv("deadline_misses", b.deadlineMisses);
+                w.kv("seconds", b.seconds);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+
+    const bool answered_everything =
+        st.interactive.sent ==
+            st.interactive.completed + st.interactive.rejectedDeadline +
+                st.interactive.rejectedQuota +
+                st.interactive.rejectedOther &&
+        st.bulk.sent == st.bulk.completed + st.bulk.rejectedDeadline +
+                            st.bulk.rejectedQuota + st.bulk.rejectedOther;
+    return st.protocolErrors == 0 && answered_everything ? 0 : 1;
+}
