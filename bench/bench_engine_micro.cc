@@ -20,6 +20,7 @@
 #include "seq/read_simulator.hh"
 #include "seq/squiggle.hh"
 #include "systolic/engine.hh"
+#include "systolic/isa_tier.hh"
 #include "systolic/lane_engine.hh"
 
 using namespace dphls;
@@ -315,6 +316,71 @@ BM_LaneEngine8xLocalAffine(benchmark::State &state)
 }
 BENCHMARK(BM_LaneEngine8xLocalAffine);
 
+/** Lane engine at a pinned ISA tier (Arg = IsaTier enum value). */
+static void
+BM_LaneIsaTier(benchmark::State &state)
+{
+    const auto tier = static_cast<sim::IsaTier>(state.range(0));
+    if (!sim::isaTierSupported(tier)) {
+        state.SkipWithError("tier unsupported on this host");
+        return;
+    }
+    using K = kernels::LocalAffine;
+    std::vector<seq::DnaSequence> qs, rs;
+    for (uint64_t i = 0; i < 8; i++) {
+        qs.push_back(dnaOf(256, 31 + 2 * i));
+        rs.push_back(dnaOf(256, 32 + 2 * i));
+    }
+    sim::EngineConfig cfg;
+    cfg.isaTier = tier;
+    sim::LaneAligner<K> lanes(cfg);
+    std::vector<sim::LaneAligner<K>::LanePair> group;
+    for (size_t i = 0; i < 8; i++)
+        group.push_back({&qs[i], &rs[i]});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lanes.alignLanes(group));
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        8.0 * 256.0 * 256.0,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LaneIsaTier)
+    ->Arg(static_cast<int>(sim::IsaTier::Scalar))
+    ->Arg(static_cast<int>(sim::IsaTier::Sse2))
+    ->Arg(static_cast<int>(sim::IsaTier::Avx2))
+    ->Arg(static_cast<int>(sim::IsaTier::Avx512));
+
+/** One ~100kb banded pair per path (Arg: 0 wave, 1 fast, 2 diag). */
+static void
+BM_LongBandedPairPath(benchmark::State &state)
+{
+    const sim::EnginePath path =
+        state.range(0) == 0   ? sim::EnginePath::Wavefront
+        : state.range(0) == 1 ? sim::EnginePath::Fast
+                              : sim::EnginePath::DiagSimd;
+    constexpr int len = 100000, band = 64;
+    seq::Rng rng(77);
+    auto q = seq::randomDna(len, rng);
+    auto r = seq::mutateDna(q, 0.08, 0.04, rng);
+    r.chars.resize(static_cast<size_t>(len));
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.bandWidth = band;
+    cfg.maxQueryLength = len;
+    cfg.maxReferenceLength = len;
+    cfg.path = path;
+    sim::SystolicAligner<kernels::BandedGlobalLinear> engine(cfg);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        cycles = engine.lastTotalCycles();
+    }
+    state.counters["device_cycles"] = static_cast<double>(cycles);
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        static_cast<double>(len) * (2.0 * band + 1.0),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LongBandedPairPath)->Arg(0)->Arg(1)->Arg(2);
+
 namespace {
 
 /** Wall-clock cells/sec of one path on 1k x 1k local-affine DNA. */
@@ -342,9 +408,12 @@ measurePathCellsPerSec(sim::EnginePath path, uint64_t *device_cycles)
     return 1024.0 * 1024.0 * iters / elapsed;
 }
 
-/** Wall-clock cells/sec of the SIMD lane engine on the same workload. */
+/**
+ * Wall-clock cells/sec of the SIMD lane engine on the same workload,
+ * pinned to @p tier (Auto = the host's widest supported tier).
+ */
 double
-measureLaneCellsPerSec(uint64_t *device_cycles)
+measureLaneCellsPerSec(sim::IsaTier tier, uint64_t *device_cycles)
 {
     using K = kernels::LocalAffine;
     std::vector<seq::DnaSequence> qs, rs;
@@ -352,7 +421,9 @@ measureLaneCellsPerSec(uint64_t *device_cycles)
         qs.push_back(dnaOf(1024, 21 + 2 * i));
         rs.push_back(dnaOf(1024, 22 + 2 * i));
     }
-    sim::LaneAligner<K> lanes;
+    sim::EngineConfig lcfg;
+    lcfg.isaTier = tier;
+    sim::LaneAligner<K> lanes(lcfg);
     std::vector<sim::LaneAligner<K>::LanePair> group;
     for (size_t i = 0; i < 8; i++)
         group.push_back({&qs[i], &rs[i]});
@@ -369,6 +440,45 @@ measureLaneCellsPerSec(uint64_t *device_cycles)
     } while (elapsed < 0.5);
     *device_cycles = lanes.laneTotalCycles(0);
     return 8.0 * 1024.0 * 1024.0 * iters / elapsed;
+}
+
+/**
+ * Wall-clock band cells/sec of one execution path on a single long
+ * banded-global pair — the intra-pair shape: one alignment in flight,
+ * no sibling pairs to fill inter-pair lanes, so the anti-diagonal path
+ * (EnginePath::DiagSimd) is the only SIMD on offer.
+ */
+double
+measureLongBandedPair(sim::EnginePath path, int len, int band,
+                      uint64_t *device_cycles)
+{
+    using K = kernels::BandedGlobalLinear;
+    seq::Rng rng(77);
+    auto q = seq::randomDna(len, rng);
+    auto r = seq::mutateDna(q, 0.08, 0.04, rng);
+    r.chars.resize(static_cast<size_t>(len));
+    sim::EngineConfig cfg;
+    cfg.numPe = 32;
+    cfg.bandWidth = band;
+    cfg.maxQueryLength = len;
+    cfg.maxReferenceLength = len;
+    cfg.path = path;
+    sim::SystolicAligner<K> engine(cfg);
+
+    engine.align(q, r); // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    int iters = 0;
+    double elapsed = 0;
+    do {
+        benchmark::DoNotOptimize(engine.align(q, r));
+        iters++;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0).count();
+    } while (elapsed < 0.3);
+    *device_cycles = engine.lastTotalCycles();
+    const double band_cells =
+        static_cast<double>(len) * (2.0 * band + 1.0);
+    return band_cells * iters / elapsed;
 }
 
 /**
@@ -575,7 +685,8 @@ writeJson(const std::string &path)
         measurePathCellsPerSec(sim::EnginePath::Wavefront, &wave_cycles);
     const double fast =
         measurePathCellsPerSec(sim::EnginePath::Fast, &fast_cycles);
-    const double lane = measureLaneCellsPerSec(&lane_cycles);
+    const double lane =
+        measureLaneCellsPerSec(sim::IsaTier::Auto, &lane_cycles);
 
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -608,6 +719,73 @@ writeJson(const std::string &path)
     w.kv("lane_speedup", lane / wave);
     w.kv("device_cycles_identical", wave_cycles == fast_cycles &&
                                         wave_cycles == lane_cycles);
+
+    // Per-tier lane throughput: the same 8 x 1k affine lane groups,
+    // dispatched through every ISA tier this host supports plus the
+    // forced-scalar fallback. The active tier's rate is the one the
+    // pipeline actually runs at, so bench_diff gates it (hard) when
+    // the previous artifact resolved the same tier.
+    const sim::IsaTier active_tier =
+        sim::resolveIsaTier(sim::IsaTier::Auto);
+    double active_rate = 0, sse2_rate = 0, avx2_rate = 0;
+    w.key("isa_tiers");
+    w.beginObject();
+    w.kv("active", sim::isaTierName(active_tier));
+    w.kv("workload",
+         "8 x local-affine DNA 1024x1024 lane groups, traceback on");
+    w.key("tiers");
+    w.beginObject();
+    for (const auto tier : {sim::IsaTier::Scalar, sim::IsaTier::Sse2,
+                            sim::IsaTier::Avx2, sim::IsaTier::Avx512}) {
+        if (!sim::isaTierSupported(tier))
+            continue;
+        uint64_t tier_cycles = 0;
+        const double rate = measureLaneCellsPerSec(tier, &tier_cycles);
+        w.key(sim::isaTierName(tier));
+        w.beginObject();
+        w.kv("lane_cells_per_sec", rate);
+        w.kv("device_cycles", tier_cycles);
+        w.kv("device_cycles_identical", tier_cycles == wave_cycles);
+        w.endObject();
+        if (tier == active_tier)
+            active_rate = rate;
+        if (tier == sim::IsaTier::Sse2)
+            sse2_rate = rate;
+        if (tier == sim::IsaTier::Avx2)
+            avx2_rate = rate;
+    }
+    w.endObject();
+    w.kv("active_lane_cells_per_sec", active_rate);
+    if (sse2_rate > 0 && avx2_rate > 0)
+        w.kv("avx2_vs_sse2_speedup", avx2_rate / sse2_rate);
+    w.endObject();
+
+    // Intra-pair anti-diagonal path on one ~100kb banded-global pair:
+    // the single-long-pair shape where inter-pair lanes are empty.
+    // Device cycles are path-independent; only host band cells/sec
+    // moves.
+    constexpr int kLongLen = 100000, kLongBand = 64;
+    uint64_t lp_wave = 0, lp_fast = 0, lp_diag = 0;
+    const double lp_wave_rate =
+        measureLongBandedPair(sim::EnginePath::Wavefront, kLongLen,
+                              kLongBand, &lp_wave);
+    const double lp_fast_rate = measureLongBandedPair(
+        sim::EnginePath::Fast, kLongLen, kLongBand, &lp_fast);
+    const double lp_diag_rate = measureLongBandedPair(
+        sim::EnginePath::DiagSimd, kLongLen, kLongBand, &lp_diag);
+    w.key("intra_pair");
+    w.beginObject();
+    w.kv("workload",
+         "banded-global DNA 100000x100000, band 64, traceback on, "
+         "single pair");
+    w.kv("wavefront_cells_per_sec", lp_wave_rate);
+    w.kv("fast_cells_per_sec", lp_fast_rate);
+    w.kv("diag_simd_cells_per_sec", lp_diag_rate);
+    w.kv("diag_vs_wavefront_speedup", lp_diag_rate / lp_wave_rate);
+    w.kv("diag_vs_fast_speedup", lp_diag_rate / lp_fast_rate);
+    w.kv("device_cycles_identical",
+         lp_wave == lp_fast && lp_wave == lp_diag);
+    w.endObject();
 
     // Length-aware lane grouping on a mixed-length batch (the
     // StreamPipeline's per-shard (qlen, rlen) sort): useful cells/sec
@@ -716,6 +894,16 @@ writeJson(const std::string &path)
                 wave, fast, fast / wave, lane, lane / wave,
                 wave_cycles == fast_cycles && wave_cycles == lane_cycles
                     ? "yes" : "NO");
+    std::printf("isa tiers: active %s @ %.3g lane cells/s, avx2/sse2 "
+                "%.2fx\n",
+                sim::isaTierName(active_tier), active_rate,
+                sse2_rate > 0 ? avx2_rate / sse2_rate : 0.0);
+    std::printf("intra-pair 100kb banded: wavefront %.3g, fast %.3g, "
+                "diag-simd %.3g band cells/s (%.2fx vs wavefront), "
+                "cycles identical: %s\n",
+                lp_wave_rate, lp_fast_rate, lp_diag_rate,
+                lp_diag_rate / lp_wave_rate,
+                lp_wave == lp_fast && lp_wave == lp_diag ? "yes" : "NO");
     std::printf("mixed-length lanes: unsorted %.3g, sorted %.3g useful "
                 "cells/s (%.2fx), cycles identical: %s -> %s\n",
                 unsorted_rate, sorted_rate, sorted_rate / unsorted_rate,

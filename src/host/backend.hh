@@ -60,6 +60,7 @@
 #include "host/scheduler.hh"
 #include "reference/matrix_aligner.hh"
 #include "systolic/engine.hh"
+#include "systolic/isa_tier.hh"
 #include "systolic/lane_engine.hh"
 
 namespace dphls::host {
@@ -382,12 +383,14 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
                        int nb, uint64_t host_overhead_cycles,
                        double fmax_mhz,
                        ShardedResultCache<Result> *cache, int lane_width,
-                       bool sort_by_length)
+                       bool sort_by_length, bool intra_pair_simd = false,
+                       int intra_pair_min_len = 1024)
         : Base(ecfg, params, nb, host_overhead_cycles, fmax_mhz, cache),
-          _lanes(ecfg, params),
+          _lanes(ecfg, params), _diagEngine(diagConfig(ecfg), params),
           _width(std::clamp(lane_width, 1,
                             sim::LaneAligner<K>::maxLanes)),
-          _sortByLength(sort_by_length)
+          _sortByLength(sort_by_length), _intraPairSimd(intra_pair_simd),
+          _intraPairMinLen(intra_pair_min_len)
     {}
 
   protected:
@@ -439,10 +442,17 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
             } else {
                 const auto &job =
                     jobs[static_cast<size_t>(group[0])];
-                Result res =
-                    this->_engine.align(job.query, job.reference);
+                // A group of one means no sibling pairs fill the SIMD
+                // lanes; a long enough pair instead vectorizes along
+                // its own anti-diagonals (results and cycle stats are
+                // bit-identical across paths, so routing is free).
+                const bool intra = _intraPairSimd &&
+                    std::min(job.query.length(),
+                             job.reference.length()) >= _intraPairMinLen;
+                auto &engine = intra ? _diagEngine : this->_engine;
+                Result res = engine.align(job.query, job.reference);
                 this->finishJob(group_keys[0], group[0], std::move(res),
-                                this->_engine.lastTotalCycles(), results,
+                                engine.lastTotalCycles(), results,
                                 cycles);
             }
             group.clear();
@@ -467,9 +477,20 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
     }
 
   private:
+    static sim::EngineConfig
+    diagConfig(sim::EngineConfig ecfg)
+    {
+        ecfg.path = sim::EnginePath::DiagSimd;
+        ecfg.trace = nullptr; // DiagSimd has no schedule observability
+        return ecfg;
+    }
+
     sim::LaneAligner<K> _lanes;
+    sim::SystolicAligner<K> _diagEngine;
     int _width;
     bool _sortByLength;
+    bool _intraPairSimd;
+    int _intraPairMinLen;
 };
 
 /**
@@ -523,9 +544,14 @@ class CpuBaselineBackend : public AlignBackend<K>
           _cpuMhz(cpu_mhz), _threads(std::max(1, threads)),
           _skipTraceback(skip_traceback),
           _modeledCellsPerSec(modeled_cells_per_sec),
+          // Seed the throughput estimate from the host's detected ISA
+          // tier (isa_tier.hh) instead of a fixed constant: the first
+          // routing decisions on an AVX-512 host shouldn't assume an
+          // SSE2-era rate. Measurements take over after the first job.
           _ewmaCellsPerSec(modeled_cells_per_sec > 0
                                ? modeled_cells_per_sec
-                               : 2e8)
+                               : sim::isaTierSeedCellsPerSec(
+                                     sim::detectIsaTier()))
     {}
 
     const char *name() const override { return "cpu"; }

@@ -198,6 +198,25 @@ struct BatchConfig
      */
     bool sortLanesByLength = true;
     /**
+     * Host SIMD ISA tier of the lane engines (Auto = widest the CPU
+     * supports, capped by the DPHLS_ISA_TIER env var). Dispatch-time
+     * only: results and accounting are bit-identical across tiers, so
+     * the choice never splits the result cache. An explicitly requested
+     * tier the host cannot run makes the pipeline constructor throw.
+     */
+    sim::IsaTier isaTier = sim::IsaTier::Auto;
+    /**
+     * Vectorize single leftover jobs along their own anti-diagonals
+     * (EnginePath::DiagSimd) when a lane group of one has both lengths
+     * >= intraPairSimdMinLen: at low batch occupancy there are no
+     * sibling pairs to fill the SIMD lanes, so long pairs recover the
+     * throughput intra-pair instead. Results and cycle accounting are
+     * bit-identical either way. Ignored when laneWidth == 1.
+     */
+    bool intraPairSimd = false;
+    /** Minimum min(qlen, rlen) for the intra-pair SIMD path. */
+    int intraPairSimdMinLen = 1024;
+    /**
      * Route jobs the device cannot take (qlen/rlen over the configured
      * maxima) or should not take (both dimensions under cpuFloorLen) to
      * the CPU baseline backend. Off by default: without it, oversized
@@ -263,6 +282,9 @@ struct BackendStats
 /** Aggregate outcome of one ticket / drained epoch. */
 struct BatchStats
 {
+    /** Resolved host SIMD tier the device channels dispatched to
+     *  (isaTierName: "scalar", "sse2", "avx2", "avx512"). */
+    const char *isaTier = "";
     std::vector<ChannelStats> channels; //!< device channels
     ChannelStats cpu;                   //!< CPU-fallback backend totals
     ChannelStats gpu;                   //!< modeled GPU backend totals
@@ -704,6 +726,10 @@ class StreamPipeline
         ecfg.maxReferenceLength = _cfg.maxReferenceLength;
         ecfg.skipTraceback = _cfg.skipTraceback;
         ecfg.cycles = _cfg.cycles;
+        ecfg.isaTier = _cfg.isaTier;
+        // Resolve now so an unsupported explicit tier fails at
+        // construction, not on the first aligned batch.
+        _resolvedTier = sim::resolveIsaTier(_cfg.isaTier);
         _channels.reserve(static_cast<size_t>(_cfg.nk));
         for (int c = 0; c < _cfg.nk; c++) {
             if (_cfg.laneWidth > 1) {
@@ -711,7 +737,8 @@ class StreamPipeline
                     std::make_unique<LaneChannelBackend<K>>(
                         ecfg, _params, _cfg.nb, _cfg.hostOverheadCycles,
                         _cfg.fmaxMhz, &_cache, _cfg.laneWidth,
-                        _cfg.sortLanesByLength));
+                        _cfg.sortLanesByLength, _cfg.intraPairSimd,
+                        _cfg.intraPairSimdMinLen));
             } else {
                 _channels.push_back(
                     std::make_unique<DeviceChannelBackend<K>>(
@@ -753,6 +780,9 @@ class StreamPipeline
     const BatchConfig &config() const { return _cfg; }
     int channelCount() const { return _cfg.nk; }
     int threadCount() const { return _pool.threadCount(); }
+
+    /** Resolved host SIMD tier the device channels dispatch to. */
+    sim::IsaTier activeIsaTier() const { return _resolvedTier; }
 
     /** Result-cache hit/miss/eviction counters (lifetime totals). */
     CacheCounters cacheCounters() const { return _cache.counters(); }
@@ -875,6 +905,7 @@ class StreamPipeline
             job_cycles->clear();
 
         BatchStats agg;
+        agg.isaTier = sim::isaTierName(_resolvedTier);
         agg.channels.assign(static_cast<size_t>(_cfg.nk), ChannelStats{});
         for (const auto &t : drained) {
             t->wait();
@@ -1199,6 +1230,7 @@ class StreamPipeline
         ticket->_results.resize(static_cast<size_t>(n));
         ticket->_cycles.assign(static_cast<size_t>(n), 0);
         ticket->_completed.assign(static_cast<size_t>(n), 0);
+        ticket->_stats.isaTier = sim::isaTierName(_resolvedTier);
         ticket->_stats.channels.assign(static_cast<size_t>(_cfg.nk),
                                        ChannelStats{});
 
@@ -1373,6 +1405,7 @@ class StreamPipeline
 
     BatchConfig _cfg;
     Params _params;
+    sim::IsaTier _resolvedTier = sim::IsaTier::Scalar;
     ShardedResultCache<Result> _cache;
     std::mutex _outstandingMutex;
     std::vector<Ticket> _outstanding; //!< submitted, not yet retired

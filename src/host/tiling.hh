@@ -16,6 +16,7 @@
 #define DPHLS_HOST_TILING_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/alignment.hh"
@@ -29,6 +30,15 @@ struct TilingConfig
 {
     int tileSize = 512;
     int tileOverlap = 128;
+    /**
+     * Run each tile through the intra-pair anti-diagonal SIMD path
+     * (EnginePath::DiagSimd): a tiled long read is one alignment at a
+     * time, so there are no sibling pairs for inter-pair lanes and the
+     * tile's own anti-diagonal parallelism is the only SIMD available.
+     * Results and cycle accounting are bit-identical to the given
+     * engine's path (kernels without a sweep fall back silently).
+     */
+    bool intraPairSimd = false;
 };
 
 /** Outcome of a tiled long alignment. */
@@ -61,6 +71,17 @@ tiledAlign(sim::SystolicAligner<K> &engine,
     static_assert(K::alignKind == core::AlignmentKind::Global,
                   "tiling drives a global-strategy kernel per tile");
     TiledAlignment out;
+    // Intra-pair SIMD: clone the engine's configuration onto the
+    // anti-diagonal path and run every tile through it.
+    std::unique_ptr<sim::SystolicAligner<K>> diag;
+    if (cfg.intraPairSimd) {
+        sim::EngineConfig ecfg = engine.config();
+        ecfg.path = sim::EnginePath::DiagSimd;
+        ecfg.trace = nullptr; // DiagSimd has no schedule observability
+        diag = std::make_unique<sim::SystolicAligner<K>>(ecfg,
+                                                         engine.params());
+    }
+    sim::SystolicAligner<K> &eng = diag ? *diag : engine;
     const int qlen = query.length();
     const int rlen = reference.length();
     int qi = 0;
@@ -75,8 +96,8 @@ tiledAlign(sim::SystolicAligner<K> &engine,
         rs.chars.assign(reference.chars.begin() + rj,
                         reference.chars.begin() + rj + tr);
 
-        const auto res = engine.align(qs, rs);
-        out.totalCycles += engine.lastTotalCycles();
+        const auto res = eng.align(qs, rs);
+        out.totalCycles += eng.lastTotalCycles();
         out.tiles++;
 
         const bool last = tq == qlen - qi && tr == rlen - rj;

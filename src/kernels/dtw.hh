@@ -15,6 +15,7 @@
 #include "core/kernel_concept.hh"
 #include "hls/ap_fixed.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -88,6 +89,20 @@ struct Dtw
         }
         return {{best + d}, core::TbPtr{ptr}};
     }
+
+#ifdef DPHLS_VEC
+    /**
+     * Vectorized lane cell over two character planes (raw real/imag
+     * parts); mirrors peFunc per lane (detail::simd::dtwLaneCell).
+     */
+    template <typename V>
+    DPHLS_SIMD_INLINE static void
+    laneCellPlanes(const V *up, const V *left, const V *diag, const V *qry,
+                   const V *ref, const Params &, V *score, V &ptr)
+    {
+        detail::simd::dtwLaneCell(up, left, diag, qry, ref, score, ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = 0;
 

@@ -106,7 +106,7 @@ struct GlobalTwoPiece
 #ifdef DPHLS_VEC
     /** Vectorized lane cell (lane_engine.hh); mirrors peFunc per lane. */
     template <typename V>
-    static void
+    DPHLS_SIMD_INLINE static void
     laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
              const Params &p, V *score, V &ptr)
     {

@@ -14,6 +14,7 @@
 
 #include "core/kernel_concept.hh"
 #include "kernels/detail.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -117,6 +118,22 @@ struct ProfileAlignment
         }
         return {{best}, core::TbPtr{ptr}};
     }
+
+#ifdef DPHLS_VEC
+    /**
+     * Vectorized lane cell over five character planes (the frequency
+     * tuple); the sum-of-pairs products vectorize fully
+     * (detail::simd::profileLaneCell).
+     */
+    template <typename V>
+    DPHLS_SIMD_INLINE static void
+    laneCellPlanes(const V *up, const V *left, const V *diag, const V *qry,
+                   const V *ref, const Params &p, V *score, V &ptr)
+    {
+        detail::simd::profileLaneCell(up, left, diag, qry, ref, p, score,
+                                      ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = 0;
 

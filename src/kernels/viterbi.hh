@@ -18,6 +18,7 @@
 
 #include "core/kernel_concept.hh"
 #include "hls/ap_fixed.hh"
+#include "kernels/detail_simd.hh"
 #include "seq/alphabet.hh"
 
 namespace dphls::kernels {
@@ -139,6 +140,22 @@ struct Viterbi
 
         return {{vm, vi, vj}, core::TbPtr{}};
     }
+
+#ifdef DPHLS_VEC
+    /**
+     * Vectorized lane cell (lane_engine.hh) over raw ApFixed lanes;
+     * mirrors peFunc per lane (see detail::simd::viterbiLaneCell for
+     * why int32 lane arithmetic is exact here).
+     */
+    template <typename V>
+    DPHLS_SIMD_INLINE static void
+    laneCell(const V *up, const V *left, const V *diag, V qry, V ref,
+             const Params &p, V *score, V &ptr)
+    {
+        detail::simd::viterbiLaneCell(up, left, diag, qry, ref, p, score,
+                                      ptr);
+    }
+#endif
 
     static constexpr uint8_t tbStartState = 0;
 

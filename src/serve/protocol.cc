@@ -353,6 +353,7 @@ encodeStats(const ServeStats &stats)
     w.u64(stats.totalCycles);
     w.u64(stats.makespanCycles);
     w.f64(stats.alignsPerSec);
+    w.shortString(stats.isaTier);
     w.u8(stats.accountingClosed ? 1 : 0);
     w.u32(static_cast<uint32_t>(stats.backends.size()));
     for (const WireBackendStats &b : stats.backends) {
@@ -384,6 +385,7 @@ decodeStats(const Frame &frame)
     stats.totalCycles = r.u64();
     stats.makespanCycles = r.u64();
     stats.alignsPerSec = r.f64();
+    stats.isaTier = r.shortString();
     stats.accountingClosed = r.u8() != 0;
     const uint32_t count = r.u32();
     if (count > kMaxBackends)

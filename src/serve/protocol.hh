@@ -241,6 +241,8 @@ struct ServeStats
     uint64_t totalCycles = 0;
     uint64_t makespanCycles = 0;
     double alignsPerSec = 0;
+    /** Active SIMD ISA tier of the serving pipeline (e.g. "avx2"). */
+    std::string isaTier;
     /** Per-backend sections sum to the totals (checked server-side). */
     bool accountingClosed = true;
     std::vector<WireBackendStats> backends;

@@ -35,6 +35,7 @@
 
 #include "host/stream_pipeline.hh"
 #include "serve/admission.hh"
+#include "systolic/isa_tier.hh"
 #include "serve/protocol.hh"
 #include "serve/quota.hh"
 
@@ -149,6 +150,7 @@ class AlignService
         s.totalCycles = epoch.totalCycles;
         s.makespanCycles = epoch.makespanCycles;
         s.alignsPerSec = epoch.alignsPerSec;
+        s.isaTier = sim::isaTierName(_pipeline.activeIsaTier());
         for (const auto &b : epoch.backends) {
             WireBackendStats wb;
             wb.name = b.name;

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Intra-pair anti-diagonal SIMD path of the systolic engine.
+ *
+ * The lane engine recovers SIMD throughput across *pairs*; at low batch
+ * occupancy (one long read against one long reference) there are no
+ * sibling pairs to fill the lanes. This path vectorizes *within* one
+ * alignment instead: all cells of an anti-diagonal are mutually
+ * independent, so W consecutive cells of diagonal d = i + j advance in
+ * lockstep, exactly the parallelism the systolic array itself exploits
+ * (one anti-diagonal per initiation interval, Fig. 2C of the paper).
+ *
+ * The hot loop is the tier-compiled `diagSweep` (lane_sweep_impl.hh),
+ * dispatched at runtime through the sweep registry like the lane
+ * engine's row sweep; this wrapper marshals one pair into the sweep's
+ * plane-major raw layout (reference stored reversed so both operands of
+ * a diagonal load contiguously), seeds the three rotating diagonal
+ * buffers, and finishes with the shared analytic cycle accounting and
+ * traceback walk — so results AND cycle statistics stay bit-identical
+ * to the wavefront reference path (enforced by tests/test_isa_tiers.cc).
+ *
+ * Kernels without a registered sweep, and IsaTier::Scalar, fall back to
+ * the row-major fast path: EnginePath::DiagSimd is a performance hint,
+ * never a behavior change.
+ */
+
+#ifndef DPHLS_SYSTOLIC_DIAG_PATH_HH
+#define DPHLS_SYSTOLIC_DIAG_PATH_HH
+
+#include <array>
+#include <vector>
+
+#include "systolic/engine_common.hh"
+#include "systolic/fast_path.hh"
+#include "systolic/lane_sweep.hh"
+
+namespace dphls::sim {
+
+/** Reusable buffers of the anti-diagonal path. */
+template <core::KernelSpec K>
+struct DiagWorkspace
+{
+    RawLaneBuf q32, rrev32;
+    RawLaneBuf rowInitRaw, colInitRaw;
+    /** Three rotating per-layer diagonal buffers (d-2, d-1, d). */
+    std::array<RawLaneBuf, K::nLayers> bufA, bufB, bufC;
+    std::vector<core::TbPtr> tb;
+    std::vector<int64_t> rowBase;
+};
+
+/**
+ * Align one pair on the anti-diagonal SIMD path; falls back to the
+ * row-major fast path when no sweep is registered for the kernel at the
+ * resolved tier.
+ */
+template <core::KernelSpec K>
+core::AlignResult<typename K::ScoreT>
+diagAlign(const EngineConfig &cfg, const typename K::Params &params,
+          const seq::Sequence<typename K::CharT> &query,
+          const seq::Sequence<typename K::CharT> &reference,
+          CycleStats &stats, DiagWorkspace<K> &ws, FastWorkspace<K> &fastWs)
+{
+    using ScoreT = typename K::ScoreT;
+    using CharT = typename K::CharT;
+    constexpr int nLayers = K::nLayers;
+
+    if constexpr (!laneSweepEnabled<K>) {
+        return fastAlign<K>(cfg, params, query, reference, stats, fastWs);
+    } else {
+        const IsaTier tier = resolveIsaTier(cfg.isaTier);
+        DiagSweepFn<K> fn = nullptr;
+        if (tier != IsaTier::Scalar) {
+            // Tier TUs register every width up to their native lane
+            // count, so the native width either hits or the tier has
+            // no sweep for this kernel at all.
+            switch (isaTierLanes(tier)) {
+            case 16: fn = lookupDiagSweep<K, 16>(tier); break;
+            case 8: fn = lookupDiagSweep<K, 8>(tier); break;
+            default: fn = lookupDiagSweep<K, 4>(tier); break;
+            }
+        }
+        if (fn == nullptr)
+            return fastAlign<K>(cfg, params, query, reference, stats,
+                                fastWs);
+
+        using CharTr = LaneCharTraits<CharT>;
+        constexpr int planes = CharTr::planes;
+        const int qlen = query.length();
+        const int rlen = reference.length();
+        const int band = cfg.bandWidth;
+        const auto worst = core::scoreSentinelWorst<ScoreT>(K::objective);
+        const int32_t worst_raw = LaneScoreTraits<ScoreT>::toRaw(worst);
+        const bool keep_tb = K::hasTraceback && !cfg.skipTraceback;
+
+        stats = CycleStats{};
+        accountLoadInit<K>(cfg, qlen, rlen, stats);
+        accountFill<K>(cfg, qlen, rlen, stats);
+
+        // Plane-major widened characters with zeroed slack so the tail
+        // chunk's overhanging vector loads stay in bounds. The
+        // reference is stored reversed: cell (i, d - i) reads
+        // ref[d - i - 1] == rrev[rlen - d + i], contiguous in i.
+        const size_t q_stride =
+            static_cast<size_t>(qlen) + kMaxSweepLanes;
+        const size_t r_stride =
+            static_cast<size_t>(rlen) + kMaxSweepLanes;
+        ws.q32.assign(q_stride * planes, 0);
+        ws.rrev32.assign(r_stride * planes, 0);
+        for (int i = 0; i < qlen; i++)
+            for (int pl = 0; pl < planes; pl++)
+                ws.q32[static_cast<size_t>(pl) * q_stride +
+                       static_cast<size_t>(i)] =
+                    CharTr::plane(query[i], pl);
+        for (int j = 0; j < rlen; j++)
+            for (int pl = 0; pl < planes; pl++)
+                ws.rrev32[static_cast<size_t>(pl) * r_stride +
+                          static_cast<size_t>(rlen - 1 - j)] =
+                    CharTr::plane(reference[j], pl);
+
+        // Raw boundary tables; colInit slot 0 carries the origin.
+        ws.rowInitRaw.assign(static_cast<size_t>(rlen + 1) * nLayers, 0);
+        ws.colInitRaw.assign(static_cast<size_t>(qlen + 1) * nLayers, 0);
+        for (int l = 0; l < nLayers; l++)
+            ws.colInitRaw[static_cast<size_t>(l)] =
+                LaneScoreTraits<ScoreT>::toRaw(K::originScore(l, params));
+        for (int j = 1; j <= rlen; j++)
+            for (int l = 0; l < nLayers; l++)
+                ws.rowInitRaw[static_cast<size_t>(j) * nLayers +
+                              static_cast<size_t>(l)] =
+                    LaneScoreTraits<ScoreT>::toRaw(
+                        K::initRowScore(j, l, params));
+        for (int i = 1; i <= qlen; i++)
+            for (int l = 0; l < nLayers; l++)
+                ws.colInitRaw[static_cast<size_t>(i) * nLayers +
+                              static_cast<size_t>(l)] =
+                    LaneScoreTraits<ScoreT>::toRaw(
+                        K::initColScore(i, l, params));
+
+        // Three rotating diagonal buffers, slot i of diagonal d holds
+        // cell (i, d - i); slack covers the tail chunk's overhang.
+        // Seed diagonals 0 (origin at slot 0) and 1 (row-init cell
+        // (0,1) at slot 0, col-init cell (1,0) at slot 1).
+        const size_t diag_slots =
+            static_cast<size_t>(qlen) + 2 + kMaxSweepLanes;
+        std::array<int32_t *, nLayers> d2{}, d1{}, dc{};
+        for (int l = 0; l < nLayers; l++) {
+            const size_t ls = static_cast<size_t>(l);
+            ws.bufA[ls].assign(diag_slots, worst_raw);
+            ws.bufB[ls].assign(diag_slots, worst_raw);
+            ws.bufC[ls].assign(diag_slots, worst_raw);
+            ws.bufA[ls][0] = ws.colInitRaw[ls]; // origin, cell (0, 0)
+            if (rlen >= 1)
+                ws.bufB[ls][0] =
+                    ws.rowInitRaw[static_cast<size_t>(nLayers) + ls];
+            if (qlen >= 1)
+                ws.bufB[ls][1] =
+                    ws.colInitRaw[static_cast<size_t>(nLayers) + ls];
+            d2[ls] = ws.bufA[ls].data();
+            d1[ls] = ws.bufB[ls].data();
+            dc[ls] = ws.bufC[ls].data();
+        }
+
+        // Band-compressed traceback bank, same layout as the fast path.
+        if (keep_tb) {
+            const int64_t cells =
+                buildTbRowBase<K>(qlen, rlen, band, ws.rowBase);
+            ws.tb.resize(static_cast<size_t>(cells));
+        } else {
+            ws.rowBase.assign(static_cast<size_t>(qlen + 1), 0);
+        }
+
+        int32_t out_found = 0, out_best = 0, out_i = 0, out_j = 0;
+        DiagSweepArgs<K> args;
+        args.qlen = qlen;
+        args.rlen = rlen;
+        args.band = band;
+        args.worstRaw = worst_raw;
+        args.keepTb = keep_tb;
+        args.q32 = ws.q32.data();
+        args.rrev32 = ws.rrev32.data();
+        args.qStride = q_stride;
+        args.rStride = r_stride;
+        args.rowInit = ws.rowInitRaw.data();
+        args.colInit = ws.colInitRaw.data();
+        args.d2 = d2.data();
+        args.d1 = d1.data();
+        args.cur = dc.data();
+        args.tb = ws.tb.data();
+        args.rowBase = ws.rowBase.data();
+        args.params = &params;
+        args.found = &out_found;
+        args.bestRaw = &out_best;
+        args.bestI = &out_i;
+        args.bestJ = &out_j;
+        fn(args);
+
+        const auto fetch = [&](int fi, int fj) {
+            const int flo = bandJLo<K>(fi, band);
+            if (fj < flo || fj > bandJHi<K>(fi, rlen, band))
+                return core::TbPtr{};
+            return ws.tb[static_cast<size_t>(
+                ws.rowBase[static_cast<size_t>(fi)] + (fj - flo))];
+        };
+        return finishResult<K>(
+            cfg, params, qlen, rlen, out_found != 0,
+            LaneScoreTraits<ScoreT>::fromRaw(out_best),
+            core::Coord{out_i, out_j}, keep_tb, fetch, stats);
+    }
+}
+
+} // namespace dphls::sim
+
+#endif // DPHLS_SYSTOLIC_DIAG_PATH_HH

@@ -3,7 +3,7 @@
  * The DP-HLS back-end: a cycle-level linear systolic array engine.
  *
  * `SystolicAligner` executes any kernel satisfying core::KernelSpec
- * through one of two execution paths that decouple functional DP
+ * through one of three execution paths that decouple functional DP
  * computation from schedule modeling:
  *
  *  - the **wavefront reference path** (`wavefront_path.hh`) runs the
@@ -14,7 +14,12 @@
  *    wavefront loop bounds (Section 4, step 1.6);
  *  - the **fast functional path** (`fast_path.hh`) computes the same
  *    recurrence row-major over flattened per-layer row buffers with the
- *    band handled by loop bounds — several times faster on the host.
+ *    band handled by loop bounds — several times faster on the host;
+ *  - the **anti-diagonal SIMD path** (`diag_path.hh`) vectorizes one
+ *    alignment along its anti-diagonals through the runtime-dispatched
+ *    ISA-tier sweeps — the host analog of the array's own wavefront
+ *    parallelism, for single long pairs that cannot fill the lane
+ *    engine's inter-pair lanes.
  *
  * Cycle statistics are analytic functions of the wavefront trip counts
  * (`engine_common.hh`), so results AND cycle numbers are bit-identical
@@ -32,6 +37,7 @@
 
 #include <stdexcept>
 
+#include "systolic/diag_path.hh"
 #include "systolic/engine_common.hh"
 #include "systolic/fast_path.hh"
 #include "systolic/wavefront_path.hh"
@@ -57,7 +63,9 @@ class SystolicAligner
     {
         if (_cfg.numPe < 1)
             throw std::invalid_argument("numPe must be >= 1");
-        if (_cfg.path == EnginePath::Fast && _cfg.trace != nullptr)
+        if ((_cfg.path == EnginePath::Fast ||
+             _cfg.path == EnginePath::DiagSimd) &&
+            _cfg.trace != nullptr)
             throw std::invalid_argument(
                 "ScheduleTrace requires the wavefront path");
     }
@@ -97,10 +105,17 @@ class SystolicAligner
             throw std::invalid_argument(
                 "reference exceeds MAX_REFERENCE_LENGTH");
 
-        if (activePath() == EnginePath::Fast)
+        switch (activePath()) {
+        case EnginePath::DiagSimd:
+            return diagAlign<K>(_cfg, _params, query, reference, _stats,
+                                _diagWs, _fastWs);
+        case EnginePath::Fast:
             return fastAlign<K>(_cfg, _params, query, reference, _stats,
                                 _fastWs);
-        return wavefrontAlign<K>(_cfg, _params, query, reference, _stats);
+        default:
+            return wavefrontAlign<K>(_cfg, _params, query, reference,
+                                     _stats);
+        }
     }
 
   private:
@@ -108,6 +123,7 @@ class SystolicAligner
     Params _params;
     CycleStats _stats;
     FastWorkspace<K> _fastWs;
+    DiagWorkspace<K> _diagWs;
 };
 
 } // namespace dphls::sim

@@ -36,6 +36,7 @@
 #include "core/types.hh"
 #include "seq/alphabet.hh"
 #include "systolic/cycle_model.hh"
+#include "systolic/isa_tier.hh"
 #include "systolic/trace.hh"
 
 namespace dphls::sim {
@@ -73,6 +74,11 @@ struct CharBits<seq::SignalSample>
  *    cells in wavefront order).
  *  - Fast: cache-blocked row-major functional path; several times faster
  *    on the host, no schedule observability.
+ *  - DiagSimd: intra-pair anti-diagonal SIMD path (diag_path.hh) — the
+ *    cells of ONE alignment's wavefront fill the vector lanes, for
+ *    single long pairs where the inter-pair lane engine can't fill its
+ *    lanes. Falls back to Fast for kernels without a lane cell or when
+ *    the resolved ISA tier is Scalar; no schedule observability.
  *  - Auto: Fast unless a trace sink is attached.
  */
 enum class EnginePath : uint8_t
@@ -80,6 +86,7 @@ enum class EnginePath : uint8_t
     Auto,
     Wavefront,
     Fast,
+    DiagSimd,
 };
 
 /** Configuration of one systolic block (paper front-end steps 1 and 5). */
@@ -92,6 +99,13 @@ struct EngineConfig
     bool skipTraceback = false; //!< disable traceback (GPU-baseline mode)
     CycleModelOptions cycles{}; //!< phase-overlap model
     EnginePath path = EnginePath::Auto; //!< execution-path selection
+    /**
+     * Host SIMD tier for the lane/diagonal sweeps (isa_tier.hh).
+     * Dispatch-time only — every tier is bit-identical in results and
+     * cycle stats, so this field is deliberately absent from
+     * host::engineConfigSalt.
+     */
+    IsaTier isaTier = IsaTier::Auto;
     /** Optional structural schedule sink (testing/inspection only). */
     ScheduleTrace *trace = nullptr;
 };

@@ -1,0 +1,130 @@
+#include "systolic/isa_tier.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dphls::sim {
+
+namespace {
+
+int
+tierRank(IsaTier t)
+{
+    switch (t) {
+      case IsaTier::Avx512:
+        return 3;
+      case IsaTier::Avx2:
+        return 2;
+      case IsaTier::Sse2:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+IsaTier
+probeCpu()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    // The AVX-512 sweeps are compiled with F+BW+VL+DQ; require all of
+    // them before advertising the tier.
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw")
+        && __builtin_cpu_supports("avx512vl")
+        && __builtin_cpu_supports("avx512dq"))
+        return IsaTier::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return IsaTier::Avx2;
+#endif
+    return IsaTier::Sse2;
+}
+
+} // namespace
+
+const char *
+isaTierName(IsaTier tier)
+{
+    switch (tier) {
+      case IsaTier::Auto:
+        return "auto";
+      case IsaTier::Scalar:
+        return "scalar";
+      case IsaTier::Sse2:
+        return "sse2";
+      case IsaTier::Avx2:
+        return "avx2";
+      case IsaTier::Avx512:
+        return "avx512";
+    }
+    return "auto";
+}
+
+bool
+parseIsaTier(std::string_view name, IsaTier &out)
+{
+    for (IsaTier t : {IsaTier::Auto, IsaTier::Scalar, IsaTier::Sse2,
+                      IsaTier::Avx2, IsaTier::Avx512}) {
+        if (name == isaTierName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+isaTierSupported(IsaTier tier)
+{
+    if (tier == IsaTier::Auto || tier == IsaTier::Scalar
+        || tier == IsaTier::Sse2)
+        return true;
+    return tierRank(tier) <= tierRank(probeCpu());
+}
+
+IsaTier
+detectIsaTier()
+{
+    static const IsaTier detected = [] {
+        IsaTier best = probeCpu();
+        if (const char *env = std::getenv("DPHLS_ISA_TIER")) {
+            IsaTier cap = IsaTier::Auto;
+            if (parseIsaTier(env, cap) && cap != IsaTier::Auto
+                && tierRank(cap) <= tierRank(best))
+                best = cap;
+        }
+        return best;
+    }();
+    return detected;
+}
+
+IsaTier
+resolveIsaTier(IsaTier requested)
+{
+    if (requested == IsaTier::Auto)
+        return detectIsaTier();
+    if (!isaTierSupported(requested))
+        throw std::invalid_argument(std::string("isa tier not supported on "
+                                                "this host: ")
+                                    + isaTierName(requested));
+    return requested;
+}
+
+double
+isaTierSeedCellsPerSec(IsaTier tier)
+{
+    // Startup guesses only -- the EWMA replaces them after the first
+    // measured batch. Ratios follow the native lane widths.
+    switch (tier) {
+      case IsaTier::Avx512:
+        return 8e8;
+      case IsaTier::Avx2:
+        return 4e8;
+      case IsaTier::Sse2:
+        return 2e8;
+      default:
+        return 1.2e8; // Scalar (and unresolved Auto)
+    }
+}
+
+} // namespace dphls::sim

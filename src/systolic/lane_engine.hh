@@ -7,9 +7,16 @@
  * parallelism. LaneAligner is the host-simulator analog: up to 16
  * same-kernel pairs advance through a struct-of-arrays row buffer in
  * lockstep, with the lane loop innermost and contiguous (stride-1 per
- * (layer, column) slot) so the compiler can auto-vectorize the score
- * recurrence (the loop carries a `#pragma omp simd` hint when the
- * compiler accepts `-fopenmp-simd`; no runtime dependency).
+ * (layer, column) slot).
+ *
+ * The vector row sweep itself is compiled once per ISA tier (SSE2 /
+ * AVX2 / AVX-512, see lane_sweep_impl.hh) and dispatched at runtime
+ * through the sweep registry: the constructor resolves the configured
+ * tier (EngineConfig::isaTier, default Auto = widest the CPU supports)
+ * once, and each group runs the widest registered sweep at that tier.
+ * Kernels without a registered sweep — custom kernels, or any kernel
+ * under IsaTier::Scalar — run the scalar per-lane fallback loop, which
+ * carries a `#pragma omp simd` hint for the auto-vectorizer.
  *
  * Pairs of different lengths share one padded (max-q x max-r) iteration
  * space. Per-lane results stay bit-identical to the scalar fast path
@@ -26,7 +33,8 @@
  *  - cycle statistics are analytic per lane (same trip-count formulas
  *    as the scalar paths, over the lane's own dimensions).
  *
- * Enforced by tests/test_lane_batching.cc.
+ * Enforced by tests/test_lane_batching.cc and (across every host tier)
+ * tests/test_isa_tiers.cc.
  */
 
 #ifndef DPHLS_SYSTOLIC_LANE_ENGINE_HH
@@ -39,6 +47,7 @@
 
 #include "kernels/detail_simd.hh"
 #include "systolic/engine_common.hh"
+#include "systolic/lane_sweep.hh"
 
 #if defined(_OPENMP) || defined(DPHLS_OPENMP_SIMD)
 #define DPHLS_SIMD_LOOP _Pragma("omp simd")
@@ -47,40 +56,6 @@
 #endif
 
 namespace dphls::sim {
-
-#ifdef DPHLS_VEC
-// Vector types carry alignment attributes that concept/template
-// argument binding drops by design; the resulting -Wignored-attributes
-// is noise here (the types are only probed, never stored).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wignored-attributes"
-/**
- * Kernels exposing a vectorized lane cell (one call computes one cell
- * across all W lanes on int32 vector packs). The formulas mirror
- * peFunc bit-for-bit; kernels without the hook run the scalar per-lane
- * loop instead.
- */
-template <typename K, typename V>
-concept KernelHasLaneCell =
-    requires(const V *v, V x, const typename K::Params &p, V *s, V &ptr) {
-        K::template laneCell<V>(v, v, v, x, x, p, s, ptr);
-    };
-#endif
-
-/** Lane-widened integer code of a character (for vector lane cells). */
-template <typename C>
-constexpr bool laneCharWidens =
-    requires(const C &c) { c.code; } || requires(const C &c) { c.value; };
-
-template <typename C>
-inline int32_t
-laneCharCode(const C &c)
-{
-    if constexpr (requires { c.code; })
-        return static_cast<int32_t>(c.code);
-    else
-        return static_cast<int32_t>(c.value);
-}
 
 /**
  * Lockstep multi-pair aligner for kernel @p K. One group of at most
@@ -107,13 +82,16 @@ class LaneAligner
 
     explicit LaneAligner(EngineConfig cfg = {},
                          Params params = K::defaultParams())
-        : _cfg(cfg), _params(params)
+        : _cfg(cfg), _params(params), _tier(resolveIsaTier(cfg.isaTier))
     {
         if (_cfg.numPe < 1)
             throw std::invalid_argument("numPe must be >= 1");
     }
 
     const EngineConfig &config() const { return _cfg; }
+
+    /** The resolved runtime ISA tier this aligner dispatches to. */
+    IsaTier activeTier() const { return _tier; }
 
     /** Per-lane cycle statistics of the most recent alignLanes() call. */
     const std::vector<CycleStats> &laneStats() const { return _laneStats; }
@@ -125,20 +103,6 @@ class LaneAligner
         return totalCycles(_laneStats[static_cast<size_t>(lane)],
                            _cfg.cycles);
     }
-
-    /**
-     * Lockstep width matching the host's native vector registers: wider
-     * packs get split by the compiler into slower multi-op sequences,
-     * so larger groups run as several native-width sweeps instead.
-     */
-    static constexpr int nativeLanes =
-#if defined(__AVX512F__)
-        16;
-#elif defined(__AVX2__)
-        8;
-#else
-        4;
-#endif
 
     /** Align a group of pairs in lockstep; returns one result per lane. */
     std::vector<Result>
@@ -158,16 +122,16 @@ class LaneAligner
                     "reference exceeds MAX_REFERENCE_LENGTH");
         }
 
-        // Split into native-width sub-groups (also shrinks the padded
-        // iteration space when lengths vary across the group).
+        // Split into native-width sub-groups of the resolved tier
+        // (also shrinks the padded iteration space when lengths vary
+        // across the group).
+        const size_t native = static_cast<size_t>(isaTierLanes(_tier));
         std::vector<Result> results;
         std::vector<CycleStats> stats;
         results.reserve(lanes.size());
         stats.reserve(lanes.size());
-        for (size_t g = 0; g < lanes.size();
-             g += static_cast<size_t>(nativeLanes)) {
-            const size_t count = std::min(
-                static_cast<size_t>(nativeLanes), lanes.size() - g);
+        for (size_t g = 0; g < lanes.size(); g += native) {
+            const size_t count = std::min(native, lanes.size() - g);
             const std::vector<LanePair> sub(
                 lanes.begin() + static_cast<ptrdiff_t>(g),
                 lanes.begin() + static_cast<ptrdiff_t>(g + count));
@@ -186,20 +150,18 @@ class LaneAligner
     std::vector<Result>
     dispatch(const std::vector<LanePair> &lanes)
     {
-        // Only native-width (or narrower) sweeps are instantiated:
-        // wider vector packs than the ISA provides would be split into
-        // slow multi-op sequences by the compiler.
-        [[maybe_unused]] const int n = static_cast<int>(lanes.size());
-        if constexpr (nativeLanes >= 16) {
-            if (n > 8)
-                return run<16>(lanes);
-        }
-        if constexpr (nativeLanes >= 8) {
-            if (n > 4)
-                return run<8>(lanes);
-        }
+        // Pick the narrowest pack that still fits the group: packs
+        // wider than the tier's native registers would be split into
+        // slow multi-op sequences, so the tier caps the width.
+        const int n = static_cast<int>(lanes.size());
+        const int native = isaTierLanes(_tier);
+        if (native >= 16 && n > 8)
+            return run<16>(lanes);
+        if (native >= 8 && n > 4)
+            return run<8>(lanes);
         return run<4>(lanes);
     }
+
     template <int W>
     std::vector<Result>
     run(const std::vector<LanePair> &lanes)
@@ -222,40 +184,6 @@ class LaneAligner
             maxr = std::max(maxr, rlen[static_cast<size_t>(lane)]);
         }
 
-        // Struct-of-arrays padded character buffers: [pos][lane].
-        std::vector<CharT> &qch = _ws.qch;
-        std::vector<CharT> &rch = _ws.rch;
-        qch.assign(static_cast<size_t>(maxq) * W, CharT{});
-        rch.assign(static_cast<size_t>(maxr) * W, CharT{});
-        for (int lane = 0; lane < n; lane++) {
-            const auto &q = *lanes[static_cast<size_t>(lane)].query;
-            const auto &r = *lanes[static_cast<size_t>(lane)].reference;
-            for (int i = 0; i < q.length(); i++)
-                qch[static_cast<size_t>(i) * W +
-                    static_cast<size_t>(lane)] = q[i];
-            for (int j = 0; j < r.length(); j++)
-                rch[static_cast<size_t>(j) * W +
-                    static_cast<size_t>(lane)] = r[j];
-        }
-
-#ifdef DPHLS_VEC
-        using V = typename kernels::detail::simd::VecPack<W>::I32;
-        using U8V = typename kernels::detail::simd::VecPack<W>::U8;
-        constexpr bool kVec = KernelHasLaneCell<K, V> &&
-            laneCharWidens<CharT> && std::is_same_v<ScoreT, int32_t>;
-        // Lane-widened int32 character codes for the vector path.
-        std::vector<int32_t> &qch32 = _ws.qch32;
-        std::vector<int32_t> &rch32 = _ws.rch32;
-        if constexpr (kVec) {
-            qch32.resize(static_cast<size_t>(maxq) * W);
-            rch32.resize(static_cast<size_t>(maxr) * W);
-            for (size_t k = 0; k < qch.size(); k++)
-                qch32[k] = laneCharCode(qch[k]);
-            for (size_t k = 0; k < rch.size(); k++)
-                rch32[k] = laneCharCode(rch[k]);
-        }
-#endif
-
         const auto j_lo = [&](int i) { return bandJLo<K>(i, band); };
         const auto j_hi = [&](int i) { return bandJHi<K>(i, maxr, band); };
 
@@ -275,6 +203,218 @@ class LaneAligner
             row_base.assign(static_cast<size_t>(maxq + 1), 0);
         }
 
+        std::array<uint8_t, W> found{};
+        std::array<ScoreT, W> best_score{};
+        std::array<int, W> best_i{}, best_j{};
+
+        bool swept = false;
+#ifdef DPHLS_VEC
+        if constexpr (laneSweepEnabled<K>) {
+            const LaneSweepFn<K> fn = _tier == IsaTier::Scalar
+                ? nullptr : lookupLaneSweep<K, W>(_tier);
+            if (fn) {
+                runSweep<W>(fn, lanes, qlen, rlen, maxq, maxr, band,
+                            LaneScoreTraits<ScoreT>::toRaw(worst), keep_tb,
+                            tb, tb_scratch, row_base, found, best_score,
+                            best_i, best_j);
+                swept = true;
+            }
+        }
+#endif
+        if (!swept) {
+            runScalar<W>(lanes, qlen, rlen, maxq, maxr, band, worst,
+                         keep_tb, tb, tb_scratch, row_base, found,
+                         best_score, best_i, best_j);
+        }
+
+        // Per-lane epilogue: analytic cycle accounting over the lane's
+        // own dimensions plus the shared traceback walk machinery.
+        std::vector<Result> results;
+        results.reserve(static_cast<size_t>(n));
+        _laneStats.assign(static_cast<size_t>(n), CycleStats{});
+        for (int lane = 0; lane < n; lane++) {
+            const size_t lu = static_cast<size_t>(lane);
+            CycleStats &stats = _laneStats[lu];
+            const int ql = qlen[lu];
+            const int rl = rlen[lu];
+            accountLoadInit<K>(_cfg, ql, rl, stats);
+            accountFill<K>(_cfg, ql, rl, stats);
+            const auto fetch = [&](int fi, int fj) {
+                const int flo = j_lo(fi);
+                if (fj < flo || fj > j_hi(fi))
+                    return core::TbPtr{};
+                return tb[static_cast<size_t>(
+                              row_base[static_cast<size_t>(fi)] +
+                              (fj - flo)) * W + lu];
+            };
+            results.push_back(finishResult<K>(
+                _cfg, _params, ql, rl, found[lu] != 0, best_score[lu],
+                core::Coord{best_i[lu], best_j[lu]}, keep_tb, fetch,
+                stats));
+        }
+        return results;
+    }
+
+#ifdef DPHLS_VEC
+    /**
+     * Tier-compiled vector sweep: marshal the group into the raw-lane
+     * SoA layout (64-byte-aligned int32 buffers, multi-plane character
+     * codes, precomputed boundary tables) and hand it to the registered
+     * sweep for the resolved tier. See lane_sweep.hh for the layout
+     * contract and why raw int32 lanes are exact for ApFixed scores.
+     */
+    template <int W>
+    void
+    runSweep(LaneSweepFn<K> fn, const std::vector<LanePair> &lanes,
+             const std::array<int, W> &qlen, const std::array<int, W> &rlen,
+             int maxq, int maxr, int band, int32_t worst_raw, bool keep_tb,
+             std::vector<core::TbPtr> &tb,
+             std::array<core::TbPtr, W> &tb_scratch,
+             const std::vector<int64_t> &row_base,
+             std::array<uint8_t, W> &found,
+             std::array<ScoreT, W> &best_score, std::array<int, W> &best_i,
+             std::array<int, W> &best_j)
+    {
+        using CharTr = LaneCharTraits<CharT>;
+        constexpr int planes = CharTr::planes;
+        const int n = static_cast<int>(lanes.size());
+
+        // Widened character planes, [pos][plane][lane]; padding lanes
+        // stay zero (a valid code for the gather-style cells).
+        RawLaneBuf &qp = _ws.qplanes;
+        RawLaneBuf &rp = _ws.rplanes;
+        qp.assign(static_cast<size_t>(maxq) * planes * W, 0);
+        rp.assign(static_cast<size_t>(maxr) * planes * W, 0);
+        for (int lane = 0; lane < n; lane++) {
+            const auto &q = *lanes[static_cast<size_t>(lane)].query;
+            const auto &r = *lanes[static_cast<size_t>(lane)].reference;
+            for (int i = 0; i < q.length(); i++)
+                for (int pl = 0; pl < planes; pl++)
+                    qp[(static_cast<size_t>(i) * planes +
+                        static_cast<size_t>(pl)) * W +
+                       static_cast<size_t>(lane)] = CharTr::plane(q[i], pl);
+            for (int j = 0; j < r.length(); j++)
+                for (int pl = 0; pl < planes; pl++)
+                    rp[(static_cast<size_t>(j) * planes +
+                        static_cast<size_t>(pl)) * W +
+                       static_cast<size_t>(lane)] = CharTr::plane(r[j], pl);
+        }
+
+        // Raw boundary tables: some kernels' init-column values depend
+        // on the row index (Viterbi), so the sweep gets a full table.
+        RawLaneBuf &col_init = _ws.colInitRaw;
+        col_init.assign(static_cast<size_t>(maxq + 1) * nLayers, 0);
+        for (int i = 1; i <= maxq; i++)
+            for (int l = 0; l < nLayers; l++)
+                col_init[static_cast<size_t>(i) * nLayers +
+                         static_cast<size_t>(l)] =
+                    LaneScoreTraits<ScoreT>::toRaw(
+                        K::initColScore(i, l, _params));
+
+        // Raw SoA row buffers with the origin/init-row boundary, same
+        // values as the scalar path's ScoreT rows.
+        std::array<int32_t *, nLayers> row_prev{}, row_cur{};
+        for (int l = 0; l < nLayers; l++) {
+            RawLaneBuf &prev = _ws.rowRawPrev[static_cast<size_t>(l)];
+            RawLaneBuf &cur = _ws.rowRawCur[static_cast<size_t>(l)];
+            prev.assign(static_cast<size_t>(maxr + 1) * W, worst_raw);
+            cur.assign(static_cast<size_t>(maxr + 1) * W, worst_raw);
+            const int32_t origin = LaneScoreTraits<ScoreT>::toRaw(
+                K::originScore(l, _params));
+            for (int lane = 0; lane < W; lane++)
+                prev[static_cast<size_t>(lane)] = origin;
+            for (int j = 1; j <= maxr; j++) {
+                const int32_t v = LaneScoreTraits<ScoreT>::toRaw(
+                    K::initRowScore(j, l, _params));
+                for (int lane = 0; lane < W; lane++)
+                    prev[static_cast<size_t>(j) * W +
+                         static_cast<size_t>(lane)] = v;
+            }
+            row_prev[static_cast<size_t>(l)] = prev.data();
+            row_cur[static_cast<size_t>(l)] = cur.data();
+        }
+
+        std::array<int32_t, W> qlen32{}, rlen32{};
+        for (int lane = 0; lane < W; lane++) {
+            qlen32[static_cast<size_t>(lane)] =
+                qlen[static_cast<size_t>(lane)];
+            rlen32[static_cast<size_t>(lane)] =
+                rlen[static_cast<size_t>(lane)];
+        }
+        std::array<int32_t, W> out_found{}, out_best{}, out_i{}, out_j{};
+
+        LaneSweepArgs<K> args;
+        args.maxq = maxq;
+        args.maxr = maxr;
+        args.band = band;
+        args.worstRaw = worst_raw;
+        args.keepTb = keep_tb;
+        args.qch32 = qp.data();
+        args.rch32 = rp.data();
+        args.colInit = col_init.data();
+        args.rowPrev = row_prev.data();
+        args.rowCur = row_cur.data();
+        args.tb = tb.data();
+        args.tbScratch = tb_scratch.data();
+        args.rowBase = row_base.data();
+        args.qlen = qlen32.data();
+        args.rlen = rlen32.data();
+        args.params = &_params;
+        args.found = out_found.data();
+        args.bestRaw = out_best.data();
+        args.bestI = out_i.data();
+        args.bestJ = out_j.data();
+        fn(args);
+
+        for (int lane = 0; lane < W; lane++) {
+            const size_t lu = static_cast<size_t>(lane);
+            found[lu] = out_found[lu] != 0;
+            best_score[lu] =
+                LaneScoreTraits<ScoreT>::fromRaw(out_best[lu]);
+            best_i[lu] = out_i[lu];
+            best_j[lu] = out_j[lu];
+        }
+    }
+#endif // DPHLS_VEC
+
+    /**
+     * Scalar per-lane fallback: branch-free lockstep lane loop the
+     * auto-vectorizer can lift. Used for kernels without a registered
+     * sweep and under IsaTier::Scalar.
+     */
+    template <int W>
+    void
+    runScalar(const std::vector<LanePair> &lanes,
+              const std::array<int, W> &qlen,
+              const std::array<int, W> &rlen, int maxq, int maxr, int band,
+              ScoreT worst, bool keep_tb, std::vector<core::TbPtr> &tb,
+              std::array<core::TbPtr, W> &tb_scratch,
+              const std::vector<int64_t> &row_base,
+              std::array<uint8_t, W> &found,
+              std::array<ScoreT, W> &best_score, std::array<int, W> &best_i,
+              std::array<int, W> &best_j)
+    {
+        const int n = static_cast<int>(lanes.size());
+
+        // Struct-of-arrays padded character buffers: [pos][lane].
+        std::vector<CharT> &qch = _ws.qch;
+        std::vector<CharT> &rch = _ws.rch;
+        qch.assign(static_cast<size_t>(maxq) * W, CharT{});
+        rch.assign(static_cast<size_t>(maxr) * W, CharT{});
+        for (int lane = 0; lane < n; lane++) {
+            const auto &q = *lanes[static_cast<size_t>(lane)].query;
+            const auto &r = *lanes[static_cast<size_t>(lane)].reference;
+            for (int i = 0; i < q.length(); i++)
+                qch[static_cast<size_t>(i) * W +
+                    static_cast<size_t>(lane)] = q[i];
+            for (int j = 0; j < r.length(); j++)
+                rch[static_cast<size_t>(j) * W +
+                    static_cast<size_t>(lane)] = r[j];
+        }
+
+        const auto j_lo = [&](int i) { return bandJLo<K>(i, band); };
+        const auto j_hi = [&](int i) { return bandJHi<K>(i, maxr, band); };
+
         // SoA row buffers: [layer][column][lane].
         std::array<std::vector<ScoreT>, nLayers> &row_prev = _ws.rowPrev;
         std::array<std::vector<ScoreT>, nLayers> &row_cur = _ws.rowCur;
@@ -293,18 +433,6 @@ class LaneAligner
                          static_cast<size_t>(lane)] = v;
             }
         }
-
-        std::array<uint8_t, W> found{};
-        std::array<ScoreT, W> best_score{};
-        std::array<int, W> best_i{}, best_j{};
-
-#ifdef DPHLS_VEC
-        [[maybe_unused]] V vbs{}, vbi{}, vbj{}, vfound{}, vql{}, vrl{};
-        if constexpr (kVec) {
-            std::memcpy(&vql, qlen.data(), sizeof(V));
-            std::memcpy(&vrl, rlen.data(), sizeof(V));
-        }
-#endif
 
         for (int i = 1; i <= maxq; i++) {
             const int jlo = j_lo(i);
@@ -327,96 +455,6 @@ class LaneAligner
                       row_base[static_cast<size_t>(i)]) * W
                 : tb_scratch.data();
             const size_t tb_stride = keep_tb ? W : 0;
-
-#ifdef DPHLS_VEC
-            if constexpr (kVec) {
-                // Vector row sweep: one laneCell call computes the cell
-                // for all W lanes; diag/left packs carry in registers.
-                V dg[nLayers], lf[nLayers], up[nLayers], sc[nLayers];
-                for (int l = 0; l < nLayers; l++) {
-                    std::memcpy(&dg[l],
-                                &row_prev[static_cast<size_t>(l)]
-                                         [static_cast<size_t>(jlo - 1) * W],
-                                sizeof(V));
-                    std::memcpy(&lf[l],
-                                &row_cur[static_cast<size_t>(l)]
-                                        [static_cast<size_t>(jlo - 1) * W],
-                                sizeof(V));
-                }
-                V vqry;
-                std::memcpy(&vqry, &qch32[static_cast<size_t>(i - 1) * W],
-                            sizeof(V));
-                const V vi = kernels::detail::simd::splat<V>(i);
-                for (int j = jlo; j <= jhi; j++) {
-                    for (int l = 0; l < nLayers; l++) {
-                        std::memcpy(
-                            &up[l],
-                            &row_prev[static_cast<size_t>(l)]
-                                     [static_cast<size_t>(j) * W],
-                            sizeof(V));
-                    }
-                    V vref, vptr{};
-                    std::memcpy(&vref,
-                                &rch32[static_cast<size_t>(j - 1) * W],
-                                sizeof(V));
-                    K::template laneCell<V>(up, lf, dg, vqry, vref,
-                                            _params, sc, vptr);
-                    for (int l = 0; l < nLayers; l++) {
-                        std::memcpy(&row_cur[static_cast<size_t>(l)]
-                                            [static_cast<size_t>(j) * W],
-                                    &sc[l], sizeof(V));
-                        dg[l] = up[l];
-                        lf[l] = sc[l];
-                    }
-                    const U8V nb = __builtin_convertvector(vptr, U8V);
-                    std::memcpy(static_cast<void *>(
-                                    tb_row + static_cast<size_t>(j - jlo) *
-                                                 tb_stride),
-                                &nb, sizeof(nb));
-
-                    // Per-lane optimum masks, identical to the scalar
-                    // lane loop's select chain.
-                    const V vj = kernels::detail::simd::splat<V>(j);
-                    V elig;
-                    if constexpr (K::alignKind ==
-                                  core::AlignmentKind::Local) {
-                        elig = (vi <= vql) & (vj <= vrl);
-                    } else if constexpr (K::alignKind ==
-                                         core::AlignmentKind::Global) {
-                        elig = (vi == vql) & (vj == vrl);
-                    } else if constexpr (
-                        K::alignKind == core::AlignmentKind::SemiGlobal) {
-                        elig = (vi == vql) & (vj <= vrl);
-                    } else { // Overlap
-                        elig = ((vi == vql) & (vj <= vrl)) |
-                               ((vj == vrl) & (vi <= vql));
-                    }
-                    const V v = sc[0];
-                    const V is_better =
-                        K::objective == core::Objective::Maximize
-                            ? (v > vbs) : (v < vbs);
-                    const V better = elig & (~vfound | is_better);
-                    vbs = kernels::detail::simd::sel(better, v, vbs);
-                    vbi = kernels::detail::simd::sel(better, vi, vbi);
-                    vbj = kernels::detail::simd::sel(better, vj, vbj);
-                    vfound |= better;
-                }
-                if (jhi < maxr) {
-                    for (int l = 0; l < nLayers; l++) {
-                        auto *cur =
-                            row_cur[static_cast<size_t>(l)].data() +
-                            static_cast<size_t>(jhi + 1) * W;
-                        for (int lane = 0; lane < W; lane++)
-                            cur[lane] = worst;
-                    }
-                }
-                for (int l = 0; l < nLayers; l++) {
-                    std::swap(row_prev[static_cast<size_t>(l)],
-                              row_cur[static_cast<size_t>(l)]);
-                }
-                continue;
-            }
-#endif
 
             for (int j = jlo; j <= jhi; j++) {
                 const CharT *rv =
@@ -495,45 +533,6 @@ class LaneAligner
                           row_cur[static_cast<size_t>(l)]);
             }
         }
-
-#ifdef DPHLS_VEC
-        if constexpr (kVec) {
-            for (int lane = 0; lane < W; lane++) {
-                const size_t lu = static_cast<size_t>(lane);
-                found[lu] = vfound[lane] != 0;
-                best_score[lu] = vbs[lane];
-                best_i[lu] = vbi[lane];
-                best_j[lu] = vbj[lane];
-            }
-        }
-#endif
-
-        // Per-lane epilogue: analytic cycle accounting over the lane's
-        // own dimensions plus the shared traceback walk machinery.
-        std::vector<Result> results;
-        results.reserve(static_cast<size_t>(n));
-        _laneStats.assign(static_cast<size_t>(n), CycleStats{});
-        for (int lane = 0; lane < n; lane++) {
-            const size_t lu = static_cast<size_t>(lane);
-            CycleStats &stats = _laneStats[lu];
-            const int ql = qlen[lu];
-            const int rl = rlen[lu];
-            accountLoadInit<K>(_cfg, ql, rl, stats);
-            accountFill<K>(_cfg, ql, rl, stats);
-            const auto fetch = [&](int fi, int fj) {
-                const int flo = j_lo(fi);
-                if (fj < flo || fj > j_hi(fi))
-                    return core::TbPtr{};
-                return tb[static_cast<size_t>(
-                              row_base[static_cast<size_t>(fi)] +
-                              (fj - flo)) * W + lu];
-            };
-            results.push_back(finishResult<K>(
-                _cfg, _params, ql, rl, found[lu] != 0, best_score[lu],
-                core::Coord{best_i[lu], best_j[lu]}, keep_tb, fetch,
-                stats));
-        }
-        return results;
     }
 
     /**
@@ -544,7 +543,8 @@ class LaneAligner
     struct Workspace
     {
         std::vector<CharT> qch, rch;
-        std::vector<int32_t> qch32, rch32;
+        RawLaneBuf qplanes, rplanes, colInitRaw;
+        std::array<RawLaneBuf, nLayers> rowRawPrev, rowRawCur;
         std::vector<core::TbPtr> tb;
         std::vector<int64_t> rowBase;
         std::array<std::vector<ScoreT>, nLayers> rowPrev, rowCur;
@@ -552,13 +552,10 @@ class LaneAligner
 
     EngineConfig _cfg;
     Params _params;
+    IsaTier _tier;
     std::vector<CycleStats> _laneStats;
     Workspace _ws;
 };
-
-#ifdef DPHLS_VEC
-#pragma GCC diagnostic pop
-#endif
 
 } // namespace dphls::sim
 

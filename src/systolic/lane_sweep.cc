@@ -1,0 +1,56 @@
+#include "systolic/lane_sweep.hh"
+
+#include <map>
+#include <typeindex>
+#include <utility>
+
+namespace dphls::sim {
+
+// Defined by the per-tier sweep translation units (lane_sweep_*.cc).
+// This TU is pulled in by every engine (it defines lookupSweep), and
+// its references to these anchors force the linker to keep the
+// otherwise-unreferenced tier objects, whose static registrars
+// populate the table below. Without the anchors a static-library link
+// would drop the tier objects and every lookup would miss.
+void dphlsLinkLaneSweepSse2();
+void dphlsLinkLaneSweepAvx2();
+void dphlsLinkLaneSweepAvx512();
+
+namespace {
+
+using SweepKey = std::pair<std::type_index, int>;
+
+std::map<SweepKey, SweepFnErased> &
+sweepTable()
+{
+    static std::map<SweepKey, SweepFnErased> table;
+    return table;
+}
+
+} // namespace
+
+void
+registerSweep(const std::type_info &tag, IsaTier tier, SweepFnErased fn)
+{
+    // Called only from static initializers (single-threaded, pre-main).
+    sweepTable()[{std::type_index(tag), static_cast<int>(tier)}] = fn;
+}
+
+SweepFnErased
+lookupSweep(const std::type_info &tag, IsaTier tier)
+{
+    static const bool anchored = [] {
+        dphlsLinkLaneSweepSse2();
+        dphlsLinkLaneSweepAvx2();
+        dphlsLinkLaneSweepAvx512();
+        return true;
+    }();
+    (void)anchored;
+
+    const auto &table = sweepTable();
+    const auto it =
+        table.find({std::type_index(tag), static_cast<int>(tier)});
+    return it == table.end() ? nullptr : it->second;
+}
+
+} // namespace dphls::sim

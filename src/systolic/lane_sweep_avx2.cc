@@ -1,0 +1,20 @@
+/**
+ * AVX2-tier sweep TU: CMakeLists.txt compiles this file with -mavx2,
+ * native width 8. Only dispatched when the CPU reports AVX2 support
+ * (isa_tier.cc). See lane_sweep_impl.hh.
+ */
+
+#define DPHLS_SWEEP_NS sweep_avx2
+#define DPHLS_SWEEP_TIER IsaTier::Avx2
+#define DPHLS_SWEEP_WIDTH 8
+
+#include "systolic/lane_sweep_impl.hh"
+
+namespace dphls::sim {
+
+/** Force-link anchor referenced by lane_sweep.cc. */
+void
+dphlsLinkLaneSweepAvx2()
+{}
+
+} // namespace dphls::sim

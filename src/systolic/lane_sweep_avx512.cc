@@ -1,0 +1,21 @@
+/**
+ * AVX-512-tier sweep TU: CMakeLists.txt compiles this file with
+ * -mavx512f -mavx512bw -mavx512vl -mavx512dq, native width 16. Only
+ * dispatched when the CPU reports all four extensions (isa_tier.cc).
+ * See lane_sweep_impl.hh.
+ */
+
+#define DPHLS_SWEEP_NS sweep_avx512
+#define DPHLS_SWEEP_TIER IsaTier::Avx512
+#define DPHLS_SWEEP_WIDTH 16
+
+#include "systolic/lane_sweep_impl.hh"
+
+namespace dphls::sim {
+
+/** Force-link anchor referenced by lane_sweep.cc. */
+void
+dphlsLinkLaneSweepAvx512()
+{}
+
+} // namespace dphls::sim

@@ -1,0 +1,19 @@
+/**
+ * Baseline-tier sweep TU: compiled with the default (x86-64 SSE2)
+ * flags, native width 4. See lane_sweep_impl.hh.
+ */
+
+#define DPHLS_SWEEP_NS sweep_sse2
+#define DPHLS_SWEEP_TIER IsaTier::Sse2
+#define DPHLS_SWEEP_WIDTH 4
+
+#include "systolic/lane_sweep_impl.hh"
+
+namespace dphls::sim {
+
+/** Force-link anchor referenced by lane_sweep.cc. */
+void
+dphlsLinkLaneSweepSse2()
+{}
+
+} // namespace dphls::sim

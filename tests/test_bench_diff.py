@@ -131,6 +131,51 @@ class BenchDiffTest(unittest.TestCase):
         result = run_diff(self.old, self.new)
         self.assertEqual(result.returncode, 0, result.stdout)
 
+    def test_active_tier_lane_regression_fails_when_tier_matches(self):
+        # Same active tier in both runs: the lane-engine throughput at
+        # that tier is one pinned workload on one pinned ISA, so a big
+        # drop is a lane-engine regression and must fail the gate.
+        self.write(self.old, {"isa_tiers": {
+            "active": "avx2", "active_lane_cells_per_sec": 100.0}})
+        self.write(self.new, {"isa_tiers": {
+            "active": "avx2", "active_lane_cells_per_sec": 80.0}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+        self.assertIn("active_lane_cells_per_sec", result.stdout)
+
+    def test_active_tier_lane_drop_within_threshold_passes(self):
+        self.write(self.old, {"isa_tiers": {
+            "active": "avx2", "active_lane_cells_per_sec": 100.0}})
+        self.write(self.new, {"isa_tiers": {
+            "active": "avx2", "active_lane_cells_per_sec": 95.0}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_tier_change_demotes_lane_gate_to_notice(self):
+        # An avx512 runner replaced by an avx2 one legitimately halves
+        # the lane throughput: must not fail, must say why.
+        self.write(self.old, {"isa_tiers": {
+            "active": "avx512", "active_lane_cells_per_sec": 200.0}})
+        self.write(self.new, {"isa_tiers": {
+            "active": "avx2", "active_lane_cells_per_sec": 100.0}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("active ISA tier changed", result.stdout)
+
+    def test_per_tier_lane_rates_stay_notice_only(self):
+        # The non-active per-tier sweep rates keep the plain wall-clock
+        # (cells_per_sec) soft treatment even when the tier matches.
+        self.write(self.old, {"isa_tiers": {
+            "active": "avx2",
+            "tiers": {"sse2": {"lane_cells_per_sec": 100.0}}}})
+        self.write(self.new, {"isa_tiers": {
+            "active": "avx2",
+            "tiers": {"sse2": {"lane_cells_per_sec": 10.0}}}})
+        result = run_diff(self.old, self.new)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("notice", result.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()

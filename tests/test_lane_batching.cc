@@ -119,8 +119,9 @@ TEST(LaneAligner, AllKindsAndAlphabets)
                                                               12);
     }
 
-    // Kernels without a vectorized lane cell (ApFixed scores) exercise
-    // the scalar per-lane fallback.
+    // Fixed-point scores (ApFixed) run their raw-int32 vector lane
+    // cells; the scalar per-lane fallback only remains for forced
+    // IsaTier::Scalar runs (covered in test_isa_tiers.cc).
     expectLanesMatchScalar<kernels::Viterbi>(
         [&] {
             std::vector<test::Pair<seq::DnaChar>> pairs;

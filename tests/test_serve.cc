@@ -71,10 +71,11 @@ struct CapturedFrames
     {
         return [this](MsgType t, uint64_t rid,
                       std::vector<uint8_t> payload) {
-            {
-                std::lock_guard<std::mutex> lk(m);
-                frames.emplace_back(t, rid, std::move(payload));
-            }
+            // Notify under the lock: a waiter woken by the predicate may
+            // destroy this recorder as soon as it re-acquires the mutex,
+            // so the notify must complete before the unlock.
+            std::lock_guard<std::mutex> lk(m);
+            frames.emplace_back(t, rid, std::move(payload));
             cv.notify_all();
         };
     }

@@ -9,7 +9,11 @@ field when present, so reordering a table does not misalign rows), and:
     (*aligns_per_sec*) regresses by more than --threshold percent —
     these come from the cycle model, so any drop is a real model or
     pipeline regression, not measurement noise;
-  - reports wall-clock metrics (*cells_per_sec*, *_speedup*) as
+  - FAILS when the lane engine's *active_lane_cells_per_sec* regresses
+    beyond the threshold AND both artifacts report the same
+    isa_tiers.active tier — if the active tier changed (different
+    runner hardware), the comparison is demoted to a notice;
+  - reports other wall-clock metrics (*cells_per_sec*, *_speedup*) as
     notices only — shared CI runners make them too noisy to gate on.
 
 When the old directory is missing, empty, or has no matching files the
@@ -26,15 +30,22 @@ import sys
 
 HARD_SUFFIXES = ("aligns_per_sec",)
 SOFT_SUFFIXES = ("cells_per_sec", "_speedup")
+# The lane engine's throughput at the *active* ISA tier is gated like a
+# deterministic metric (one pinned workload, one pinned tier), but only
+# when both runs resolved the same tier — a runner swap (an avx512 box
+# replaced by an avx2 one) legitimately moves the number, so a tier
+# change demotes the comparison to a notice.
+TIER_GATED_SUFFIX = "active_lane_cells_per_sec"
+ACTIVE_TIER_KEY = "isa_tiers.active"
 # Keys that name an array element better than its position.
 ELEMENT_KEYS = ("id", "name", "npe", "nb", "band", "length")
 
 
-def flatten(node, path, out):
-    """Collect {json-path: number} for every numeric leaf."""
+def flatten(node, path, out, strings):
+    """Collect {json-path: number} (and string leaves) per leaf."""
     if isinstance(node, dict):
         for key, value in node.items():
-            flatten(value, f"{path}.{key}" if path else key, out)
+            flatten(value, f"{path}.{key}" if path else key, out, strings)
     elif isinstance(node, list):
         for index, value in enumerate(node):
             label = str(index)
@@ -43,22 +54,26 @@ def flatten(node, path, out):
                     if key in value:
                         label = f"{key}={value[key]}"
                         break
-            flatten(value, f"{path}[{label}]", out)
+            flatten(value, f"{path}[{label}]", out, strings)
     elif isinstance(node, bool):
         pass  # true/false are not throughput metrics
     elif isinstance(node, (int, float)):
         out[path] = float(node)
+    elif isinstance(node, str):
+        strings[path] = node
 
 
 def load_metrics(path):
     with open(path) as handle:
         data = json.load(handle)
-    metrics = {}
-    flatten(data, "", metrics)
-    return metrics
+    metrics, strings = {}, {}
+    flatten(data, "", metrics, strings)
+    return metrics, strings
 
 
-def classify(path):
+def classify(path, tier_matched=False):
+    if path.endswith(TIER_GATED_SUFFIX):
+        return "hard" if tier_matched else "soft"
     if path.endswith(HARD_SUFFIXES):
         return "hard"
     if path.endswith(SOFT_SUFFIXES):
@@ -66,19 +81,29 @@ def classify(path):
     return None
 
 
-def diff_file(name, old, new, threshold_pct):
+def diff_file(name, old, new, threshold_pct, old_strings, new_strings):
     """Return (regressions, notices) for one metric-dict pair."""
     regressions, notices = [], []
+    tier_matched = (new_strings.get(ACTIVE_TIER_KEY) is not None and
+                    old_strings.get(ACTIVE_TIER_KEY) ==
+                    new_strings.get(ACTIVE_TIER_KEY))
+    if (not tier_matched and ACTIVE_TIER_KEY in new_strings and
+            ACTIVE_TIER_KEY in old_strings):
+        notices.append(
+            f"{name}: active ISA tier changed "
+            f"{old_strings[ACTIVE_TIER_KEY]} -> "
+            f"{new_strings[ACTIVE_TIER_KEY]} — lane throughput gate "
+            "demoted to notice")
     # Gated metrics that only exist in the new run (a bench gained a
     # section, or an artifact landed for the first time with new keys):
     # nothing to diff against, so soft-pass with a notice instead of
     # silently skipping — the next run will have the baseline.
     for path in sorted(new.keys() - old.keys()):
-        if classify(path) is not None:
+        if classify(path, tier_matched) is not None:
             notices.append(f"{name}:{path}: {new[path]:.4g} "
                            "(new metric, no baseline — soft pass)")
     for path in sorted(old.keys() & new.keys()):
-        kind = classify(path)
+        kind = classify(path, tier_matched)
         if kind is None:
             continue
         before, after = old[path], new[path]
@@ -131,7 +156,7 @@ def main():
             print(f"bench_diff: {name} has no previous artifact — skipped")
             continue
         try:
-            old = load_metrics(old_path)
+            old, old_strings = load_metrics(old_path)
         except (json.JSONDecodeError, OSError) as exc:
             # A truncated/corrupt previous artifact (interrupted upload)
             # is a missing baseline, not a regression: note and skip.
@@ -139,9 +164,9 @@ def main():
                   f"({exc}) — skipped")
             continue
         # A corrupt NEW artifact is this run's bug: let it fail loudly.
-        new = load_metrics(os.path.join(args.new, name))
+        new, new_strings = load_metrics(os.path.join(args.new, name))
         file_regressions, file_notices = diff_file(
-            name, old, new, args.threshold)
+            name, old, new, args.threshold, old_strings, new_strings)
         regressions += file_regressions
         notices += file_notices
         compared += 1
@@ -153,12 +178,12 @@ def main():
     for line in notices:
         print(f"notice: {line}")
     if regressions:
-        print(f"bench_diff: {len(regressions)} aligns/sec regression(s) "
+        print(f"bench_diff: {len(regressions)} gated regression(s) "
               f"beyond {args.threshold:.0f}%:")
         for line in regressions:
             print(f"FAIL: {line}")
         return 1
-    print(f"bench_diff: {compared} artifact(s) compared, no aligns/sec "
+    print(f"bench_diff: {compared} artifact(s) compared, no gated "
           f"regression beyond {args.threshold:.0f}%")
     return 0
 

@@ -42,6 +42,14 @@
  *               [--cpu-fallback] [--cpu-floor L] [--no-cache]
  *               [--no-traceback] [--priority P] [--deadline-ms D]
  *               [--two-class-demo]
+ *               [--isa-tier auto|scalar|sse2|avx2|avx512]
+ *               [--intra-pair] [--intra-pair-min-len L]
+ *
+ * --isa-tier pins the SIMD tier of the host lane engine (auto picks
+ * the widest the CPU supports); results are identical at every tier,
+ * only throughput changes. --intra-pair routes single-pair tickets
+ * whose shorter end is at least --intra-pair-min-len through the
+ * anti-diagonal intra-pair SIMD path instead of the lane engine.
  *
  * Kernels: global-linear, global-affine, local-linear, local-affine,
  *          two-piece, overlap, semi-global, banded-global, banded-local,
@@ -96,6 +104,9 @@ struct Options
     int priority = 0;          //!< scheduling class of every ticket
     double deadlineMs = 0;     //!< per-ticket deadline (0 = none)
     bool twoClassDemo = false; //!< run the priority-scheduling demo
+    sim::IsaTier isaTier = sim::IsaTier::Auto; //!< --isa-tier
+    bool intraPair = false;    //!< route single long pairs to DiagSimd
+    int intraPairMinLen = 1024; //!< shorter-end floor for --intra-pair
 };
 
 void
@@ -114,6 +125,10 @@ usage()
                  "[--no-traceback]\n"
                  "                   [--priority P] [--deadline-ms D] "
                  "[--two-class-demo]\n"
+                 "                   [--isa-tier "
+                 "auto|scalar|sse2|avx2|avx512]\n"
+                 "                   [--intra-pair] "
+                 "[--intra-pair-min-len L]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -346,6 +361,9 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
                        ? host::DispatchPolicy::CostModel
                        : host::DispatchPolicy::Threshold;
     cfg.cacheEntries = opt.cache ? 4096 : 0;
+    cfg.isaTier = opt.isaTier;
+    cfg.intraPairSimd = opt.intraPair;
+    cfg.intraPairSimdMinLen = opt.intraPairMinLen;
     Pipeline pipeline(cfg);
 
     CyclingFastaSource<SeqT> queries(opt.queryPath, decode);
@@ -482,11 +500,12 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     host::finalizeBatchStats(epoch, cfg.fmaxMhz, cfg.cpuEquivalentMhz);
     std::printf("# batch: %d alignments over %d channel(s) x %d host "
                 "thread(s), makespan %llu cycles, %.3g aligns/sec @ %.1f "
-                "MHz\n",
+                "MHz, isa %s\n",
                 epoch.alignments, pipeline.channelCount(),
                 pipeline.threadCount(),
                 (unsigned long long)epoch.makespanCycles,
-                epoch.alignsPerSec, cfg.fmaxMhz);
+                epoch.alignsPerSec, cfg.fmaxMhz,
+                sim::isaTierName(pipeline.activeIsaTier()));
     for (const auto &b : epoch.backends) {
         if (epoch.backends.size() < 2 && std::strcmp(b.name, "cpu") != 0)
             continue; // single-backend runs: skip the redundant section
@@ -610,6 +629,15 @@ main(int argc, char **argv)
             }
         } else if (a == "--two-class-demo") {
             opt.twoClassDemo = true;
+        } else if (a == "--isa-tier") {
+            if (!sim::parseIsaTier(next(), opt.isaTier)) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--intra-pair") {
+            opt.intraPair = true;
+        } else if (a == "--intra-pair-min-len") {
+            opt.intraPairMinLen = std::atoi(next());
         } else {
             usage();
             return 2;

@@ -502,12 +502,13 @@ main(int argc, char **argv)
     if (have_server_stats) {
         std::printf("#   server: %llu accepted, %llu rejected "
                     "(%llu deadline), %llu jobs, %llu deadline "
-                    "miss(es), accounting %s\n",
+                    "miss(es), isa %s, accounting %s\n",
                     (unsigned long long)server.acceptedRequests,
                     (unsigned long long)server.rejectedRequests(),
                     (unsigned long long)server.rejectedDeadline,
                     (unsigned long long)server.completedJobs,
                     (unsigned long long)server.deadlineMissJobs,
+                    server.isaTier.c_str(),
                     server.accountingClosed ? "closed" : "NOT CLOSED");
     }
 
@@ -554,6 +555,7 @@ main(int argc, char **argv)
             w.kv("total_cycles", server.totalCycles);
             w.kv("makespan_cycles", server.makespanCycles);
             w.kv("aligns_per_sec", server.alignsPerSec);
+            w.kv("isa_tier", server.isaTier);
             w.kv("accounting_closed", server.accountingClosed);
             w.key("backends");
             w.beginArray();

@@ -79,6 +79,7 @@ struct Options
     bool admission = true;
     double admissionSlack = 1.0;
     int interactivePriority = 10;
+    sim::IsaTier isaTier = sim::IsaTier::Auto;
 };
 
 void
@@ -97,6 +98,7 @@ usage()
         "[--no-admission]\n"
         "                   [--admission-slack X] "
         "[--interactive-priority P]\n"
+        "                   [--isa-tier auto|scalar|sse2|avx2|avx512]\n"
         "kernels: global-linear global-affine local-linear local-affine "
         "two-piece\n"
         "         overlap semi-global banded-global banded-local "
@@ -158,6 +160,7 @@ runServe(const Options &opt)
     // between counters and cycles workload-dependent.
     cfg.cacheEntries = 0;
     cfg.collectPathStats = false;
+    cfg.isaTier = opt.isaTier;
 
     serve::ServiceConfig scfg;
     scfg.admission.enabled = opt.admission;
@@ -174,8 +177,10 @@ runServe(const Options &opt)
     std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("dphls_serve: kernel %s @ %.1f MHz, %d channel(s), "
-                "listening on %s\n",
-                K::name, cfg.fmaxMhz, cfg.nk, opt.socketPath.c_str());
+                "isa %s, listening on %s\n",
+                K::name, cfg.fmaxMhz, cfg.nk,
+                sim::isaTierName(service.pipeline().activeIsaTier()),
+                opt.socketPath.c_str());
     std::fflush(stdout);
 
     std::vector<std::thread> sessions;
@@ -284,6 +289,11 @@ main(int argc, char **argv)
             opt.admissionSlack = std::atof(next());
         } else if (a == "--interactive-priority") {
             opt.interactivePriority = std::atoi(next());
+        } else if (a == "--isa-tier") {
+            if (!sim::parseIsaTier(next(), opt.isaTier)) {
+                usage();
+                return 2;
+            }
         } else {
             usage();
             return 2;
