@@ -47,17 +47,20 @@
 #define DPHLS_HOST_BACKEND_HH
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "baselines/cpu_runner.hh"
 #include "baselines/gpu_model.hh"
 #include "host/result_cache.hh"
 #include "host/scheduler.hh"
+#include "host/stage_flow.hh"
 #include "reference/matrix_aligner.hh"
 #include "systolic/engine.hh"
 #include "systolic/isa_tier.hh"
@@ -110,6 +113,8 @@ struct ChannelStats
     int cancelled = 0;
     /** Jobs that completed after their ticket's deadline had passed. */
     int deadlineMisses = 0;
+    /** In-flight shards that yielded the slot at a preemption point. */
+    int preemptions = 0;
 };
 
 /**
@@ -176,6 +181,31 @@ class AlignBackend
     virtual void run(const std::vector<Job> &jobs,
                      const std::vector<int> &indices, Result *results,
                      uint64_t *cycles, ChannelStats &acct) = 0;
+
+    /**
+     * True when runStaged() actually decouples fill from traceback
+     * with preemption points between stages; false means runStaged()
+     * degrades to a monolithic run() that never yields.
+     */
+    virtual bool supportsStagedRun() const { return false; }
+
+    /**
+     * Stage-pipelined variant of run(): the backend executes the shard
+     * as fill (producer) and traceback/writeback (consumer) stages over
+     * a bounded FIFO, polling @p ctl at stage boundaries. On return,
+     * ctl.done marks which jobs wrote back; the dispatcher re-queues or
+     * cancel-accounts the rest. The default is the monolithic run() with
+     * every job marked done — correct for backends with no separable
+     * stages.
+     */
+    virtual void
+    runStaged(const std::vector<Job> &jobs,
+              const std::vector<int> &indices, Result *results,
+              uint64_t *cycles, ChannelStats &acct, StageRunControl &ctl)
+    {
+        run(jobs, indices, results, cycles, acct);
+        std::fill(ctl.done.begin(), ctl.done.end(), uint8_t{1});
+    }
 
     /** Estimated seconds of routed-but-unfinished work (queue depth). */
     double
@@ -282,6 +312,103 @@ class DeviceChannelBackend : public AlignBackend<K>
     {
         computeResults(jobs, indices, results, cycles);
         arbitrate(indices, cycles, acct);
+    }
+
+    bool
+    supportsStagedRun() const override
+    {
+        return _engine.supportsStagedFill();
+    }
+
+    /**
+     * Staged shard execution: this worker fills job i+1 while a
+     * consumer thread runs the traceback + writeback of job i off the
+     * bounded FIFO. Cache hits travel through the FIFO too, so every
+     * writeback happens on the consumer in submission order. Results
+     * and cycles are bit-identical to run(): the fill/traceback split
+     * reproduces the exact per-cell dataflow and the analytic cycle
+     * accounting is order-independent.
+     */
+    void
+    runStaged(const std::vector<Job> &jobs,
+              const std::vector<int> &indices, Result *results,
+              uint64_t *cycles, ChannelStats &acct,
+              StageRunControl &ctl) override
+    {
+        if (!_engine.supportsStagedFill()) {
+            Base::runStaged(jobs, indices, results, cycles, acct, ctl);
+            return;
+        }
+
+        struct Item
+        {
+            size_t k = 0; //!< position in indices
+            bool fromCache = false;
+            Result res;           //!< cache-hit payload
+            uint64_t resCycles = 0;
+            sim::FastFillState<K> fill;
+            PairHash key;
+        };
+
+        BoundedFifo<Item> fifo(static_cast<size_t>(ctl.fifoDepth));
+        const sim::CycleModelOptions cycle_model =
+            _engine.config().cycles;
+        StageWorker consumer([&] {
+            while (auto item = fifo.pop()) {
+                const size_t idx = static_cast<size_t>(
+                    indices[item->k]);
+                if (item->fromCache) {
+                    results[idx] = std::move(item->res);
+                    cycles[idx] = item->resCycles;
+                } else {
+                    Result res = _engine.tracebackStage(item->fill);
+                    const uint64_t engine_cycles =
+                        sim::totalCycles(item->fill.stats, cycle_model);
+                    if (cacheEnabled())
+                        _cache->insert(item->key, res, engine_cycles);
+                    cycles[idx] = engine_cycles + _hostOverhead;
+                    results[idx] = std::move(res);
+                    _engine.recycleStage(std::move(item->fill));
+                }
+                ctl.done[item->k] = 1;
+            }
+        });
+
+        for (size_t k = 0; k < indices.size(); k++) {
+            if (ctl.shouldYield())
+                break;
+            const auto &job =
+                jobs[static_cast<size_t>(indices[k])];
+            Item item;
+            item.k = k;
+            if (cacheEnabled()) {
+                item.key = pairHash(job.query, job.reference, _params,
+                                    _cfgSalt);
+                if (auto hit = _cache->lookup(item.key)) {
+                    item.fromCache = true;
+                    item.res = std::move(hit->result);
+                    item.resCycles = hit->cycles + _hostOverhead;
+                    fifo.push(std::move(item));
+                    continue;
+                }
+            }
+            item.fill = _engine.fillStage(job.query, job.reference);
+            fifo.push(std::move(item));
+        }
+        fifo.close();
+        consumer.join();
+
+        // Arbitrate the jobs that wrote back, in indices order — the
+        // same set and order as run() when nothing yielded; a partial
+        // run's makespan sums with its resumption's (accounting split
+        // across resumptions).
+        std::vector<int> completed;
+        completed.reserve(indices.size());
+        for (size_t k = 0; k < indices.size(); k++) {
+            if (ctl.done[k])
+                completed.push_back(indices[k]);
+        }
+        arbitrate(completed, cycles, acct);
     }
 
   protected:
@@ -392,6 +519,204 @@ class LaneChannelBackend : public DeviceChannelBackend<K>
           _sortByLength(sort_by_length), _intraPairSimd(intra_pair_simd),
           _intraPairMinLen(intra_pair_min_len)
     {}
+
+    /** Lane groups always fill/traceback-split (singles fall back). */
+    bool supportsStagedRun() const override { return true; }
+
+    /**
+     * Staged lane-channel shard: lane-group fills are the producer
+     * stage, per-lane traceback epilogues the consumer stage, and the
+     * boundaries between lane groups are the preemption/cancel points.
+     * Intra-pair (DiagSimd) and non-fast single jobs complete in the
+     * producer and travel through the FIFO as ready writebacks, so the
+     * consumer remains the only writer of results/cycles/done.
+     */
+    void
+    runStaged(const std::vector<Job> &jobs,
+              const std::vector<int> &indices, Result *results,
+              uint64_t *cycles, ChannelStats &acct,
+              StageRunControl &ctl) override
+    {
+        using LaneFill = typename sim::LaneAligner<K>::LaneFillState;
+        enum class Kind : uint8_t
+        {
+            Ready,      //!< producer-finished result, writeback only
+            SingleFill, //!< one fast-path fill state
+            Group       //!< one lane group's fill states
+        };
+        struct Item
+        {
+            Kind kind = Kind::Ready;
+            size_t k = 0; //!< Ready/SingleFill: position in indices
+            Result res;
+            uint64_t resCycles = 0;
+            sim::FastFillState<K> fill;
+            PairHash key;
+            std::vector<LaneFill> states;
+            std::vector<size_t> ks; //!< Group: per-lane positions
+            std::vector<PairHash> keys;
+        };
+
+        const sim::CycleModelOptions cycle_model =
+            this->_engine.config().cycles;
+        BoundedFifo<Item> fifo(static_cast<size_t>(ctl.fifoDepth));
+        StageWorker consumer([&] {
+            while (auto item = fifo.pop()) {
+                if (item->kind == Kind::Ready) {
+                    const size_t idx =
+                        static_cast<size_t>(indices[item->k]);
+                    results[idx] = std::move(item->res);
+                    cycles[idx] = item->resCycles;
+                    ctl.done[item->k] = 1;
+                } else if (item->kind == Kind::SingleFill) {
+                    const size_t idx =
+                        static_cast<size_t>(indices[item->k]);
+                    Result res =
+                        this->_engine.tracebackStage(item->fill);
+                    const uint64_t ec = sim::totalCycles(
+                        item->fill.stats, cycle_model);
+                    if (this->cacheEnabled())
+                        this->_cache->insert(item->key, res, ec);
+                    cycles[idx] = ec + this->_hostOverhead;
+                    results[idx] = std::move(res);
+                    this->_engine.recycleStage(std::move(item->fill));
+                    ctl.done[item->k] = 1;
+                } else {
+                    size_t m = 0;
+                    for (LaneFill &st : item->states) {
+                        for (int lane = 0; lane < st.count;
+                             lane++, m++) {
+                            sim::CycleStats stats;
+                            Result res =
+                                _lanes.laneTraceback(st, lane, stats);
+                            const uint64_t ec =
+                                sim::totalCycles(stats, cycle_model);
+                            const size_t kpos = item->ks[m];
+                            const size_t idx =
+                                static_cast<size_t>(indices[kpos]);
+                            if (this->cacheEnabled())
+                                this->_cache->insert(item->keys[m], res,
+                                                     ec);
+                            cycles[idx] = ec + this->_hostOverhead;
+                            results[idx] = std::move(res);
+                            ctl.done[kpos] = 1;
+                        }
+                        _lanes.recycleBank(std::move(st));
+                    }
+                }
+            }
+        });
+
+        // Producer: same length-aware grouping as computeResults().
+        std::vector<int> order(indices);
+        if (_sortByLength && order.size() > 1) {
+            std::sort(order.begin(), order.end(), [&](int a, int b) {
+                const auto &ja = jobs[static_cast<size_t>(a)];
+                const auto &jb = jobs[static_cast<size_t>(b)];
+                return std::make_tuple(ja.query.length(),
+                                       ja.reference.length(), a) <
+                       std::make_tuple(jb.query.length(),
+                                       jb.reference.length(), b);
+            });
+        }
+        std::unordered_map<int, size_t> pos;
+        pos.reserve(indices.size());
+        for (size_t k = 0; k < indices.size(); k++)
+            pos[indices[k]] = k;
+
+        std::vector<int> group;
+        group.reserve(static_cast<size_t>(_width));
+        std::vector<PairHash> group_keys;
+        group_keys.reserve(static_cast<size_t>(_width));
+        const auto flushGroup = [&]() {
+            if (group.empty())
+                return;
+            Item item;
+            if (group.size() > 1) {
+                using Lane = typename sim::LaneAligner<K>::LanePair;
+                std::vector<Lane> lanes(group.size());
+                for (size_t m = 0; m < group.size(); m++) {
+                    const auto &job =
+                        jobs[static_cast<size_t>(group[m])];
+                    lanes[m] = Lane{&job.query, &job.reference};
+                }
+                item.kind = Kind::Group;
+                item.states = _lanes.fillLanes(lanes);
+                item.ks.reserve(group.size());
+                for (const int g : group)
+                    item.ks.push_back(pos[g]);
+                item.keys = group_keys;
+            } else {
+                const auto &job =
+                    jobs[static_cast<size_t>(group[0])];
+                const bool intra = _intraPairSimd &&
+                    std::min(job.query.length(),
+                             job.reference.length()) >= _intraPairMinLen;
+                if (!intra && this->_engine.supportsStagedFill()) {
+                    item.kind = Kind::SingleFill;
+                    item.k = pos[group[0]];
+                    item.key = group_keys[0];
+                    item.fill = this->_engine.fillStage(job.query,
+                                                        job.reference);
+                } else {
+                    auto &engine = intra ? _diagEngine : this->_engine;
+                    Result res =
+                        engine.align(job.query, job.reference);
+                    const uint64_t ec = engine.lastTotalCycles();
+                    if (this->cacheEnabled())
+                        this->_cache->insert(group_keys[0], res, ec);
+                    item.kind = Kind::Ready;
+                    item.k = pos[group[0]];
+                    item.resCycles = ec + this->_hostOverhead;
+                    item.res = std::move(res);
+                }
+            }
+            fifo.push(std::move(item));
+            group.clear();
+            group_keys.clear();
+        };
+
+        bool yielded = false;
+        for (const int idx : order) {
+            if (ctl.shouldYield()) {
+                yielded = true;
+                break;
+            }
+            const auto &job = jobs[static_cast<size_t>(idx)];
+            PairHash key;
+            if (this->cacheEnabled()) {
+                key = pairHash(job.query, job.reference, this->_params,
+                               this->_cfgSalt);
+                if (auto hit = this->_cache->lookup(key)) {
+                    Item item;
+                    item.kind = Kind::Ready;
+                    item.k = pos[idx];
+                    item.res = std::move(hit->result);
+                    item.resCycles = hit->cycles + this->_hostOverhead;
+                    fifo.push(std::move(item));
+                    continue;
+                }
+            }
+            group.push_back(idx);
+            group_keys.push_back(key);
+            if (static_cast<int>(group.size()) >= _width)
+                flushGroup();
+        }
+        // On yield, the partially-formed group never started: its jobs
+        // stay not-done and re-queue with the remainder.
+        if (!yielded)
+            flushGroup();
+        fifo.close();
+        consumer.join();
+
+        std::vector<int> completed;
+        completed.reserve(indices.size());
+        for (size_t k = 0; k < indices.size(); k++) {
+            if (ctl.done[k])
+                completed.push_back(indices[k]);
+        }
+        this->arbitrate(completed, cycles, acct);
+    }
 
   protected:
     void
@@ -543,32 +868,42 @@ class CpuBaselineBackend : public AlignBackend<K>
         : _aligner(params, band_width), _bandWidth(band_width),
           _cpuMhz(cpu_mhz), _threads(std::max(1, threads)),
           _skipTraceback(skip_traceback),
-          _modeledCellsPerSec(modeled_cells_per_sec),
-          // Seed the throughput estimate from the host's detected ISA
-          // tier (isa_tier.hh) instead of a fixed constant: the first
-          // routing decisions on an AVX-512 host shouldn't assume an
-          // SSE2-era rate. Measurements take over after the first job.
-          _ewmaCellsPerSec(modeled_cells_per_sec > 0
-                               ? modeled_cells_per_sec
-                               : sim::isaTierSeedCellsPerSec(
-                                     sim::detectIsaTier()))
-    {}
+          _modeledCellsPerSec(modeled_cells_per_sec)
+    {
+        // Seed every bucket's throughput estimate from the host's
+        // detected ISA tier (isa_tier.hh) instead of a fixed constant:
+        // the first routing decisions on an AVX-512 host shouldn't
+        // assume an SSE2-era rate. Measurements take over per bucket
+        // after its first job.
+        const double seed = modeled_cells_per_sec > 0
+            ? modeled_cells_per_sec
+            : sim::isaTierSeedCellsPerSec(sim::detectIsaTier());
+        for (auto &b : _ewmaCellsPerSec)
+            b.store(seed, std::memory_order_relaxed);
+    }
 
     const char *name() const override { return "cpu"; }
     double clockMhz() const override { return _cpuMhz; }
 
-    /** Current cells/sec estimate (EWMA of measurements, or pinned). */
+    /**
+     * Current cells/sec estimate for a job of @p cells DP cells: the
+     * EWMA of the job's log2-cell-count shape bucket (or the pinned
+     * modeled rate). Bucketing keeps one long job from skewing the
+     * estimates of short jobs — cache behavior and per-job overhead
+     * make measured cells/sec strongly shape-dependent.
+     */
     double
-    cellsPerSecEstimate() const
+    cellsPerSecEstimate(double cells) const
     {
-        return _ewmaCellsPerSec.load(std::memory_order_relaxed);
+        return _ewmaCellsPerSec[bucketOf(cells)].load(
+            std::memory_order_relaxed);
     }
 
     CostEstimate
     estimate(const Job &job) const override
     {
         const double cells = baselineCells<K>(job, _bandWidth);
-        const double rate = cellsPerSecEstimate();
+        const double rate = cellsPerSecEstimate(cells);
         // The host threads serve jobs concurrently, so one job's
         // marginal completion contribution shrinks with the pool.
         return {cells / (rate * _threads), true};
@@ -592,7 +927,7 @@ class CpuBaselineBackend : public AlignBackend<K>
             if (_modeledCellsPerSec > 0)
                 seconds = cells / _modeledCellsPerSec; // pinned rate
             else if (seconds > 0)
-                updateEwma(cells / seconds);
+                updateEwma(cells, cells / seconds);
             if (_skipTraceback) {
                 res.ops.clear();
                 res.start = res.end;
@@ -622,17 +957,29 @@ class CpuBaselineBackend : public AlignBackend<K>
     }
 
   private:
+    /** Shape buckets: log2(cell count), clamped. 2^31 cells tops out
+     *  well past the longest dispatchable pairs. */
+    static constexpr int kEwmaBuckets = 32;
+
+    static size_t
+    bucketOf(double cells)
+    {
+        const int b = static_cast<int>(std::log2(std::max(1.0, cells)));
+        return static_cast<size_t>(std::clamp(b, 0, kEwmaBuckets - 1));
+    }
+
     /**
-     * Relaxed-atomic EWMA (alpha 0.25): concurrent updates may drop a
-     * sample, which only costs estimate freshness, never correctness.
+     * Relaxed-atomic per-bucket EWMA (alpha 0.25): concurrent updates
+     * may drop a sample, which only costs estimate freshness, never
+     * correctness.
      */
     void
-    updateEwma(double rate)
+    updateEwma(double cells, double rate)
     {
-        const double prev =
-            _ewmaCellsPerSec.load(std::memory_order_relaxed);
-        _ewmaCellsPerSec.store(prev + 0.25 * (rate - prev),
-                               std::memory_order_relaxed);
+        std::atomic<double> &slot = _ewmaCellsPerSec[bucketOf(cells)];
+        const double prev = slot.load(std::memory_order_relaxed);
+        slot.store(prev + 0.25 * (rate - prev),
+                   std::memory_order_relaxed);
     }
 
     ref::MatrixAligner<K> _aligner;
@@ -641,7 +988,7 @@ class CpuBaselineBackend : public AlignBackend<K>
     int _threads;
     bool _skipTraceback;
     double _modeledCellsPerSec;
-    std::atomic<double> _ewmaCellsPerSec;
+    std::array<std::atomic<double>, kEwmaBuckets> _ewmaCellsPerSec;
 };
 
 /**

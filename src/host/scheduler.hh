@@ -25,6 +25,7 @@
 #ifndef DPHLS_HOST_SCHEDULER_HH
 #define DPHLS_HOST_SCHEDULER_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -32,9 +33,56 @@
 #include <limits>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dphls::host {
+
+/**
+ * Cooperative preemption flag for an in-flight shard.
+ *
+ * The dispatcher registers one token per running staged shard; a
+ * higher-priority enqueue request()s it, and the shard's producer loop
+ * polls requested() at stage / lane-group boundaries, yielding the slot
+ * with the remainder re-queued. Purely advisory: a backend that never
+ * polls simply runs to completion (the monolithic behavior).
+ */
+class PreemptToken
+{
+  public:
+    void request() { _requested.store(true, std::memory_order_release); }
+
+    bool
+    requested() const
+    {
+        return _requested.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> _requested{false};
+};
+
+/**
+ * The consumer half of a staged shard: one dedicated thread draining
+ * the inter-stage FIFO. Joined on destruction, so a backend can hold it
+ * on the stack next to the FIFO it drains — close the FIFO, then let
+ * scope end.
+ */
+class StageWorker
+{
+  public:
+    explicit StageWorker(std::function<void()> fn);
+    ~StageWorker();
+
+    StageWorker(const StageWorker &) = delete;
+    StageWorker &operator=(const StageWorker &) = delete;
+
+    /** Block until the drain function returns (idempotent). */
+    void join();
+
+  private:
+    std::thread _thread;
+};
 
 /** Scheduling attributes of one pool task. */
 struct TaskOptions

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Inter-stage plumbing of stage-pipelined shard execution.
+ *
+ * DP-HLS's device throughput comes from deeply pipelined dataflow
+ * between DP stages; the host analog here decouples a shard into
+ * producer (encode + band/fill) and consumer (traceback + writeback)
+ * stages connected by a bounded SPSC FIFO, so the traceback of job i
+ * overlaps the fill of job i+1 on the same backend slot. The FIFO bound
+ * is the stage decoupling depth: capacity 1 degenerates to lockstep
+ * hand-off (the differential tests' degenerate mode), larger capacities
+ * let a fast fill run ahead of a slow traceback.
+ *
+ * Stage boundaries double as cooperative scheduling points: between
+ * jobs (and lane groups) the producer polls the shard's PreemptToken
+ * and the owning ticket's cancellation flag through StageRunControl,
+ * so a higher-priority ticket can take the slot mid-shard and a
+ * cancelled ticket drops its not-yet-started stages instead of running
+ * the whole shard to completion.
+ */
+
+#ifndef DPHLS_HOST_STAGE_FLOW_HH
+#define DPHLS_HOST_STAGE_FLOW_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "host/scheduler.hh"
+
+namespace dphls::host {
+
+/**
+ * Bounded single-producer single-consumer FIFO between shard stages.
+ * push() blocks while full; pop() blocks until an item or close().
+ */
+template <typename T>
+class BoundedFifo
+{
+  public:
+    explicit BoundedFifo(size_t capacity)
+        : _capacity(capacity < 1 ? 1 : capacity)
+    {}
+
+    /** Enqueue one item; blocks while the FIFO is at capacity. */
+    void
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _spaceCv.wait(lock,
+                      [this] { return _items.size() < _capacity; });
+        _items.push_back(std::move(item));
+        _itemCv.notify_one();
+    }
+
+    /**
+     * Dequeue one item; blocks until one is available. Returns empty
+     * once the FIFO is closed AND drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _itemCv.wait(lock,
+                     [this] { return !_items.empty() || _closed; });
+        if (_items.empty())
+            return std::nullopt;
+        T item = std::move(_items.front());
+        _items.pop_front();
+        _spaceCv.notify_one();
+        return item;
+    }
+
+    /** Producer is done; pending items still drain. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _closed = true;
+        _itemCv.notify_all();
+    }
+
+  private:
+    const size_t _capacity;
+    std::deque<T> _items;
+    bool _closed = false;
+    std::mutex _mutex;
+    std::condition_variable _itemCv;
+    std::condition_variable _spaceCv;
+};
+
+/**
+ * Per-staged-run control block handed from the dispatcher into
+ * AlignBackend::runStaged(). Inputs tell the backend when to yield;
+ * outputs tell the dispatcher which jobs actually wrote back so it can
+ * re-queue or cancel-account the remainder.
+ */
+struct StageRunControl
+{
+    /** Preemption token of this run; null = preemption disabled. */
+    const PreemptToken *preempt = nullptr;
+    /** Owning ticket's cancellation flag; null = not cancellable. */
+    const std::atomic<bool> *cancelled = nullptr;
+    /** Capacity of the fill -> traceback FIFO (>= 1). */
+    int fifoDepth = 4;
+
+    /**
+     * Out: done[k] == 1 once jobs[indices[k]]'s writeback completed.
+     * Sized/zeroed by the dispatcher before the call. Not an indices
+     * prefix: grouping backends may finish out of submission order.
+     */
+    std::vector<uint8_t> done;
+    /** Out: the producer stopped at a preemption point. */
+    bool preempted = false;
+    /** Out: the producer stopped because the ticket was cancelled. */
+    bool sawCancel = false;
+
+    /** True when the producer must stop issuing new fill stages. */
+    bool
+    shouldYield()
+    {
+        if (cancelled != nullptr &&
+            cancelled->load(std::memory_order_acquire)) {
+            sawCancel = true;
+            return true;
+        }
+        if (preempt != nullptr && preempt->requested()) {
+            preempted = true;
+            return true;
+        }
+        return false;
+    }
+};
+
+} // namespace dphls::host
+
+#endif // DPHLS_HOST_STAGE_FLOW_HH

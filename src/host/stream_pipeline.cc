@@ -54,12 +54,14 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
     int device_aligns = 0;
     int device_cancelled = 0;
     int device_misses = 0;
+    int device_preempts = 0;
     for (const auto &ch : stats.channels) {
         stats.makespanCycles = std::max(stats.makespanCycles, ch.busyCycles);
         device_total += ch.totalCycles;
         device_aligns += ch.alignments;
         device_cancelled += ch.cancelled;
         device_misses += ch.deadlineMisses;
+        device_preempts += ch.preemptions;
     }
     stats.totalCycles =
         device_total + stats.cpu.totalCycles + stats.gpu.totalCycles;
@@ -69,6 +71,8 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         device_cancelled + stats.cpu.cancelled + stats.gpu.cancelled;
     stats.deadlineMisses =
         device_misses + stats.cpu.deadlineMisses + stats.gpu.deadlineMisses;
+    stats.preemptions =
+        device_preempts + stats.cpu.preemptions + stats.gpu.preemptions;
 
     stats.backends.clear();
     {
@@ -80,6 +84,7 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         dev.alignments = device_aligns;
         dev.cancelled = device_cancelled;
         dev.deadlineMisses = device_misses;
+        dev.preemptions = device_preempts;
         dev.seconds = fmax_mhz > 0
             ? static_cast<double>(dev.busyCycles) / (fmax_mhz * 1e6)
             : 0.0;
@@ -94,6 +99,7 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         cpu.alignments = stats.cpu.alignments;
         cpu.cancelled = stats.cpu.cancelled;
         cpu.deadlineMisses = stats.cpu.deadlineMisses;
+        cpu.preemptions = stats.cpu.preemptions;
         cpu.seconds = cpu_mhz > 0
             ? static_cast<double>(cpu.busyCycles) / (cpu_mhz * 1e6)
             : 0.0;
@@ -108,6 +114,7 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         gpu.alignments = stats.gpu.alignments;
         gpu.cancelled = stats.gpu.cancelled;
         gpu.deadlineMisses = stats.gpu.deadlineMisses;
+        gpu.preemptions = stats.gpu.preemptions;
         gpu.seconds =
             static_cast<double>(gpu.busyCycles) / (gpu.clockMhz * 1e6);
         stats.backends.push_back(gpu);
@@ -137,17 +144,20 @@ accumulateBatchStats(BatchStats &into, const BatchStats &add)
         into.channels[c].alignments += add.channels[c].alignments;
         into.channels[c].cancelled += add.channels[c].cancelled;
         into.channels[c].deadlineMisses += add.channels[c].deadlineMisses;
+        into.channels[c].preemptions += add.channels[c].preemptions;
     }
     into.cpu.busyCycles += add.cpu.busyCycles;
     into.cpu.totalCycles += add.cpu.totalCycles;
     into.cpu.alignments += add.cpu.alignments;
     into.cpu.cancelled += add.cpu.cancelled;
     into.cpu.deadlineMisses += add.cpu.deadlineMisses;
+    into.cpu.preemptions += add.cpu.preemptions;
     into.gpu.busyCycles += add.gpu.busyCycles;
     into.gpu.totalCycles += add.gpu.totalCycles;
     into.gpu.alignments += add.gpu.alignments;
     into.gpu.cancelled += add.gpu.cancelled;
     into.gpu.deadlineMisses += add.gpu.deadlineMisses;
+    into.gpu.preemptions += add.gpu.preemptions;
     mergePathStats(into.paths, add.paths);
 }
 

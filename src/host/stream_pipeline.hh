@@ -264,6 +264,31 @@ struct BatchConfig
      * guarantees of the priority machinery are unchanged.
      */
     int agingEvery = 0;
+    /**
+     * Stage-pipelined shard execution: split each device shard into a
+     * fill producer and a traceback/writeback consumer connected by a
+     * bounded FIFO, so the traceback of job i overlaps the fill of
+     * job i+1 on the same channel. Results, per-job cycles and epoch
+     * accounting are bit-identical to the monolithic path (the cycle
+     * domain is analytic, so execution overlap cannot change it);
+     * only host wall-clock improves on traceback-heavy workloads.
+     */
+    bool stagePipeline = false;
+    /**
+     * Fill -> traceback FIFO capacity (clamped to >= 1). Capacity 1
+     * degenerates to lockstep stage hand-off; larger values let a
+     * fast fill run ahead of a slow traceback.
+     */
+    int stageFifoDepth = 4;
+    /**
+     * Let a strictly-higher-priority submission interrupt an
+     * in-flight staged shard at its next stage boundary: the shard
+     * yields its slot, the jobs whose stages had not started re-queue
+     * as a same-sequence remainder shard, and the yield is counted in
+     * ChannelStats::preemptions. Requires stagePipeline. When no
+     * preemption fires the output is bit-identical to preemption off.
+     */
+    bool preemption = false;
 };
 
 /** One backend's section of an epoch/ticket accounting. */
@@ -276,6 +301,7 @@ struct BackendStats
     int alignments = 0;
     int cancelled = 0;       //!< jobs dropped from this backend's queue
     int deadlineMisses = 0;  //!< jobs completed past their deadline
+    int preemptions = 0;     //!< staged shards that yielded mid-flight
     double seconds = 0;      //!< busyCycles / clockMhz
 };
 
@@ -297,6 +323,7 @@ struct BatchStats
     int alignments = 0;          //!< jobs that actually ran
     int cancelled = 0;           //!< jobs dropped by a ticket cancel()
     int deadlineMisses = 0;      //!< jobs completed past their deadline
+    int preemptions = 0;         //!< staged shards that yielded mid-flight
     double seconds = 0;          //!< slowest backend section's wall time
     double alignsPerSec = 0;
     double cyclesPerAlign = 0;
@@ -403,6 +430,16 @@ class DispatchCore
         std::atomic<int64_t> queuedMicros{0};
         /** Pops so far (aging phase); guarded by mutex. */
         uint64_t pops = 0;
+        /**
+         * Preemption target: token of the staged shard occupying the
+         * slot (null while idle, or when preemption is disabled);
+         * guarded by mutex. The token outlives its registration — it
+         * lives on the running worker's stack and is deregistered
+         * before the run returns.
+         */
+        PreemptToken *runningToken = nullptr;
+        /** Priority of the running shard (valid with runningToken). */
+        int runningPriority = 0;
     };
 
     DispatchCore(int nk, double fmax_mhz, double cpu_mhz,
@@ -710,6 +747,7 @@ class StreamPipeline
         _cfg.nb = std::max(1, _cfg.nb);
         _cfg.threads = poolThreads(cfg);
         _cfg.agingEvery = std::max(0, _cfg.agingEvery);
+        _cfg.stageFifoDepth = std::max(1, _cfg.stageFifoDepth);
         _cfg.laneWidth = std::clamp(_cfg.laneWidth, 1,
                                     sim::LaneAligner<K>::maxLanes);
         _core = std::make_shared<detail::DispatchCore<K>>(
@@ -1270,9 +1308,20 @@ class StreamPipeline
 
         for (auto &[slot, entry] : entries) {
             _core->noteEnqueued(slot, entry.estSeconds);
+            const int prio = entry.priority;
             {
                 std::lock_guard lock(_core->slot(slot).mutex);
-                _core->slot(slot).queue.insert(std::move(entry));
+                auto &sl = _core->slot(slot);
+                sl.queue.insert(std::move(entry));
+                // A strictly-higher-priority arrival asks the staged
+                // shard occupying the slot to yield at its next stage
+                // boundary (pointless while paused: nothing would
+                // start in its place).
+                if (_cfg.preemption && sl.runningToken != nullptr &&
+                    prio > sl.runningPriority &&
+                    !_core->paused.load(std::memory_order_acquire)) {
+                    sl.runningToken->request();
+                }
             }
             pump(slot);
         }
@@ -1360,6 +1409,11 @@ class StreamPipeline
             backend = _gpu.get();
         ChannelStats &acct = _core->acctFor(ticket, s);
 
+        if (_cfg.stagePipeline && backend->supportsStagedRun()) {
+            runShardStaged(s, entry, *backend, acct);
+            return;
+        }
+
         backend->run(ticket.jobs(), entry.indices,
                      ticket._results.data(), ticket._cycles.data(), acct);
         for (const int idx : entry.indices)
@@ -1381,6 +1435,103 @@ class StreamPipeline
 
         collectPaths(ticket, entry.indices);
         _core->finishShard(ticket);
+    }
+
+    /**
+     * Staged variant of runShard(): the backend overlaps fill and
+     * traceback internally and may stop early at a stage boundary —
+     * on preemption the unstarted jobs re-queue as a remainder shard
+     * with the same submission sequence (the ticket stays pending
+     * across resumptions); on cancellation they are accounted as
+     * cancelled and the shard retires.
+     */
+    void
+    runShardStaged(int s, ShardEntry &entry, AlignBackend<K> &backend,
+                   ChannelStats &acct)
+    {
+        BatchTicket<K> &ticket = *entry.ticket;
+        PreemptToken token;
+        if (_cfg.preemption) {
+            std::lock_guard lock(_core->slot(s).mutex);
+            _core->slot(s).runningToken = &token;
+            _core->slot(s).runningPriority = entry.priority;
+        }
+        StageRunControl ctl;
+        ctl.preempt = _cfg.preemption ? &token : nullptr;
+        ctl.cancelled = &ticket._cancelled;
+        ctl.fifoDepth = _cfg.stageFifoDepth;
+        ctl.done.assign(entry.indices.size(), 0);
+
+        backend.runStaged(ticket.jobs(), entry.indices,
+                          ticket._results.data(), ticket._cycles.data(),
+                          acct, ctl);
+
+        if (_cfg.preemption) {
+            std::lock_guard lock(_core->slot(s).mutex);
+            _core->slot(s).runningToken = nullptr;
+            _core->slot(s).runningPriority = 0;
+        }
+
+        // Partition by writeback outcome (grouping backends may finish
+        // out of submission order, so this is not a prefix split).
+        std::vector<int> completed, remainder;
+        completed.reserve(entry.indices.size());
+        for (size_t k = 0; k < entry.indices.size(); k++) {
+            if (ctl.done[k])
+                completed.push_back(entry.indices[k]);
+            else
+                remainder.push_back(entry.indices[k]);
+        }
+        for (const int idx : completed)
+            ticket._completed[static_cast<size_t>(idx)] = 1;
+        if (!completed.empty() &&
+            entry.deadline !=
+                detail::DispatchCore<K>::Clock::time_point::max() &&
+            detail::DispatchCore<K>::Clock::now() > entry.deadline) {
+            acct.deadlineMisses += static_cast<int>(completed.size());
+        }
+
+        const bool requeue = ctl.preempted && !remainder.empty() &&
+                             !ticket.cancelled();
+        if (requeue) {
+            // Split the backlog estimate across the resumptions in
+            // proportion to the work done, so the queued-seconds
+            // signal stays truthful while the remainder waits.
+            const double frac =
+                static_cast<double>(completed.size()) /
+                static_cast<double>(entry.indices.size());
+            const double est_done = entry.estSeconds * frac;
+            _core->noteCompleted(s, est_done);
+            acct.preemptions++;
+            ShardEntry rest;
+            rest.ticket = entry.ticket;
+            rest.indices = std::move(remainder);
+            rest.estSeconds = entry.estSeconds - est_done;
+            rest.priority = entry.priority;
+            rest.deadline = entry.deadline;
+            rest.seq = entry.seq; // keeps its FIFO-tiebreak position
+            {
+                std::lock_guard lock(_core->slot(s).mutex);
+                _core->slot(s).queue.insert(std::move(rest));
+            }
+            // A cancel() racing this insert is safe: dropTicket or the
+            // pump's cancelled-entry discard retires the shard either
+            // way, exactly once.
+        } else {
+            if (!remainder.empty())
+                acct.cancelled += static_cast<int>(remainder.size());
+            _core->noteCompleted(s, entry.estSeconds);
+        }
+
+        {
+            std::lock_guard lock(_core->slot(s).mutex);
+            _core->slot(s).busy--;
+        }
+        pump(s);
+
+        collectPaths(ticket, completed);
+        if (!requeue)
+            _core->finishShard(ticket);
     }
 
     void

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/alignment.hh"
+#include "host/scheduler.hh"
 #include "seq/alphabet.hh"
 #include "systolic/engine.hh"
 
@@ -39,6 +40,16 @@ struct TilingConfig
      * engine's path (kernels without a sweep fall back silently).
      */
     bool intraPairSimd = false;
+    /**
+     * Cooperative preemption flag polled between tiles (null = run to
+     * completion). A tiled long read cannot overlap its stages — tile
+     * t's committed traceback determines tile t+1's origin — so the
+     * tile boundary is its only scheduling point: when the token is
+     * requested, tiledAlign stops before the next tile and reports
+     * the committed resume origin. At least one tile always runs, so
+     * a resume loop is guaranteed progress.
+     */
+    const PreemptToken *preempt = nullptr;
 };
 
 /** Outcome of a tiled long alignment. */
@@ -47,6 +58,11 @@ struct TiledAlignment
     std::vector<core::AlnOp> ops; //!< full stitched path
     int tiles = 0;                //!< tiles executed
     uint64_t totalCycles = 0;     //!< device cycles across all tiles
+    /** Stopped at a tile boundary on a preemption request; ops holds
+     *  the committed prefix and resume* the next tile's origin. */
+    bool preempted = false;
+    int resumeQuery = 0;     //!< query chars committed so far
+    int resumeReference = 0; //!< reference chars committed so far
 };
 
 /**
@@ -88,6 +104,11 @@ tiledAlign(sim::SystolicAligner<K> &engine,
     int rj = 0;
 
     while (qi < qlen || rj < rlen) {
+        if (out.tiles > 0 && cfg.preempt != nullptr &&
+            cfg.preempt->requested()) {
+            out.preempted = true;
+            break;
+        }
         const int tq = std::min(cfg.tileSize, qlen - qi);
         const int tr = std::min(cfg.tileSize, rlen - rj);
         seq::Sequence<typename K::CharT> qs, rs;
@@ -117,6 +138,8 @@ tiledAlign(sim::SystolicAligner<K> &engine,
         if (last)
             break;
     }
+    out.resumeQuery = qi;
+    out.resumeReference = rj;
     return out;
 }
 

@@ -364,6 +364,7 @@ encodeStats(const ServeStats &stats)
         w.u32(static_cast<uint32_t>(b.alignments));
         w.u32(static_cast<uint32_t>(b.cancelled));
         w.u32(static_cast<uint32_t>(b.deadlineMisses));
+        w.u32(static_cast<uint32_t>(b.preemptions));
         w.f64(b.seconds);
     }
     return std::move(w.bytes());
@@ -400,6 +401,7 @@ decodeStats(const Frame &frame)
         b.alignments = static_cast<int32_t>(r.u32());
         b.cancelled = static_cast<int32_t>(r.u32());
         b.deadlineMisses = static_cast<int32_t>(r.u32());
+        b.preemptions = static_cast<int32_t>(r.u32());
         b.seconds = r.f64();
         stats.backends.push_back(std::move(b));
     }

@@ -224,6 +224,7 @@ struct WireBackendStats
     int32_t alignments = 0;
     int32_t cancelled = 0;
     int32_t deadlineMisses = 0;
+    int32_t preemptions = 0;
     double seconds = 0;
 };
 

@@ -160,6 +160,9 @@ class AlignService
             wb.alignments = b.alignments;
             wb.cancelled = b.cancelled;
             wb.deadlineMisses = b.deadlineMisses;
+            // Preemptions are slot-yield events, not jobs: they ride
+            // along per backend but stay out of the closure sums.
+            wb.preemptions = b.preemptions;
             wb.seconds = b.seconds;
             s.backends.push_back(std::move(wb));
         }

@@ -52,14 +52,40 @@ struct FastWorkspace
     std::vector<int64_t> rowBase;
 };
 
-/** Align one pair on the row-major fast path. */
+/**
+ * Everything the traceback stage needs after the DP fill of one pair.
+ *
+ * Staged executors move the traceback bank out of the workspace so the
+ * traceback of pair i can run on another thread while pair i+1 fills
+ * into fresh buffers; `fastAlign` moves the buffers back afterwards to
+ * keep the monolithic path's allocation amortization. `stats` holds the
+ * load/init + fill components on return from `fastFill`; the traceback
+ * stage adds its reduction/traceback/writeback components in place.
+ */
 template <core::KernelSpec K>
-core::AlignResult<typename K::ScoreT>
-fastAlign(const EngineConfig &cfg, const typename K::Params &params,
-          const seq::Sequence<typename K::CharT> &query,
-          const seq::Sequence<typename K::CharT> &reference,
-          CycleStats &stats, FastWorkspace<K> &ws)
+struct FastFillState
 {
+    int qlen = 0;
+    int rlen = 0;
+    int band = 0;
+    bool keepTb = false;
+    bool found = false;
+    typename K::ScoreT bestScore{};
+    core::Coord bestCell{};
+    CycleStats stats;
+    std::vector<core::TbPtr> tb;
+    std::vector<int64_t> rowBase;
+};
+
+/** Fill stage of the fast path: DP fill + optimum tracking, no traceback. */
+template <core::KernelSpec K>
+void
+fastFill(const EngineConfig &cfg, const typename K::Params &params,
+         const seq::Sequence<typename K::CharT> &query,
+         const seq::Sequence<typename K::CharT> &reference,
+         FastWorkspace<K> &ws, FastFillState<K> &st)
+{
+    CycleStats &stats = st.stats;
     using ScoreT = typename K::ScoreT;
     constexpr int nLayers = K::nLayers;
 
@@ -309,16 +335,53 @@ fastAlign(const EngineConfig &cfg, const typename K::Params &params,
         }
     }
 
+    st.qlen = qlen;
+    st.rlen = rlen;
+    st.band = band;
+    st.keepTb = keep_tb;
+    st.found = found;
+    st.bestScore = best_score;
+    st.bestCell = core::Coord{best_i, best_j};
+    st.tb = std::move(ws.tb);
+    st.rowBase = std::move(ws.rowBase);
+}
+
+/** Traceback stage over a fill state; adds its cycles into `st.stats`. */
+template <core::KernelSpec K>
+core::AlignResult<typename K::ScoreT>
+fastTraceback(const EngineConfig &cfg, const typename K::Params &params,
+              FastFillState<K> &st)
+{
+    const int band = st.band;
+    const int rlen = st.rlen;
     const auto fetch = [&](int i, int j) {
-        const int jlo = j_lo(i);
-        if (j < jlo || j > j_hi(i))
+        const int jlo = bandJLo<K>(i, band);
+        if (j < jlo || j > bandJHi<K>(i, rlen, band))
             return core::TbPtr{};
-        return ws.tb[static_cast<size_t>(
-            ws.rowBase[static_cast<size_t>(i)] + (j - jlo))];
+        return st.tb[static_cast<size_t>(
+            st.rowBase[static_cast<size_t>(i)] + (j - jlo))];
     };
-    return finishResult<K>(cfg, params, qlen, rlen, found, best_score,
-                           core::Coord{best_i, best_j}, keep_tb, fetch,
-                           stats);
+    return finishResult<K>(cfg, params, st.qlen, st.rlen, st.found,
+                           st.bestScore, st.bestCell, st.keepTb, fetch,
+                           st.stats);
+}
+
+/** Align one pair on the row-major fast path. */
+template <core::KernelSpec K>
+core::AlignResult<typename K::ScoreT>
+fastAlign(const EngineConfig &cfg, const typename K::Params &params,
+          const seq::Sequence<typename K::CharT> &query,
+          const seq::Sequence<typename K::CharT> &reference,
+          CycleStats &stats, FastWorkspace<K> &ws)
+{
+    FastFillState<K> st;
+    fastFill<K>(cfg, params, query, reference, ws, st);
+    auto res = fastTraceback<K>(cfg, params, st);
+    stats = st.stats;
+    // Hand the bank back so batch hosts keep amortizing allocations.
+    ws.tb = std::move(st.tb);
+    ws.rowBase = std::move(st.rowBase);
+    return res;
 }
 
 } // namespace dphls::sim

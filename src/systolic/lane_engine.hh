@@ -42,6 +42,7 @@
 
 #include <array>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -78,6 +79,28 @@ class LaneAligner
     {
         const seq::Sequence<CharT> *query = nullptr;
         const seq::Sequence<CharT> *reference = nullptr;
+    };
+
+    /**
+     * Fill output of one native-width sub-group: everything the
+     * per-lane traceback epilogue needs. The state owns the traceback
+     * bank (moved out of the workspace), so laneTraceback() may run on
+     * a consumer thread while this aligner fills the next group —
+     * staged shard execution's lane-group boundary.
+     */
+    struct LaneFillState
+    {
+        int count = 0; //!< lanes actually occupied in this sub-group
+        int packW = 0; //!< pack width the sub-group ran at (tb stride)
+        int maxr = 0;
+        int band = 0;
+        bool keepTb = false;
+        std::array<int, maxLanes> qlen{}, rlen{};
+        std::array<uint8_t, maxLanes> found{};
+        std::array<ScoreT, maxLanes> bestScore{};
+        std::array<int, maxLanes> bestI{}, bestJ{};
+        std::vector<core::TbPtr> tb;
+        std::vector<int64_t> rowBase;
     };
 
     explicit LaneAligner(EngineConfig cfg = {},
@@ -146,6 +169,91 @@ class LaneAligner
         return results;
     }
 
+    /**
+     * Fill stage of a lane group: the same native-width sub-group split
+     * as alignLanes(), stopping before the per-lane epilogue. Returns
+     * one state per sub-group; feed each lane of each state through
+     * laneTraceback() to obtain the bit-identical result and cycles.
+     */
+    std::vector<LaneFillState>
+    fillLanes(const std::vector<LanePair> &lanes)
+    {
+        const int n = static_cast<int>(lanes.size());
+        if (n == 0)
+            return {};
+        if (n > maxLanes)
+            throw std::invalid_argument("lane group exceeds maxLanes");
+        for (const auto &lp : lanes) {
+            if (lp.query->length() > _cfg.maxQueryLength)
+                throw std::invalid_argument(
+                    "query exceeds MAX_QUERY_LENGTH");
+            if (lp.reference->length() > _cfg.maxReferenceLength)
+                throw std::invalid_argument(
+                    "reference exceeds MAX_REFERENCE_LENGTH");
+        }
+        const size_t native = static_cast<size_t>(isaTierLanes(_tier));
+        std::vector<LaneFillState> states;
+        states.reserve((lanes.size() + native - 1) / native);
+        for (size_t g = 0; g < lanes.size(); g += native) {
+            const size_t count = std::min(native, lanes.size() - g);
+            const std::vector<LanePair> sub(
+                lanes.begin() + static_cast<ptrdiff_t>(g),
+                lanes.begin() + static_cast<ptrdiff_t>(g + count));
+            states.push_back(dispatchFill(sub));
+        }
+        return states;
+    }
+
+    /**
+     * Traceback epilogue of one lane of a fill state. Touches no
+     * workspace (only the state's bank and the immutable config), so it
+     * is safe concurrently with fillLanes() on this same aligner.
+     */
+    Result
+    laneTraceback(const LaneFillState &st, int lane,
+                  CycleStats &stats) const
+    {
+        const size_t lu = static_cast<size_t>(lane);
+        const int ql = st.qlen[lu];
+        const int rl = st.rlen[lu];
+        stats = CycleStats{};
+        accountLoadInit<K>(_cfg, ql, rl, stats);
+        accountFill<K>(_cfg, ql, rl, stats);
+        const auto fetch = [&](int fi, int fj) {
+            const int flo = bandJLo<K>(fi, st.band);
+            if (fj < flo || fj > bandJHi<K>(fi, st.maxr, st.band))
+                return core::TbPtr{};
+            return st.tb[static_cast<size_t>(
+                             st.rowBase[static_cast<size_t>(fi)] +
+                             (fj - flo)) *
+                             static_cast<size_t>(st.packW) +
+                         lu];
+        };
+        return finishResult<K>(_cfg, _params, ql, rl, st.found[lu] != 0,
+                               st.bestScore[lu],
+                               core::Coord{st.bestI[lu], st.bestJ[lu]},
+                               st.keepTb, fetch, stats);
+    }
+
+    /**
+     * Hand a finished group's buffers back for reuse. The staged
+     * consumer calls this after the last laneTraceback() of a state so
+     * the producer's next fillLanes() reuses the traceback bank instead
+     * of paying a fresh allocation (and first-touch faults) per group —
+     * the same amortization the monolithic run() gets by moving the
+     * bank back into the workspace. Keeps the single largest bank;
+     * thread-safe against fillLanes() on this same aligner.
+     */
+    void
+    recycleBank(LaneFillState &&st)
+    {
+        std::lock_guard lock(_spareMutex);
+        if (st.tb.capacity() > _spareTb.capacity())
+            _spareTb = std::move(st.tb);
+        if (st.rowBase.capacity() > _spareRowBase.capacity())
+            _spareRowBase = std::move(st.rowBase);
+    }
+
   private:
     std::vector<Result>
     dispatch(const std::vector<LanePair> &lanes)
@@ -162,9 +270,41 @@ class LaneAligner
         return run<4>(lanes);
     }
 
+    LaneFillState
+    dispatchFill(const std::vector<LanePair> &lanes)
+    {
+        const int n = static_cast<int>(lanes.size());
+        const int native = isaTierLanes(_tier);
+        if (native >= 16 && n > 8)
+            return fillRun<16>(lanes);
+        if (native >= 8 && n > 4)
+            return fillRun<8>(lanes);
+        return fillRun<4>(lanes);
+    }
+
+    /** Monolithic group run: fill stage + per-lane epilogue in place. */
     template <int W>
     std::vector<Result>
     run(const std::vector<LanePair> &lanes)
+    {
+        LaneFillState st = fillRun<W>(lanes);
+        const int n = st.count;
+        std::vector<Result> results;
+        results.reserve(static_cast<size_t>(n));
+        _laneStats.assign(static_cast<size_t>(n), CycleStats{});
+        for (int lane = 0; lane < n; lane++) {
+            results.push_back(laneTraceback(
+                st, lane, _laneStats[static_cast<size_t>(lane)]));
+        }
+        // Hand the bank back so lane groups keep amortizing allocations.
+        _ws.tb = std::move(st.tb);
+        _ws.rowBase = std::move(st.rowBase);
+        return results;
+    }
+
+    template <int W>
+    LaneFillState
+    fillRun(const std::vector<LanePair> &lanes)
     {
         const int n = static_cast<int>(lanes.size());
         const int band = _cfg.bandWidth;
@@ -184,13 +324,19 @@ class LaneAligner
             maxr = std::max(maxr, rlen[static_cast<size_t>(lane)]);
         }
 
-        const auto j_lo = [&](int i) { return bandJLo<K>(i, band); };
-        const auto j_hi = [&](int i) { return bandJHi<K>(i, maxr, band); };
-
         // Shared band-compressed traceback bank, [cell][lane]. When
         // traceback is off, every cell's store lands in one scratch
         // slot instead — the lane loop stays branch-free either way
-        // (a conditional store would block vectorization).
+        // (a conditional store would block vectorization). A staged run
+        // moves the bank out per group; reclaim the consumer's recycled
+        // one before falling back to a fresh allocation.
+        if (_ws.tb.capacity() == 0 || _ws.rowBase.capacity() == 0) {
+            std::lock_guard lock(_spareMutex);
+            if (_ws.tb.capacity() == 0)
+                _ws.tb = std::move(_spareTb);
+            if (_ws.rowBase.capacity() == 0)
+                _ws.rowBase = std::move(_spareRowBase);
+        }
         std::vector<core::TbPtr> &tb = _ws.tb;
         tb.clear();
         std::array<core::TbPtr, W> tb_scratch{};
@@ -227,32 +373,24 @@ class LaneAligner
                          best_score, best_i, best_j);
         }
 
-        // Per-lane epilogue: analytic cycle accounting over the lane's
-        // own dimensions plus the shared traceback walk machinery.
-        std::vector<Result> results;
-        results.reserve(static_cast<size_t>(n));
-        _laneStats.assign(static_cast<size_t>(n), CycleStats{});
+        LaneFillState st;
+        st.count = n;
+        st.packW = W;
+        st.maxr = maxr;
+        st.band = band;
+        st.keepTb = keep_tb;
         for (int lane = 0; lane < n; lane++) {
             const size_t lu = static_cast<size_t>(lane);
-            CycleStats &stats = _laneStats[lu];
-            const int ql = qlen[lu];
-            const int rl = rlen[lu];
-            accountLoadInit<K>(_cfg, ql, rl, stats);
-            accountFill<K>(_cfg, ql, rl, stats);
-            const auto fetch = [&](int fi, int fj) {
-                const int flo = j_lo(fi);
-                if (fj < flo || fj > j_hi(fi))
-                    return core::TbPtr{};
-                return tb[static_cast<size_t>(
-                              row_base[static_cast<size_t>(fi)] +
-                              (fj - flo)) * W + lu];
-            };
-            results.push_back(finishResult<K>(
-                _cfg, _params, ql, rl, found[lu] != 0, best_score[lu],
-                core::Coord{best_i[lu], best_j[lu]}, keep_tb, fetch,
-                stats));
+            st.qlen[lu] = qlen[lu];
+            st.rlen[lu] = rlen[lu];
+            st.found[lu] = found[lu];
+            st.bestScore[lu] = best_score[lu];
+            st.bestI[lu] = best_i[lu];
+            st.bestJ[lu] = best_j[lu];
         }
-        return results;
+        st.tb = std::move(tb);
+        st.rowBase = std::move(row_base);
+        return st;
     }
 
 #ifdef DPHLS_VEC
@@ -555,6 +693,9 @@ class LaneAligner
     IsaTier _tier;
     std::vector<CycleStats> _laneStats;
     Workspace _ws;
+    std::mutex _spareMutex; //!< guards the recycled-bank pool below
+    std::vector<core::TbPtr> _spareTb;
+    std::vector<int64_t> _spareRowBase;
 };
 
 } // namespace dphls::sim

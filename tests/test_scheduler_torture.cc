@@ -23,6 +23,14 @@
  * cycles are bit-identical to the default FIFO path for all 15 kernels
  * — the priority machinery must be invisible when it has nothing to
  * reorder.
+ *
+ * The staged round re-runs the randomized interleavings with the
+ * stage pipeline and preemption enabled and a chaos preemptor thread
+ * submitting top-priority tickets that interrupt in-flight shards at
+ * stage boundaries — every invariant above must survive arbitrary
+ * preempt/resume/cancel interleavings (a preempted shard's remainder
+ * re-queues within the same ticket, so ticket- and epoch-level closure
+ * are unchanged).
  */
 
 #include <gtest/gtest.h>
@@ -87,7 +95,7 @@ sumSections(const host::BatchStats &stats)
  */
 template <typename K>
 void
-tortureKernel(uint64_t seed)
+tortureKernel(uint64_t seed, bool staged = false)
 {
     using Pipeline = host::StreamPipeline<K>;
     using Ticket = typename Pipeline::Ticket;
@@ -105,6 +113,9 @@ tortureKernel(uint64_t seed)
     cfg.cpuFloorLen = 6; // some tiny jobs route to the CPU backend
     cfg.cpuModeledCellsPerSec = 1e9;
     cfg.collectPathStats = false;
+    cfg.stagePipeline = staged;
+    cfg.preemption = staged;
+    cfg.stageFifoDepth = 2;
     Pipeline pipeline(cfg);
     Pipeline golden(cfg); // blocking reference runs, same config
 
@@ -121,8 +132,11 @@ tortureKernel(uint64_t seed)
         threads.emplace_back([&, p] {
             seq::Rng rng(seed + static_cast<uint64_t>(p) * 7919);
             for (int b = 0; b < batches_per_producer; b++) {
-                const int count =
-                    1 + static_cast<int>(rng.below(4));
+                // Staged rounds submit bigger shards so the chaos
+                // preemptor has something in flight to interrupt.
+                const int count = staged
+                    ? 4 + static_cast<int>(rng.below(12))
+                    : 1 + static_cast<int>(rng.below(4));
                 auto jobs = tortureJobs<K>(rng, count, 40);
                 submitted_jobs += count;
 
@@ -186,10 +200,38 @@ tortureKernel(uint64_t seed)
             std::this_thread::yield();
         }
     });
+    // Chaos preemptor (staged rounds): top-priority one-job tickets
+    // that land above every producer class, requesting the token of
+    // whatever staged shard holds the slot; waiting each one out keeps
+    // the stream paced to the pipeline instead of flooding the queue.
+    std::thread preemptor;
+    if (staged) {
+        preemptor = std::thread([&] {
+            seq::Rng rng(seed ^ 0x9e37u);
+            while (!stop.load()) {
+                auto jobs = tortureJobs<K>(rng, 1, 24);
+                submitted_jobs += 1;
+                host::TicketOptions opt;
+                opt.priority = 100;
+                auto t = pipeline.submit(
+                    std::move(jobs), std::move(opt),
+                    [&callback_fires](host::BatchTicket<K> &) {
+                        callback_fires++;
+                    });
+                {
+                    std::lock_guard lock(ticketsMutex);
+                    tickets.push_back(t);
+                }
+                t->wait();
+            }
+        });
+    }
     for (auto &t : threads)
         t.join();
     stop = true;
     chaos.join();
+    if (preemptor.joinable())
+        preemptor.join();
 
     // Every ticket reaches a terminal state — cancel() never strands a
     // waiter.
@@ -356,6 +398,25 @@ TEST(SchedulerTorture, RandomizedSubmitCancelWaitAllKernels)
     tortureKernel<kernels::BandedGlobalTwoPiece>(23);
     tortureKernel<kernels::Sdtw>(24);
     tortureKernel<kernels::ProteinLocal>(25);
+}
+
+TEST(SchedulerTorture, StagedPreemptInterleavingsAllKernels)
+{
+    tortureKernel<kernels::GlobalLinear>(111, true);
+    tortureKernel<kernels::GlobalAffine>(112, true);
+    tortureKernel<kernels::LocalLinear>(113, true);
+    tortureKernel<kernels::LocalAffine>(114, true);
+    tortureKernel<kernels::GlobalTwoPiece>(115, true);
+    tortureKernel<kernels::Overlap>(116, true);
+    tortureKernel<kernels::SemiGlobal>(117, true);
+    tortureKernel<kernels::ProfileAlignment>(118, true);
+    tortureKernel<kernels::Dtw>(119, true);
+    tortureKernel<kernels::Viterbi>(120, true);
+    tortureKernel<kernels::BandedGlobalLinear>(121, true);
+    tortureKernel<kernels::BandedLocalAffine>(122, true);
+    tortureKernel<kernels::BandedGlobalTwoPiece>(123, true);
+    tortureKernel<kernels::Sdtw>(124, true);
+    tortureKernel<kernels::ProteinLocal>(125, true);
 }
 
 /**

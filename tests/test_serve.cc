@@ -288,6 +288,7 @@ TEST(ServeProtocol, StatsRoundtrip)
     b.busyCycles = 500;
     b.totalCycles = 700;
     b.alignments = 40;
+    b.preemptions = 6;
     b.seconds = 2.8e-6;
     stats.backends.push_back(b);
     const Frame f = makeFrame(MsgType::StatsOk, 9, encodeStats(stats));
@@ -301,6 +302,7 @@ TEST(ServeProtocol, StatsRoundtrip)
     ASSERT_EQ(got.backends.size(), 1u);
     EXPECT_EQ(got.backends[0].name, "device0");
     EXPECT_EQ(got.backends[0].alignments, 40);
+    EXPECT_EQ(got.backends[0].preemptions, 6);
     EXPECT_DOUBLE_EQ(got.backends[0].clockMhz, 250.0);
 }
 

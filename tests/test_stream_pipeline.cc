@@ -658,10 +658,14 @@ TEST(StreamPipeline, BackendEstimatesAndQueueSignal)
     EXPECT_NEAR(cpu.estimate(small).seconds,
                 32.0 * 32.0 / (1e8 * 2), 1e-12);
 
-    // Unpinned rate: the EWMA learns from measured completions.
+    // Unpinned rate: the per-shape-bucket EWMA learns from measured
+    // completions of jobs in that bucket only.
     host::CpuBaselineBackend<K> learning(K::defaultParams(), 64, 1500.0,
                                          1, false);
-    const double before = learning.cellsPerSecEstimate();
+    const double short_cells = 48.0 * 48.0;
+    const double long_cells = 2048.0 * 2048.0;
+    const double before = learning.cellsPerSecEstimate(short_cells);
+    const double long_before = learning.cellsPerSecEstimate(long_cells);
     std::vector<Pipeline::Job> jobs;
     for (int i = 0; i < 8; i++)
         jobs.push_back({seq::randomDna(48, rng), seq::randomDna(48, rng)});
@@ -672,8 +676,11 @@ TEST(StreamPipeline, BackendEstimatesAndQueueSignal)
         indices.push_back(i);
     host::ChannelStats acct;
     learning.run(jobs, indices, results.data(), cycles.data(), acct);
-    EXPECT_GT(learning.cellsPerSecEstimate(), 0.0);
-    EXPECT_NE(learning.cellsPerSecEstimate(), before);
+    EXPECT_GT(learning.cellsPerSecEstimate(short_cells), 0.0);
+    EXPECT_NE(learning.cellsPerSecEstimate(short_cells), before);
+    // A different shape bucket keeps its seed: the short jobs' samples
+    // must not skew (or touch) the long-job estimate.
+    EXPECT_EQ(learning.cellsPerSecEstimate(long_cells), long_before);
 
     // GPU-model coverage follows the paper's Fig. 6B kernel set.
     EXPECT_TRUE(host::GpuModelBackend<kernels::LocalAffine>::covered());

@@ -44,6 +44,12 @@
  *               [--two-class-demo]
  *               [--isa-tier auto|scalar|sse2|avx2|avx512]
  *               [--intra-pair] [--intra-pair-min-len L]
+ *               [--stage-pipeline] [--stage-fifo-depth N] [--preempt]
+ *
+ * --stage-pipeline overlaps each shard's traceback with the next job's
+ * fill on the same channel (bit-identical output, better wall-clock on
+ * traceback-heavy runs); --preempt additionally lets higher-priority
+ * tickets interrupt in-flight shards at stage boundaries.
  *
  * --isa-tier pins the SIMD tier of the host lane engine (auto picks
  * the widest the CPU supports); results are identical at every tier,
@@ -107,6 +113,9 @@ struct Options
     sim::IsaTier isaTier = sim::IsaTier::Auto; //!< --isa-tier
     bool intraPair = false;    //!< route single long pairs to DiagSimd
     int intraPairMinLen = 1024; //!< shorter-end floor for --intra-pair
+    bool stagePipeline = false; //!< overlap fill and traceback stages
+    int stageFifoDepth = 4;     //!< fill -> traceback FIFO capacity
+    bool preempt = false;       //!< stage-boundary preemption points
 };
 
 void
@@ -129,6 +138,8 @@ usage()
                  "auto|scalar|sse2|avx2|avx512]\n"
                  "                   [--intra-pair] "
                  "[--intra-pair-min-len L]\n"
+                 "                   [--stage-pipeline] "
+                 "[--stage-fifo-depth N] [--preempt]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -364,6 +375,9 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     cfg.isaTier = opt.isaTier;
     cfg.intraPairSimd = opt.intraPair;
     cfg.intraPairSimdMinLen = opt.intraPairMinLen;
+    cfg.stagePipeline = opt.stagePipeline;
+    cfg.stageFifoDepth = opt.stageFifoDepth;
+    cfg.preemption = opt.preempt;
     Pipeline pipeline(cfg);
 
     CyclingFastaSource<SeqT> queries(opt.queryPath, decode);
@@ -386,6 +400,8 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     size_t chunk = adaptive ? 64 : static_cast<size_t>(opt.chunk);
     constexpr double target_latency = 0.15; // seconds per ticket drain
     constexpr size_t chunk_min = 16, chunk_max = 16384;
+    Clock::time_point last_collect{};
+    bool have_last_collect = false;
 
     bool header_printed = false;
     const auto writeback = [&](const typename Pipeline::Ticket &ticket,
@@ -397,9 +413,20 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
         }
         host::accumulateBatchStats(epoch, pipeline.collect(ticket));
         if (adaptive) {
+            const auto now = Clock::now();
+            // Stage-pipelined channels drain a ticket while its
+            // successor's fills are already overlapping it, so
+            // submit-to-collect residence double-counts the overlap
+            // and over-shrinks the chunk; the collect-to-collect
+            // interval is the staged pipeline's true drain period.
             const double latency =
-                std::chrono::duration<double>(Clock::now() - submitted)
-                    .count();
+                opt.stagePipeline && have_last_collect
+                    ? std::chrono::duration<double>(now - last_collect)
+                          .count()
+                    : std::chrono::duration<double>(now - submitted)
+                          .count();
+            last_collect = now;
+            have_last_collect = true;
             if (latency > 0 && !ticket->jobs().empty()) {
                 const double ideal = static_cast<double>(chunk) *
                                      target_latency / latency;
@@ -516,10 +543,11 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
                     (unsigned long long)b.busyCycles, b.clockMhz);
     }
     if (opt.deadlineMs > 0 || epoch.deadlineMisses > 0 ||
-        epoch.cancelled > 0) {
+        epoch.cancelled > 0 || epoch.preemptions > 0) {
         std::printf("# scheduling: priority %d, %d deadline miss(es), "
-                    "%d cancelled\n",
-                    opt.priority, epoch.deadlineMisses, epoch.cancelled);
+                    "%d cancelled, %d preemption(s)\n",
+                    opt.priority, epoch.deadlineMisses, epoch.cancelled,
+                    epoch.preemptions);
     }
     if (epoch.paths.columns > 0) {
         std::printf("# paths: %.2f%% identity, %d matches, %d mismatches, "
@@ -638,6 +666,13 @@ main(int argc, char **argv)
             opt.intraPair = true;
         } else if (a == "--intra-pair-min-len") {
             opt.intraPairMinLen = std::atoi(next());
+        } else if (a == "--stage-pipeline") {
+            opt.stagePipeline = true;
+        } else if (a == "--stage-fifo-depth") {
+            opt.stageFifoDepth = std::atoi(next());
+        } else if (a == "--preempt") {
+            opt.stagePipeline = true; // preemption needs stage points
+            opt.preempt = true;
         } else {
             usage();
             return 2;
