@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fuzz harness for the CIGAR run-length codec (count << 2 | op wire
+ * records). Input bytes are reinterpreted as little-endian u32 run
+ * words and decoded; a successful decode is re-encoded and decoded
+ * again, and the expanded op lists must match — encodeRuns emits the
+ * canonical (merged-run) form, so decode ∘ encode ∘ decode must be
+ * identity on the op list even when the input runs were non-canonical
+ * (adjacent same-op runs, zero-count words).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    std::vector<uint32_t> runs;
+    runs.reserve(size / 4);
+    for (size_t i = 0; i + 4 <= size; i += 4) {
+        uint32_t v = 0;
+        for (int b = 0; b < 4; b++)
+            v |= static_cast<uint32_t>(data[i + static_cast<size_t>(b)])
+                 << (8 * b);
+        runs.push_back(v);
+    }
+    try {
+        const std::vector<dphls::core::AlnOp> ops =
+            dphls::serve::decodeRuns(runs);
+        const std::vector<uint32_t> canon =
+            dphls::serve::encodeRuns(ops);
+        if (dphls::serve::decodeRuns(canon) != ops)
+            std::abort();
+        // Canonical form never has more words than the input.
+        if (canon.size() > runs.size())
+            std::abort();
+    } catch (const dphls::serve::ProtocolError &) {
+        // Expected rejection: bad op code or over-limit expansion.
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fuzz harness for the incremental FASTA parser (seq::FastaStream),
+ * which reads user-supplied workload files in dphls_align and the
+ * examples. Malformed input must surface as an exception (the parser
+ * throws on grammar violations), never as a memory error; records
+ * that do parse are additionally pushed through the DNA/protein
+ * alphabet decoders, which must reject out-of-alphabet residues
+ * without crashing.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hh"
+#include "seq/fasta.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    std::istringstream in(
+        std::string(reinterpret_cast<const char *>(data), size));
+    std::vector<dphls::seq::FastaRecord> records;
+    try {
+        dphls::seq::FastaStream stream(in);
+        dphls::seq::FastaRecord rec;
+        while (stream.next(rec))
+            records.push_back(rec);
+    } catch (const std::exception &) {
+        return 0; // malformed FASTA: rejected, not crashed
+    }
+    try {
+        dphls::seq::toDna(records);
+    } catch (const std::exception &) {
+    }
+    try {
+        dphls::seq::toProtein(records);
+    } catch (const std::exception &) {
+    }
+    return 0;
+}

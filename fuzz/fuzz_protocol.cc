@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fuzz harness for the dphls_serve wire-protocol decoders — the
+ * daemon's largest untrusted-input surface. The first input byte
+ * selects a decoder (so one corpus covers them all and libFuzzer can
+ * learn per-decoder dictionaries); the rest is the frame payload.
+ *
+ * Contract under fuzz: a decoder either returns a value or throws
+ * ProtocolError. Any other escape — ASan/UBSan report, crash,
+ * uncaught std::exception, unbounded allocation — is a bug. Decoders
+ * that succeed are round-tripped through their encoder to pin the
+ * codec against silent asymmetry.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/socket_io.hh"
+
+using namespace dphls::serve;
+
+namespace {
+
+Frame
+frameOf(const uint8_t *data, size_t size)
+{
+    Frame f;
+    f.payload.assign(data, data + size);
+    return f;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size == 0)
+        return 0;
+    const uint8_t which = data[0] % 7;
+    data++;
+    size--;
+    try {
+        switch (which) {
+          case 0: {
+            // Raw 20-byte frame header (magic/version/length attacks).
+            if (size >= kFrameHeaderBytes) {
+                FrameHeader hdr;
+                std::string err;
+                parseFrameHeader(data, hdr, &err);
+            }
+            break;
+          }
+          case 1:
+            decodeHello(frameOf(data, size));
+            break;
+          case 2:
+            decodeHelloOk(frameOf(data, size));
+            break;
+          case 3: {
+            const AlignRequest req =
+                decodeAlignRequest(frameOf(data, size));
+            // Round trip: what decoded must re-encode and re-decode
+            // to the same shape.
+            const std::vector<uint8_t> bytes = encodeAlignRequest(req);
+            const AlignRequest again =
+                decodeAlignRequest(frameOf(bytes.data(), bytes.size()));
+            if (again.jobs.size() != req.jobs.size() ||
+                again.tenant != req.tenant)
+                std::abort();
+            break;
+          }
+          case 4:
+            decodeAlignResponse(frameOf(data, size));
+            break;
+          case 5: {
+            const RejectInfo info = decodeReject(frameOf(data, size));
+            const std::vector<uint8_t> bytes = encodeReject(info);
+            const RejectInfo again =
+                decodeReject(frameOf(bytes.data(), bytes.size()));
+            if (again.message != info.message ||
+                again.reason != info.reason)
+                std::abort();
+            break;
+          }
+          case 6:
+            decodeStats(frameOf(data, size));
+            break;
+        }
+    } catch (const ProtocolError &) {
+        // Expected rejection of malformed input.
+    }
+    return 0;
+}

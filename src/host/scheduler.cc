@@ -36,8 +36,11 @@ ThreadPool::~ThreadPool()
     {
         std::unique_lock lock(_mutex);
         _stop = true;
+        // Notify while holding the lock: a waiter woken between unlock
+        // and notify could otherwise finish and destroy the CV (the
+        // notify-after-unlock race class).
+        _cv.notify_all();
     }
-    _cv.notify_all();
     for (auto &w : _workers)
         w.join();
 }
@@ -69,8 +72,8 @@ ThreadPool::submit(std::function<void()> task, const TaskOptions &options)
                        [](const Entry &a, const Entry &b) {
                            return runsBefore(b, a);
                        });
+        _cv.notify_one();
     }
-    _cv.notify_one();
 }
 
 void

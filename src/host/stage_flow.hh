@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "host/check.hh"
 #include "host/scheduler.hh"
 
 namespace dphls::host {
@@ -53,8 +54,14 @@ class BoundedFifo
     push(T item)
     {
         std::unique_lock<std::mutex> lock(_mutex);
+        // SPSC state machine: only the producer closes, so a push
+        // observing _closed is a use-after-close in the producer.
+        DPHLS_DCHECK(!_closed, "BoundedFifo::push after close()");
         _spaceCv.wait(lock,
                       [this] { return _items.size() < _capacity; });
+        DPHLS_DCHECK(_items.size() < _capacity,
+                     "BoundedFifo over capacity: ", _items.size(),
+                     " items, capacity ", _capacity);
         _items.push_back(std::move(item));
         _itemCv.notify_one();
     }
@@ -69,8 +76,13 @@ class BoundedFifo
         std::unique_lock<std::mutex> lock(_mutex);
         _itemCv.wait(lock,
                      [this] { return !_items.empty() || _closed; });
+        DPHLS_DCHECK(!_items.empty() || _closed,
+                     "BoundedFifo::pop woke with no item and not closed");
         if (_items.empty())
             return std::nullopt;
+        DPHLS_DCHECK(_items.size() <= _capacity,
+                     "BoundedFifo over capacity: ", _items.size(),
+                     " items, capacity ", _capacity);
         T item = std::move(_items.front());
         _items.pop_front();
         _spaceCv.notify_one();

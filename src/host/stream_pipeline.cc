@@ -120,6 +120,31 @@ finalizeBatchStats(BatchStats &stats, double fmax_mhz, double cpu_mhz)
         stats.backends.push_back(gpu);
     }
 
+#if DPHLS_DCHECK_ENABLED
+    // The per-backend sections are the epoch totals re-bucketed; if a
+    // future edit adds a backend without threading it through both
+    // views, the books stop balancing.
+    {
+        uint64_t sec_cycles = 0;
+        int sec_aligns = 0;
+        int sec_cancelled = 0;
+        for (const auto &b : stats.backends) {
+            sec_cycles += b.totalCycles;
+            sec_aligns += b.alignments;
+            sec_cancelled += b.cancelled;
+        }
+        DPHLS_DCHECK(sec_cycles == stats.totalCycles,
+                     "backend section cycles ", sec_cycles,
+                     " != epoch total ", stats.totalCycles);
+        DPHLS_DCHECK(sec_aligns == stats.alignments,
+                     "backend section alignments ", sec_aligns,
+                     " != epoch total ", stats.alignments);
+        DPHLS_DCHECK(sec_cancelled == stats.cancelled,
+                     "backend section cancelled ", sec_cancelled,
+                     " != epoch total ", stats.cancelled);
+    }
+#endif
+
     // The backends run concurrently; the epoch's wall time is the
     // slowest section at its own clock.
     stats.seconds = 0;

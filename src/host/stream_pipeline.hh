@@ -93,6 +93,7 @@
 
 #include "core/alignment_stats.hh"
 #include "host/backend.hh"
+#include "host/check.hh"
 #include "host/result_cache.hh"
 #include "host/scheduler.hh"
 
@@ -410,7 +411,10 @@ class DispatchCore
     /** One backend execution slot and its dispatch queue. */
     struct Slot
     {
-        std::mutex mutex; //!< protects queue and busy
+        /** Protects queue and busy. Rank-checked: slot locks never
+         *  nest (neither with each other nor inside other host locks
+         *  of equal-or-higher rank). */
+        DebugMutex mutex{lockrank::kDispatchSlot, "dispatch-slot"};
         int busy = 0;     //!< shards currently executing (<= capacity)
         /**
          * Concurrent-shard limit: 1 for stateful device channels (the
@@ -694,6 +698,12 @@ DispatchCore<K>::finishShard(BatchTicket<K> &ticket)
         if (ticket._pending > 0 && --ticket._pending > 0)
             return;
         finalizeBatchStats(ticket._stats, _fmaxMhz, _cpuMhz);
+        DPHLS_DCHECK(ticket._stats.alignments + ticket._stats.cancelled ==
+                         static_cast<int>(ticket.jobs().size()),
+                     "ticket accounting not closed: ",
+                     ticket._stats.alignments, " aligned + ",
+                     ticket._stats.cancelled, " cancelled != ",
+                     ticket.jobs().size(), " jobs");
         callback = std::move(ticket._callback);
     }
     if (callback)
@@ -701,8 +711,10 @@ DispatchCore<K>::finishShard(BatchTicket<K> &ticket)
     {
         std::lock_guard lock(ticket._mutex);
         ticket._done = true;
+        // Notify under the lock: a collect()or woken between unlock and
+        // notify may destroy the ticket (and its CV) mid-broadcast.
+        ticket._cv.notify_all();
     }
-    ticket._cv.notify_all();
 }
 
 } // namespace detail
@@ -1558,7 +1570,7 @@ class StreamPipeline
     Params _params;
     sim::IsaTier _resolvedTier = sim::IsaTier::Scalar;
     ShardedResultCache<Result> _cache;
-    std::mutex _outstandingMutex;
+    DebugMutex _outstandingMutex{lockrank::kOutstanding, "outstanding"};
     std::vector<Ticket> _outstanding; //!< submitted, not yet retired
     std::shared_ptr<Core> _core;      //!< shared with issued tickets
     std::vector<std::unique_ptr<AlignBackend<K>>> _channels;

@@ -12,6 +12,13 @@ constexpr uint32_t kMaxJobsPerRequest = 1u << 20;
 constexpr uint32_t kMaxSeqLen = 1u << 24;
 constexpr uint32_t kMaxRunsPerJob = 1u << 24;
 constexpr uint32_t kMaxBackends = 256;
+/**
+ * Cap on one job's *expanded* CIGAR length. A run word carries a
+ * 30-bit count, so without this a single 4-byte word could demand a
+ * ~1 GiB expansion (fuzz-found allocation amplification); real paths
+ * are bounded by query+reference length, i.e. 2 * kMaxSeqLen.
+ */
+constexpr uint64_t kMaxDecodedOps = 2ull * kMaxSeqLen;
 
 } // namespace
 
@@ -158,11 +165,15 @@ std::vector<core::AlnOp>
 decodeRuns(const std::vector<uint32_t> &runs)
 {
     std::vector<core::AlnOp> ops;
+    uint64_t total = 0;
     for (const uint32_t run : runs) {
         const uint32_t count = run >> 2;
         const uint32_t op = run & 3;
         if (op > 2)
             throw ProtocolError("bad CIGAR op code");
+        total += count;
+        if (total > kMaxDecodedOps)
+            throw ProtocolError("decoded CIGAR over length limit");
         ops.insert(ops.end(), count, static_cast<core::AlnOp>(op));
     }
     return ops;
@@ -242,12 +253,22 @@ decodeAlignRequest(const Frame &frame)
     const uint32_t count = r.u32();
     if (count > kMaxJobsPerRequest)
         throw ProtocolError("job count over limit");
+    // Every job carries at least its two length words: a count the
+    // remaining payload cannot possibly hold is malformed, and catching
+    // it before reserve() keeps allocation off attacker-chosen counts
+    // (fuzz-found: a 13-byte frame could demand a 48 MB reserve).
+    if (static_cast<uint64_t>(count) * 8 > r.remaining())
+        throw ProtocolError("job count exceeds payload");
     req.jobs.reserve(count);
     for (uint32_t i = 0; i < count; i++) {
         const uint32_t qlen = r.u32();
         const uint32_t rlen = r.u32();
         if (qlen > kMaxSeqLen || rlen > kMaxSeqLen)
             throw ProtocolError("sequence length over limit");
+        // Validate before resize(): the declared bytes must actually
+        // be present, so truncated frames fail without allocating.
+        if (static_cast<uint64_t>(qlen) + rlen > r.remaining())
+            throw ProtocolError("sequence bytes exceed payload");
         WireJob job;
         job.query.resize(qlen);
         job.reference.resize(rlen);
@@ -290,6 +311,10 @@ decodeAlignResponse(const Frame &frame)
     const uint32_t count = r.u32();
     if (count > kMaxJobsPerRequest)
         throw ProtocolError("result count over limit");
+    // Each result is at least 21 bytes (flag + score + cycles + run
+    // count): reject impossible counts before reserving.
+    if (static_cast<uint64_t>(count) * 21 > r.remaining())
+        throw ProtocolError("result count exceeds payload");
     res.results.reserve(count);
     for (uint32_t i = 0; i < count; i++) {
         WireJobResult jr;
@@ -299,6 +324,10 @@ decodeAlignResponse(const Frame &frame)
         const uint32_t runs = r.u32();
         if (runs > kMaxRunsPerJob)
             throw ProtocolError("run count over limit");
+        // Run words are 4 bytes each; a declared count the payload
+        // cannot hold must not drive a 64 MB reserve().
+        if (static_cast<uint64_t>(runs) * 4 > r.remaining())
+            throw ProtocolError("run words exceed payload");
         jr.runs.reserve(runs);
         for (uint32_t k = 0; k < runs; k++)
             jr.runs.push_back(r.u32());

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <mutex>
+
+#include "host/check.hh"
 #include <string>
 #include <unordered_map>
 
@@ -38,7 +40,7 @@ class TenantQuotas
     {
         if (_cap == 0)
             return true;
-        std::lock_guard<std::mutex> lk(_mtx);
+        std::lock_guard lk(_mtx);
         uint64_t &used = _inFlight[tenant];
         if (used + jobs > _cap)
             return false;
@@ -52,7 +54,7 @@ class TenantQuotas
     {
         if (_cap == 0)
             return;
-        std::lock_guard<std::mutex> lk(_mtx);
+        std::lock_guard lk(_mtx);
         auto it = _inFlight.find(tenant);
         if (it == _inFlight.end())
             return;
@@ -65,7 +67,7 @@ class TenantQuotas
     uint64_t
     inFlight(const std::string &tenant) const
     {
-        std::lock_guard<std::mutex> lk(_mtx);
+        std::lock_guard lk(_mtx);
         const auto it = _inFlight.find(tenant);
         return it == _inFlight.end() ? 0 : it->second;
     }
@@ -74,7 +76,8 @@ class TenantQuotas
 
   private:
     const uint64_t _cap;
-    mutable std::mutex _mtx;
+    mutable host::DebugMutex _mtx{host::lockrank::kTenantQuota,
+                                  "tenant-quota"};
     std::unordered_map<std::string, uint64_t> _inFlight;
 };
 

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "host/check.hh"
 #include "host/stream_pipeline.hh"
 #include "serve/admission.hh"
 #include "systolic/isa_tier.hh"
@@ -134,7 +135,7 @@ class AlignService
     snapshot()
     {
         reapCompleted();
-        std::lock_guard<std::mutex> lk(_statsMutex);
+        std::lock_guard lk(_statsMutex);
         host::BatchStats epoch = _epoch;
         host::finalizeBatchStats(epoch, _pipeline.config().fmaxMhz,
                                  _pipeline.config().cpuEquivalentMhz);
@@ -188,6 +189,15 @@ class AlignService
             sec_aligns == _completedJobs &&
             sec_cancelled == _cancelledJobs &&
             sec_misses == _deadlineMissJobs;
+        DPHLS_DCHECK(s.accountingClosed,
+                     "serve accounting not closed: sections (",
+                     sec_aligns, " aligned, ", sec_cancelled,
+                     " cancelled, ", sec_misses, " missed, ", sec_cycles,
+                     " cycles) vs epoch (", epoch.alignments, ", ",
+                     epoch.cancelled, ", ", epoch.deadlineMisses, ", ",
+                     epoch.totalCycles, ") vs counters (",
+                     _completedJobs, ", ", _cancelledJobs, ", ",
+                     _deadlineMissJobs, ")");
         return s;
     }
 
@@ -273,7 +283,7 @@ class AlignService
         const uint64_t njobs = jobs.size();
         if (!_quotas.tryAcquire(req.tenant, njobs)) {
             {
-                std::lock_guard<std::mutex> lk(_statsMutex);
+                std::lock_guard lk(_statsMutex);
                 _rejectedQuota++;
             }
             reject(RejectReason::QuotaExceeded,
@@ -290,7 +300,7 @@ class AlignService
             } catch (const std::invalid_argument &e) {
                 _quotas.release(req.tenant, njobs);
                 {
-                    std::lock_guard<std::mutex> lk(_statsMutex);
+                    std::lock_guard lk(_statsMutex);
                     _rejectedUndispatchable++;
                 }
                 reject(RejectReason::Undispatchable, e.what());
@@ -299,7 +309,7 @@ class AlignService
             if (!admits(_cfg.admission, estimate, budget)) {
                 _quotas.release(req.tenant, njobs);
                 {
-                    std::lock_guard<std::mutex> lk(_statsMutex);
+                    std::lock_guard lk(_statsMutex);
                     _rejectedDeadline++;
                 }
                 reject(RejectReason::DeadlineUnmeetable,
@@ -344,17 +354,17 @@ class AlignService
             // translated into a protocol-level Reject, never a crash.
             _quotas.release(tenant, njobs);
             {
-                std::lock_guard<std::mutex> lk(_statsMutex);
+                std::lock_guard lk(_statsMutex);
                 _rejectedUndispatchable++;
             }
             reject(RejectReason::Undispatchable, e.what());
             return;
         }
         {
-            std::lock_guard<std::mutex> lk(_statsMutex);
+            std::lock_guard lk(_statsMutex);
             _acceptedRequests++;
         }
-        std::lock_guard<std::mutex> lk(_ticketMutex);
+        std::lock_guard lk(_ticketMutex);
         _live.push_back(std::move(ticket));
     }
 
@@ -379,8 +389,15 @@ class AlignService
             jr.runs = encodeRuns(results[i].ops);
             res.results.push_back(std::move(jr));
         }
+        DPHLS_DCHECK(static_cast<uint64_t>(t.stats().alignments) +
+                             static_cast<uint64_t>(t.stats().cancelled) ==
+                         njobs,
+                     "ticket accounting not closed at completion: ",
+                     t.stats().alignments, " aligned + ",
+                     t.stats().cancelled, " cancelled != ", njobs,
+                     " jobs");
         {
-            std::lock_guard<std::mutex> lk(_statsMutex);
+            std::lock_guard lk(_statsMutex);
             host::accumulateBatchStats(_epoch, t.stats());
             _completedJobs +=
                 static_cast<uint64_t>(t.stats().alignments);
@@ -404,7 +421,7 @@ class AlignService
     {
         std::vector<Ticket> done;
         {
-            std::lock_guard<std::mutex> lk(_ticketMutex);
+            std::lock_guard lk(_ticketMutex);
             for (auto it = _live.begin(); it != _live.end();) {
                 if ((*it)->done()) {
                     done.push_back(std::move(*it));
@@ -435,7 +452,7 @@ class AlignService
     void
     countMalformed()
     {
-        std::lock_guard<std::mutex> lk(_statsMutex);
+        std::lock_guard lk(_statsMutex);
         _rejectedMalformed++;
     }
 
@@ -444,10 +461,13 @@ class AlignService
     TenantQuotas _quotas;
     std::atomic<bool> _draining{false};
 
-    std::mutex _ticketMutex;
+    host::DebugMutex _ticketMutex{host::lockrank::kServiceTickets,
+                                  "service-tickets"};
     std::vector<Ticket> _live; //!< submitted, not yet reaped
 
-    std::mutex _statsMutex; //!< guards _epoch and every counter below
+    /** Guards _epoch and every counter below. */
+    host::DebugMutex _statsMutex{host::lockrank::kServiceStats,
+                                 "service-stats"};
     host::BatchStats _epoch;
     uint64_t _acceptedRequests = 0;
     uint64_t _rejectedDeadline = 0;

@@ -125,32 +125,40 @@ writeFrame(int fd, MsgType type, uint64_t request_id,
 }
 
 bool
+parseFrameHeader(const uint8_t *hdr, FrameHeader &out, std::string *err)
+{
+    out.magic = getU32(hdr);
+    out.version = hdr[4];
+    out.type = hdr[5];
+    out.flags = getU16(hdr + 6);
+    out.payloadLen = getU32(hdr + 8);
+    out.requestId = getU64(hdr + 12);
+    if (out.magic != kMagic) {
+        if (err)
+            *err = "bad frame magic";
+        return false;
+    }
+    if (out.version != kVersion) {
+        if (err)
+            *err = "unsupported protocol version";
+        return false;
+    }
+    if (out.payloadLen > kMaxPayloadBytes) {
+        if (err)
+            *err = "payload length over limit";
+        return false;
+    }
+    return true;
+}
+
+bool
 readFrame(int fd, Frame &out, std::string *err)
 {
     uint8_t hdr[kFrameHeaderBytes];
     if (!recvAll(fd, hdr, sizeof(hdr)))
         return false; // EOF or transport error: caller drops session
-    out.header.magic = getU32(hdr);
-    out.header.version = hdr[4];
-    out.header.type = hdr[5];
-    out.header.flags = getU16(hdr + 6);
-    out.header.payloadLen = getU32(hdr + 8);
-    out.header.requestId = getU64(hdr + 12);
-    if (out.header.magic != kMagic) {
-        if (err)
-            *err = "bad frame magic";
+    if (!parseFrameHeader(hdr, out.header, err))
         return false;
-    }
-    if (out.header.version != kVersion) {
-        if (err)
-            *err = "unsupported protocol version";
-        return false;
-    }
-    if (out.header.payloadLen > kMaxPayloadBytes) {
-        if (err)
-            *err = "payload length over limit";
-        return false;
-    }
     out.payload.resize(out.header.payloadLen);
     if (out.header.payloadLen &&
         !recvAll(fd, out.payload.data(), out.payload.size()))

@@ -70,6 +70,15 @@ bool writeFrame(int fd, MsgType type, uint64_t request_id,
                 const std::vector<uint8_t> &payload);
 
 /**
+ * Parse and validate one kFrameHeaderBytes-byte header: layout decode
+ * plus the magic/version/payload-cap checks. Pure function (no I/O),
+ * so the fuzz harness can drive it on raw bytes directly; readFrame()
+ * is this over recvAll().
+ */
+bool parseFrameHeader(const uint8_t *hdr, FrameHeader &out,
+                      std::string *err = nullptr);
+
+/**
  * Read one frame. Returns false on clean EOF or transport error; sets
  * @p err (when given) and returns false on a malformed header (bad
  * magic/version or payload over kMaxPayloadBytes).

@@ -104,38 +104,38 @@ TEST_P(ApIntProperty, MatchesInt64ModuloWidth)
     for (int t = 0; t < 500; t++) {
         const int64_t a = static_cast<int64_t>(rng.next());
         const int64_t b = static_cast<int64_t>(rng.next());
+        // Reference arithmetic runs on uint64_t: wraparound there is
+        // well-defined and agrees with signed arithmetic mod 2^W,
+        // whereas int64_t a+b overflows (UB) for random operands.
+        const uint64_t ua = static_cast<uint64_t>(a);
+        const uint64_t ub = static_cast<uint64_t>(b);
         switch (w) {
           case 8: {
             ApInt<8> x(a), y(b);
-            EXPECT_EQ((x + y).raw(),
-                      signExtend(static_cast<uint64_t>(a + b), 8));
-            EXPECT_EQ((x - y).raw(),
-                      signExtend(static_cast<uint64_t>(a - b), 8));
+            EXPECT_EQ((x + y).raw(), signExtend(ua + ub, 8));
+            EXPECT_EQ((x - y).raw(), signExtend(ua - ub, 8));
             EXPECT_EQ((x * y).raw(),
-                      signExtend(static_cast<uint64_t>(x.raw() * y.raw()),
+                      signExtend(static_cast<uint64_t>(x.raw()) *
+                                     static_cast<uint64_t>(y.raw()),
                                  8));
             break;
           }
           case 16: {
             ApInt<16> x(a), y(b);
-            EXPECT_EQ((x + y).raw(),
-                      signExtend(static_cast<uint64_t>(a + b), 16));
-            EXPECT_EQ((x - y).raw(),
-                      signExtend(static_cast<uint64_t>(a - b), 16));
+            EXPECT_EQ((x + y).raw(), signExtend(ua + ub, 16));
+            EXPECT_EQ((x - y).raw(), signExtend(ua - ub, 16));
             break;
           }
           case 24: {
             ApInt<24> x(a), y(b);
-            EXPECT_EQ((x + y).raw(),
-                      signExtend(static_cast<uint64_t>(a + b), 24));
+            EXPECT_EQ((x + y).raw(), signExtend(ua + ub, 24));
             break;
           }
           case 32: {
             ApInt<32> x(a), y(b);
-            EXPECT_EQ((x + y).raw(),
-                      signExtend(static_cast<uint64_t>(a + b), 32));
+            EXPECT_EQ((x + y).raw(), signExtend(ua + ub, 32));
             EXPECT_EQ((-x).raw(),
-                      signExtend(static_cast<uint64_t>(-x.raw()), 32));
+                      signExtend(-static_cast<uint64_t>(x.raw()), 32));
             break;
           }
           default:

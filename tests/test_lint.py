@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/dphls_lint.py: every rule gets a fixture that
+must fire and a near-miss that must not, plus the suppression syntax
+(a justified allow() silences; a bare allow() still fires)."""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "tools")
+_spec = importlib.util.spec_from_file_location(
+    "dphls_lint", os.path.join(_TOOLS, "dphls_lint.py"))
+dphls_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(dphls_lint)
+
+
+class LintFixture(unittest.TestCase):
+    def lint(self, relpath, source):
+        """Lint one in-memory file; returns the fired rule ids."""
+        with tempfile.TemporaryDirectory() as root:
+            full = os.path.join(root, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w") as f:
+                f.write(source)
+            violations = dphls_lint.lint_file(root, relpath)
+        return [v.rule for v in violations]
+
+    # ---------------------------------------- notify-outside-lock
+    def test_notify_after_unlock_fires(self):
+        src = """\
+void f() {
+    {
+        std::lock_guard lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+}
+"""
+        self.assertIn("notify-outside-lock",
+                      self.lint("src/host/x.cc", src))
+
+    def test_notify_under_lock_clean(self):
+        src = """\
+void f() {
+    {
+        std::lock_guard lock(_mutex);
+        _stop = true;
+        _cv.notify_all();
+    }
+}
+"""
+        self.assertNotIn("notify-outside-lock",
+                         self.lint("src/host/x.cc", src))
+
+    def test_notify_after_explicit_unlock_fires(self):
+        src = """\
+void f() {
+    std::unique_lock lock(_mutex);
+    _stop = true;
+    lock.unlock();
+    _cv.notify_one();
+}
+"""
+        self.assertIn("notify-outside-lock",
+                      self.lint("src/host/x.cc", src))
+
+    def test_notify_with_templated_guard_clean(self):
+        src = """\
+void f() {
+    std::lock_guard<std::mutex> lk(_mutex);
+    _cv.notify_one();
+}
+"""
+        self.assertNotIn("notify-outside-lock",
+                         self.lint("src/host/x.cc", src))
+
+    # ----------------------------------------------- naked-thread
+    def test_thread_in_src_fires(self):
+        src = "void f() { std::thread t([]{}); t.join(); }\n"
+        self.assertIn("naked-thread", self.lint("src/serve/x.cc", src))
+
+    def test_thread_in_scheduler_clean(self):
+        src = "void f() { std::thread t([]{}); t.join(); }\n"
+        self.assertNotIn("naked-thread",
+                         self.lint("src/host/scheduler.cc", src))
+
+    def test_thread_in_tools_clean(self):
+        src = "void f() { std::thread t([]{}); t.join(); }\n"
+        self.assertNotIn("naked-thread",
+                         self.lint("tools/x.cc", src))
+
+    def test_this_thread_clean(self):
+        src = "void f() { std::this_thread::yield(); }\n"
+        self.assertNotIn("naked-thread",
+                         self.lint("src/serve/x.cc", src))
+
+    # ------------------------------------- nondeterministic-random
+    def test_rand_fires(self):
+        src = "int f() { return rand() % 6; }\n"
+        self.assertIn("nondeterministic-random",
+                      self.lint("src/host/x.cc", src))
+
+    def test_random_device_fires(self):
+        src = "std::mt19937 g{std::random_device{}()};\n"
+        self.assertIn("nondeterministic-random",
+                      self.lint("tools/x.cc", src))
+
+    def test_seeded_engine_clean(self):
+        src = "std::mt19937 gen(1234); int x = grand();\n"
+        self.assertNotIn("nondeterministic-random",
+                         self.lint("src/host/x.cc", src))
+
+    # --------------------------------------- wallclock-in-kernel
+    def test_wallclock_in_systolic_fires(self):
+        src = "auto t = std::chrono::steady_clock::now();\n"
+        self.assertIn("wallclock-in-kernel",
+                      self.lint("src/systolic/x.cc", src))
+
+    def test_wallclock_in_host_clean(self):
+        src = "auto t = std::chrono::steady_clock::now();\n"
+        self.assertNotIn("wallclock-in-kernel",
+                         self.lint("src/host/x.cc", src))
+
+    # -------------------------------------- missing-include-guard
+    def test_unguarded_header_fires(self):
+        src = "int f();\n"
+        self.assertIn("missing-include-guard",
+                      self.lint("src/host/x.hh", src))
+
+    def test_pragma_once_clean(self):
+        src = "#pragma once\nint f();\n"
+        self.assertNotIn("missing-include-guard",
+                         self.lint("src/host/x.hh", src))
+
+    def test_classic_guard_clean(self):
+        src = "#ifndef X_HH\n#define X_HH\nint f();\n#endif\n"
+        self.assertNotIn("missing-include-guard",
+                         self.lint("src/host/x.hh", src))
+
+    def test_mismatched_guard_fires(self):
+        src = "#ifndef X_HH\n#define Y_HH\nint f();\n#endif\n"
+        self.assertIn("missing-include-guard",
+                      self.lint("src/host/x.hh", src))
+
+    def test_textual_include_error_idiom_clean(self):
+        src = ("#ifndef CONFIG_MACRO\n"
+               "#error \"configure before including\"\n"
+               "#endif\nint f();\n")
+        self.assertNotIn("missing-include-guard",
+                         self.lint("src/systolic/x.hh", src))
+
+    def test_guard_rule_ignores_cc_files(self):
+        self.assertNotIn("missing-include-guard",
+                         self.lint("src/host/x.cc", "int f();\n"))
+
+    # ----------------------------------- unchecked-payload-index
+    def test_unchecked_index_fires(self):
+        src = """\
+uint32_t get(const uint8_t *payload, size_t i) {
+    return payload[i];
+}
+"""
+        self.assertIn("unchecked-payload-index",
+                      self.lint("src/serve/x.cc", src))
+
+    def test_checked_index_clean(self):
+        src = """\
+uint32_t get(size_t i) {
+    need(4);
+    return _data[i];
+}
+"""
+        self.assertNotIn("unchecked-payload-index",
+                         self.lint("src/serve/x.cc", src))
+
+    def test_constant_index_clean(self):
+        src = "uint8_t v = hdr_data(); uint8_t w = data[4];\n"
+        self.assertNotIn("unchecked-payload-index",
+                         self.lint("src/serve/x.cc", src))
+
+    def test_rule_scoped_to_serve(self):
+        src = "uint32_t get(size_t i) { return payload[i]; }\n"
+        self.assertNotIn("unchecked-payload-index",
+                         self.lint("src/host/x.cc", src))
+
+    # ------------------------------------------------ suppression
+    def test_justified_suppression_silences(self):
+        src = ("int f() { return rand() % 6; } "
+               "// dphls-lint: allow(nondeterministic-random) "
+               "-- documenting legacy API\n")
+        self.assertNotIn("nondeterministic-random",
+                         self.lint("src/host/x.cc", src))
+
+    def test_bare_suppression_still_fires(self):
+        src = ("int f() { return rand() % 6; } "
+               "// dphls-lint: allow(nondeterministic-random)\n")
+        self.assertIn("nondeterministic-random",
+                      self.lint("src/host/x.cc", src))
+
+    def test_suppression_is_rule_specific(self):
+        src = ("int f() { return rand() % 6; } "
+               "// dphls-lint: allow(naked-thread) -- wrong rule\n")
+        self.assertIn("nondeterministic-random",
+                      self.lint("src/host/x.cc", src))
+
+    # ----------------------------------- comment/string stripping
+    def test_notify_in_comment_clean(self):
+        src = "// calls _cv.notify_all() eventually\nint x;\n"
+        self.assertNotIn("notify-outside-lock",
+                         self.lint("src/host/x.cc", src))
+
+    def test_rand_in_string_clean(self):
+        src = "const char *s = \"rand() is banned\";\n"
+        self.assertNotIn("nondeterministic-random",
+                         self.lint("src/host/x.cc", src))
+
+
+class LintTreeTest(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        """The acceptance criterion: zero violations on the tree."""
+        root = os.path.join(_TOOLS, os.pardir)
+        files = dphls_lint.collect_files(
+            root, ["src", "tools", "bench", "tests", "fuzz",
+                   "examples"])
+        self.assertGreater(len(files), 100)
+        violations = []
+        for rel in files:
+            violations.extend(dphls_lint.lint_file(root, rel))
+        self.assertEqual([str(v) for v in violations], [])
+
+
+if __name__ == "__main__":
+    sys.exit(unittest.main())

@@ -150,8 +150,8 @@ TEST(ThreadPoolStress, PopOrderIsPriorityThenDeadlineThenFifo)
     {
         std::lock_guard lock(mutex);
         go = true;
+        cv.notify_all();
     }
-    cv.notify_all();
     pool.wait();
 
     // Priority desc, then deadline asc (finite before infinite), then

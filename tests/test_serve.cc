@@ -333,6 +333,112 @@ TEST(ServeProtocol, DecodeRunsRejectsBadOp)
     EXPECT_THROW(decodeRuns({1u << 2 | 3u}), ProtocolError);
 }
 
+// ---------------------------------------------- fuzz-found regressions
+// Named reproducers for what the first fuzz session surfaced; the raw
+// byte inputs also live in fuzz/regressions/ and replay in every build
+// through the fuzz_replay_* CTest cases.
+
+TEST(FuzzRegression, DecodeRunsCapsSingleWordExpansion)
+{
+    // One 4-byte run word with a 30-bit count demanded a ~1 GiB
+    // allocation before the expansion cap existed.
+    EXPECT_THROW(decodeRuns({((1u << 30) - 1) << 2 | 0u}),
+                 ProtocolError);
+}
+
+TEST(FuzzRegression, DecodeRunsCapsSummedExpansion)
+{
+    // Each word stays under the cap; their sum must still trip it.
+    const uint32_t word = (1u << 28) << 2;
+    EXPECT_THROW(decodeRuns({word | 0u, word | 1u, word | 2u}),
+                 ProtocolError);
+    // A legitimately long single run still decodes.
+    EXPECT_EQ(decodeRuns({100000u << 2 | 0u}).size(), 100000u);
+}
+
+TEST(FuzzRegression, AlignRequestImpossibleJobCountThrows)
+{
+    // 13-byte payload declaring 2^20 jobs: must be rejected before
+    // reserve() allocates ~48 MB on the attacker's count.
+    WireWriter w;
+    w.u8(0);          // traffic class
+    w.u64(0);         // deadline
+    w.shortString(""); // tenant
+    w.u32(1u << 20);  // declared job count, no job bytes follow
+    const Frame f = makeFrame(MsgType::Align, 90, std::move(w.bytes()));
+    EXPECT_THROW(decodeAlignRequest(f), ProtocolError);
+}
+
+TEST(FuzzRegression, AlignRequestDeclaredSeqBeyondPayloadThrows)
+{
+    // Declared 16 MB sequences on a frame holding 2 bytes: validation
+    // must precede the resize() so truncation never allocates.
+    WireWriter w;
+    w.u8(0);
+    w.u64(0);
+    w.shortString("");
+    w.u32(1);
+    w.u32(1u << 24); // qlen
+    w.u32(1u << 24); // rlen
+    w.u8(0);
+    w.u8(1); // 2 of the declared 32 MB
+    const Frame f = makeFrame(MsgType::Align, 91, std::move(w.bytes()));
+    EXPECT_THROW(decodeAlignRequest(f), ProtocolError);
+}
+
+TEST(FuzzRegression, AlignResponseImpossibleRunCountThrows)
+{
+    // One result declaring 2^24 run words with none present: must be
+    // rejected before the 64 MB reserve().
+    WireWriter w;
+    w.u8(0);
+    w.u64(0);
+    w.u32(1); // result count
+    w.u8(1);  // completed
+    w.f64(0.0);
+    w.u64(0);
+    w.u32(1u << 24); // declared run words, none follow
+    const Frame f =
+        makeFrame(MsgType::AlignOk, 92, std::move(w.bytes()));
+    EXPECT_THROW(decodeAlignResponse(f), ProtocolError);
+}
+
+TEST(FuzzRegression, ParseFrameHeaderValidates)
+{
+    uint8_t hdr[kFrameHeaderBytes] = {};
+    hdr[0] = 'D';
+    hdr[1] = 'P';
+    hdr[2] = 'H';
+    hdr[3] = 'L';
+    hdr[4] = kVersion;
+    hdr[5] = static_cast<uint8_t>(MsgType::Stats);
+    FrameHeader out;
+    std::string err;
+    EXPECT_TRUE(parseFrameHeader(hdr, out, &err)) << err;
+    EXPECT_EQ(out.type, static_cast<uint8_t>(MsgType::Stats));
+
+    uint8_t bad_magic[kFrameHeaderBytes] = {};
+    std::memcpy(bad_magic, hdr, sizeof(hdr));
+    bad_magic[0] = 'X';
+    EXPECT_FALSE(parseFrameHeader(bad_magic, out, &err));
+    EXPECT_EQ(err, "bad frame magic");
+
+    uint8_t bad_version[kFrameHeaderBytes] = {};
+    std::memcpy(bad_version, hdr, sizeof(hdr));
+    bad_version[4] = kVersion + 1;
+    EXPECT_FALSE(parseFrameHeader(bad_version, out, &err));
+    EXPECT_EQ(err, "unsupported protocol version");
+
+    uint8_t oversize[kFrameHeaderBytes] = {};
+    std::memcpy(oversize, hdr, sizeof(hdr));
+    oversize[8] = 0xFF;
+    oversize[9] = 0xFF;
+    oversize[10] = 0xFF;
+    oversize[11] = 0xFF;
+    EXPECT_FALSE(parseFrameHeader(oversize, out, &err));
+    EXPECT_EQ(err, "payload length over limit");
+}
+
 // ------------------------------------------------------------ quota
 
 TEST(TenantQuotas, AllOrNothingUnderCap)

@@ -363,7 +363,8 @@ TEST(StagePipeline, CancelMidShardDropsUnstartedStagesAndClosesEpoch)
         std::atomic<int> callbacks{0};
         auto ticket = pipeline.submit(
             jobs, [&](host::BatchTicket<K> &) { callbacks++; });
-        for (volatile int i = 0; i < spin; i = i + 1) {
+        for (int i = 0; i < spin; i++) {
+            asm volatile("" ::: "memory"); // spin the optimizer can't fold
         }
         ticket->cancel();
         ticket->wait();

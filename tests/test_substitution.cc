@@ -30,8 +30,9 @@ TEST(Blosum62Test, DiagonalDominatesRow)
     const auto &m = blosum62();
     for (int a = 0; a < 20; a++) {
         for (int b = 0; b < 20; b++) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_GT(m(a, a), m(a, b));
+            }
         }
     }
 }
