@@ -24,6 +24,7 @@
 #include "systolic/engine.hh"
 #include "systolic/isa_tier.hh"
 #include "systolic/lane_engine.hh"
+#include "workloads/mixed_demo.hh"
 
 using namespace dphls;
 
@@ -1040,6 +1041,58 @@ writeJson(const std::string &path)
          mono_run.modeledAlignsPerSec == staged_run.modeledAlignsPerSec);
     w.kv("result_sets_identical", stage_same);
     w.endObject();
+
+    // Mixed-workload section: realtime sDTW basecalling + interactive
+    // read mapping + bulk batches sharing the modeled device, vs each
+    // class isolated. Latencies are cycle-domain on one-channel,
+    // one-worker pipelines, so the per-class p99 service rates are
+    // deterministic and hard-gated (aligns_per_sec suffix); identity
+    // of the result sets is the correctness gate.
+    workloads::MixedDemoConfig mix_cfg =
+        workloads::MixedDemoConfig::makeDefault();
+    mix_cfg.seed = 7;
+    const auto mix = workloads::runMixedDemo(mix_cfg, true);
+    const auto mix_iso = workloads::runMixedDemo(mix_cfg, false);
+    bool mix_same = mix.bulkScores == mix_iso.bulkScores &&
+                    mix.mappings.size() == mix_iso.mappings.size() &&
+                    mix.basecalls.size() == mix_iso.basecalls.size();
+    for (size_t i = 0; mix_same && i < mix.mappings.size(); i++) {
+        mix_same = mix.mappings[i].score == mix_iso.mappings[i].score &&
+                   mix.mappings[i].refStart ==
+                       mix_iso.mappings[i].refStart &&
+                   mix.mappings[i].ops == mix_iso.mappings[i].ops;
+    }
+    for (size_t i = 0; mix_same && i < mix.basecalls.size(); i++) {
+        mix_same = mix.basecalls[i].abandoned ==
+                       mix_iso.basecalls[i].abandoned &&
+                   mix.basecalls[i].deviceScore ==
+                       mix_iso.basecalls[i].deviceScore;
+    }
+    auto rt_lat = mix.latencies.realtime;
+    auto int_lat = mix.latencies.interactive;
+    auto blk_lat = mix.latencies.bulk;
+    const double rt_p99 = host::percentile(rt_lat, 0.99);
+    const double int_p99 = host::percentile(int_lat, 0.99);
+    w.key("workloads");
+    w.beginObject();
+    w.kv("workload",
+         "mixed classes on shared pipelines: 8 squiggle streams "
+         "(sDTW, early abandon) + 16 mapper reads (seed-chain-extend) "
+         "+ 4 bulk batches, 1 channel per kernel, modeled cycles");
+    w.kv("realtime_tickets", static_cast<int>(rt_lat.size()));
+    w.kv("interactive_tickets", static_cast<int>(int_lat.size()));
+    w.kv("bulk_tickets", static_cast<int>(blk_lat.size()));
+    w.kv("realtime_p50_latency_s", host::percentile(rt_lat, 0.5));
+    w.kv("realtime_p99_latency_s", rt_p99);
+    w.kv("realtime_p99_aligns_per_sec",
+         rt_p99 > 0 ? 1.0 / rt_p99 : 0.0);
+    w.kv("interactive_p50_latency_s", host::percentile(int_lat, 0.5));
+    w.kv("interactive_p99_latency_s", int_p99);
+    w.kv("interactive_p99_aligns_per_sec",
+         int_p99 > 0 ? 1.0 / int_p99 : 0.0);
+    w.kv("bulk_p99_latency_s", host::percentile(blk_lat, 0.99));
+    w.kv("result_sets_identical", mix_same);
+    w.endObject();
     w.endObject();
     std::fputc('\n', f);
     std::fclose(f);
@@ -1083,6 +1136,12 @@ writeJson(const std::string &path)
                     ? mono_run.wallSeconds / staged_run.wallSeconds
                     : 0.0,
                 preempt_ms, stage_same ? "yes" : "NO");
+    std::printf("mixed workloads: realtime p99 %.3f ms, interactive "
+                "p99 %.3f ms, %zu+%zu+%zu tickets, results identical: "
+                "%s\n",
+                1e3 * rt_p99, 1e3 * int_p99, rt_lat.size(),
+                int_lat.size(), blk_lat.size(),
+                mix_same ? "yes" : "NO");
 }
 
 } // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Mixed-workload scenario: three traffic classes sharing the modeled
+ * device at once — streaming sDTW basecalling with early abandon
+ * (realtime, deadline-tagged), seed-chain-extend read mapping
+ * (interactive) and bulk batch re-alignment (class 0). The same seeded
+ * inputs are then re-run with each class isolated; scheduling only
+ * reorders work, so every score, placement and classification must
+ * come back bit-identical, while the per-class modeled latencies show
+ * what priority scheduling buys the latency-sensitive classes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "host/latency_probe.hh"
+#include "workloads/mixed_demo.hh"
+
+using namespace dphls;
+
+int
+main()
+{
+    workloads::MixedDemoConfig cfg =
+        workloads::MixedDemoConfig::makeDefault();
+    cfg.seed = 42;
+
+    printf("running %d mapper reads + %d squiggle streams + %d bulk "
+           "batches concurrently...\n",
+           cfg.shortReads, cfg.squiggleReads, cfg.bulkBatches);
+    const auto mixed = workloads::runMixedDemo(cfg, true);
+    const auto isolated = workloads::runMixedDemo(cfg, false);
+
+    // Interactive class: mapping quality.
+    int mapped = 0, placed = 0;
+    for (size_t i = 0; i < mixed.mappings.size(); i++) {
+        if (!mixed.mappings[i].mapped)
+            continue;
+        mapped++;
+        if (std::abs(mixed.mappings[i].refStart - mixed.trueLoci[i]) <=
+            cfg.mapper.windowPad)
+            placed++;
+    }
+    printf("mapper:     %d/%zu mapped, %d on their true locus\n", mapped,
+           mixed.mappings.size(), placed);
+
+    // Realtime class: read-until classification.
+    int abandoned = 0, on_target = 0;
+    for (const auto &b : mixed.basecalls) {
+        abandoned += b.abandoned ? 1 : 0;
+        on_target += b.onTarget ? 1 : 0;
+    }
+    printf("basecaller: %zu streams, %d abandoned before the device, "
+           "%d called on-target\n",
+           mixed.basecalls.size(), abandoned, on_target);
+
+    // Identity: concurrency must not change any result.
+    bool identical = mixed.bulkScores == isolated.bulkScores &&
+                     mixed.mappings.size() == isolated.mappings.size() &&
+                     mixed.basecalls.size() == isolated.basecalls.size();
+    for (size_t i = 0; identical && i < mixed.mappings.size(); i++) {
+        identical = mixed.mappings[i].score ==
+                        isolated.mappings[i].score &&
+                    mixed.mappings[i].refStart ==
+                        isolated.mappings[i].refStart &&
+                    mixed.mappings[i].mapq == isolated.mappings[i].mapq;
+    }
+    for (size_t i = 0; identical && i < mixed.basecalls.size(); i++) {
+        identical = mixed.basecalls[i].abandoned ==
+                        isolated.basecalls[i].abandoned &&
+                    mixed.basecalls[i].deviceScore ==
+                        isolated.basecalls[i].deviceScore;
+    }
+    printf("identity:   concurrent vs isolated results %s\n",
+           identical ? "bit-identical" : "DIFFER (bug!)");
+
+    const auto report = [](const char *cls, std::vector<double> lat) {
+        if (lat.empty())
+            return;
+        printf("  %-12s p50 %.3f ms  p99 %.3f ms  (%zu tickets)\n", cls,
+               1e3 * host::percentile(lat, 0.5),
+               1e3 * host::percentile(lat, 0.99), lat.size());
+    };
+    printf("modeled completion latency by class:\n");
+    report("realtime", mixed.latencies.realtime);
+    report("interactive", mixed.latencies.interactive);
+    report("bulk", mixed.latencies.bulk);
+    return identical ? 0 : 1;
+}

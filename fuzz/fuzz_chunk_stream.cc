@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fuzz harness for the squiggle chunk-stream decoder
+ * (workloads::decodeChunkStream), which parses untrusted byte streams
+ * of framed signal chunks for the streaming basecaller. Malformed
+ * input must surface as ChunkFormatError (truncation, bad magic,
+ * reserved flags, oversized counts), never as an over-read or crash.
+ * Streams that do decode are additionally re-encoded — the round trip
+ * must be byte-identical, so the decoder cannot silently normalize —
+ * and pushed through groupChunksByRead, which must preserve every
+ * chunk across its grouping.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "workloads/chunk_io.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    std::vector<dphls::workloads::SignalChunk> chunks;
+    try {
+        chunks = dphls::workloads::decodeChunkStream(data, size);
+    } catch (const dphls::workloads::ChunkFormatError &) {
+        return 0; // malformed stream: rejected, not crashed
+    }
+    // Decoded streams must re-encode to the exact input bytes.
+    const auto bytes = dphls::workloads::encodeChunkStream(chunks);
+    if (bytes.size() != size)
+        __builtin_trap();
+    for (size_t i = 0; i < size; i++) {
+        if (bytes[i] != data[i])
+            __builtin_trap();
+    }
+    // Grouping must keep every chunk exactly once.
+    size_t grouped = 0;
+    for (const auto &[id, group] :
+         dphls::workloads::groupChunksByRead(chunks))
+        grouped += group.size();
+    if (grouped != chunks.size())
+        __builtin_trap();
+    return 0;
+}

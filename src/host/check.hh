@@ -120,6 +120,9 @@ constexpr int kServiceTickets = 30;
 constexpr int kServiceStats = 40;
 /** TenantQuotas::_mtx (innermost: leaf calls only). */
 constexpr int kTenantQuota = 50;
+/** workloads::ClassLatencyProbe::_mutex (leaf; taken from ticket
+ *  completion callbacks, which may run under a dispatch slot). */
+constexpr int kWorkloadProbe = 60;
 } // namespace lockrank
 
 #if DPHLS_DCHECK_ENABLED

@@ -363,6 +363,83 @@ class StreamPipeline;
 template <core::KernelSpec K>
 class BatchTicket;
 
+/**
+ * A booked slice of the dispatch backlog, created by
+ * StreamPipeline::reserveCompletion(). The reservation adds the batch's
+ * routed per-slot work to the live queued-work signal *atomically with
+ * the estimate*, so two concurrent admission checks can no longer both
+ * be admitted against the same free capacity: the second reserver's
+ * estimate already includes the first one's booking.
+ *
+ * Lifecycle (admission control):
+ *  - reserve-on-estimate: reserveCompletion() books and returns this;
+ *  - commit-on-submit: pass it to submit() — the real enqueue replaces
+ *    the booking (added before the booking is dropped, so the backlog
+ *    transiently double-counts but never under-counts);
+ *  - release-on-reject: call release() (or just drop the object — the
+ *    destructor releases, so an exception path cannot leak capacity).
+ *
+ * Move-only; releasing twice is a no-op. A reservation outliving its
+ * pipeline releases into nothing (weak reference) rather than touching
+ * freed slots.
+ */
+class AdmissionReservation
+{
+  public:
+    AdmissionReservation() = default;
+
+    AdmissionReservation(AdmissionReservation &&other) noexcept
+        : _release(std::move(other._release)), _estimate(other._estimate)
+    {
+        other._release = nullptr;
+    }
+
+    AdmissionReservation &
+    operator=(AdmissionReservation &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            _release = std::move(other._release);
+            _estimate = other._estimate;
+            other._release = nullptr;
+        }
+        return *this;
+    }
+
+    AdmissionReservation(const AdmissionReservation &) = delete;
+    AdmissionReservation &operator=(const AdmissionReservation &) = delete;
+
+    ~AdmissionReservation() { release(); }
+
+    /**
+     * Modeled completion seconds of the reserved batch: the worst used
+     * slot's backlog — including this reservation and any concurrent
+     * ones booked first — plus the batch's own routed work.
+     */
+    double estimateSeconds() const { return _estimate; }
+
+    /** True while this reservation still holds booked capacity. */
+    bool active() const { return static_cast<bool>(_release); }
+
+    /** Return the booked capacity (the reject path); idempotent. */
+    void
+    release()
+    {
+        if (_release) {
+            auto fn = std::move(_release);
+            _release = nullptr;
+            fn();
+        }
+    }
+
+  private:
+    template <core::KernelSpec K>
+    friend class StreamPipeline;
+
+    std::function<void()> _release; //!< unbooks the per-slot amounts
+    double _estimate = 0;
+};
+
 namespace detail {
 
 /**
@@ -985,7 +1062,9 @@ class StreamPipeline
      * instead of counting a miss after the fact. Throws
      * std::invalid_argument (like submit()) when some job no enabled
      * backend can take. The estimate is advisory: it reads the live
-     * backlog counters racily and does not reserve capacity.
+     * backlog counters racily and does not reserve capacity — two
+     * concurrent callers can both be told the same slot is free. Use
+     * reserveCompletion() when the answer gates admission.
      */
     double
     estimateCompletionSeconds(const std::vector<Job> &jobs) const
@@ -1007,6 +1086,78 @@ class StreamPipeline
                                         _core->gpuSlot()) +
                                         r.gpuEst);
         return worst;
+    }
+
+    /**
+     * Reserving admission view: route @p jobs, book their per-slot
+     * estimates into the live backlog signal, and return a reservation
+     * whose estimateSeconds() is the modeled completion time *given
+     * every earlier booking*. Unlike estimateCompletionSeconds() this
+     * closes the estimate/submit race: concurrent reservers serialize
+     * through the slots' atomic backlog counters, so the total work
+     * admitted against a deadline budget is bounded even under
+     * concurrent submitters (tests/test_admission_reserve.cc).
+     *
+     * On admit, pass the reservation to submit() — the enqueue swaps
+     * the booking for the ticket's live entries. On reject, release()
+     * it (or let it go out of scope). Throws std::invalid_argument
+     * (like submit()) when some job no enabled backend can take,
+     * booking nothing.
+     */
+    AdmissionReservation
+    reserveCompletion(const std::vector<Job> &jobs)
+    {
+        const Routing r = routeCostModel(jobs, TicketOptions{});
+        std::vector<std::pair<int, double>> booked;
+        auto book = [&](int s, double est, bool used) {
+            if (!used)
+                return;
+            _core->noteEnqueued(s, est);
+            booked.emplace_back(s, est);
+        };
+        for (int c = 0; c < _cfg.nk; c++) {
+            book(c, r.shardEst[static_cast<size_t>(c)],
+                 !r.shards[static_cast<size_t>(c)].empty());
+        }
+        book(_core->cpuSlot(), r.cpuEst, !r.cpu.empty());
+        book(_core->gpuSlot(), r.gpuEst, !r.gpu.empty());
+
+        // Read the backlog *after* booking: the loaded value includes
+        // this batch's own work plus every reservation booked before it
+        // in the counters' modification order, which is what makes
+        // concurrent admission decisions sum correctly (a later value
+        // can only be larger — conservative, never optimistic).
+        AdmissionReservation res;
+        for (const auto &[s, est] : booked) {
+            res._estimate =
+                std::max(res._estimate, _core->queuedSeconds(s));
+        }
+        std::weak_ptr<Core> core = _core;
+        res._release = [core, entries = std::move(booked)] {
+            if (auto c = core.lock()) {
+                for (const auto &[s, est] : entries)
+                    c->noteCompleted(s, est);
+            }
+        };
+        return res;
+    }
+
+    /**
+     * submit() committing an admission reservation: the ticket enqueues
+     * normally (adding its live routed estimates), then the reservation
+     * is released — add-before-release, so the backlog signal never
+     * dips below the real queued work. When submission throws, the
+     * reservation parameter's destructor still releases the booking.
+     */
+    Ticket
+    submit(std::vector<Job> jobs, TicketOptions options,
+           Callback callback, AdmissionReservation reservation)
+    {
+        Ticket ticket =
+            submit(std::move(jobs), std::move(options),
+                   std::move(callback));
+        reservation.release();
+        return ticket;
     }
 
     /**
@@ -1101,7 +1252,34 @@ class StreamPipeline
             }
         }
         r.shards = shardIndicesRoundRobin(device_idx, _cfg.nk);
+        // Threshold routing ignores estimates for its *decisions*, but
+        // the queued-work signal the estimates feed (noteEnqueued /
+        // estimateCompletionSeconds / reserveCompletion) must be real
+        // under every dispatch policy — admission control against a
+        // permanently-zero backlog admits everything
+        // (tests/test_admission_reserve.cc).
         r.shardEst.assign(r.shards.size(), 0.0);
+        for (size_t c = 0; c < r.shards.size(); c++) {
+            if (r.shards[c].empty())
+                continue;
+            r.shardEst[c] = _channels[0]->batchOverheadSeconds();
+            for (int i : r.shards[c])
+                r.shardEst[c] +=
+                    _channels[0]->estimate(jobs[static_cast<size_t>(i)])
+                        .seconds;
+        }
+        if (!r.cpu.empty()) {
+            r.cpuEst = _cpu->batchOverheadSeconds();
+            for (int i : r.cpu)
+                r.cpuEst +=
+                    _cpu->estimate(jobs[static_cast<size_t>(i)]).seconds;
+        }
+        if (!r.gpu.empty()) {
+            r.gpuEst = _gpu->batchOverheadSeconds();
+            for (int i : r.gpu)
+                r.gpuEst +=
+                    _gpu->estimate(jobs[static_cast<size_t>(i)]).seconds;
+        }
         return r;
     }
 

@@ -34,7 +34,11 @@ simulateRead(const DnaSequence &reference, const ReadSimConfig &cfg, Rng &rng)
     const double p_del = p_err * cfg.delFraction / f_total;
 
     const int ref_len = reference.length();
-    const int max_start = std::max(0, ref_len - cfg.readLength - 1);
+    // Valid starts are [0, ref_len - readLength]: a read beginning at
+    // ref_len - readLength still spans a full window. (An off-by-one
+    // here used to exclude that last start, so the final window of a
+    // reference was never sampled.)
+    const int max_start = std::max(0, ref_len - cfg.readLength);
     const int start = static_cast<int>(rng.below(
         static_cast<uint64_t>(max_start + 1)));
 

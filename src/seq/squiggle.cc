@@ -49,6 +49,11 @@ expectedSignal(const DnaSequence &dna, const SquiggleConfig &cfg)
 SignalSequence
 rawSignal(const DnaSequence &dna, const SquiggleConfig &cfg, Rng &rng)
 {
+    // Degenerate inputs (dna shorter than one k-mer) produce zero
+    // events, and therefore a truly empty signal — the same contract
+    // as expectedSignal. (rawSignal used to pad one zero sample here,
+    // so the two generators disagreed on empty inputs and downstream
+    // sDTW consumers saw a phantom sample.)
     std::vector<SignalSample> out;
     const int n_events = dna.length() - cfg.kmer + 1;
     for (int i = 0; i < n_events; i++) {
@@ -65,8 +70,6 @@ rawSignal(const DnaSequence &dna, const SquiggleConfig &cfg, Rng &rng)
             out.push_back(SignalSample{static_cast<int16_t>(clamped)});
         }
     }
-    if (out.empty())
-        out.push_back(SignalSample{0});
     return SignalSequence(std::move(out));
 }
 

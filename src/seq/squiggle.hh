@@ -38,14 +38,20 @@ struct SquiggleConfig
  */
 int poreModelLevel(uint64_t kmer_code, const SquiggleConfig &cfg);
 
-/** Generate the noiseless expected signal for a DNA sequence (1/k-mer). */
+/**
+ * Generate the noiseless expected signal for a DNA sequence (1/k-mer).
+ * A sequence shorter than one k-mer has zero events and yields a truly
+ * empty signal (the shared degenerate-input contract with rawSignal).
+ */
 SignalSequence expectedSignal(const DnaSequence &dna,
                               const SquiggleConfig &cfg);
 
 /**
  * Generate a noisy, time-warped raw signal for a DNA sequence: each k-mer
  * event dwells a geometric number of samples around meanDwell and each
- * sample carries Gaussian noise.
+ * sample carries Gaussian noise. Same degenerate-input contract as
+ * expectedSignal: fewer than k bases produce an empty signal, never a
+ * padded zero sample.
  */
 SignalSequence rawSignal(const DnaSequence &dna, const SquiggleConfig &cfg,
                          Rng &rng);

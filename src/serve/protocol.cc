@@ -245,7 +245,7 @@ decodeAlignRequest(const Frame &frame)
     WireReader r(frame.payload);
     AlignRequest req;
     const uint8_t cls = r.u8();
-    if (cls > static_cast<uint8_t>(TrafficClass::Interactive))
+    if (cls > static_cast<uint8_t>(TrafficClass::Realtime))
         throw ProtocolError("bad traffic class");
     req.trafficClass = static_cast<TrafficClass>(cls);
     req.deadlineMicros = r.u64();

@@ -80,7 +80,13 @@ enum class RejectReason : uint8_t
 enum class TrafficClass : uint8_t
 {
     Bulk = 0,
-    Interactive = 1
+    Interactive = 1,
+    /**
+     * Real-time streams (basecaller chunks, mapper extensions on the
+     * interactive path): dispatched ahead of Interactive. Same wire
+     * version — old servers reject the unknown class as malformed.
+     */
+    Realtime = 2
 };
 
 /** Malformed frame/payload; the session answers Error and drops it. */

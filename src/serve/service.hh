@@ -5,10 +5,14 @@
  * AlignService owns one StreamPipeline and turns decoded protocol
  * frames into pipeline operations: Align requests pass quota, then
  * deadline admission (serve/admission.hh over
- * StreamPipeline::estimateCompletionSeconds), then submit with the
- * traffic class mapped onto a ticket priority; responses are produced
- * by the ticket's completion callback through a caller-supplied sink,
- * so they naturally arrive in completion order, not submission order.
+ * StreamPipeline::reserveCompletion — the reservation books the
+ * request's routed work into the backlog atomically with the estimate,
+ * so concurrent sessions cannot double-book the same free slot; the
+ * booking commits on submit and releases on reject), then submit with
+ * the traffic class mapped onto a ticket priority; responses are
+ * produced by the ticket's completion callback through a
+ * caller-supplied sink, so they naturally arrive in completion order,
+ * not submission order.
  *
  * The service is transport-agnostic on purpose: tools/dphls_serve.cc
  * drives it from Unix-socket session threads, tests/test_serve.cc
@@ -50,6 +54,12 @@ struct ServiceConfig
     uint64_t maxInFlightJobsPerTenant = 0;
     /** Ticket priority of TrafficClass::Interactive (bulk is 0). */
     int interactivePriority = 10;
+    /**
+     * Ticket priority of TrafficClass::Realtime (streaming basecaller
+     * chunks, mapper extensions with deadlines): above Interactive so
+     * per-chunk latency holds under an interactive burst.
+     */
+    int realtimePriority = 20;
     /** Jobs per Align request above which the request is malformed. */
     uint32_t maxJobsPerRequest = 1u << 16;
     /**
@@ -208,6 +218,21 @@ class AlignService
     }
 
   private:
+    /** Map a wire traffic class onto its configured ticket priority. */
+    int
+    priorityOf(TrafficClass cls) const
+    {
+        switch (cls) {
+          case TrafficClass::Realtime:
+            return _cfg.realtimePriority;
+          case TrafficClass::Interactive:
+            return _cfg.interactivePriority;
+          case TrafficClass::Bulk:
+            break;
+        }
+        return 0;
+    }
+
     void
     handleHello(const Frame &frame, const Sink &sink)
     {
@@ -291,12 +316,17 @@ class AlignService
             return;
         }
 
+        // Reserve-on-estimate: the reservation holds the request's
+        // routed work in the backlog signal until it either commits
+        // into the submitted ticket or releases on a reject below —
+        // concurrent sessions therefore see each other's admitted-but-
+        // not-yet-submitted work and cannot double-book a free slot.
         const double budget =
             static_cast<double>(req.deadlineMicros) * 1e-6;
+        host::AdmissionReservation reservation;
         if (req.deadlineMicros > 0 && _cfg.admission.enabled) {
-            double estimate = 0;
             try {
-                estimate = _pipeline.estimateCompletionSeconds(jobs);
+                reservation = _pipeline.reserveCompletion(jobs);
             } catch (const std::invalid_argument &e) {
                 _quotas.release(req.tenant, njobs);
                 {
@@ -306,7 +336,10 @@ class AlignService
                 reject(RejectReason::Undispatchable, e.what());
                 return;
             }
-            if (!admits(_cfg.admission, estimate, budget)) {
+            if (!admits(_cfg.admission, reservation.estimateSeconds(),
+                        budget)) {
+                const double estimate = reservation.estimateSeconds();
+                reservation.release();
                 _quotas.release(req.tenant, njobs);
                 {
                     std::lock_guard lk(_statsMutex);
@@ -324,16 +357,11 @@ class AlignService
         host::TicketOptions topt;
         if (req.deadlineMicros > 0) {
             topt = host::TicketOptions::afterMs(
-                req.trafficClass == TrafficClass::Interactive
-                    ? _cfg.interactivePriority
-                    : 0,
+                priorityOf(req.trafficClass),
                 static_cast<double>(req.deadlineMicros) * 1e-3,
                 req.tenant);
         } else {
-            topt.priority =
-                req.trafficClass == TrafficClass::Interactive
-                    ? _cfg.interactivePriority
-                    : 0;
+            topt.priority = priorityOf(req.trafficClass);
             topt.tag = req.tenant;
         }
 
@@ -342,12 +370,16 @@ class AlignService
         try {
             // sink is captured by copy: the reject path below must
             // still be able to answer when submit throws.
+            // Commit-on-submit: the enqueue replaces the reservation's
+            // booking with the ticket's live entries (an inactive
+            // reservation — no-deadline path — commits nothing).
             ticket = _pipeline.submit(
                 std::move(jobs), std::move(topt),
                 [this, sink, rid, tenant,
                  njobs](host::BatchTicket<K> &t) {
                     completeTicket(t, sink, rid, tenant, njobs);
-                });
+                },
+                std::move(reservation));
         } catch (const std::invalid_argument &e) {
             // Undispatchable shape surfaced by submit-time routing
             // (no-deadline path, where admission did not pre-screen):

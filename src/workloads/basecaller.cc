@@ -1,0 +1,91 @@
+#include "workloads/basecaller.hh"
+
+namespace dphls::workloads {
+
+StreamingBasecaller::StreamingBasecaller(seq::SignalSequence target_signal,
+                                         BasecallConfig cfg)
+    : _target(std::move(target_signal)), _cfg(cfg)
+{}
+
+ReadOutcome
+StreamingBasecaller::classify(
+    const std::vector<seq::SignalSequence> &chunks) const
+{
+    ReadOutcome out;
+    SdtwStream dp(_target);
+    for (const auto &chunk : chunks) {
+        dp.feed(chunk);
+        out.chunksConsumed++;
+        if (_cfg.abandonPerSample > 0 &&
+            dp.samplesFed() >= _cfg.minSamplesBeforeAbandon &&
+            dp.scorePerSample() > _cfg.abandonPerSample) {
+            // The per-sample value is an admissible lower bound: the
+            // final score can only be higher, so this read could never
+            // have been called on-target under the same rule.
+            out.abandoned = true;
+            break;
+        }
+    }
+    out.samplesConsumed = dp.samplesFed();
+    out.hostScore = dp.score();
+    out.perSample = dp.scorePerSample();
+    out.onTarget = !out.abandoned &&
+                   (_cfg.onTargetPerSample <= 0 ||
+                    out.perSample <= _cfg.onTargetPerSample);
+    return out;
+}
+
+StreamingBasecaller::Pending
+StreamingBasecaller::submit(Pipeline &pipeline,
+                            const std::vector<seq::SignalSequence> &chunks,
+                            host::TicketOptions options,
+                            Pipeline::Callback callback) const
+{
+    Pending pending;
+    pending.outcome = classify(chunks);
+    if (pending.outcome.abandoned)
+        return pending; // never reaches the device
+    Pipeline::Job job;
+    for (const auto &chunk : chunks)
+        job.query.chars.insert(job.query.chars.end(),
+                               chunk.chars.begin(), chunk.chars.end());
+    job.reference = _target;
+    std::vector<Pipeline::Job> jobs;
+    jobs.push_back(std::move(job));
+    pending.ticket = pipeline.submit(std::move(jobs), std::move(options),
+                                     std::move(callback));
+    return pending;
+}
+
+ReadOutcome
+StreamingBasecaller::finish(const Pending &pending) const
+{
+    ReadOutcome out = pending.outcome;
+    if (!pending.ticket)
+        return out;
+    pending.ticket->wait();
+    if (!pending.ticket->completed().empty() &&
+        pending.ticket->completed()[0]) {
+        out.deviceScored = true;
+        out.deviceScore = pending.ticket->results()[0].score;
+        out.deviceCycles = pending.ticket->cycles()[0];
+        const double per_sample = out.samplesConsumed > 0
+            ? static_cast<double>(out.deviceScore) /
+                  static_cast<double>(out.samplesConsumed)
+            : 0.0;
+        out.perSample = per_sample;
+        out.onTarget = _cfg.onTargetPerSample <= 0 ||
+                       per_sample <= _cfg.onTargetPerSample;
+    }
+    return out;
+}
+
+ReadOutcome
+StreamingBasecaller::process(Pipeline &pipeline,
+                             const std::vector<seq::SignalSequence> &chunks,
+                             host::TicketOptions options) const
+{
+    return finish(submit(pipeline, chunks, std::move(options)));
+}
+
+} // namespace dphls::workloads

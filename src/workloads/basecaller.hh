@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Streaming sDTW basecalling/classification workload (read-until).
+ *
+ * SquiggleFilter-style targeted sequencing: each read's raw signal
+ * arrives in chunks, and the host decides per chunk whether to keep
+ * sequencing (on-target) or eject the read from the pore (off-target).
+ * Two cooperating paths:
+ *
+ *  - **Host early-abandon**: each chunk feeds the incremental
+ *    SdtwStream DP. Its prefix score is an admissible lower bound on
+ *    the final sDTW score (sdtw_stream.hh), so once the per-sample
+ *    bound exceeds the abandon threshold the read is provably
+ *    off-target under the final-score decision rule too — it is
+ *    dropped without ever touching the device, and no surviving
+ *    read's score changes (survivors run the full, identical DP).
+ *  - **Device scoring**: surviving reads submit their full signal as
+ *    one deadline-tagged ticket through StreamPipeline<Sdtw> — the
+ *    realtime traffic class of the mixed-workload story — and the
+ *    device score (bit-identical to the golden model, hence to the
+ *    host prefix DP at full length) is the authoritative
+ *    classification input.
+ *
+ * tests/test_workload_basecall.cc locks the bit-identity between
+ * pruned and unpruned runs on non-abandoned reads, the admissibility
+ * of the bound, and the degenerate-input semantics.
+ */
+
+#ifndef DPHLS_WORKLOADS_BASECALLER_HH
+#define DPHLS_WORKLOADS_BASECALLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "host/stream_pipeline.hh"
+#include "kernels/sdtw.hh"
+#include "workloads/sdtw_stream.hh"
+
+namespace dphls::workloads {
+
+/** Streaming classification knobs. */
+struct BasecallConfig
+{
+    /**
+     * Abandon a read once its admissible per-sample lower bound
+     * exceeds this (ADC units per sample); 0 disables pruning and
+     * every read runs to completion.
+     */
+    double abandonPerSample = 0;
+    /** Samples that must be fed before the first abandon check, so a
+     *  noisy first event cannot eject a read on its own. */
+    int minSamplesBeforeAbandon = 64;
+    /**
+     * Final per-sample score at or below which a completed read is
+     * called on-target; 0 means "on-target iff not abandoned"
+     * (useful when the abandon threshold is the only decision rule).
+     */
+    double onTargetPerSample = 0;
+};
+
+/** Outcome of one read's streaming classification. */
+struct ReadOutcome
+{
+    bool abandoned = false;
+    int chunksConsumed = 0; //!< chunks fed before the decision
+    int samplesConsumed = 0;
+    int32_t hostScore = 0; //!< incremental DP score at decision point
+    double perSample = 0;  //!< hostScore / samplesConsumed
+    bool onTarget = false;
+    /** Survivors only: authoritative device ticket result. */
+    bool deviceScored = false;
+    int32_t deviceScore = 0;
+    uint64_t deviceCycles = 0;
+};
+
+/**
+ * The classifier: owns the target's expected signal. classify() is
+ * pure (host DP only); process()/submit()+finish() additionally score
+ * survivors on the modeled device through a shared pipeline.
+ */
+class StreamingBasecaller
+{
+  public:
+    using Kernel = kernels::Sdtw;
+    using Pipeline = host::StreamPipeline<Kernel>;
+
+    /** A survivor's in-flight device scoring. */
+    struct Pending
+    {
+        ReadOutcome outcome;
+        Pipeline::Ticket ticket; //!< null when abandoned host-side
+    };
+
+    explicit StreamingBasecaller(seq::SignalSequence target_signal,
+                                 BasecallConfig cfg = {});
+
+    /** Host-only streaming classification of one read's chunks. */
+    ReadOutcome
+    classify(const std::vector<seq::SignalSequence> &chunks) const;
+
+    /** classify(), then submit the survivor's full signal as one
+     *  deadline-tagged device ticket. */
+    Pending submit(Pipeline &pipeline,
+                   const std::vector<seq::SignalSequence> &chunks,
+                   host::TicketOptions options = {},
+                   Pipeline::Callback callback = nullptr) const;
+
+    /** Wait for the device score and fold it into the outcome. */
+    ReadOutcome finish(const Pending &pending) const;
+
+    /** Synchronous convenience: submit() + finish(). */
+    ReadOutcome process(Pipeline &pipeline,
+                        const std::vector<seq::SignalSequence> &chunks,
+                        host::TicketOptions options = {}) const;
+
+    const seq::SignalSequence &target() const { return _target; }
+    const BasecallConfig &config() const { return _cfg; }
+
+  private:
+    seq::SignalSequence _target;
+    BasecallConfig _cfg;
+};
+
+} // namespace dphls::workloads
+
+#endif // DPHLS_WORKLOADS_BASECALLER_HH

@@ -1,0 +1,143 @@
+#include "workloads/chunk_io.hh"
+
+namespace dphls::workloads {
+
+namespace {
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xff));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    putU16(out, static_cast<uint16_t>(v & 0xffff));
+    putU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+/** Bounds-checked little-endian reader over the untrusted buffer. */
+struct Reader
+{
+    const uint8_t *data;
+    size_t len;
+    size_t pos = 0;
+
+    void
+    need(size_t n) const
+    {
+        if (len - pos < n)
+            throw ChunkFormatError("truncated chunk stream");
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return data[pos++];
+    }
+
+    uint16_t
+    u16()
+    {
+        need(2);
+        const uint16_t v = static_cast<uint16_t>(
+            data[pos] | (static_cast<uint16_t>(data[pos + 1]) << 8));
+        pos += 2;
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        const uint32_t lo = u16();
+        return lo | (static_cast<uint32_t>(u16()) << 16);
+    }
+};
+
+} // namespace
+
+std::vector<uint8_t>
+encodeChunkStream(const std::vector<SignalChunk> &chunks)
+{
+    std::vector<uint8_t> out;
+    putU32(out, kChunkStreamMagic);
+    for (const auto &c : chunks) {
+        const size_t n = c.samples.chars.size();
+        if (n > static_cast<size_t>(kMaxChunkSamples))
+            throw ChunkFormatError("chunk over the sample cap");
+        putU32(out, c.readId);
+        out.push_back(c.last ? kChunkFlagLast : 0);
+        putU16(out, static_cast<uint16_t>(n));
+        for (const auto &s : c.samples.chars)
+            putU16(out, static_cast<uint16_t>(s.value));
+    }
+    return out;
+}
+
+std::vector<SignalChunk>
+decodeChunkStream(const uint8_t *data, size_t len)
+{
+    Reader r{data, len};
+    if (r.u32() != kChunkStreamMagic)
+        throw ChunkFormatError("bad chunk stream magic");
+    std::vector<SignalChunk> out;
+    while (r.pos < r.len) {
+        SignalChunk c;
+        c.readId = r.u32();
+        const uint8_t flags = r.u8();
+        if ((flags & ~kChunkFlagLast) != 0)
+            throw ChunkFormatError("reserved chunk flags set");
+        c.last = (flags & kChunkFlagLast) != 0;
+        const uint16_t count = r.u16();
+        if (count > kMaxChunkSamples)
+            throw ChunkFormatError("chunk over the sample cap");
+        // Validate before allocating: the sample payload must be fully
+        // present, so a hostile count cannot oversize the vector.
+        r.need(static_cast<size_t>(count) * 2);
+        c.samples.chars.reserve(count);
+        for (uint16_t i = 0; i < count; i++) {
+            c.samples.chars.push_back(
+                seq::SignalSample{static_cast<int16_t>(r.u16())});
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::vector<std::pair<uint32_t, std::vector<seq::SignalSequence>>>
+groupChunksByRead(const std::vector<SignalChunk> &chunks)
+{
+    std::vector<std::pair<uint32_t, std::vector<seq::SignalSequence>>> out;
+    // Open reads by id -> index into `out`. Linear scan: streams are
+    // demo-sized and ids few; no need for a map.
+    std::vector<std::pair<uint32_t, size_t>> open;
+    for (const auto &c : chunks) {
+        size_t slot = out.size();
+        for (size_t k = 0; k < open.size(); k++) {
+            if (open[k].first == c.readId) {
+                slot = open[k].second;
+                break;
+            }
+        }
+        if (slot == out.size()) {
+            out.emplace_back(c.readId,
+                             std::vector<seq::SignalSequence>{});
+            open.emplace_back(c.readId, slot);
+        }
+        out[slot].second.push_back(c.samples);
+        if (c.last) {
+            for (size_t k = 0; k < open.size(); k++) {
+                if (open[k].first == c.readId) {
+                    open.erase(open.begin() + static_cast<long>(k));
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dphls::workloads

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Binary framing for streamed signal chunks (untrusted input).
+ *
+ * A streaming basecaller receives raw pore signal in chunks, many
+ * reads interleaved on one stream. This is the minimal wire format the
+ * workload demos and tools speak, and — like the serve protocol — it
+ * decodes *untrusted* bytes, so every length and flag is validated and
+ * malformed input throws ChunkFormatError instead of reading out of
+ * bounds (fuzz/fuzz_chunk_stream.cc hammers exactly that, plus the
+ * decode→encode→decode round-trip).
+ *
+ * Layout, all little-endian, after a 4-byte stream magic "DPSC":
+ *
+ *   per chunk: u32 readId | u8 flags | u16 sampleCount
+ *              | sampleCount x i16 samples
+ *
+ * flags bit 0 marks a read's final chunk; all other bits are reserved
+ * and must be zero (a decoder this strict keeps the format evolvable:
+ * old decoders reject frames from a future writer instead of silently
+ * misreading them).
+ */
+
+#ifndef DPHLS_WORKLOADS_CHUNK_IO_HH
+#define DPHLS_WORKLOADS_CHUNK_IO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "seq/alphabet.hh"
+
+namespace dphls::workloads {
+
+constexpr uint32_t kChunkStreamMagic = 0x43535044; // "DPSC" LE
+/** Per-chunk sample cap: bounds decoder allocations on hostile input. */
+constexpr int kMaxChunkSamples = 4096;
+constexpr uint8_t kChunkFlagLast = 0x01;
+
+/** Malformed chunk stream (truncated, bad magic, oversized, ...). */
+class ChunkFormatError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One decoded signal chunk. */
+struct SignalChunk
+{
+    uint32_t readId = 0;
+    bool last = false; //!< final chunk of this read
+    seq::SignalSequence samples;
+};
+
+/** Serialize chunks in order (throws on an oversized chunk). */
+std::vector<uint8_t> encodeChunkStream(const std::vector<SignalChunk> &chunks);
+
+/** Parse an untrusted byte stream; throws ChunkFormatError. */
+std::vector<SignalChunk> decodeChunkStream(const uint8_t *data, size_t len);
+
+inline std::vector<SignalChunk>
+decodeChunkStream(const std::vector<uint8_t> &bytes)
+{
+    return decodeChunkStream(bytes.data(), bytes.size());
+}
+
+/**
+ * Group a decoded stream into per-read chunk lists, in first-arrival
+ * order of the read ids; chunks after a read's `last` marker start a
+ * new occurrence of that id (the id space is per-flowcell-session, so
+ * reuse is legal on long streams).
+ */
+std::vector<std::pair<uint32_t, std::vector<seq::SignalSequence>>>
+groupChunksByRead(const std::vector<SignalChunk> &chunks);
+
+} // namespace dphls::workloads
+
+#endif // DPHLS_WORKLOADS_CHUNK_IO_HH

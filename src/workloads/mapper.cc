@@ -1,0 +1,392 @@
+#include "workloads/mapper.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace dphls::workloads {
+
+namespace {
+
+/** SplitMix64 finalizer: the k-mer hash (invertible, so no k-mer
+ *  aliasing within 2k bits). */
+uint64_t
+mixHash(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+// ------------------------------------------------------- MinimizerIndex
+
+std::vector<std::pair<uint64_t, int>>
+MinimizerIndex::minimizers(const seq::DnaSequence &dna, int k, int window)
+{
+    std::vector<std::pair<uint64_t, int>> out;
+    const int n = dna.length();
+    if (k < 1 || k > 31 || n < k)
+        return out;
+    const int kmers = n - k + 1;
+    const uint64_t mask = (uint64_t{1} << (2 * k)) - 1;
+
+    // Rolling 2-bit pack of every k-mer, hashed on the fly.
+    std::vector<uint64_t> hash(static_cast<size_t>(kmers));
+    uint64_t code = 0;
+    for (int i = 0; i < n; i++) {
+        code = ((code << 2) | dna[i].code) & mask;
+        if (i >= k - 1)
+            hash[static_cast<size_t>(i - k + 1)] = mixHash(code);
+    }
+
+    // Monotonic deque over each window of `window` k-mers; ties keep
+    // the leftmost occurrence (the deque never pops an equal front).
+    const int w = std::max(1, window);
+    std::deque<int> q; // k-mer positions, hashes increasing front->back
+    int last_emitted = -1;
+    for (int i = 0; i < kmers; i++) {
+        while (!q.empty() &&
+               hash[static_cast<size_t>(q.back())] >
+                   hash[static_cast<size_t>(i)])
+            q.pop_back();
+        q.push_back(i);
+        if (q.front() <= i - w)
+            q.pop_front();
+        if (i >= w - 1 && q.front() != last_emitted) {
+            last_emitted = q.front();
+            out.emplace_back(hash[static_cast<size_t>(last_emitted)],
+                             last_emitted);
+        }
+    }
+    // Sequences with fewer k-mers than one window still seed: emit the
+    // overall minimum so short reads are not unmappable by construction.
+    if (kmers < w && kmers > 0) {
+        int best = 0;
+        for (int i = 1; i < kmers; i++) {
+            if (hash[static_cast<size_t>(i)] <
+                hash[static_cast<size_t>(best)])
+                best = i;
+        }
+        out.emplace_back(hash[static_cast<size_t>(best)], best);
+    }
+    return out;
+}
+
+MinimizerIndex::MinimizerIndex(const seq::DnaSequence &reference, int k,
+                               int window)
+    : _k(k), _window(window)
+{
+    for (const auto &[h, pos] : minimizers(reference, k, window))
+        _table[h].push_back(static_cast<int32_t>(pos));
+}
+
+const std::vector<int32_t> *
+MinimizerIndex::lookup(uint64_t hash) const
+{
+    const auto it = _table.find(hash);
+    return it == _table.end() ? nullptr : &it->second;
+}
+
+// ----------------------------------------------------------- ReadMapper
+
+namespace {
+
+sim::EngineConfig
+tileEngineConfig(const MapperConfig &cfg)
+{
+    sim::EngineConfig ecfg;
+    ecfg.maxQueryLength = cfg.tiling.tileSize;
+    ecfg.maxReferenceLength = cfg.tiling.tileSize;
+    return ecfg;
+}
+
+} // namespace
+
+ReadMapper::ReadMapper(seq::DnaSequence reference, MapperConfig cfg)
+    : _reference(std::move(reference)), _cfg(cfg),
+      _index(_reference, cfg.k, cfg.window),
+      _tileEngine(tileEngineConfig(cfg), kernels::GlobalAffine::defaultParams())
+{}
+
+std::vector<Anchor>
+ReadMapper::anchors(const seq::DnaSequence &read) const
+{
+    std::vector<Anchor> out;
+    for (const auto &[h, qpos] :
+         MinimizerIndex::minimizers(read, _cfg.k, _cfg.window)) {
+        const auto *positions = _index.lookup(h);
+        if (positions == nullptr ||
+            static_cast<int>(positions->size()) > _cfg.maxOccurrences)
+            continue; // absent or repetitive seed
+        for (const int32_t rpos : *positions) {
+            if (static_cast<int>(out.size()) >= _cfg.maxAnchors)
+                break;
+            out.push_back(Anchor{qpos, static_cast<int>(rpos)});
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Anchor &a, const Anchor &b) {
+        return a.rpos != b.rpos ? a.rpos < b.rpos : a.qpos < b.qpos;
+    });
+    return out;
+}
+
+MapPlan
+ReadMapper::plan(const seq::DnaSequence &read, int max_query_len,
+                 int max_ref_len) const
+{
+    MapPlan out;
+    out.longRead = read.length() > max_query_len;
+    const auto a = anchors(read);
+    if (a.empty())
+        return out;
+
+    // Co-linear chaining DP: f[i] = k + max over recent predecessors of
+    // f[j] - gap(j, i), gap = half the diagonal drift. Bounded lookback
+    // keeps the pass O(n * chainLookback).
+    const int n = static_cast<int>(a.size());
+    std::vector<double> f(static_cast<size_t>(n),
+                          static_cast<double>(_cfg.k));
+    std::vector<int> pred(static_cast<size_t>(n), -1);
+    for (int i = 0; i < n; i++) {
+        const int j0 = std::max(0, i - _cfg.chainLookback);
+        for (int j = j0; j < i; j++) {
+            const int dq = a[static_cast<size_t>(i)].qpos -
+                           a[static_cast<size_t>(j)].qpos;
+            const int dr = a[static_cast<size_t>(i)].rpos -
+                           a[static_cast<size_t>(j)].rpos;
+            if (dq <= 0 || dr <= 0 || dq > _cfg.maxChainGap ||
+                dr > _cfg.maxChainGap)
+                continue;
+            const double drift = static_cast<double>(std::abs(dq - dr));
+            const double cand = f[static_cast<size_t>(j)] +
+                                static_cast<double>(_cfg.k) - 0.5 * drift;
+            if (cand > f[static_cast<size_t>(i)]) {
+                f[static_cast<size_t>(i)] = cand;
+                pred[static_cast<size_t>(i)] = j;
+            }
+        }
+    }
+
+    // Peel off the best chains, best tail first; anchors already used
+    // by a better chain cannot end (or extend) a later one.
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; i++)
+        order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return f[static_cast<size_t>(x)] != f[static_cast<size_t>(y)]
+            ? f[static_cast<size_t>(x)] > f[static_cast<size_t>(y)]
+            : x < y;
+    });
+    std::vector<uint8_t> used(static_cast<size_t>(n), 0);
+    const int ref_len = _reference.length();
+    for (const int tail : order) {
+        if (static_cast<int>(out.candidates.size()) >= _cfg.maxCandidates)
+            break;
+        if (used[static_cast<size_t>(tail)])
+            continue;
+        int q_lo = std::numeric_limits<int>::max(), q_hi = 0;
+        int r_lo = std::numeric_limits<int>::max(), r_hi = 0;
+        int count = 0;
+        for (int i = tail; i != -1; i = pred[static_cast<size_t>(i)]) {
+            if (used[static_cast<size_t>(i)])
+                break; // merged into an earlier (better) chain
+            used[static_cast<size_t>(i)] = 1;
+            q_lo = std::min(q_lo, a[static_cast<size_t>(i)].qpos);
+            q_hi = std::max(q_hi, a[static_cast<size_t>(i)].qpos + _cfg.k);
+            r_lo = std::min(r_lo, a[static_cast<size_t>(i)].rpos);
+            r_hi = std::max(r_hi, a[static_cast<size_t>(i)].rpos + _cfg.k);
+            count++;
+        }
+        if (count == 0)
+            continue;
+
+        // Project the chain onto a reference window wide enough for the
+        // whole read plus slack.
+        int w0 = r_lo - q_lo - _cfg.windowPad;
+        int w1 = r_hi + (read.length() - q_hi) + _cfg.windowPad;
+        if (!out.longRead && w1 - w0 > max_ref_len) {
+            // Keep the short-read path viable: center the window on the
+            // chain and clamp to the device maximum.
+            const int mid = (w0 + w1) / 2;
+            w0 = mid - max_ref_len / 2;
+            w1 = w0 + max_ref_len;
+        }
+        w0 = std::max(0, w0);
+        w1 = std::min(ref_len, std::max(w0, w1));
+        if (w1 - w0 < _cfg.k)
+            continue;
+
+        // Merge near-duplicate windows (chains of the same locus).
+        bool dup = false;
+        for (const auto &c : out.candidates) {
+            const int ov = std::min(w1, c.refEnd) - std::max(w0, c.refStart);
+            if (ov > (w1 - w0) / 2) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;
+        out.candidates.push_back(CandidateWindow{
+            w0, w1, f[static_cast<size_t>(tail)], count});
+    }
+    return out;
+}
+
+std::vector<ReadMapper::Job>
+ReadMapper::extensionJobs(const seq::DnaSequence &read,
+                          const MapPlan &plan) const
+{
+    std::vector<Job> jobs;
+    jobs.reserve(plan.candidates.size());
+    for (const auto &c : plan.candidates) {
+        Job job;
+        job.query = read;
+        job.reference.chars.assign(
+            _reference.chars.begin() + c.refStart,
+            _reference.chars.begin() + c.refEnd);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+ReadMapper::Pending
+ReadMapper::submit(Pipeline &pipeline, const seq::DnaSequence &read,
+                   host::TicketOptions options,
+                   Pipeline::Callback callback)
+{
+    Pending pending;
+    pending.plan = plan(read, pipeline.config().maxQueryLength,
+                        pipeline.config().maxReferenceLength);
+    if (!pending.plan.longRead && !pending.plan.candidates.empty()) {
+        pending.ticket = pipeline.submit(
+            extensionJobs(read, pending.plan), std::move(options),
+            std::move(callback));
+    }
+    return pending;
+}
+
+ReadMapping
+ReadMapper::finish(const seq::DnaSequence &read,
+                   const Pending &pending) const
+{
+    ReadMapping m;
+    m.longRead = pending.plan.longRead;
+    m.candidates = static_cast<int>(pending.plan.candidates.size());
+    if (!pending.ticket)
+        return m;
+    pending.ticket->wait();
+    const auto &results = pending.ticket->results();
+    const auto &cycles = pending.ticket->cycles();
+    const auto &done = pending.ticket->completed();
+
+    int best = -1;
+    double best_score = 0, second_score = 0;
+    for (size_t i = 0; i < results.size(); i++) {
+        m.cycles += cycles[i];
+        if (!done[i])
+            continue;
+        const double s = results[i].scoreAsDouble();
+        if (best < 0 || s > best_score) {
+            second_score = best < 0 ? second_score : best_score;
+            best = static_cast<int>(i);
+            best_score = s;
+        } else if (s > second_score) {
+            second_score = s;
+        }
+    }
+    if (best < 0 || best_score <= 0)
+        return m;
+
+    const auto &res = results[static_cast<size_t>(best)];
+    const auto &cand = pending.plan.candidates[static_cast<size_t>(best)];
+    m.mapped = true;
+    m.score = best_score;
+    m.secondScore = second_score;
+    // Semi-global: traceback stops on the top row at the reference
+    // prefix consumed for free; the optimum sits on the bottom row.
+    m.refStart = cand.refStart + res.start.col;
+    m.refEnd = cand.refStart + res.end.col;
+    m.ops = res.ops;
+    m.mapq = mapqFrom(best_score, second_score, cand.anchors);
+    (void)read;
+    return m;
+}
+
+ReadMapping
+ReadMapper::mapRead(Pipeline &pipeline, const seq::DnaSequence &read,
+                    host::TicketOptions options)
+{
+    MapPlan p = plan(read, pipeline.config().maxQueryLength,
+                     pipeline.config().maxReferenceLength);
+    if (p.longRead)
+        return mapLong(read, p);
+    Pending pending;
+    pending.plan = std::move(p);
+    if (!pending.plan.candidates.empty()) {
+        pending.ticket = pipeline.submit(
+            extensionJobs(read, pending.plan), std::move(options));
+    }
+    return finish(read, pending);
+}
+
+ReadMapping
+ReadMapper::mapLong(const seq::DnaSequence &read, const MapPlan &plan)
+{
+    ReadMapping m;
+    m.longRead = true;
+    m.candidates = static_cast<int>(plan.candidates.size());
+    if (plan.candidates.empty())
+        return m;
+    const auto &cand = plan.candidates[0];
+
+    seq::DnaSequence window;
+    window.chars.assign(_reference.chars.begin() + cand.refStart,
+                        _reference.chars.begin() + cand.refEnd);
+    const auto tiled =
+        host::tiledAlign(_tileEngine, read, window, _cfg.tiling);
+    m.cycles = tiled.totalCycles;
+
+    // Global tiling consumes the whole window including the pad; trim
+    // the reference-only flanks back off so the placement is tight.
+    size_t lead = 0, tail = 0;
+    while (lead < tiled.ops.size() &&
+           tiled.ops[lead] == core::AlnOp::Del)
+        lead++;
+    while (tail < tiled.ops.size() - lead &&
+           tiled.ops[tiled.ops.size() - 1 - tail] == core::AlnOp::Del)
+        tail++;
+    m.ops.assign(tiled.ops.begin() + static_cast<long>(lead),
+                 tiled.ops.end() - static_cast<long>(tail));
+    m.refStart = cand.refStart + static_cast<int>(lead);
+    m.refEnd = cand.refEnd - static_cast<int>(tail);
+    m.score = static_cast<double>(host::rescoreAffinePath(
+        read, window, tiled.ops, _tileEngine.params()));
+    m.secondScore =
+        plan.candidates.size() > 1 ? plan.candidates[1].chainScore : 0;
+    m.mapped = m.score > 0;
+    // On the tiling path only one candidate is extended; confidence
+    // falls back to the chain-score margin.
+    m.mapq = m.mapped
+        ? mapqFrom(cand.chainScore, m.secondScore, cand.anchors)
+        : 0;
+    return m;
+}
+
+int
+ReadMapper::mapqFrom(double best, double second, int anchor_count)
+{
+    if (best <= 0)
+        return 0;
+    const double margin =
+        second > 0 ? 1.0 - second / best : 1.0;
+    const double support =
+        std::min(1.0, static_cast<double>(anchor_count) / 10.0);
+    const int q = static_cast<int>(60.0 * margin * support + 0.5);
+    return std::clamp(q, 0, 60);
+}
+
+} // namespace dphls::workloads

@@ -1,0 +1,79 @@
+#include "workloads/sdtw_stream.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/types.hh"
+#include "kernels/sdtw.hh"
+
+namespace dphls::workloads {
+
+namespace {
+
+/** The kernel's unreachable-cell sentinel (Minimize objective). */
+constexpr int32_t
+sentinel()
+{
+    return core::scoreSentinelWorst<int32_t>(
+        kernels::Sdtw::objective);
+}
+
+} // namespace
+
+SdtwStream::SdtwStream(seq::SignalSequence reference)
+    : _reference(std::move(reference))
+{
+    reset();
+}
+
+void
+SdtwStream::reset()
+{
+    // Row 0 is the kernel's init row: origin 0 plus a zero top row
+    // (free start anywhere along the reference).
+    _row.assign(static_cast<size_t>(_reference.length()) + 1, 0);
+    _rows = 0;
+}
+
+void
+SdtwStream::feed(const seq::SignalSample *samples, size_t count)
+{
+    const int rlen = _reference.length();
+    for (size_t s = 0; s < count; s++) {
+        const int32_t q = samples[s].value;
+        // In-place row update: `diag` carries the overwritten value of
+        // the cell up-left of the one being computed. This is the
+        // kernel's peFunc verbatim (3-way min plus |q - r|), so chunked
+        // feeding is bit-identical to the one-shot DP.
+        int32_t diag = _row[0];
+        _row[0] = sentinel(); // the query cannot be skipped
+        for (int j = 1; j <= rlen; j++) {
+            const size_t sj = static_cast<size_t>(j);
+            const int32_t up = _row[sj];
+            const int32_t d = std::abs(
+                q - static_cast<int32_t>(_reference[j - 1].value));
+            const int32_t best =
+                std::min(diag, std::min(up, _row[sj - 1]));
+            _row[sj] = best + d;
+            diag = up;
+        }
+        _rows++;
+    }
+}
+
+int32_t
+SdtwStream::score() const
+{
+    // Degenerate inputs (no samples fed, or an empty reference) score 0
+    // with no optimum cell — the golden model's semantics: its
+    // bottom-row scan skips degenerate shapes and leaves the
+    // default-constructed score.
+    if (_rows == 0 || _reference.length() == 0)
+        return 0;
+    int32_t best = _row[1];
+    for (size_t j = 2; j < _row.size(); j++)
+        best = std::min(best, _row[j]);
+    return best;
+}
+
+} // namespace dphls::workloads

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Incremental semi-global DTW over a growing query signal.
+ *
+ * The sDTW kernel (#14) scores a whole read signal against a target's
+ * expected signal; a *streaming* basecaller sees the read one chunk at
+ * a time and wants to eject off-target reads early (read-until). This
+ * class keeps exactly one DP row between feed() calls, so feeding a
+ * signal in chunks of any size reproduces the whole-signal DP
+ * bit-for-bit (the recurrence is row-local; chunk boundaries are
+ * invisible to it — tests/test_workload_basecall.cc locks this against
+ * the full-matrix golden model).
+ *
+ * Early-abandon soundness: every sDTW cell adds a non-negative cost
+ * |q - r| to the minimum of its three neighbors, so the minimum of row
+ * i+1 is >= the minimum of row i (induction along the row: each new
+ * cell is >= the smaller of row i's minimum and the already-bounded
+ * cells to its left; the sentinel left column never helps). The final
+ * score is the minimum of the *last* row, hence
+ *
+ *     score(prefix fed so far)  <=  score(any extension)
+ *
+ * — score() is an admissible lower bound, and abandoning a read when
+ * the bound already exceeds a rejection threshold can never misjudge a
+ * read the full signal would have accepted, nor change any surviving
+ * read's score (survivors run the identical DP).
+ */
+
+#ifndef DPHLS_WORKLOADS_SDTW_STREAM_HH
+#define DPHLS_WORKLOADS_SDTW_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alphabet.hh"
+
+namespace dphls::workloads {
+
+class SdtwStream
+{
+  public:
+    explicit SdtwStream(seq::SignalSequence reference);
+
+    /** Append query samples; the DP advances one row per sample. */
+    void feed(const seq::SignalSample *samples, size_t count);
+    void feed(const seq::SignalSequence &chunk)
+    {
+        feed(chunk.chars.data(), chunk.chars.size());
+    }
+
+    /** Query samples consumed so far. */
+    int samplesFed() const { return _rows; }
+
+    /**
+     * Semi-global sDTW score of the prefix fed so far — identical to
+     * running the whole prefix through the kernel in one shot, and an
+     * admissible lower bound on the score of any extension (see the
+     * file comment). Degenerate inputs score 0, matching the golden
+     * model's empty-query/empty-reference semantics.
+     */
+    int32_t score() const;
+
+    /** score() normalized by samples fed (0 before the first sample). */
+    double
+    scorePerSample() const
+    {
+        return _rows == 0
+            ? 0.0
+            : static_cast<double>(score()) / static_cast<double>(_rows);
+    }
+
+    /** Drop all fed samples and start a new read against the same
+     *  reference. */
+    void reset();
+
+    const seq::SignalSequence &reference() const { return _reference; }
+
+  private:
+    seq::SignalSequence _reference;
+    std::vector<int32_t> _row; //!< current DP row, cols 0..rlen
+    int _rows = 0;
+};
+
+} // namespace dphls::workloads
+
+#endif // DPHLS_WORKLOADS_SDTW_STREAM_HH

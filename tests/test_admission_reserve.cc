@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Admission-reservation torture test: the estimate/submit race that
+ * let concurrent submitters over-admit against a deadline budget is
+ * closed by reserve-on-estimate / commit-on-submit / release-on-reject
+ * (host::AdmissionReservation). With the pipeline paused so nothing
+ * drains, T threads hammering reserve→admit-or-release against a
+ * budget of B seconds must never admit more than floor(B / E) batches
+ * of per-batch work E: the k-th admitted reserver's estimate already
+ * includes the k-1 earlier bookings, so it reads at least k·E.
+ *
+ * Also locked here: release() restores the backlog counters exactly
+ * (a fresh reservation on the drained pipeline sees the same estimate
+ * as the very first one), and committing via submit() never
+ * double-counts once the ticket completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "host/stream_pipeline.hh"
+#include "kernels/semi_global.hh"
+#include "seq/read_simulator.hh"
+
+using namespace dphls;
+using Pipeline = host::StreamPipeline<kernels::SemiGlobal>;
+
+namespace {
+
+host::BatchConfig
+oneChannelConfig()
+{
+    host::BatchConfig cfg;
+    cfg.npe = 16;
+    cfg.nb = 1;
+    cfg.nk = 1; // a single device channel: all work lands on one slot
+    cfg.threads = 1;
+    cfg.maxQueryLength = 512;
+    cfg.maxReferenceLength = 512;
+    cfg.cpuFallback = false; // no second slot to leak admissions onto
+    cfg.gpuModel = false;
+    cfg.cacheEntries = 0;
+    cfg.collectPathStats = false;
+    return cfg;
+}
+
+std::vector<Pipeline::Job>
+someJobs(int count, seq::Rng &rng)
+{
+    std::vector<Pipeline::Job> jobs;
+    for (int i = 0; i < count; i++) {
+        Pipeline::Job job;
+        job.query = seq::randomDna(256, rng);
+        job.reference = seq::randomDna(320, rng);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(AdmissionReserve, ReleaseRestoresTheBacklogExactly)
+{
+    Pipeline pipeline(oneChannelConfig());
+    pipeline.pause();
+    seq::Rng rng(41);
+    const auto jobs = someJobs(6, rng);
+
+    auto first = pipeline.reserveCompletion(jobs);
+    const double e = first.estimateSeconds();
+    ASSERT_GT(e, 0.0);
+    ASSERT_TRUE(first.active());
+
+    // A second reservation stacked on the first sees both bookings.
+    auto second = pipeline.reserveCompletion(jobs);
+    EXPECT_GE(second.estimateSeconds(), 2 * e * 0.999);
+
+    // Releasing both (out of order) restores the empty backlog: a
+    // fresh reservation reads the original estimate again.
+    first.release();
+    EXPECT_FALSE(first.active());
+    first.release(); // idempotent
+    second.release();
+    auto fresh = pipeline.reserveCompletion(jobs);
+    EXPECT_NEAR(fresh.estimateSeconds(), e, e * 1e-6 + 1e-9);
+    fresh.release();
+    pipeline.resume();
+}
+
+TEST(AdmissionReserve, DroppedReservationReleasesInItsDestructor)
+{
+    Pipeline pipeline(oneChannelConfig());
+    pipeline.pause();
+    seq::Rng rng(42);
+    const auto jobs = someJobs(4, rng);
+    const double e = pipeline.reserveCompletion(jobs).estimateSeconds();
+    {
+        auto scoped = pipeline.reserveCompletion(jobs);
+        ASSERT_TRUE(scoped.active());
+    } // exception-path semantics: scope exit alone must unbook
+    EXPECT_NEAR(pipeline.reserveCompletion(jobs).estimateSeconds(), e,
+                e * 1e-6 + 1e-9);
+    pipeline.resume();
+}
+
+TEST(AdmissionReserve, ConcurrentReserversNeverOverAdmit)
+{
+    Pipeline pipeline(oneChannelConfig());
+    pipeline.pause(); // nothing drains: admissions accumulate
+    seq::Rng rng(43);
+    const auto jobs = someJobs(6, rng);
+
+    // Per-batch work E on the empty, paused pipeline.
+    const double e = [&] {
+        auto probe = pipeline.reserveCompletion(jobs);
+        return probe.estimateSeconds();
+    }();
+    ASSERT_GT(e, 0.0);
+
+    // Budget admits at most 5 batches; make it land strictly between
+    // multiples of E so float jitter cannot flip the floor.
+    const int max_admit = 5;
+    const double budget = e * (max_admit + 0.5);
+
+    constexpr int kThreads = 16;
+    constexpr int kAttemptsPerThread = 6;
+    std::atomic<int> admitted{0};
+    std::atomic<int> rejected{0};
+    std::vector<Pipeline::Ticket> tickets[kThreads];
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            for (int a = 0; a < kAttemptsPerThread; a++) {
+                auto res = pipeline.reserveCompletion(jobs);
+                if (res.estimateSeconds() <= budget) {
+                    tickets[t].push_back(pipeline.submit(
+                        jobs, host::TicketOptions{}, nullptr,
+                        std::move(res)));
+                    admitted.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    res.release();
+                    rejected.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    // The bound the reservation protocol guarantees: the k-th admitted
+    // reserver read at least k·E, so nobody past floor(budget/E) got
+    // in — under ANY interleaving of the 96 attempts.
+    EXPECT_LE(admitted.load(), max_admit);
+    EXPECT_GE(admitted.load(), 1); // the budget wasn't vacuously tight
+    EXPECT_EQ(admitted.load() + rejected.load(),
+              kThreads * kAttemptsPerThread);
+
+    // Every reject released its booking; every admit committed into
+    // live ticket entries: the backlog now carries exactly the
+    // admitted batches.
+    auto settled = pipeline.reserveCompletion(jobs);
+    EXPECT_NEAR(settled.estimateSeconds(), (admitted.load() + 1) * e,
+                e * 1e-3);
+    settled.release();
+
+    // Drain everything; completion must return the backlog to empty —
+    // committed reservations are not double-counted.
+    pipeline.resume();
+    for (auto &per_thread : tickets)
+        for (auto &ticket : per_thread)
+            ticket->wait();
+    pipeline.drain();
+    auto after = pipeline.reserveCompletion(jobs);
+    EXPECT_NEAR(after.estimateSeconds(), e, e * 1e-6 + 1e-9);
+    after.release();
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Mixed-workload identity: the three traffic classes (realtime
+ * basecalling, interactive mapping, bulk batches) running concurrently
+ * on shared pipelines must produce bit-identical results to each class
+ * running alone — scheduling reorders work, it never touches a DP.
+ * Also locks the demo's per-class latency accounting and determinism
+ * across repeated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/mixed_demo.hh"
+
+using namespace dphls;
+using workloads::MixedDemoConfig;
+using workloads::MixedDemoResult;
+using workloads::runMixedDemo;
+
+namespace {
+
+MixedDemoConfig
+smallDemo(uint64_t seed)
+{
+    MixedDemoConfig cfg = MixedDemoConfig::makeDefault();
+    cfg.seed = seed;
+    cfg.genomeLength = 8000;
+    cfg.shortReads = 8;
+    cfg.squiggleReads = 6;
+    cfg.bulkBatches = 3;
+    cfg.bulkBatchJobs = 6;
+    return cfg;
+}
+
+void
+expectIdentical(const MixedDemoResult &a, const MixedDemoResult &b)
+{
+    ASSERT_EQ(a.mappings.size(), b.mappings.size());
+    for (size_t i = 0; i < a.mappings.size(); i++) {
+        const auto &m = a.mappings[i];
+        const auto &n = b.mappings[i];
+        EXPECT_EQ(m.mapped, n.mapped) << i;
+        EXPECT_EQ(m.refStart, n.refStart) << i;
+        EXPECT_EQ(m.refEnd, n.refEnd) << i;
+        EXPECT_EQ(m.score, n.score) << i;
+        EXPECT_EQ(m.secondScore, n.secondScore) << i;
+        EXPECT_EQ(m.mapq, n.mapq) << i;
+        EXPECT_EQ(m.ops, n.ops) << i;
+        EXPECT_EQ(m.candidates, n.candidates) << i;
+    }
+    ASSERT_EQ(a.basecalls.size(), b.basecalls.size());
+    for (size_t i = 0; i < a.basecalls.size(); i++) {
+        const auto &x = a.basecalls[i];
+        const auto &y = b.basecalls[i];
+        EXPECT_EQ(x.abandoned, y.abandoned) << i;
+        EXPECT_EQ(x.chunksConsumed, y.chunksConsumed) << i;
+        EXPECT_EQ(x.samplesConsumed, y.samplesConsumed) << i;
+        EXPECT_EQ(x.hostScore, y.hostScore) << i;
+        EXPECT_EQ(x.deviceScored, y.deviceScored) << i;
+        EXPECT_EQ(x.deviceScore, y.deviceScore) << i;
+        EXPECT_EQ(x.onTarget, y.onTarget) << i;
+    }
+    EXPECT_EQ(a.bulkScores, b.bulkScores);
+}
+
+} // namespace
+
+TEST(MixedWorkloads, ConcurrentResultsMatchIsolatedRunsBitForBit)
+{
+    const auto cfg = smallDemo(91);
+    const auto mixed = runMixedDemo(cfg, true);
+    const auto isolated = runMixedDemo(cfg, false);
+    expectIdentical(mixed, isolated);
+}
+
+TEST(MixedWorkloads, EveryClassActuallyRuns)
+{
+    const auto mixed = runMixedDemo(smallDemo(92), true);
+    // Latency accounting: one completion record per submitted ticket.
+    EXPECT_FALSE(mixed.latencies.interactive.empty());
+    EXPECT_FALSE(mixed.latencies.realtime.empty());
+    EXPECT_EQ(mixed.latencies.bulk.size(), 3u);
+    EXPECT_EQ(static_cast<int>(mixed.latencies.realtime.size() +
+                               mixed.latencies.interactive.size() +
+                               mixed.latencies.bulk.size()),
+              mixed.tickets);
+    // The demo defaults must exercise both classifier outcomes.
+    int abandoned = 0, scored = 0;
+    for (const auto &b : mixed.basecalls) {
+        abandoned += b.abandoned ? 1 : 0;
+        scored += b.deviceScored ? 1 : 0;
+    }
+    EXPECT_GT(abandoned, 0) << "no squiggle read abandoned early";
+    EXPECT_GT(scored, 0) << "no survivor reached the device";
+    // Cumulative completion clocks are monotone within a class.
+    for (size_t i = 1; i < mixed.latencies.bulk.size(); i++)
+        EXPECT_GE(mixed.latencies.bulk[i], mixed.latencies.bulk[i - 1]);
+}
+
+TEST(MixedWorkloads, RepeatedConcurrentRunsAreDeterministic)
+{
+    const auto cfg = smallDemo(93);
+    const auto a = runMixedDemo(cfg, true);
+    const auto b = runMixedDemo(cfg, true);
+    expectIdentical(a, b);
+    EXPECT_EQ(a.tickets, b.tickets);
+    EXPECT_EQ(a.latencies.bulk, b.latencies.bulk);
+    EXPECT_EQ(a.latencies.interactive, b.latencies.interactive);
+    EXPECT_EQ(a.latencies.realtime, b.latencies.realtime);
+}

@@ -828,4 +828,63 @@ TEST(SocketIo, OversizedPayloadLengthReportsError)
     EXPECT_FALSE(err.empty());
 }
 
+// -------------------------------------------- realtime traffic class
+
+TEST(ServeProtocol, RealtimeClassRoundtrip)
+{
+    AlignRequest req;
+    req.trafficClass = TrafficClass::Realtime;
+    req.deadlineMicros = 900;
+    req.tenant = "pore-0";
+    req.jobs.push_back({dnaCodes(16, 1), dnaCodes(16, 2)});
+    const Frame f =
+        makeFrame(MsgType::Align, 8, encodeAlignRequest(req));
+    const AlignRequest got = decodeAlignRequest(f);
+    EXPECT_EQ(got.trafficClass, TrafficClass::Realtime);
+    EXPECT_EQ(got.deadlineMicros, 900u);
+}
+
+TEST(ServeProtocol, ClassJustAboveRealtimeIsMalformed)
+{
+    // Realtime = 2 is the last known class; 3 must be rejected as
+    // malformed exactly like any other unknown value, so an old server
+    // never silently mis-schedules traffic from a newer client.
+    AlignRequest req;
+    req.tenant = "t";
+    auto payload = encodeAlignRequest(req);
+    payload[0] =
+        static_cast<uint8_t>(TrafficClass::Realtime) + 1;
+    const Frame f = makeFrame(MsgType::Align, 9, std::move(payload));
+    EXPECT_THROW(decodeAlignRequest(f), ProtocolError);
+}
+
+TEST(AlignService, RealtimeRequestServedAndAccounted)
+{
+    ServiceConfig scfg;
+    scfg.realtimePriority = 42; // custom knob must be accepted as-is
+    Service service(smallConfig(), scfg);
+    CapturedFrames out;
+
+    AlignRequest req;
+    req.trafficClass = TrafficClass::Realtime;
+    req.tenant = "pore-0";
+    req.jobs.push_back({dnaCodes(48, 5), dnaCodes(48, 6)});
+    service.handleFrame(
+        makeFrame(MsgType::Align, 11, encodeAlignRequest(req)),
+        out.sink());
+    ASSERT_TRUE(out.waitFor(1));
+    auto [type, rid, payload] = out.at(0);
+    ASSERT_EQ(type, MsgType::AlignOk);
+    EXPECT_EQ(rid, 11u);
+    const AlignResponse res =
+        decodeAlignResponse(makeFrame(MsgType::AlignOk, rid, payload));
+    ASSERT_EQ(res.results.size(), 1u);
+    EXPECT_TRUE(res.results[0].completed);
+
+    const ServeStats stats = service.snapshot();
+    EXPECT_EQ(stats.acceptedRequests, 1u);
+    EXPECT_EQ(stats.completedJobs, 1u);
+    EXPECT_TRUE(stats.accountingClosed);
+}
+
 } // namespace

@@ -83,6 +83,7 @@
 #include "kernels/all.hh"
 #include "model/frequency_model.hh"
 #include "seq/fasta.hh"
+#include "workloads/mixed_demo.hh"
 
 using namespace dphls;
 
@@ -116,6 +117,8 @@ struct Options
     bool stagePipeline = false; //!< overlap fill and traceback stages
     int stageFifoDepth = 4;     //!< fill -> traceback FIFO capacity
     bool preempt = false;       //!< stage-boundary preemption points
+    std::string workload;       //!< "mixed": the three-class demo
+    uint64_t seed = 1;          //!< --workload input seed
 };
 
 void
@@ -140,6 +143,7 @@ usage()
                  "[--intra-pair-min-len L]\n"
                  "                   [--stage-pipeline] "
                  "[--stage-fifo-depth N] [--preempt]\n"
+                 "                   [--workload mixed] [--seed S]\n"
                  "kernels: global-linear global-affine local-linear "
                  "local-affine two-piece\n"
                  "         overlap semi-global banded-global banded-local "
@@ -567,6 +571,117 @@ runStreaming(const Options &opt, SeqT (*decode)(const seq::FastaRecord &))
     return 0;
 }
 
+/**
+ * Mixed-workload demo (--workload mixed): one seeded input set served
+ * as three concurrent traffic classes — streaming sDTW basecalling
+ * (realtime, deadline-tagged), seed-chain-extend read mapping
+ * (interactive) and bulk batch re-alignment (class 0) — then re-run
+ * with each class isolated on fresh pipelines. Scheduling only
+ * reorders work: the tool verifies every mapping, classification and
+ * bulk score is bit-identical across the two runs (non-zero exit
+ * otherwise) and reports per-class modeled p50/p99 completion latency
+ * from the concurrent run.
+ */
+int
+runWorkloadDemo(const Options &opt)
+{
+    workloads::MixedDemoConfig cfg =
+        workloads::MixedDemoConfig::makeDefault();
+    cfg.seed = opt.seed;
+    cfg.interactivePriority = opt.priority > 0 ? opt.priority : 10;
+    if (opt.deadlineMs > 0)
+        cfg.realtimeDeadlineMs = opt.deadlineMs;
+
+    const auto mixed = workloads::runMixedDemo(cfg, true);
+    const auto isolated = workloads::runMixedDemo(cfg, false);
+
+    // Scheduling must never change a result.
+    size_t mismatches = 0;
+    const auto check = [&](bool ok, const char *what, size_t i) {
+        if (!ok) {
+            std::fprintf(stderr,
+                         "error: %s %zu differs between concurrent "
+                         "and isolated runs\n",
+                         what, i);
+            mismatches++;
+        }
+    };
+    check(mixed.mappings.size() == isolated.mappings.size(), "mapping",
+          0);
+    for (size_t i = 0; i < mixed.mappings.size() &&
+                       i < isolated.mappings.size();
+         i++) {
+        const auto &a = mixed.mappings[i];
+        const auto &b = isolated.mappings[i];
+        check(a.mapped == b.mapped && a.refStart == b.refStart &&
+                  a.refEnd == b.refEnd && a.score == b.score &&
+                  a.secondScore == b.secondScore && a.mapq == b.mapq &&
+                  a.ops == b.ops,
+              "mapping", i);
+    }
+    check(mixed.basecalls.size() == isolated.basecalls.size(),
+          "basecall", 0);
+    for (size_t i = 0; i < mixed.basecalls.size() &&
+                       i < isolated.basecalls.size();
+         i++) {
+        const auto &a = mixed.basecalls[i];
+        const auto &b = isolated.basecalls[i];
+        check(a.abandoned == b.abandoned &&
+                  a.samplesConsumed == b.samplesConsumed &&
+                  a.hostScore == b.hostScore &&
+                  a.deviceScored == b.deviceScored &&
+                  a.deviceScore == b.deviceScore &&
+                  a.onTarget == b.onTarget,
+              "basecall", i);
+    }
+    check(mixed.bulkScores == isolated.bulkScores, "bulk batch", 0);
+
+    int mapped = 0, placed = 0;
+    for (size_t i = 0; i < mixed.mappings.size(); i++) {
+        if (!mixed.mappings[i].mapped)
+            continue;
+        mapped++;
+        if (std::abs(mixed.mappings[i].refStart -
+                     mixed.trueLoci[i]) <= cfg.mapper.windowPad)
+            placed++;
+    }
+    int abandoned = 0, on_target = 0;
+    for (const auto &b : mixed.basecalls) {
+        abandoned += b.abandoned ? 1 : 0;
+        on_target += b.onTarget ? 1 : 0;
+    }
+    std::printf("# mixed workload: %d tickets (seed %llu) — %zu mapper "
+                "reads (%d mapped, %d on true locus), %zu squiggle "
+                "reads (%d abandoned early, %d on-target), %zu bulk "
+                "batches\n",
+                mixed.tickets,
+                static_cast<unsigned long long>(opt.seed),
+                mixed.mappings.size(), mapped, placed,
+                mixed.basecalls.size(), abandoned, on_target,
+                mixed.bulkScores.size());
+    const auto report = [](const char *cls, std::vector<double> lat) {
+        if (lat.empty()) {
+            std::printf("#   %-12s no tickets\n", cls);
+            return;
+        }
+        std::printf("#   %-12s p50 %.3f ms, p99 %.3f ms (%zu tickets)\n",
+                    cls, 1e3 * host::percentile(lat, 0.5),
+                    1e3 * host::percentile(lat, 0.99), lat.size());
+    };
+    report("realtime", mixed.latencies.realtime);
+    report("interactive", mixed.latencies.interactive);
+    report("bulk", mixed.latencies.bulk);
+    if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "error: %zu result(s) changed under concurrency\n",
+                     mismatches);
+        return 1;
+    }
+    std::printf("# identity: concurrent results bit-identical to "
+                "isolated runs\n");
+    return 0;
+}
+
 seq::DnaSequence
 decodeDna(const seq::FastaRecord &rec)
 {
@@ -673,9 +788,26 @@ main(int argc, char **argv)
         } else if (a == "--preempt") {
             opt.stagePipeline = true; // preemption needs stage points
             opt.preempt = true;
+        } else if (a == "--workload") {
+            opt.workload = next();
+            if (opt.workload != "mixed") {
+                usage();
+                return 2;
+            }
+        } else if (a == "--seed") {
+            opt.seed = static_cast<uint64_t>(
+                std::strtoull(next(), nullptr, 10));
         } else {
             usage();
             return 2;
+        }
+    }
+    if (opt.workload == "mixed") {
+        try {
+            return runWorkloadDemo(opt);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
         }
     }
     if (opt.queryPath.empty() || opt.referencePath.empty()) {

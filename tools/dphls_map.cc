@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Command-line read mapper over the DP-HLS simulated device.
+ *
+ * Seed–chain–extend (workloads/mapper.hh): minimizer seeding over a
+ * reference FASTA, anchor chaining, and banded semi-global extension of
+ * candidate windows on the modeled systolic engine — one StreamPipeline
+ * ticket per read, so mapping rides the same scheduling machinery as
+ * every other workload. Reads over the device window take the GACT
+ * tiling path host-side. Output is a PAF-like line per read: name,
+ * placement, score, MAPQ, candidate count and modeled device cycles.
+ *
+ * --demo runs without input files: a seeded genome and read set are
+ * simulated, mapped, and checked against their true loci — a self-
+ * contained accuracy smoke test (non-zero exit when placement accuracy
+ * falls below --demo-min-placed percent).
+ *
+ * Usage:
+ *   dphls_map --reference ref.fa --reads reads.fa
+ *             [--k K] [--window W] [--max-candidates N]
+ *             [--npe N] [--nk K] [--threads T] [--max-len L]
+ *             [--priority P] [--deadline-ms D]
+ *   dphls_map --demo [--demo-reads N] [--demo-genome L]
+ *             [--demo-read-len L] [--demo-error E] [--seed S]
+ *             [--demo-min-placed PCT] [--long-reads]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "host/stream_pipeline.hh"
+#include "model/frequency_model.hh"
+#include "seq/fasta.hh"
+#include "seq/read_simulator.hh"
+#include "workloads/mapper.hh"
+
+using namespace dphls;
+using workloads::MapperConfig;
+using workloads::ReadMapper;
+using workloads::ReadMapping;
+
+namespace {
+
+struct Options
+{
+    std::string referencePath;
+    std::string readsPath;
+    int k = 15;
+    int window = 10;
+    int maxCandidates = 4;
+    int npe = 32;
+    int nk = 2;
+    int threads = 0;
+    int maxLen = 1024;
+    int priority = 0;
+    double deadlineMs = 0;
+    bool demo = false;
+    int demoReads = 50;
+    int demoGenome = 20000;
+    int demoReadLen = 150;
+    double demoError = 0.03;
+    double demoMinPlaced = 75.0; //!< required placement accuracy (%)
+    bool longReads = false;      //!< demo: reads over the device window
+    uint64_t seed = 1;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dphls_map --reference FASTA --reads FASTA\n"
+        "                 [--k K] [--window W] [--max-candidates N]\n"
+        "                 [--npe N] [--nk K] [--threads T] [--max-len L]\n"
+        "                 [--priority P] [--deadline-ms D]\n"
+        "       dphls_map --demo [--demo-reads N] [--demo-genome L]\n"
+        "                 [--demo-read-len L] [--demo-error E] [--seed S]\n"
+        "                 [--demo-min-placed PCT] [--long-reads]\n");
+}
+
+host::BatchConfig
+pipelineConfig(const Options &opt)
+{
+    host::BatchConfig cfg;
+    cfg.npe = opt.npe;
+    cfg.nk = opt.nk;
+    cfg.threads = opt.threads;
+    cfg.fmaxMhz = model::kernelFrequencyMhz<ReadMapper::Kernel>();
+    cfg.maxQueryLength = opt.maxLen;
+    cfg.maxReferenceLength = std::max(opt.maxLen, 2 * opt.demoReadLen);
+    cfg.hostOverheadCycles = 0;
+    cfg.collectPathStats = false;
+    return cfg;
+}
+
+MapperConfig
+mapperConfig(const Options &opt)
+{
+    MapperConfig cfg;
+    cfg.k = opt.k;
+    cfg.window = opt.window;
+    cfg.maxCandidates = opt.maxCandidates;
+    return cfg;
+}
+
+host::TicketOptions
+ticketOptions(const Options &opt)
+{
+    if (opt.deadlineMs > 0)
+        return host::TicketOptions::afterMs(opt.priority, opt.deadlineMs,
+                                            "map");
+    host::TicketOptions topt;
+    topt.priority = opt.priority;
+    topt.tag = "map";
+    return topt;
+}
+
+bool header_printed = false;
+
+void
+printMapping(const std::string &name, const ReadMapping &m)
+{
+    if (!header_printed) {
+        std::printf("%-20s %-8s %10s %10s %8s %5s %5s %12s %s\n", "read",
+                    "mapped", "ref_start", "ref_end", "score", "mapq",
+                    "cand", "cycles", "path");
+        header_printed = true;
+    }
+    std::printf("%-20.20s %-8s %10d %10d %8.0f %5d %5d %12llu %s\n",
+                name.empty() ? "(unnamed)" : name.c_str(),
+                m.mapped ? "yes" : "no", m.refStart, m.refEnd, m.score,
+                m.mapq, m.candidates,
+                static_cast<unsigned long long>(m.cycles),
+                m.longRead ? "tiled" : "device");
+}
+
+int
+runDemo(const Options &opt)
+{
+    seq::Rng rng(opt.seed);
+    const auto genome = seq::makeReferenceGenome(opt.demoGenome, rng);
+    ReadMapper mapper(genome, mapperConfig(opt));
+    ReadMapper::Pipeline pipeline(pipelineConfig(opt));
+
+    seq::ReadSimConfig rcfg;
+    rcfg.readLength =
+        opt.longReads ? 4 * opt.maxLen : opt.demoReadLen;
+    rcfg.errorRate = opt.demoError;
+
+    int mapped = 0, placed = 0;
+    uint64_t cycles = 0;
+    for (int i = 0; i < opt.demoReads; i++) {
+        const auto sim = seq::simulateRead(genome, rcfg, rng);
+        const auto m =
+            mapper.mapRead(pipeline, sim.read, ticketOptions(opt));
+        printMapping("sim_" + std::to_string(i), m);
+        if (m.mapped) {
+            mapped++;
+            cycles += m.cycles;
+            if (std::abs(m.refStart - sim.refStart) <=
+                mapper.config().windowPad)
+                placed++;
+        }
+    }
+    const double placed_pct =
+        opt.demoReads > 0 ? 100.0 * placed / opt.demoReads : 0.0;
+    std::printf("# demo: %d reads, %d mapped, %d placed on their true "
+                "locus (%.1f%%), %llu device cycles, index %zu "
+                "minimizers\n",
+                opt.demoReads, mapped, placed, placed_pct,
+                static_cast<unsigned long long>(cycles),
+                mapper.index().distinctMinimizers());
+    if (placed_pct < opt.demoMinPlaced) {
+        std::fprintf(stderr,
+                     "error: placement accuracy %.1f%% below the "
+                     "--demo-min-placed %.1f%% floor\n",
+                     placed_pct, opt.demoMinPlaced);
+        return 1;
+    }
+    return 0;
+}
+
+int
+runFiles(const Options &opt)
+{
+    seq::FastaStream ref_stream(opt.referencePath);
+    seq::FastaRecord ref_rec;
+    if (!ref_stream.next(ref_rec))
+        throw std::runtime_error("empty reference FASTA: " +
+                                 opt.referencePath);
+    ReadMapper mapper(seq::dnaFromString(ref_rec.residues, ref_rec.name),
+                      mapperConfig(opt));
+    ReadMapper::Pipeline pipeline(pipelineConfig(opt));
+
+    // Streamed: a window of reads is kept in flight; front mappings are
+    // finished (in submission order) while later reads still parse.
+    std::deque<std::pair<seq::DnaSequence, ReadMapper::Pending>> pending;
+    const size_t max_pending =
+        4 + static_cast<size_t>(pipeline.threadCount());
+    int total = 0, mapped = 0;
+    uint64_t cycles = 0;
+    const auto retire = [&](bool force) {
+        while (!pending.empty() &&
+               (force || !pending.front().second.ticket ||
+                pending.front().second.ticket->done() ||
+                pending.size() > max_pending)) {
+            auto &[read, p] = pending.front();
+            const ReadMapping m = mapper.finish(read, p);
+            printMapping(read.name, m);
+            total++;
+            if (m.mapped) {
+                mapped++;
+                cycles += m.cycles;
+            }
+            pending.pop_front();
+        }
+    };
+
+    seq::FastaStream reads(opt.readsPath);
+    seq::FastaRecord rec;
+    while (reads.next(rec)) {
+        auto read = seq::dnaFromString(rec.residues, rec.name);
+        // Long reads run synchronously on the tiling path; short reads
+        // go through the shared pipeline asynchronously.
+        const auto max_q = pipeline.config().maxQueryLength;
+        if (read.length() > max_q) {
+            const ReadMapping m =
+                mapper.mapRead(pipeline, read, ticketOptions(opt));
+            printMapping(read.name, m);
+            total++;
+            if (m.mapped) {
+                mapped++;
+                cycles += m.cycles;
+            }
+            continue;
+        }
+        pending.emplace_back(
+            std::move(read), ReadMapper::Pending{});
+        pending.back().second = mapper.submit(
+            pipeline, pending.back().first, ticketOptions(opt));
+        retire(false);
+    }
+    retire(true);
+    std::printf("# mapped %d of %d reads, %llu device cycles, index %zu "
+                "minimizers over %d bp\n",
+                mapped, total, static_cast<unsigned long long>(cycles),
+                mapper.index().distinctMinimizers(),
+                mapper.reference().length());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--reference") {
+            opt.referencePath = next();
+        } else if (a == "--reads") {
+            opt.readsPath = next();
+        } else if (a == "--k") {
+            opt.k = std::atoi(next());
+        } else if (a == "--window") {
+            opt.window = std::atoi(next());
+        } else if (a == "--max-candidates") {
+            opt.maxCandidates = std::atoi(next());
+        } else if (a == "--npe") {
+            opt.npe = std::atoi(next());
+        } else if (a == "--nk") {
+            opt.nk = std::atoi(next());
+        } else if (a == "--threads") {
+            opt.threads = std::atoi(next());
+        } else if (a == "--max-len") {
+            opt.maxLen = std::atoi(next());
+        } else if (a == "--priority") {
+            opt.priority = std::atoi(next());
+        } else if (a == "--deadline-ms") {
+            char *end = nullptr;
+            const std::string v = next();
+            opt.deadlineMs = std::strtod(v.c_str(), &end);
+            if (v.empty() || *end != '\0' || opt.deadlineMs < 0) {
+                usage();
+                return 2;
+            }
+        } else if (a == "--demo") {
+            opt.demo = true;
+        } else if (a == "--demo-reads") {
+            opt.demoReads = std::atoi(next());
+        } else if (a == "--demo-genome") {
+            opt.demoGenome = std::atoi(next());
+        } else if (a == "--demo-read-len") {
+            opt.demoReadLen = std::atoi(next());
+        } else if (a == "--demo-error") {
+            opt.demoError = std::atof(next());
+        } else if (a == "--demo-min-placed") {
+            opt.demoMinPlaced = std::atof(next());
+        } else if (a == "--long-reads") {
+            opt.longReads = true;
+        } else if (a == "--seed") {
+            opt.seed = static_cast<uint64_t>(
+                std::strtoull(next(), nullptr, 10));
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (opt.demo)
+            return runDemo(opt);
+        if (opt.referencePath.empty() || opt.readsPath.empty()) {
+            usage();
+            return 2;
+        }
+        return runFiles(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

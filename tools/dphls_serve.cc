@@ -82,6 +82,7 @@ struct Options
     bool admission = true;
     double admissionSlack = 1.0;
     int interactivePriority = 10;
+    int realtimePriority = 20;
     sim::IsaTier isaTier = sim::IsaTier::Auto;
 };
 
@@ -101,6 +102,7 @@ usage()
         "[--no-admission]\n"
         "                   [--admission-slack X] "
         "[--interactive-priority P]\n"
+        "                   [--realtime-priority P]\n"
         "                   [--stage-pipeline] [--stage-fifo-depth N] "
         "[--preempt]\n"
         "                   [--isa-tier auto|scalar|sse2|avx2|avx512]\n"
@@ -175,6 +177,7 @@ runServe(const Options &opt)
     scfg.admission.slack = opt.admissionSlack;
     scfg.maxInFlightJobsPerTenant = opt.quota;
     scfg.interactivePriority = opt.interactivePriority;
+    scfg.realtimePriority = opt.realtimePriority;
     scfg.kernelAlias = opt.kernel; // accept the CLI spelling in Hello
 
     serve::AlignService<K> service(cfg, scfg);
@@ -304,6 +307,8 @@ main(int argc, char **argv)
             opt.admissionSlack = std::atof(next());
         } else if (a == "--interactive-priority") {
             opt.interactivePriority = std::atoi(next());
+        } else if (a == "--realtime-priority") {
+            opt.realtimePriority = std::atoi(next());
         } else if (a == "--isa-tier") {
             if (!sim::parseIsaTier(next(), opt.isaTier)) {
                 usage();
